@@ -1,0 +1,37 @@
+# Convenience targets; everything is plain `go` underneath (stdlib only).
+
+.PHONY: all build test test-short cover bench exp exp-quick fmt vet clean
+
+all: build vet test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+test-short:
+	go test -short ./...
+
+cover:
+	go test -cover ./...
+
+# Regenerate every paper table/figure (full parameter sweeps, ~60 s).
+exp:
+	go run ./cmd/vexp
+
+exp-quick:
+	go run ./cmd/vexp -quick
+
+# One testing.B benchmark per exhibit plus primitive microbenchmarks.
+bench:
+	go test -bench=. -benchmem ./...
+
+fmt:
+	gofmt -w .
+
+vet:
+	go vet ./...
+
+clean:
+	go clean ./...

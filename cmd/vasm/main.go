@@ -1,0 +1,57 @@
+// vasm assembles VRISC assembly into a binary program image.
+//
+// Usage:
+//
+//	vasm [-o out.vx] [-d] prog.s
+//
+// -o writes a full VPX1 program image (code, data, symbols) executable
+// with vrun; -d prints the disassembled listing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"valueprof/internal/asm"
+)
+
+func main() {
+	out := flag.String("o", "", "write a VPX1 program image to this file")
+	dis := flag.Bool("d", false, "print the disassembled listing")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: vasm [-o out.vx] [-d] prog.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := asm.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if *dis {
+		fmt.Print(prog.Disassemble())
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := prog.Save(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "vasm: %d instructions, %d data bytes, %d procedures\n",
+		len(prog.Code), len(prog.Data), len(prog.Procs))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

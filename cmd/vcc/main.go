@@ -1,0 +1,67 @@
+// vcc compiles MiniC source to VRISC assembly (or runs it directly).
+//
+// Usage:
+//
+//	vcc [-S] [-run] [-i "1 2 3"] prog.mc
+//
+// -S prints the generated assembly; -run executes the program.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"valueprof/internal/minic"
+	"valueprof/internal/vm"
+)
+
+func main() {
+	emitAsm := flag.Bool("S", false, "print generated assembly")
+	run := flag.Bool("run", false, "execute the compiled program")
+	inputStr := flag.String("i", "", "space-separated integers for getint")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, `usage: vcc [-S] [-run] [-i "1 2 3"] prog.mc`)
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	text, err := minic.CompileToAsm(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if *emitAsm {
+		fmt.Print(text)
+	}
+	if !*run {
+		return
+	}
+	prog, err := minic.Compile(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	var input []int64
+	for _, f := range strings.Fields(*inputStr) {
+		v, err := strconv.ParseInt(f, 0, 64)
+		if err != nil {
+			fatal(fmt.Errorf("vcc: bad input %q: %w", f, err))
+		}
+		input = append(input, v)
+	}
+	res, err := vm.Execute(prog, input)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(res.Output)
+	os.Exit(int(res.ExitStatus & 0xff))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

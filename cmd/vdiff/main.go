@@ -1,0 +1,95 @@
+// vdiff compares two saved value profiles (written by vprof -o) — the
+// paper's cross-input stability study (Table V.5 / Wall [38]) as a
+// command-line workflow:
+//
+//	vprof -w compress -input test  -o test.json
+//	vprof -w compress -input train -o train.json
+//	vdiff test.json train.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"valueprof/internal/core"
+	"valueprof/internal/textual"
+)
+
+func main() {
+	topN := flag.Int("top", 10, "show the N sites with the largest invariance drift")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: vdiff [-top N] a.json b.json")
+		os.Exit(2)
+	}
+	a := load(flag.Arg(0))
+	b := load(flag.Arg(1))
+	if a.Program != b.Program {
+		fmt.Fprintf(os.Stderr, "vdiff: warning: comparing different programs (%s vs %s)\n", a.Program, b.Program)
+	}
+
+	c := core.Compare(a, b, core.DefaultThresholds())
+	fmt.Printf("%s: %s vs %s\n", a.Program, a.Input, b.Input)
+	fmt.Printf("sites: %d common, %d only in %s, %d only in %s\n",
+		c.CommonSites, c.OnlyA, a.Input, c.OnlyB, b.Input)
+	fmt.Printf("Inv-Top(1) correlation: %.3f\n", c.InvCorrelation)
+	fmt.Printf("classification agreement: %s\n", textual.Pct(c.ClassAgreement))
+	fmt.Printf("top-value agreement: %s\n", textual.Pct(c.TopValueAgreement))
+	fmt.Printf("mean |ΔInv-Top(1)|: %.4f\n\n", c.MeanAbsInvDiff)
+
+	// Largest per-site drifts.
+	type drift struct {
+		name   string
+		ia, ib float64
+	}
+	bByPC := map[int]*core.SiteRecord{}
+	for i := range b.Sites {
+		bByPC[b.Sites[i].PC] = &b.Sites[i]
+	}
+	var drifts []drift
+	for i := range a.Sites {
+		sa := &a.Sites[i]
+		if sb, ok := bByPC[sa.PC]; ok {
+			drifts = append(drifts, drift{sa.Name, sa.InvTop(1), sb.InvTop(1)})
+		}
+	}
+	for i := 0; i < len(drifts); i++ {
+		for j := i + 1; j < len(drifts); j++ {
+			if absf(drifts[j].ia-drifts[j].ib) > absf(drifts[i].ia-drifts[i].ib) {
+				drifts[i], drifts[j] = drifts[j], drifts[i]
+			}
+		}
+	}
+	tab := textual.New(fmt.Sprintf("largest %d invariance drifts", *topN),
+		"site", a.Input, b.Input, "|Δ|")
+	for i, d := range drifts {
+		if i >= *topN {
+			break
+		}
+		tab.Row(d.name, d.ia, d.ib, absf(d.ia-d.ib))
+	}
+	fmt.Print(tab.String())
+}
+
+func load(path string) *core.ProfileRecord {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	rec, err := core.ReadProfileRecord(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vdiff: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	return rec
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,72 @@
+// vexp regenerates the paper's tables and figures (experiments e1–e13).
+//
+// Usage:
+//
+//	vexp            # run everything
+//	vexp e2 e6      # run selected experiments
+//	vexp -list      # list experiments
+//	vexp -quick e4  # reduced sweeps
+//	vexp -w compress,dictv e2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"valueprof/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	quick := flag.Bool("quick", false, "reduced parameter sweeps")
+	wls := flag.String("w", "", "comma-separated workload subset")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n     %s\n", e.ID, e.Title, e.Paper)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Quick: *quick}
+	if *wls != "" {
+		cfg.Workloads = strings.Split(*wls, ",")
+	}
+
+	var toRun []*experiments.Experiment
+	if flag.NArg() == 0 {
+		toRun = experiments.All()
+	} else {
+		for _, id := range flag.Args() {
+			e, err := experiments.ByID(id)
+			if err != nil {
+				fatal(err)
+			}
+			toRun = append(toRun, e)
+		}
+	}
+
+	failed := 0
+	for _, e := range toRun {
+		start := time.Now()
+		res, err := e.Run(cfg)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		fmt.Printf("%s\n(%s in %v)\n\n", res.Summary(), e.ID, time.Since(start).Round(time.Millisecond))
+		failed += len(res.Failed())
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "vexp: %d shape checks FAILED\n", failed)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

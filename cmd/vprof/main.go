@@ -1,0 +1,276 @@
+// vprof profiles a benchmark workload and prints the paper-style
+// report for the chosen profiled entity.
+//
+// Usage:
+//
+//	vprof [-w compress] [-input test|train] [-mode MODE] [-top 20]
+//	      [-convergent] [-full] [-o profile.json] [-list]
+//
+// Modes:
+//
+//	inst    value-profile all result-producing instructions (default)
+//	loads   value-profile loads only
+//	mem     memory-location profile (stores)
+//	param   procedure-parameter profile
+//	reg     per-register value streams
+//	dep     store→load communication profile
+//	triv    trivial-computation profile (mul/div operands)
+//	proc    procedure cycle attribution
+//
+// -o writes the instruction profile as JSON (inst/loads modes) for
+// later comparison with vdiff.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"valueprof/internal/atom"
+	"valueprof/internal/core"
+	"valueprof/internal/depprof"
+	"valueprof/internal/memprof"
+	"valueprof/internal/paramprof"
+	"valueprof/internal/procprof"
+	"valueprof/internal/program"
+	"valueprof/internal/regprof"
+	"valueprof/internal/textual"
+	"valueprof/internal/trivprof"
+	"valueprof/internal/vm"
+	"valueprof/internal/workloads"
+)
+
+func main() {
+	wl := flag.String("w", "compress", "workload name")
+	inputName := flag.String("input", "test", "input set: test or train")
+	mode := flag.String("mode", "inst", "inst|loads|mem|param|reg|dep|triv|proc")
+	convergent := flag.Bool("convergent", false, "use convergent (sampling) profiling (inst/loads)")
+	full := flag.Bool("full", false, "track exact full profiles too (inst/loads)")
+	top := flag.Int("top", 20, "show the N hottest entries")
+	outFile := flag.String("o", "", "write the profile as JSON (inst/loads)")
+	list := flag.Bool("list", false, "list workloads and exit")
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			fmt.Printf("%-10s %s\n", w.Name, w.Description)
+		}
+		return
+	}
+
+	w, err := workloads.ByName(*wl)
+	if err != nil {
+		fatal(err)
+	}
+	var in workloads.Input
+	switch *inputName {
+	case "test":
+		in = w.Test
+	case "train":
+		in = w.Train
+	default:
+		fatal(fmt.Errorf("vprof: unknown input %q (test or train)", *inputName))
+	}
+	prog, err := w.Compile()
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *mode {
+	case "inst", "loads":
+		instMode(w, in, prog, *mode == "loads", *convergent, *full, *top, *outFile)
+	case "mem":
+		memMode(w, in, prog, *top)
+	case "param":
+		paramMode(w, in, prog, *top)
+	case "reg":
+		regMode(w, in, prog)
+	case "dep":
+		depMode(w, in, prog, *top)
+	case "triv":
+		trivMode(w, in, prog, *top)
+	case "proc":
+		procMode(w, in, prog, *top)
+	default:
+		fatal(fmt.Errorf("vprof: unknown mode %q", *mode))
+	}
+}
+
+func runTool(in workloads.Input, prog *program.Program, tools ...atom.Tool) *vm.Result {
+	res, err := atom.Run(prog, in.Args, false, tools...)
+	if err != nil {
+		fatal(err)
+	}
+	return res
+}
+
+func instMode(w *workloads.Workload, in workloads.Input, prog *program.Program, loadsOnly, convergent, full bool, top int, outFile string) {
+	opts := core.Options{TNV: core.DefaultTNVConfig(), TrackFull: full}
+	if loadsOnly {
+		opts.Filter = core.LoadsOnly
+	}
+	if convergent {
+		cfg := core.DefaultConvergentConfig()
+		opts.Convergent = &cfg
+	}
+	vp, err := core.NewValueProfiler(opts)
+	if err != nil {
+		fatal(err)
+	}
+	res := runTool(in, prog, vp)
+	pr := vp.Profile()
+	m := pr.Aggregate()
+
+	fmt.Printf("%s/%s: %d instructions executed, %d sites profiled\n",
+		w.Name, in.Name, res.InstCount, m.Sites)
+	fmt.Printf("weighted: LVP %.3f  Inv-Top(1) %.3f  Inv-Top(%d) %.3f  %%zero %.3f  duty %.3f\n\n",
+		m.LVP, m.InvTop1, pr.K, m.InvTopN, m.PctZero, pr.DutyCycle())
+
+	tab := textual.New(fmt.Sprintf("top %d sites by executions", top),
+		"site", "inst", "execs", "LVP", "InvTop1", "class", "top values")
+	th := core.DefaultThresholds()
+	for _, s := range pr.TopSites(top) {
+		topvals := ""
+		for i, e := range s.TNV.Top(3) {
+			if i > 0 {
+				topvals += " "
+			}
+			topvals += fmt.Sprintf("%d:%d", e.Value, e.Count)
+		}
+		tab.Row(s.Name, prog.Code[s.PC].String(), s.Exec,
+			s.LVP(), s.InvTop(1), s.Classify(th).String(), topvals)
+	}
+	fmt.Print(tab.String())
+
+	if outFile != "" {
+		f, err := os.Create(outFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pr.Record(w.Name, in.Name).WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "vprof: wrote %s\n", outFile)
+	}
+}
+
+func memMode(w *workloads.Workload, in workloads.Input, prog *program.Program, top int) {
+	mp := memprof.New(memprof.Options{TNV: core.DefaultTNVConfig()})
+	runTool(in, prog, mp)
+	rep := mp.Report()
+	m := rep.Aggregate(nil)
+	byLoc, byAccess := rep.InvariantFraction(0.9)
+	fmt.Printf("%s/%s: %d locations written, %d stores; InvTop1 %.3f\n",
+		w.Name, in.Name, len(rep.Locations), m.Execs, m.InvTop1)
+	fmt.Printf("≥90%%-single-valued: %s of locations, %s of accesses\n\n",
+		textual.Pct(byLoc), textual.Pct(byAccess))
+	tab := textual.New(fmt.Sprintf("top %d locations", top),
+		"addr", "region", "writes", "reads", "InvTop1", "top value")
+	for _, l := range rep.TopLocations(top) {
+		v, c, _ := l.Stats.TNV.TopValue()
+		tab.Row(fmt.Sprintf("%#x", l.Addr), l.Region.String(), l.Writes, l.Reads,
+			l.Stats.InvTop(1), fmt.Sprintf("%d:%d", v, c))
+	}
+	fmt.Print(tab.String())
+}
+
+func paramMode(w *workloads.Workload, in workloads.Input, prog *program.Program, top int) {
+	pp := paramprof.New(paramprof.Options{TNV: core.DefaultTNVConfig()})
+	runTool(in, prog, pp)
+	tab := textual.New(fmt.Sprintf("%s/%s procedure parameters", w.Name, in.Name),
+		"proc", "calls", "arg0-inv", "arg1-inv", "arg2-inv", "tuple-inv")
+	for i, p := range pp.Report().Procs {
+		if i >= top {
+			break
+		}
+		cells := []any{p.Name, p.Calls}
+		for j := 0; j < 3; j++ {
+			if j < len(p.Args) {
+				cells = append(cells, fmt.Sprintf("%.3f", p.Args[j].InvTop(1)))
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		cells = append(cells, fmt.Sprintf("%.3f", p.AllArgsInvariance()))
+		tab.Row(cells...)
+	}
+	fmt.Print(tab.String())
+}
+
+func regMode(w *workloads.Workload, in workloads.Input, prog *program.Program) {
+	rp := regprof.New(core.DefaultTNVConfig(), false)
+	runTool(in, prog, rp)
+	tab := textual.New(fmt.Sprintf("%s/%s register write streams", w.Name, in.Name),
+		"reg", "writes", "LVP", "InvTop1", "InvTop10", "top value")
+	for _, s := range rp.Written() {
+		v, c, _ := s.TNV.TopValue()
+		tab.Row(s.Name, s.Exec, s.LVP(), s.InvTop(1), s.InvTop(10), fmt.Sprintf("%d:%d", v, c))
+	}
+	fmt.Print(tab.String())
+}
+
+func depMode(w *workloads.Workload, in workloads.Input, prog *program.Program, top int) {
+	dp := depprof.New(depprof.DefaultOptions())
+	runTool(in, prog, dp)
+	rep := dp.Report()
+	fromStore, forwardable, dom := rep.Totals()
+	fmt.Printf("%s/%s: store-fed %s, forwardable %s (window %d), dominant-edge %.3f\n\n",
+		w.Name, in.Name, textual.Pct(fromStore), textual.Pct(forwardable), rep.Window, dom)
+	tab := textual.New(fmt.Sprintf("top %d loads", top),
+		"load", "execs", "store-fed", "forwardable", "edge-inv", "mean-dist")
+	for i, l := range rep.Loads {
+		if i >= top {
+			break
+		}
+		tab.Row(l.Name, l.Execs,
+			textual.Pct(float64(l.FromStore)/float64(l.Execs)),
+			textual.Pct(float64(l.Forwardable)/float64(l.Execs)),
+			fmt.Sprintf("%.3f", l.EdgeInvariance()),
+			fmt.Sprintf("%.1f", l.MeanDistance()))
+	}
+	fmt.Print(tab.String())
+}
+
+func trivMode(w *workloads.Workload, in workloads.Input, prog *program.Program, top int) {
+	tp := trivprof.New()
+	res := runTool(in, prog, tp)
+	rep := tp.Report()
+	frac, saved, kinds := rep.Totals()
+	fmt.Printf("%s/%s: trivial fraction %s; %d cycles savable (%s of run)\n",
+		w.Name, in.Name, textual.Pct(frac), saved, textual.Pct(float64(saved)/float64(res.Cycles)))
+	fmt.Printf("kinds: zero=%d one=%d minus-one=%d pow2=%d self=%d\n\n",
+		kinds[trivprof.ZeroOperand], kinds[trivprof.OneOperand], kinds[trivprof.MinusOne],
+		kinds[trivprof.PowerOfTwo], kinds[trivprof.SelfOperand])
+	tab := textual.New(fmt.Sprintf("top %d arithmetic sites", top),
+		"site", "op", "execs", "trivial", "saved-cycles")
+	for i, s := range rep.Sites {
+		if i >= top {
+			break
+		}
+		tab.Row(s.Name, s.Op.Name(), s.Execs, textual.Pct(s.TrivialFraction()), s.SavedCycles())
+	}
+	fmt.Print(tab.String())
+}
+
+func procMode(w *workloads.Workload, in workloads.Input, prog *program.Program, top int) {
+	pp := procprof.New()
+	runTool(in, prog, pp)
+	fmt.Printf("%s/%s: %d cycles total; top-3 procedures hold %s\n\n",
+		w.Name, in.Name, pp.TotalCycles(), textual.Pct(pp.TopShare(3)))
+	tab := textual.New(fmt.Sprintf("top %d procedures by exclusive cycles", top),
+		"proc", "calls", "exclusive", "inclusive", "excl-share")
+	for i, pt := range pp.Sorted() {
+		if i >= top {
+			break
+		}
+		tab.Row(pt.Name, pt.Calls, pt.Exclusive, pt.Inclusive,
+			textual.Pct(float64(pt.Exclusive)/float64(pp.TotalCycles())))
+	}
+	fmt.Print(tab.String())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

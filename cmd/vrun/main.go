@@ -1,0 +1,76 @@
+// vrun executes a VRISC program: either assembly source or a VPX1
+// binary image produced by vasm -o (detected by its magic bytes).
+//
+// Usage:
+//
+//	vrun [-i "1 2 3"] [-stats] prog.s|prog.vx
+//
+// -i supplies the integers consumed by the getint syscall.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"valueprof/internal/asm"
+	"valueprof/internal/program"
+	"valueprof/internal/vm"
+)
+
+func main() {
+	inputStr := flag.String("i", "", "space-separated integers for getint")
+	stats := flag.Bool("stats", false, "print instruction and cycle counts")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, `usage: vrun [-i "1 2 3"] [-stats] prog.s`)
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	var prog *program.Program
+	if bytes.HasPrefix(src, []byte("VPX1")) {
+		prog, err = program.Load(bytes.NewReader(src))
+	} else {
+		prog, err = asm.Assemble(string(src))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	input, err := parseInput(*inputStr)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := vm.Execute(prog, input)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(res.Output)
+	if *stats {
+		fmt.Fprintf(os.Stderr, "vrun: %d instructions, %d cycles, exit %d\n",
+			res.InstCount, res.Cycles, res.ExitStatus)
+	}
+	os.Exit(int(res.ExitStatus & 0xff))
+}
+
+func parseInput(s string) ([]int64, error) {
+	var out []int64
+	for _, f := range strings.Fields(s) {
+		v, err := strconv.ParseInt(f, 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("vrun: bad input %q: %w", f, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

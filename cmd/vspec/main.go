@@ -1,0 +1,121 @@
+// vspec runs the Chapter X specialization pipeline on a workload from
+// the command line: parameter-profile, pick (or accept) a candidate,
+// specialize, verify the output, and report the speedup.
+//
+// Usage:
+//
+//	vspec -w imagef                     # auto-discover the candidate
+//	vspec -w imagef -proc pix -arg 0    # explicit procedure/argument
+//	vspec -w imagef -proc pix -arg 0 -value 4096
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"valueprof/internal/atom"
+	"valueprof/internal/core"
+	"valueprof/internal/isa"
+	"valueprof/internal/paramprof"
+	"valueprof/internal/specialize"
+	"valueprof/internal/vm"
+	"valueprof/internal/workloads"
+)
+
+func main() {
+	wl := flag.String("w", "", "workload name")
+	procName := flag.String("proc", "", "procedure to specialize (default: auto-discover)")
+	argIdx := flag.Int("arg", -1, "argument index to specialize on (with -proc)")
+	value := flag.Int64("value", 1<<62, "guard value (default: profiled top value)")
+	minCalls := flag.Uint64("mincalls", 500, "auto-discovery: minimum call count")
+	minInv := flag.Float64("mininv", 0.6, "auto-discovery: minimum argument invariance")
+	flag.Parse()
+	if *wl == "" {
+		fmt.Fprintln(os.Stderr, "usage: vspec -w workload [-proc name -arg i [-value v]]")
+		os.Exit(2)
+	}
+	w, err := workloads.ByName(*wl)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := w.Compile()
+	if err != nil {
+		fatal(err)
+	}
+	base, err := vm.Execute(prog, w.Test.Args)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Parameter profile (always run: it supplies the value and reports
+	// the invariance evidence).
+	pp := paramprof.New(paramprof.Options{TNV: core.DefaultTNVConfig()})
+	if _, err := atom.Run(prog, w.Test.Args, false, pp); err != nil {
+		fatal(err)
+	}
+	rep := pp.Report()
+
+	proc, arg, val := *procName, *argIdx, *value
+	if proc == "" {
+		// Auto-discover: hottest procedure argument above the floor.
+		for _, p := range rep.Procs {
+			if p.Calls < *minCalls || p.Name == "main" || p.Name == "_main" {
+				continue
+			}
+			for i, a := range p.Args {
+				v, _, ok := a.TNV.TopValue()
+				if ok && a.InvTop(1) >= *minInv && v >= -(1<<31) && v <= (1<<31)-1 {
+					proc, arg, val = p.Name, i, v
+					break
+				}
+			}
+			if proc != "" {
+				break
+			}
+		}
+		if proc == "" {
+			fatal(fmt.Errorf("vspec: no candidate in %s (calls ≥ %d, invariance ≥ %.2f); try -proc/-arg",
+				w.Name, *minCalls, *minInv))
+		}
+	}
+	pr := rep.Proc(proc)
+	if pr == nil {
+		fatal(fmt.Errorf("vspec: procedure %q not profiled", proc))
+	}
+	if arg < 0 || arg >= len(pr.Args) {
+		fatal(fmt.Errorf("vspec: argument %d out of range for %s (%d profiled)", arg, proc, len(pr.Args)))
+	}
+	if val == 1<<62 {
+		v, _, ok := pr.Args[arg].TNV.TopValue()
+		if !ok {
+			fatal(fmt.Errorf("vspec: no profiled value for %s arg %d", proc, arg))
+		}
+		val = v
+	}
+	inv := pr.Args[arg].InvTop(1)
+	fmt.Printf("candidate: %s arg%d == %d (invariance %.3f over %d calls)\n", proc, arg, val, inv, pr.Calls)
+
+	spec, info, err := specialize.Specialize(prog, proc, uint8(isa.RegA0+arg), val)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("specialized: body %d -> %d insts (%d folded, %d strength-reduced, %d branches, %d removed)\n",
+		info.OrigSize, info.SpecSize, info.Folded, info.Reduced, info.Branches, info.Removed)
+
+	got, err := vm.Execute(spec, w.Test.Args)
+	if err != nil {
+		fatal(err)
+	}
+	if got.Output != base.Output {
+		fatal(fmt.Errorf("vspec: OUTPUT CHANGED — specialization unsound for this program"))
+	}
+	fmt.Printf("verified: output identical (%d bytes)\n", len(got.Output))
+	fmt.Printf("cycles: %d -> %d (speedup %.3fx)\n", base.Cycles, got.Cycles,
+		float64(base.Cycles)/float64(got.Cycles))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

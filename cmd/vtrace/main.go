@@ -1,0 +1,128 @@
+// vtrace records a workload's value trace to a file, or replays a
+// recorded trace through offline profiling — collect once, analyze
+// under any TNV configuration without re-running the program.
+//
+// Usage:
+//
+//	vtrace -w compress -o compress.vpt          # record (loads: -loads)
+//	vtrace -replay compress.vpt                 # offline TNV ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"valueprof/internal/atom"
+	"valueprof/internal/core"
+	"valueprof/internal/textual"
+	"valueprof/internal/trace"
+	"valueprof/internal/workloads"
+)
+
+func main() {
+	wl := flag.String("w", "", "workload to record")
+	inputName := flag.String("input", "test", "input set: test or train")
+	loads := flag.Bool("loads", false, "record load instructions only")
+	out := flag.String("o", "", "trace output file (record mode)")
+	replay := flag.String("replay", "", "trace file to analyze (replay mode)")
+	flag.Parse()
+
+	switch {
+	case *replay != "":
+		replayTrace(*replay)
+	case *wl != "" && *out != "":
+		record(*wl, *inputName, *loads, *out)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: vtrace -w workload -o out.vpt | vtrace -replay out.vpt")
+		os.Exit(2)
+	}
+}
+
+func record(wl, inputName string, loadsOnly bool, out string) {
+	w, err := workloads.ByName(wl)
+	if err != nil {
+		fatal(err)
+	}
+	var in workloads.Input
+	switch inputName {
+	case "test":
+		in = w.Test
+	case "train":
+		in = w.Train
+	default:
+		fatal(fmt.Errorf("vtrace: unknown input %q", inputName))
+	}
+	prog, err := w.Compile()
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		fatal(err)
+	}
+	tw, err := trace.NewWriter(f)
+	if err != nil {
+		fatal(err)
+	}
+	col := trace.NewCollector(tw, nil)
+	if loadsOnly {
+		col = trace.NewCollector(tw, core.LoadsOnly)
+	}
+	if _, err := atom.Run(prog, in.Args, false, col); err != nil {
+		fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		fatal(err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "vtrace: %d events, %d bytes (%.2f bytes/event) -> %s\n",
+		tw.Count(), st.Size(), float64(st.Size())/float64(tw.Count()), out)
+}
+
+func replayTrace(path string) {
+	configs := []struct {
+		name string
+		cfg  core.TNVConfig
+	}{
+		{"n2", core.TNVConfig{Size: 2, Steady: 1, ClearInterval: 2000}},
+		{"n4", core.TNVConfig{Size: 4, Steady: 2, ClearInterval: 2000}},
+		{"n10 (paper)", core.DefaultTNVConfig()},
+		{"n16", core.TNVConfig{Size: 16, Steady: 8, ClearInterval: 2000}},
+	}
+	tab := textual.New(fmt.Sprintf("offline profile of %s", path),
+		"TNV", "sites", "events", "LVP", "InvTop1", "InvTopN", "%zero")
+	for _, c := range configs {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		rd, err := trace.NewReader(f)
+		if err != nil {
+			fatal(err)
+		}
+		sites, err := trace.ProfileTrace(rd, c.cfg, false)
+		if err != nil {
+			fatal(err)
+		}
+		f.Close()
+		var list []*core.SiteStats
+		for _, s := range sites {
+			list = append(list, s)
+		}
+		m := core.Aggregate(list, c.cfg.Size)
+		tab.Row(c.name, m.Sites, m.Execs, m.LVP, m.InvTop1, m.InvTopN, m.PctZero)
+	}
+	fmt.Print(tab.String())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

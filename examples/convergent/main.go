@@ -1,0 +1,120 @@
+// Convergent: the paper's overhead/accuracy trade-off in action — full
+// profiling vs the convergent sampler on a real workload — followed by
+// trace-based offline analysis: record the value stream once, then
+// evaluate several TNV configurations against the identical stream.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"valueprof/internal/atom"
+	"valueprof/internal/core"
+	"valueprof/internal/textual"
+	"valueprof/internal/trace"
+	"valueprof/internal/workloads"
+)
+
+func main() {
+	w, err := workloads.ByName("lifegrid")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := w.Compile()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Full-time profiling: the ground truth, at full cost.
+	full, err := core.NewValueProfiler(core.Options{TNV: core.DefaultTNVConfig(), TrackFull: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := atom.Run(prog, w.Test.Args, false, full); err != nil {
+		log.Fatal(err)
+	}
+	fp := full.Profile()
+
+	// Convergent profiling at three criteria.
+	tab := textual.New("lifegrid/test: convergent sampling vs full-time profiling",
+		"config", "profiled", "skipped", "duty", "InvTop1", "max-site-err")
+	fm := fp.Aggregate()
+	tab.Row("full-time", fp.Profiled(), 0, 1.0, fm.InvTop1, 0.0)
+	for _, eps := range []float64{0.01, 0.02, 0.05} {
+		cfg := core.DefaultConvergentConfig()
+		cfg.Epsilon = eps
+		vp, err := core.NewValueProfiler(core.Options{TNV: core.DefaultTNVConfig(), Convergent: &cfg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := atom.Run(prog, w.Test.Args, false, vp); err != nil {
+			log.Fatal(err)
+		}
+		pr := vp.Profile()
+		maxErr := 0.0
+		for _, s := range pr.Sites {
+			truth := fp.Site(s.PC)
+			if truth == nil || truth.Exec < 1000 || s.Exec == 0 {
+				continue
+			}
+			if e := abs(truth.InvAll(1) - s.InvTop(1)); e > maxErr {
+				maxErr = e
+			}
+		}
+		m := pr.Aggregate()
+		tab.Row(fmt.Sprintf("convergent eps=%.0f%%", 100*eps),
+			pr.Profiled(), pr.Skipped, pr.DutyCycle(), m.InvTop1, maxErr)
+	}
+	fmt.Print(tab.String())
+
+	// Trace once, analyze many times.
+	var buf bytes.Buffer
+	tw, err := trace.NewWriter(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := atom.Run(prog, w.Test.Args, false, trace.NewCollector(tw, core.LoadsOnly)); err != nil {
+		log.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrecorded %d load events in %d bytes (%.2f bytes/event)\n",
+		tw.Count(), buf.Len(), float64(buf.Len())/float64(tw.Count()))
+
+	data := buf.Bytes()
+	ttab := textual.New("offline TNV ablation over one recorded trace",
+		"TNV config", "sites", "weighted InvTop1")
+	for _, cfg := range []struct {
+		name string
+		tnv  core.TNVConfig
+	}{
+		{"2 entries", core.TNVConfig{Size: 2, Steady: 1, ClearInterval: 2000}},
+		{"10 entries (paper)", core.DefaultTNVConfig()},
+		{"16 entries", core.TNVConfig{Size: 16, Steady: 8, ClearInterval: 2000}},
+	} {
+		rd, err := trace.NewReader(bytes.NewReader(data))
+		if err != nil {
+			log.Fatal(err)
+		}
+		sites, err := trace.ProfileTrace(rd, cfg.tnv, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var list []*core.SiteStats
+		for _, s := range sites {
+			list = append(list, s)
+		}
+		m := core.Aggregate(list, cfg.tnv.Size)
+		ttab.Row(cfg.name, m.Sites, m.InvTop1)
+	}
+	fmt.Print(ttab.String())
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

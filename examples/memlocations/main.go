@@ -1,0 +1,70 @@
+// Memlocations: profile the values written to each memory location of
+// a workload (the thesis's second profiled entity) and the argument
+// tuples of its hot procedures, then print the specialization and
+// memoization candidates both profiles expose.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"valueprof/internal/atom"
+	"valueprof/internal/core"
+	"valueprof/internal/memprof"
+	"valueprof/internal/paramprof"
+	"valueprof/internal/textual"
+	"valueprof/internal/workloads"
+)
+
+func main() {
+	w, err := workloads.ByName("dictv")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := w.Compile()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Memory-location profile (stores).
+	mp := memprof.New(memprof.Options{TNV: core.DefaultTNVConfig()})
+	// Parameter profile of the hash-table operations, in the same run.
+	pp := paramprof.New(paramprof.Options{
+		TNV:   core.DefaultTNVConfig(),
+		Arity: map[string]int{"hash": 1, "find": 1, "insert": 2, "remove": 1},
+	})
+	if _, err := atom.Run(prog, w.Test.Args, false, mp, pp); err != nil {
+		log.Fatal(err)
+	}
+
+	rep := mp.Report()
+	all := rep.Aggregate(nil)
+	fmt.Printf("dictv/test wrote %d distinct locations (%d stores)\n", len(rep.Locations), all.Execs)
+	byLoc, byAccess := rep.InvariantFraction(0.9)
+	fmt.Printf("≥90%%-single-valued: %.1f%% of locations, %.1f%% of accesses\n\n", 100*byLoc, 100*byAccess)
+
+	tab := textual.New("hottest written locations", "addr", "region", "writes", "InvTop1", "top value")
+	for _, l := range rep.TopLocations(8) {
+		v, c, _ := l.Stats.TNV.TopValue()
+		tab.Row(fmt.Sprintf("%#x", l.Addr), l.Region.String(), l.Writes,
+			l.Stats.InvTop(1), fmt.Sprintf("%d (%d times)", v, c))
+	}
+	fmt.Print(tab.String())
+
+	fmt.Println()
+	ptab := textual.New("procedure parameters", "proc", "calls", "arg0-inv", "tuple-inv")
+	for _, p := range pp.Report().Procs {
+		if len(p.Args) == 0 {
+			continue
+		}
+		ptab.Row(p.Name, p.Calls, p.Args[0].InvTop(1), p.AllArgsInvariance())
+	}
+	fmt.Print(ptab.String())
+
+	cands := pp.Report().Candidates(100, 0.3)
+	fmt.Printf("\nmemoization/specialization candidates (tuple-inv ≥ 0.3, ≥100 calls): %d\n", len(cands))
+	for _, c := range cands {
+		fmt.Printf("  %s (%.1f%% recurring tuples over %d calls)\n",
+			c.Name, 100*c.AllArgsInvariance(), c.Calls)
+	}
+}

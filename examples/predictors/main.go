@@ -1,0 +1,70 @@
+// Predictors: drive the value-predictor zoo (last-value, stride,
+// two-level, hybrids) over a real workload's dynamic value stream, then
+// show how profile-guided filtering (predict only instructions the
+// value profile marks predictable) trades coverage for accuracy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"valueprof/internal/atom"
+	"valueprof/internal/core"
+	"valueprof/internal/textual"
+	"valueprof/internal/vpred"
+	"valueprof/internal/workloads"
+)
+
+func main() {
+	w, err := workloads.ByName("bytecode")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := w.Compile()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Head-to-head predictor comparison.
+	ev := vpred.NewEvaluator(vpred.StandardSuite(12)...)
+	if _, err := atom.Run(prog, w.Test.Args, false, ev); err != nil {
+		log.Fatal(err)
+	}
+	tab := textual.New("predictors on bytecode/test (all result-producing instructions)",
+		"predictor", "attempts", "hit-rate", "accuracy", "miss-rate")
+	for _, s := range vpred.SortedByHitRate(ev.Results()) {
+		tab.Row(s.Name, s.Attempts, s.HitRate(), s.Accuracy(), s.MissRate())
+	}
+	fmt.Print(tab.String())
+
+	// Profile pass: classify instructions by invariance/LVP.
+	vp, err := core.NewValueProfiler(core.Options{TNV: core.DefaultTNVConfig()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := atom.Run(prog, w.Test.Args, false, vp); err != nil {
+		log.Fatal(err)
+	}
+
+	// Filtered vs unfiltered last-value prediction.
+	unfiltered := vpred.NewEvaluator(vpred.NewLVP(12))
+	if _, err := atom.Run(prog, w.Test.Args, false, unfiltered); err != nil {
+		log.Fatal(err)
+	}
+	filtered := vpred.NewEvaluator(vpred.NewLVP(12))
+	filtered.PredictPC = vpred.FilterFromProfile(vp.Profile(), 0.7)
+	if _, err := atom.Run(prog, w.Test.Args, false, filtered); err != nil {
+		log.Fatal(err)
+	}
+	u, f := unfiltered.Results()[0], filtered.Results()[0]
+	fmt.Println()
+	ft := textual.New("profile-guided filtering of LVP (threshold 0.7)",
+		"variant", "attempts", "accuracy", "misses")
+	ft.Row("unfiltered", u.Attempts, u.Accuracy(), u.Misses)
+	ft.Row("profile-filtered", f.Attempts, f.Accuracy(), f.Misses)
+	fmt.Print(ft.String())
+	fmt.Printf("\nfiltering kept %.1f%% of attempts, cut misses by %.1f%%, accuracy %+.3f\n",
+		100*float64(f.Attempts)/float64(u.Attempts),
+		100*(1-float64(f.Misses)/float64(u.Misses)),
+		f.Accuracy()-u.Accuracy())
+}

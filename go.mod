@@ -1,0 +1,3 @@
+module valueprof
+
+go 1.22

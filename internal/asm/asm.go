@@ -1,0 +1,675 @@
+// Package asm implements a two-pass assembler for VRISC assembly text,
+// producing a program.Program. It is the tool layer the MiniC compiler
+// emits into, standing in for the native assembler of the paper's Alpha
+// toolchain.
+//
+// Syntax overview:
+//
+//	; comment   # comment
+//	        .text
+//	        .proc main
+//	main:   addi sp, sp, -16
+//	        li   t0, 42
+//	        la   t1, buf
+//	        stq  t0, 0(t1)
+//	        beq  t0, done
+//	loop:   br   loop
+//	done:   syscall exit
+//	        .endproc
+//	        .data
+//	buf:    .space 64
+//	vals:   .word 1, 2, 3
+//	msg:    .asciiz "hi\n"
+//	count:  .byte 7
+//
+// Pseudo-instructions: li (load 32-bit signed immediate), la (load data
+// symbol address), mov, and bare ret (ret ra). Register aliases follow
+// the VRISC calling convention (zero, sp, fp, ra, gp, at, v0, a0-a5,
+// t0-t9, s0-s7).
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"valueprof/internal/isa"
+	"valueprof/internal/program"
+)
+
+// Error is an assembly diagnostic with a 1-based source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+type segment int
+
+const (
+	segText segment = iota
+	segData
+)
+
+type fixup struct {
+	pc    int    // instruction to patch
+	label string // text label whose address goes into Imm
+	line  int
+}
+
+type assembler struct {
+	code       []isa.Inst
+	data       []byte
+	labels     map[string]int    // text labels -> pc
+	dataSyms   map[string]uint64 // data labels -> absolute address
+	procs      []program.Proc
+	openProc   int // index into procs of unclosed .proc, or -1
+	fixups     []fixup
+	seg        segment
+	line       int
+	preScanned bool // data symbols were collected by preScanData
+}
+
+// preScanData walks the source once, computing the address of every
+// data symbol without evaluating operand values, so that text
+// instructions and .word initializers may refer to data symbols defined
+// later in the file.
+func preScanData(src string) (map[string]uint64, error) {
+	syms := make(map[string]uint64)
+	seg := segText
+	size := uint64(0)
+	for i, raw := range strings.Split(src, "\n") {
+		line := i + 1
+		s := strings.TrimSpace(stripComment(raw))
+		for {
+			j := strings.IndexByte(s, ':')
+			if j < 0 {
+				break
+			}
+			name := strings.TrimSpace(s[:j])
+			if !isIdent(name) {
+				break
+			}
+			if seg == segData {
+				if _, dup := syms[name]; dup {
+					return nil, &Error{Line: line, Msg: fmt.Sprintf("duplicate data symbol %q", name)}
+				}
+				syms[name] = program.DataBase + size
+			}
+			s = strings.TrimSpace(s[j+1:])
+		}
+		if s == "" || !strings.HasPrefix(s, ".") {
+			continue
+		}
+		name, rest, _ := strings.Cut(s, " ")
+		rest = strings.TrimSpace(rest)
+		switch name {
+		case ".text":
+			seg = segText
+		case ".data":
+			seg = segData
+		case ".word":
+			size += 8 * uint64(len(splitOperands(rest)))
+		case ".byte":
+			size += uint64(len(splitOperands(rest)))
+		case ".space":
+			n, err := strconv.ParseInt(rest, 0, 64)
+			if err != nil || n < 0 || n > 1<<28 {
+				return nil, &Error{Line: line, Msg: fmt.Sprintf(".space needs a literal non-negative size, got %q", rest)}
+			}
+			size += uint64(n)
+		case ".asciiz":
+			str, err := strconv.Unquote(rest)
+			if err != nil {
+				return nil, &Error{Line: line, Msg: fmt.Sprintf(".asciiz needs a quoted string: %v", err)}
+			}
+			size += uint64(len(str)) + 1
+		}
+	}
+	return syms, nil
+}
+
+func (a *assembler) errf(format string, args ...any) error {
+	return &Error{Line: a.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Assemble translates VRISC assembly source into a validated program.
+// The entry point is the label "main" if present, otherwise pc 0.
+//
+// Assembly proceeds in two passes plus a data pre-scan, so both text
+// labels and data symbols may be referenced before they are defined.
+func Assemble(src string) (*program.Program, error) {
+	dataSyms, err := preScanData(src)
+	if err != nil {
+		return nil, err
+	}
+	a := &assembler{
+		labels:     make(map[string]int),
+		dataSyms:   dataSyms,
+		openProc:   -1,
+		preScanned: true,
+	}
+	for i, raw := range strings.Split(src, "\n") {
+		a.line = i + 1
+		if err := a.doLine(raw); err != nil {
+			return nil, err
+		}
+	}
+	if a.openProc >= 0 {
+		return nil, fmt.Errorf("asm: procedure %q has no .endproc", a.procs[a.openProc].Name)
+	}
+	for _, f := range a.fixups {
+		pc, ok := a.labels[f.label]
+		if !ok {
+			return nil, &Error{Line: f.line, Msg: fmt.Sprintf("undefined label %q", f.label)}
+		}
+		a.code[f.pc].Imm = int32(pc)
+	}
+	p := &program.Program{
+		Code:     a.code,
+		Data:     a.data,
+		DataAddr: program.DataBase,
+		Procs:    a.procs,
+		Labels:   a.labels,
+		DataSyms: a.dataSyms,
+	}
+	if main, ok := a.labels["main"]; ok {
+		p.Entry = main
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func stripComment(s string) string {
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inStr = !inStr
+		case '\\':
+			if inStr {
+				i++
+			}
+		case ';', '#':
+			if !inStr {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+func (a *assembler) doLine(raw string) error {
+	s := strings.TrimSpace(stripComment(raw))
+	if s == "" {
+		return nil
+	}
+	// Labels (possibly several) at line start.
+	for {
+		i := strings.IndexByte(s, ':')
+		if i < 0 {
+			break
+		}
+		name := strings.TrimSpace(s[:i])
+		if !isIdent(name) {
+			break
+		}
+		if err := a.defineLabel(name); err != nil {
+			return err
+		}
+		s = strings.TrimSpace(s[i+1:])
+	}
+	if s == "" {
+		return nil
+	}
+	if strings.HasPrefix(s, ".") {
+		return a.directive(s)
+	}
+	if a.seg != segText {
+		return a.errf("instruction %q outside .text", s)
+	}
+	return a.instruction(s)
+}
+
+func (a *assembler) defineLabel(name string) error {
+	if a.seg == segText {
+		if _, dup := a.labels[name]; dup {
+			return a.errf("duplicate label %q", name)
+		}
+		a.labels[name] = len(a.code)
+		return nil
+	}
+	want := program.DataBase + uint64(len(a.data))
+	if a.preScanned {
+		if got, ok := a.dataSyms[name]; !ok || got != want {
+			return a.errf("internal: data symbol %q address mismatch (pre-scan %d, pass 2 %d)", name, got, want)
+		}
+		return nil
+	}
+	if _, dup := a.dataSyms[name]; dup {
+		return a.errf("duplicate data symbol %q", name)
+	}
+	a.dataSyms[name] = want
+	return nil
+}
+
+func (a *assembler) directive(s string) error {
+	name, rest, _ := strings.Cut(s, " ")
+	rest = strings.TrimSpace(rest)
+	switch name {
+	case ".text":
+		a.seg = segText
+	case ".data":
+		a.seg = segData
+	case ".proc":
+		if a.seg != segText {
+			return a.errf(".proc outside .text")
+		}
+		if a.openProc >= 0 {
+			return a.errf(".proc %q inside unterminated procedure %q", rest, a.procs[a.openProc].Name)
+		}
+		if !isIdent(rest) {
+			return a.errf(".proc needs a name")
+		}
+		a.procs = append(a.procs, program.Proc{Name: rest, Start: len(a.code)})
+		a.openProc = len(a.procs) - 1
+	case ".endproc":
+		if a.openProc < 0 {
+			return a.errf(".endproc without .proc")
+		}
+		a.procs[a.openProc].End = len(a.code)
+		a.openProc = -1
+	case ".word":
+		if a.seg != segData {
+			return a.errf(".word outside .data")
+		}
+		for _, f := range splitOperands(rest) {
+			v, err := a.intOperand(f)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < 8; i++ {
+				a.data = append(a.data, byte(uint64(v)>>(8*i)))
+			}
+		}
+	case ".byte":
+		if a.seg != segData {
+			return a.errf(".byte outside .data")
+		}
+		for _, f := range splitOperands(rest) {
+			v, err := a.intOperand(f)
+			if err != nil {
+				return err
+			}
+			a.data = append(a.data, byte(v))
+		}
+	case ".space":
+		if a.seg != segData {
+			return a.errf(".space outside .data")
+		}
+		n, err := a.intOperand(rest)
+		if err != nil {
+			return err
+		}
+		if n < 0 || n > 1<<28 {
+			return a.errf(".space size %d out of range", n)
+		}
+		a.data = append(a.data, make([]byte, n)...)
+	case ".asciiz":
+		if a.seg != segData {
+			return a.errf(".asciiz outside .data")
+		}
+		str, err := strconv.Unquote(rest)
+		if err != nil {
+			return a.errf(".asciiz needs a quoted string: %v", err)
+		}
+		a.data = append(a.data, str...)
+		a.data = append(a.data, 0)
+	default:
+		return a.errf("unknown directive %q", name)
+	}
+	return nil
+}
+
+var sysNames = map[string]int32{
+	"exit":    isa.SysExit,
+	"putint":  isa.SysPutInt,
+	"putchar": isa.SysPutChar,
+	"getint":  isa.SysGetInt,
+	"putstr":  isa.SysPutStr,
+	"clock":   isa.SysClock,
+}
+
+func (a *assembler) instruction(s string) error {
+	mnem, rest, _ := strings.Cut(s, " ")
+	ops := splitOperands(strings.TrimSpace(rest))
+
+	// Pseudo-instructions first.
+	switch mnem {
+	case "li":
+		if len(ops) != 2 {
+			return a.errf("li needs rd, imm")
+		}
+		rd, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		// "li rd, label" materializes a code address (for jsrr
+		// dispatch tables); otherwise an integer or data symbol.
+		if _, isData := a.dataSyms[ops[1]]; !isData && isIdent(ops[1]) {
+			if _, err := strconv.ParseInt(ops[1], 0, 64); err != nil {
+				a.fixups = append(a.fixups, fixup{pc: len(a.code), label: ops[1], line: a.line})
+				a.emit(isa.Inst{Op: isa.OpAddi, Rd: rd, Ra: isa.RegZero})
+				return nil
+			}
+		}
+		v, err := a.intOperand(ops[1])
+		if err != nil {
+			return err
+		}
+		if v < -(1<<31) || v > (1<<31)-1 {
+			return a.errf("li immediate %d does not fit in 32 bits", v)
+		}
+		a.emit(isa.Inst{Op: isa.OpAddi, Rd: rd, Ra: isa.RegZero, Imm: int32(v)})
+		return nil
+	case "la":
+		if len(ops) != 2 {
+			return a.errf("la needs rd, symbol")
+		}
+		rd, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		addr, ok := a.dataSyms[ops[1]]
+		if !ok {
+			return a.errf("la: unknown data symbol %q", ops[1])
+		}
+		a.emit(isa.Inst{Op: isa.OpAddi, Rd: rd, Ra: isa.RegZero, Imm: int32(addr)})
+		return nil
+	case "mov":
+		if len(ops) != 2 {
+			return a.errf("mov needs rd, ra")
+		}
+		rd, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		ra, err := a.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.OpOr, Rd: rd, Ra: ra, Rb: isa.RegZero})
+		return nil
+	}
+
+	op, ok := isa.OpByName(mnem)
+	if !ok {
+		return a.errf("unknown mnemonic %q", mnem)
+	}
+	in := isa.Inst{Op: op}
+	switch op.Form() {
+	case isa.FormNone:
+		if op == isa.OpNop && len(ops) == 0 {
+			break
+		}
+		if len(ops) != 0 {
+			return a.errf("%s takes no operands", mnem)
+		}
+	case isa.FormRRR:
+		if len(ops) != 3 {
+			return a.errf("%s needs rd, ra, rb", mnem)
+		}
+		var err error
+		if in.Rd, err = a.reg(ops[0]); err != nil {
+			return err
+		}
+		if in.Ra, err = a.reg(ops[1]); err != nil {
+			return err
+		}
+		if in.Rb, err = a.reg(ops[2]); err != nil {
+			return err
+		}
+	case isa.FormRRI:
+		if len(ops) != 3 {
+			return a.errf("%s needs rd, ra, imm", mnem)
+		}
+		var err error
+		if in.Rd, err = a.reg(ops[0]); err != nil {
+			return err
+		}
+		if in.Ra, err = a.reg(ops[1]); err != nil {
+			return err
+		}
+		v, err := a.intOperand(ops[2])
+		if err != nil {
+			return err
+		}
+		if v < -(1<<31) || v > (1<<31)-1 {
+			return a.errf("immediate %d does not fit in 32 bits", v)
+		}
+		in.Imm = int32(v)
+	case isa.FormMem:
+		if len(ops) != 2 {
+			return a.errf("%s needs rd, offset(ra)", mnem)
+		}
+		var err error
+		if in.Rd, err = a.reg(ops[0]); err != nil {
+			return err
+		}
+		in.Imm, in.Ra, err = a.memOperand(ops[1])
+		if err != nil {
+			return err
+		}
+	case isa.FormB, isa.FormJ:
+		if len(ops) != 1 {
+			return a.errf("%s needs a label", mnem)
+		}
+		if op == isa.OpJsr {
+			in.Rd = isa.RegRA
+		}
+		if err := a.branchTarget(&in, ops[0]); err != nil {
+			return err
+		}
+	case isa.FormRB:
+		if len(ops) != 2 {
+			return a.errf("%s needs ra, label", mnem)
+		}
+		var err error
+		if in.Ra, err = a.reg(ops[0]); err != nil {
+			return err
+		}
+		if err := a.branchTarget(&in, ops[1]); err != nil {
+			return err
+		}
+	case isa.FormR:
+		if op == isa.OpRet && len(ops) == 0 {
+			in.Ra = isa.RegRA
+			break
+		}
+		if len(ops) != 1 {
+			return a.errf("%s needs a register", mnem)
+		}
+		var err error
+		if in.Ra, err = a.reg(ops[0]); err != nil {
+			return err
+		}
+		if op == isa.OpJsrr {
+			in.Rd = isa.RegRA
+		}
+	case isa.FormS:
+		if len(ops) != 1 {
+			return a.errf("syscall needs a code")
+		}
+		if code, ok := sysNames[ops[0]]; ok {
+			in.Imm = code
+		} else {
+			v, err := a.intOperand(ops[0])
+			if err != nil {
+				return err
+			}
+			in.Imm = int32(v)
+		}
+	}
+	a.emit(in)
+	return nil
+}
+
+func (a *assembler) emit(in isa.Inst) { a.code = append(a.code, in) }
+
+// branchTarget resolves a branch/call operand: a numeric absolute
+// instruction index (as the disassembler prints) is used directly; an
+// identifier becomes a label fixup resolved after pass 2.
+func (a *assembler) branchTarget(in *isa.Inst, op string) error {
+	if v, err := strconv.ParseInt(op, 0, 64); err == nil {
+		if v < 0 || v > (1<<31)-1 {
+			return a.errf("branch target %d out of range", v)
+		}
+		in.Imm = int32(v)
+		return nil
+	}
+	if !isIdent(op) {
+		return a.errf("bad branch target %q", op)
+	}
+	a.fixups = append(a.fixups, fixup{pc: len(a.code), label: op, line: a.line})
+	return nil
+}
+
+var regAliases = func() map[string]uint8 {
+	m := map[string]uint8{
+		"zero": isa.RegZero, "sp": isa.RegSP, "fp": isa.RegFP,
+		"ra": isa.RegRA, "gp": isa.RegGP, "at": isa.RegAT, "v0": isa.RegV0,
+	}
+	for i := 0; i < 6; i++ {
+		m[fmt.Sprintf("a%d", i)] = uint8(isa.RegA0 + i)
+	}
+	for i := 0; i < 10; i++ {
+		m[fmt.Sprintf("t%d", i)] = uint8(isa.RegT0 + i)
+	}
+	for i := 0; i < 8; i++ {
+		m[fmt.Sprintf("s%d", i)] = uint8(isa.RegS0 + i)
+	}
+	for i := 0; i < isa.NumRegs; i++ {
+		m[fmt.Sprintf("r%d", i)] = uint8(i)
+	}
+	return m
+}()
+
+func (a *assembler) reg(s string) (uint8, error) {
+	if r, ok := regAliases[s]; ok {
+		return r, nil
+	}
+	return 0, a.errf("unknown register %q", s)
+}
+
+// intOperand parses a decimal/hex integer or a data-symbol reference
+// (optionally symbol+offset).
+func (a *assembler) intOperand(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, a.errf("missing integer operand")
+	}
+	if v, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return v, nil
+	}
+	sym, off := s, int64(0)
+	if i := strings.IndexByte(s, '+'); i > 0 {
+		var err error
+		off, err = strconv.ParseInt(strings.TrimSpace(s[i+1:]), 0, 64)
+		if err != nil {
+			return 0, a.errf("bad operand %q", s)
+		}
+		sym = strings.TrimSpace(s[:i])
+	}
+	if addr, ok := a.dataSyms[sym]; ok {
+		return int64(addr) + off, nil
+	}
+	return 0, a.errf("bad integer or unknown symbol %q", s)
+}
+
+// memOperand parses "offset(reg)", "(reg)", or "symbol" (absolute
+// address with zero base register).
+func (a *assembler) memOperand(s string) (int32, uint8, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 {
+		v, err := a.intOperand(s)
+		if err != nil {
+			return 0, 0, err
+		}
+		if v < -(1<<31) || v > (1<<31)-1 {
+			return 0, 0, a.errf("address %d does not fit in 32 bits", v)
+		}
+		return int32(v), isa.RegZero, nil
+	}
+	if !strings.HasSuffix(s, ")") {
+		return 0, 0, a.errf("bad memory operand %q", s)
+	}
+	var off int64
+	if offStr := strings.TrimSpace(s[:open]); offStr != "" {
+		var err error
+		off, err = a.intOperand(offStr)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	if off < -(1<<31) || off > (1<<31)-1 {
+		return 0, 0, a.errf("offset %d does not fit in 32 bits", off)
+	}
+	r, err := a.reg(strings.TrimSpace(s[open+1 : len(s)-1]))
+	if err != nil {
+		return 0, 0, err
+	}
+	return int32(off), r, nil
+}
+
+// splitOperands splits on commas that are outside quoted strings.
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []string
+	depth := 0
+	inStr := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inStr = !inStr
+		case '\\':
+			if inStr {
+				i++
+			}
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if !inStr && depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '$', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

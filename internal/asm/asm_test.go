@@ -1,0 +1,256 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"valueprof/internal/isa"
+	"valueprof/internal/program"
+)
+
+func mustAssemble(t *testing.T, src string) *program.Program {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+func TestAssembleBasic(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+        .proc main
+main:   addi t0, zero, 5
+loop:   addi t0, t0, -1
+        bne  t0, loop
+        syscall exit
+        .endproc
+`)
+	if len(p.Code) != 4 {
+		t.Fatalf("got %d instructions, want 4", len(p.Code))
+	}
+	if p.Entry != 0 {
+		t.Errorf("entry = %d, want 0", p.Entry)
+	}
+	want := []isa.Inst{
+		{Op: isa.OpAddi, Rd: isa.RegT0, Ra: isa.RegZero, Imm: 5},
+		{Op: isa.OpAddi, Rd: isa.RegT0, Ra: isa.RegT0, Imm: -1},
+		{Op: isa.OpBne, Ra: isa.RegT0, Imm: 1},
+		{Op: isa.OpSyscall, Imm: isa.SysExit},
+	}
+	for i, w := range want {
+		if p.Code[i] != w {
+			t.Errorf("inst %d = %+v, want %+v", i, p.Code[i], w)
+		}
+	}
+	pr := p.ProcByName("main")
+	if pr == nil || pr.Start != 0 || pr.End != 4 {
+		t.Errorf("main proc = %+v, want [0,4)", pr)
+	}
+}
+
+func TestForwardBranchAndCall(t *testing.T) {
+	p := mustAssemble(t, `
+        .proc main
+main:   jsr f
+        syscall exit
+        .endproc
+        .proc f
+f:      ret
+        .endproc
+`)
+	if p.Code[0].Op != isa.OpJsr || p.Code[0].Imm != 2 || p.Code[0].Rd != isa.RegRA {
+		t.Errorf("jsr = %+v", p.Code[0])
+	}
+	if p.Code[2].Op != isa.OpRet || p.Code[2].Ra != isa.RegRA {
+		t.Errorf("ret = %+v", p.Code[2])
+	}
+}
+
+func TestDataDirectivesAndForwardLa(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+main:   la   t0, tab
+        ldq  t1, 8(t0)
+        ldq  t2, tab+16
+        li   t3, 0x10
+        syscall exit
+        .data
+lead:   .byte 1, 2, 3
+tab:    .word 10, 20, 30
+msg:    .asciiz "ab\n"
+buf:    .space 16
+`)
+	tabAddr := uint64(program.DataBase + 3)
+	if got := p.DataSyms["tab"]; got != tabAddr {
+		t.Fatalf("tab addr = %#x, want %#x", got, tabAddr)
+	}
+	if p.Code[0].Imm != int32(tabAddr) {
+		t.Errorf("la imm = %d, want %d", p.Code[0].Imm, tabAddr)
+	}
+	if p.Code[2].Op != isa.OpLdq || p.Code[2].Ra != isa.RegZero || p.Code[2].Imm != int32(tabAddr+16) {
+		t.Errorf("absolute load = %+v", p.Code[2])
+	}
+	if p.Code[3].Imm != 16 {
+		t.Errorf("li hex imm = %d, want 16", p.Code[3].Imm)
+	}
+	// Data contents: 3 bytes, then 3 words, then "ab\n\0", then 16 zeros.
+	if len(p.Data) != 3+24+4+16 {
+		t.Fatalf("data length = %d", len(p.Data))
+	}
+	if p.Data[0] != 1 || p.Data[1] != 2 || p.Data[2] != 3 {
+		t.Errorf("bytes = %v", p.Data[:3])
+	}
+	if p.Data[3] != 10 || p.Data[11] != 20 || p.Data[19] != 30 {
+		t.Errorf("words wrong: %v", p.Data[3:27])
+	}
+	if string(p.Data[27:30]) != "ab\n" || p.Data[30] != 0 {
+		t.Errorf("asciiz wrong: %q", p.Data[27:31])
+	}
+}
+
+func TestWordSymbolReference(t *testing.T) {
+	p := mustAssemble(t, `
+        .data
+ptr:    .word target
+target: .word 99
+        .text
+main:   syscall exit
+`)
+	want := p.DataSyms["target"]
+	got := uint64(0)
+	for i := 0; i < 8; i++ {
+		got |= uint64(p.Data[i]) << (8 * i)
+	}
+	if got != want {
+		t.Errorf("ptr word = %#x, want %#x", got, want)
+	}
+}
+
+func TestMemOperandForms(t *testing.T) {
+	p := mustAssemble(t, `
+main:   ldq t0, (sp)
+        stq t0, -8(fp)
+        syscall exit
+`)
+	if p.Code[0].Imm != 0 || p.Code[0].Ra != isa.RegSP {
+		t.Errorf("(sp) = %+v", p.Code[0])
+	}
+	if p.Code[1].Imm != -8 || p.Code[1].Ra != isa.RegFP {
+		t.Errorf("-8(fp) = %+v", p.Code[1])
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	p := mustAssemble(t, `
+; leading comment
+main:   nop        # trailing comment
+        # whole-line comment
+        syscall exit ; done
+        .data
+s:      .asciiz "semi;colon#hash"  ; comment after string
+`)
+	if len(p.Code) != 2 {
+		t.Fatalf("got %d instructions, want 2", len(p.Code))
+	}
+	if !strings.Contains(string(p.Data), "semi;colon#hash") {
+		t.Errorf("string literal mangled: %q", p.Data)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unknown mnemonic", "main: frob t0, t1, t2", "unknown mnemonic"},
+		{"unknown register", "main: add t0, t1, q9", "unknown register"},
+		{"undefined label", "main: br nowhere", "undefined label"},
+		{"duplicate label", "x: nop\nx: nop", "duplicate label"},
+		{"unterminated proc", ".proc f\nf: nop", "no .endproc"},
+		{"endproc without proc", ".endproc", ".endproc without .proc"},
+		{"data op in text", "main: .word 1", ".word outside .data"},
+		{"inst in data", ".data\nx: add t0, t0, t0", "outside .text"},
+		{"bad operand count", "main: add t0, t1", "needs rd, ra, rb"},
+		{"imm too big", "main: li t0, 99999999999", "does not fit"},
+		{"unknown la sym", "main: la t0, nosuch", "unknown data symbol"},
+		{"bad directive", ".frob 1", "unknown directive"},
+		{"bad space", ".data\nx: .space lots", "literal non-negative size"},
+		{"duplicate data sym", ".data\nd: .word 1\nd: .word 2", "duplicate data symbol"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Assemble(c.src)
+			if err == nil {
+				t.Fatalf("no error, want %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestErrorsCarryLineNumbers(t *testing.T) {
+	_, err := Assemble("main: nop\n nop\n frob\n")
+	aerr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T, want *Error", err)
+	}
+	if aerr.Line != 3 {
+		t.Errorf("line = %d, want 3", aerr.Line)
+	}
+}
+
+func TestEntryDefaultsToMain(t *testing.T) {
+	p := mustAssemble(t, "f: nop\nmain: syscall exit\n")
+	if p.Entry != 1 {
+		t.Errorf("entry = %d, want 1", p.Entry)
+	}
+	p2 := mustAssemble(t, "start: syscall exit\n")
+	if p2.Entry != 0 {
+		t.Errorf("entry without main = %d, want 0", p2.Entry)
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	// Every instruction's String() output must reassemble to itself
+	// (for label-free forms).
+	src := `
+main:   add t0, t1, t2
+        addi t0, t1, -5
+        mul s0, s1, s2
+        and a0, a1, a2
+        slli t3, t4, 3
+        cmplt t5, t6, t7
+        ldq t8, 24(sp)
+        stb t9, -1(fp)
+        jmp t0
+        ret ra
+        syscall 1
+        nop
+        syscall exit
+`
+	p := mustAssemble(t, src)
+	var lines []string
+	for _, in := range p.Code {
+		lines = append(lines, "x"+in.String()[0:0]+in.String()) // keep as-is
+	}
+	p2 := mustAssemble(t, "main: "+strings.Join(trimPrefixAll(lines, "x"), "\n "))
+	if len(p2.Code) != len(p.Code) {
+		t.Fatalf("round trip length %d != %d", len(p2.Code), len(p.Code))
+	}
+	for i := range p.Code {
+		if p.Code[i] != p2.Code[i] {
+			t.Errorf("inst %d: %+v != %+v", i, p.Code[i], p2.Code[i])
+		}
+	}
+}
+
+func trimPrefixAll(ss []string, pre string) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = strings.TrimPrefix(s, pre)
+	}
+	return out
+}

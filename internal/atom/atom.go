@@ -1,0 +1,97 @@
+// Package atom is an ATOM-like instrumentation toolkit (Srivastava &
+// Eustace [35]), the interface the paper used to build its value
+// profiler. A Tool walks the elements of a program — procedures, basic
+// blocks, instructions — and attaches analysis routines that the VM
+// invokes during execution with the run-time values the paper profiled
+// (destination register values, load values, store values, parameter
+// registers at procedure entry).
+package atom
+
+import (
+	"valueprof/internal/isa"
+	"valueprof/internal/program"
+	"valueprof/internal/vm"
+)
+
+// Tool instruments a program by attaching analysis routines through the
+// Instrumenter.
+type Tool interface {
+	Instrument(ix *Instrumenter)
+}
+
+// ToolFunc adapts a function to the Tool interface.
+type ToolFunc func(ix *Instrumenter)
+
+func (f ToolFunc) Instrument(ix *Instrumenter) { f(ix) }
+
+// Instrumenter exposes the program's structure and the attachment
+// points. It wraps one VM instance, so the same program can be
+// instrumented differently across runs.
+type Instrumenter struct {
+	Prog *program.Program
+	VM   *vm.VM
+}
+
+// Procedures returns the program's procedure table.
+func (ix *Instrumenter) Procedures() []program.Proc { return ix.Prog.Procs }
+
+// BasicBlocks returns the basic-block decomposition.
+func (ix *Instrumenter) BasicBlocks() *program.BlockSet { return ix.Prog.BasicBlocks() }
+
+// Inst returns the instruction at pc.
+func (ix *Instrumenter) Inst(pc int) isa.Inst { return ix.Prog.Code[pc] }
+
+// NumInsts returns the code segment length.
+func (ix *Instrumenter) NumInsts() int { return len(ix.Prog.Code) }
+
+// AddBefore attaches an analysis routine before instruction pc.
+func (ix *Instrumenter) AddBefore(pc int, fn vm.Hook) { ix.VM.HookBefore(pc, fn) }
+
+// AddAfter attaches an analysis routine after instruction pc; the event
+// carries the instruction's result value (destination register or
+// stored value) and effective address for memory operations.
+func (ix *Instrumenter) AddAfter(pc int, fn vm.Hook) { ix.VM.HookAfter(pc, fn) }
+
+// AddProcEntry attaches an analysis routine at procedure entry; the
+// argument registers a0..a5 are live in the event's VM at call time.
+func (ix *Instrumenter) AddProcEntry(p program.Proc, fn vm.Hook) {
+	ix.VM.HookBefore(p.Start, fn)
+}
+
+// AddProgramEnd attaches an analysis routine that runs when the program
+// exits (ATOM's AddCallProgram(ProgramEnd, ...)).
+func (ix *Instrumenter) AddProgramEnd(fn vm.Hook) { ix.VM.HookEnd(fn) }
+
+// ForEachInst invokes visit for every instruction whose opcode
+// satisfies keep (nil keeps all). This is the idiom the paper's
+// profiler used to select the instruction classes to value-profile.
+func (ix *Instrumenter) ForEachInst(keep func(isa.Inst) bool, visit func(pc int, in isa.Inst)) {
+	for pc, in := range ix.Prog.Code {
+		if keep == nil || keep(in) {
+			visit(pc, in)
+		}
+	}
+}
+
+// Run instruments prog with the given tools and executes it on input.
+// chargeHooks selects whether analysis calls cost simulated cycles
+// (used by the overhead experiments).
+func Run(prog *program.Program, input []int64, chargeHooks bool, tools ...Tool) (*vm.Result, error) {
+	v := vm.New(prog)
+	v.Input = input
+	v.ChargeHooks = chargeHooks
+	ix := &Instrumenter{Prog: prog, VM: v}
+	for _, t := range tools {
+		t.Instrument(ix)
+	}
+	if err := v.Run(); err != nil {
+		return nil, err
+	}
+	return &vm.Result{
+		Output:        v.Output.String(),
+		ExitStatus:    v.ExitStatus,
+		Cycles:        v.Cycles,
+		InstCount:     v.InstCount,
+		AnalysisCalls: v.AnalysisCalls,
+	}, nil
+}

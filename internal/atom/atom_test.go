@@ -1,0 +1,137 @@
+package atom
+
+import (
+	"testing"
+
+	"valueprof/internal/asm"
+	"valueprof/internal/isa"
+	"valueprof/internal/vm"
+)
+
+const toolSrc = `
+        .proc main
+main:   li s0, 5
+loop:   jsr f
+        addi s0, s0, -1
+        bne s0, loop
+        syscall exit
+        .endproc
+        .proc f
+f:      li v0, 9
+        ldq t0, cell
+        ret
+        .endproc
+        .data
+cell:   .word 33
+`
+
+func TestInstrumenterTraversal(t *testing.T) {
+	prog, err := asm.Assemble(toolSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var procNames []string
+	var loadPCs []int
+	var nInsts int
+	tool := ToolFunc(func(ix *Instrumenter) {
+		for _, p := range ix.Procedures() {
+			procNames = append(procNames, p.Name)
+		}
+		nInsts = ix.NumInsts()
+		ix.ForEachInst(func(in isa.Inst) bool { return in.Op.Class() == isa.ClassLoad },
+			func(pc int, in isa.Inst) { loadPCs = append(loadPCs, pc) })
+		if ix.BasicBlocks() == nil {
+			t.Error("no basic blocks")
+		}
+		if ix.Inst(0).Op != isa.OpAddi {
+			t.Errorf("Inst(0) = %v", ix.Inst(0))
+		}
+	})
+	if _, err := Run(prog, nil, false, tool); err != nil {
+		t.Fatal(err)
+	}
+	if len(procNames) != 2 || procNames[0] != "main" || procNames[1] != "f" {
+		t.Errorf("procs = %v", procNames)
+	}
+	if nInsts != len(prog.Code) {
+		t.Errorf("NumInsts = %d", nInsts)
+	}
+	if len(loadPCs) != 1 {
+		t.Errorf("loads = %v", loadPCs)
+	}
+}
+
+func TestHookKindsFire(t *testing.T) {
+	prog, err := asm.Assemble(toolSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var before, after, entries, ends int
+	var loadValue int64
+	tool := ToolFunc(func(ix *Instrumenter) {
+		f := ix.Prog.ProcByName("f")
+		ix.AddProcEntry(*f, func(ev *vm.Event) { entries++ })
+		ix.AddBefore(f.Start, func(ev *vm.Event) { before++ })
+		ix.ForEachInst(func(in isa.Inst) bool { return in.Op == isa.OpLdq },
+			func(pc int, in isa.Inst) {
+				ix.AddAfter(pc, func(ev *vm.Event) {
+					after++
+					loadValue = ev.Value
+				})
+			})
+		ix.AddProgramEnd(func(ev *vm.Event) { ends++ })
+	})
+	res, err := Run(prog, nil, false, tool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries != 5 || before != 5 {
+		t.Errorf("entry hooks = %d/%d, want 5", entries, before)
+	}
+	if after != 5 || loadValue != 33 {
+		t.Errorf("after hooks = %d value %d", after, loadValue)
+	}
+	if ends != 1 {
+		t.Errorf("end hooks = %d", ends)
+	}
+	if res.AnalysisCalls == 0 {
+		t.Error("analysis calls not counted")
+	}
+}
+
+func TestMultipleToolsCompose(t *testing.T) {
+	prog, err := asm.Assemble(toolSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b int
+	t1 := ToolFunc(func(ix *Instrumenter) { ix.AddBefore(0, func(*vm.Event) { a++ }) })
+	t2 := ToolFunc(func(ix *Instrumenter) { ix.AddBefore(0, func(*vm.Event) { b++ }) })
+	if _, err := Run(prog, nil, false, t1, t2); err != nil {
+		t.Fatal(err)
+	}
+	if a != 1 || b != 1 {
+		t.Errorf("tools fired %d/%d", a, b)
+	}
+}
+
+func TestChargeHooksAffectsCycles(t *testing.T) {
+	prog, err := asm.Assemble(toolSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hook := ToolFunc(func(ix *Instrumenter) {
+		ix.AddBefore(0, func(*vm.Event) {})
+	})
+	free, err := Run(prog, nil, false, hook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	charged, err := Run(prog, nil, true, hook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if charged.Cycles != free.Cycles+vm.AnalysisCallCycles {
+		t.Errorf("charged %d, free %d", charged.Cycles, free.Cycles)
+	}
+}

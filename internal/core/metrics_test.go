@@ -1,0 +1,184 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func observeAll(s *SiteStats, vals ...int64) {
+	for _, v := range vals {
+		s.Observe(v)
+	}
+}
+
+func TestSiteStatsConstantStream(t *testing.T) {
+	s := NewSiteStats(3, "f+0", DefaultTNVConfig(), true)
+	for i := 0; i < 100; i++ {
+		s.Observe(7)
+	}
+	if s.Exec != 100 {
+		t.Errorf("exec = %d", s.Exec)
+	}
+	if got := s.LVP(); got != 0.99 { // first execution has no "last"
+		t.Errorf("LVP = %v, want 0.99", got)
+	}
+	if s.InvTop(1) != 1.0 || s.InvAll(1) != 1.0 {
+		t.Errorf("invariance of constant stream = %v/%v", s.InvTop(1), s.InvAll(1))
+	}
+	if s.PctZero() != 0 {
+		t.Errorf("pctZero = %v", s.PctZero())
+	}
+	if s.Classify(DefaultThresholds()) != Invariant {
+		t.Errorf("class = %v", s.Classify(DefaultThresholds()))
+	}
+}
+
+func TestSiteStatsAlternatingStream(t *testing.T) {
+	// 0,1,0,1,... LVP = 0 but Inv-Top(1) = 0.5: the paper's core
+	// distinction between temporal locality and invariance.
+	s := NewSiteStats(0, "x", DefaultTNVConfig(), true)
+	for i := 0; i < 1000; i++ {
+		s.Observe(int64(i % 2))
+	}
+	if s.LVP() != 0 {
+		t.Errorf("LVP = %v, want 0", s.LVP())
+	}
+	if s.InvTop(1) != 0.5 {
+		t.Errorf("InvTop1 = %v, want 0.5", s.InvTop(1))
+	}
+	if s.PctZero() != 0.5 {
+		t.Errorf("pctZero = %v, want 0.5", s.PctZero())
+	}
+	if got := s.Diff(); got != 0.5 {
+		t.Errorf("Diff = %v, want 0.5", got)
+	}
+	if s.Classify(DefaultThresholds()) != SemiInvariant {
+		t.Errorf("class = %v", s.Classify(DefaultThresholds()))
+	}
+}
+
+func TestSiteStatsRunsVsInvariance(t *testing.T) {
+	// 0,0,0,...,1,1,1,... (two runs): high LVP, Inv-Top(1)=0.5. The
+	// converse of the alternating case: locality without invariance.
+	s := NewSiteStats(0, "x", DefaultTNVConfig(), true)
+	for i := 0; i < 500; i++ {
+		s.Observe(0)
+	}
+	for i := 0; i < 500; i++ {
+		s.Observe(1)
+	}
+	if got := s.LVP(); got != 0.998 {
+		t.Errorf("LVP = %v, want 0.998", got)
+	}
+	if s.InvTop(1) != 0.5 {
+		t.Errorf("InvTop1 = %v, want 0.5", s.InvTop(1))
+	}
+}
+
+func TestVariantStream(t *testing.T) {
+	s := NewSiteStats(0, "x", DefaultTNVConfig(), true)
+	for i := 0; i < 1000; i++ {
+		s.Observe(int64(i))
+	}
+	if s.LVP() != 0 {
+		t.Errorf("LVP = %v", s.LVP())
+	}
+	if s.InvAll(1) != 0.001 {
+		t.Errorf("InvAll1 = %v", s.InvAll(1))
+	}
+	if s.Classify(DefaultThresholds()) != Variant {
+		t.Errorf("class = %v", s.Classify(DefaultThresholds()))
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	if Invariant.String() != "invariant" || SemiInvariant.String() != "semi-invariant" || Variant.String() != "variant" {
+		t.Error("class names wrong")
+	}
+}
+
+func TestAggregateWeighting(t *testing.T) {
+	// Site A: 900 executions of constant 5 (LVP≈1, inv 1).
+	// Site B: 100 executions of distinct values (LVP 0, inv 1/100).
+	a := NewSiteStats(0, "a", DefaultTNVConfig(), true)
+	for i := 0; i < 900; i++ {
+		a.Observe(5)
+	}
+	b := NewSiteStats(1, "b", DefaultTNVConfig(), true)
+	for i := 0; i < 100; i++ {
+		b.Observe(int64(i * 3))
+	}
+	m := Aggregate([]*SiteStats{a, b}, 10)
+	if m.Sites != 2 || m.Execs != 1000 {
+		t.Fatalf("sites=%d execs=%d", m.Sites, m.Execs)
+	}
+	wantInv1 := 0.9*1.0 + 0.1*0.01
+	if math.Abs(m.InvAll1-wantInv1) > 1e-9 {
+		t.Errorf("InvAll1 = %v, want %v", m.InvAll1, wantInv1)
+	}
+	wantLVP := 0.9 * (899.0 / 900.0)
+	if math.Abs(m.LVP-wantLVP) > 1e-9 {
+		t.Errorf("LVP = %v, want %v", m.LVP, wantLVP)
+	}
+}
+
+func TestAggregateSkipsEmptySites(t *testing.T) {
+	a := NewSiteStats(0, "a", DefaultTNVConfig(), false)
+	a.Observe(1)
+	empty := NewSiteStats(1, "b", DefaultTNVConfig(), false)
+	m := Aggregate([]*SiteStats{a, empty}, 10)
+	if m.Sites != 1 {
+		t.Errorf("sites = %d, want 1 (empty site excluded)", m.Sites)
+	}
+}
+
+// Property: all aggregate metrics stay in [0,1] and InvTop1 ≤ InvTopN,
+// LVP/zero/diff bounded, over random site populations.
+func TestAggregateBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var sites []*SiteStats
+		for i := 0; i < 1+r.Intn(8); i++ {
+			s := NewSiteStats(i, "s", DefaultTNVConfig(), true)
+			n := r.Intn(500)
+			for j := 0; j < n; j++ {
+				s.Observe(int64(r.Intn(1 + r.Intn(40))))
+			}
+			sites = append(sites, s)
+		}
+		m := Aggregate(sites, 10)
+		in01 := func(x float64) bool { return x >= 0 && x <= 1+1e-9 }
+		return in01(m.LVP) && in01(m.InvTop1) && in01(m.InvTopN) &&
+			in01(m.InvAll1) && in01(m.InvAllN) && in01(m.PctZero) && in01(m.Diff) &&
+			m.InvTop1 <= m.InvTopN+1e-9 && m.InvAll1 <= m.InvAllN+1e-9 &&
+			m.InvTop1 <= m.InvAll1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Diff(L/I) equals |LVP − InvTop1| per site.
+func TestDiffDefinition(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := NewSiteStats(0, "s", DefaultTNVConfig(), false)
+		for j := 0; j < 200+r.Intn(200); j++ {
+			s.Observe(int64(r.Intn(5)))
+		}
+		return math.Abs(s.Diff()-math.Abs(s.LVP()-s.InvTop(1))) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvAllFallsBackToTNV(t *testing.T) {
+	s := NewSiteStats(0, "s", DefaultTNVConfig(), false) // no full profile
+	observeAll(s, 1, 1, 2)
+	if s.InvAll(1) != s.InvTop(1) {
+		t.Error("InvAll without full profile should fall back to the TNV estimate")
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"valueprof/internal/atom"
+	"valueprof/internal/minic"
+)
+
+// Whole-pipeline property test: generate random (but terminating) MiniC
+// programs, profile them with ground truth enabled, and check the
+// metric invariants the paper's analysis relies on, per site:
+//
+//	Inv-Top(1) ≤ Inv-Top(N) ≤ 1
+//	Inv-Top(k) ≤ Inv-All(k)        (TNV estimates never exceed truth)
+//	Inv-All(1) ≥ 1/distinct-values (pigeonhole)
+//	LVP, %zero ∈ [0,1]
+//	profiled executions = full-profile total
+func TestPipelineMetricInvariants(t *testing.T) {
+	for trial := 0; trial < 12; trial++ {
+		r := rand.New(rand.NewSource(int64(trial)*31337 + 5))
+		src := randomProgram(r)
+		prog, err := minic.Compile(src)
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v\nsource:\n%s", trial, err, src)
+		}
+		vp, err := NewValueProfiler(Options{TNV: DefaultTNVConfig(), TrackFull: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := atom.Run(prog, nil, false, vp); err != nil {
+			t.Fatalf("trial %d: run: %v\nsource:\n%s", trial, err, src)
+		}
+		pr := vp.Profile()
+		if pr.Profiled() == 0 {
+			t.Fatalf("trial %d: empty profile", trial)
+		}
+		for _, s := range pr.Sites {
+			if s.Exec == 0 {
+				continue
+			}
+			i1, iN := s.InvTop(1), s.InvTop(pr.K)
+			a1, aN := s.InvAll(1), s.InvAll(pr.K)
+			if i1 < 0 || i1 > iN+1e-12 || iN > 1+1e-12 {
+				t.Errorf("trial %d site %s: InvTop ordering broken (%v, %v)", trial, s.Name, i1, iN)
+			}
+			if i1 > a1+1e-12 || iN > aN+1e-12 {
+				t.Errorf("trial %d site %s: estimate exceeds truth (%v>%v or %v>%v)",
+					trial, s.Name, i1, a1, iN, aN)
+			}
+			if d := s.Full.Distinct(); d > 0 && a1*float64(d) < 1-1e-9 {
+				t.Errorf("trial %d site %s: InvAll(1)=%v below pigeonhole bound for %d values",
+					trial, s.Name, a1, d)
+			}
+			if s.Full.Total() != s.Exec {
+				t.Errorf("trial %d site %s: full total %d != exec %d",
+					trial, s.Name, s.Full.Total(), s.Exec)
+			}
+			if lvp := s.LVP(); lvp < 0 || lvp > 1 {
+				t.Errorf("trial %d site %s: LVP %v", trial, s.Name, lvp)
+			}
+			if z := s.PctZero(); z < 0 || z > 1 {
+				t.Errorf("trial %d site %s: zero %v", trial, s.Name, z)
+			}
+		}
+	}
+}
+
+// randomProgram emits a terminating MiniC program: a few global arrays,
+// helper functions with loops of fixed trip counts, and a main that
+// calls them with a mix of constant and varying arguments.
+func randomProgram(r *rand.Rand) string {
+	var b strings.Builder
+	n := 16 + r.Intn(48)
+	fmt.Fprintf(&b, "int g1[%d];\nint g2[%d];\nint total;\n", n, n)
+
+	nFuncs := 1 + r.Intn(3)
+	for f := 0; f < nFuncs; f++ {
+		fmt.Fprintf(&b, "func f%d(a, b) {\n  var i; var s = %d;\n", f, r.Intn(10))
+		trip := 1 + r.Intn(12)
+		fmt.Fprintf(&b, "  for (i = 0; i < %d; i = i + 1) {\n", trip)
+		for s := 0; s < 1+r.Intn(3); s++ {
+			switch r.Intn(5) {
+			case 0:
+				fmt.Fprintf(&b, "    g1[(a + i) %% %d] = s + b;\n", n)
+			case 1:
+				fmt.Fprintf(&b, "    s = s + g2[(b + i) %% %d] * %d;\n", n, 1+r.Intn(5))
+			case 2:
+				fmt.Fprintf(&b, "    if (s %% %d == 0) { s = s + a; } else { s = s - 1; }\n", 2+r.Intn(4))
+			case 3:
+				fmt.Fprintf(&b, "    g2[i %% %d] = (s ^ %d) & 0xFFFF;\n", n, r.Intn(1000))
+			default:
+				fmt.Fprintf(&b, "    s = (s * %d + %d) %% 65521;\n", 2+r.Intn(7), r.Intn(100))
+			}
+		}
+		fmt.Fprintf(&b, "  }\n  return s;\n}\n")
+	}
+
+	fmt.Fprintf(&b, "func main() {\n  var k;\n")
+	outer := 20 + r.Intn(60)
+	fmt.Fprintf(&b, "  for (k = 0; k < %d; k = k + 1) {\n", outer)
+	for c := 0; c < 1+r.Intn(3); c++ {
+		f := r.Intn(nFuncs)
+		if r.Intn(2) == 0 {
+			fmt.Fprintf(&b, "    total = total + f%d(%d, k);\n", f, r.Intn(50))
+		} else {
+			fmt.Fprintf(&b, "    total = total + f%d(k %% %d, %d);\n", f, 1+r.Intn(16), r.Intn(50))
+		}
+	}
+	fmt.Fprintf(&b, "  }\n  putint(total & 0xFFFFFF);\n}\n")
+	return b.String()
+}
+
+// TestPipelineConvergentNeverExceedsFullExec checks, on random
+// programs, that sampling only ever reduces the per-site observation
+// count and that duty cycle accounting is consistent.
+func TestPipelineConvergentAccounting(t *testing.T) {
+	for trial := 0; trial < 6; trial++ {
+		r := rand.New(rand.NewSource(int64(trial)*7 + 99))
+		src := randomProgram(r)
+		prog, err := minic.Compile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := NewValueProfiler(Options{TNV: DefaultTNVConfig()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := atom.Run(prog, nil, false, full); err != nil {
+			t.Fatal(err)
+		}
+		cfg := ConvergentConfig{BurstLen: 100, InitialSkip: 400, MaxSkip: 6400, Epsilon: 0.02}
+		conv, err := NewValueProfiler(Options{TNV: DefaultTNVConfig(), Convergent: &cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := atom.Run(prog, nil, false, conv); err != nil {
+			t.Fatal(err)
+		}
+		fp, cp := full.Profile(), conv.Profile()
+		if cp.Profiled()+cp.Skipped != fp.Profiled() {
+			t.Errorf("trial %d: profiled %d + skipped %d != full %d",
+				trial, cp.Profiled(), cp.Skipped, fp.Profiled())
+		}
+		for _, s := range cp.Sites {
+			truth := fp.Site(s.PC)
+			if truth == nil {
+				t.Fatalf("trial %d: site %d missing from full profile", trial, s.PC)
+			}
+			if s.Exec > truth.Exec {
+				t.Errorf("trial %d site %d: sampled %d > full %d", trial, s.PC, s.Exec, truth.Exec)
+			}
+		}
+		d := cp.DutyCycle()
+		if d < 0 || d > 1 {
+			t.Errorf("trial %d: duty %v", trial, d)
+		}
+	}
+}

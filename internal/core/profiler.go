@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"valueprof/internal/atom"
+	"valueprof/internal/isa"
+	"valueprof/internal/vm"
+)
+
+// Options configures a ValueProfiler.
+type Options struct {
+	// Filter selects which instructions to profile; nil profiles every
+	// result-producing instruction (op.HasDest()). The paper's two main
+	// configurations are all instructions and loads only (LoadsOnly).
+	Filter func(isa.Inst) bool
+	// TNV is the per-site table configuration.
+	TNV TNVConfig
+	// TrackFull additionally keeps exact profiles as ground truth.
+	TrackFull bool
+	// Convergent enables intelligent sampling; nil profiles every
+	// execution of every selected instruction.
+	Convergent *ConvergentConfig
+	// Sampler supplies an alternative per-site sampling policy
+	// (periodic, random, fixed bursts); ignored when Convergent is
+	// set. Nil profiles full-time.
+	Sampler SamplerFactory
+}
+
+// DefaultOptions profiles all result-producing instructions with the
+// paper's TNV configuration, no sampling, no ground truth.
+func DefaultOptions() Options {
+	return Options{TNV: DefaultTNVConfig()}
+}
+
+// LoadsOnly is a Filter selecting load instructions, the paper's
+// load-value profiling configuration.
+func LoadsOnly(in isa.Inst) bool { return in.Op.Class() == isa.ClassLoad }
+
+// ClassOnly returns a Filter selecting one instruction class.
+func ClassOnly(c isa.Class) func(isa.Inst) bool {
+	return func(in isa.Inst) bool { return in.Op.Class() == c }
+}
+
+// ValueProfiler is the ATOM tool that value-profiles instruction
+// results. Create one per run with NewValueProfiler, pass it to
+// atom.Run, then read Profile.
+type ValueProfiler struct {
+	opts  Options
+	sites map[int]*SiteStats
+	// Skipped counts executions the sampler declined to profile (its
+	// overhead saving).
+	Skipped uint64
+}
+
+// NewValueProfiler validates opts and creates the tool.
+func NewValueProfiler(opts Options) (*ValueProfiler, error) {
+	if opts.Filter == nil {
+		opts.Filter = func(in isa.Inst) bool { return in.Op.HasDest() }
+	}
+	if opts.TNV.Size == 0 {
+		opts.TNV = DefaultTNVConfig()
+	}
+	if err := opts.TNV.validate(); err != nil {
+		return nil, err
+	}
+	if opts.Convergent != nil {
+		if err := opts.Convergent.validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &ValueProfiler{
+		opts:  opts,
+		sites: make(map[int]*SiteStats),
+	}, nil
+}
+
+// Instrument implements atom.Tool: it attaches an after-instruction
+// analysis routine to every selected instruction, as the paper's ATOM
+// tool did ("each instruction can be profiled ... the destination
+// register value is passed to the function which records the profiling
+// information").
+func (p *ValueProfiler) Instrument(ix *atom.Instrumenter) {
+	p.prepare(ix)
+	factory := p.opts.Sampler
+	if p.opts.Convergent != nil {
+		cfg := *p.opts.Convergent
+		factory = func() Sampler { return newConvState(&cfg) }
+	}
+	for pc := range p.sites {
+		site := p.sites[pc]
+		if factory == nil {
+			ix.AddAfter(pc, func(ev *vm.Event) { site.Observe(ev.Value) })
+			continue
+		}
+		sampler := factory()
+		ix.AddAfter(pc, func(ev *vm.Event) {
+			if sampler.ShouldProfile(site) {
+				site.Observe(ev.Value)
+			} else {
+				p.Skipped++
+			}
+		})
+	}
+}
+
+// prepare creates the site table from the program without attaching
+// hooks (also used by tests).
+func (p *ValueProfiler) prepare(ix *atom.Instrumenter) {
+	ix.ForEachInst(p.opts.Filter, func(pc int, in isa.Inst) {
+		p.sites[pc] = NewSiteStats(pc, ix.Prog.SiteName(pc), p.opts.TNV, p.opts.TrackFull)
+	})
+}
+
+// Profile returns the collected results.
+func (p *ValueProfiler) Profile() *Profile {
+	sites := make([]*SiteStats, 0, len(p.sites))
+	for _, s := range p.sites {
+		sites = append(sites, s)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i].PC < sites[j].PC })
+	return &Profile{Sites: sites, K: p.opts.TNV.Size, Skipped: p.Skipped}
+}
+
+// Profile is the result of one profiling run.
+type Profile struct {
+	Sites []*SiteStats // sorted by PC
+	K     int          // TNV width used for Top-N metrics
+	// Skipped is the number of executions the convergent sampler did
+	// not profile (0 for full-time profiling).
+	Skipped uint64
+}
+
+// Aggregate returns execution-weighted metrics over all sites.
+func (pr *Profile) Aggregate() WeightedMetrics { return Aggregate(pr.Sites, pr.K) }
+
+// Profiled returns the total number of profiled observations.
+func (pr *Profile) Profiled() uint64 {
+	var n uint64
+	for _, s := range pr.Sites {
+		n += s.Exec
+	}
+	return n
+}
+
+// DutyCycle returns profiled / (profiled + skipped): the fraction of
+// selected-instruction executions that actually ran the expensive
+// analysis path. Full-time profiling has duty cycle 1.
+func (pr *Profile) DutyCycle() float64 {
+	total := pr.Profiled() + pr.Skipped
+	if total == 0 {
+		return 0
+	}
+	return float64(pr.Profiled()) / float64(total)
+}
+
+// Site returns the stats for pc, or nil.
+func (pr *Profile) Site(pc int) *SiteStats {
+	i := sort.Search(len(pr.Sites), func(i int) bool { return pr.Sites[i].PC >= pc })
+	if i < len(pr.Sites) && pr.Sites[i].PC == pc {
+		return pr.Sites[i]
+	}
+	return nil
+}
+
+// TopSites returns the n most-executed sites, most executed first.
+func (pr *Profile) TopSites(n int) []*SiteStats {
+	out := append([]*SiteStats(nil), pr.Sites...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Exec != out[j].Exec {
+			return out[i].Exec > out[j].Exec
+		}
+		return out[i].PC < out[j].PC
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// CountByClass returns how many profiled sites fall in each
+// invariance class, and the execution-weighted fraction of each.
+func (pr *Profile) CountByClass(th ClassifyThresholds) (counts map[Class]int, execFrac map[Class]float64) {
+	counts = map[Class]int{}
+	execFrac = map[Class]float64{}
+	var total float64
+	for _, s := range pr.Sites {
+		if s.Exec == 0 {
+			continue
+		}
+		c := s.Classify(th)
+		counts[c]++
+		execFrac[c] += float64(s.Exec)
+		total += float64(s.Exec)
+	}
+	if total > 0 {
+		for c := range execFrac {
+			execFrac[c] /= total
+		}
+	}
+	return counts, execFrac
+}
+
+// String summarizes the profile.
+func (pr *Profile) String() string {
+	m := pr.Aggregate()
+	return fmt.Sprintf("profile: sites=%d execs=%d LVP=%.3f InvTop1=%.3f InvTop%d=%.3f zero=%.3f duty=%.3f",
+		m.Sites, m.Execs, m.LVP, m.InvTop1, pr.K, m.InvTopN, m.PctZero, pr.DutyCycle())
+}

@@ -1,0 +1,123 @@
+package core
+
+// Sampler decides, per execution of a profiled site, whether the
+// expensive analysis path runs. The convergent sampler (convergent.go)
+// is the paper's contribution; PeriodicSampler, RandomSampler and
+// BurstSampler are the baselines the thesis's related-work discussion
+// raises when asking whether CPI-style random sampling "is sufficient
+// for value profiling" (its stated open question).
+type Sampler interface {
+	// ShouldProfile advances the sampler by one execution of the site
+	// and reports whether this execution is profiled. The site's
+	// cumulative statistics are available for adaptive policies.
+	ShouldProfile(site *SiteStats) bool
+}
+
+// SamplerFactory creates one independent Sampler per profiled site.
+type SamplerFactory func() Sampler
+
+// ShouldProfile implements Sampler for the convergent state machine.
+func (c *convState) ShouldProfile(site *SiteStats) bool { return c.shouldProfile(site) }
+
+// NewConvergentFactory returns a factory for the paper's convergent
+// sampler; it panics on an invalid config (validate first via
+// profiler Options, which reject bad configs with an error).
+func NewConvergentFactory(cfg ConvergentConfig) SamplerFactory {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	return func() Sampler { return newConvState(&cfg) }
+}
+
+// PeriodicSampler profiles exactly one execution out of every Every.
+type PeriodicSampler struct {
+	Every uint64
+	n     uint64
+}
+
+// ShouldProfile implements Sampler.
+func (p *PeriodicSampler) ShouldProfile(*SiteStats) bool {
+	p.n++
+	if p.n >= p.Every {
+		p.n = 0
+		return true
+	}
+	return false
+}
+
+// NewPeriodicFactory samples 1-in-every executions deterministically.
+func NewPeriodicFactory(every uint64) SamplerFactory {
+	if every == 0 {
+		every = 1
+	}
+	return func() Sampler { return &PeriodicSampler{Every: every} }
+}
+
+// RandomSampler profiles each execution independently with probability
+// Prob, using a per-site xorshift generator so runs stay deterministic.
+type RandomSampler struct {
+	// Threshold compares against the generator's low 32 bits.
+	threshold uint64
+	state     uint64
+}
+
+// ShouldProfile implements Sampler.
+func (r *RandomSampler) ShouldProfile(*SiteStats) bool {
+	// xorshift64*
+	r.state ^= r.state >> 12
+	r.state ^= r.state << 25
+	r.state ^= r.state >> 27
+	x := (r.state * 2685821657736338717) >> 32
+	return x&0xffffffff < r.threshold
+}
+
+// NewRandomFactory samples with the given probability; each site gets
+// its own deterministic stream derived from seed.
+func NewRandomFactory(prob float64, seed uint64) SamplerFactory {
+	if prob < 0 {
+		prob = 0
+	}
+	if prob > 1 {
+		prob = 1
+	}
+	threshold := uint64(prob * float64(1<<32))
+	next := seed
+	return func() Sampler {
+		next = next*6364136223846793005 + 1442695040888963407
+		s := next
+		if s == 0 {
+			s = 0x9e3779b97f4a7c15
+		}
+		return &RandomSampler{threshold: threshold, state: s}
+	}
+}
+
+// BurstSampler profiles BurstLen consecutive executions out of every
+// Interval — the CPI-style fixed duty-cycle burst sampling, without the
+// convergence adaptivity.
+type BurstSampler struct {
+	BurstLen uint64
+	Interval uint64
+	n        uint64
+}
+
+// ShouldProfile implements Sampler.
+func (b *BurstSampler) ShouldProfile(*SiteStats) bool {
+	on := b.n < b.BurstLen
+	b.n++
+	if b.n >= b.Interval {
+		b.n = 0
+	}
+	return on
+}
+
+// NewBurstFactory samples burstLen-of-interval executions.
+func NewBurstFactory(burstLen, interval uint64) SamplerFactory {
+	if interval == 0 {
+		interval = 1
+	}
+	if burstLen > interval {
+		burstLen = interval
+	}
+	return func() Sampler { return &BurstSampler{BurstLen: burstLen, Interval: interval} }
+}

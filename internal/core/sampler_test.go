@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"valueprof/internal/asm"
+	"valueprof/internal/atom"
+)
+
+func TestPeriodicSampler(t *testing.T) {
+	s := NewPeriodicFactory(4)()
+	profiled := 0
+	for i := 0; i < 100; i++ {
+		if s.ShouldProfile(nil) {
+			profiled++
+		}
+	}
+	if profiled != 25 {
+		t.Errorf("periodic 1-in-4 profiled %d of 100", profiled)
+	}
+	// every=0 degrades to always.
+	always := NewPeriodicFactory(0)()
+	if !always.ShouldProfile(nil) {
+		t.Error("every=0 should profile always")
+	}
+}
+
+func TestRandomSamplerRate(t *testing.T) {
+	f := NewRandomFactory(0.25, 42)
+	s := f()
+	n := 100000
+	profiled := 0
+	for i := 0; i < n; i++ {
+		if s.ShouldProfile(nil) {
+			profiled++
+		}
+	}
+	rate := float64(profiled) / float64(n)
+	if math.Abs(rate-0.25) > 0.02 {
+		t.Errorf("random sampler rate %.4f, want ~0.25", rate)
+	}
+	// Distinct sites get distinct streams.
+	s2 := f()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		a := s.ShouldProfile(nil)
+		b := s2.ShouldProfile(nil)
+		if a == b {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Error("two sites produced identical sampling streams")
+	}
+	// Deterministic across factories with the same seed.
+	x := NewRandomFactory(0.5, 7)()
+	y := NewRandomFactory(0.5, 7)()
+	for i := 0; i < 100; i++ {
+		if x.ShouldProfile(nil) != y.ShouldProfile(nil) {
+			t.Fatal("random sampler not deterministic for equal seeds")
+		}
+	}
+	// Clamping.
+	if !NewRandomFactory(2.0, 1)().ShouldProfile(nil) {
+		t.Error("prob>1 should clamp to always")
+	}
+	if NewRandomFactory(-1, 1)().ShouldProfile(nil) {
+		t.Error("prob<0 should clamp to never")
+	}
+}
+
+func TestBurstSampler(t *testing.T) {
+	s := NewBurstFactory(3, 10)()
+	var pattern []bool
+	for i := 0; i < 20; i++ {
+		pattern = append(pattern, s.ShouldProfile(nil))
+	}
+	for i, want := range []bool{true, true, true, false, false, false, false, false, false, false} {
+		if pattern[i] != want || pattern[i+10] != want {
+			t.Fatalf("burst pattern wrong at %d: %v", i, pattern)
+		}
+	}
+	// burstLen > interval clamps.
+	s2 := NewBurstFactory(10, 4)()
+	on := 0
+	for i := 0; i < 8; i++ {
+		if s2.ShouldProfile(nil) {
+			on++
+		}
+	}
+	if on != 8 {
+		t.Errorf("clamped burst profiled %d of 8", on)
+	}
+}
+
+func TestConvergentFactoryPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad config accepted")
+		}
+	}()
+	NewConvergentFactory(ConvergentConfig{})
+}
+
+// TestSamplerPluggedIntoProfiler drives the profiler with a periodic
+// sampler over the phase program and checks duty cycle accounting.
+func TestSamplerPluggedIntoProfiler(t *testing.T) {
+	prog, err := asm.Assemble(phaseSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp, err := NewValueProfiler(Options{
+		TNV:     DefaultTNVConfig(),
+		Sampler: NewPeriodicFactory(10),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := atom.Run(prog, nil, false, vp); err != nil {
+		t.Fatal(err)
+	}
+	pr := vp.Profile()
+	if d := pr.DutyCycle(); math.Abs(d-0.1) > 0.01 {
+		t.Errorf("periodic duty cycle = %v, want ~0.1", d)
+	}
+	// Periodic sampling of the constant site still estimates inv = 1.
+	if got := pr.Site(1).InvTop(1); got != 1.0 {
+		t.Errorf("sampled constant-site inv = %v", got)
+	}
+	// And of the 50/50 phase site lands near 0.5.
+	if got := pr.Site(2).InvTop(1); math.Abs(got-0.5) > 0.05 {
+		t.Errorf("sampled phase-site inv = %v, want ~0.5", got)
+	}
+}
+
+func TestConvergentTakesPrecedenceOverSampler(t *testing.T) {
+	prog, err := asm.Assemble(phaseSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConvergentConfig()
+	vp, err := NewValueProfiler(Options{
+		TNV:        DefaultTNVConfig(),
+		Convergent: &cfg,
+		Sampler:    NewPeriodicFactory(2), // must be ignored
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := atom.Run(prog, nil, false, vp); err != nil {
+		t.Fatal(err)
+	}
+	// Convergent profiling of a converging site gives duty far from
+	// the periodic 0.5.
+	if d := vp.Profile().DutyCycle(); math.Abs(d-0.5) < 0.05 {
+		t.Errorf("duty %v suggests the periodic sampler ran instead of convergent", d)
+	}
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// SiteRecord is the serializable form of one site's profile: the final
+// TNV table plus the scalar counters. Exact per-value full profiles are
+// deliberately not serialized — the paper's position is that the TNV
+// table *is* the profile.
+type SiteRecord struct {
+	PC      int        `json:"pc"`
+	Name    string     `json:"name"`
+	Exec    uint64     `json:"exec"`
+	LVPHits uint64     `json:"lvpHits"`
+	Zeros   uint64     `json:"zeros"`
+	Top     []TNVEntry `json:"top"`
+}
+
+// LVP recomputes last-value predictability from the record.
+func (s *SiteRecord) LVP() float64 {
+	if s.Exec == 0 {
+		return 0
+	}
+	return float64(s.LVPHits) / float64(s.Exec)
+}
+
+// InvTop recomputes the TNV invariance estimate from the record.
+func (s *SiteRecord) InvTop(k int) float64 {
+	if s.Exec == 0 {
+		return 0
+	}
+	var sum uint64
+	for i, e := range s.Top {
+		if i >= k {
+			break
+		}
+		sum += e.Count
+	}
+	return float64(sum) / float64(s.Exec)
+}
+
+// ProfileRecord is a saved profiling run.
+type ProfileRecord struct {
+	Program string       `json:"program"`
+	Input   string       `json:"input"`
+	K       int          `json:"k"`
+	Sites   []SiteRecord `json:"sites"`
+}
+
+// Record converts a profile for serialization, tagging it with the
+// program and input names.
+func (pr *Profile) Record(programName, inputName string) *ProfileRecord {
+	rec := &ProfileRecord{Program: programName, Input: inputName, K: pr.K}
+	for _, s := range pr.Sites {
+		if s.Exec == 0 {
+			continue
+		}
+		rec.Sites = append(rec.Sites, SiteRecord{
+			PC:      s.PC,
+			Name:    s.Name,
+			Exec:    s.Exec,
+			LVPHits: s.LVPHits,
+			Zeros:   s.Zeros,
+			Top:     s.TNV.Top(pr.K),
+		})
+	}
+	return rec
+}
+
+// WriteJSON serializes the record.
+func (r *ProfileRecord) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(r)
+}
+
+// ReadProfileRecord deserializes a record written by WriteJSON.
+func ReadProfileRecord(r io.Reader) (*ProfileRecord, error) {
+	var rec ProfileRecord
+	if err := json.NewDecoder(r).Decode(&rec); err != nil {
+		return nil, fmt.Errorf("core: reading profile record: %w", err)
+	}
+	if rec.K <= 0 {
+		return nil, fmt.Errorf("core: profile record has invalid table width %d", rec.K)
+	}
+	sort.Slice(rec.Sites, func(i, j int) bool { return rec.Sites[i].PC < rec.Sites[j].PC })
+	return &rec, nil
+}
+
+// Comparison summarizes two runs of the same program on different
+// inputs (the paper's Table V.5 / Wall-style cross-input study).
+type Comparison struct {
+	CommonSites int
+	OnlyA       int
+	OnlyB       int
+	// Correlation of per-site Inv-Top(1) across the common sites.
+	InvCorrelation float64
+	// ClassAgreement is the fraction of common sites classified the
+	// same (invariant / semi-invariant / variant) in both runs.
+	ClassAgreement float64
+	// TopValueAgreement is the fraction of common sites whose single
+	// most frequent value is identical in both runs.
+	TopValueAgreement float64
+	// MeanAbsInvDiff is the mean |Inv-Top(1)_A − Inv-Top(1)_B|.
+	MeanAbsInvDiff float64
+}
+
+// Compare joins two records by site pc and computes the cross-input
+// stability metrics.
+func Compare(a, b *ProfileRecord, th ClassifyThresholds) *Comparison {
+	bByPC := make(map[int]*SiteRecord, len(b.Sites))
+	for i := range b.Sites {
+		bByPC[b.Sites[i].PC] = &b.Sites[i]
+	}
+	c := &Comparison{OnlyB: len(b.Sites)}
+	var xs, ys []float64
+	var agree, topAgree, absDiff float64
+	for i := range a.Sites {
+		sa := &a.Sites[i]
+		sb, ok := bByPC[sa.PC]
+		if !ok {
+			c.OnlyA++
+			continue
+		}
+		c.CommonSites++
+		c.OnlyB--
+		ia, ib := sa.InvTop(1), sb.InvTop(1)
+		xs = append(xs, ia)
+		ys = append(ys, ib)
+		absDiff += math.Abs(ia - ib)
+		if classOf(ia, th) == classOf(ib, th) {
+			agree++
+		}
+		if len(sa.Top) > 0 && len(sb.Top) > 0 && sa.Top[0].Value == sb.Top[0].Value {
+			topAgree++
+		}
+	}
+	if c.CommonSites > 0 {
+		n := float64(c.CommonSites)
+		c.ClassAgreement = agree / n
+		c.TopValueAgreement = topAgree / n
+		c.MeanAbsInvDiff = absDiff / n
+		c.InvCorrelation = correlation(xs, ys)
+	}
+	return c
+}
+
+func classOf(inv float64, th ClassifyThresholds) Class {
+	switch {
+	case inv >= th.Invariant:
+		return Invariant
+	case inv >= th.SemiInvariant:
+		return SemiInvariant
+	}
+	return Variant
+}
+
+// correlation is Pearson's r (0 for degenerate inputs); duplicated from
+// internal/stats to keep core dependency-free.
+func correlation(x, y []float64) float64 {
+	n := float64(len(x))
+	if n == 0 {
+		return 0
+	}
+	var mx, my float64
+	for i := range x {
+		mx += x[i]
+		my += y[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

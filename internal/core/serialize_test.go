@@ -1,0 +1,102 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"valueprof/internal/asm"
+	"valueprof/internal/atom"
+)
+
+func profileOf(t *testing.T, src string) *Profile {
+	t.Helper()
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp, err := NewValueProfiler(Options{TNV: DefaultTNVConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := atom.Run(prog, nil, false, vp); err != nil {
+		t.Fatal(err)
+	}
+	return vp.Profile()
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	pr := profileOf(t, loopSrc)
+	rec := pr.Record("loop", "test")
+	if rec.Program != "loop" || rec.Input != "test" || rec.K != 10 {
+		t.Fatalf("header: %+v", rec)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadProfileRecord(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Sites) != len(rec.Sites) {
+		t.Fatalf("sites %d != %d", len(back.Sites), len(rec.Sites))
+	}
+	// Metrics recomputed from the record match the live profile.
+	for _, sr := range back.Sites {
+		live := pr.Site(sr.PC)
+		if live == nil {
+			t.Fatalf("site %d missing live", sr.PC)
+		}
+		if sr.LVP() != live.LVP() {
+			t.Errorf("site %d LVP %v != %v", sr.PC, sr.LVP(), live.LVP())
+		}
+		if sr.InvTop(1) != live.InvTop(1) {
+			t.Errorf("site %d InvTop %v != %v", sr.PC, sr.InvTop(1), live.InvTop(1))
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := ReadProfileRecord(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadProfileRecord(strings.NewReader(`{"k":0}`)); err == nil {
+		t.Error("zero table width accepted")
+	}
+}
+
+func TestCompareIdenticalRuns(t *testing.T) {
+	a := profileOf(t, loopSrc).Record("loop", "a")
+	b := profileOf(t, loopSrc).Record("loop", "b")
+	c := Compare(a, b, DefaultThresholds())
+	if c.CommonSites != len(a.Sites) || c.OnlyA != 0 || c.OnlyB != 0 {
+		t.Fatalf("join: %+v", c)
+	}
+	if c.ClassAgreement != 1.0 || c.TopValueAgreement != 1.0 || c.MeanAbsInvDiff != 0 {
+		t.Errorf("identical runs differ: %+v", c)
+	}
+}
+
+func TestCompareDifferentPrograms(t *testing.T) {
+	a := profileOf(t, loopSrc).Record("loop", "a")
+	b := profileOf(t, phaseSrc).Record("phase", "b")
+	c := Compare(a, b, DefaultThresholds())
+	if c.OnlyA == 0 && c.OnlyB == 0 && c.CommonSites == 0 {
+		t.Errorf("comparison degenerate: %+v", c)
+	}
+}
+
+func TestCompareDetectsChangedValues(t *testing.T) {
+	// Same structure, different constant: top-value agreement drops.
+	a := profileOf(t, loopSrc).Record("loop", "a")
+	changed := strings.Replace(loopSrc, "li t1, 42", "li t1, 43", 1)
+	b := profileOf(t, changed).Record("loop", "b")
+	c := Compare(a, b, DefaultThresholds())
+	if c.TopValueAgreement >= 1.0 {
+		t.Errorf("changed constant not detected: %+v", c)
+	}
+	if c.ClassAgreement != 1.0 {
+		t.Errorf("classification should be unchanged: %+v", c)
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"valueprof/internal/atom"
+	"valueprof/internal/isa"
+	"valueprof/internal/vm"
+)
+
+// Timeline records how a site's cumulative Inv-Top(1) evolves over its
+// executions — the thesis's convergence-over-time figures, which
+// motivate convergent sampling: most sites' invariance stabilizes long
+// before the run ends, so profiling past that point is wasted work.
+type Timeline struct {
+	PC    int
+	Name  string
+	Every uint64 // observations between points
+	// Points[i] is the cumulative Inv-Top(1) after (i+1)*Every
+	// observations.
+	Points []float64
+	Stats  *SiteStats
+}
+
+// Final returns the site's final cumulative invariance.
+func (t *Timeline) Final() float64 { return t.Stats.InvTop(1) }
+
+// ConvergedAt returns the earliest fraction of the stream (0,1] after
+// which every recorded point stays within eps of the final invariance;
+// it returns 1 if the site never settles before the last point.
+func (t *Timeline) ConvergedAt(eps float64) float64 {
+	if len(t.Points) == 0 {
+		return 1
+	}
+	final := t.Final()
+	settled := len(t.Points) // first index from which all points are close
+	for i := len(t.Points) - 1; i >= 0; i-- {
+		d := t.Points[i] - final
+		if d < 0 {
+			d = -d
+		}
+		if d > eps {
+			break
+		}
+		settled = i
+	}
+	return float64(settled+1) / float64(len(t.Points)+1)
+}
+
+// TimelineProfiler is an ATOM tool recording invariance timelines for
+// the selected instructions.
+type TimelineProfiler struct {
+	// Filter selects instructions (nil = result-producing).
+	Filter func(isa.Inst) bool
+	// TNV configures the per-site table (zero value = paper default).
+	TNV TNVConfig
+	// Every sets the checkpoint spacing in observations (default 1000).
+	Every uint64
+
+	sites map[int]*Timeline
+}
+
+// NewTimelineProfiler creates the tool.
+func NewTimelineProfiler(filter func(isa.Inst) bool, tnv TNVConfig, every uint64) *TimelineProfiler {
+	if tnv.Size == 0 {
+		tnv = DefaultTNVConfig()
+	}
+	if every == 0 {
+		every = 1000
+	}
+	return &TimelineProfiler{Filter: filter, TNV: tnv, Every: every, sites: make(map[int]*Timeline)}
+}
+
+// Instrument implements atom.Tool.
+func (tp *TimelineProfiler) Instrument(ix *atom.Instrumenter) {
+	filter := tp.Filter
+	if filter == nil {
+		filter = func(in isa.Inst) bool { return in.Op.HasDest() }
+	}
+	cfg := tp.TNV
+	ix.ForEachInst(filter, func(pc int, in isa.Inst) {
+		tl := &Timeline{
+			PC:    pc,
+			Name:  ix.Prog.SiteName(pc),
+			Every: tp.Every,
+			Stats: NewSiteStats(pc, ix.Prog.SiteName(pc), cfg, false),
+		}
+		tp.sites[pc] = tl
+		ix.AddAfter(pc, func(ev *vm.Event) {
+			tl.Stats.Observe(ev.Value)
+			if tl.Stats.Exec%tl.Every == 0 {
+				tl.Points = append(tl.Points, tl.Stats.InvTop(1))
+			}
+		})
+	})
+}
+
+// Timelines returns sites with at least minPoints recorded checkpoints,
+// most-executed first.
+func (tp *TimelineProfiler) Timelines(minPoints int) []*Timeline {
+	var out []*Timeline
+	for _, tl := range tp.sites {
+		if len(tl.Points) >= minPoints {
+			out = append(out, tl)
+		}
+	}
+	// Sort by executions descending, then pc.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1], out[j]
+			if a.Stats.Exec > b.Stats.Exec || (a.Stats.Exec == b.Stats.Exec && a.PC < b.PC) {
+				break
+			}
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// Sparkline renders a timeline as ASCII levels (0-9) for reports.
+func (t *Timeline) Sparkline(width int) string {
+	if len(t.Points) == 0 {
+		return ""
+	}
+	out := make([]byte, 0, width)
+	for i := 0; i < width; i++ {
+		idx := i * len(t.Points) / width
+		level := int(t.Points[idx] * 9.999)
+		if level > 9 {
+			level = 9
+		}
+		if level < 0 {
+			level = 0
+		}
+		out = append(out, byte('0'+level))
+	}
+	return string(out)
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"valueprof/internal/asm"
+	"valueprof/internal/atom"
+)
+
+func TestTimelineRecordsCheckpoints(t *testing.T) {
+	prog, err := asm.Assemble(phaseSrc) // 200k iterations; pc1 constant, pc2 phase flip
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := NewTimelineProfiler(nil, DefaultTNVConfig(), 10000)
+	if _, err := atom.Run(prog, nil, false, tp); err != nil {
+		t.Fatal(err)
+	}
+	tls := tp.Timelines(5)
+	if len(tls) == 0 {
+		t.Fatal("no timelines")
+	}
+	byPC := map[int]*Timeline{}
+	for _, tl := range tls {
+		byPC[tl.PC] = tl
+	}
+	constant := byPC[1]
+	if constant == nil || len(constant.Points) != 20 {
+		t.Fatalf("constant site points = %v", constant)
+	}
+	for i, p := range constant.Points {
+		if p != 1.0 {
+			t.Errorf("constant point %d = %v", i, p)
+		}
+	}
+	// The constant site converges immediately.
+	if at := constant.ConvergedAt(0.02); at > 0.1 {
+		t.Errorf("constant ConvergedAt = %v", at)
+	}
+	// The phase site flips at 50%: its cumulative invariance keeps
+	// moving until late in the run.
+	phase := byPC[2]
+	if at := phase.ConvergedAt(0.02); at < 0.5 {
+		t.Errorf("phase site ConvergedAt = %v, want late (invariance still drifting)", at)
+	}
+	if f := phase.Final(); f < 0.45 || f > 0.55 {
+		t.Errorf("phase final invariance = %v", f)
+	}
+}
+
+func TestTimelineOrderingAndSparkline(t *testing.T) {
+	prog, err := asm.Assemble(phaseSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := NewTimelineProfiler(nil, DefaultTNVConfig(), 5000)
+	if _, err := atom.Run(prog, nil, false, tp); err != nil {
+		t.Fatal(err)
+	}
+	tls := tp.Timelines(1)
+	for i := 1; i < len(tls); i++ {
+		if tls[i-1].Stats.Exec < tls[i].Stats.Exec {
+			t.Error("timelines not sorted by executions")
+		}
+	}
+	sp := tls[0].Sparkline(20)
+	if len(sp) != 20 {
+		t.Errorf("sparkline length %d", len(sp))
+	}
+	for _, c := range sp {
+		if c < '0' || c > '9' {
+			t.Errorf("sparkline char %q", c)
+		}
+	}
+	// Constant site (inv 1.0) renders all nines.
+	for _, tl := range tls {
+		if tl.PC == 1 && tl.Sparkline(10) != strings.Repeat("9", 10) {
+			t.Errorf("constant sparkline = %q", tl.Sparkline(10))
+		}
+	}
+}
+
+func TestConvergedAtEdgeCases(t *testing.T) {
+	empty := &Timeline{Stats: NewSiteStats(0, "x", DefaultTNVConfig(), false)}
+	if empty.ConvergedAt(0.05) != 1 {
+		t.Error("empty timeline should report 1")
+	}
+	s := NewSiteStats(0, "x", DefaultTNVConfig(), false)
+	s.Observe(1)
+	tl := &Timeline{Stats: s, Points: []float64{0.2, 0.9, 1.0}}
+	// Final inv = 1.0 (single obs of 1): points stay within 0.15 of
+	// the final from index 1 on (0.9 and 1.0), so ConvergedAt = 2/4.
+	if got := tl.ConvergedAt(0.15); got != 0.5 {
+		t.Errorf("ConvergedAt = %v, want 0.5", got)
+	}
+	// With a tighter criterion only the last point qualifies: 3/4.
+	if got := tl.ConvergedAt(0.05); got != 0.75 {
+		t.Errorf("tight ConvergedAt = %v, want 0.75", got)
+	}
+	allGood := &Timeline{Stats: s, Points: []float64{1.0, 1.0}}
+	if got := allGood.ConvergedAt(0.05); got != float64(1)/3 {
+		t.Errorf("ConvergedAt all-settled = %v, want 1/3", got)
+	}
+}

@@ -1,0 +1,232 @@
+// Package core implements the paper's contribution: value profiling
+// with Top-N-Value (TNV) tables, the invariance/LVP/zero metrics, the
+// full-profile ground truth, and the convergent (intelligent) sampling
+// profiler that trades profiling overhead for accuracy.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TNVConfig parameterizes a Top-N-Value table.
+//
+// The table keeps Size (value, count) entries ordered by count. The top
+// Steady entries are never evicted; the remaining "clear part" entries
+// are (a) the LFU victims when a new value misses a full table, and (b)
+// flushed wholesale every ClearInterval updates so that newly hot
+// values can climb into the steady part. This is the paper's LFU +
+// periodic-clearing replacement policy.
+type TNVConfig struct {
+	Size          int    // total entries (paper default 10)
+	Steady        int    // protected top entries (paper default Size/2)
+	ClearInterval uint64 // updates between clears; 0 disables clearing
+}
+
+// DefaultTNVConfig is the configuration the paper's experiments used.
+func DefaultTNVConfig() TNVConfig {
+	return TNVConfig{Size: 10, Steady: 5, ClearInterval: 2000}
+}
+
+func (c TNVConfig) validate() error {
+	if c.Size <= 0 {
+		return fmt.Errorf("core: TNV size %d must be positive", c.Size)
+	}
+	if c.Steady < 0 || c.Steady > c.Size {
+		return fmt.Errorf("core: TNV steady %d out of range [0,%d]", c.Steady, c.Size)
+	}
+	return nil
+}
+
+// TNVEntry is one (value, count) pair.
+type TNVEntry struct {
+	Value int64
+	Count uint64
+}
+
+// TNVTable is a Top-N-Value table. The zero value is unusable; create
+// with NewTNV.
+type TNVTable struct {
+	cfg        TNVConfig
+	entries    []TNVEntry // sorted by Count descending
+	updates    uint64     // values observed
+	sinceClear uint64
+	clears     uint64
+}
+
+// NewTNV creates a table; it panics on an invalid configuration
+// (configurations are programmer-supplied constants).
+func NewTNV(cfg TNVConfig) *TNVTable {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	return &TNVTable{cfg: cfg, entries: make([]TNVEntry, 0, cfg.Size)}
+}
+
+// Config returns the table's configuration.
+func (t *TNVTable) Config() TNVConfig { return t.cfg }
+
+// Updates returns how many values have been added.
+func (t *TNVTable) Updates() uint64 { return t.updates }
+
+// Clears returns how many periodic clears have occurred.
+func (t *TNVTable) Clears() uint64 { return t.clears }
+
+// Len returns the number of live entries.
+func (t *TNVTable) Len() int { return len(t.entries) }
+
+// Add records one observed value.
+func (t *TNVTable) Add(v int64) {
+	t.updates++
+
+	// Hit: increment and bubble toward the front to keep the order.
+	for i := range t.entries {
+		if t.entries[i].Value == v {
+			t.entries[i].Count++
+			for i > 0 && t.entries[i-1].Count < t.entries[i].Count {
+				t.entries[i-1], t.entries[i] = t.entries[i], t.entries[i-1]
+				i--
+			}
+			t.maybeClear()
+			return
+		}
+	}
+
+	// Miss: append if there is room, else replace the LFU victim in
+	// the clear part (the last entry). If the whole table is steady
+	// (Steady == Size) a full table never evicts.
+	if len(t.entries) < t.cfg.Size {
+		t.entries = append(t.entries, TNVEntry{Value: v, Count: 1})
+	} else if t.cfg.Steady < t.cfg.Size {
+		t.entries[len(t.entries)-1] = TNVEntry{Value: v, Count: 1}
+	}
+	t.maybeClear()
+}
+
+func (t *TNVTable) maybeClear() {
+	if t.cfg.ClearInterval == 0 {
+		return
+	}
+	t.sinceClear++
+	if t.sinceClear < t.cfg.ClearInterval {
+		return
+	}
+	t.sinceClear = 0
+	if len(t.entries) > t.cfg.Steady {
+		t.entries = t.entries[:t.cfg.Steady]
+	}
+	t.clears++
+}
+
+// Top returns the k most frequent entries (fewer if the table holds
+// fewer), most frequent first.
+func (t *TNVTable) Top(k int) []TNVEntry {
+	if k > len(t.entries) {
+		k = len(t.entries)
+	}
+	out := make([]TNVEntry, k)
+	copy(out, t.entries[:k])
+	return out
+}
+
+// TopValue returns the most frequent value and its count; ok is false
+// for an empty table.
+func (t *TNVTable) TopValue() (v int64, count uint64, ok bool) {
+	if len(t.entries) == 0 {
+		return 0, 0, false
+	}
+	return t.entries[0].Value, t.entries[0].Count, true
+}
+
+// InvTop returns the estimated invariance of the site from the table:
+// the counts of the top-k surviving entries divided by all observed
+// values. Counts lost to eviction and clearing make this an
+// underestimate of true invariance — exactly the approximation error
+// experiment E4 quantifies.
+func (t *TNVTable) InvTop(k int) float64 {
+	if t.updates == 0 {
+		return 0
+	}
+	var sum uint64
+	for i, e := range t.entries {
+		if i >= k {
+			break
+		}
+		sum += e.Count
+	}
+	return float64(sum) / float64(t.updates)
+}
+
+// String renders the table for reports: "v:c v:c ... (updates=n)".
+func (t *TNVTable) String() string {
+	var b strings.Builder
+	for i, e := range t.entries {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%d", e.Value, e.Count)
+	}
+	fmt.Fprintf(&b, " (updates=%d)", t.updates)
+	return b.String()
+}
+
+// FullProfile is the exact value profile: every distinct value with its
+// exact count. It is the paper's "full profiling" ground truth against
+// which TNV accuracy is measured, and the source of the Inv-All metric.
+type FullProfile struct {
+	counts map[int64]uint64
+	total  uint64
+}
+
+// NewFullProfile creates an empty exact profile.
+func NewFullProfile() *FullProfile {
+	return &FullProfile{counts: make(map[int64]uint64)}
+}
+
+// Add records one observed value.
+func (f *FullProfile) Add(v int64) {
+	f.counts[v]++
+	f.total++
+}
+
+// Total returns the number of observed values.
+func (f *FullProfile) Total() uint64 { return f.total }
+
+// Distinct returns the number of distinct values seen.
+func (f *FullProfile) Distinct() int { return len(f.counts) }
+
+// Count returns the exact count of v.
+func (f *FullProfile) Count(v int64) uint64 { return f.counts[v] }
+
+// Top returns the k most frequent (value, count) pairs, ties broken by
+// value for determinism.
+func (f *FullProfile) Top(k int) []TNVEntry {
+	all := make([]TNVEntry, 0, len(f.counts))
+	for v, c := range f.counts {
+		all = append(all, TNVEntry{Value: v, Count: c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Value < all[j].Value
+	})
+	if k < len(all) {
+		all = all[:k]
+	}
+	return all
+}
+
+// InvAll returns the exact invariance: the fraction of executions
+// covered by the k most frequent values.
+func (f *FullProfile) InvAll(k int) float64 {
+	if f.total == 0 {
+		return 0
+	}
+	var sum uint64
+	for _, e := range f.Top(k) {
+		sum += e.Count
+	}
+	return float64(sum) / float64(f.total)
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTNVBasicCounting(t *testing.T) {
+	tab := NewTNV(TNVConfig{Size: 4, Steady: 2, ClearInterval: 0})
+	for _, v := range []int64{5, 5, 7, 5, 9, 7} {
+		tab.Add(v)
+	}
+	if tab.Updates() != 6 {
+		t.Errorf("updates = %d, want 6", tab.Updates())
+	}
+	top := tab.Top(3)
+	if len(top) != 3 || top[0] != (TNVEntry{5, 3}) || top[1] != (TNVEntry{7, 2}) || top[2] != (TNVEntry{9, 1}) {
+		t.Errorf("top = %+v", top)
+	}
+	v, c, ok := tab.TopValue()
+	if !ok || v != 5 || c != 3 {
+		t.Errorf("TopValue = %d,%d,%v", v, c, ok)
+	}
+	if got := tab.InvTop(1); got != 0.5 {
+		t.Errorf("InvTop(1) = %v, want 0.5", got)
+	}
+	if got := tab.InvTop(4); got != 1.0 {
+		t.Errorf("InvTop(4) = %v, want 1", got)
+	}
+}
+
+func TestTNVLFUReplacement(t *testing.T) {
+	// Size 3, steady 1, no clearing: with the table full, a miss
+	// replaces the lowest-count entry.
+	tab := NewTNV(TNVConfig{Size: 3, Steady: 1, ClearInterval: 0})
+	tab.Add(1)
+	tab.Add(1)
+	tab.Add(2)
+	tab.Add(3) // full: [1:2, 2:1, 3:1]
+	tab.Add(4) // evicts the last entry (3)
+	top := tab.Top(3)
+	if top[0].Value != 1 {
+		t.Fatalf("steady top lost: %+v", top)
+	}
+	vals := map[int64]bool{}
+	for _, e := range top {
+		vals[e.Value] = true
+	}
+	if vals[3] || !vals[4] {
+		t.Errorf("LFU victim wrong: %+v", top)
+	}
+}
+
+func TestTNVSteadyNeverEvicted(t *testing.T) {
+	// Steady == Size: once full, misses are dropped.
+	tab := NewTNV(TNVConfig{Size: 2, Steady: 2, ClearInterval: 0})
+	tab.Add(1)
+	tab.Add(2)
+	tab.Add(3)
+	tab.Add(3)
+	if tab.Len() != 2 {
+		t.Fatalf("len = %d", tab.Len())
+	}
+	for _, e := range tab.Top(2) {
+		if e.Value == 3 {
+			t.Errorf("fully-steady table admitted a new value: %+v", tab.Top(2))
+		}
+	}
+}
+
+func TestTNVPeriodicClear(t *testing.T) {
+	tab := NewTNV(TNVConfig{Size: 4, Steady: 2, ClearInterval: 8})
+	for i := 0; i < 7; i++ {
+		tab.Add(int64(i % 4)) // 0,1,2,3,0,1,2 -> counts 0:2 1:2 2:2 3:1
+	}
+	if tab.Clears() != 0 {
+		t.Fatalf("cleared too early")
+	}
+	tab.Add(9) // 8th update: miss evicts 3, then the clear fires
+	if tab.Clears() != 1 {
+		t.Fatalf("clears = %d, want 1", tab.Clears())
+	}
+	if tab.Len() != 2 {
+		t.Errorf("len after clear = %d, want steady size 2", tab.Len())
+	}
+	// A fresh hot value can now climb in.
+	for i := 0; i < 3; i++ {
+		tab.Add(42)
+	}
+	found := false
+	for _, e := range tab.Top(4) {
+		if e.Value == 42 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("new value blocked after clear: %+v", tab.Top(4))
+	}
+}
+
+func TestTNVClearDisabled(t *testing.T) {
+	tab := NewTNV(TNVConfig{Size: 2, Steady: 1, ClearInterval: 0})
+	for i := 0; i < 10000; i++ {
+		tab.Add(int64(i))
+	}
+	if tab.Clears() != 0 {
+		t.Errorf("clears = %d with clearing disabled", tab.Clears())
+	}
+}
+
+func TestTNVPanicsOnBadConfig(t *testing.T) {
+	for _, cfg := range []TNVConfig{{Size: 0}, {Size: 4, Steady: 5}, {Size: -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewTNV(%+v) did not panic", cfg)
+				}
+			}()
+			NewTNV(cfg)
+		}()
+	}
+}
+
+// Property: with a table at least as large as the number of distinct
+// values and clearing disabled, the TNV table is exact — it matches the
+// full profile on every metric.
+func TestTNVExactWhenLarge(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw%200) + 1
+		tab := NewTNV(TNVConfig{Size: 16, Steady: 8, ClearInterval: 0})
+		full := NewFullProfile()
+		for i := 0; i < n; i++ {
+			v := int64(r.Intn(16)) // ≤16 distinct
+			tab.Add(v)
+			full.Add(v)
+		}
+		if tab.Updates() != full.Total() {
+			return false
+		}
+		for k := 1; k <= 16; k++ {
+			if diff := tab.InvTop(k) - full.InvAll(k); diff > 1e-12 || diff < -1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: TNV invariance estimates are within [0,1], monotone in k,
+// and never exceed the ground truth (counts can only be lost, never
+// invented).
+func TestTNVBoundsAndUnderestimate(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cfg := TNVConfig{
+			Size:          1 + r.Intn(12),
+			ClearInterval: uint64(r.Intn(500)),
+		}
+		cfg.Steady = r.Intn(cfg.Size + 1)
+		tab := NewTNV(cfg)
+		full := NewFullProfile()
+		n := 100 + r.Intn(3000)
+		for i := 0; i < n; i++ {
+			// Skewed stream: value 7 about half the time.
+			var v int64
+			if r.Intn(2) == 0 {
+				v = 7
+			} else {
+				v = int64(r.Intn(50))
+			}
+			tab.Add(v)
+			full.Add(v)
+		}
+		prev := 0.0
+		for k := 1; k <= cfg.Size; k++ {
+			inv := tab.InvTop(k)
+			if inv < 0 || inv > 1 || inv+1e-12 < prev {
+				return false
+			}
+			prev = inv
+		}
+		// Estimated top-1 coverage cannot exceed the exact count of the
+		// estimated top value (eviction loses counts, never adds).
+		if top, c, ok := tab.TopValue(); ok {
+			if c > full.Count(top) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a value occurring in the majority of a random stream always
+// ends as the table's top value (the paper's requirement that the TNV
+// table find the dominant value of a semi-invariant site).
+func TestTNVFindsDominantValue(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tab := NewTNV(DefaultTNVConfig())
+		n := 500 + r.Intn(5000)
+		for i := 0; i < n; i++ {
+			if r.Intn(100) < 70 {
+				tab.Add(1234)
+			} else {
+				tab.Add(int64(r.Intn(1000000)))
+			}
+		}
+		top, _, ok := tab.TopValue()
+		return ok && top == 1234
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFullProfile(t *testing.T) {
+	f := NewFullProfile()
+	for _, v := range []int64{1, 2, 2, 3, 3, 3} {
+		f.Add(v)
+	}
+	if f.Total() != 6 || f.Distinct() != 3 {
+		t.Errorf("total=%d distinct=%d", f.Total(), f.Distinct())
+	}
+	top := f.Top(2)
+	if top[0] != (TNVEntry{3, 3}) || top[1] != (TNVEntry{2, 2}) {
+		t.Errorf("top = %+v", top)
+	}
+	if f.InvAll(1) != 0.5 || f.InvAll(3) != 1.0 {
+		t.Errorf("InvAll = %v, %v", f.InvAll(1), f.InvAll(3))
+	}
+	if f.Count(3) != 3 || f.Count(99) != 0 {
+		t.Errorf("Count wrong")
+	}
+}
+
+func TestFullProfileTopTieBreak(t *testing.T) {
+	f := NewFullProfile()
+	f.Add(9)
+	f.Add(4)
+	top := f.Top(2)
+	if top[0].Value != 4 || top[1].Value != 9 {
+		t.Errorf("tie-break not by value: %+v", top)
+	}
+}
+
+func TestEmptyTables(t *testing.T) {
+	tab := NewTNV(DefaultTNVConfig())
+	if tab.InvTop(1) != 0 {
+		t.Error("empty TNV InvTop != 0")
+	}
+	if _, _, ok := tab.TopValue(); ok {
+		t.Error("empty TNV has a top value")
+	}
+	f := NewFullProfile()
+	if f.InvAll(1) != 0 {
+		t.Error("empty full InvAll != 0")
+	}
+}
+
+func TestTNVString(t *testing.T) {
+	tab := NewTNV(DefaultTNVConfig())
+	tab.Add(5)
+	tab.Add(5)
+	if got := tab.String(); got != "5:2 (updates=2)" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,218 @@
+// Package depprof implements memory-dependence (store→load
+// communication) profiling, the profiling use the thesis attributes to
+// Reinman et al. [31] ("a load which is directly dependent upon a store
+// might be able to bypass memory by using the value of the store
+// directly") and connects to Moudgill & Moreno's value-checked load
+// rescheduling [29] ("value profiling could support [their] approach to
+// only reschedule loads with a high invariance").
+//
+// For every load execution the profiler finds the store that produced
+// the loaded bytes, records the (load-pc ← store-pc) communication edge
+// in a TNV table, and tracks the forwarding distance in instructions.
+// Loads whose value mostly arrives from one nearby store are bypass
+// candidates; loads with high value invariance are safe rescheduling
+// candidates under value checking.
+package depprof
+
+import (
+	"sort"
+
+	"valueprof/internal/atom"
+	"valueprof/internal/core"
+	"valueprof/internal/isa"
+	"valueprof/internal/vm"
+)
+
+// Options configures a DepProfiler.
+type Options struct {
+	// Window is the forwarding reach in dynamic instructions: a load
+	// within Window instructions of its producing store could have
+	// been satisfied by forwarding (a store queue/buffer reach).
+	Window uint64
+	// TNV sizes the per-load communication-edge tables.
+	TNV core.TNVConfig
+}
+
+// DefaultOptions uses a 256-instruction forwarding window.
+func DefaultOptions() Options {
+	return Options{Window: 256, TNV: core.DefaultTNVConfig()}
+}
+
+// LoadStats is the dependence profile of one load site.
+type LoadStats struct {
+	PC   int
+	Name string
+
+	Execs uint64
+	// FromStore counts executions whose loaded bytes were written by
+	// an observed store (rather than initial data or input).
+	FromStore uint64
+	// Forwardable counts executions whose producing store was within
+	// the window.
+	Forwardable uint64
+	// Edges profiles the producing store pc per execution; its top
+	// entry is the dominant communication edge.
+	Edges *core.TNVTable
+	// DistSum accumulates forwarding distances (for the mean).
+	DistSum uint64
+}
+
+// MeanDistance returns the mean store→load distance in instructions
+// over executions fed by a store.
+func (l *LoadStats) MeanDistance() float64 {
+	if l.FromStore == 0 {
+		return 0
+	}
+	return float64(l.DistSum) / float64(l.FromStore)
+}
+
+// EdgeInvariance returns the fraction of store-fed executions coming
+// from the single dominant store site.
+func (l *LoadStats) EdgeInvariance() float64 {
+	if l.FromStore == 0 {
+		return 0
+	}
+	_, c, ok := l.Edges.TopValue()
+	if !ok {
+		return 0
+	}
+	return float64(c) / float64(l.FromStore)
+}
+
+type storeRec struct {
+	pc   int
+	inst uint64
+}
+
+// DepProfiler is the ATOM tool.
+type DepProfiler struct {
+	opts  Options
+	last  map[uint64]storeRec // address (byte) -> producing store
+	loads map[int]*LoadStats
+}
+
+// New creates a dependence profiler.
+func New(opts Options) *DepProfiler {
+	if opts.Window == 0 {
+		opts.Window = 256
+	}
+	if opts.TNV.Size == 0 {
+		opts.TNV = core.DefaultTNVConfig()
+	}
+	return &DepProfiler{
+		opts:  opts,
+		last:  make(map[uint64]storeRec),
+		loads: make(map[int]*LoadStats),
+	}
+}
+
+func accessSize(op isa.Op) uint64 {
+	switch op {
+	case isa.OpLdq, isa.OpStq:
+		return 8
+	case isa.OpLdl, isa.OpStl:
+		return 4
+	default:
+		return 1
+	}
+}
+
+// Instrument implements atom.Tool.
+func (d *DepProfiler) Instrument(ix *atom.Instrumenter) {
+	ix.ForEachInst(func(in isa.Inst) bool { return in.Op.Class() == isa.ClassStore },
+		func(pc int, in isa.Inst) {
+			size := accessSize(in.Op)
+			ix.AddAfter(pc, func(ev *vm.Event) {
+				rec := storeRec{pc: pc, inst: ev.VM.InstCount}
+				for b := uint64(0); b < size; b++ {
+					d.last[ev.Addr+b] = rec
+				}
+			})
+		})
+	ix.ForEachInst(func(in isa.Inst) bool { return in.Op.Class() == isa.ClassLoad },
+		func(pc int, in isa.Inst) {
+			ls := &LoadStats{PC: pc, Name: ix.Prog.SiteName(pc), Edges: core.NewTNV(d.opts.TNV)}
+			d.loads[pc] = ls
+			size := accessSize(in.Op)
+			ix.AddAfter(pc, func(ev *vm.Event) {
+				ls.Execs++
+				// The youngest store covering any loaded byte is the
+				// producer (partial overlaps count as the dependence).
+				var prod storeRec
+				found := false
+				for b := uint64(0); b < size; b++ {
+					if rec, ok := d.last[ev.Addr+b]; ok {
+						if !found || rec.inst > prod.inst {
+							prod = rec
+							found = true
+						}
+					}
+				}
+				if !found {
+					return
+				}
+				ls.FromStore++
+				ls.Edges.Add(int64(prod.pc))
+				dist := ev.VM.InstCount - prod.inst
+				ls.DistSum += dist
+				if dist <= d.opts.Window {
+					ls.Forwardable++
+				}
+			})
+		})
+}
+
+// Report is the result of a dependence-profiling run.
+type Report struct {
+	Loads  []*LoadStats // sorted by execs descending
+	Window uint64
+}
+
+// Report returns the per-load results.
+func (d *DepProfiler) Report() *Report {
+	out := make([]*LoadStats, 0, len(d.loads))
+	for _, l := range d.loads {
+		if l.Execs > 0 {
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Execs != out[j].Execs {
+			return out[i].Execs > out[j].Execs
+		}
+		return out[i].PC < out[j].PC
+	})
+	return &Report{Loads: out, Window: d.opts.Window}
+}
+
+// Totals aggregates over all load executions: the fractions fed by a
+// store at all, forwardable within the window, and arriving over the
+// dominant edge.
+func (r *Report) Totals() (fromStore, forwardable, dominantEdge float64) {
+	var execs, fs, fw, dom float64
+	for _, l := range r.Loads {
+		execs += float64(l.Execs)
+		fs += float64(l.FromStore)
+		fw += float64(l.Forwardable)
+		dom += l.EdgeInvariance() * float64(l.FromStore)
+	}
+	if execs == 0 {
+		return 0, 0, 0
+	}
+	if fs > 0 {
+		dom /= fs
+	}
+	return fs / execs, fw / execs, dom
+}
+
+// BypassCandidates returns loads executed at least minExecs times whose
+// forwardable fraction is at least thresh — the store-bypass set.
+func (r *Report) BypassCandidates(minExecs uint64, thresh float64) []*LoadStats {
+	var out []*LoadStats
+	for _, l := range r.Loads {
+		if l.Execs >= minExecs && float64(l.Forwardable)/float64(l.Execs) >= thresh {
+			out = append(out, l)
+		}
+	}
+	return out
+}

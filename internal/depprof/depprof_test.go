@@ -1,0 +1,169 @@
+package depprof
+
+import (
+	"testing"
+
+	"valueprof/internal/asm"
+	"valueprof/internal/atom"
+)
+
+// main stores to cell then immediately loads it (tight edge), and
+// loads initc which is never stored (data-segment value).
+const depSrc = `
+        .proc main
+main:   li s0, 100
+        la s1, cell
+loop:   stq s0, 0(s1)
+        ldq t0, 0(s1)
+        ldq t1, initc
+        addi s0, s0, -1
+        bne s0, loop
+        syscall exit
+        .endproc
+        .data
+cell:   .word 0
+initc:  .word 77
+`
+
+// pcs: 0 li | 1 la | 2 stq | 3 ldq cell | 4 ldq initc | 5 addi | 6 bne | 7 exit
+
+func runDep(t *testing.T, opts Options) *Report {
+	t.Helper()
+	prog, err := asm.Assemble(depSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := New(opts)
+	if _, err := atom.Run(prog, nil, false, dp); err != nil {
+		t.Fatal(err)
+	}
+	return dp.Report()
+}
+
+func loadAt(r *Report, pc int) *LoadStats {
+	for _, l := range r.Loads {
+		if l.PC == pc {
+			return l
+		}
+	}
+	return nil
+}
+
+func TestStoreFedLoadDetected(t *testing.T) {
+	r := runDep(t, DefaultOptions())
+	fed := loadAt(r, 3)
+	if fed == nil || fed.Execs != 100 {
+		t.Fatalf("fed load: %+v", fed)
+	}
+	if fed.FromStore != 100 || fed.Forwardable != 100 {
+		t.Errorf("fromStore=%d forwardable=%d, want 100/100", fed.FromStore, fed.Forwardable)
+	}
+	if fed.EdgeInvariance() != 1.0 {
+		t.Errorf("edge invariance = %v (single producer)", fed.EdgeInvariance())
+	}
+	if top, _, _ := fed.Edges.TopValue(); top != 2 {
+		t.Errorf("dominant producer pc = %d, want 2", top)
+	}
+	if d := fed.MeanDistance(); d != 1 {
+		t.Errorf("mean distance = %v, want 1", d)
+	}
+}
+
+func TestUnfedLoad(t *testing.T) {
+	r := runDep(t, DefaultOptions())
+	unfed := loadAt(r, 4)
+	if unfed.FromStore != 0 || unfed.Forwardable != 0 {
+		t.Errorf("initial-data load marked store-fed: %+v", unfed)
+	}
+	if unfed.MeanDistance() != 0 || unfed.EdgeInvariance() != 0 {
+		t.Error("empty stats nonzero")
+	}
+}
+
+func TestWindowLimitsForwarding(t *testing.T) {
+	// Window 1: the store is 1 instruction before the load, so it
+	// still forwards; window 0 defaults back to 256, so craft with a
+	// far load: store once, loop loads.
+	src := `
+        .proc main
+main:   li s0, 50
+        la s1, cell
+        li t0, 9
+        stq t0, 0(s1)
+loop:   ldq t1, 0(s1)
+        addi s0, s0, -1
+        bne s0, loop
+        syscall exit
+        .endproc
+        .data
+cell:   .word 0
+`
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := New(Options{Window: 5})
+	if _, err := atom.Run(prog, nil, false, dp); err != nil {
+		t.Fatal(err)
+	}
+	r := dp.Report()
+	ld := loadAt(r, 4)
+	if ld == nil || ld.Execs != 50 {
+		t.Fatalf("load: %+v", ld)
+	}
+	if ld.FromStore != 50 {
+		t.Errorf("fromStore = %d", ld.FromStore)
+	}
+	// Only the first couple of iterations are within 5 instructions of
+	// the store; later ones exceed the window.
+	if ld.Forwardable == 0 || ld.Forwardable >= 10 {
+		t.Errorf("forwardable = %d, want a small nonzero count", ld.Forwardable)
+	}
+}
+
+func TestPartialOverlapByteStore(t *testing.T) {
+	// A byte store into the middle of a word must count as the
+	// producer of the whole-word load.
+	src := `
+        .proc main
+main:   la s1, cell
+        li t0, 0xAB
+        stb t0, 3(s1)
+        ldq t1, 0(s1)
+        syscall exit
+        .endproc
+        .data
+cell:   .word 0
+`
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := New(DefaultOptions())
+	if _, err := atom.Run(prog, nil, false, dp); err != nil {
+		t.Fatal(err)
+	}
+	ld := loadAt(dp.Report(), 3)
+	if ld.FromStore != 1 {
+		t.Errorf("partial overlap missed: %+v", ld)
+	}
+}
+
+func TestTotalsAndCandidates(t *testing.T) {
+	r := runDep(t, DefaultOptions())
+	fromStore, forwardable, dom := r.Totals()
+	// Half the load executions (cell) are store-fed; initc never.
+	if fromStore < 0.49 || fromStore > 0.51 {
+		t.Errorf("fromStore = %v, want ~0.5", fromStore)
+	}
+	if forwardable != fromStore {
+		t.Errorf("forwardable %v != fromStore %v (all within window)", forwardable, fromStore)
+	}
+	if dom != 1.0 {
+		t.Errorf("dominant edge = %v", dom)
+	}
+	cands := r.BypassCandidates(50, 0.9)
+	if len(cands) != 1 || cands[0].PC != 3 {
+		t.Errorf("bypass candidates = %+v", cands)
+	}
+}

@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"fmt"
+
+	"valueprof/internal/core"
+	"valueprof/internal/stats"
+	"valueprof/internal/textual"
+	"valueprof/internal/vm"
+	"valueprof/internal/workloads"
+)
+
+// E4 — TNV-table accuracy vs the full profile, with the size /
+// steady-part / clear-interval ablation.
+func init() {
+	register(&Experiment{
+		ID:    "e4",
+		Title: "TNV table accuracy vs full profiling (Ch. III/V)",
+		Paper: "The 10-entry TNV table with a protected top half and periodic clearing tracks full-profile invariance closely; accuracy degrades with tiny tables, and the clearing policy matters for phased values.",
+		Run:   runE4,
+	})
+}
+
+// tnvConfigsFull is the ablation grid.
+var tnvConfigsFull = []struct {
+	name string
+	cfg  core.TNVConfig
+}{
+	{"n2-clear", core.TNVConfig{Size: 2, Steady: 1, ClearInterval: 2000}},
+	{"n4-clear", core.TNVConfig{Size: 4, Steady: 2, ClearInterval: 2000}},
+	{"n10-clear (paper)", core.DefaultTNVConfig()},
+	{"n10-noclear", core.TNVConfig{Size: 10, Steady: 5, ClearInterval: 0}},
+	{"n10-allsteady", core.TNVConfig{Size: 10, Steady: 10, ClearInterval: 0}},
+	{"n16-clear", core.TNVConfig{Size: 16, Steady: 8, ClearInterval: 2000}},
+}
+
+func runE4(cfg Config) (*Result, error) {
+	ws, err := cfg.quickSubset()
+	if err != nil {
+		return nil, err
+	}
+	grid := tnvConfigsFull
+	if cfg.Quick {
+		grid = grid[1:4]
+	}
+	tab := textual.New("TNV estimate error vs full profile (loads, exec-weighted MAE of Inv-Top(1))",
+		append([]string{"config"}, namesOf(ws)...)...)
+	mae := map[string][]float64{}
+	for _, g := range grid {
+		row := []any{g.name}
+		for _, w := range ws {
+			pr, _, err := profileWorkload(w, w.Test, core.Options{
+				Filter: core.LoadsOnly, TNV: g.cfg, TrackFull: true,
+			}, false)
+			if err != nil {
+				return nil, err
+			}
+			var errSum, wSum float64
+			for _, s := range pr.Sites {
+				if s.Exec == 0 {
+					continue
+				}
+				e := s.InvAll(1) - s.InvTop(1)
+				if e < 0 {
+					e = -e
+				}
+				errSum += e * float64(s.Exec)
+				wSum += float64(s.Exec)
+			}
+			m := 0.0
+			if wSum > 0 {
+				m = errSum / wSum
+			}
+			mae[g.name] = append(mae[g.name], m)
+			row = append(row, fmt.Sprintf("%.4f", m))
+		}
+		tab.Row(row...)
+	}
+	paperName := "n10-clear (paper)"
+	paperMAE := stats.Mean(mae[paperName])
+	r := &Result{ID: "e4", Title: "TNV table accuracy vs full profiling", Text: tab.String()}
+	r.Checks = append(r.Checks,
+		check("paper-config-accurate", paperMAE <= 0.05,
+			"10-entry TNV mean Inv-Top(1) error %.4f (≤0.05)", paperMAE))
+	if small, ok := mae["n2-clear"]; ok {
+		r.Checks = append(r.Checks, check("small-table-worse",
+			stats.Mean(small) >= paperMAE,
+			"2-entry MAE %.4f ≥ 10-entry MAE %.4f", stats.Mean(small), paperMAE))
+	}
+	if ns, ok := mae["n10-noclear"]; ok {
+		r.Checks = append(r.Checks, check("ablation-present", len(ns) > 0,
+			"no-clear MAE %.4f vs clearing %.4f", stats.Mean(ns), paperMAE))
+	}
+	return r, nil
+}
+
+func namesOf(ws []*workloads.Workload) []string {
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = w.Name
+	}
+	return out
+}
+
+// E5 — Table V.5: the same load metrics on the test and train inputs,
+// and the cross-input stability of per-site invariance.
+func init() {
+	register(&Experiment{
+		ID:    "e5",
+		Title: "Test vs train data sets (Table V.5)",
+		Paper: "LVP, Inv-Top, Inv-All and Diff(L/I) for loads on both data sets. Claim (after Wall [38]): 'the percent zeroes and the percent invariance are very similar in both data sets' — profiles from different inputs correlate strongly.",
+		Run:   runE5,
+	})
+}
+
+func runE5(cfg Config) (*Result, error) {
+	ws, err := cfg.selected()
+	if err != nil {
+		return nil, err
+	}
+	tab := textual.New("Load values, test vs train",
+		"program", "input", "LVP", "InvTop1", "InvAll1", "%zero", "D(l/i)")
+	var corrs []float64
+	var agreeFracs []float64
+	for _, w := range ws {
+		profs := map[string]*core.Profile{}
+		for _, in := range w.Inputs() {
+			pr, _, err := profileWorkload(w, in, core.Options{
+				Filter: core.LoadsOnly, TNV: core.DefaultTNVConfig(), TrackFull: true,
+			}, false)
+			if err != nil {
+				return nil, err
+			}
+			profs[in.Name] = pr
+			m := pr.Aggregate()
+			tab.Row(w.Name, in.Name, m.LVP, m.InvTop1, m.InvAll1, m.PctZero, m.Diff)
+		}
+		// Per-site invariance vectors over sites executed in both runs.
+		var x, y []float64
+		agree, total := 0, 0
+		th := core.DefaultThresholds()
+		for _, st := range profs["test"].Sites {
+			tr := profs["train"].Site(st.PC)
+			if st.Exec == 0 || tr == nil || tr.Exec == 0 {
+				continue
+			}
+			x = append(x, st.InvAll(1))
+			y = append(y, tr.InvAll(1))
+			if st.Classify(th) == tr.Classify(th) {
+				agree++
+			}
+			total++
+		}
+		if len(x) >= 3 {
+			corrs = append(corrs, stats.Correlation(x, y))
+		}
+		if total > 0 {
+			agreeFracs = append(agreeFracs, float64(agree)/float64(total))
+		}
+	}
+	meanCorr := stats.Mean(corrs)
+	meanAgree := stats.Mean(agreeFracs)
+	text := tab.String() + fmt.Sprintf(
+		"\nper-site Inv-All(1) correlation test↔train: mean %.3f over %d benchmarks\nclassification agreement (invariant/semi/variant): mean %.1f%%\n",
+		meanCorr, len(corrs), 100*meanAgree)
+	r := &Result{ID: "e5", Title: "Test vs train data sets", Text: text}
+	r.Checks = append(r.Checks,
+		check("cross-input-correlation", meanCorr >= 0.5,
+			"mean per-site invariance correlation %.3f (paper: high similarity)", meanCorr),
+		check("classification-stable", meanAgree >= 0.7,
+			"classification agreement %.1f%%", 100*meanAgree))
+	return r, nil
+}
+
+// E6 — convergent profiling: overhead vs accuracy.
+func init() {
+	register(&Experiment{
+		ID:    "e6",
+		Title: "Convergent (intelligent) profiling: overhead vs accuracy (Ch. V–VI)",
+		Paper: "Sampling with an invariance-convergence criterion cuts profiled executions by an order of magnitude while keeping invariance estimates within a few percent of full-time profiling.",
+		Run:   runE6,
+	})
+}
+
+var convConfigsFull = []struct {
+	name string
+	cfg  core.ConvergentConfig
+}{
+	{"eps1%-skip4k", core.ConvergentConfig{BurstLen: 1000, InitialSkip: 4000, MaxSkip: 256000, Epsilon: 0.01}},
+	{"eps2%-skip4k (default)", core.DefaultConvergentConfig()},
+	{"eps5%-skip4k", core.ConvergentConfig{BurstLen: 1000, InitialSkip: 4000, MaxSkip: 256000, Epsilon: 0.05}},
+	{"eps2%-skip16k", core.ConvergentConfig{BurstLen: 1000, InitialSkip: 16000, MaxSkip: 1024000, Epsilon: 0.02}},
+	{"burst200", core.ConvergentConfig{BurstLen: 200, InitialSkip: 4000, MaxSkip: 256000, Epsilon: 0.02}},
+}
+
+func runE6(cfg Config) (*Result, error) {
+	ws, err := cfg.quickSubset()
+	if err != nil {
+		return nil, err
+	}
+	grid := convConfigsFull
+	if cfg.Quick {
+		grid = grid[1:3]
+	}
+	tab := textual.New("Convergent profiling (all instructions)",
+		"config", "program", "duty", "slowdown", "fullslow", "MAE-inv")
+
+	type agg struct{ duty, mae, slow, fullslow []float64 }
+	byCfg := map[string]*agg{}
+
+	for _, w := range ws {
+		// Ground truth from full-time profiling, plus full overhead.
+		fullPr, fullRes, err := profileWorkload(w, w.Test, core.Options{
+			TNV: core.DefaultTNVConfig(), TrackFull: true,
+		}, false)
+		if err != nil {
+			return nil, err
+		}
+		base, err := w.Run(w.Test)
+		if err != nil {
+			return nil, err
+		}
+		fullSlow := modeledSlowdown(base, fullRes.AnalysisCalls, 0)
+
+		for _, g := range grid {
+			gcfg := g.cfg
+			pr, _, err := profileWorkload(w, w.Test, core.Options{
+				TNV: core.DefaultTNVConfig(), Convergent: &gcfg,
+			}, false)
+			if err != nil {
+				return nil, err
+			}
+			mae := invErrorVsTruth(pr, fullPr)
+			duty := pr.DutyCycle()
+			slow := modeledSlowdown(base, pr.Profiled(), pr.Skipped)
+			tab.Row(g.name, w.Name,
+				fmt.Sprintf("%.3f", duty),
+				fmt.Sprintf("%.2fx", slow),
+				fmt.Sprintf("%.2fx", fullSlow),
+				fmt.Sprintf("%.4f", mae))
+			a := byCfg[g.name]
+			if a == nil {
+				a = &agg{}
+				byCfg[g.name] = a
+			}
+			a.duty = append(a.duty, duty)
+			a.mae = append(a.mae, mae)
+			a.slow = append(a.slow, slow)
+			a.fullslow = append(a.fullslow, fullSlow)
+		}
+	}
+	def := byCfg["eps2%-skip4k (default)"]
+	meanDuty := stats.Mean(def.duty)
+	meanMAE := stats.Mean(def.mae)
+	meanSlow := stats.Mean(def.slow)
+	meanFull := stats.Mean(def.fullslow)
+	text := tab.String() + fmt.Sprintf(
+		"\ndefault config: duty %.3f, modeled slowdown %.2fx vs full-time %.2fx, invariance MAE %.4f\n",
+		meanDuty, meanSlow, meanFull, meanMAE)
+	r := &Result{ID: "e6", Title: "Convergent profiling overhead vs accuracy", Text: text}
+	r.Checks = append(r.Checks,
+		check("overhead-reduced", meanDuty <= 0.5,
+			"duty cycle %.3f (convergent profiling skips most executions)", meanDuty),
+		check("accuracy-kept", meanMAE <= 0.08,
+			"invariance MAE %.4f vs ground truth (within a few percent)", meanMAE),
+		check("slowdown-improved", meanSlow < meanFull,
+			"modeled slowdown %.2fx < full-time %.2fx", meanSlow, meanFull))
+	return r, nil
+}
+
+// modeledSlowdown charges vm.AnalysisCallCycles per profiled
+// observation and one cycle per skipped (counter-decrement) check, over
+// the uninstrumented cycle count — the paper's overhead accounting in
+// our cycle model.
+func modeledSlowdown(base *vm.Result, profiled, skipped uint64) float64 {
+	extra := profiled*vm.AnalysisCallCycles + skipped*1
+	return float64(base.Cycles+extra) / float64(base.Cycles)
+}

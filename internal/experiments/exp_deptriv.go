@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+
+	"valueprof/internal/atom"
+	"valueprof/internal/core"
+	"valueprof/internal/depprof"
+	"valueprof/internal/stats"
+	"valueprof/internal/textual"
+	"valueprof/internal/trivprof"
+)
+
+// E15 — memory-dependence (store→load communication) profiling, the
+// Reinman et al. [31] use of profiling the thesis describes, combined
+// with the Moudgill & Moreno [29] value-checked rescheduling set.
+func init() {
+	register(&Experiment{
+		ID:    "e15",
+		Title: "Store→load communication and reschedulable loads (Reinman [31], Moudgill-Moreno [29])",
+		Paper: "Many loads are fed by a recent, predictable store and could bypass memory; loads with high value invariance can be speculatively rescheduled with a cheap value check.",
+		Run:   runE15,
+	})
+}
+
+func runE15(cfg Config) (*Result, error) {
+	ws, err := cfg.selected()
+	if err != nil {
+		return nil, err
+	}
+	tab := textual.New("Store→load communication (test input, 256-inst window)",
+		"program", "loads", "store-fed", "forwardable", "edge-inv", "bypass-cands", "resched-cands")
+	var fedFracs, edgeInvs []float64
+	bypassTotal, reschedTotal := 0, 0
+	for _, w := range ws {
+		prog, err := w.Compile()
+		if err != nil {
+			return nil, err
+		}
+		dp := depprof.New(depprof.DefaultOptions())
+		vp, err := core.NewValueProfiler(core.Options{Filter: core.LoadsOnly, TNV: core.DefaultTNVConfig()})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := atom.Run(prog, w.Test.Args, false, dp, vp); err != nil {
+			return nil, err
+		}
+		rep := dp.Report()
+		fromStore, forwardable, edgeInv := rep.Totals()
+		bypass := rep.BypassCandidates(1000, 0.9)
+		// Reschedulable under value checking: loads whose value is
+		// highly invariant, so a mis-speculated reorder rarely needs
+		// recovery.
+		resched := 0
+		profile := vp.Profile()
+		for _, l := range rep.Loads {
+			if s := profile.Site(l.PC); s != nil && s.Exec >= 1000 && s.InvTop(1) >= 0.9 {
+				resched++
+			}
+		}
+		fedFracs = append(fedFracs, fromStore)
+		edgeInvs = append(edgeInvs, edgeInv)
+		bypassTotal += len(bypass)
+		reschedTotal += resched
+		tab.Row(w.Name, len(rep.Loads), textual.Pct(fromStore), textual.Pct(forwardable),
+			fmt.Sprintf("%.3f", edgeInv), len(bypass), resched)
+	}
+	meanFed := stats.Mean(fedFracs)
+	meanEdge := stats.Mean(edgeInvs)
+	r := &Result{ID: "e15", Title: "Store→load communication profiling", Text: tab.String()}
+	r.Checks = append(r.Checks,
+		check("loads-are-store-fed", meanFed >= 0.3,
+			"mean %.1f%% of load executions read a value some profiled store wrote", 100*meanFed),
+		check("edges-are-stable", meanEdge >= 0.5,
+			"mean %.3f of store-fed executions come from the load's single dominant store", meanEdge),
+		check("candidates-exist", bypassTotal >= 1 && reschedTotal >= 1,
+			"%d bypass candidates, %d value-checked rescheduling candidates", bypassTotal, reschedTotal))
+	return r, nil
+}
+
+// E16 — trivial-computation profiling (Richardson [32]).
+func init() {
+	register(&Experiment{
+		ID:    "e16",
+		Title: "Trivial and redundant computation (Richardson [32])",
+		Paper: "Profiling arithmetic operand values finds a significant dynamic fraction of trivial computations (×0, ×1, ×2^k, ÷2^k, x÷x) that could complete in one cycle.",
+		Run:   runE16,
+	})
+}
+
+func runE16(cfg Config) (*Result, error) {
+	ws, err := cfg.selected()
+	if err != nil {
+		return nil, err
+	}
+	tab := textual.New("Trivial mul/div/rem executions (test input)",
+		"program", "execs", "trivial", "zero", "one", "pow2", "self", "saved-cycles", "of-total")
+	var fracs []float64
+	var bestSavings float64
+	for _, w := range ws {
+		prog, err := w.Compile()
+		if err != nil {
+			return nil, err
+		}
+		tp := trivprof.New()
+		res, err := atom.Run(prog, w.Test.Args, false, tp)
+		if err != nil {
+			return nil, err
+		}
+		rep := tp.Report()
+		frac, saved, kinds := rep.Totals()
+		var execs uint64
+		for _, s := range rep.Sites {
+			execs += s.Execs
+		}
+		ofTotal := float64(saved) / float64(res.Cycles)
+		if ofTotal > bestSavings {
+			bestSavings = ofTotal
+		}
+		fracs = append(fracs, frac)
+		tab.Row(w.Name, execs, textual.Pct(frac),
+			kinds[trivprof.ZeroOperand], kinds[trivprof.OneOperand],
+			kinds[trivprof.PowerOfTwo], kinds[trivprof.SelfOperand],
+			saved, textual.Pct(ofTotal))
+	}
+	meanFrac := stats.Mean(fracs)
+	r := &Result{ID: "e16", Title: "Trivial computation profiling", Text: tab.String()}
+	r.Checks = append(r.Checks,
+		check("trivial-computation-significant", meanFrac >= 0.10,
+			"mean %.1f%% of mul/div/rem executions are trivial (Richardson found a significant fraction)", 100*meanFrac),
+		check("savings-material", bestSavings >= 0.02,
+			"best benchmark could save %.1f%% of all cycles by trivializing", 100*bestSavings))
+	return r, nil
+}

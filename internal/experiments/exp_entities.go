@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+
+	"valueprof/internal/atom"
+	"valueprof/internal/core"
+	"valueprof/internal/memprof"
+	"valueprof/internal/paramprof"
+	"valueprof/internal/quantile"
+	"valueprof/internal/stats"
+	"valueprof/internal/textual"
+)
+
+// E8 — memory-location value profiling.
+func init() {
+	register(&Experiment{
+		ID:    "e8",
+		Title: "Memory-location value invariance (Ch. on memory locations)",
+		Paper: "Per-location TNV profiles of stored values. Claim: a substantial fraction of memory locations are written with a single dominant value, and the hot locations carry most accesses.",
+		Run:   runE8,
+	})
+}
+
+func runE8(cfg Config) (*Result, error) {
+	ws, err := cfg.selected()
+	if err != nil {
+		return nil, err
+	}
+	tab := textual.New("Memory locations (stores, test input)",
+		"program", "locs", "writes", "InvTop1", "%zero", "inv-locs", "inv-writes")
+	var invByLoc, invByAcc []float64
+	for _, w := range ws {
+		prog, err := w.Compile()
+		if err != nil {
+			return nil, err
+		}
+		mp := memprof.New(memprof.Options{TNV: core.DefaultTNVConfig()})
+		if _, err := atom.Run(prog, w.Test.Args, false, mp); err != nil {
+			return nil, err
+		}
+		rep := mp.Report()
+		m := rep.Aggregate(nil)
+		byLoc, byAcc := rep.InvariantFraction(0.9)
+		invByLoc = append(invByLoc, byLoc)
+		invByAcc = append(invByAcc, byAcc)
+		tab.Row(w.Name, len(rep.Locations), m.Execs, m.InvTop1, m.PctZero,
+			textual.Pct(byLoc), textual.Pct(byAcc))
+	}
+	meanLoc := stats.Mean(invByLoc)
+	r := &Result{ID: "e8", Title: "Memory-location value invariance", Text: tab.String()}
+	r.Checks = append(r.Checks,
+		check("invariant-locations-exist", meanLoc >= 0.15,
+			"mean %.1f%% of written locations are ≥90%% single-valued", 100*meanLoc),
+		check("all-benchmarks-have-locations", len(invByLoc) == len(ws),
+			"%d benchmarks profiled", len(invByLoc)))
+	return r, nil
+}
+
+// Arity of interesting procedures in each workload (known from the
+// MiniC sources; a real binary would get these from debug info).
+var workloadArity = map[string]map[string]int{
+	"compress": {"hash3": 3, "lcg": 1, "compress": 0, "checksum": 2},
+	"bytecode": {"emit": 2, "run": 0, "buildSumSquares": 2, "buildCollatz": 1},
+	"mcsim":    {"enc": 4, "sim": 1, "buildGcd": 0},
+	"gosearch": {"at": 2, "liberties": 2, "score": 3, "playGame": 2},
+	"imagef":   {"pix": 3, "genImage": 1, "convolve": 0, "quantize": 0},
+	"dictv":    {"hash": 1, "find": 1, "insert": 2, "remove": 1},
+	"sortq":    {"lcg": 1, "quicksort": 1, "siftDown": 3, "heapsort": 2, "bsearch": 3},
+	"lifegrid": {"idx": 2, "stepGen": 0},
+	"wavef":    {"stepWave": 0, "energy": 0},
+	"parsef": {
+		"emitChar": 1, "isDigit": 1, "peek": 0, "lcg": 0,
+		"genNumber": 0, "genFactor": 1, "genTerm": 1, "genSum": 1,
+		"parseNumber": 0, "parseFactor": 0, "parseTerm": 0, "parseSum": 0,
+		"classify": 0,
+	},
+}
+
+// E9 — procedure-parameter profiling.
+func init() {
+	register(&Experiment{
+		ID:    "e9",
+		Title: "Procedure-parameter invariance (specialization candidates)",
+		Paper: "At procedure entry the argument registers are profiled; procedures whose whole argument tuple is semi-invariant are the candidates for specialization and memoization (Ch. X).",
+		Run:   runE9,
+	})
+}
+
+func runE9(cfg Config) (*Result, error) {
+	ws, err := cfg.selected()
+	if err != nil {
+		return nil, err
+	}
+	tab := textual.New("Hot procedures (test input, top 3 per benchmark by calls)",
+		"program", "proc", "calls", "arg0-inv", "arg1-inv", "arg2-inv", "tuple-inv")
+	candidates := 0
+	maxArgInv := 0.0
+	for _, w := range ws {
+		prog, err := w.Compile()
+		if err != nil {
+			return nil, err
+		}
+		pp := paramprof.New(paramprof.Options{
+			TNV:   core.DefaultTNVConfig(),
+			Arity: workloadArity[w.Name],
+		})
+		if _, err := atom.Run(prog, w.Test.Args, false, pp); err != nil {
+			return nil, err
+		}
+		rep := pp.Report()
+		shown := 0
+		for _, p := range rep.Procs {
+			if p.Name == "main" || p.Name == "_main" || shown >= 3 {
+				continue
+			}
+			shown++
+			cells := []any{w.Name, p.Name, p.Calls}
+			for i := 0; i < 3; i++ {
+				if i < len(p.Args) {
+					inv := p.Args[i].InvTop(1)
+					if inv > maxArgInv && p.Calls > 100 {
+						maxArgInv = inv
+					}
+					cells = append(cells, fmt.Sprintf("%.3f", inv))
+				} else {
+					cells = append(cells, "-")
+				}
+			}
+			if len(p.Args) > 0 {
+				cells = append(cells, fmt.Sprintf("%.3f", p.AllArgsInvariance()))
+			} else {
+				cells = append(cells, "-")
+			}
+			tab.Row(cells...)
+		}
+		candidates += len(rep.Candidates(100, 0.5))
+	}
+	r := &Result{ID: "e9", Title: "Procedure-parameter invariance", Text: tab.String()}
+	r.Checks = append(r.Checks,
+		check("semi-invariant-args-exist", maxArgInv >= 0.5,
+			"best hot-procedure argument invariance %.3f", maxArgInv),
+		check("candidates-found", candidates >= 1,
+			"%d procedures with tuple invariance ≥50%% and ≥100 calls", candidates))
+	return r, nil
+}
+
+// E10 — Table IV.1: the basic-block quantile table.
+func init() {
+	register(&Experiment{
+		ID:    "e10",
+		Title: "Basic-block quantile table (Table IV.1)",
+		Paper: "A small fraction of static basic blocks covers the bulk of dynamic execution — the classic concentration result motivating profile-guided optimization.",
+		Run:   runE10,
+	})
+}
+
+func runE10(cfg Config) (*Result, error) {
+	ws, err := cfg.selected()
+	if err != nil {
+		return nil, err
+	}
+	tab := textual.New("Blocks needed for execution coverage (test input)",
+		"program", "static", "live", "50%", "90%", "99%", "90% as %static")
+	var pct90s []float64
+	for _, w := range ws {
+		prog, err := w.Compile()
+		if err != nil {
+			return nil, err
+		}
+		qp := quantile.New()
+		if _, err := atom.Run(prog, w.Test.Args, false, qp); err != nil {
+			return nil, err
+		}
+		t := qp.BuildTable(nil)
+		get := func(cov float64) quantile.Row {
+			for _, r := range t.Rows {
+				if r.Coverage == cov {
+					return r
+				}
+			}
+			return quantile.Row{}
+		}
+		r50, r90, r99 := get(0.50), get(0.90), get(0.99)
+		pct90s = append(pct90s, r90.PctStatic)
+		tab.Row(w.Name, t.TotalBlocks, t.LiveBlocks, r50.Blocks, r90.Blocks, r99.Blocks,
+			textual.Pct(r90.PctStatic))
+	}
+	mean90 := stats.Mean(pct90s)
+	r := &Result{ID: "e10", Title: "Basic-block quantile table", Text: tab.String()}
+	r.Checks = append(r.Checks,
+		check("execution-concentrated", mean90 <= 0.40,
+			"90%% of execution comes from %.1f%% of static blocks on average", 100*mean90))
+	return r, nil
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+
+	"valueprof/internal/atom"
+	"valueprof/internal/core"
+	"valueprof/internal/isa"
+	"valueprof/internal/paramprof"
+	"valueprof/internal/regprof"
+	"valueprof/internal/specialize"
+	"valueprof/internal/stats"
+	"valueprof/internal/textual"
+	"valueprof/internal/vm"
+)
+
+// E17 — register-value profiling (the register-file prediction
+// discussion around Gabbay [17]).
+func init() {
+	register(&Experiment{
+		ID:    "e17",
+		Title: "Register-file value invariance (Gabbay [17] discussion)",
+		Paper: "Viewing each architectural register as one profiled storage location: a few registers (stack/frame pointers, convention-bound temporaries) are highly predictable, which is what makes register-value prediction and register-window elision viable.",
+		Run:   runE17,
+	})
+}
+
+func runE17(cfg Config) (*Result, error) {
+	ws, err := cfg.selected()
+	if err != nil {
+		return nil, err
+	}
+	tab := textual.New("Register write-stream invariance (test input)",
+		"program", "regs", "writes", "LVP", "InvTop1", "InvTop10", "best-reg", "best-inv10")
+	var suiteInv10 []float64
+	bestEver := 0.0
+	for _, w := range ws {
+		prog, err := w.Compile()
+		if err != nil {
+			return nil, err
+		}
+		rp := regprof.New(core.DefaultTNVConfig(), false)
+		if _, err := atom.Run(prog, w.Test.Args, false, rp); err != nil {
+			return nil, err
+		}
+		m := rp.Aggregate()
+		bestName, bestInv := "", 0.0
+		for _, s := range rp.Written() {
+			if s.Exec < 1000 {
+				continue
+			}
+			if inv := s.InvTop(10); inv > bestInv {
+				bestName, bestInv = s.Name, inv
+			}
+		}
+		if bestInv > bestEver {
+			bestEver = bestInv
+		}
+		suiteInv10 = append(suiteInv10, m.InvTopN)
+		tab.Row(w.Name, len(rp.Written()), m.Execs, m.LVP, m.InvTop1, m.InvTopN,
+			bestName, fmt.Sprintf("%.3f", bestInv))
+	}
+	mean10 := stats.Mean(suiteInv10)
+	r := &Result{ID: "e17", Title: "Register-file value invariance", Text: tab.String()}
+	r.Checks = append(r.Checks,
+		check("registers-predictable", mean10 >= 0.3,
+			"mean Inv-Top(10) over register write streams %.1f%%", 100*mean10),
+		check("some-register-highly-predictable", bestEver >= 0.8,
+			"best hot register covers %.1f%% of its writes with 10 values", 100*bestEver))
+	return r, nil
+}
+
+// E18 — automatic specialization sweep: run the full Chapter X pipeline
+// (profile → candidate selection → specialization → verification)
+// across the entire benchmark suite, unassisted.
+func init() {
+	register(&Experiment{
+		ID:    "e18",
+		Title: "Automatic specialization sweep over the suite (Ch. X at scale)",
+		Paper: "Value profiling's purpose is automation: finding semi-invariant arguments without user annotations. This sweep lets the parameter profile pick every viable (procedure, argument, value) in every benchmark, specializes them, and verifies each benchmark's output stays golden.",
+		Run:   runE18,
+	})
+}
+
+func runE18(cfg Config) (*Result, error) {
+	ws, err := cfg.selected()
+	if err != nil {
+		return nil, err
+	}
+	tab := textual.New("Automatic specialization (test input)",
+		"program", "proc", "arg", "value", "arg-inv", "folded+reduced", "removed", "speedup", "output")
+	attempted, verified := 0, 0
+	var speedups []float64
+	for _, w := range ws {
+		prog, err := w.Compile()
+		if err != nil {
+			return nil, err
+		}
+		pp := paramprof.New(paramprof.Options{
+			TNV:   core.DefaultTNVConfig(),
+			Arity: workloadArity[w.Name],
+		})
+		if _, err := atom.Run(prog, w.Test.Args, false, pp); err != nil {
+			return nil, err
+		}
+		base, err := w.Run(w.Test)
+		if err != nil {
+			return nil, err
+		}
+		// Candidate selection: hottest procedure argument with
+		// invariance ≥ 0.6 over ≥ 500 calls.
+		type cand struct {
+			proc  string
+			arg   int
+			value int64
+			inv   float64
+			calls uint64
+		}
+		var best *cand
+		for _, p := range pp.Report().Procs {
+			if p.Calls < 500 || p.Name == "main" || p.Name == "_main" {
+				continue
+			}
+			for i, a := range p.Args {
+				inv := a.InvTop(1)
+				v, _, ok := a.TNV.TopValue()
+				if !ok || inv < 0.6 || v < -(1<<31) || v > (1<<31)-1 {
+					continue
+				}
+				if best == nil || p.Calls > best.calls || (p.Calls == best.calls && inv > best.inv) {
+					best = &cand{proc: p.Name, arg: i, value: v, inv: inv, calls: p.Calls}
+				}
+			}
+		}
+		if best == nil {
+			tab.Row(w.Name, "(no candidate)", "-", "-", "-", "-", "-", "-", "-")
+			continue
+		}
+		attempted++
+		spec, info, err := specialize.Specialize(prog, best.proc, uint8(isa.RegA0+best.arg), best.value)
+		if err != nil {
+			tab.Row(w.Name, best.proc, best.arg, best.value,
+				fmt.Sprintf("%.3f", best.inv), "-", "-", "-", fmt.Sprintf("error: %v", err))
+			continue
+		}
+		got, err := vm.Execute(spec, w.Test.Args)
+		if err != nil {
+			return nil, fmt.Errorf("e18: specialized %s faulted: %w", w.Name, err)
+		}
+		ok := got.Output == base.Output
+		if ok {
+			verified++
+		}
+		speedup := float64(base.Cycles) / float64(got.Cycles)
+		speedups = append(speedups, speedup)
+		tab.Row(w.Name, best.proc, best.arg, best.value,
+			fmt.Sprintf("%.3f", best.inv),
+			info.Folded+info.Reduced, info.Removed,
+			fmt.Sprintf("%.3fx", speedup), ok)
+	}
+	text := tab.String() + fmt.Sprintf("\nattempted %d, verified %d, mean speedup %.3fx\n",
+		attempted, verified, stats.Mean(speedups))
+	r := &Result{ID: "e18", Title: "Automatic specialization sweep", Text: text}
+	r.Checks = append(r.Checks,
+		check("sweep-found-candidates", attempted >= 2,
+			"%d benchmarks had automatically discovered candidates", attempted),
+		check("all-outputs-preserved", verified == attempted && attempted > 0,
+			"%d/%d specializations verified against golden output", verified, attempted),
+		check("no-material-slowdown", stats.Mean(speedups) >= 0.98,
+			"mean speedup %.3fx (guarded dispatch must not cost more than it saves)", stats.Mean(speedups)))
+	return r, nil
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+
+	"valueprof/internal/atom"
+	"valueprof/internal/procprof"
+	"valueprof/internal/stats"
+	"valueprof/internal/textual"
+	"valueprof/internal/vpred"
+)
+
+// E19 — procedure-time attribution (Ch. IV background; the "few
+// procedures make up the bulk of the execution" motivation for
+// memoization/specialization).
+func init() {
+	register(&Experiment{
+		ID:    "e19",
+		Title: "Procedure cycle attribution (Ch. IV; memoization motivation)",
+		Paper: "Execution time concentrates in a handful of procedures, so value-profile-driven optimizations only need to consider a few targets per program.",
+		Run:   runE19,
+	})
+}
+
+func runE19(cfg Config) (*Result, error) {
+	ws, err := cfg.selected()
+	if err != nil {
+		return nil, err
+	}
+	tab := textual.New("Procedure time (test input, exclusive cycles)",
+		"program", "procs", "hottest", "top1-share", "top3-share", "calls(top1)")
+	var top3s []float64
+	for _, w := range ws {
+		prog, err := w.Compile()
+		if err != nil {
+			return nil, err
+		}
+		pp := procprof.New()
+		if _, err := atom.Run(prog, w.Test.Args, false, pp); err != nil {
+			return nil, err
+		}
+		sorted := pp.Sorted()
+		if len(sorted) == 0 {
+			return nil, fmt.Errorf("e19: %s attributed no procedures", w.Name)
+		}
+		top3s = append(top3s, pp.TopShare(3))
+		tab.Row(w.Name, len(sorted), sorted[0].Name,
+			textual.Pct(pp.TopShare(1)), textual.Pct(pp.TopShare(3)), sorted[0].Calls)
+	}
+	mean3 := stats.Mean(top3s)
+	r := &Result{ID: "e19", Title: "Procedure cycle attribution", Text: tab.String()}
+	r.Checks = append(r.Checks,
+		check("time-concentrated-in-procs", mean3 >= 0.6,
+			"top 3 procedures hold %.1f%% of exclusive cycles on average", 100*mean3))
+	return r, nil
+}
+
+// E20 — predictor table-size sensitivity (the finite-VHT reality behind
+// the predictor comparison of [17,39]).
+func init() {
+	register(&Experiment{
+		ID:    "e20",
+		Title: "Predictor table-size sensitivity (finite VHT, [17]/[39])",
+		Paper: "Value-prediction tables are finite; aliasing at small sizes destroys hit rate, and profile-guided filtering (predict only the profiled-predictable sites) recovers much of a small table's loss by keeping noise out.",
+		Run:   runE20,
+	})
+}
+
+func runE20(cfg Config) (*Result, error) {
+	ws, err := cfg.quickSubset()
+	if err != nil {
+		return nil, err
+	}
+	sizes := []int{4, 6, 8, 12}
+	if cfg.Quick {
+		sizes = []int{4, 8, 12}
+	}
+	headers := []string{"program", "variant"}
+	for _, lg := range sizes {
+		headers = append(headers, fmt.Sprintf("2^%d", lg))
+	}
+	tab := textual.New("LVP hit rate vs table size", headers...)
+
+	var unfSmall, unfBig, fltSmall []float64
+	for _, w := range ws {
+		prog, err := w.Compile()
+		if err != nil {
+			return nil, err
+		}
+		profile, err := newProfileForFilter(prog, w.Test.Args)
+		if err != nil {
+			return nil, err
+		}
+		for _, filtered := range []bool{false, true} {
+			cells := []any{w.Name, variantName(filtered)}
+			for _, lg := range sizes {
+				ev := vpred.NewEvaluator(vpred.NewLVP(lg))
+				if filtered {
+					ev.PredictPC = vpFilter(profile, 0.7)
+				}
+				if _, err := atom.Run(prog, w.Test.Args, false, ev); err != nil {
+					return nil, err
+				}
+				hr := ev.Results()[0].HitRate()
+				cells = append(cells, fmt.Sprintf("%.3f", hr))
+				switch {
+				case lg == sizes[0] && !filtered:
+					unfSmall = append(unfSmall, hr)
+				case lg == sizes[len(sizes)-1] && !filtered:
+					unfBig = append(unfBig, hr)
+				case lg == sizes[0] && filtered:
+					fltSmall = append(fltSmall, hr)
+				}
+			}
+			tab.Row(cells...)
+		}
+	}
+	meanUnfSmall := stats.Mean(unfSmall)
+	meanUnfBig := stats.Mean(unfBig)
+	meanFltSmall := stats.Mean(fltSmall)
+	r := &Result{ID: "e20", Title: "Predictor table-size sensitivity", Text: tab.String()}
+	r.Checks = append(r.Checks,
+		check("aliasing-hurts-small-tables", meanUnfBig >= meanUnfSmall+0.02,
+			"unfiltered LVP hit rate %.3f at 2^%d vs %.3f at 2^%d entries",
+			meanUnfBig, sizes[len(sizes)-1], meanUnfSmall, sizes[0]),
+		check("filtering-helps-small-tables", meanFltSmall >= meanUnfSmall,
+			"profile-filtered hit rate at 2^%d entries %.3f ≥ unfiltered %.3f (fewer sites contending)",
+			sizes[0], meanFltSmall, meanUnfSmall))
+	return r, nil
+}
+
+func variantName(filtered bool) string {
+	if filtered {
+		return "filtered"
+	}
+	return "unfiltered"
+}

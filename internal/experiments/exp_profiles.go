@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"valueprof/internal/core"
+	"valueprof/internal/isa"
+	"valueprof/internal/stats"
+	"valueprof/internal/textual"
+)
+
+// E1 — Table III.A.1: the benchmark suite with its two data sets and
+// dynamic instruction counts.
+func init() {
+	register(&Experiment{
+		ID:    "e1",
+		Title: "Benchmark suite and data sets (Table III.A.1)",
+		Paper: "The paper lists each SPEC benchmark with its two input sets and dynamic instruction counts (millions).",
+		Run:   runE1,
+	})
+}
+
+func runE1(cfg Config) (*Result, error) {
+	ws, err := cfg.selected()
+	if err != nil {
+		return nil, err
+	}
+	tab := textual.New("Benchmarks", "program", "models", "input", "insts(M)", "cycles(M)")
+	var allOK = true
+	for _, w := range ws {
+		for _, in := range w.Inputs() {
+			res, err := w.Run(in)
+			if err != nil {
+				return nil, err
+			}
+			tab.Row(w.Name, shortDesc(w.Description), in.Name,
+				fmt.Sprintf("%.2f", float64(res.InstCount)/1e6),
+				fmt.Sprintf("%.2f", float64(res.Cycles)/1e6))
+			if res.InstCount < 100_000 {
+				allOK = false
+			}
+		}
+	}
+	r := &Result{ID: "e1", Title: "Benchmark suite and data sets", Text: tab.String()}
+	r.Checks = append(r.Checks,
+		check("suite-size", len(ws) >= 1, "%d workloads, two data sets each", len(ws)),
+		check("nontrivial-runs", allOK, "every run executes ≥100k instructions"))
+	return r, nil
+}
+
+func shortDesc(d string) string {
+	if i := strings.Index(d, "("); i > 0 {
+		return strings.TrimSuffix(strings.TrimSpace(d[i+1:]), ")")
+	}
+	return d
+}
+
+// E2 — load-value profiling: the paper's headline table. Roughly half
+// of all loads fetch the value they fetched last time, and the top
+// value of a load site covers a large fraction of its executions.
+func init() {
+	register(&Experiment{
+		ID:    "e2",
+		Title: "Load-value invariance per benchmark (Ch. V load table)",
+		Paper: "Per benchmark over all loads: LVP, Inv-Top(1), Inv-Top(N), Inv-All(1), %zero. Claim: loads are strongly value-locality biased (LVP around 50%) and Inv-Top(1) is close behind; %zero is substantial.",
+		Run:   runE2,
+	})
+}
+
+func runE2(cfg Config) (*Result, error) {
+	ws, err := cfg.selected()
+	if err != nil {
+		return nil, err
+	}
+	tab := textual.New("Load values (test input, full-time profiling, ground truth)",
+		"program", "loads", "LVP", "InvTop1", "InvTop10", "InvAll1", "InvAll10", "%zero", "Diff(L/I)")
+	var lvps, inv1s, invNs, weights []float64
+	anyTopNHeavy := false
+	orderOK := true
+	for _, w := range ws {
+		pr, _, err := profileWorkload(w, w.Test, core.Options{
+			Filter: core.LoadsOnly, TNV: core.DefaultTNVConfig(), TrackFull: true,
+		}, false)
+		if err != nil {
+			return nil, err
+		}
+		m := pr.Aggregate()
+		tab.Row(w.Name, m.Execs, m.LVP, m.InvTop1, m.InvTopN, m.InvAll1, m.InvAllN, m.PctZero, m.Diff)
+		lvps = append(lvps, m.LVP)
+		inv1s = append(inv1s, m.InvAll1)
+		invNs = append(invNs, m.InvAllN)
+		weights = append(weights, float64(m.Execs))
+		if m.InvAllN >= 0.6 {
+			anyTopNHeavy = true
+		}
+		if m.InvTop1 > m.InvAllN+1e-9 || m.InvAll1 > m.InvAllN+1e-9 {
+			orderOK = false
+		}
+	}
+	meanLVP := stats.WeightedMean(lvps, weights)
+	meanInv := stats.WeightedMean(inv1s, weights)
+	meanInvN := stats.WeightedMean(invNs, weights)
+	r := &Result{ID: "e2", Title: "Load-value invariance per benchmark", Text: tab.String()}
+	r.Checks = append(r.Checks,
+		check("loads-predictable", meanLVP >= 0.30,
+			"suite LVP %.1f%% (paper: ~50%% of loads repeat their last value)", 100*meanLVP),
+		check("loads-invariant", meanInv >= 0.25 && meanInvN >= 0.4 && anyTopNHeavy,
+			"suite Inv-All(1) %.1f%%, Inv-All(10) %.1f%%, some benchmark's top-10 values cover ≥60%% (paper: few values cover most load results)", 100*meanInv, 100*meanInvN),
+		check("metric-ordering", orderOK, "Inv-Top(1) ≤ Inv-All(N) everywhere"))
+	return r, nil
+}
+
+// E3 — all result-producing instructions, with the per-class breakdown.
+func init() {
+	register(&Experiment{
+		ID:    "e3",
+		Title: "All-instruction invariance and per-class breakdown (Ch. V)",
+		Paper: "Same metrics over every result-producing instruction, split by instruction class. Claim: invariance is pervasive, not load-specific; compare/logic ops are the most invariant, loads high, plain ALU lower.",
+		Run:   runE3,
+	})
+}
+
+func runE3(cfg Config) (*Result, error) {
+	ws, err := cfg.selected()
+	if err != nil {
+		return nil, err
+	}
+	tab := textual.New("All instructions (test input)",
+		"program", "execs", "LVP", "InvTop1", "InvTop10", "%zero")
+	classAgg := map[isa.Class][]*core.SiteStats{}
+	var suiteInv, suiteW []float64
+	for _, w := range ws {
+		pr, _, err := profileWorkload(w, w.Test, core.Options{TNV: core.DefaultTNVConfig()}, false)
+		if err != nil {
+			return nil, err
+		}
+		m := pr.Aggregate()
+		tab.Row(w.Name, m.Execs, m.LVP, m.InvTop1, m.InvTopN, m.PctZero)
+		suiteInv = append(suiteInv, m.InvTop1)
+		suiteW = append(suiteW, float64(m.Execs))
+		prog, err := w.Compile()
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range pr.Sites {
+			cl := prog.Code[s.PC].Op.Class()
+			classAgg[cl] = append(classAgg[cl], s)
+		}
+	}
+	ctab := textual.New("By instruction class (suite-wide)",
+		"class", "sites", "execs", "LVP", "InvTop1", "%zero")
+	classInv := map[isa.Class]float64{}
+	for cl := isa.Class(0); int(cl) < isa.NumClasses; cl++ {
+		sites, ok := classAgg[cl]
+		if !ok {
+			continue
+		}
+		m := core.Aggregate(sites, 10)
+		classInv[cl] = m.InvTop1
+		ctab.Row(cl.String(), m.Sites, m.Execs, m.LVP, m.InvTop1, m.PctZero)
+	}
+	meanInv := stats.WeightedMean(suiteInv, suiteW)
+	r := &Result{ID: "e3", Title: "All-instruction invariance", Text: tab.String() + "\n" + ctab.String()}
+	r.Checks = append(r.Checks,
+		check("pervasive-invariance", meanInv >= 0.25,
+			"suite Inv-Top(1) over all instructions %.1f%%", 100*meanInv),
+		check("class-breakdown-present", len(classInv) >= 4,
+			"%d instruction classes profiled", len(classInv)),
+		check("loads-vs-alu", classInv[isa.ClassLoad] > 0,
+			"load class Inv-Top(1) %.1f%%, alu %.1f%%", 100*classInv[isa.ClassLoad], 100*classInv[isa.ClassALU]))
+	return r, nil
+}
+
+// E7 — the invariance-distribution figure: execution-weighted histogram
+// of per-site Inv-Top(1) ("the average result, weighted by execution
+// frequency, of each bucket is graphed; the y-axis is non-accumulative").
+func init() {
+	register(&Experiment{
+		ID:    "e7",
+		Title: "Invariance distribution histogram (Ch. V figure)",
+		Paper: "Execution-weighted distribution of per-instruction Inv-Top(1). Claim: the distribution is polarized — a large mass of executions comes from highly invariant instructions, with another mass fully variant.",
+		Run:   runE7,
+	})
+}
+
+func runE7(cfg Config) (*Result, error) {
+	ws, err := cfg.selected()
+	if err != nil {
+		return nil, err
+	}
+	hist := stats.NewHistogram(10)
+	loadHist := stats.NewHistogram(10)
+	for _, w := range ws {
+		pr, _, err := profileWorkload(w, w.Test, core.Options{TNV: core.DefaultTNVConfig()}, false)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := w.Compile()
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range pr.Sites {
+			if s.Exec == 0 {
+				continue
+			}
+			hist.Add(s.InvTop(1), float64(s.Exec))
+			if prog.Code[s.PC].Op.Class() == isa.ClassLoad {
+				loadHist.Add(s.InvTop(1), float64(s.Exec))
+			}
+		}
+	}
+	text := "All result-producing instructions:\n" + hist.String() +
+		"\nLoads only:\n" + loadHist.String()
+	fr := hist.Fractions()
+	top := fr[len(fr)-1]
+	bottom := fr[0]
+	r := &Result{ID: "e7", Title: "Invariance distribution histogram", Text: text}
+	r.Checks = append(r.Checks,
+		check("top-bucket-mass", top >= 0.10,
+			"%.1f%% of executions in the [0.9,1.0) invariance bucket", 100*top),
+		check("polarized", top+bottom >= 0.25,
+			"ends hold %.1f%% of mass (distribution is polarized, not uniform)", 100*(top+bottom)))
+	return r, nil
+}

@@ -1,0 +1,173 @@
+// Package experiments regenerates the paper's tables and figures
+// (DESIGN.md's experiment index E1–E13) over the workload suite. Each
+// experiment renders the paper-style table and evaluates "shape checks"
+// — the qualitative claims of the paper that the reproduction is
+// expected to preserve (who wins, what is large/small, what correlates).
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"valueprof/internal/atom"
+	"valueprof/internal/core"
+	"valueprof/internal/vm"
+	"valueprof/internal/workloads"
+)
+
+// Config selects what an experiment runs over.
+type Config struct {
+	// Workloads restricts the benchmark set (nil = all eight).
+	Workloads []string
+	// Quick shrinks parameter sweeps for fast iteration (benches use
+	// it; the recorded EXPERIMENTS.md numbers use the full sweep).
+	Quick bool
+}
+
+// Check is one shape assertion derived from the paper's claims.
+type Check struct {
+	Name   string
+	Pass   bool
+	Detail string
+}
+
+// Result is one experiment's output.
+type Result struct {
+	ID     string
+	Title  string
+	Text   string
+	Checks []Check
+}
+
+// Failed returns the failing checks.
+func (r *Result) Failed() []Check {
+	var out []Check
+	for _, c := range r.Checks {
+		if !c.Pass {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Summary renders the result with its check outcomes.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n%s\n", strings.ToUpper(r.ID), r.Title, r.Text)
+	for _, c := range r.Checks {
+		status := "PASS"
+		if !c.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "check [%s] %s: %s\n", status, c.Name, c.Detail)
+	}
+	return b.String()
+}
+
+// Experiment is one regenerable exhibit.
+type Experiment struct {
+	ID    string
+	Title string
+	// Paper describes the exhibit and the claim being reproduced.
+	Paper string
+	Run   func(cfg Config) (*Result, error)
+}
+
+var registry []*Experiment
+
+func register(e *Experiment) { registry = append(registry, e) }
+
+// All returns the experiments in id order.
+func All() []*Experiment {
+	out := append([]*Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool {
+		// e1..e13: numeric sort on the suffix.
+		return idNum(out[i].ID) < idNum(out[j].ID)
+	})
+	return out
+}
+
+func idNum(id string) int {
+	n := 0
+	for _, c := range id {
+		if c >= '0' && c <= '9' {
+			n = n*10 + int(c-'0')
+		}
+	}
+	return n
+}
+
+// ByID returns the named experiment.
+func ByID(id string) (*Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// selected resolves the workload set for a config.
+func (cfg Config) selected() ([]*workloads.Workload, error) {
+	if len(cfg.Workloads) == 0 {
+		return workloads.All(), nil
+	}
+	var out []*workloads.Workload
+	for _, name := range cfg.Workloads {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+// quickSubset returns a 3-workload subset for expensive sweeps in
+// quick mode, or the full set otherwise.
+func (cfg Config) quickSubset() ([]*workloads.Workload, error) {
+	ws, err := cfg.selected()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Quick && len(ws) > 3 {
+		pick := map[string]bool{"compress": true, "dictv": true, "mcsim": true}
+		var out []*workloads.Workload
+		for _, w := range ws {
+			if pick[w.Name] {
+				out = append(out, w)
+			}
+		}
+		if len(out) > 0 {
+			return out, nil
+		}
+		return ws[:3], nil
+	}
+	return ws, nil
+}
+
+// profileWorkload compiles and runs one workload input under a value
+// profiler, returning the profile and the run result.
+func profileWorkload(w *workloads.Workload, in workloads.Input, opts core.Options, chargeHooks bool) (*core.Profile, *vm.Result, error) {
+	prog, err := w.Compile()
+	if err != nil {
+		return nil, nil, err
+	}
+	vp, err := core.NewValueProfiler(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := atom.Run(prog, in.Args, chargeHooks, vp)
+	if err != nil {
+		return nil, nil, fmt.Errorf("profiling %s/%s: %w", w.Name, in.Name, err)
+	}
+	if in.Want != "" && res.Output != in.Want {
+		return nil, nil, fmt.Errorf("profiling %s/%s perturbed the output", w.Name, in.Name)
+	}
+	return vp.Profile(), res, nil
+}
+
+func check(name string, pass bool, format string, args ...any) Check {
+	return Check{Name: name, Pass: pass, Detail: fmt.Sprintf(format, args...)}
+}

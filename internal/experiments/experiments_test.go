@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsPassChecks runs every experiment (quick
+// configuration) and requires all paper-shape checks to pass.
+func TestAllExperimentsPassChecks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; skipped with -short")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			res, err := e.Run(Config{Quick: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ID != e.ID {
+				t.Errorf("result id %q != %q", res.ID, e.ID)
+			}
+			if res.Text == "" {
+				t.Error("no rendered output")
+			}
+			if len(res.Checks) == 0 {
+				t.Error("experiment has no shape checks")
+			}
+			for _, c := range res.Failed() {
+				t.Errorf("check %s failed: %s", c.Name, c.Detail)
+			}
+		})
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 21 {
+		t.Fatalf("%d experiments registered, want 21", len(all))
+	}
+	for i, e := range all {
+		if idNum(e.ID) != i+1 {
+			t.Errorf("experiment %d has id %s", i, e.ID)
+		}
+		if e.Title == "" || e.Paper == "" {
+			t.Errorf("%s missing title/paper description", e.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("e11")
+	if err != nil || e.ID != "e11" {
+		t.Errorf("ByID(e11) = %v, %v", e, err)
+	}
+	if _, err := ByID("e99"); err == nil {
+		t.Error("ByID(e99) succeeded")
+	}
+}
+
+func TestConfigSelection(t *testing.T) {
+	ws, err := Config{Workloads: []string{"compress"}}.selected()
+	if err != nil || len(ws) != 1 || ws[0].Name != "compress" {
+		t.Errorf("selected = %v, %v", ws, err)
+	}
+	if _, err := (Config{Workloads: []string{"nope"}}).selected(); err == nil {
+		t.Error("bad workload accepted")
+	}
+	sub, err := Config{Quick: true}.quickSubset()
+	if err != nil || len(sub) != 3 {
+		t.Errorf("quick subset = %d workloads", len(sub))
+	}
+	full, err := Config{}.quickSubset()
+	if err != nil || len(full) != 10 {
+		t.Errorf("full subset = %d workloads", len(full))
+	}
+}
+
+func TestResultSummaryFormat(t *testing.T) {
+	r := &Result{ID: "e1", Title: "T", Text: "body\n",
+		Checks: []Check{{Name: "a", Pass: true, Detail: "ok"}, {Name: "b", Pass: false, Detail: "bad"}}}
+	s := r.Summary()
+	if !strings.Contains(s, "### E1") || !strings.Contains(s, "[PASS] a") || !strings.Contains(s, "[FAIL] b") {
+		t.Errorf("summary:\n%s", s)
+	}
+	if len(r.Failed()) != 1 || r.Failed()[0].Name != "b" {
+		t.Error("Failed() wrong")
+	}
+}
+
+// TestSingleWorkloadExperiment exercises the workload-restriction path
+// on a cheap experiment.
+func TestSingleWorkloadExperiment(t *testing.T) {
+	e, err := ByID("e10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(Config{Workloads: []string{"mcsim"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "mcsim") {
+		t.Errorf("restricted run missing workload:\n%s", res.Text)
+	}
+	if strings.Contains(res.Text, "compress") {
+		t.Error("restriction ignored")
+	}
+}

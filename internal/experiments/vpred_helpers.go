@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"valueprof/internal/atom"
+	"valueprof/internal/core"
+	"valueprof/internal/program"
+	"valueprof/internal/vpred"
+)
+
+// Predictor tables use 2^12 entries, large enough that the workloads'
+// static instruction counts do not alias.
+const predictorLogSize = 12
+
+func newSuiteEvaluator() *vpred.Evaluator {
+	return vpred.NewEvaluator(vpred.StandardSuite(predictorLogSize)...)
+}
+
+func newLVPEvaluator(filter func(int) bool) *vpred.Evaluator {
+	ev := vpred.NewEvaluator(vpred.NewLVP(predictorLogSize))
+	ev.PredictPC = filter
+	return ev
+}
+
+func vpFilter(pr *core.Profile, thresh float64) func(int) bool {
+	return vpred.FilterFromProfile(pr, thresh)
+}
+
+// newProfileForFilter runs a full-time value-profiling pass over prog
+// to build the profile the filtering experiments gate on.
+func newProfileForFilter(prog *program.Program, input []int64) (*core.Profile, error) {
+	vp, err := core.NewValueProfiler(core.Options{TNV: core.DefaultTNVConfig()})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := atom.Run(prog, input, false, vp); err != nil {
+		return nil, err
+	}
+	return vp.Profile(), nil
+}

@@ -1,0 +1,191 @@
+// Package memo evaluates procedure memoization, the use of parameter
+// value profiles suggested by Richardson [32] and thesis Chapter X:
+// "keeping a memoization cache of recently executed function results
+// with their inputs". The Evaluator observes procedure entries and
+// returns, maintains a bounded args→result cache per procedure, and
+// reports the hit rate, the cycles a real memoization stub would have
+// skipped, and — critically — whether cached results were actually
+// correct (impure procedures disqualify themselves).
+package memo
+
+import (
+	"sort"
+
+	"valueprof/internal/atom"
+	"valueprof/internal/isa"
+	"valueprof/internal/vm"
+)
+
+// DefaultCacheSize bounds each procedure's memo table.
+const DefaultCacheSize = 64
+
+// Options configures an Evaluator.
+type Options struct {
+	// Arity maps procedure name → argument count; only listed
+	// procedures are evaluated (memoization requires knowing the
+	// argument registers).
+	Arity map[string]int
+	// CacheSize bounds each memo table (FIFO eviction); 0 uses
+	// DefaultCacheSize.
+	CacheSize int
+	// GuardCycles models the per-call cost of the lookup a real memo
+	// stub would add (charged against the savings).
+	GuardCycles uint64
+}
+
+type key struct {
+	a0, a1, a2 int64
+	n          int
+}
+
+type invocation struct {
+	k          key
+	entryCycle uint64
+	hit        bool
+	cached     int64
+}
+
+// ProcStats is the memoization evaluation of one procedure.
+type ProcStats struct {
+	Name        string
+	Calls       uint64
+	Hits        uint64 // args found in cache
+	CorrectHits uint64 // cached result equalled the actual result
+	WrongHits   uint64 // purity violations
+	SavedCycles uint64 // inclusive cycles of correct-hit invocations
+	GuardCycles uint64 // modeled lookup overhead (all calls)
+	Evictions   uint64
+
+	cache   map[key]int64
+	order   []key // FIFO
+	stack   []invocation
+	maxSize int
+}
+
+// HitRate returns correct hits / calls.
+func (p *ProcStats) HitRate() float64 {
+	if p.Calls == 0 {
+		return 0
+	}
+	return float64(p.CorrectHits) / float64(p.Calls)
+}
+
+// Memoizable reports whether every hit returned the correct cached
+// value (no observed purity violations).
+func (p *ProcStats) Memoizable() bool { return p.WrongHits == 0 }
+
+// NetSavedCycles returns modeled savings after guard overhead.
+func (p *ProcStats) NetSavedCycles() int64 {
+	return int64(p.SavedCycles) - int64(p.GuardCycles)
+}
+
+// Evaluator is an ATOM tool measuring memoization potential.
+type Evaluator struct {
+	opts  Options
+	procs map[string]*ProcStats
+}
+
+// New creates an evaluator; procedures in opts.Arity are evaluated.
+func New(opts Options) *Evaluator {
+	if opts.CacheSize == 0 {
+		opts.CacheSize = DefaultCacheSize
+	}
+	if opts.GuardCycles == 0 {
+		opts.GuardCycles = 2
+	}
+	return &Evaluator{opts: opts, procs: make(map[string]*ProcStats)}
+}
+
+// Instrument implements atom.Tool.
+func (e *Evaluator) Instrument(ix *atom.Instrumenter) {
+	for _, proc := range ix.Procedures() {
+		nargs, ok := e.opts.Arity[proc.Name]
+		if !ok {
+			continue
+		}
+		if nargs > 3 {
+			nargs = 3 // key covers up to three argument registers
+		}
+		ps := &ProcStats{
+			Name:    proc.Name,
+			cache:   make(map[key]int64),
+			maxSize: e.opts.CacheSize,
+		}
+		e.procs[proc.Name] = ps
+		n := nargs
+
+		ix.AddProcEntry(proc, func(ev *vm.Event) {
+			ps.Calls++
+			ps.GuardCycles += e.opts.GuardCycles
+			k := key{n: n}
+			if n > 0 {
+				k.a0 = ev.VM.Regs[isa.RegA0]
+			}
+			if n > 1 {
+				k.a1 = ev.VM.Regs[isa.RegA0+1]
+			}
+			if n > 2 {
+				k.a2 = ev.VM.Regs[isa.RegA0+2]
+			}
+			inv := invocation{k: k, entryCycle: ev.VM.Cycles}
+			if cached, hit := ps.cache[k]; hit {
+				inv.hit = true
+				inv.cached = cached
+				ps.Hits++
+			}
+			ps.stack = append(ps.stack, inv)
+		})
+
+		// Returns: every ret instruction inside the body ends the
+		// innermost invocation of this procedure.
+		for pc := proc.Start; pc < proc.End; pc++ {
+			if ix.Inst(pc).Op != isa.OpRet {
+				continue
+			}
+			ix.AddAfter(pc, func(ev *vm.Event) {
+				if len(ps.stack) == 0 {
+					return // ret without tracked entry (tail-jumped into?)
+				}
+				inv := ps.stack[len(ps.stack)-1]
+				ps.stack = ps.stack[:len(ps.stack)-1]
+				result := ev.VM.Regs[isa.RegV0]
+				if inv.hit {
+					if inv.cached == result {
+						ps.CorrectHits++
+						ps.SavedCycles += ev.VM.Cycles - inv.entryCycle
+					} else {
+						ps.WrongHits++
+						ps.cache[inv.k] = result
+					}
+					return
+				}
+				if len(ps.cache) >= ps.maxSize {
+					oldest := ps.order[0]
+					ps.order = ps.order[1:]
+					delete(ps.cache, oldest)
+					ps.Evictions++
+				}
+				ps.cache[inv.k] = result
+				ps.order = append(ps.order, inv.k)
+			})
+		}
+	}
+}
+
+// Results returns per-procedure stats sorted by calls descending.
+func (e *Evaluator) Results() []*ProcStats {
+	out := make([]*ProcStats, 0, len(e.procs))
+	for _, p := range e.procs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Calls != out[j].Calls {
+			return out[i].Calls > out[j].Calls
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Proc returns one procedure's stats, or nil.
+func (e *Evaluator) Proc(name string) *ProcStats { return e.procs[name] }

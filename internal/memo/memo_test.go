@@ -1,0 +1,147 @@
+package memo
+
+import (
+	"testing"
+
+	"valueprof/internal/atom"
+	"valueprof/internal/minic"
+)
+
+const memoProg = `
+int counter;
+func pure(a, b) {
+    var i; var s = 0;
+    for (i = 0; i < 20; i = i + 1) { s = s + a * b + i; }
+    return s;
+}
+func impure(a) {
+    counter = counter + 1;
+    return a + counter;
+}
+func main() {
+    var i; var acc = 0;
+    for (i = 0; i < 300; i = i + 1) {
+        acc = acc + pure(i % 4, 7);     // only 4 distinct arg tuples
+        acc = acc + impure(5);          // same arg, different result
+    }
+    putint(acc);
+}
+`
+
+func runMemo(t *testing.T, opts Options) *Evaluator {
+	t.Helper()
+	prog, err := minic.Compile(memoProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := New(opts)
+	if _, err := atom.Run(prog, nil, false, ev); err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+func TestMemoPureFunction(t *testing.T) {
+	ev := runMemo(t, Options{Arity: map[string]int{"pure": 2, "impure": 1}})
+	p := ev.Proc("pure")
+	if p == nil || p.Calls != 300 {
+		t.Fatalf("pure stats: %+v", p)
+	}
+	// 4 distinct tuples: first 4 calls miss, the rest hit correctly.
+	if p.Hits != 296 || p.CorrectHits != 296 || p.WrongHits != 0 {
+		t.Errorf("pure hits=%d correct=%d wrong=%d", p.Hits, p.CorrectHits, p.WrongHits)
+	}
+	if !p.Memoizable() {
+		t.Error("pure function flagged as unmemoizable")
+	}
+	if p.SavedCycles == 0 || p.NetSavedCycles() <= 0 {
+		t.Errorf("no modeled savings: saved=%d net=%d", p.SavedCycles, p.NetSavedCycles())
+	}
+	if hr := p.HitRate(); hr < 0.98 {
+		t.Errorf("hit rate = %v", hr)
+	}
+}
+
+func TestMemoDetectsImpurity(t *testing.T) {
+	ev := runMemo(t, Options{Arity: map[string]int{"pure": 2, "impure": 1}})
+	p := ev.Proc("impure")
+	if p == nil || p.Calls != 300 {
+		t.Fatalf("impure stats: %+v", p)
+	}
+	if p.WrongHits == 0 {
+		t.Error("impure function not detected")
+	}
+	if p.Memoizable() {
+		t.Error("impure function flagged memoizable")
+	}
+	if p.CorrectHits > 0 {
+		t.Errorf("impure correct hits = %d, want 0", p.CorrectHits)
+	}
+}
+
+func TestMemoCacheEviction(t *testing.T) {
+	prog, err := minic.Compile(`
+func f(a) { return a * 3; }
+func main() {
+    var i;
+    for (i = 0; i < 100; i = i + 1) { f(i); }   // 100 distinct args
+    for (i = 0; i < 100; i = i + 1) { f(i); }   // replay
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := New(Options{Arity: map[string]int{"f": 1}, CacheSize: 8})
+	if _, err := atom.Run(prog, nil, false, ev); err != nil {
+		t.Fatal(err)
+	}
+	p := ev.Proc("f")
+	if p.Evictions == 0 {
+		t.Error("tiny cache never evicted")
+	}
+	// With FIFO of 8 over a 100-long cyclic stream, nothing can hit.
+	if p.CorrectHits != 0 {
+		t.Errorf("hits = %d, want 0 with thrashing cache", p.CorrectHits)
+	}
+}
+
+func TestMemoUnlistedProcsIgnored(t *testing.T) {
+	ev := runMemo(t, Options{Arity: map[string]int{"pure": 2}})
+	if ev.Proc("impure") != nil {
+		t.Error("unlisted procedure evaluated")
+	}
+	if len(ev.Results()) != 1 {
+		t.Errorf("results = %d", len(ev.Results()))
+	}
+}
+
+func TestMemoRecursionSafe(t *testing.T) {
+	prog, err := minic.Compile(`
+func fib(n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+func main() { putint(fib(15)); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := New(Options{Arity: map[string]int{"fib": 1}})
+	res, err := atom.Run(prog, nil, false, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "610" {
+		t.Fatalf("fib output = %q", res.Output)
+	}
+	p := ev.Proc("fib")
+	if !p.Memoizable() {
+		t.Error("fib should be memoizable")
+	}
+	if p.HitRate() < 0.4 {
+		t.Errorf("fib hit rate = %v; recursive fib should hit heavily", p.HitRate())
+	}
+	if p.Calls < 100 {
+		t.Errorf("calls = %d", p.Calls)
+	}
+}

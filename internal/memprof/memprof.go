@@ -1,0 +1,179 @@
+// Package memprof implements the paper's memory-location value
+// profiling: for each memory address, a TNV table tracks the values
+// written to (and optionally loaded from) that location, yielding
+// per-location invariance — the thesis's second profiled entity class
+// ("Value Profiling for Instructions and Memory Locations").
+package memprof
+
+import (
+	"sort"
+
+	"valueprof/internal/atom"
+	"valueprof/internal/core"
+	"valueprof/internal/isa"
+	"valueprof/internal/vm"
+)
+
+// Region classifies an address for reporting. Static data lives just
+// above program.DataBase; the stack grows down from the top of memory.
+type Region int
+
+const (
+	RegionData Region = iota
+	RegionStack
+)
+
+func (r Region) String() string {
+	if r == RegionStack {
+		return "stack"
+	}
+	return "data"
+}
+
+// Options configures a MemProfiler.
+type Options struct {
+	TNV       core.TNVConfig
+	TrackFull bool
+	// IncludeLoads also feeds load results into the location's
+	// profile (the paper's read-write location profile); stores alone
+	// give the written-value profile.
+	IncludeLoads bool
+	// StackBoundary splits data from stack addresses in reports; a
+	// zero value uses half the VM address space.
+	StackBoundary uint64
+}
+
+// DefaultOptions profiles stores only with the paper's TNV table.
+func DefaultOptions() Options {
+	return Options{TNV: core.DefaultTNVConfig()}
+}
+
+// Location is the profile of one memory address.
+type Location struct {
+	Addr   uint64
+	Region Region
+	Stats  *core.SiteStats
+	Writes uint64
+	Reads  uint64
+}
+
+// MemProfiler is an ATOM tool profiling memory locations.
+type MemProfiler struct {
+	opts Options
+	locs map[uint64]*Location
+}
+
+// New creates a memory-location profiler.
+func New(opts Options) *MemProfiler {
+	if opts.TNV.Size == 0 {
+		opts.TNV = core.DefaultTNVConfig()
+	}
+	return &MemProfiler{opts: opts, locs: make(map[uint64]*Location)}
+}
+
+// Instrument implements atom.Tool.
+func (m *MemProfiler) Instrument(ix *atom.Instrumenter) {
+	boundary := m.opts.StackBoundary
+	observe := func(ev *vm.Event, isWrite bool) {
+		b := boundary
+		if b == 0 {
+			b = uint64(len(ev.VM.Mem)) / 2
+		}
+		loc := m.locs[ev.Addr]
+		if loc == nil {
+			reg := RegionData
+			if ev.Addr >= b {
+				reg = RegionStack
+			}
+			loc = &Location{
+				Addr:   ev.Addr,
+				Region: reg,
+				Stats:  core.NewSiteStats(-1, "", m.opts.TNV, m.opts.TrackFull),
+			}
+			m.locs[ev.Addr] = loc
+		}
+		if isWrite {
+			loc.Writes++
+		} else {
+			loc.Reads++
+		}
+		loc.Stats.Observe(ev.Value)
+	}
+	ix.ForEachInst(func(in isa.Inst) bool { return in.Op.Class() == isa.ClassStore }, func(pc int, in isa.Inst) {
+		ix.AddAfter(pc, func(ev *vm.Event) { observe(ev, true) })
+	})
+	if m.opts.IncludeLoads {
+		ix.ForEachInst(func(in isa.Inst) bool { return in.Op.Class() == isa.ClassLoad }, func(pc int, in isa.Inst) {
+			ix.AddAfter(pc, func(ev *vm.Event) { observe(ev, false) })
+		})
+	}
+}
+
+// Report is the result of a memory-profiling run.
+type Report struct {
+	Locations []*Location // sorted by address
+	K         int
+}
+
+// Report returns the collected per-location profiles.
+func (m *MemProfiler) Report() *Report {
+	locs := make([]*Location, 0, len(m.locs))
+	for _, l := range m.locs {
+		locs = append(locs, l)
+	}
+	sort.Slice(locs, func(i, j int) bool { return locs[i].Addr < locs[j].Addr })
+	return &Report{Locations: locs, K: m.opts.TNV.Size}
+}
+
+// Aggregate returns access-weighted metrics over locations in the given
+// region; pass nil to aggregate all locations.
+func (r *Report) Aggregate(region *Region) core.WeightedMetrics {
+	var sites []*core.SiteStats
+	for _, l := range r.Locations {
+		if region == nil || l.Region == *region {
+			sites = append(sites, l.Stats)
+		}
+	}
+	return core.Aggregate(sites, r.K)
+}
+
+// TopLocations returns the n most-accessed locations.
+func (r *Report) TopLocations(n int) []*Location {
+	out := append([]*Location(nil), r.Locations...)
+	sort.Slice(out, func(i, j int) bool {
+		ai, aj := out[i].Stats.Exec, out[j].Stats.Exec
+		if ai != aj {
+			return ai > aj
+		}
+		return out[i].Addr < out[j].Addr
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// InvariantFraction reports the fraction of locations (unweighted, and
+// access-weighted) whose top value covers at least thresh of accesses.
+func (r *Report) InvariantFraction(thresh float64) (byLoc, byAccess float64) {
+	var nInv, n float64
+	var wInv, w float64
+	for _, l := range r.Locations {
+		if l.Stats.Exec == 0 {
+			continue
+		}
+		n++
+		w += float64(l.Stats.Exec)
+		if l.Stats.InvTop(1) >= thresh {
+			nInv++
+			wInv += float64(l.Stats.Exec)
+		}
+	}
+	if n > 0 {
+		byLoc = nInv / n
+	}
+	if w > 0 {
+		byAccess = wInv / w
+	}
+	return byLoc, byAccess
+}

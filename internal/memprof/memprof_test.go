@@ -1,0 +1,117 @@
+package memprof
+
+import (
+	"testing"
+
+	"valueprof/internal/asm"
+	"valueprof/internal/atom"
+	"valueprof/internal/core"
+	"valueprof/internal/program"
+)
+
+const memSrc = `
+        .proc main
+main:   la t0, cell
+        li t1, 5
+        li t2, 100
+loop:   stq t1, 0(t0)
+        stq t2, 8(t0)
+        ldq t3, 0(t0)
+        stq t1, -8(sp)
+        addi t2, t2, -1
+        bne t2, loop
+        syscall exit
+        .endproc
+        .data
+cell:   .space 16
+`
+
+func runMem(t *testing.T, opts Options) *Report {
+	t.Helper()
+	prog, err := asm.Assemble(memSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp := New(opts)
+	if _, err := atom.Run(prog, nil, false, mp); err != nil {
+		t.Fatal(err)
+	}
+	return mp.Report()
+}
+
+func TestMemProfilerStores(t *testing.T) {
+	r := runMem(t, Options{TNV: core.DefaultTNVConfig(), TrackFull: true})
+	if len(r.Locations) != 3 {
+		t.Fatalf("locations = %d, want 3 (cell, cell+8, stack slot)", len(r.Locations))
+	}
+	cell := r.Locations[0]
+	if cell.Addr != program.DataBase {
+		t.Fatalf("first location at %#x", cell.Addr)
+	}
+	if cell.Writes != 100 || cell.Reads != 0 {
+		t.Errorf("cell writes=%d reads=%d", cell.Writes, cell.Reads)
+	}
+	if cell.Stats.InvTop(1) != 1.0 {
+		t.Errorf("constant location invariance = %v", cell.Stats.InvTop(1))
+	}
+	if cell.Region != RegionData {
+		t.Errorf("cell region = %v", cell.Region)
+	}
+	varying := r.Locations[1]
+	if varying.Stats.InvAll(1) != 0.01 {
+		t.Errorf("varying location InvAll = %v", varying.Stats.InvAll(1))
+	}
+	stack := r.Locations[2]
+	if stack.Region != RegionStack {
+		t.Errorf("stack slot region = %v (addr %#x)", stack.Region, stack.Addr)
+	}
+}
+
+func TestMemProfilerIncludeLoads(t *testing.T) {
+	r := runMem(t, Options{TNV: core.DefaultTNVConfig(), IncludeLoads: true})
+	cell := r.Locations[0]
+	if cell.Reads != 100 {
+		t.Errorf("cell reads = %d, want 100", cell.Reads)
+	}
+	if cell.Stats.Exec != 200 {
+		t.Errorf("cell observations = %d, want 200 (100 stores + 100 loads)", cell.Stats.Exec)
+	}
+}
+
+func TestMemAggregateAndTop(t *testing.T) {
+	r := runMem(t, Options{TNV: core.DefaultTNVConfig(), TrackFull: true})
+	all := r.Aggregate(nil)
+	if all.Execs != 300 {
+		t.Errorf("total accesses = %d, want 300", all.Execs)
+	}
+	data := RegionData
+	dm := r.Aggregate(&data)
+	if dm.Execs != 200 {
+		t.Errorf("data accesses = %d, want 200", dm.Execs)
+	}
+	top := r.TopLocations(1)
+	if len(top) != 1 || top[0].Stats.Exec != 100 {
+		t.Errorf("top location = %+v", top)
+	}
+	byLoc, byAccess := r.InvariantFraction(0.9)
+	// 2 of 3 locations are constant-valued.
+	if byLoc < 0.6 || byLoc > 0.7 {
+		t.Errorf("invariant fraction by location = %v", byLoc)
+	}
+	if byAccess < 0.6 || byAccess > 0.7 {
+		t.Errorf("invariant fraction by access = %v", byAccess)
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	if RegionData.String() != "data" || RegionStack.String() != "stack" {
+		t.Error("region names wrong")
+	}
+}
+
+func TestDefaultOptions(t *testing.T) {
+	o := DefaultOptions()
+	if o.TNV.Size != 10 || o.IncludeLoads {
+		t.Errorf("unexpected defaults: %+v", o)
+	}
+}

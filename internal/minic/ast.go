@@ -1,0 +1,153 @@
+package minic
+
+// AST node types. Expressions implement expr; statements implement stmt.
+// The parser builds the tree; the code generator resolves names with a
+// scope stack, so nodes carry only source-level information plus the
+// slots the generator fills in (frame offsets on varDecl).
+
+type expr interface{ exprNode() }
+
+type intLit struct {
+	val  int64
+	line int
+}
+
+type strLit struct {
+	val  string
+	line int
+}
+
+type varRef struct {
+	name string
+	line int
+}
+
+// indexExpr is base[idx] where base must name an array (global, local,
+// or array parameter).
+type indexExpr struct {
+	name string
+	idx  expr
+	line int
+}
+
+type callExpr struct {
+	name string
+	args []expr
+	line int
+}
+
+type unaryExpr struct {
+	op   string // "-", "!", "~"
+	x    expr
+	line int
+}
+
+type binaryExpr struct {
+	op   string
+	x, y expr
+	line int
+}
+
+func (*intLit) exprNode()     {}
+func (*strLit) exprNode()     {}
+func (*varRef) exprNode()     {}
+func (*indexExpr) exprNode()  {}
+func (*callExpr) exprNode()   {}
+func (*unaryExpr) exprNode()  {}
+func (*binaryExpr) exprNode() {}
+
+type stmt interface{ stmtNode() }
+
+// varDecl declares a local: scalar (arrayLen < 0) or array. offset is
+// assigned by the code generator's frame layout pass.
+type varDecl struct {
+	name     string
+	arrayLen int // -1 for scalar
+	init     expr
+	line     int
+	offset   int // fp-relative, filled by codegen
+}
+
+type assignStmt struct {
+	lhs  expr // *varRef or *indexExpr
+	rhs  expr
+	line int
+}
+
+type exprStmt struct {
+	x    expr
+	line int
+}
+
+type ifStmt struct {
+	cond expr
+	then *blockStmt
+	els  stmt // *blockStmt, *ifStmt, or nil
+	line int
+}
+
+type whileStmt struct {
+	cond expr
+	body *blockStmt
+	line int
+}
+
+type forStmt struct {
+	init stmt // assign/expr stmt or nil
+	cond expr // or nil
+	post stmt // assign/expr stmt or nil
+	body *blockStmt
+	line int
+}
+
+type returnStmt struct {
+	x    expr // or nil
+	line int
+}
+
+type breakStmt struct{ line int }
+type continueStmt struct{ line int }
+
+type blockStmt struct {
+	stmts []stmt
+}
+
+func (*varDecl) stmtNode()      {}
+func (*assignStmt) stmtNode()   {}
+func (*exprStmt) stmtNode()     {}
+func (*ifStmt) stmtNode()       {}
+func (*whileStmt) stmtNode()    {}
+func (*forStmt) stmtNode()      {}
+func (*returnStmt) stmtNode()   {}
+func (*breakStmt) stmtNode()    {}
+func (*continueStmt) stmtNode() {}
+func (*blockStmt) stmtNode()    {}
+
+// param is a function parameter; array params ("name[]") receive an
+// address and are indexable.
+type param struct {
+	name    string
+	isArray bool
+}
+
+type funcDecl struct {
+	name   string
+	params []param
+	body   *blockStmt
+	line   int
+}
+
+// globalDecl is a file-scope int or int array, with an optional constant
+// initializer for scalars.
+type globalDecl struct {
+	name     string
+	arrayLen int // -1 for scalar
+	init     int64
+	hasInit  bool
+	line     int
+}
+
+type file struct {
+	globals []*globalDecl
+	funcs   []*funcDecl
+}

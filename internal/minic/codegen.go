@@ -1,0 +1,833 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+
+	"valueprof/internal/asm"
+	"valueprof/internal/program"
+)
+
+// Compile translates MiniC source into a linked VRISC program.
+func Compile(src string) (*program.Program, error) {
+	text, err := CompileToAsm(src)
+	if err != nil {
+		return nil, err
+	}
+	p, err := asm.Assemble(text)
+	if err != nil {
+		return nil, fmt.Errorf("minic: internal error assembling generated code: %w", err)
+	}
+	return p, nil
+}
+
+// CompileToAsm translates MiniC source into VRISC assembly text.
+func CompileToAsm(src string) (string, error) {
+	f, err := parseFile(src)
+	if err != nil {
+		return "", err
+	}
+	g := &codegen{
+		funcs:   make(map[string]*funcDecl),
+		globals: make(map[string]*globalDecl),
+	}
+	return g.file(f)
+}
+
+// Evaluation-stack registers t0..t9 (r8..r17).
+const numTemps = 10
+
+func tempReg(i int) string { return fmt.Sprintf("t%d", i) }
+
+// Builtin signatures: arg count and whether the single argument is a
+// string literal.
+var builtins = map[string]struct {
+	nargs int
+	str   bool
+}{
+	"putint":  {1, false},
+	"putchar": {1, false},
+	"putstr":  {1, true},
+	"getint":  {0, false},
+	"clock":   {0, false},
+}
+
+type symKind int
+
+const (
+	symLocal symKind = iota // scalar in frame
+	symLocalArray
+	symParamArray // frame slot holds the array's address
+	symGlobal
+	symGlobalArray
+)
+
+type symbol struct {
+	kind   symKind
+	offset int    // fp-relative for locals
+	label  string // data label for globals
+}
+
+type codegen struct {
+	out     strings.Builder
+	data    strings.Builder
+	funcs   map[string]*funcDecl
+	globals map[string]*globalDecl
+	scopes  []map[string]*symbol
+	strings map[string]string // literal -> label
+	nstr    int
+	nlabel  int
+
+	// per-function state
+	fn        *funcDecl
+	frameSize int
+	retLabel  string
+	breaks    []string
+	continues []string
+}
+
+func (g *codegen) emitf(format string, args ...any) {
+	fmt.Fprintf(&g.out, "        "+format+"\n", args...)
+}
+
+func (g *codegen) label(l string) { fmt.Fprintf(&g.out, "%s:\n", l) }
+
+func (g *codegen) newLabel(hint string) string {
+	g.nlabel++
+	return fmt.Sprintf("L%s%d", hint, g.nlabel)
+}
+
+func (g *codegen) errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (g *codegen) file(f *file) (string, error) {
+	g.strings = make(map[string]string)
+	g.data.WriteString("        .data\n")
+	for _, gd := range f.globals {
+		if _, dup := g.globals[gd.name]; dup {
+			return "", g.errf(gd.line, "duplicate global %q", gd.name)
+		}
+		g.globals[gd.name] = gd
+	}
+	for _, fn := range f.funcs {
+		if _, dup := g.funcs[fn.name]; dup {
+			return "", g.errf(fn.line, "duplicate function %q", fn.name)
+		}
+		if _, isB := builtins[fn.name]; isB {
+			return "", g.errf(fn.line, "function %q shadows a builtin", fn.name)
+		}
+		if len(fn.params) > 6 {
+			return "", g.errf(fn.line, "function %q has %d parameters; max 6", fn.name, len(fn.params))
+		}
+		g.funcs[fn.name] = fn
+	}
+	if _, ok := g.funcs["main"]; !ok {
+		return "", g.errf(1, "no main function")
+	}
+
+	// Startup stub: the assembler's entry point is the label "main",
+	// so the stub owns that name and the user's main becomes _main.
+	g.out.WriteString("        .text\n")
+	g.out.WriteString("        .proc main\n")
+	g.label("main")
+	g.emitf("jsr %s", g.funcLabel("main"))
+	g.emitf("mov a0, v0")
+	g.emitf("syscall exit")
+	g.out.WriteString("        .endproc\n")
+
+	for _, fn := range f.funcs {
+		if err := g.function(fn); err != nil {
+			return "", err
+		}
+	}
+
+	// Data segment: string literals were appended during generation;
+	// globals follow them.
+	for _, gd := range f.globals {
+		if gd.arrayLen >= 0 {
+			fmt.Fprintf(&g.data, "%s: .space %d\n", g.globalLabel(gd.name), 8*gd.arrayLen)
+		} else if gd.hasInit {
+			fmt.Fprintf(&g.data, "%s: .word %d\n", g.globalLabel(gd.name), gd.init)
+		} else {
+			fmt.Fprintf(&g.data, "%s: .word 0\n", g.globalLabel(gd.name))
+		}
+	}
+	return g.out.String() + g.data.String(), nil
+}
+
+func (g *codegen) funcLabel(name string) string {
+	if name == "main" {
+		return "_main"
+	}
+	return name
+}
+
+func (g *codegen) globalLabel(name string) string { return "g_" + name }
+
+func (g *codegen) strLabel(s string) string {
+	if l, ok := g.strings[s]; ok {
+		return l
+	}
+	l := fmt.Sprintf("s_%d", g.nstr)
+	g.nstr++
+	g.strings[s] = l
+	fmt.Fprintf(&g.data, "%s: .asciiz %q\n", l, s)
+	return l
+}
+
+// collectLocals walks the body assigning frame offsets to every local
+// declaration (block scoping does not reuse slots; fine at this scale).
+// Returns the total local byte size.
+func collectLocals(b *blockStmt, next int) int {
+	for _, s := range b.stmts {
+		switch s := s.(type) {
+		case *varDecl:
+			s.offset = next
+			if s.arrayLen >= 0 {
+				next += 8 * s.arrayLen
+			} else {
+				next += 8
+			}
+		case *blockStmt:
+			next = collectLocals(s, next)
+		case *ifStmt:
+			next = collectLocals(s.then, next)
+			switch els := s.els.(type) {
+			case *blockStmt:
+				next = collectLocals(els, next)
+			case *ifStmt:
+				next = collectLocals(&blockStmt{stmts: []stmt{els}}, next)
+			}
+		case *whileStmt:
+			next = collectLocals(s.body, next)
+		case *forStmt:
+			next = collectLocals(s.body, next)
+		}
+	}
+	return next
+}
+
+func (g *codegen) function(fn *funcDecl) error {
+	g.fn = fn
+	g.retLabel = g.newLabel("ret_" + fn.name + "_")
+	g.breaks = nil
+	g.continues = nil
+
+	// Frame: [0]=saved ra, [8]=saved fp, [16..) params then locals.
+	paramBase := 16
+	localBase := paramBase + 8*len(fn.params)
+	frame := collectLocals(fn.body, localBase)
+	g.frameSize = frame
+
+	label := g.funcLabel(fn.name)
+	fmt.Fprintf(&g.out, "        .proc %s\n", label)
+	g.label(label)
+	g.emitf("addi sp, sp, -%d", g.frameSize)
+	g.emitf("stq ra, 0(sp)")
+	g.emitf("stq fp, 8(sp)")
+	g.emitf("mov fp, sp")
+	// Spill incoming arguments to their frame slots.
+	scope := map[string]*symbol{}
+	for i, pa := range fn.params {
+		off := paramBase + 8*i
+		g.emitf("stq a%d, %d(fp)", i, off)
+		k := symLocal
+		if pa.isArray {
+			k = symParamArray
+		}
+		if _, dup := scope[pa.name]; dup {
+			return g.errf(fn.line, "duplicate parameter %q", pa.name)
+		}
+		scope[pa.name] = &symbol{kind: k, offset: off}
+	}
+	g.scopes = []map[string]*symbol{scope}
+
+	if err := g.block(fn.body); err != nil {
+		return err
+	}
+
+	// Fall-through return value is 0.
+	g.emitf("li v0, 0")
+	g.label(g.retLabel)
+	g.emitf("mov sp, fp")
+	g.emitf("ldq ra, 0(sp)")
+	g.emitf("ldq fp, 8(sp)")
+	g.emitf("addi sp, sp, %d", g.frameSize)
+	g.emitf("ret")
+	g.out.WriteString("        .endproc\n")
+	g.scopes = nil
+	return nil
+}
+
+func (g *codegen) lookup(name string) *symbol {
+	for i := len(g.scopes) - 1; i >= 0; i-- {
+		if s, ok := g.scopes[i][name]; ok {
+			return s
+		}
+	}
+	if gd, ok := g.globals[name]; ok {
+		k := symGlobal
+		if gd.arrayLen >= 0 {
+			k = symGlobalArray
+		}
+		return &symbol{kind: k, label: g.globalLabel(name)}
+	}
+	return nil
+}
+
+func (g *codegen) block(b *blockStmt) error {
+	g.scopes = append(g.scopes, map[string]*symbol{})
+	defer func() { g.scopes = g.scopes[:len(g.scopes)-1] }()
+	for _, s := range b.stmts {
+		if err := g.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *codegen) stmt(s stmt) error {
+	switch s := s.(type) {
+	case *varDecl:
+		top := g.scopes[len(g.scopes)-1]
+		if _, dup := top[s.name]; dup {
+			return g.errf(s.line, "duplicate declaration of %q in this scope", s.name)
+		}
+		k := symLocal
+		if s.arrayLen >= 0 {
+			k = symLocalArray
+		}
+		top[s.name] = &symbol{kind: k, offset: s.offset}
+		if s.init != nil {
+			if err := g.expr(s.init, 0); err != nil {
+				return err
+			}
+			g.emitf("stq %s, %d(fp)", tempReg(0), s.offset)
+		}
+		return nil
+
+	case *assignStmt:
+		return g.assign(s)
+
+	case *exprStmt:
+		return g.expr(s.x, 0)
+
+	case *ifStmt:
+		els := g.newLabel("else")
+		end := g.newLabel("fi")
+		if err := g.expr(s.cond, 0); err != nil {
+			return err
+		}
+		g.emitf("beq %s, %s", tempReg(0), els)
+		if err := g.block(s.then); err != nil {
+			return err
+		}
+		if s.els != nil {
+			g.emitf("br %s", end)
+		}
+		g.label(els)
+		if s.els != nil {
+			var err error
+			switch e := s.els.(type) {
+			case *blockStmt:
+				err = g.block(e)
+			default:
+				err = g.stmt(e)
+			}
+			if err != nil {
+				return err
+			}
+			g.label(end)
+		}
+		return nil
+
+	case *whileStmt:
+		cond := g.newLabel("while")
+		end := g.newLabel("wend")
+		g.breaks = append(g.breaks, end)
+		g.continues = append(g.continues, cond)
+		g.label(cond)
+		if err := g.expr(s.cond, 0); err != nil {
+			return err
+		}
+		g.emitf("beq %s, %s", tempReg(0), end)
+		if err := g.block(s.body); err != nil {
+			return err
+		}
+		g.emitf("br %s", cond)
+		g.label(end)
+		g.breaks = g.breaks[:len(g.breaks)-1]
+		g.continues = g.continues[:len(g.continues)-1]
+		return nil
+
+	case *forStmt:
+		cond := g.newLabel("for")
+		post := g.newLabel("fpost")
+		end := g.newLabel("fend")
+		if s.init != nil {
+			if err := g.stmt(s.init); err != nil {
+				return err
+			}
+		}
+		g.breaks = append(g.breaks, end)
+		g.continues = append(g.continues, post)
+		g.label(cond)
+		if s.cond != nil {
+			if err := g.expr(s.cond, 0); err != nil {
+				return err
+			}
+			g.emitf("beq %s, %s", tempReg(0), end)
+		}
+		if err := g.block(s.body); err != nil {
+			return err
+		}
+		g.label(post)
+		if s.post != nil {
+			if err := g.stmt(s.post); err != nil {
+				return err
+			}
+		}
+		g.emitf("br %s", cond)
+		g.label(end)
+		g.breaks = g.breaks[:len(g.breaks)-1]
+		g.continues = g.continues[:len(g.continues)-1]
+		return nil
+
+	case *returnStmt:
+		if s.x != nil {
+			if err := g.expr(s.x, 0); err != nil {
+				return err
+			}
+			g.emitf("mov v0, %s", tempReg(0))
+		} else {
+			g.emitf("li v0, 0")
+		}
+		g.emitf("br %s", g.retLabel)
+		return nil
+
+	case *breakStmt:
+		if len(g.breaks) == 0 {
+			return g.errf(s.line, "break outside loop")
+		}
+		g.emitf("br %s", g.breaks[len(g.breaks)-1])
+		return nil
+
+	case *continueStmt:
+		if len(g.continues) == 0 {
+			return g.errf(s.line, "continue outside loop")
+		}
+		g.emitf("br %s", g.continues[len(g.continues)-1])
+		return nil
+
+	case *blockStmt:
+		return g.block(s)
+	}
+	return fmt.Errorf("minic: unhandled statement %T", s)
+}
+
+func (g *codegen) assign(s *assignStmt) error {
+	if err := g.expr(s.rhs, 0); err != nil {
+		return err
+	}
+	switch lhs := s.lhs.(type) {
+	case *varRef:
+		sym := g.lookup(lhs.name)
+		if sym == nil {
+			return g.errf(lhs.line, "undefined variable %q", lhs.name)
+		}
+		switch sym.kind {
+		case symLocal:
+			g.emitf("stq %s, %d(fp)", tempReg(0), sym.offset)
+		case symGlobal:
+			g.emitf("stq %s, %s", tempReg(0), sym.label)
+		default:
+			return g.errf(lhs.line, "cannot assign to array %q", lhs.name)
+		}
+		return nil
+	case *indexExpr:
+		// rhs is in t0; compute the element address in t1.
+		if err := g.elemAddr(lhs, 1); err != nil {
+			return err
+		}
+		g.emitf("stq %s, 0(%s)", tempReg(0), tempReg(1))
+		return nil
+	}
+	return g.errf(s.line, "bad assignment target")
+}
+
+// elemAddr computes &name[idx] into temp d (may use temps d and d+1).
+func (g *codegen) elemAddr(ix *indexExpr, d int) error {
+	if d+1 >= numTemps {
+		return g.errf(ix.line, "expression too complex (out of temporaries)")
+	}
+	sym := g.lookup(ix.name)
+	if sym == nil {
+		return g.errf(ix.line, "undefined variable %q", ix.name)
+	}
+	if err := g.expr(ix.idx, d); err != nil {
+		return err
+	}
+	t, u := tempReg(d), tempReg(d+1)
+	g.emitf("slli %s, %s, 3", t, t)
+	switch sym.kind {
+	case symGlobalArray:
+		g.emitf("li %s, %s", u, sym.label)
+		g.emitf("add %s, %s, %s", t, t, u)
+	case symLocalArray:
+		g.emitf("addi %s, fp, %d", u, sym.offset)
+		g.emitf("add %s, %s, %s", t, t, u)
+	case symParamArray:
+		g.emitf("ldq %s, %d(fp)", u, sym.offset)
+		g.emitf("add %s, %s, %s", t, t, u)
+	default:
+		return g.errf(ix.line, "%q is not an array", ix.name)
+	}
+	return nil
+}
+
+// constEval folds literal expressions at compile time; ok reports
+// whether e was constant.
+func constEval(e expr) (int64, bool) {
+	switch e := e.(type) {
+	case *intLit:
+		return e.val, true
+	case *unaryExpr:
+		v, ok := constEval(e.x)
+		if !ok {
+			return 0, false
+		}
+		switch e.op {
+		case "-":
+			return -v, true
+		case "~":
+			return ^v, true
+		case "!":
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+	case *binaryExpr:
+		x, okx := constEval(e.x)
+		y, oky := constEval(e.y)
+		if !okx || !oky {
+			return 0, false
+		}
+		switch e.op {
+		case "+":
+			return x + y, true
+		case "-":
+			return x - y, true
+		case "*":
+			return x * y, true
+		case "/":
+			if y == 0 {
+				return 0, false
+			}
+			return x / y, true
+		case "%":
+			if y == 0 {
+				return 0, false
+			}
+			return x % y, true
+		case "&":
+			return x & y, true
+		case "|":
+			return x | y, true
+		case "^":
+			return x ^ y, true
+		case "<<":
+			return x << (uint64(y) & 63), true
+		case ">>":
+			return x >> (uint64(y) & 63), true
+		case "==":
+			return b2i(x == y), true
+		case "!=":
+			return b2i(x != y), true
+		case "<":
+			return b2i(x < y), true
+		case "<=":
+			return b2i(x <= y), true
+		case ">":
+			return b2i(x > y), true
+		case ">=":
+			return b2i(x >= y), true
+		case "&&":
+			return b2i(x != 0 && y != 0), true
+		case "||":
+			return b2i(x != 0 || y != 0), true
+		}
+	}
+	return 0, false
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func fitsImm(v int64) bool { return v >= -(1<<31) && v <= (1<<31)-1 }
+
+// immOp maps a binary operator to its immediate-form mnemonic, if the
+// ISA has one.
+var immOp = map[string]string{
+	"+": "addi", "*": "muli", "&": "andi", "|": "ori", "^": "xori",
+	"<<": "slli", ">>": "srai", "<": "cmplti", "==": "cmpeqi",
+}
+
+// materialize emits code loading the (possibly 64-bit) constant v into
+// register t. Constants beyond the 32-bit immediate range are built
+// from the high 32 bits plus two 16-bit or-shift steps.
+func (g *codegen) materialize(t string, v int64) {
+	if fitsImm(v) {
+		g.emitf("li %s, %d", t, v)
+		return
+	}
+	hi := v >> 32
+	lo := uint64(v) & 0xffffffff
+	g.emitf("li %s, %d", t, hi)
+	g.emitf("slli %s, %s, 16", t, t)
+	g.emitf("ori %s, %s, %d", t, t, (lo>>16)&0xffff)
+	g.emitf("slli %s, %s, 16", t, t)
+	g.emitf("ori %s, %s, %d", t, t, lo&0xffff)
+}
+
+// expr generates code leaving the value of e in temp d.
+func (g *codegen) expr(e expr, d int) error {
+	if d >= numTemps {
+		return g.errf(exprLine(e), "expression too complex (out of temporaries)")
+	}
+	if v, ok := constEval(e); ok {
+		g.materialize(tempReg(d), v)
+		return nil
+	}
+	t := tempReg(d)
+	switch e := e.(type) {
+	case *intLit:
+		g.materialize(t, e.val)
+		return nil
+
+	case *strLit:
+		return g.errf(e.line, "string literals are only allowed as the argument of putstr")
+
+	case *varRef:
+		sym := g.lookup(e.name)
+		if sym == nil {
+			return g.errf(e.line, "undefined variable %q", e.name)
+		}
+		switch sym.kind {
+		case symLocal:
+			g.emitf("ldq %s, %d(fp)", t, sym.offset)
+		case symGlobal:
+			g.emitf("ldq %s, %s", t, sym.label)
+		case symLocalArray:
+			g.emitf("addi %s, fp, %d", t, sym.offset)
+		case symParamArray:
+			g.emitf("ldq %s, %d(fp)", t, sym.offset)
+		case symGlobalArray:
+			g.emitf("li %s, %s", t, sym.label)
+		}
+		return nil
+
+	case *indexExpr:
+		if err := g.elemAddr(e, d); err != nil {
+			return err
+		}
+		g.emitf("ldq %s, 0(%s)", t, t)
+		return nil
+
+	case *unaryExpr:
+		if err := g.expr(e.x, d); err != nil {
+			return err
+		}
+		switch e.op {
+		case "-":
+			g.emitf("sub %s, zero, %s", t, t)
+		case "~":
+			g.emitf("xori %s, %s, -1", t, t)
+		case "!":
+			g.emitf("cmpeqi %s, %s, 0", t, t)
+		}
+		return nil
+
+	case *binaryExpr:
+		return g.binary(e, d)
+
+	case *callExpr:
+		return g.call(e, d)
+	}
+	return fmt.Errorf("minic: unhandled expression %T", e)
+}
+
+func (g *codegen) binary(e *binaryExpr, d int) error {
+	t := tempReg(d)
+	// Short-circuit operators.
+	if e.op == "&&" || e.op == "||" {
+		skip := g.newLabel("sc")
+		end := g.newLabel("scend")
+		if err := g.expr(e.x, d); err != nil {
+			return err
+		}
+		br := "beq"
+		if e.op == "||" {
+			br = "bne"
+		}
+		g.emitf("%s %s, %s", br, t, skip)
+		if err := g.expr(e.y, d); err != nil {
+			return err
+		}
+		g.emitf("cmpne %s, %s, zero", t, t)
+		g.emitf("br %s", end)
+		g.label(skip)
+		if e.op == "&&" {
+			g.emitf("li %s, 0", t)
+		} else {
+			g.emitf("li %s, 1", t)
+		}
+		g.label(end)
+		return nil
+	}
+
+	// Immediate right operand where the ISA has a matching form.
+	if cv, ok := constEval(e.y); ok && fitsImm(cv) {
+		if mn, ok2 := immOp[e.op]; ok2 {
+			if err := g.expr(e.x, d); err != nil {
+				return err
+			}
+			g.emitf("%s %s, %s, %d", mn, t, t, cv)
+			return nil
+		}
+		if e.op == "-" {
+			if err := g.expr(e.x, d); err != nil {
+				return err
+			}
+			if fitsImm(-cv) {
+				g.emitf("addi %s, %s, %d", t, t, -cv)
+				return nil
+			}
+		}
+	}
+	// Commuted immediate: const + x, const * x, etc.
+	if cv, ok := constEval(e.x); ok && fitsImm(cv) {
+		switch e.op {
+		case "+", "*", "&", "|", "^":
+			if err := g.expr(e.y, d); err != nil {
+				return err
+			}
+			g.emitf("%s %s, %s, %d", immOp[e.op], t, t, cv)
+			return nil
+		}
+	}
+
+	if d+1 >= numTemps {
+		return g.errf(e.line, "expression too complex (out of temporaries)")
+	}
+	u := tempReg(d + 1)
+	if err := g.expr(e.x, d); err != nil {
+		return err
+	}
+	if err := g.expr(e.y, d+1); err != nil {
+		return err
+	}
+	mnems := map[string]string{
+		"+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+		"&": "and", "|": "or", "^": "xor", "<<": "sll", ">>": "sra",
+		"==": "cmpeq", "!=": "cmpne", "<": "cmplt", "<=": "cmple",
+		">": "cmpgt", ">=": "cmpge",
+	}
+	mn, ok := mnems[e.op]
+	if !ok {
+		return g.errf(e.line, "unsupported operator %q", e.op)
+	}
+	g.emitf("%s %s, %s, %s", mn, t, t, u)
+	return nil
+}
+
+func (g *codegen) call(e *callExpr, d int) error {
+	t := tempReg(d)
+
+	if b, ok := builtins[e.name]; ok {
+		if len(e.args) != b.nargs {
+			return g.errf(e.line, "%s expects %d argument(s), got %d", e.name, b.nargs, len(e.args))
+		}
+		switch e.name {
+		case "putstr":
+			s, ok := e.args[0].(*strLit)
+			if !ok {
+				return g.errf(e.line, "putstr expects a string literal")
+			}
+			g.emitf("li a0, %s", g.strLabel(s.val))
+			g.emitf("syscall putstr")
+			g.emitf("li %s, 0", t)
+		case "putint", "putchar":
+			if err := g.expr(e.args[0], d); err != nil {
+				return err
+			}
+			g.emitf("mov a0, %s", t)
+			g.emitf("syscall %s", e.name)
+		case "getint", "clock":
+			g.emitf("syscall %s", e.name)
+			g.emitf("mov %s, v0", t)
+		}
+		return nil
+	}
+
+	fn, ok := g.funcs[e.name]
+	if !ok {
+		return g.errf(e.line, "call to undefined function %q", e.name)
+	}
+	if len(e.args) != len(fn.params) {
+		return g.errf(e.line, "%s expects %d argument(s), got %d", e.name, len(fn.params), len(e.args))
+	}
+	if d+len(e.args) >= numTemps {
+		return g.errf(e.line, "call too deep in expression (out of temporaries)")
+	}
+
+	// Save live temps t0..t(d-1) across the call (caller-saved).
+	if d > 0 {
+		g.emitf("addi sp, sp, -%d", 8*d)
+		for i := 0; i < d; i++ {
+			g.emitf("stq %s, %d(sp)", tempReg(i), 8*i)
+		}
+	}
+	for i, a := range e.args {
+		if err := g.expr(a, d+i); err != nil {
+			return err
+		}
+	}
+	for i := range e.args {
+		g.emitf("mov a%d, %s", i, tempReg(d+i))
+	}
+	g.emitf("jsr %s", g.funcLabel(e.name))
+	g.emitf("mov %s, v0", t)
+	if d > 0 {
+		for i := 0; i < d; i++ {
+			g.emitf("ldq %s, %d(sp)", tempReg(i), 8*i)
+		}
+		g.emitf("addi sp, sp, %d", 8*d)
+	}
+	return nil
+}
+
+func exprLine(e expr) int {
+	switch e := e.(type) {
+	case *intLit:
+		return e.line
+	case *strLit:
+		return e.line
+	case *varRef:
+		return e.line
+	case *indexExpr:
+		return e.line
+	case *callExpr:
+		return e.line
+	case *unaryExpr:
+		return e.line
+	case *binaryExpr:
+		return e.line
+	}
+	return 0
+}

@@ -1,0 +1,257 @@
+package minic
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"valueprof/internal/vm"
+)
+
+// Differential testing: generate random expressions, compile them
+// through MiniC → VRISC → VM, and compare against a Go evaluator with
+// identical semantics (int64 wrap-around, truncated division, masked
+// shifts). This exercises the whole toolchain on inputs no hand-written
+// test would cover.
+
+type genExpr struct {
+	src string
+	val int64
+}
+
+type exprGen struct {
+	r    *rand.Rand
+	vars map[string]int64
+}
+
+func (g *exprGen) gen(depth int) genExpr {
+	if depth <= 0 || g.r.Intn(4) == 0 {
+		return g.leaf()
+	}
+	switch g.r.Intn(10) {
+	case 0: // unary
+		x := g.gen(depth - 1)
+		switch g.r.Intn(3) {
+		case 0:
+			return genExpr{"(-" + wrap(x.src) + ")", -x.val}
+		case 1:
+			return genExpr{"(~" + wrap(x.src) + ")", ^x.val}
+		default:
+			v := int64(0)
+			if x.val == 0 {
+				v = 1
+			}
+			return genExpr{"(!" + wrap(x.src) + ")", v}
+		}
+	case 1: // division by a safe literal
+		x := g.gen(depth - 1)
+		d := int64(g.r.Intn(9) + 1)
+		if g.r.Intn(2) == 0 {
+			return genExpr{"(" + x.src + " / " + fmt.Sprint(d) + ")", x.val / d}
+		}
+		return genExpr{"(" + x.src + " % " + fmt.Sprint(d) + ")", x.val % d}
+	case 2: // shift by a small literal
+		x := g.gen(depth - 1)
+		s := int64(g.r.Intn(8))
+		if g.r.Intn(2) == 0 {
+			return genExpr{"(" + x.src + " << " + fmt.Sprint(s) + ")", x.val << uint(s)}
+		}
+		return genExpr{"(" + x.src + " >> " + fmt.Sprint(s) + ")", x.val >> uint(s)}
+	case 3: // short-circuit
+		x := g.gen(depth - 1)
+		y := g.gen(depth - 1)
+		if g.r.Intn(2) == 0 {
+			v := int64(0)
+			if x.val != 0 && y.val != 0 {
+				v = 1
+			}
+			return genExpr{"(" + x.src + " && " + y.src + ")", v}
+		}
+		v := int64(0)
+		if x.val != 0 || y.val != 0 {
+			v = 1
+		}
+		return genExpr{"(" + x.src + " || " + y.src + ")", v}
+	case 4: // comparison
+		x := g.gen(depth - 1)
+		y := g.gen(depth - 1)
+		ops := []string{"==", "!=", "<", "<=", ">", ">="}
+		op := ops[g.r.Intn(len(ops))]
+		var b bool
+		switch op {
+		case "==":
+			b = x.val == y.val
+		case "!=":
+			b = x.val != y.val
+		case "<":
+			b = x.val < y.val
+		case "<=":
+			b = x.val <= y.val
+		case ">":
+			b = x.val > y.val
+		case ">=":
+			b = x.val >= y.val
+		}
+		v := int64(0)
+		if b {
+			v = 1
+		}
+		return genExpr{"(" + x.src + " " + op + " " + y.src + ")", v}
+	default: // arithmetic / bitwise
+		x := g.gen(depth - 1)
+		y := g.gen(depth - 1)
+		switch g.r.Intn(6) {
+		case 0:
+			return genExpr{"(" + x.src + " + " + y.src + ")", x.val + y.val}
+		case 1:
+			return genExpr{"(" + x.src + " - " + y.src + ")", x.val - y.val}
+		case 2:
+			return genExpr{"(" + x.src + " * " + y.src + ")", x.val * y.val}
+		case 3:
+			return genExpr{"(" + x.src + " & " + y.src + ")", x.val & y.val}
+		case 4:
+			return genExpr{"(" + x.src + " | " + y.src + ")", x.val | y.val}
+		default:
+			return genExpr{"(" + x.src + " ^ " + y.src + ")", x.val ^ y.val}
+		}
+	}
+}
+
+func (g *exprGen) leaf() genExpr {
+	if g.r.Intn(2) == 0 {
+		names := make([]string, 0, len(g.vars))
+		for n := range g.vars {
+			names = append(names, n)
+		}
+		// map iteration order is random but stable choice via sort-free
+		// pick: use deterministic index over sorted insertion order.
+		name := pickStable(names, g.r)
+		return genExpr{name, g.vars[name]}
+	}
+	v := int64(g.r.Intn(2001) - 1000)
+	if v < 0 {
+		return genExpr{fmt.Sprintf("(0 - %d)", -v), v}
+	}
+	return genExpr{fmt.Sprint(v), v}
+}
+
+func pickStable(names []string, r *rand.Rand) string {
+	// Sort for determinism independent of map order.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names[r.Intn(len(names))]
+}
+
+func wrap(s string) string {
+	if strings.HasPrefix(s, "(") {
+		return s
+	}
+	return "(" + s + ")"
+}
+
+func TestRandomExpressionsDifferential(t *testing.T) {
+	const trials = 60
+	const exprsPerTrial = 8
+	for trial := 0; trial < trials; trial++ {
+		r := rand.New(rand.NewSource(int64(trial) * 7919))
+		g := &exprGen{r: r, vars: map[string]int64{
+			"a": int64(r.Intn(200) - 100),
+			"b": int64(r.Intn(2000) - 1000),
+			"c": int64(r.Intn(20)),
+		}}
+		var body strings.Builder
+		fmt.Fprintf(&body, "func main() {\n")
+		fmt.Fprintf(&body, "  var a = %d; var b = %d; var c = %d;\n", g.vars["a"], g.vars["b"], g.vars["c"])
+		var want []string
+		for i := 0; i < exprsPerTrial; i++ {
+			e := g.gen(4)
+			fmt.Fprintf(&body, "  putint(%s); putchar(' ');\n", e.src)
+			want = append(want, fmt.Sprint(e.val))
+		}
+		fmt.Fprintf(&body, "}\n")
+
+		prog, err := Compile(body.String())
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v\nsource:\n%s", trial, err, body.String())
+		}
+		res, err := vm.Execute(prog, nil)
+		if err != nil {
+			t.Fatalf("trial %d: run: %v\nsource:\n%s", trial, err, body.String())
+		}
+		got := strings.Fields(res.Output)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d outputs, want %d\nsource:\n%s", trial, len(got), len(want), body.String())
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d expr %d: got %s, want %s\nsource:\n%s",
+					trial, i, got[i], want[i], body.String())
+			}
+		}
+	}
+}
+
+// TestRandomStatementsDifferential builds random straight-line programs
+// with assignments and loops over an int array, mirrored in Go.
+func TestRandomStatementsDifferential(t *testing.T) {
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		r := rand.New(rand.NewSource(int64(trial)*104729 + 17))
+		n := 8 + r.Intn(8)
+		// Mirror state.
+		arr := make([]int64, n)
+		acc := int64(0)
+
+		var body strings.Builder
+		fmt.Fprintf(&body, "int arr[%d];\nfunc main() {\n  var i; var acc = 0;\n", n)
+		fmt.Fprintf(&body, "  for (i = 0; i < %d; i = i + 1) { arr[i] = i * 7 - 3; }\n", n)
+		for i := range arr {
+			arr[i] = int64(i)*7 - 3
+		}
+		steps := 10 + r.Intn(15)
+		for s := 0; s < steps; s++ {
+			i := r.Intn(n)
+			j := r.Intn(n)
+			k := int64(r.Intn(11) - 5)
+			switch r.Intn(4) {
+			case 0:
+				fmt.Fprintf(&body, "  arr[%d] = arr[%d] + %d;\n", i, j, k)
+				arr[i] = arr[j] + k
+			case 1:
+				fmt.Fprintf(&body, "  arr[%d] = arr[%d] * arr[%d];\n", i, j, (i+j)%n)
+				arr[i] = arr[j] * arr[(i+j)%n]
+			case 2:
+				fmt.Fprintf(&body, "  if (arr[%d] > arr[%d]) { acc = acc + 1; } else { acc = acc - 2; }\n", i, j)
+				if arr[i] > arr[j] {
+					acc++
+				} else {
+					acc -= 2
+				}
+			default:
+				fmt.Fprintf(&body, "  acc = acc + arr[%d] ^ %d;\n", i, k)
+				acc = acc + arr[i] ^ k
+			}
+		}
+		fmt.Fprintf(&body, "  for (i = 0; i < %d; i = i + 1) { acc = acc * 3 + arr[i]; }\n", n)
+		for i := range arr {
+			acc = acc*3 + arr[i]
+		}
+		fmt.Fprintf(&body, "  putint(acc);\n}\n")
+
+		prog, err := Compile(body.String())
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v\nsource:\n%s", trial, err, body.String())
+		}
+		res, err := vm.Execute(prog, nil)
+		if err != nil {
+			t.Fatalf("trial %d: run: %v\nsource:\n%s", trial, err, body.String())
+		}
+		if res.Output != fmt.Sprint(acc) {
+			t.Fatalf("trial %d: got %s, want %d\nsource:\n%s", trial, res.Output, acc, body.String())
+		}
+	}
+}

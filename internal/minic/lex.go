@@ -1,0 +1,252 @@
+// Package minic compiles MiniC, a small C-like language, to VRISC
+// assembly. It stands in for the optimizing C compiler the paper used
+// to build its SPEC workloads: all benchmark programs in
+// internal/workloads are written in MiniC so the profiled code has
+// compiler-shaped structure (loop induction variables, spills, address
+// arithmetic, calling conventions) rather than hand-tuned assembly.
+//
+// Language summary:
+//
+//	int g;                  // global scalar (int64), optional "= const"
+//	int tab[256];           // global array of int64
+//	func f(a, b[]) { ... }  // every value is int64; b is an array arg
+//	var x = 3; var a[10];   // locals, block-scoped
+//	if/else, while, for, break, continue, return
+//	operators: || && | ^ & == != < <= > >= << >> + - * / % unary - ! ~
+//	builtins: putint(x) putchar(c) putstr("s") getint() clock()
+//
+// Arrays decay to addresses when passed; a[i] indexes 8-byte elements.
+package minic
+
+import (
+	"fmt"
+	"strconv"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tInt
+	tStr
+	tPunct // operators and punctuation, in tok.text
+	tKeyword
+)
+
+type token struct {
+	kind tokKind
+	text string
+	val  int64 // for tInt
+	line int
+}
+
+// Error is a compile diagnostic with a 1-based source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("minic: line %d: %s", e.Line, e.Msg) }
+
+var keywords = map[string]bool{
+	"int": true, "func": true, "var": true, "if": true, "else": true,
+	"while": true, "for": true, "return": true, "break": true, "continue": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (lx *lexer) errf(format string, args ...any) error {
+	return &Error{Line: lx.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lx *lexer) peekByte() byte {
+	if lx.pos < len(lx.src) {
+		return lx.src[lx.pos]
+	}
+	return 0
+}
+
+func (lx *lexer) at(i int) byte {
+	if lx.pos+i < len(lx.src) {
+		return lx.src[lx.pos+i]
+	}
+	return 0
+}
+
+func (lx *lexer) skipSpace() error {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '\n':
+			lx.line++
+			lx.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.pos++
+		case c == '/' && lx.at(1) == '/':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		case c == '/' && lx.at(1) == '*':
+			lx.pos += 2
+			for {
+				if lx.pos >= len(lx.src) {
+					return lx.errf("unterminated block comment")
+				}
+				if lx.src[lx.pos] == '\n' {
+					lx.line++
+				}
+				if lx.src[lx.pos] == '*' && lx.at(1) == '/' {
+					lx.pos += 2
+					break
+				}
+				lx.pos++
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// multi-byte punctuation, longest first.
+var punct2 = []string{"==", "!=", "<=", ">=", "&&", "||", "<<", ">>"}
+
+func (lx *lexer) next() (token, error) {
+	if err := lx.skipSpace(); err != nil {
+		return token{}, err
+	}
+	if lx.pos >= len(lx.src) {
+		return token{kind: tEOF, line: lx.line}, nil
+	}
+	start := lx.pos
+	line := lx.line
+	c := lx.src[lx.pos]
+
+	switch {
+	case isLetter(c):
+		for lx.pos < len(lx.src) && (isLetter(lx.src[lx.pos]) || isDigit(lx.src[lx.pos])) {
+			lx.pos++
+		}
+		text := lx.src[start:lx.pos]
+		if keywords[text] {
+			return token{kind: tKeyword, text: text, line: line}, nil
+		}
+		return token{kind: tIdent, text: text, line: line}, nil
+
+	case isDigit(c):
+		for lx.pos < len(lx.src) && (isDigit(lx.src[lx.pos]) || isHexLetter(lx.src[lx.pos]) || lx.src[lx.pos] == 'x' || lx.src[lx.pos] == 'X') {
+			lx.pos++
+		}
+		text := lx.src[start:lx.pos]
+		v, err := strconv.ParseInt(text, 0, 64)
+		if err != nil {
+			return token{}, lx.errf("bad integer literal %q", text)
+		}
+		return token{kind: tInt, text: text, val: v, line: line}, nil
+
+	case c == '"':
+		lx.pos++
+		var out []byte
+		for {
+			if lx.pos >= len(lx.src) {
+				return token{}, lx.errf("unterminated string literal")
+			}
+			ch := lx.src[lx.pos]
+			if ch == '"' {
+				lx.pos++
+				break
+			}
+			if ch == '\n' {
+				return token{}, lx.errf("newline in string literal")
+			}
+			if ch == '\\' {
+				lx.pos++
+				if lx.pos >= len(lx.src) {
+					return token{}, lx.errf("unterminated escape")
+				}
+				switch lx.src[lx.pos] {
+				case 'n':
+					out = append(out, '\n')
+				case 't':
+					out = append(out, '\t')
+				case '\\':
+					out = append(out, '\\')
+				case '"':
+					out = append(out, '"')
+				case '0':
+					out = append(out, 0)
+				default:
+					return token{}, lx.errf("unknown escape \\%c", lx.src[lx.pos])
+				}
+				lx.pos++
+				continue
+			}
+			out = append(out, ch)
+			lx.pos++
+		}
+		return token{kind: tStr, text: string(out), line: line}, nil
+
+	case c == '\'':
+		// Character literal, one byte, with the same escapes.
+		lx.pos++
+		if lx.pos >= len(lx.src) {
+			return token{}, lx.errf("unterminated character literal")
+		}
+		var v int64
+		if lx.src[lx.pos] == '\\' {
+			lx.pos++
+			if lx.pos >= len(lx.src) {
+				return token{}, lx.errf("unterminated escape")
+			}
+			switch lx.src[lx.pos] {
+			case 'n':
+				v = '\n'
+			case 't':
+				v = '\t'
+			case '\\':
+				v = '\\'
+			case '\'':
+				v = '\''
+			case '0':
+				v = 0
+			default:
+				return token{}, lx.errf("unknown escape \\%c", lx.src[lx.pos])
+			}
+		} else {
+			v = int64(lx.src[lx.pos])
+		}
+		lx.pos++
+		if lx.pos >= len(lx.src) || lx.src[lx.pos] != '\'' {
+			return token{}, lx.errf("unterminated character literal")
+		}
+		lx.pos++
+		return token{kind: tInt, text: "'" + string(byte(v)) + "'", val: v, line: line}, nil
+	}
+
+	for _, p := range punct2 {
+		if lx.pos+2 <= len(lx.src) && lx.src[lx.pos:lx.pos+2] == p {
+			lx.pos += 2
+			return token{kind: tPunct, text: p, line: line}, nil
+		}
+	}
+	switch c {
+	case '+', '-', '*', '/', '%', '&', '|', '^', '~', '!', '<', '>', '=',
+		'(', ')', '{', '}', '[', ']', ',', ';':
+		lx.pos++
+		return token{kind: tPunct, text: string(c), line: line}, nil
+	}
+	return token{}, lx.errf("unexpected character %q", c)
+}
+
+func isLetter(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+func isDigit(c byte) bool     { return c >= '0' && c <= '9' }
+func isHexLetter(c byte) bool { return c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F' }

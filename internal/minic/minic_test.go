@@ -1,0 +1,390 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+
+	"valueprof/internal/vm"
+)
+
+// compileRun compiles src, runs it with input, and returns the output.
+func compileRun(t *testing.T, src string, input ...int64) string {
+	t.Helper()
+	p, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := vm.Execute(p, input)
+	if err != nil {
+		t.Fatalf("run: %v\nlisting:\n%s", err, p.Disassemble())
+	}
+	return res.Output
+}
+
+func TestHelloArithmetic(t *testing.T) {
+	out := compileRun(t, `
+func main() {
+    putint(2 + 3 * 4);
+}
+`)
+	if out != "14" {
+		t.Errorf("output = %q, want 14", out)
+	}
+}
+
+func TestOperatorZoo(t *testing.T) {
+	out := compileRun(t, `
+func main() {
+    var a = 13; var b = 5;
+    putint(a + b); putchar(' ');
+    putint(a - b); putchar(' ');
+    putint(a * b); putchar(' ');
+    putint(a / b); putchar(' ');
+    putint(a % b); putchar(' ');
+    putint(a & b); putchar(' ');
+    putint(a | b); putchar(' ');
+    putint(a ^ b); putchar(' ');
+    putint(a << 2); putchar(' ');
+    putint(-a >> 1); putchar(' ');
+    putint(a == b); putchar(' ');
+    putint(a != b); putchar(' ');
+    putint(a < b); putchar(' ');
+    putint(a <= 13); putchar(' ');
+    putint(a > b); putchar(' ');
+    putint(a >= 14); putchar(' ');
+    putint(!a); putchar(' ');
+    putint(~a); putchar(' ');
+    putint(-b);
+}
+`)
+	want := "18 8 65 2 3 5 13 8 52 -7 0 1 0 1 1 0 0 -14 -5"
+	if out != want {
+		t.Errorf("output = %q\nwant     %q", out, want)
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	out := compileRun(t, `
+int calls;
+func bump() { calls = calls + 1; return 1; }
+func main() {
+    var x = 0 && bump();
+    var y = 1 || bump();
+    putint(x); putint(y); putint(calls);
+    var z = 1 && bump();
+    var w = 0 || bump();
+    putint(z); putint(w); putint(calls);
+}
+`)
+	if out != "010112" {
+		t.Errorf("output = %q, want 010112", out)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	out := compileRun(t, `
+func main() {
+    var i; var total = 0;
+    for (i = 1; i <= 10; i = i + 1) {
+        if (i % 2 == 0) { continue; }
+        if (i == 9) { break; }
+        total = total + i;
+    }
+    putint(total);     // 1+3+5+7 = 16
+    var n = 3;
+    while (n > 0) {
+        putchar('a' + n);
+        n = n - 1;
+    }
+    if (total > 100) { putstr("big"); } else if (total > 10) { putstr("mid"); } else { putstr("small"); }
+}
+`)
+	if out != "16dcbmid" {
+		t.Errorf("output = %q, want 16dcbmid", out)
+	}
+}
+
+func TestGlobalsAndArrays(t *testing.T) {
+	out := compileRun(t, `
+int counter = 5;
+int tab[8];
+func fill(n) {
+    var i;
+    for (i = 0; i < n; i = i + 1) { tab[i] = i * i; }
+}
+func main() {
+    fill(8);
+    counter = counter + tab[3];
+    putint(counter); putchar(',');
+    putint(tab[7]);
+}
+`)
+	if out != "14,49" {
+		t.Errorf("output = %q, want 14,49", out)
+	}
+}
+
+func TestLocalArraysAndScoping(t *testing.T) {
+	out := compileRun(t, `
+func main() {
+    var a[4];
+    var i;
+    for (i = 0; i < 4; i = i + 1) { a[i] = 10 * i; }
+    var x = 1;
+    {
+        var x = 2;
+        a[0] = a[0] + x;
+    }
+    putint(a[0] + x);  // 0+2+1 = 3
+    putint(a[3]);      // 30
+}
+`)
+	if out != "330" {
+		t.Errorf("output = %q, want 330", out)
+	}
+}
+
+func TestArrayParamsDecay(t *testing.T) {
+	out := compileRun(t, `
+int g[5];
+func sum(a[], n) {
+    var s = 0; var i;
+    for (i = 0; i < n; i = i + 1) { s = s + a[i]; }
+    return s;
+}
+func scale(a[], n, k) {
+    var i;
+    for (i = 0; i < n; i = i + 1) { a[i] = a[i] * k; }
+}
+func main() {
+    var loc[5];
+    var i;
+    for (i = 0; i < 5; i = i + 1) { g[i] = i; loc[i] = i + 1; }
+    scale(g, 5, 2);
+    putint(sum(g, 5));   // 2*(0+1+2+3+4) = 20
+    putchar(' ');
+    putint(sum(loc, 5)); // 15
+}
+`)
+	if out != "20 15" {
+		t.Errorf("output = %q, want 20 15", out)
+	}
+}
+
+func TestRecursionAndCallsInExpressions(t *testing.T) {
+	out := compileRun(t, `
+func fib(n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+func main() {
+    putint(fib(10));            // 55
+    putchar(' ');
+    putint(fib(3) * fib(4) + fib(5));  // 2*3+5 = 11
+}
+`)
+	if out != "55 11" {
+		t.Errorf("output = %q, want 55 11", out)
+	}
+}
+
+func TestSixArguments(t *testing.T) {
+	out := compileRun(t, `
+func wsum(a, b, c, d, e, f) {
+    return a + 2*b + 3*c + 4*d + 5*e + 6*f;
+}
+func main() { putint(wsum(1, 1, 1, 1, 1, 1)); }
+`)
+	if out != "21" {
+		t.Errorf("output = %q, want 21", out)
+	}
+}
+
+func TestGetintAndReturnStatus(t *testing.T) {
+	p, err := Compile(`
+func main() {
+    var a = getint();
+    var b = getint();
+    putint(a * b);
+    return 7;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vm.Execute(p, []int64{6, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "42" || res.ExitStatus != 7 {
+		t.Errorf("output=%q status=%d, want 42/7", res.Output, res.ExitStatus)
+	}
+}
+
+func TestCharLiteralsAndStrings(t *testing.T) {
+	out := compileRun(t, `
+func main() {
+    putstr("x=\t");
+    putchar('A' + 2);
+    putstr("\n");
+    putint('\n');
+}
+`)
+	if out != "x=\tC\n10" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestLargeConstants(t *testing.T) {
+	out := compileRun(t, `
+func main() {
+    var big = 1234567890123;
+    putint(big);
+    putchar(' ');
+    putint(big % 1000000007);
+}
+`)
+	if out != "1234567890123 567881485" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestCommentsEverywhere(t *testing.T) {
+	out := compileRun(t, `
+// top comment
+func main() { /* inline */ putint(1 /* mid */ + 2); } // tail
+`)
+	if out != "3" {
+		t.Errorf("output = %q, want 3", out)
+	}
+}
+
+func TestDeepExpression(t *testing.T) {
+	out := compileRun(t, `
+func main() {
+    putint(((1 + 2) * (3 + 4) - (5 - 6)) * ((7 + 8) / (4 - 1)));
+}
+`)
+	if out != "110" {
+		t.Errorf("output = %q, want 110", out)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"no main", "func f() {}", "no main"},
+		{"undefined var", "func main() { putint(x); }", "undefined variable"},
+		{"undefined func", "func main() { f(); }", "undefined function"},
+		{"arity", "func f(a) { return a; } func main() { f(1, 2); }", "expects 1 argument"},
+		{"dup global", "int a; int a; func main() {}", "duplicate global"},
+		{"dup func", "func f() {} func f() {} func main() {}", "duplicate function"},
+		{"dup local", "func main() { var a; var a; }", "duplicate declaration"},
+		{"assign to array", "int a[3]; func main() { a = 1; }", "cannot assign to array"},
+		{"index scalar", "int a; func main() { putint(a[0]); }", "not an array"},
+		{"break outside", "func main() { break; }", "break outside loop"},
+		{"continue outside", "func main() { continue; }", "continue outside loop"},
+		{"builtin shadow", "func putint(x) {} func main() {}", "shadows a builtin"},
+		{"bad assign target", "func main() { 3 = 4; }", "left side of assignment"},
+		{"stray string", `func main() { var s = "hi"; }`, "string literals"},
+		{"putstr nonliteral", "func main() { putstr(3); }", "string literal"},
+		{"too many params", "func f(a,b,c,d,e,g,h) {} func main() {}", "max 6"},
+		{"array init", "int a[3] = 5; func main() {}", "cannot have initializers"},
+		{"unterminated comment", "func main() {} /* oops", "unterminated block comment"},
+		{"unterminated string", `func main() { putstr("oops); }`, "string literal"},
+		{"bad token", "func main() { putint(1 $ 2); }", "unexpected character"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Compile(c.src)
+			if err == nil {
+				t.Fatalf("compiled without error, want %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestErrorLineNumbers(t *testing.T) {
+	_, err := Compile("func main() {\n var a;\n putint(b);\n}\n")
+	cerr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+	if cerr.Line != 3 {
+		t.Errorf("line = %d, want 3", cerr.Line)
+	}
+}
+
+func TestGeneratedProcTable(t *testing.T) {
+	p, err := Compile(`
+func helper(x) { return x + 1; }
+func main() { putint(helper(1)); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ProcByName("helper") == nil {
+		t.Error("helper missing from procedure table")
+	}
+	if p.ProcByName("_main") == nil {
+		t.Error("_main missing from procedure table")
+	}
+	if p.ProcByName("main") == nil {
+		t.Error("startup stub missing from procedure table")
+	}
+}
+
+func TestNestedCallsSaveTemps(t *testing.T) {
+	// A call inside a binary expression must not clobber the left
+	// operand held in a temp.
+	out := compileRun(t, `
+func id(x) { return x; }
+func main() {
+    putint(100 - id(1) - id(2) - id(3));
+    putchar(' ');
+    putint(id(id(id(5))) + id(6) * id(7));
+}
+`)
+	if out != "94 47" {
+		t.Errorf("output = %q, want 94 47", out)
+	}
+}
+
+func TestWhileWithComplexCond(t *testing.T) {
+	out := compileRun(t, `
+func main() {
+    var i = 0; var j = 10;
+    while (i < 5 && j > 5) { i = i + 1; j = j - 1; }
+    putint(i * 10 + j);
+}
+`)
+	if out != "55" {
+		t.Errorf("output = %q, want 55", out)
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	// Folded expressions should compile to a single li; check via the
+	// assembly text rather than execution.
+	text, err := CompileToAsm("func main() { putint(3 * 4 + (10 << 2) - 1); }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "li t0, 51") {
+		t.Errorf("constant not folded; asm:\n%s", text)
+	}
+}
+
+func TestGlobalInitializers(t *testing.T) {
+	out := compileRun(t, `
+int pos = 41;
+int neg = -7;
+int zero;
+func main() { putint(pos); putchar(' '); putint(neg); putchar(' '); putint(zero); }
+`)
+	if out != "41 -7 0" {
+		t.Errorf("output = %q", out)
+	}
+}

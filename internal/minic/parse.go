@@ -1,0 +1,552 @@
+package minic
+
+import "fmt"
+
+type parser struct {
+	lx   *lexer
+	tok  token // current
+	ahea *token
+}
+
+func newParser(src string) (*parser, error) {
+	p := &parser{lx: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *parser) errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) advance() error {
+	if p.ahea != nil {
+		p.tok = *p.ahea
+		p.ahea = nil
+		return nil
+	}
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) peek() (token, error) {
+	if p.ahea == nil {
+		t, err := p.lx.next()
+		if err != nil {
+			return token{}, err
+		}
+		p.ahea = &t
+	}
+	return *p.ahea, nil
+}
+
+func (p *parser) isPunct(s string) bool { return p.tok.kind == tPunct && p.tok.text == s }
+func (p *parser) isKw(s string) bool    { return p.tok.kind == tKeyword && p.tok.text == s }
+
+func (p *parser) expectPunct(s string) error {
+	if !p.isPunct(s) {
+		return p.errf(p.tok.line, "expected %q, got %q", s, p.tok.text)
+	}
+	return p.advance()
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if p.tok.kind != tIdent {
+		return "", p.errf(p.tok.line, "expected identifier, got %q", p.tok.text)
+	}
+	name := p.tok.text
+	return name, p.advance()
+}
+
+// parseFile parses a whole translation unit.
+func parseFile(src string) (*file, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	f := &file{}
+	for p.tok.kind != tEOF {
+		switch {
+		case p.isKw("int"):
+			g, err := p.globalDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.globals = append(f.globals, g)
+		case p.isKw("func"):
+			fn, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.funcs = append(f.funcs, fn)
+		default:
+			return nil, p.errf(p.tok.line, "expected top-level 'int' or 'func', got %q", p.tok.text)
+		}
+	}
+	return f, nil
+}
+
+func (p *parser) globalDecl() (*globalDecl, error) {
+	line := p.tok.line
+	if err := p.advance(); err != nil { // consume "int"
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	g := &globalDecl{name: name, arrayLen: -1, line: line}
+	if p.isPunct("[") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tInt {
+			return nil, p.errf(p.tok.line, "global array size must be an integer literal")
+		}
+		if p.tok.val <= 0 || p.tok.val > 1<<24 {
+			return nil, p.errf(p.tok.line, "array size %d out of range", p.tok.val)
+		}
+		g.arrayLen = int(p.tok.val)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+	}
+	if p.isPunct("=") {
+		if g.arrayLen >= 0 {
+			return nil, p.errf(p.tok.line, "array globals cannot have initializers")
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		neg := false
+		if p.isPunct("-") {
+			neg = true
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		if p.tok.kind != tInt {
+			return nil, p.errf(p.tok.line, "global initializer must be an integer literal")
+		}
+		g.init = p.tok.val
+		if neg {
+			g.init = -g.init
+		}
+		g.hasInit = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	return g, p.expectPunct(";")
+}
+
+func (p *parser) funcDecl() (*funcDecl, error) {
+	line := p.tok.line
+	if err := p.advance(); err != nil { // consume "func"
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	fn := &funcDecl{name: name, line: line}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for !p.isPunct(")") {
+		if len(fn.params) > 0 {
+			if err := p.expectPunct(","); err != nil {
+				return nil, err
+			}
+		}
+		pname, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		pa := param{name: pname}
+		if p.isPunct("[") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			pa.isArray = true
+		}
+		fn.params = append(fn.params, pa)
+	}
+	if err := p.advance(); err != nil { // consume ")"
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.body = body
+	return fn, nil
+}
+
+func (p *parser) block() (*blockStmt, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	b := &blockStmt{}
+	for !p.isPunct("}") {
+		if p.tok.kind == tEOF {
+			return nil, p.errf(p.tok.line, "unexpected end of file in block")
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		b.stmts = append(b.stmts, s)
+	}
+	return b, p.advance()
+}
+
+func (p *parser) statement() (stmt, error) {
+	line := p.tok.line
+	switch {
+	case p.isKw("var"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		d := &varDecl{name: name, arrayLen: -1, line: line}
+		if p.isPunct("[") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.tok.kind != tInt || p.tok.val <= 0 || p.tok.val > 1<<20 {
+				return nil, p.errf(p.tok.line, "local array size must be a positive integer literal")
+			}
+			d.arrayLen = int(p.tok.val)
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+		} else if p.isPunct("=") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			d.init, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return d, p.expectPunct(";")
+
+	case p.isKw("if"):
+		return p.ifStatement()
+
+	case p.isKw("while"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &whileStmt{cond: cond, body: body, line: line}, nil
+
+	case p.isKw("for"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		f := &forStmt{line: line}
+		if !p.isPunct(";") {
+			s, err := p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			f.init = s
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		if !p.isPunct(";") {
+			c, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			f.cond = c
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		if !p.isPunct(")") {
+			s, err := p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			f.post = s
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		f.body = body
+		return f, nil
+
+	case p.isKw("return"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r := &returnStmt{line: line}
+		if !p.isPunct(";") {
+			x, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			r.x = x
+		}
+		return r, p.expectPunct(";")
+
+	case p.isKw("break"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &breakStmt{line: line}, p.expectPunct(";")
+
+	case p.isKw("continue"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &continueStmt{line: line}, p.expectPunct(";")
+
+	case p.isPunct("{"):
+		return p.block()
+	}
+
+	s, err := p.simpleStmt()
+	if err != nil {
+		return nil, err
+	}
+	return s, p.expectPunct(";")
+}
+
+func (p *parser) ifStatement() (stmt, error) {
+	line := p.tok.line
+	if err := p.advance(); err != nil { // consume "if"
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	s := &ifStmt{cond: cond, then: then, line: line}
+	if p.isKw("else") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.isKw("if") {
+			els, err := p.ifStatement()
+			if err != nil {
+				return nil, err
+			}
+			s.els = els
+		} else {
+			els, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			s.els = els
+		}
+	}
+	return s, nil
+}
+
+// simpleStmt parses an assignment or expression statement (without the
+// trailing semicolon, so it can appear in for-clauses).
+func (p *parser) simpleStmt() (stmt, error) {
+	line := p.tok.line
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.isPunct("=") {
+		switch x.(type) {
+		case *varRef, *indexExpr:
+		default:
+			return nil, p.errf(line, "left side of assignment must be a variable or array element")
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &assignStmt{lhs: x, rhs: rhs, line: line}, nil
+	}
+	return &exprStmt{x: x, line: line}, nil
+}
+
+// Binary operator precedence, loosest first.
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) expr() (expr, error) { return p.binExpr(1) }
+
+func (p *parser) binExpr(minPrec int) (expr, error) {
+	x, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if p.tok.kind != tPunct {
+			return x, nil
+		}
+		prec, ok := binPrec[p.tok.text]
+		if !ok || prec < minPrec {
+			return x, nil
+		}
+		op := p.tok.text
+		line := p.tok.line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		y, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		x = &binaryExpr{op: op, x: x, y: y, line: line}
+	}
+}
+
+func (p *parser) unary() (expr, error) {
+	if p.tok.kind == tPunct {
+		switch p.tok.text {
+		case "-", "!", "~":
+			op := p.tok.text
+			line := p.tok.line
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			x, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			// Fold negative literals immediately.
+			if op == "-" {
+				if lit, ok := x.(*intLit); ok {
+					return &intLit{val: -lit.val, line: line}, nil
+				}
+			}
+			return &unaryExpr{op: op, x: x, line: line}, nil
+		}
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (expr, error) {
+	line := p.tok.line
+	switch {
+	case p.tok.kind == tInt:
+		v := p.tok.val
+		return &intLit{val: v, line: line}, p.advance()
+
+	case p.tok.kind == tStr:
+		s := p.tok.text
+		return &strLit{val: s, line: line}, p.advance()
+
+	case p.tok.kind == tIdent:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		switch {
+		case p.isPunct("("):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			call := &callExpr{name: name, line: line}
+			for !p.isPunct(")") {
+				if len(call.args) > 0 {
+					if err := p.expectPunct(","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				call.args = append(call.args, a)
+			}
+			return call, p.advance()
+		case p.isPunct("["):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			return &indexExpr{name: name, idx: idx, line: line}, nil
+		}
+		return &varRef{name: name, line: line}, nil
+
+	case p.isPunct("("):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return x, p.expectPunct(")")
+	}
+	return nil, p.errf(line, "unexpected token %q in expression", p.tok.text)
+}

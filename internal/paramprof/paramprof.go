@@ -1,0 +1,163 @@
+// Package paramprof implements procedure-parameter value profiling: at
+// every procedure entry the argument registers are observed, giving
+// per-(procedure, argument) invariance and per-procedure "all arguments
+// invariant" rates — the profile that drives code specialization
+// (thesis Chapter X) and memoization (Richardson [32]).
+package paramprof
+
+import (
+	"sort"
+
+	"valueprof/internal/atom"
+	"valueprof/internal/core"
+	"valueprof/internal/isa"
+	"valueprof/internal/vm"
+)
+
+// MaxArgs is how many argument registers are profiled when a
+// procedure's arity is unknown.
+const MaxArgs = 3
+
+// Options configures a ParamProfiler.
+type Options struct {
+	TNV       core.TNVConfig
+	TrackFull bool
+	// Arity maps procedure name to its argument count; procedures not
+	// listed are profiled on their first MaxArgs argument registers.
+	// (The binary does not carry arity, exactly as the paper's Alpha
+	// binaries did not; callers that know the source can supply it.)
+	Arity map[string]int
+	// Procs restricts profiling to the named procedures; nil profiles
+	// every procedure in the program.
+	Procs []string
+}
+
+// DefaultOptions profiles every procedure's first MaxArgs registers.
+func DefaultOptions() Options { return Options{TNV: core.DefaultTNVConfig()} }
+
+// ProcProfile is the parameter profile of one procedure.
+type ProcProfile struct {
+	Name  string
+	Calls uint64
+	// Args holds one SiteStats per profiled argument register.
+	Args []*core.SiteStats
+	// TupleTNV profiles the combined argument tuple (hashed), whose
+	// top-1 invariance is the memoization hit-rate bound.
+	TupleTNV *core.TNVTable
+}
+
+// AllArgsInvariance returns the tuple invariance estimate: the fraction
+// of calls whose whole argument tuple matched the most common tuple.
+func (p *ProcProfile) AllArgsInvariance() float64 { return p.TupleTNV.InvTop(1) }
+
+// ParamProfiler is an ATOM tool profiling procedure parameters.
+type ParamProfiler struct {
+	opts  Options
+	procs map[string]*ProcProfile
+}
+
+// New creates a parameter profiler.
+func New(opts Options) *ParamProfiler {
+	if opts.TNV.Size == 0 {
+		opts.TNV = core.DefaultTNVConfig()
+	}
+	return &ParamProfiler{opts: opts, procs: make(map[string]*ProcProfile)}
+}
+
+// tupleHash mixes the profiled argument registers into one comparable
+// value (FNV-style); collisions only overestimate tuple invariance and
+// are vanishingly rare for realistic argument sets.
+func tupleHash(args []int64) int64 {
+	h := uint64(1469598103934665603)
+	for _, a := range args {
+		h ^= uint64(a)
+		h *= 1099511628211
+	}
+	return int64(h)
+}
+
+// Instrument implements atom.Tool.
+func (pp *ParamProfiler) Instrument(ix *atom.Instrumenter) {
+	wanted := map[string]bool{}
+	for _, n := range pp.opts.Procs {
+		wanted[n] = true
+	}
+	for _, proc := range ix.Procedures() {
+		if len(wanted) > 0 && !wanted[proc.Name] {
+			continue
+		}
+		nargs := MaxArgs
+		if n, ok := pp.opts.Arity[proc.Name]; ok {
+			nargs = n
+		}
+		if nargs > isa.RegA5-isa.RegA0+1 {
+			nargs = isa.RegA5 - isa.RegA0 + 1
+		}
+		prof := &ProcProfile{Name: proc.Name, TupleTNV: core.NewTNV(pp.opts.TNV)}
+		for i := 0; i < nargs; i++ {
+			prof.Args = append(prof.Args, core.NewSiteStats(proc.Start, proc.Name, pp.opts.TNV, pp.opts.TrackFull))
+		}
+		pp.procs[proc.Name] = prof
+
+		// Procedure entry is reached both by calls and by loop
+		// back-edges in odd code; for compiler-generated code the
+		// entry block is call-only, matching the paper's ATOM
+		// procedure-entry instrumentation.
+		ix.AddProcEntry(proc, func(ev *vm.Event) {
+			prof.Calls++
+			buf := make([]int64, len(prof.Args))
+			for i := range prof.Args {
+				v := ev.VM.Regs[isa.RegA0+i]
+				prof.Args[i].Observe(v)
+				buf[i] = v
+			}
+			if len(buf) > 0 {
+				prof.TupleTNV.Add(tupleHash(buf))
+			}
+		})
+	}
+}
+
+// Report is the result of a parameter-profiling run.
+type Report struct {
+	Procs []*ProcProfile // sorted by calls descending
+	K     int
+}
+
+// Report returns the collected profiles.
+func (pp *ParamProfiler) Report() *Report {
+	procs := make([]*ProcProfile, 0, len(pp.procs))
+	for _, p := range pp.procs {
+		procs = append(procs, p)
+	}
+	sort.Slice(procs, func(i, j int) bool {
+		if procs[i].Calls != procs[j].Calls {
+			return procs[i].Calls > procs[j].Calls
+		}
+		return procs[i].Name < procs[j].Name
+	})
+	return &Report{Procs: procs, K: pp.opts.TNV.Size}
+}
+
+// Proc returns the profile of the named procedure, or nil.
+func (r *Report) Proc(name string) *ProcProfile {
+	for _, p := range r.Procs {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// Candidates returns procedures called at least minCalls times whose
+// whole argument tuple is invariant at least thresh of the time — the
+// specialization/memoization candidate list of Chapter X.
+func (r *Report) Candidates(minCalls uint64, thresh float64) []*ProcProfile {
+	var out []*ProcProfile
+	for _, p := range r.Procs {
+		if p.Calls >= minCalls && len(p.Args) > 0 && p.AllArgsInvariance() >= thresh {
+			out = append(out, p)
+		}
+	}
+	return out
+}

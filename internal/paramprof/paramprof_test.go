@@ -1,0 +1,140 @@
+package paramprof
+
+import (
+	"testing"
+
+	"valueprof/internal/asm"
+	"valueprof/internal/atom"
+	"valueprof/internal/core"
+)
+
+// main calls fixed(7, 9) 50 times and varies(i, 9) 50 times.
+const paramSrc = `
+        .proc main
+main:   li s0, 50
+loop:   li a0, 7
+        li a1, 9
+        jsr fixed
+        mov a0, s0
+        li a1, 9
+        jsr varies
+        addi s0, s0, -1
+        bne s0, loop
+        syscall exit
+        .endproc
+        .proc fixed
+fixed:  add v0, a0, a1
+        ret
+        .endproc
+        .proc varies
+varies: sub v0, a0, a1
+        ret
+        .endproc
+`
+
+func runParam(t *testing.T, opts Options) *Report {
+	t.Helper()
+	prog, err := asm.Assemble(paramSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp := New(opts)
+	if _, err := atom.Run(prog, nil, false, pp); err != nil {
+		t.Fatal(err)
+	}
+	return pp.Report()
+}
+
+func TestParamProfilerBasic(t *testing.T) {
+	r := runParam(t, Options{
+		TNV:   core.DefaultTNVConfig(),
+		Arity: map[string]int{"fixed": 2, "varies": 2},
+	})
+	fixed := r.Proc("fixed")
+	if fixed == nil || fixed.Calls != 50 {
+		t.Fatalf("fixed profile: %+v", fixed)
+	}
+	if len(fixed.Args) != 2 {
+		t.Fatalf("fixed args = %d", len(fixed.Args))
+	}
+	if fixed.Args[0].InvTop(1) != 1.0 || fixed.Args[1].InvTop(1) != 1.0 {
+		t.Errorf("fixed arg invariance = %v, %v", fixed.Args[0].InvTop(1), fixed.Args[1].InvTop(1))
+	}
+	if fixed.AllArgsInvariance() != 1.0 {
+		t.Errorf("fixed tuple invariance = %v", fixed.AllArgsInvariance())
+	}
+
+	varies := r.Proc("varies")
+	if varies.Args[0].InvTop(1) >= 0.5 {
+		t.Errorf("varying arg invariance = %v, want low", varies.Args[0].InvTop(1))
+	}
+	if varies.Args[1].InvTop(1) != 1.0 {
+		t.Errorf("second arg of varies should be invariant, got %v", varies.Args[1].InvTop(1))
+	}
+	if varies.AllArgsInvariance() >= 0.5 {
+		t.Errorf("varies tuple invariance = %v, want low", varies.AllArgsInvariance())
+	}
+}
+
+func TestParamCandidates(t *testing.T) {
+	r := runParam(t, Options{
+		TNV:   core.DefaultTNVConfig(),
+		Arity: map[string]int{"fixed": 2, "varies": 2},
+	})
+	cands := r.Candidates(10, 0.9)
+	if len(cands) != 1 || cands[0].Name != "fixed" {
+		t.Errorf("candidates = %+v, want [fixed]", cands)
+	}
+	// A high call floor filters everything.
+	if got := r.Candidates(1000, 0.9); len(got) != 0 {
+		t.Errorf("candidates with high floor = %+v", got)
+	}
+}
+
+func TestParamProcsRestriction(t *testing.T) {
+	r := runParam(t, Options{
+		TNV:   core.DefaultTNVConfig(),
+		Procs: []string{"fixed"},
+	})
+	if r.Proc("varies") != nil || r.Proc("main") != nil {
+		t.Error("restriction ignored")
+	}
+	if r.Proc("fixed") == nil {
+		t.Error("restricted proc missing")
+	}
+}
+
+func TestParamDefaultArity(t *testing.T) {
+	r := runParam(t, Options{TNV: core.DefaultTNVConfig()})
+	fixed := r.Proc("fixed")
+	if len(fixed.Args) != MaxArgs {
+		t.Errorf("default arity = %d, want %d", len(fixed.Args), MaxArgs)
+	}
+}
+
+func TestReportOrderedByCalls(t *testing.T) {
+	r := runParam(t, Options{TNV: core.DefaultTNVConfig()})
+	if len(r.Procs) != 3 {
+		t.Fatalf("procs = %d", len(r.Procs))
+	}
+	for i := 1; i < len(r.Procs); i++ {
+		if r.Procs[i-1].Calls < r.Procs[i].Calls {
+			t.Errorf("report not sorted by calls: %v", r.Procs)
+		}
+	}
+	if r.Proc("main").Calls != 1 {
+		t.Errorf("main calls = %d", r.Proc("main").Calls)
+	}
+}
+
+func TestTupleHashDistinguishes(t *testing.T) {
+	a := tupleHash([]int64{1, 2, 3})
+	b := tupleHash([]int64{3, 2, 1})
+	c := tupleHash([]int64{1, 2, 3})
+	if a == b {
+		t.Error("order-insensitive tuple hash")
+	}
+	if a != c {
+		t.Error("tuple hash not deterministic")
+	}
+}

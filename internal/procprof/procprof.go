@@ -1,0 +1,116 @@
+// Package procprof attributes simulated cycles to procedures —
+// inclusive (with callees) and exclusive (self) — via entry/return
+// instrumentation. It is the procedure-level profile of the thesis's
+// Chapter IV background, and it quantifies the observation motivating
+// memoization there: "these few procedures, that make up the bulk of
+// the execution, is where one would most likely want to optimize".
+package procprof
+
+import (
+	"sort"
+
+	"valueprof/internal/atom"
+	"valueprof/internal/isa"
+	"valueprof/internal/vm"
+)
+
+// ProcTime is one procedure's attribution.
+type ProcTime struct {
+	Name      string
+	Calls     uint64
+	Inclusive uint64 // cycles from entry to matching return
+	Exclusive uint64 // inclusive minus callee inclusive
+}
+
+type frame struct {
+	proc        *ProcTime
+	entryCycles uint64
+	calleeIncl  uint64
+}
+
+// Profiler is the ATOM tool.
+type Profiler struct {
+	procs map[string]*ProcTime
+	stack []frame
+	total uint64
+}
+
+// New creates a procedure-time profiler.
+func New() *Profiler { return &Profiler{procs: make(map[string]*ProcTime)} }
+
+// Instrument implements atom.Tool.
+func (p *Profiler) Instrument(ix *atom.Instrumenter) {
+	for _, proc := range ix.Procedures() {
+		pt := &ProcTime{Name: proc.Name}
+		p.procs[proc.Name] = pt
+		ix.AddProcEntry(proc, func(ev *vm.Event) {
+			pt.Calls++
+			p.stack = append(p.stack, frame{proc: pt, entryCycles: ev.VM.Cycles})
+		})
+		for pc := proc.Start; pc < proc.End; pc++ {
+			if ix.Inst(pc).Op != isa.OpRet {
+				continue
+			}
+			ix.AddAfter(pc, func(ev *vm.Event) { p.ret(ev.VM.Cycles) })
+		}
+	}
+	ix.AddProgramEnd(func(ev *vm.Event) {
+		// Unwind frames still open at exit (the startup stub, and any
+		// procedure that called exit directly).
+		for len(p.stack) > 0 {
+			p.ret(ev.VM.Cycles)
+		}
+		p.total = ev.VM.Cycles
+	})
+}
+
+func (p *Profiler) ret(nowCycles uint64) {
+	if len(p.stack) == 0 {
+		return
+	}
+	f := p.stack[len(p.stack)-1]
+	p.stack = p.stack[:len(p.stack)-1]
+	incl := nowCycles - f.entryCycles
+	f.proc.Inclusive += incl
+	excl := incl - f.calleeIncl
+	f.proc.Exclusive += excl
+	if len(p.stack) > 0 {
+		p.stack[len(p.stack)-1].calleeIncl += incl
+	}
+}
+
+// TotalCycles returns the run's cycle count (set at program end).
+func (p *Profiler) TotalCycles() uint64 { return p.total }
+
+// Sorted returns procedures by exclusive cycles, descending.
+func (p *Profiler) Sorted() []*ProcTime {
+	out := make([]*ProcTime, 0, len(p.procs))
+	for _, pt := range p.procs {
+		if pt.Calls > 0 {
+			out = append(out, pt)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Exclusive != out[j].Exclusive {
+			return out[i].Exclusive > out[j].Exclusive
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// TopShare returns the fraction of all cycles attributed exclusively to
+// the top n procedures.
+func (p *Profiler) TopShare(n int) float64 {
+	if p.total == 0 {
+		return 0
+	}
+	var sum uint64
+	for i, pt := range p.Sorted() {
+		if i >= n {
+			break
+		}
+		sum += pt.Exclusive
+	}
+	return float64(sum) / float64(p.total)
+}

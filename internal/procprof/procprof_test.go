@@ -1,0 +1,114 @@
+package procprof
+
+import (
+	"testing"
+
+	"valueprof/internal/atom"
+	"valueprof/internal/minic"
+)
+
+const procSrc = `
+func inner(x) {
+    var i; var s = 0;
+    for (i = 0; i < 50; i = i + 1) { s = s + x * i; }
+    return s;
+}
+func outer(n) {
+    var i; var s = 0;
+    for (i = 0; i < n; i = i + 1) { s = s + inner(i); }
+    return s;
+}
+func main() { putint(outer(40)); }
+`
+
+func runProc(t *testing.T, src string) *Profiler {
+	t.Helper()
+	prog, err := minic.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New()
+	if _, err := atom.Run(prog, nil, false, p); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestAttribution(t *testing.T) {
+	p := runProc(t, procSrc)
+	byName := map[string]*ProcTime{}
+	for _, pt := range p.Sorted() {
+		byName[pt.Name] = pt
+	}
+	inner, outer, main := byName["inner"], byName["outer"], byName["_main"]
+	if inner == nil || outer == nil || main == nil {
+		t.Fatalf("missing procs: %v", byName)
+	}
+	if inner.Calls != 40 || outer.Calls != 1 {
+		t.Errorf("calls: inner=%d outer=%d", inner.Calls, outer.Calls)
+	}
+	// outer's inclusive time contains inner's; its exclusive does not.
+	if outer.Inclusive <= inner.Inclusive {
+		t.Errorf("outer inclusive %d ≤ inner inclusive %d", outer.Inclusive, inner.Inclusive)
+	}
+	if outer.Exclusive >= outer.Inclusive {
+		t.Errorf("outer exclusive %d ≥ inclusive %d", outer.Exclusive, outer.Inclusive)
+	}
+	// inner dominates exclusive time (the hot leaf).
+	if p.Sorted()[0].Name != "inner" {
+		t.Errorf("hottest proc = %s, want inner", p.Sorted()[0].Name)
+	}
+	// _main's inclusive is nearly the whole run.
+	if float64(main.Inclusive) < 0.95*float64(p.TotalCycles()) {
+		t.Errorf("main inclusive %d of total %d", main.Inclusive, p.TotalCycles())
+	}
+}
+
+func TestExclusiveSumsToTotal(t *testing.T) {
+	p := runProc(t, procSrc)
+	var sum uint64
+	for _, pt := range p.Sorted() {
+		sum += pt.Exclusive
+	}
+	if sum != p.TotalCycles() {
+		t.Errorf("sum of exclusive cycles %d != total %d", sum, p.TotalCycles())
+	}
+}
+
+func TestTopShare(t *testing.T) {
+	p := runProc(t, procSrc)
+	one := p.TopShare(1)
+	all := p.TopShare(100)
+	if one <= 0.4 {
+		t.Errorf("top-1 share = %v, want a dominant leaf", one)
+	}
+	if all < 0.999 || all > 1.001 {
+		t.Errorf("full share = %v, want 1.0", all)
+	}
+	if p.TopShare(2) < one {
+		t.Error("TopShare not monotone")
+	}
+}
+
+func TestRecursionDoesNotUnderflow(t *testing.T) {
+	p := runProc(t, `
+func fib(n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+func main() { putint(fib(12)); }
+`)
+	byName := map[string]*ProcTime{}
+	for _, pt := range p.Sorted() {
+		byName[pt.Name] = pt
+	}
+	fib := byName["fib"]
+	if fib == nil || fib.Calls < 100 {
+		t.Fatalf("fib: %+v", fib)
+	}
+	// Self-recursive inclusive time over-counts (each level counts its
+	// subtree); exclusive must still be sane and positive.
+	if fib.Exclusive == 0 || fib.Exclusive > p.TotalCycles() {
+		t.Errorf("fib exclusive = %d of total %d", fib.Exclusive, p.TotalCycles())
+	}
+}

@@ -1,0 +1,97 @@
+package program
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestImageRoundTrip(t *testing.T) {
+	p := buildProg()
+	p.Data = []byte{1, 2, 3, 4, 5}
+	p.DataSyms = map[string]uint64{"cell": DataBase, "buf": DataBase + 8}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.Code, q.Code) {
+		t.Error("code differs")
+	}
+	if !bytes.Equal(p.Data, q.Data) {
+		t.Error("data differs")
+	}
+	if p.Entry != q.Entry || p.DataAddr != q.DataAddr {
+		t.Error("header differs")
+	}
+	if !reflect.DeepEqual(p.Procs, q.Procs) {
+		t.Errorf("procs differ: %v vs %v", p.Procs, q.Procs)
+	}
+	if !reflect.DeepEqual(p.Labels, q.Labels) {
+		t.Error("labels differ")
+	}
+	if !reflect.DeepEqual(p.DataSyms, q.DataSyms) {
+		t.Error("syms differ")
+	}
+}
+
+func TestImageDeterministic(t *testing.T) {
+	p := buildProg()
+	p.DataSyms = map[string]uint64{"z": 1, "a": 2, "m": 3}
+	var b1, b2 bytes.Buffer
+	if err := p.Save(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Save(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("image not deterministic")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("shrt"),
+		[]byte("VPX9aaaaaaaa"),
+		append([]byte("VPX1"), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01), // huge entry then EOF
+	}
+	for i, c := range cases {
+		if _, err := Load(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: garbage image accepted", i)
+		}
+	}
+}
+
+func TestLoadRejectsTruncated(t *testing.T) {
+	p := buildProg()
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{5, 10, len(full) / 2, len(full) - 1} {
+		if cut >= len(full) {
+			continue
+		}
+		if _, err := Load(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncated image (%d of %d bytes) accepted", cut, len(full))
+		}
+	}
+}
+
+func TestLoadValidates(t *testing.T) {
+	p := buildProg()
+	p.Code[3].Imm = 999 // out-of-range branch target
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err == nil {
+		t.Error("invalid program loaded without error")
+	}
+}

@@ -1,0 +1,135 @@
+// Package quantile implements classic basic-block execution profiling
+// and the quantile table of thesis Table IV.1: how small a fraction of
+// the static basic blocks covers each fraction of the dynamic
+// execution. It is the background profiling machinery of Chapter IV
+// that value profiling extends.
+package quantile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"valueprof/internal/atom"
+	"valueprof/internal/program"
+	"valueprof/internal/vm"
+)
+
+// BlockCount is one basic block with its execution count.
+type BlockCount struct {
+	Block program.BasicBlock
+	Count uint64
+}
+
+// Profiler is an ATOM tool counting basic-block executions (and, as a
+// bonus, taken CFG edges out of conditional branches).
+type Profiler struct {
+	blocks *program.BlockSet
+	counts []uint64
+}
+
+// New creates a block profiler.
+func New() *Profiler { return &Profiler{} }
+
+// Instrument implements atom.Tool: one counter bump per block entry.
+func (p *Profiler) Instrument(ix *atom.Instrumenter) {
+	p.blocks = ix.BasicBlocks()
+	p.counts = make([]uint64, len(p.blocks.Blocks))
+	for i, b := range p.blocks.Blocks {
+		i := i
+		ix.AddBefore(b.Start, func(*vm.Event) { p.counts[i]++ })
+	}
+}
+
+// Counts returns per-block execution counts aligned with Blocks().
+func (p *Profiler) Counts() []uint64 { return p.counts }
+
+// Blocks returns the profiled block set.
+func (p *Profiler) Blocks() *program.BlockSet { return p.blocks }
+
+// Sorted returns blocks with counts, most-executed first.
+func (p *Profiler) Sorted() []BlockCount {
+	out := make([]BlockCount, 0, len(p.counts))
+	for i, c := range p.counts {
+		out = append(out, BlockCount{Block: p.blocks.Blocks[i], Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Block.Start < out[j].Block.Start
+	})
+	return out
+}
+
+// Row is one line of the quantile table.
+type Row struct {
+	Coverage   float64 // target fraction of dynamic block executions
+	Blocks     int     // blocks needed (most-executed first)
+	PctStatic  float64 // fraction of static blocks that is
+	ExecsShare float64 // achieved coverage (≥ Coverage)
+}
+
+// Table is the basic-block quantile table (thesis Table IV.1).
+type Table struct {
+	Rows         []Row
+	TotalBlocks  int
+	LiveBlocks   int // blocks executed at least once
+	TotalExecs   uint64
+	WeightedMean float64 // mean dynamic executions per live block
+}
+
+// DefaultCoverages are the quantiles the table reports.
+var DefaultCoverages = []float64{0.50, 0.75, 0.90, 0.95, 0.99, 1.00}
+
+// BuildTable computes the quantile table from a profile.
+func (p *Profiler) BuildTable(coverages []float64) *Table {
+	if coverages == nil {
+		coverages = DefaultCoverages
+	}
+	sorted := p.Sorted()
+	var total uint64
+	live := 0
+	for _, bc := range sorted {
+		total += bc.Count
+		if bc.Count > 0 {
+			live++
+		}
+	}
+	t := &Table{TotalBlocks: len(sorted), LiveBlocks: live, TotalExecs: total}
+	if live > 0 {
+		t.WeightedMean = float64(total) / float64(live)
+	}
+	if total == 0 {
+		return t
+	}
+	for _, cov := range coverages {
+		var acc uint64
+		n := 0
+		for _, bc := range sorted {
+			if float64(acc) >= cov*float64(total) {
+				break
+			}
+			acc += bc.Count
+			n++
+		}
+		t.Rows = append(t.Rows, Row{
+			Coverage:   cov,
+			Blocks:     n,
+			PctStatic:  float64(n) / float64(len(sorted)),
+			ExecsShare: float64(acc) / float64(total),
+		})
+	}
+	return t
+}
+
+// String renders the table in the thesis's style.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "quantile  blocks  %%static\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%7.0f%%  %6d  %6.1f%%\n", 100*r.Coverage, r.Blocks, 100*r.PctStatic)
+	}
+	fmt.Fprintf(&b, "(static blocks %d, live %d, dynamic %d)\n", t.TotalBlocks, t.LiveBlocks, t.TotalExecs)
+	return b.String()
+}

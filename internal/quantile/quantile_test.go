@@ -1,0 +1,113 @@
+package quantile
+
+import (
+	"strings"
+	"testing"
+
+	"valueprof/internal/atom"
+	"valueprof/internal/minic"
+)
+
+const quantProg = `
+func hot(n) {
+    var i; var s = 0;
+    for (i = 0; i < n; i = i + 1) { s = s + i; }
+    return s;
+}
+func cold() { return 42; }
+func main() {
+    var i; var acc = 0;
+    for (i = 0; i < 50; i = i + 1) { acc = acc + hot(100); }
+    acc = acc + cold();
+    putint(acc);
+}
+`
+
+func runQuant(t *testing.T) *Profiler {
+	t.Helper()
+	prog, err := minic.Compile(quantProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New()
+	if _, err := atom.Run(prog, nil, false, p); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBlockCountsConsistent(t *testing.T) {
+	p := runQuant(t)
+	sorted := p.Sorted()
+	if len(sorted) == 0 {
+		t.Fatal("no blocks")
+	}
+	// Hottest block must be the hot() loop body, executed 50*100 times
+	// (plus loop mechanics); definitely ≥ 5000.
+	if sorted[0].Count < 5000 {
+		t.Errorf("hottest block count = %d", sorted[0].Count)
+	}
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1].Count < sorted[i].Count {
+			t.Fatal("Sorted not descending")
+		}
+	}
+}
+
+func TestQuantileTableShape(t *testing.T) {
+	p := runQuant(t)
+	tab := p.BuildTable(nil)
+	if len(tab.Rows) != len(DefaultCoverages) {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	prev := 0
+	for i, r := range tab.Rows {
+		if r.Blocks < prev {
+			t.Errorf("row %d: blocks decreased", i)
+		}
+		prev = r.Blocks
+		if r.ExecsShare+1e-9 < r.Coverage {
+			t.Errorf("row %d: achieved %v < target %v", i, r.ExecsShare, r.Coverage)
+		}
+		if r.PctStatic < 0 || r.PctStatic > 1 {
+			t.Errorf("row %d: pctStatic %v", i, r.PctStatic)
+		}
+	}
+	// The paper's point: a small static fraction covers most execution.
+	r90 := tab.Rows[2] // 90%
+	if r90.PctStatic > 0.5 {
+		t.Errorf("90%% coverage needs %.0f%%%% of blocks; expected concentration", 100*r90.PctStatic)
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	if last.Coverage == 1.0 && last.Blocks != tab.LiveBlocks {
+		t.Errorf("100%% coverage needs %d blocks, live = %d", last.Blocks, tab.LiveBlocks)
+	}
+	if tab.LiveBlocks > tab.TotalBlocks || tab.LiveBlocks == 0 {
+		t.Errorf("live=%d total=%d", tab.LiveBlocks, tab.TotalBlocks)
+	}
+}
+
+func TestTableString(t *testing.T) {
+	p := runQuant(t)
+	s := p.BuildTable(nil).String()
+	if !strings.Contains(s, "quantile") || !strings.Contains(s, "100%") {
+		t.Errorf("table rendering:\n%s", s)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tab := (&Profiler{counts: nil}).BuildTable(nil)
+	_ = tab
+	p := &Profiler{}
+	prog, err := minic.Compile("func main() {}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := atom.Run(prog, nil, false, p); err != nil {
+		t.Fatal(err)
+	}
+	tb := p.BuildTable([]float64{0.5})
+	if tb.TotalExecs == 0 {
+		t.Error("even empty main executes some blocks")
+	}
+}

@@ -1,0 +1,76 @@
+// Package regprof profiles values written to each architectural
+// register, the register-file view of value profiling the thesis
+// discusses around Gabbay's register-value prediction results [17]
+// (registers would otherwise need saving/restoring across calls;
+// predicting their values recovers some register-window benefit).
+//
+// Unlike per-instruction profiling (one site per pc), this merges all
+// writers of a register into one stream per register, answering "how
+// predictable is r12 as a storage location?".
+package regprof
+
+import (
+	"valueprof/internal/atom"
+	"valueprof/internal/core"
+	"valueprof/internal/isa"
+	"valueprof/internal/vm"
+)
+
+// Profiler is the ATOM tool.
+type Profiler struct {
+	tnv  core.TNVConfig
+	full bool
+	regs [isa.NumRegs]*core.SiteStats
+}
+
+// New creates a register-value profiler. trackFull keeps exact
+// profiles per register.
+func New(tnv core.TNVConfig, trackFull bool) *Profiler {
+	if tnv.Size == 0 {
+		tnv = core.DefaultTNVConfig()
+	}
+	p := &Profiler{tnv: tnv, full: trackFull}
+	return p
+}
+
+// Instrument implements atom.Tool: one analysis call after every
+// result-producing instruction routes the value to its register's
+// stats. Calls (which write the link register) are included so ra's
+// stream is visible too.
+func (p *Profiler) Instrument(ix *atom.Instrumenter) {
+	for r := 0; r < isa.NumRegs; r++ {
+		if r == isa.RegZero {
+			continue
+		}
+		p.regs[r] = core.NewSiteStats(-1, isa.RegName(uint8(r)), p.tnv, p.full)
+	}
+	ix.ForEachInst(func(in isa.Inst) bool {
+		return in.Op.HasDest() || in.Op == isa.OpJsr || in.Op == isa.OpJsrr
+	}, func(pc int, in isa.Inst) {
+		if in.Rd == isa.RegZero {
+			return
+		}
+		site := p.regs[in.Rd]
+		ix.AddAfter(pc, func(ev *vm.Event) { site.Observe(ev.Value) })
+	})
+}
+
+// Reg returns the stats for one register (nil for the zero register).
+func (p *Profiler) Reg(r uint8) *core.SiteStats { return p.regs[r] }
+
+// Written returns the registers that were written at least once, in
+// register order.
+func (p *Profiler) Written() []*core.SiteStats {
+	var out []*core.SiteStats
+	for r := 0; r < isa.NumRegs; r++ {
+		if p.regs[r] != nil && p.regs[r].Exec > 0 {
+			out = append(out, p.regs[r])
+		}
+	}
+	return out
+}
+
+// Aggregate returns write-weighted metrics over all written registers.
+func (p *Profiler) Aggregate() core.WeightedMetrics {
+	return core.Aggregate(p.Written(), p.tnv.Size)
+}

@@ -1,0 +1,100 @@
+package regprof
+
+import (
+	"testing"
+
+	"valueprof/internal/asm"
+	"valueprof/internal/atom"
+	"valueprof/internal/core"
+	"valueprof/internal/isa"
+)
+
+const regSrc = `
+        .proc main
+main:   li s0, 100
+loop:   li t0, 7
+        add t1, t0, s0
+        addi s0, s0, -1
+        bne s0, loop
+        syscall exit
+        .endproc
+`
+
+func runReg(t *testing.T) *Profiler {
+	t.Helper()
+	prog, err := asm.Assemble(regSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(core.DefaultTNVConfig(), true)
+	if _, err := atom.Run(prog, nil, false, p); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRegisterStreamsMerged(t *testing.T) {
+	p := runReg(t)
+	t0 := p.Reg(isa.RegT0)
+	if t0.Exec != 100 || t0.InvTop(1) != 1.0 {
+		t.Errorf("t0: exec=%d inv=%v", t0.Exec, t0.InvTop(1))
+	}
+	// s0 is written by li (once) and addi (100 times): one merged
+	// stream of 101 mostly-distinct values.
+	s0 := p.Reg(isa.RegS0)
+	if s0.Exec != 101 {
+		t.Errorf("s0 writes = %d, want 101", s0.Exec)
+	}
+	if s0.InvAll(1) > 0.05 {
+		t.Errorf("s0 invariance = %v, want low (counter)", s0.InvAll(1))
+	}
+	if p.Reg(isa.RegZero) != nil {
+		t.Error("zero register profiled")
+	}
+}
+
+func TestWrittenAndAggregate(t *testing.T) {
+	p := runReg(t)
+	written := p.Written()
+	// t0, t1, s0 are written (li/add/addi); nothing else.
+	if len(written) != 3 {
+		names := []string{}
+		for _, s := range written {
+			names = append(names, s.Name)
+		}
+		t.Fatalf("written registers = %v", names)
+	}
+	m := p.Aggregate()
+	if m.Execs != 301 {
+		t.Errorf("total writes = %d, want 301", m.Execs)
+	}
+	if m.InvTop1 <= 0.3 {
+		t.Errorf("aggregate invariance = %v (t0's constant stream should lift it)", m.InvTop1)
+	}
+}
+
+func TestLinkRegisterVisible(t *testing.T) {
+	src := `
+        .proc main
+main:   jsr f
+        jsr f
+        syscall exit
+        .endproc
+        .proc f
+f:      li v0, 1
+        ret
+        .endproc
+`
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(core.DefaultTNVConfig(), false)
+	if _, err := atom.Run(prog, nil, false, p); err != nil {
+		t.Fatal(err)
+	}
+	ra := p.Reg(isa.RegRA)
+	if ra.Exec != 2 {
+		t.Errorf("ra writes = %d, want 2 (jsr link)", ra.Exec)
+	}
+}

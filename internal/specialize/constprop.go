@@ -1,0 +1,241 @@
+// Package specialize implements profile-guided code specialization, the
+// thesis's Chapter X payoff: given a procedure and a semi-invariant
+// register value discovered by value profiling, it clones the
+// procedure, constant-propagates the value through the clone, folds
+// instructions and resolves branches, removes dead code, and installs a
+// guarded dispatch stub so calls run the specialized body whenever the
+// profiled value recurs ("there will be one general version of the
+// code, and a special version ... a selection mechanism based on the
+// invariant variable will choose which code to execute").
+package specialize
+
+import (
+	"valueprof/internal/isa"
+)
+
+// regFacts maps register -> known constant value.
+type regFacts map[uint8]int64
+
+// facts is the constant-propagation lattice element: known register
+// values plus known fp-relative stack slots. Slot tracking is what lets
+// specialization see through the compiler's argument spills
+// (stq a0, 16(fp) ... ldq t0, 16(fp)).
+type facts struct {
+	regs  regFacts
+	slots map[int32]int64
+}
+
+func newFacts() *facts {
+	return &facts{regs: make(regFacts), slots: make(map[int32]int64)}
+}
+
+func (f *facts) clone() *facts {
+	out := newFacts()
+	for k, v := range f.regs {
+		out.regs[k] = v
+	}
+	for k, v := range f.slots {
+		out.slots[k] = v
+	}
+	return out
+}
+
+// meet intersects two fact sets (same key, same value survives).
+func meet(a, b *facts) *facts {
+	out := newFacts()
+	for k, v := range a.regs {
+		if bv, ok := b.regs[k]; ok && bv == v {
+			out.regs[k] = v
+		}
+	}
+	for k, v := range a.slots {
+		if bv, ok := b.slots[k]; ok && bv == v {
+			out.slots[k] = v
+		}
+	}
+	return out
+}
+
+func equalFacts(a, b *facts) bool {
+	if len(a.regs) != len(b.regs) || len(a.slots) != len(b.slots) {
+		return false
+	}
+	for k, v := range a.regs {
+		if bv, ok := b.regs[k]; !ok || bv != v {
+			return false
+		}
+	}
+	for k, v := range a.slots {
+		if bv, ok := b.slots[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (f *facts) reg(r uint8) (int64, bool) {
+	if r == isa.RegZero {
+		return 0, true
+	}
+	v, ok := f.regs[r]
+	return v, ok
+}
+
+func (f *facts) setReg(r uint8, v int64) {
+	if r != isa.RegZero {
+		f.regs[r] = v
+	}
+}
+
+func (f *facts) killReg(r uint8) {
+	delete(f.regs, r)
+	if r == isa.RegFP {
+		// fp changed: every fp-relative slot fact is stale.
+		f.slots = make(map[int32]int64)
+	}
+}
+
+func (f *facts) killAllSlots() { f.slots = make(map[int32]int64) }
+
+// callerSaved are the registers a call clobbers under the VRISC
+// convention (temporaries, arguments, v0, ra, at).
+var callerSaved = func() []uint8 {
+	var r []uint8
+	r = append(r, isa.RegV0, isa.RegRA, isa.RegAT)
+	for i := isa.RegA0; i <= isa.RegA5; i++ {
+		r = append(r, uint8(i))
+	}
+	for i := isa.RegT0; i < isa.RegT0+10; i++ {
+		r = append(r, uint8(i))
+	}
+	return r
+}()
+
+// evalValue computes the constant result of in under f when every
+// needed input is known. It handles pure ALU/compare ops and 64-bit
+// loads from known fp slots; ok is false otherwise.
+func evalValue(in isa.Inst, f *facts) (val int64, ok bool) {
+	a, aok := f.reg(in.Ra)
+	b, bok := f.reg(in.Rb)
+	imm := int64(in.Imm)
+	switch in.Op {
+	case isa.OpAdd:
+		return a + b, aok && bok
+	case isa.OpSub:
+		return a - b, aok && bok
+	case isa.OpMul:
+		return a * b, aok && bok
+	case isa.OpDiv:
+		if !aok || !bok || b == 0 {
+			return 0, false // preserve the fault
+		}
+		return a / b, true
+	case isa.OpRem:
+		if !aok || !bok || b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	case isa.OpAddi:
+		return a + imm, aok
+	case isa.OpMuli:
+		return a * imm, aok
+	case isa.OpAnd:
+		return a & b, aok && bok
+	case isa.OpOr:
+		return a | b, aok && bok
+	case isa.OpXor:
+		return a ^ b, aok && bok
+	case isa.OpAndi:
+		return a & imm, aok
+	case isa.OpOri:
+		return a | imm, aok
+	case isa.OpXori:
+		return a ^ imm, aok
+	case isa.OpSll:
+		return a << (uint64(b) & 63), aok && bok
+	case isa.OpSrl:
+		return int64(uint64(a) >> (uint64(b) & 63)), aok && bok
+	case isa.OpSra:
+		return a >> (uint64(b) & 63), aok && bok
+	case isa.OpSlli:
+		return a << (uint32(in.Imm) & 63), aok
+	case isa.OpSrli:
+		return int64(uint64(a) >> (uint32(in.Imm) & 63)), aok
+	case isa.OpSrai:
+		return a >> (uint32(in.Imm) & 63), aok
+	case isa.OpCmpeq:
+		return b2i(a == b), aok && bok
+	case isa.OpCmpne:
+		return b2i(a != b), aok && bok
+	case isa.OpCmplt:
+		return b2i(a < b), aok && bok
+	case isa.OpCmple:
+		return b2i(a <= b), aok && bok
+	case isa.OpCmpgt:
+		return b2i(a > b), aok && bok
+	case isa.OpCmpge:
+		return b2i(a >= b), aok && bok
+	case isa.OpCmplti:
+		return b2i(a < imm), aok
+	case isa.OpCmpeqi:
+		return b2i(a == imm), aok
+	case isa.OpLdq:
+		if in.Ra == isa.RegFP {
+			v, known := f.slots[in.Imm]
+			return v, known
+		}
+	}
+	return 0, false
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// applyTransfer updates facts across in: known pure results record the
+// constant; anything else kills the destination. Stores update or kill
+// slot facts; calls kill caller-saved registers and all memory facts
+// (the callee may write through passed addresses).
+func applyTransfer(in isa.Inst, f *facts) {
+	switch in.Op {
+	case isa.OpJsr, isa.OpJsrr:
+		for _, r := range callerSaved {
+			delete(f.regs, r)
+		}
+		f.killAllSlots()
+		return
+	case isa.OpSyscall:
+		// Syscalls write v0 (getint/clock) but no program memory.
+		f.killReg(isa.RegV0)
+		return
+	case isa.OpStq, isa.OpStl, isa.OpStb:
+		if in.Ra == isa.RegFP && in.Op == isa.OpStq {
+			if v, ok := f.reg(in.Rd); ok {
+				f.slots[in.Imm] = v
+			} else {
+				delete(f.slots, in.Imm)
+			}
+			return
+		}
+		if in.Ra == isa.RegFP {
+			// Narrow store to a tracked slot: forget it.
+			delete(f.slots, in.Imm)
+			return
+		}
+		// A store through an arbitrary pointer may alias the frame.
+		f.killAllSlots()
+		return
+	}
+	if !in.Op.HasDest() {
+		return
+	}
+	if v, ok := evalValue(in, f); ok {
+		f.killReg(in.Rd) // handles fp-redefinition slot invalidation
+		f.setReg(in.Rd, v)
+		return
+	}
+	f.killReg(in.Rd)
+}

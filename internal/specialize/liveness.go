@@ -1,0 +1,92 @@
+package specialize
+
+import "valueprof/internal/isa"
+
+// regSet is a 32-register bit set.
+type regSet uint32
+
+func (s regSet) has(r uint8) bool { return s&(1<<r) != 0 }
+func (s *regSet) add(r uint8)     { *s |= 1 << r }
+func (s *regSet) del(r uint8)     { *s &^= 1 << r }
+
+func (s *regSet) addAll(rs ...uint8) {
+	for _, r := range rs {
+		s.add(r)
+	}
+}
+
+// retLive are the registers meaningful after a procedure returns: the
+// return value, the stack/frame pointers, and the callee-saved set.
+var retLive = func() regSet {
+	var s regSet
+	s.addAll(isa.RegV0, isa.RegSP, isa.RegFP)
+	for r := isa.RegS0; r < isa.RegS0+8; r++ {
+		s.add(uint8(r))
+	}
+	return s
+}()
+
+// callUses are the registers a call consumes (arguments plus the stack
+// and frame pointers); callDefs are the registers it may clobber.
+var callUses, callDefs = func() (u, d regSet) {
+	u.addAll(isa.RegSP, isa.RegFP)
+	for r := isa.RegA0; r <= isa.RegA5; r++ {
+		u.add(uint8(r))
+	}
+	for _, r := range callerSaved {
+		d.add(r)
+	}
+	return u, d
+}()
+
+// useDef returns the registers in reads and writes.
+func useDef(in isa.Inst) (use, def regSet) {
+	switch in.Op.Form() {
+	case isa.FormRRR:
+		use.addAll(in.Ra, in.Rb)
+		def.add(in.Rd)
+	case isa.FormRRI:
+		use.add(in.Ra)
+		def.add(in.Rd)
+	case isa.FormMem:
+		use.add(in.Ra)
+		if in.Op.Class() == isa.ClassStore {
+			use.add(in.Rd) // stores read the "destination" register
+		} else {
+			def.add(in.Rd)
+		}
+	case isa.FormRB:
+		use.add(in.Ra)
+	case isa.FormJ: // jsr
+		use = callUses
+		def = callDefs
+	case isa.FormR:
+		switch in.Op {
+		case isa.OpJsrr:
+			use = callUses
+			use.add(in.Ra)
+			def = callDefs
+		case isa.OpJmp:
+			use.add(in.Ra)
+		case isa.OpRet:
+			use = retLive
+			use.add(in.Ra)
+		}
+	case isa.FormS: // syscall
+		use.add(isa.RegA0)
+		def.add(isa.RegV0)
+	}
+	def.del(isa.RegZero)
+	return use, def
+}
+
+// sideEffectFree reports whether the instruction can be deleted when
+// its destination is dead. Loads are included: a dead load's only
+// observable effect is a potential fault, which specialization (like
+// any compiler assuming non-trapping loads) is allowed to drop.
+func sideEffectFree(in isa.Inst) bool {
+	if in.Op == isa.OpNop {
+		return true
+	}
+	return in.Op.HasDest()
+}

@@ -1,0 +1,131 @@
+package specialize
+
+import (
+	"fmt"
+
+	"valueprof/internal/isa"
+	"valueprof/internal/program"
+)
+
+// MultiInfo reports a multi-value specialization.
+type MultiInfo struct {
+	Proc      string
+	Reg       uint8
+	Values    []int64
+	PerValue  []Info // one optimization report per specialized value
+	StubStart int
+}
+
+// SpecializeMulti installs one specialized body per value, dispatched
+// by a guard chain — the multi-way use of the TNV table's top-N values
+// the thesis motivates ("value profiling is an approach that can
+// identify the invariance and the top N values of a variable"): when a
+// site is bimodal rather than single-valued, each hot value gets its
+// own folded body, and the general version remains the fallback.
+//
+// Layout appended to the clone:
+//
+//	stub:   cmpeqi at, reg, v0 ; bne at, spec0
+//	        cmpeqi at, reg, v1 ; bne at, spec1
+//	        ...
+//	        br original
+//	spec0:  optimized body under reg==v0
+//	spec1:  optimized body under reg==v1
+func SpecializeMulti(prog *program.Program, procName string, reg uint8, values []int64) (*program.Program, *MultiInfo, error) {
+	if len(values) == 0 {
+		return nil, nil, fmt.Errorf("specialize: no values given")
+	}
+	seen := map[int64]bool{}
+	for _, v := range values {
+		if v < -(1<<31) || v > (1<<31)-1 {
+			return nil, nil, fmt.Errorf("specialize: guard value %d does not fit the cmpeqi immediate", v)
+		}
+		if seen[v] {
+			return nil, nil, fmt.Errorf("specialize: duplicate guard value %d", v)
+		}
+		seen[v] = true
+	}
+	if reg >= isa.NumRegs || reg == isa.RegZero {
+		return nil, nil, fmt.Errorf("specialize: cannot specialize on register %d", reg)
+	}
+	src := prog.ProcByName(procName)
+	if src == nil {
+		return nil, nil, fmt.Errorf("specialize: no procedure %q", procName)
+	}
+	body := prog.Code[src.Start:src.End]
+	for i, in := range body {
+		if in.Op == isa.OpJmp {
+			return nil, nil, fmt.Errorf("specialize: %s+%d is an indirect jump; cannot specialize", procName, i)
+		}
+		if tgt, ok := in.Target(); ok && in.Op != isa.OpJsr {
+			if tgt < src.Start || tgt >= src.End {
+				return nil, nil, fmt.Errorf("specialize: %s+%d branches outside the procedure", procName, i)
+			}
+		}
+	}
+
+	mi := &MultiInfo{Proc: procName, Reg: reg, Values: values}
+
+	// Optimize each body first so sizes are known for the layout.
+	specs := make([]*specResult, len(values))
+	for i, v := range values {
+		info := Info{Proc: procName, Reg: reg, Value: v, OrigSize: len(body)}
+		specs[i] = optimize(body, src.Start, reg, v, &info)
+		info.SpecSize = len(specs[i].code)
+		mi.PerValue = append(mi.PerValue, info)
+	}
+
+	out := prog.Clone()
+	stubStart := len(out.Code)
+	mi.StubStart = stubStart
+	stubLen := 2*len(values) + 1
+	// Compute each spec body's start.
+	starts := make([]int, len(values))
+	at := stubStart + stubLen
+	for i := range values {
+		starts[i] = at
+		at += len(specs[i].code)
+	}
+
+	for i, v := range values {
+		out.Code = append(out.Code,
+			isa.Inst{Op: isa.OpCmpeqi, Rd: isa.RegAT, Ra: reg, Imm: int32(v)},
+			isa.Inst{Op: isa.OpBne, Ra: isa.RegAT, Imm: int32(starts[i])},
+		)
+	}
+	out.Code = append(out.Code, isa.Inst{Op: isa.OpBr, Imm: int32(src.Start)})
+
+	for i := range values {
+		for _, in := range specs[i].code {
+			if tgt, ok := in.Target(); ok && in.Op != isa.OpJsr {
+				in.Imm = int32(specs[i].newPC[tgt-src.Start] + starts[i])
+			}
+			out.Code = append(out.Code, in)
+		}
+		mi.PerValue[i].StubStart = stubStart
+		mi.PerValue[i].SpecStart = starts[i]
+	}
+
+	for pc := 0; pc < stubStart; pc++ {
+		if out.Code[pc].Op == isa.OpJsr && int(out.Code[pc].Imm) == src.Start {
+			out.Code[pc].Imm = int32(stubStart)
+		}
+	}
+
+	out.Procs = append(out.Procs,
+		program.Proc{Name: procName + "$guard", Start: stubStart, End: stubStart + stubLen})
+	out.Labels[procName+"$guard"] = stubStart
+	for i := range values {
+		name := fmt.Sprintf("%s$spec%d", procName, i)
+		end := at
+		if i+1 < len(values) {
+			end = starts[i+1]
+		}
+		out.Procs = append(out.Procs, program.Proc{Name: name, Start: starts[i], End: end})
+		out.Labels[name] = starts[i]
+	}
+	if err := out.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("specialize: internal error: %w", err)
+	}
+	return out, mi, nil
+}

@@ -1,0 +1,170 @@
+package specialize
+
+import (
+	"strings"
+	"testing"
+
+	"valueprof/internal/isa"
+	"valueprof/internal/minic"
+	"valueprof/internal/vm"
+)
+
+// A bimodal kernel: mode is 2 on even iterations and 5 on odd ones,
+// with an occasional cold mode — exactly the top-N-values situation
+// multi-way specialization targets.
+const bimodalSrc = `
+func kernel(mode, x) {
+    if (mode == 1) { return x + 1; }
+    if (mode == 2) { return x * 3 + mode * 7; }
+    if (mode == 3) { return (x << 2) ^ mode; }
+    if (mode == 4) { return x * x + mode; }
+    if (mode == 5) { return x * 5 - mode * 2; }
+    return x;
+}
+func main() {
+    var i; var acc = 0; var m;
+    for (i = 0; i < 20000; i = i + 1) {
+        if (i % 100 == 99) { m = 1 + i % 5; }
+        else if (i % 2 == 0) { m = 2; }
+        else { m = 5; }
+        acc = (acc + kernel(m, i)) & 0xFFFFFF;
+    }
+    putint(acc);
+}
+`
+
+func TestSpecializeMultiPreservesOutputAndBeatsSingle(t *testing.T) {
+	prog, err := minic.Compile(bimodalSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := vm.Execute(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	single, _, err := Specialize(prog, "kernel", isa.RegA0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	singleRes, err := vm.Execute(single, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	multi, mi, err := SpecializeMulti(prog, "kernel", isa.RegA0, []int64{2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multiRes, err := vm.Execute(multi, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if singleRes.Output != base.Output || multiRes.Output != base.Output {
+		t.Fatalf("outputs differ: base %q single %q multi %q",
+			base.Output, singleRes.Output, multiRes.Output)
+	}
+	if multiRes.Cycles >= base.Cycles {
+		t.Errorf("multi-value specialization gave no speedup: %d vs %d", multiRes.Cycles, base.Cycles)
+	}
+	// Covering both hot modes must beat covering one: the single
+	// version falls back to the general body half the time.
+	if multiRes.Cycles >= singleRes.Cycles {
+		t.Errorf("multi (%d cycles) should beat single-value (%d cycles) on a bimodal site",
+			multiRes.Cycles, singleRes.Cycles)
+	}
+	t.Logf("cycles: base %d, single %d (%.3fx), multi %d (%.3fx)",
+		base.Cycles, singleRes.Cycles, float64(base.Cycles)/float64(singleRes.Cycles),
+		multiRes.Cycles, float64(base.Cycles)/float64(multiRes.Cycles))
+
+	if len(mi.PerValue) != 2 {
+		t.Fatalf("per-value infos = %d", len(mi.PerValue))
+	}
+	for i, info := range mi.PerValue {
+		if info.Folded == 0 || info.Branches == 0 {
+			t.Errorf("value %d: no optimization activity: %+v", i, info)
+		}
+		if info.SpecSize >= info.OrigSize {
+			t.Errorf("value %d: body did not shrink", i)
+		}
+	}
+	if multi.ProcByName("kernel$guard") == nil ||
+		multi.ProcByName("kernel$spec0") == nil ||
+		multi.ProcByName("kernel$spec1") == nil {
+		t.Error("guard/spec procedures not registered")
+	}
+}
+
+func TestSpecializeMultiGuardMissesFallBack(t *testing.T) {
+	prog, err := minic.Compile(bimodalSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := vm.Execute(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Specialize on values that never dominate; correctness must hold.
+	multi, _, err := SpecializeMulti(prog, "kernel", isa.RegA0, []int64{77, 88})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := vm.Execute(multi, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Output != base.Output {
+		t.Fatalf("guard-miss output changed: %q vs %q", got.Output, base.Output)
+	}
+}
+
+func TestSpecializeMultiErrors(t *testing.T) {
+	prog, err := minic.Compile(bimodalSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := SpecializeMulti(prog, "kernel", isa.RegA0, nil); err == nil {
+		t.Error("empty value list accepted")
+	}
+	if _, _, err := SpecializeMulti(prog, "kernel", isa.RegA0, []int64{2, 2}); err == nil ||
+		!strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate values: %v", err)
+	}
+	if _, _, err := SpecializeMulti(prog, "kernel", isa.RegZero, []int64{2}); err == nil {
+		t.Error("zero register accepted")
+	}
+	if _, _, err := SpecializeMulti(prog, "nosuch", isa.RegA0, []int64{2}); err == nil {
+		t.Error("missing procedure accepted")
+	}
+	if _, _, err := SpecializeMulti(prog, "kernel", isa.RegA0, []int64{1 << 40}); err == nil {
+		t.Error("oversized value accepted")
+	}
+}
+
+func TestSpecializeMultiSingleValueMatchesSpecialize(t *testing.T) {
+	// One-element SpecializeMulti must behave like Specialize.
+	prog, err := minic.Compile(bimodalSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _, err := Specialize(prog, "kernel", isa.RegA0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := SpecializeMulti(prog, "kernel", isa.RegA0, []int64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := vm.Execute(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := vm.Execute(b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Output != rb.Output {
+		t.Error("single-value multi differs from Specialize in behaviour")
+	}
+}

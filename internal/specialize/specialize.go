@@ -1,0 +1,328 @@
+package specialize
+
+import (
+	"fmt"
+
+	"valueprof/internal/isa"
+	"valueprof/internal/program"
+)
+
+// Info reports what specialization accomplished.
+type Info struct {
+	Proc      string
+	Reg       uint8
+	Value     int64
+	OrigSize  int // instructions in the original body
+	SpecSize  int // instructions in the specialized body after DCE
+	Folded    int // instructions replaced by constants
+	Reduced   int // register operands rewritten to immediate forms
+	Branches  int // conditional branches resolved
+	Removed   int // instructions deleted as dead
+	StubStart int // pc of the dispatch stub
+	SpecStart int // pc of the specialized body
+}
+
+// Specialize clones prog and installs a specialized version of the
+// named procedure, valid under the assumption that register reg holds
+// value at entry (typically an argument register whose parameter
+// profile is semi-invariant). Every direct call to the procedure is
+// redirected through a guard stub that dispatches to the specialized
+// body when the assumption holds and to the original otherwise.
+//
+// The transformation performs intra-procedural constant propagation
+// seeded with reg=value, folds instructions whose inputs become known,
+// resolves conditional branches, and dead-code-eliminates the result
+// with a backward liveness pass.
+func Specialize(prog *program.Program, procName string, reg uint8, value int64) (*program.Program, *Info, error) {
+	if value < -(1<<31) || value > (1<<31)-1 {
+		return nil, nil, fmt.Errorf("specialize: guard value %d does not fit the cmpeqi immediate", value)
+	}
+	if reg >= isa.NumRegs || reg == isa.RegZero {
+		return nil, nil, fmt.Errorf("specialize: cannot specialize on register %d", reg)
+	}
+	src := prog.ProcByName(procName)
+	if src == nil {
+		return nil, nil, fmt.Errorf("specialize: no procedure %q", procName)
+	}
+
+	body := prog.Code[src.Start:src.End]
+	for i, in := range body {
+		if in.Op == isa.OpJmp {
+			return nil, nil, fmt.Errorf("specialize: %s+%d is an indirect jump; cannot specialize", procName, i)
+		}
+		if tgt, ok := in.Target(); ok && in.Op != isa.OpJsr {
+			if tgt < src.Start || tgt >= src.End {
+				return nil, nil, fmt.Errorf("specialize: %s+%d branches outside the procedure", procName, i)
+			}
+		}
+	}
+	last := body[len(body)-1]
+	if last.Op != isa.OpRet && last.Op != isa.OpBr && !last.IsBranchOrJump() {
+		return nil, nil, fmt.Errorf("specialize: %s may fall through its end", procName)
+	}
+
+	info := &Info{Proc: procName, Reg: reg, Value: value, OrigSize: len(body)}
+
+	spec := optimize(body, src.Start, reg, value, info)
+
+	out := prog.Clone()
+	stubStart := len(out.Code)
+	specStart := stubStart + 3
+	info.StubStart = stubStart
+	info.SpecStart = specStart
+
+	// Guard stub:
+	//   cmpeqi at, reg, value
+	//   bne    at, specStart
+	//   br     origStart
+	out.Code = append(out.Code,
+		isa.Inst{Op: isa.OpCmpeqi, Rd: isa.RegAT, Ra: reg, Imm: int32(value)},
+		isa.Inst{Op: isa.OpBne, Ra: isa.RegAT, Imm: int32(specStart)},
+		isa.Inst{Op: isa.OpBr, Imm: int32(src.Start)},
+	)
+
+	// Append the specialized body, rebasing intra-procedure targets.
+	for _, in := range spec.code {
+		if tgt, ok := in.Target(); ok && in.Op != isa.OpJsr {
+			in.Imm = int32(spec.newPC[tgt-src.Start] + specStart)
+		}
+		out.Code = append(out.Code, in)
+	}
+	info.SpecSize = len(spec.code)
+
+	// Redirect every direct call to the original through the stub
+	// (indirect jsrr calls keep the original; they still work).
+	for pc := range out.Code {
+		if pc >= stubStart {
+			break
+		}
+		if out.Code[pc].Op == isa.OpJsr && int(out.Code[pc].Imm) == src.Start {
+			out.Code[pc].Imm = int32(stubStart)
+		}
+	}
+
+	out.Procs = append(out.Procs,
+		program.Proc{Name: procName + "$guard", Start: stubStart, End: specStart},
+		program.Proc{Name: procName + "$spec", Start: specStart, End: len(out.Code)},
+	)
+	out.Labels[procName+"$guard"] = stubStart
+	out.Labels[procName+"$spec"] = specStart
+	if err := out.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("specialize: internal error: %w", err)
+	}
+	return out, info, nil
+}
+
+// specResult is the optimized body plus the old-offset → new-offset map
+// (old offsets are relative to the procedure start).
+type specResult struct {
+	code  []isa.Inst
+	newPC []int
+}
+
+// optimize runs constant propagation (seeded with reg=value), folding,
+// branch resolution, liveness-based dead-code elimination, and
+// compaction over one procedure body. Branch targets in the returned
+// code are still absolute original pcs; the caller rebases them.
+func optimize(body []isa.Inst, base int, reg uint8, value int64, info *Info) *specResult {
+	n := len(body)
+	work := make([]isa.Inst, n)
+	copy(work, body)
+
+	// --- constant propagation over basic blocks ---
+	leaders := findLeaders(work, base)
+	var starts []int
+	for i := 0; i < n; i++ {
+		if leaders[i] {
+			starts = append(starts, i)
+		}
+	}
+	blockEnd := func(b int) int {
+		if b+1 < len(starts) {
+			return starts[b+1]
+		}
+		return n
+	}
+
+	in := make([]*facts, len(starts))
+	reached := make([]bool, len(starts))
+	entryFacts := newFacts()
+	entryFacts.setReg(reg, value)
+	in[0] = entryFacts
+	reached[0] = true
+	worklist := []int{0}
+	for len(worklist) > 0 {
+		b := worklist[0]
+		worklist = worklist[1:]
+		f := in[b].clone()
+		end := blockEnd(b)
+		for i := starts[b]; i < end; i++ {
+			applyTransfer(work[i], f)
+		}
+		for _, s := range blockSuccs(work[end-1], end-1, base, starts, n) {
+			if !reached[s] {
+				reached[s] = true
+				in[s] = f.clone()
+				worklist = append(worklist, s)
+			} else if merged := meet(in[s], f); !equalFacts(merged, in[s]) {
+				in[s] = merged
+				worklist = append(worklist, s)
+			}
+		}
+	}
+
+	// --- folding and branch resolution, using per-block facts ---
+	for b := range starts {
+		if !reached[b] {
+			continue
+		}
+		f := in[b].clone()
+		for i := starts[b]; i < blockEnd(b); i++ {
+			inst := work[i]
+			if inst.Op.HasDest() && inst.Rd != isa.RegZero {
+				alreadyLI := inst.Op == isa.OpAddi && inst.Ra == isa.RegZero
+				if v, ok := evalValue(inst, f); ok && fitsImm(v) && !alreadyLI {
+					work[i] = isa.Inst{Op: isa.OpAddi, Rd: inst.Rd, Ra: isa.RegZero, Imm: int32(v)}
+					info.Folded++
+				} else if red, ok := strengthReduce(inst, f); ok {
+					work[i] = red
+					info.Reduced++
+				}
+			}
+			switch inst.Op {
+			case isa.OpBeq, isa.OpBne:
+				if v, known := f.reg(inst.Ra); known {
+					taken := (inst.Op == isa.OpBeq && v == 0) || (inst.Op == isa.OpBne && v != 0)
+					if taken {
+						work[i] = isa.Inst{Op: isa.OpBr, Imm: inst.Imm}
+					} else {
+						work[i] = isa.Inst{Op: isa.OpNop}
+					}
+					info.Branches++
+				}
+			}
+			applyTransfer(work[i], f)
+		}
+	}
+
+	// --- liveness + dead code elimination ---
+	live := liveness(work, base, starts, blockEnd)
+	dead := make([]bool, n)
+	for i := range work {
+		inst := work[i]
+		if inst.Op == isa.OpNop {
+			dead[i] = true
+			continue
+		}
+		if !sideEffectFree(inst) || !inst.Op.HasDest() {
+			continue
+		}
+		if inst.Rd == isa.RegZero || !live[i].has(inst.Rd) {
+			dead[i] = true
+			info.Removed++
+		}
+	}
+
+	// --- compaction ---
+	res := &specResult{newPC: make([]int, n)}
+	for i := 0; i < n; i++ {
+		res.newPC[i] = len(res.code)
+		if !dead[i] {
+			res.code = append(res.code, work[i])
+		}
+	}
+	if len(res.code) == 0 {
+		// Degenerate but possible only for an empty body; keep a ret.
+		res.code = append(res.code, isa.Inst{Op: isa.OpRet, Ra: isa.RegRA})
+	}
+	return res
+}
+
+func fitsImm(v int64) bool { return v >= -(1<<31) && v <= (1<<31)-1 }
+
+// findLeaders marks basic-block leaders within the body (offsets
+// relative to the body; branch targets are absolute pcs).
+func findLeaders(body []isa.Inst, base int) []bool {
+	leaders := make([]bool, len(body))
+	leaders[0] = true
+	for i, in := range body {
+		if tgt, ok := in.Target(); ok && in.Op != isa.OpJsr {
+			leaders[tgt-base] = true
+		}
+		if in.IsBranchOrJump() && in.Op != isa.OpJsr && in.Op != isa.OpJsrr && i+1 < len(body) {
+			leaders[i+1] = true
+		}
+	}
+	return leaders
+}
+
+// blockSuccs returns the successor block indices of the instruction at
+// body offset i when it is the last instruction of its block. nBody is
+// the body length; fallthroughs off the end are dropped.
+func blockSuccs(in isa.Inst, i, base int, starts []int, nBody int) []int {
+	blockIndexOf := func(off int) int {
+		lo, hi := 0, len(starts)-1
+		for lo < hi {
+			mid := (lo + hi + 1) / 2
+			if starts[mid] <= off {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+		}
+		return lo
+	}
+	var succs []int
+	fallthru := func() {
+		if i+1 < nBody {
+			succs = append(succs, blockIndexOf(i+1))
+		}
+	}
+	switch in.Op {
+	case isa.OpBr:
+		succs = append(succs, blockIndexOf(int(in.Imm)-base))
+	case isa.OpBeq, isa.OpBne:
+		succs = append(succs, blockIndexOf(int(in.Imm)-base))
+		fallthru()
+	case isa.OpRet, isa.OpJmp:
+		// procedure exits: no successors within the body
+	case isa.OpSyscall:
+		if in.Imm != isa.SysExit {
+			fallthru()
+		}
+	default:
+		fallthru()
+	}
+	return succs
+}
+
+// liveness computes per-instruction live-after sets with a backward
+// fixpoint over the body's basic blocks.
+func liveness(body []isa.Inst, base int, starts []int, blockEnd func(int) int) []regSet {
+	n := len(body)
+	liveAfter := make([]regSet, n)
+	liveIn := make([]regSet, len(starts))
+
+	changed := true
+	for changed {
+		changed = false
+		for b := len(starts) - 1; b >= 0; b-- {
+			end := blockEnd(b)
+			lastIdx := end - 1
+			var out regSet
+			for _, s := range blockSuccs(body[lastIdx], lastIdx, base, starts, len(body)) {
+				out |= liveIn[s]
+			}
+			for i := lastIdx; i >= starts[b]; i-- {
+				liveAfter[i] = out
+				use, def := useDef(body[i])
+				out = (out &^ regSet(def)) | use
+			}
+			if out != liveIn[b] {
+				liveIn[b] = out
+				changed = true
+			}
+		}
+	}
+	return liveAfter
+}

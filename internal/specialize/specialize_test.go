@@ -1,0 +1,301 @@
+package specialize
+
+import (
+	"strings"
+	"testing"
+
+	"valueprof/internal/asm"
+	"valueprof/internal/isa"
+	"valueprof/internal/minic"
+	"valueprof/internal/program"
+	"valueprof/internal/vm"
+)
+
+// calc(a0, a1) = ((a0*a0 + 3*a0) / (a0+1)) [+5 if a0 odd] + a1.
+// With a0 == 7 everything up to the a1 addition folds away.
+const calcSrc = `
+        .proc main
+main:   li s0, 1000
+        li s1, 0
+loop:   li a0, 7
+        mov a1, s0
+        jsr calc
+        add s1, s1, v0
+        andi a0, s0, 15
+        mov a1, s0
+        jsr calc
+        add s1, s1, v0
+        addi s0, s0, -1
+        bne s0, loop
+        mov a0, s1
+        syscall putint
+        syscall exit
+        .endproc
+        .proc calc
+calc:   mul t0, a0, a0
+        muli t1, a0, 3
+        add t0, t0, t1
+        addi t2, a0, 1
+        div t0, t0, t2
+        andi t3, a0, 1
+        beq t3, even
+        addi t0, t0, 5
+even:   add v0, t0, a1
+        ret
+        .endproc
+`
+
+func mustProg(t *testing.T, src string) *program.Program {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func runProg(t *testing.T, p *program.Program, input []int64) *vm.Result {
+	t.Helper()
+	res, err := vm.Execute(p, input)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, p.Disassemble())
+	}
+	return res
+}
+
+func TestSpecializePreservesOutput(t *testing.T) {
+	orig := mustProg(t, calcSrc)
+	base := runProg(t, orig, nil)
+
+	spec, info, err := Specialize(orig, "calc", isa.RegA0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runProg(t, spec, nil)
+	if got.Output != base.Output {
+		t.Fatalf("output changed: %q vs %q", got.Output, base.Output)
+	}
+	if got.ExitStatus != base.ExitStatus {
+		t.Fatalf("exit status changed")
+	}
+	if info.Folded == 0 || info.Branches == 0 || info.Removed == 0 {
+		t.Errorf("expected folding/branch/dce activity: %+v", info)
+	}
+	if info.SpecSize >= info.OrigSize {
+		t.Errorf("specialized body not smaller: %d vs %d", info.SpecSize, info.OrigSize)
+	}
+	if got.Cycles >= base.Cycles {
+		t.Errorf("no speedup: %d vs %d cycles", got.Cycles, base.Cycles)
+	}
+	t.Logf("cycles %d -> %d (%.1f%% saved); body %d -> %d insts",
+		base.Cycles, got.Cycles, 100*float64(base.Cycles-got.Cycles)/float64(base.Cycles),
+		info.OrigSize, info.SpecSize)
+}
+
+func TestSpecializedProcsRegistered(t *testing.T) {
+	orig := mustProg(t, calcSrc)
+	spec, info, err := Specialize(orig, "calc", isa.RegA0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.ProcByName("calc$guard") == nil || spec.ProcByName("calc$spec") == nil {
+		t.Error("guard/spec procedures not registered")
+	}
+	if spec.ProcByName("calc") == nil {
+		t.Error("original procedure lost")
+	}
+	if info.StubStart+3 != info.SpecStart {
+		t.Errorf("stub layout wrong: %+v", info)
+	}
+	// Original program must be untouched.
+	if orig.ProcByName("calc$spec") != nil {
+		t.Error("Specialize mutated its input")
+	}
+	for pc, in := range orig.Code {
+		if in.Op == isa.OpJsr && int(in.Imm) >= len(orig.Code) {
+			t.Errorf("original jsr at %d redirected", pc)
+		}
+	}
+}
+
+func TestGuardDispatchesBothWays(t *testing.T) {
+	// All calls use a0=3 (guard always misses): output still correct.
+	orig := mustProg(t, calcSrc)
+	spec, _, err := Specialize(orig, "calc", isa.RegA0, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := runProg(t, orig, nil)
+	got := runProg(t, spec, nil)
+	if got.Output != base.Output {
+		t.Fatalf("guard-miss output changed: %q vs %q", got.Output, base.Output)
+	}
+	// Guard misses cost a little extra; no speedup expected.
+	if got.Cycles < base.Cycles {
+		t.Errorf("impossible speedup on guard misses")
+	}
+}
+
+func TestSpecializeErrors(t *testing.T) {
+	orig := mustProg(t, calcSrc)
+	if _, _, err := Specialize(orig, "nosuch", isa.RegA0, 1); err == nil || !strings.Contains(err.Error(), "no procedure") {
+		t.Errorf("missing proc: %v", err)
+	}
+	if _, _, err := Specialize(orig, "calc", isa.RegZero, 1); err == nil {
+		t.Error("zero register accepted")
+	}
+	if _, _, err := Specialize(orig, "calc", isa.RegA0, 1<<40); err == nil {
+		t.Error("oversized guard value accepted")
+	}
+}
+
+func TestSpecializeRejectsIndirectJumps(t *testing.T) {
+	src := `
+        .proc main
+main:   jsr f
+        syscall exit
+        .endproc
+        .proc f
+f:      li t0, g
+        jmp t0
+g:      ret
+        .endproc
+`
+	p := mustProg(t, src)
+	if _, _, err := Specialize(p, "f", isa.RegA0, 1); err == nil || !strings.Contains(err.Error(), "indirect jump") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// TestSpecializeMiniCProgram specializes a compiled MiniC function on a
+// semi-invariant argument and checks end-to-end behaviour — the full
+// Chapter X pipeline on compiler-generated code.
+func TestSpecializeMiniCProgram(t *testing.T) {
+	prog, err := minic.Compile(`
+int acc;
+func poly(x, y) {
+    var r = x * x * x - 2 * x + 7;
+    if (x > 100) { r = r / x; }
+    return r + y;
+}
+func main() {
+    var i;
+    for (i = 0; i < 2000; i = i + 1) {
+        acc = acc + poly(9, i);
+        if (i % 50 == 0) { acc = acc + poly(i, 1); }
+    }
+    putint(acc);
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := vm.Execute(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, info, err := Specialize(prog, "poly", isa.RegA0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := vm.Execute(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Output != base.Output {
+		t.Fatalf("output changed: %q vs %q", got.Output, base.Output)
+	}
+	if got.Cycles >= base.Cycles {
+		t.Errorf("no speedup on MiniC program: %d vs %d", got.Cycles, base.Cycles)
+	}
+	if info.Folded == 0 {
+		t.Errorf("nothing folded: %+v", info)
+	}
+	t.Logf("MiniC specialization: cycles %d -> %d, info %+v", base.Cycles, got.Cycles, info)
+}
+
+func TestConstpropMeet(t *testing.T) {
+	a := newFacts()
+	a.setReg(1, 5)
+	a.setReg(2, 6)
+	a.slots[16] = 9
+	b := newFacts()
+	b.setReg(1, 5)
+	b.setReg(2, 7)
+	b.setReg(3, 8)
+	b.slots[16] = 9
+	b.slots[24] = 1
+	m := meet(a, b)
+	if len(m.regs) != 1 || m.regs[1] != 5 {
+		t.Errorf("meet regs = %v", m.regs)
+	}
+	if len(m.slots) != 1 || m.slots[16] != 9 {
+		t.Errorf("meet slots = %v", m.slots)
+	}
+	want := newFacts()
+	want.setReg(1, 5)
+	want.slots[16] = 9
+	if !equalFacts(m, want) || equalFacts(a, b) {
+		t.Error("equalFacts wrong")
+	}
+}
+
+func TestEvalValueFaultPreservation(t *testing.T) {
+	f := newFacts()
+	f.setReg(1, 10)
+	f.setReg(2, 0)
+	if _, ok := evalValue(isa.Inst{Op: isa.OpDiv, Rd: 3, Ra: 1, Rb: 2}, f); ok {
+		t.Error("division by known zero must not fold (fault preserved)")
+	}
+	if v, ok := evalValue(isa.Inst{Op: isa.OpDiv, Rd: 3, Ra: 1, Rb: 1}, f); !ok || v != 1 {
+		t.Errorf("div fold = %d,%v", v, ok)
+	}
+}
+
+func TestSlotTracking(t *testing.T) {
+	f := newFacts()
+	f.setReg(isa.RegA0, 9)
+	// Spill a0 to the frame, reload it: the load must fold.
+	applyTransfer(isa.Inst{Op: isa.OpStq, Rd: isa.RegA0, Ra: isa.RegFP, Imm: 16}, f)
+	if v, ok := evalValue(isa.Inst{Op: isa.OpLdq, Rd: isa.RegT0, Ra: isa.RegFP, Imm: 16}, f); !ok || v != 9 {
+		t.Fatalf("slot reload = %d,%v, want 9,true", v, ok)
+	}
+	// An aliasing store through a pointer kills slot knowledge.
+	applyTransfer(isa.Inst{Op: isa.OpStq, Rd: isa.RegT0 + 1, Ra: isa.RegT0 + 2}, f)
+	if _, ok := evalValue(isa.Inst{Op: isa.OpLdq, Rd: isa.RegT0, Ra: isa.RegFP, Imm: 16}, f); ok {
+		t.Error("slot survived an aliasing store")
+	}
+	// Redefining fp kills slots too.
+	f2 := newFacts()
+	f2.setReg(isa.RegA0, 9)
+	applyTransfer(isa.Inst{Op: isa.OpStq, Rd: isa.RegA0, Ra: isa.RegFP, Imm: 16}, f2)
+	applyTransfer(isa.Inst{Op: isa.OpLdq, Rd: isa.RegFP, Ra: isa.RegSP, Imm: 8}, f2)
+	if len(f2.slots) != 0 {
+		t.Error("slots survived fp redefinition")
+	}
+	// A call kills everything.
+	f3 := newFacts()
+	f3.setReg(isa.RegT0, 1)
+	applyTransfer(isa.Inst{Op: isa.OpStq, Rd: isa.RegT0, Ra: isa.RegFP, Imm: 8}, f3)
+	applyTransfer(isa.Inst{Op: isa.OpJsr, Rd: isa.RegRA, Imm: 0}, f3)
+	if len(f3.slots) != 0 {
+		t.Error("slots survived a call")
+	}
+	if _, ok := f3.reg(isa.RegT0); ok {
+		t.Error("caller-saved register survived a call")
+	}
+}
+
+func TestUseDefStores(t *testing.T) {
+	use, def := useDef(isa.Inst{Op: isa.OpStq, Rd: 5, Ra: 6, Imm: 8})
+	if !use.has(5) || !use.has(6) {
+		t.Error("store must use value and base registers")
+	}
+	if def != 0 {
+		t.Error("store defines nothing")
+	}
+	use, def = useDef(isa.Inst{Op: isa.OpLdq, Rd: 5, Ra: 6})
+	if !use.has(6) || !def.has(5) {
+		t.Error("load use/def wrong")
+	}
+}

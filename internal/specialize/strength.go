@@ -1,0 +1,67 @@
+package specialize
+
+import "valueprof/internal/isa"
+
+// immForm maps register-register opcodes to their immediate-operand
+// counterparts for strength reduction when exactly one operand is a
+// known constant.
+var immForm = map[isa.Op]isa.Op{
+	isa.OpAdd:   isa.OpAddi,
+	isa.OpMul:   isa.OpMuli,
+	isa.OpAnd:   isa.OpAndi,
+	isa.OpOr:    isa.OpOri,
+	isa.OpXor:   isa.OpXori,
+	isa.OpSll:   isa.OpSlli,
+	isa.OpSrl:   isa.OpSrli,
+	isa.OpSra:   isa.OpSrai,
+	isa.OpCmplt: isa.OpCmplti,
+	isa.OpCmpeq: isa.OpCmpeqi,
+}
+
+// commutative marks the ops where a known LEFT operand can swap into
+// the immediate slot.
+var commutative = map[isa.Op]bool{
+	isa.OpAdd: true, isa.OpMul: true, isa.OpAnd: true,
+	isa.OpOr: true, isa.OpXor: true, isa.OpCmpeq: true,
+}
+
+// strengthReduce rewrites a register-register instruction with exactly
+// one known operand into its immediate form, so the instruction that
+// materialized the constant (often a frame-slot reload of the
+// specialized argument) becomes dead. Returns ok=false when no
+// reduction applies.
+func strengthReduce(in isa.Inst, f *facts) (isa.Inst, bool) {
+	if in.Op.Form() != isa.FormRRR {
+		return in, false
+	}
+	av, aok := f.reg(in.Ra)
+	bv, bok := f.reg(in.Rb)
+	// Exactly one side known (both known is the fold case, handled by
+	// the caller; it can fail only for div-by-zero, which must stay).
+	if aok == bok {
+		return in, false
+	}
+	switch in.Op {
+	case isa.OpSub:
+		// x - known  →  addi x, -known.
+		if bok && fitsImm(-bv) {
+			return isa.Inst{Op: isa.OpAddi, Rd: in.Rd, Ra: in.Ra, Imm: int32(-bv)}, true
+		}
+		return in, false
+	case isa.OpCmpgt:
+		// x > known  ≡  known < x: no cmpgti form; skip (rare).
+		return in, false
+	}
+	imm, ok := immForm[in.Op]
+	if !ok {
+		return in, false
+	}
+	if bok && fitsImm(bv) {
+		// Shifts only use the low 6 bits; any immediate fits.
+		return isa.Inst{Op: imm, Rd: in.Rd, Ra: in.Ra, Imm: int32(bv)}, true
+	}
+	if aok && commutative[in.Op] && fitsImm(av) {
+		return isa.Inst{Op: imm, Rd: in.Rd, Ra: in.Rb, Imm: int32(av)}, true
+	}
+	return in, false
+}

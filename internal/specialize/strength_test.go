@@ -1,0 +1,83 @@
+package specialize
+
+import (
+	"testing"
+
+	"valueprof/internal/isa"
+)
+
+func factsWith(r uint8, v int64) *facts {
+	f := newFacts()
+	f.setReg(r, v)
+	return f
+}
+
+func TestStrengthReduceRightOperand(t *testing.T) {
+	f := factsWith(2, 40)
+	in := isa.Inst{Op: isa.OpAdd, Rd: 3, Ra: 1, Rb: 2}
+	out, ok := strengthReduce(in, f)
+	if !ok || out.Op != isa.OpAddi || out.Ra != 1 || out.Imm != 40 {
+		t.Errorf("add reduce = %+v, %v", out, ok)
+	}
+	in = isa.Inst{Op: isa.OpMul, Rd: 3, Ra: 1, Rb: 2}
+	out, ok = strengthReduce(in, f)
+	if !ok || out.Op != isa.OpMuli || out.Imm != 40 {
+		t.Errorf("mul reduce = %+v, %v", out, ok)
+	}
+}
+
+func TestStrengthReduceCommutedLeft(t *testing.T) {
+	f := factsWith(1, 7)
+	in := isa.Inst{Op: isa.OpAdd, Rd: 3, Ra: 1, Rb: 2}
+	out, ok := strengthReduce(in, f)
+	if !ok || out.Op != isa.OpAddi || out.Ra != 2 || out.Imm != 7 {
+		t.Errorf("commuted add = %+v, %v", out, ok)
+	}
+	// sub with known LEFT operand cannot commute.
+	in = isa.Inst{Op: isa.OpSub, Rd: 3, Ra: 1, Rb: 2}
+	if _, ok := strengthReduce(in, f); ok {
+		t.Error("sub with known left operand reduced")
+	}
+}
+
+func TestStrengthReduceSub(t *testing.T) {
+	f := factsWith(2, 5)
+	in := isa.Inst{Op: isa.OpSub, Rd: 3, Ra: 1, Rb: 2}
+	out, ok := strengthReduce(in, f)
+	if !ok || out.Op != isa.OpAddi || out.Imm != -5 {
+		t.Errorf("sub reduce = %+v, %v", out, ok)
+	}
+}
+
+func TestStrengthReduceSkipsBothKnownOrUnknown(t *testing.T) {
+	in := isa.Inst{Op: isa.OpAdd, Rd: 3, Ra: 1, Rb: 2}
+	if _, ok := strengthReduce(in, newFacts()); ok {
+		t.Error("no operands known but reduced")
+	}
+	f := newFacts()
+	f.setReg(1, 1)
+	f.setReg(2, 2)
+	if _, ok := strengthReduce(in, f); ok {
+		t.Error("both operands known should be left to folding")
+	}
+}
+
+func TestStrengthReduceDivStaysPut(t *testing.T) {
+	// No immediate div form; division must not be rewritten.
+	f := factsWith(2, 4)
+	in := isa.Inst{Op: isa.OpDiv, Rd: 3, Ra: 1, Rb: 2}
+	if _, ok := strengthReduce(in, f); ok {
+		t.Error("div reduced")
+	}
+}
+
+func TestStrengthReduceZeroRegisterOperand(t *testing.T) {
+	// The zero register is always "known"; add rd, ra, zero with ra
+	// unknown reduces to addi rd, ra, 0 (a move) — legal and dead-code
+	// transparent.
+	in := isa.Inst{Op: isa.OpOr, Rd: 3, Ra: 1, Rb: isa.RegZero}
+	out, ok := strengthReduce(in, newFacts())
+	if !ok || out.Op != isa.OpOri || out.Imm != 0 {
+		t.Errorf("or with zero = %+v, %v", out, ok)
+	}
+}

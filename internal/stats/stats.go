@@ -1,0 +1,142 @@
+// Package stats provides the small statistical helpers the experiments
+// use: weighted means, Pearson correlation (for the cross-input
+// stability result of Chapter V / Wall [38]), mean absolute error, and
+// the weighted invariance histogram of the thesis's distribution
+// figures ("the average result, weighted by execution frequency, of
+// each bucket is graphed; the y-axis entry is non-accumulative").
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Mean returns the arithmetic mean (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// WeightedMean returns sum(w·x)/sum(w); 0 when weights sum to 0.
+func WeightedMean(xs, ws []float64) float64 {
+	if len(xs) != len(ws) {
+		panic("stats: WeightedMean length mismatch")
+	}
+	var sx, sw float64
+	for i := range xs {
+		sx += xs[i] * ws[i]
+		sw += ws[i]
+	}
+	if sw == 0 {
+		return 0
+	}
+	return sx / sw
+}
+
+// Correlation returns the Pearson correlation coefficient of x and y,
+// or 0 when either series is constant or empty.
+func Correlation(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("stats: Correlation length mismatch")
+	}
+	n := float64(len(x))
+	if n == 0 {
+		return 0
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// MeanAbsError returns mean |x−y|.
+func MeanAbsError(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("stats: MeanAbsError length mismatch")
+	}
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range x {
+		s += math.Abs(x[i] - y[i])
+	}
+	return s / float64(len(x))
+}
+
+// Histogram is a fixed-bucket weighted histogram over [0,1] values
+// (invariance, LVP, ...). Bucket i covers [i/n, (i+1)/n), with 1.0
+// landing in the last bucket.
+type Histogram struct {
+	Buckets []float64 // weight per bucket
+	total   float64
+}
+
+// NewHistogram creates an n-bucket histogram.
+func NewHistogram(n int) *Histogram {
+	if n <= 0 {
+		panic("stats: histogram needs at least one bucket")
+	}
+	return &Histogram{Buckets: make([]float64, n)}
+}
+
+// Add records value x (clamped to [0,1]) with weight w.
+func (h *Histogram) Add(x, w float64) {
+	if x < 0 {
+		x = 0
+	}
+	if x > 1 {
+		x = 1
+	}
+	i := int(x * float64(len(h.Buckets)))
+	if i == len(h.Buckets) {
+		i--
+	}
+	h.Buckets[i] += w
+	h.total += w
+}
+
+// Fractions returns each bucket's share of total weight (the
+// non-accumulative y-axis of the thesis figures).
+func (h *Histogram) Fractions() []float64 {
+	out := make([]float64, len(h.Buckets))
+	if h.total == 0 {
+		return out
+	}
+	for i, b := range h.Buckets {
+		out[i] = b / h.total
+	}
+	return out
+}
+
+// Total returns the accumulated weight.
+func (h *Histogram) Total() float64 { return h.total }
+
+// String renders an ASCII bar chart, one row per bucket.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fr := h.Fractions()
+	n := len(fr)
+	for i, f := range fr {
+		lo := float64(i) / float64(n)
+		hi := float64(i+1) / float64(n)
+		bar := strings.Repeat("#", int(f*50+0.5))
+		fmt.Fprintf(&b, "[%4.2f,%4.2f) %6.2f%% %s\n", lo, hi, 100*f, bar)
+	}
+	return b.String()
+}

@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("mean wrong")
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	got := WeightedMean([]float64{1, 0}, []float64{3, 1})
+	if got != 0.75 {
+		t.Errorf("weighted mean = %v", got)
+	}
+	if WeightedMean(nil, nil) != 0 {
+		t.Error("empty weighted mean")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch not caught")
+		}
+	}()
+	WeightedMean([]float64{1}, []float64{1, 2})
+}
+
+func TestCorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	if got := Correlation(x, x); math.Abs(got-1) > 1e-12 {
+		t.Errorf("self correlation = %v", got)
+	}
+	y := []float64{4, 3, 2, 1}
+	if got := Correlation(x, y); math.Abs(got+1) > 1e-12 {
+		t.Errorf("anti correlation = %v", got)
+	}
+	if Correlation(x, []float64{5, 5, 5, 5}) != 0 {
+		t.Error("constant series should give 0")
+	}
+	if Correlation(nil, nil) != 0 {
+		t.Error("empty correlation")
+	}
+}
+
+func TestCorrelationBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(50)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = r.Float64()
+			y[i] = r.Float64()
+		}
+		c := Correlation(x, y)
+		return c >= -1-1e-9 && c <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanAbsError(t *testing.T) {
+	if got := MeanAbsError([]float64{1, 2}, []float64{2, 4}); got != 1.5 {
+		t.Errorf("MAE = %v", got)
+	}
+	if MeanAbsError(nil, nil) != 0 {
+		t.Error("empty MAE")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(4)
+	h.Add(0.1, 1)  // bucket 0
+	h.Add(0.30, 1) // bucket 1
+	h.Add(0.9, 1)  // bucket 3
+	h.Add(1.0, 1)  // clamps into bucket 3
+	h.Add(-5, 1)   // clamps into bucket 0
+	h.Add(7, 1)    // clamps into bucket 3
+	fr := h.Fractions()
+	want := []float64{2.0 / 6, 1.0 / 6, 0, 3.0 / 6}
+	for i := range want {
+		if math.Abs(fr[i]-want[i]) > 1e-12 {
+			t.Errorf("bucket %d = %v, want %v", i, fr[i], want[i])
+		}
+	}
+	if h.Total() != 6 {
+		t.Errorf("total = %v", h.Total())
+	}
+	var sum float64
+	for _, f := range fr {
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("fractions sum to %v (non-accumulative axis must total 1)", sum)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(2)
+	h.Add(0.9, 10)
+	s := h.String()
+	if !strings.Contains(s, "[0.50,1.00)") || !strings.Contains(s, "#") {
+		t.Errorf("rendering:\n%s", s)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(3)
+	for _, f := range h.Fractions() {
+		if f != 0 {
+			t.Error("empty histogram nonzero")
+		}
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero buckets accepted")
+		}
+	}()
+	NewHistogram(0)
+}

@@ -1,0 +1,46 @@
+package textual
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := New("demo", "name", "value")
+	tab.Row("alpha", 1.5)
+	tab.Row("b", 10)
+	s := tab.String()
+	if !strings.Contains(s, "== demo ==") {
+		t.Errorf("missing title:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), s)
+	}
+	if !strings.HasPrefix(lines[1], "name ") {
+		t.Errorf("header: %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "1.500") {
+		t.Errorf("float formatting: %q", lines[3])
+	}
+	// Columns aligned: "value" starts at the same offset in all rows.
+	off := strings.Index(lines[1], "value")
+	if !strings.HasPrefix(lines[3][off:], "1.500") {
+		t.Errorf("misaligned columns:\n%s", s)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(0.4567) != "45.7%" {
+		t.Errorf("Pct = %q", Pct(0.4567))
+	}
+}
+
+func TestRaggedRows(t *testing.T) {
+	tab := New("", "a")
+	tab.Row("x", "extra")
+	s := tab.String()
+	if !strings.Contains(s, "extra") {
+		t.Errorf("ragged row dropped:\n%s", s)
+	}
+}

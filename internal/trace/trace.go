@@ -1,0 +1,176 @@
+// Package trace records and replays value traces: the (site, value)
+// event stream a profiling run observes, in a compact delta-encoded
+// binary format. Tracing decouples collection from analysis — the
+// expensive instrumented execution runs once, then any number of
+// profiler configurations (TNV sizes, clearing policies, samplers) can
+// be evaluated offline against the identical stream, exactly how the
+// TNV-accuracy ablations are best run.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"valueprof/internal/atom"
+	"valueprof/internal/core"
+	"valueprof/internal/isa"
+	"valueprof/internal/vm"
+)
+
+// Magic identifies a trace stream.
+var magic = [4]byte{'V', 'P', 'T', '1'}
+
+// Event is one recorded observation.
+type Event struct {
+	PC    int
+	Value int64
+}
+
+// Writer encodes events. Encoding: varint pc-delta (zigzag from the
+// previous event's pc, exploiting locality) then zigzag-varint value
+// delta from the site's previous value (exploiting value locality —
+// the very phenomenon the paper profiles makes traces compress well).
+type Writer struct {
+	w      *bufio.Writer
+	lastPC int64
+	lastV  map[int]int64
+	count  uint64
+	err    error
+}
+
+// NewWriter starts a trace on w.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, lastV: make(map[int]int64)}, nil
+}
+
+func (t *Writer) putVarint(v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	if _, err := t.w.Write(buf[:n]); err != nil && t.err == nil {
+		t.err = err
+	}
+}
+
+// Add records one event.
+func (t *Writer) Add(pc int, value int64) {
+	t.putVarint(int64(pc) - t.lastPC)
+	t.lastPC = int64(pc)
+	t.putVarint(value - t.lastV[pc])
+	t.lastV[pc] = value
+	t.count++
+}
+
+// Count returns the number of recorded events.
+func (t *Writer) Count() uint64 { return t.count }
+
+// Close flushes the stream.
+func (t *Writer) Close() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Reader decodes a trace.
+type Reader struct {
+	r      *bufio.Reader
+	lastPC int64
+	lastV  map[int]int64
+}
+
+// NewReader opens a trace stream, validating the header.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if hdr != magic {
+		return nil, errors.New("trace: bad magic (not a VPT1 trace)")
+	}
+	return &Reader{r: br, lastV: make(map[int]int64)}, nil
+}
+
+// Next returns the next event, or io.EOF at end of trace.
+func (t *Reader) Next() (Event, error) {
+	dpc, err := binary.ReadVarint(t.r)
+	if err != nil {
+		if err == io.EOF {
+			return Event{}, io.EOF
+		}
+		return Event{}, fmt.Errorf("trace: %w", err)
+	}
+	pc := t.lastPC + dpc
+	t.lastPC = pc
+	dv, err := binary.ReadVarint(t.r)
+	if err != nil {
+		return Event{}, fmt.Errorf("trace: truncated event: %w", err)
+	}
+	v := t.lastV[int(pc)] + dv
+	t.lastV[int(pc)] = v
+	return Event{PC: int(pc), Value: v}, nil
+}
+
+// ForEach replays the whole trace through fn.
+func (t *Reader) ForEach(fn func(Event)) error {
+	for {
+		ev, err := t.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		fn(ev)
+	}
+}
+
+// Collector is an ATOM tool that records the value stream of the
+// selected instructions (default: all result-producing) into a Writer.
+type Collector struct {
+	Filter func(isa.Inst) bool
+	W      *Writer
+}
+
+// NewCollector traces the instructions selected by filter (nil = all
+// result-producing) into w.
+func NewCollector(w *Writer, filter func(isa.Inst) bool) *Collector {
+	return &Collector{Filter: filter, W: w}
+}
+
+// Instrument implements atom.Tool.
+func (c *Collector) Instrument(ix *atom.Instrumenter) {
+	filter := c.Filter
+	if filter == nil {
+		filter = func(in isa.Inst) bool { return in.Op.HasDest() }
+	}
+	ix.ForEachInst(filter, func(pc int, in isa.Inst) {
+		ix.AddAfter(pc, func(ev *vm.Event) { c.W.Add(pc, ev.Value) })
+	})
+}
+
+// ProfileTrace replays a trace into per-site statistics under the given
+// TNV configuration — the offline equivalent of a full-time
+// ValueProfiler run over the same instruction set.
+func ProfileTrace(r *Reader, cfg core.TNVConfig, trackFull bool) (map[int]*core.SiteStats, error) {
+	sites := make(map[int]*core.SiteStats)
+	err := r.ForEach(func(ev Event) {
+		s := sites[ev.PC]
+		if s == nil {
+			s = core.NewSiteStats(ev.PC, fmt.Sprintf("pc%d", ev.PC), cfg, trackFull)
+			sites[ev.PC] = s
+		}
+		s.Observe(ev.Value)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sites, nil
+}

@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"valueprof/internal/atom"
+	"valueprof/internal/core"
+	"valueprof/internal/workloads"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []Event{{3, 100}, {3, 100}, {7, -5}, {3, 101}, {100000, 1 << 60}, {7, -5}}
+	for _, ev := range events {
+		w.Add(ev.PC, ev.Value)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != uint64(len(events)) {
+		t.Errorf("count = %d", w.Count())
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Event
+	if err := r.ForEach(func(ev Event) { got = append(got, ev) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("decoded %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Errorf("event %d: %+v != %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw%2000) + 1
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		events := make([]Event, n)
+		for i := range events {
+			events[i] = Event{PC: r.Intn(500), Value: r.Int63() - (1 << 62)}
+			w.Add(events[i].PC, events[i].Value)
+		}
+		if w.Close() != nil {
+			return false
+		}
+		rd, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		i := 0
+		ok := true
+		err = rd.ForEach(func(ev Event) {
+			if i >= n || ev != events[i] {
+				ok = false
+			}
+			i++
+		})
+		return err == nil && ok && i == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBadHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
+func TestTruncatedEvent(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Add(1, 1)
+	w.Close()
+	data := buf.Bytes()[:buf.Len()-1] // drop the value's last byte
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Next()
+	if err == nil || err == io.EOF {
+		t.Errorf("truncated event gave %v", err)
+	}
+}
+
+// TestOfflineMatchesOnline records a workload's value stream, replays
+// it, and checks the offline profile matches the online ValueProfiler
+// exactly (same TNV config, same stream order).
+func TestOfflineMatchesOnline(t *testing.T) {
+	w, err := workloads.ByName("mcsim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := w.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	tw, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector(tw, nil)
+	vp, err := core.NewValueProfiler(core.Options{TNV: core.DefaultTNVConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := atom.Run(prog, w.Test.Args, false, col, vp); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	traceBytes := buf.Len()
+	rd, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline, err := ProfileTrace(rd, core.DefaultTNVConfig(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	online := vp.Profile()
+	checked := 0
+	for _, s := range online.Sites {
+		if s.Exec == 0 {
+			continue
+		}
+		o := offline[s.PC]
+		if o == nil {
+			t.Fatalf("site %d missing offline", s.PC)
+		}
+		if o.Exec != s.Exec || o.LVPHits != s.LVPHits || o.Zeros != s.Zeros {
+			t.Fatalf("site %d: offline exec/lvp/zero %d/%d/%d vs online %d/%d/%d",
+				s.PC, o.Exec, o.LVPHits, o.Zeros, s.Exec, s.LVPHits, s.Zeros)
+		}
+		if o.InvTop(1) != s.InvTop(1) {
+			t.Fatalf("site %d: offline inv %v != online %v", s.PC, o.InvTop(1), s.InvTop(1))
+		}
+		checked++
+	}
+	if checked < 50 {
+		t.Errorf("only %d sites compared", checked)
+	}
+	// Compression sanity: delta coding should beat 16 bytes/event.
+	bytesPer := float64(traceBytes) / float64(tw.Count())
+	if bytesPer >= 10 || bytesPer <= 0 {
+		t.Errorf("trace uses %.2f bytes/event; delta coding ineffective", bytesPer)
+	}
+	t.Logf("trace: %d events, %.2f bytes/event", tw.Count(), bytesPer)
+}

@@ -1,0 +1,201 @@
+// Package trivprof profiles the operands of expensive arithmetic
+// looking for trivial computations, reproducing the study the thesis
+// cites from Richardson [32]: "he profiled the operands of arithmetic
+// operations looking for trivial calculations. A trivial instruction is
+// defined as being able to complete in one cycle."
+//
+// A multiply by 0, ±1 or a power of two, a divide/remainder by 1 or a
+// power of two, completes in one cycle as a move/negate/shift/mask. The
+// profiler observes operand values before each mul/div/rem executes and
+// reports the dynamic trivial fraction and the cycles a trivializing
+// unit (or value-specialized code) would save.
+package trivprof
+
+import (
+	"sort"
+
+	"valueprof/internal/atom"
+	"valueprof/internal/isa"
+	"valueprof/internal/vm"
+)
+
+// Kind classifies one dynamic arithmetic execution.
+type Kind int
+
+const (
+	NonTrivial  Kind = iota
+	ZeroOperand      // x*0 (result 0), 0/x, 0%x
+	OneOperand       // x*1, x/1 (copy), x%1 (zero)
+	MinusOne         // x*-1, x/-1 (negate)
+	PowerOfTwo       // x*2^k (shift), x/2^k, x%2^k with x≥0 (shift/mask)
+	SelfOperand      // x/x (one), x%x (zero), x-x handled by ALU anyway
+	NumKinds    = int(SelfOperand) + 1
+)
+
+func (k Kind) String() string {
+	switch k {
+	case ZeroOperand:
+		return "zero"
+	case OneOperand:
+		return "one"
+	case MinusOne:
+		return "minus-one"
+	case PowerOfTwo:
+		return "pow2"
+	case SelfOperand:
+		return "self"
+	}
+	return "nontrivial"
+}
+
+// trivialCycles is the cost of the replacement operation.
+const trivialCycles = 1
+
+// SiteStats is the per-instruction trivially profile.
+type SiteStats struct {
+	PC    int
+	Name  string
+	Op    isa.Op
+	Execs uint64
+	Kinds [NumKinds]uint64
+}
+
+// Trivial returns the number of trivial executions.
+func (s *SiteStats) Trivial() uint64 { return s.Execs - s.Kinds[NonTrivial] }
+
+// TrivialFraction returns trivial / execs.
+func (s *SiteStats) TrivialFraction() float64 {
+	if s.Execs == 0 {
+		return 0
+	}
+	return float64(s.Trivial()) / float64(s.Execs)
+}
+
+// SavedCycles returns the cycles saved if every trivial execution
+// completed in one cycle instead of the opcode's full latency.
+func (s *SiteStats) SavedCycles() uint64 {
+	full := uint64(s.Op.Cycles())
+	if full <= trivialCycles {
+		return 0
+	}
+	return s.Trivial() * (full - trivialCycles)
+}
+
+// Profiler is the ATOM tool.
+type Profiler struct {
+	sites map[int]*SiteStats
+}
+
+// New creates a trivial-computation profiler.
+func New() *Profiler { return &Profiler{sites: make(map[int]*SiteStats)} }
+
+func isPow2(v int64) bool { return v > 0 && v&(v-1) == 0 }
+
+// classify inspects one execution of op with operands a (Ra) and b (Rb
+// or immediate).
+func classify(op isa.Op, a, b int64) Kind {
+	switch op {
+	case isa.OpMul, isa.OpMuli:
+		switch {
+		case a == 0 || b == 0:
+			return ZeroOperand
+		case a == 1 || b == 1:
+			return OneOperand
+		case a == -1 || b == -1:
+			return MinusOne
+		case isPow2(a) || isPow2(b):
+			return PowerOfTwo
+		}
+	case isa.OpDiv:
+		switch {
+		case a == 0:
+			return ZeroOperand
+		case b == 1:
+			return OneOperand
+		case b == -1:
+			return MinusOne
+		case a == b:
+			return SelfOperand
+		case isPow2(b) && a >= 0:
+			return PowerOfTwo
+		}
+	case isa.OpRem:
+		switch {
+		case a == 0:
+			return ZeroOperand
+		case b == 1 || b == -1:
+			return OneOperand
+		case a == b:
+			return SelfOperand
+		case isPow2(b) && a >= 0:
+			return PowerOfTwo
+		}
+	}
+	return NonTrivial
+}
+
+// Instrument implements atom.Tool: a before-instruction analysis call
+// reads the operand registers of every mul/div/rem.
+func (p *Profiler) Instrument(ix *atom.Instrumenter) {
+	ix.ForEachInst(func(in isa.Inst) bool {
+		switch in.Op {
+		case isa.OpMul, isa.OpMuli, isa.OpDiv, isa.OpRem:
+			return true
+		}
+		return false
+	}, func(pc int, in isa.Inst) {
+		s := &SiteStats{PC: pc, Name: ix.Prog.SiteName(pc), Op: in.Op}
+		p.sites[pc] = s
+		ix.AddBefore(pc, func(ev *vm.Event) {
+			a := ev.VM.Regs[in.Ra]
+			var b int64
+			if in.Op == isa.OpMuli {
+				b = int64(in.Imm)
+			} else {
+				b = ev.VM.Regs[in.Rb]
+			}
+			s.Execs++
+			s.Kinds[classify(in.Op, a, b)]++
+		})
+	})
+}
+
+// Report is the result of one run.
+type Report struct {
+	Sites []*SiteStats // sorted by execs descending
+}
+
+// Report returns the collected profile.
+func (p *Profiler) Report() *Report {
+	out := make([]*SiteStats, 0, len(p.sites))
+	for _, s := range p.sites {
+		if s.Execs > 0 {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Execs != out[j].Execs {
+			return out[i].Execs > out[j].Execs
+		}
+		return out[i].PC < out[j].PC
+	})
+	return &Report{Sites: out}
+}
+
+// Totals returns the dynamic trivial fraction over all profiled
+// executions, the total saved cycles, and per-kind dynamic counts.
+func (r *Report) Totals() (trivialFrac float64, saved uint64, kinds [NumKinds]uint64) {
+	var execs, trivial uint64
+	for _, s := range r.Sites {
+		execs += s.Execs
+		trivial += s.Trivial()
+		saved += s.SavedCycles()
+		for k := 0; k < NumKinds; k++ {
+			kinds[k] += s.Kinds[k]
+		}
+	}
+	if execs > 0 {
+		trivialFrac = float64(trivial) / float64(execs)
+	}
+	return trivialFrac, saved, kinds
+}

@@ -1,0 +1,104 @@
+package trivprof
+
+import (
+	"testing"
+
+	"valueprof/internal/asm"
+	"valueprof/internal/atom"
+	"valueprof/internal/isa"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		op   isa.Op
+		a, b int64
+		want Kind
+	}{
+		{isa.OpMul, 5, 0, ZeroOperand},
+		{isa.OpMul, 0, 5, ZeroOperand},
+		{isa.OpMul, 5, 1, OneOperand},
+		{isa.OpMul, -1, 5, MinusOne},
+		{isa.OpMul, 5, 8, PowerOfTwo},
+		{isa.OpMul, 16, 5, PowerOfTwo},
+		{isa.OpMul, 5, 7, NonTrivial},
+		{isa.OpMuli, 5, 4, PowerOfTwo},
+		{isa.OpDiv, 0, 9, ZeroOperand},
+		{isa.OpDiv, 9, 1, OneOperand},
+		{isa.OpDiv, 9, -1, MinusOne},
+		{isa.OpDiv, 9, 9, SelfOperand},
+		{isa.OpDiv, 40, 8, PowerOfTwo},
+		{isa.OpDiv, -40, 8, NonTrivial}, // negative dividend: shift is not division
+		{isa.OpDiv, 41, 7, NonTrivial},
+		{isa.OpRem, 9, 1, OneOperand},
+		{isa.OpRem, 40, 16, PowerOfTwo},
+		{isa.OpRem, 41, 7, NonTrivial},
+	}
+	for _, c := range cases {
+		if got := classify(c.op, c.a, c.b); got != c.want {
+			t.Errorf("classify(%v, %d, %d) = %v, want %v", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+const trivSrc = `
+        .proc main
+main:   li s0, 100
+        li s1, 65536
+loop:   mul t0, s0, s1      ; pow2 multiply every iteration
+        div t1, t0, s1      ; pow2 divide (t0 ≥ 0)
+        mul t2, s0, s0      ; nontrivial
+        addi s0, s0, -1
+        bne s0, loop
+        syscall exit
+        .endproc
+`
+
+func TestProfilerCountsAndSavings(t *testing.T) {
+	prog, err := asm.Assemble(trivSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New()
+	if _, err := atom.Run(prog, nil, false, p); err != nil {
+		t.Fatal(err)
+	}
+	r := p.Report()
+	if len(r.Sites) != 3 {
+		t.Fatalf("sites = %d, want 3", len(r.Sites))
+	}
+	frac, saved, kinds := r.Totals()
+	// The pow2 mul and div are always trivial; the square s0*s0 is
+	// trivial only when s0 ∈ {1, 2, 4, 8, 16, 32, 64}: 207 of 300.
+	if frac != 207.0/300.0 {
+		t.Errorf("trivial fraction = %v, want 0.69", frac)
+	}
+	// At s0=1 the pow2 multiply has a==1 (OneOperand), the divide has
+	// t0==s1 (SelfOperand), and the square has a==1 (OneOperand); the
+	// square is pow2-trivial for s0 in {2,4,8,16,32,64}.
+	if kinds[PowerOfTwo] != 204 || kinds[OneOperand] != 2 || kinds[SelfOperand] != 1 || kinds[NonTrivial] != 93 {
+		t.Errorf("kinds = %v", kinds)
+	}
+	want := uint64(107*(isa.OpMul.Cycles()-1) + 100*(isa.OpDiv.Cycles()-1))
+	if saved != want {
+		t.Errorf("saved = %d, want %d", saved, want)
+	}
+	for _, s := range r.Sites {
+		if s.PC == 2 && s.TrivialFraction() != 1.0 {
+			t.Errorf("pow2 mul site fraction = %v", s.TrivialFraction())
+		}
+		if s.PC == 4 && s.TrivialFraction() != 0.07 {
+			t.Errorf("square site fraction = %v, want 0.07", s.TrivialFraction())
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for k := 0; k < NumKinds; k++ {
+		s := Kind(k).String()
+		if s == "" || seen[s] {
+			t.Errorf("kind %d name %q", k, s)
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,487 @@
+// Package vm interprets VRISC programs. It is the execution substrate
+// standing in for the paper's Alpha hardware: it runs the workload,
+// charges cycles under a simple timing model, and exposes the
+// instrumentation hook points (before/after each chosen instruction,
+// plus program end) that the ATOM-like layer in internal/atom uses.
+package vm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"strconv"
+
+	"valueprof/internal/isa"
+	"valueprof/internal/program"
+)
+
+// Defaults for memory and runaway protection.
+const (
+	DefaultMemSize   = 8 << 20 // 8 MiB flat address space
+	DefaultStepLimit = 1 << 31 // instructions
+	// minValidAddr makes low addresses fault, catching null-pointer
+	// style bugs in generated code. The data segment starts above it.
+	minValidAddr = 0x100
+	// AnalysisCallCycles is the cycle charge per analysis-routine
+	// invocation, modelling the paper's instrumentation overhead (an
+	// ATOM analysis call costs a procedure call plus work).
+	AnalysisCallCycles = 12
+)
+
+// Fault is a runtime error carrying the faulting pc.
+type Fault struct {
+	PC  int
+	Msg string
+}
+
+func (f *Fault) Error() string { return fmt.Sprintf("vm: fault at pc %d: %s", f.PC, f.Msg) }
+
+// Event is passed to instrumentation hooks. For after-hooks on
+// result-producing instructions Value holds the destination value; for
+// stores it holds the stored value. Addr is the effective address of a
+// load or store, 0 otherwise.
+type Event struct {
+	VM    *VM
+	PC    int
+	Inst  isa.Inst
+	Value int64
+	Addr  uint64
+}
+
+// Hook is an instrumentation callback.
+type Hook func(*Event)
+
+// VM executes one program. Zero value is not usable; call New.
+type VM struct {
+	Prog *program.Program
+	Regs [isa.NumRegs]int64
+	Mem  []byte
+	PC   int
+
+	Cycles        uint64
+	InstCount     uint64
+	AnalysisCalls uint64 // number of analysis-hook invocations (overhead metric)
+	ChargeHooks   bool   // if set, each hook invocation costs AnalysisCallCycles
+
+	Output     bytes.Buffer
+	Input      []int64 // consumed by SysGetInt
+	inputPos   int
+	ExitStatus int64
+	Halted     bool
+
+	StepLimit uint64
+
+	// Hook tables, indexed by pc; nil when no instrumentation is
+	// attached so the uninstrumented fast path stays cheap.
+	before  [][]Hook
+	after   [][]Hook
+	atEnd   []Hook
+	scratch Event
+}
+
+// New creates a VM for prog with default memory and step limit, loading
+// the data segment and initializing sp/fp to the top of memory.
+func New(prog *program.Program) *VM {
+	return NewSized(prog, DefaultMemSize)
+}
+
+// NewSized creates a VM with the given memory size in bytes.
+func NewSized(prog *program.Program, memSize int) *VM {
+	v := &VM{Prog: prog, Mem: make([]byte, memSize), StepLimit: DefaultStepLimit}
+	v.Reset()
+	return v
+}
+
+// Reset rewinds the VM to the program's initial state, preserving
+// attached hooks and the Input queue.
+func (v *VM) Reset() {
+	for i := range v.Regs {
+		v.Regs[i] = 0
+	}
+	for i := range v.Mem {
+		v.Mem[i] = 0
+	}
+	copy(v.Mem[v.Prog.DataAddr:], v.Prog.Data)
+	top := int64(len(v.Mem) - 64)
+	v.Regs[isa.RegSP] = top
+	v.Regs[isa.RegFP] = top
+	v.PC = v.Prog.Entry
+	v.Cycles = 0
+	v.InstCount = 0
+	v.AnalysisCalls = 0
+	v.Output.Reset()
+	v.inputPos = 0
+	v.ExitStatus = 0
+	v.Halted = false
+}
+
+// HookBefore attaches fn to run before each execution of instruction pc.
+func (v *VM) HookBefore(pc int, fn Hook) {
+	if v.before == nil {
+		v.before = make([][]Hook, len(v.Prog.Code))
+	}
+	v.before[pc] = append(v.before[pc], fn)
+}
+
+// HookAfter attaches fn to run after each execution of instruction pc,
+// with the result value (destination register or stored value) in the
+// event.
+func (v *VM) HookAfter(pc int, fn Hook) {
+	if v.after == nil {
+		v.after = make([][]Hook, len(v.Prog.Code))
+	}
+	v.after[pc] = append(v.after[pc], fn)
+}
+
+// HookEnd attaches fn to run when the program exits.
+func (v *VM) HookEnd(fn Hook) { v.atEnd = append(v.atEnd, fn) }
+
+// ClearHooks removes all instrumentation.
+func (v *VM) ClearHooks() {
+	v.before = nil
+	v.after = nil
+	v.atEnd = nil
+}
+
+func (v *VM) fault(format string, args ...any) error {
+	return &Fault{PC: v.PC, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (v *VM) setReg(r uint8, val int64) {
+	if r != isa.RegZero {
+		v.Regs[r] = val
+	}
+}
+
+func (v *VM) checkAddr(addr uint64, size int) error {
+	if addr < minValidAddr || addr+uint64(size) > uint64(len(v.Mem)) {
+		return v.fault("memory access at %#x size %d out of range", addr, size)
+	}
+	return nil
+}
+
+func (v *VM) load(addr uint64, size int) (int64, error) {
+	if err := v.checkAddr(addr, size); err != nil {
+		return 0, err
+	}
+	switch size {
+	case 1:
+		return int64(v.Mem[addr]), nil
+	case 4:
+		return int64(binary.LittleEndian.Uint32(v.Mem[addr:])), nil
+	case 8:
+		return int64(binary.LittleEndian.Uint64(v.Mem[addr:])), nil
+	}
+	panic("vm: bad load size")
+}
+
+func (v *VM) store(addr uint64, size int, val int64) error {
+	if err := v.checkAddr(addr, size); err != nil {
+		return err
+	}
+	switch size {
+	case 1:
+		v.Mem[addr] = byte(val)
+	case 4:
+		binary.LittleEndian.PutUint32(v.Mem[addr:], uint32(val))
+	case 8:
+		binary.LittleEndian.PutUint64(v.Mem[addr:], uint64(val))
+	default:
+		panic("vm: bad store size")
+	}
+	return nil
+}
+
+func (v *VM) runHooks(hooks []Hook, ev *Event) {
+	for _, h := range hooks {
+		h(ev)
+		v.AnalysisCalls++
+		if v.ChargeHooks {
+			v.Cycles += AnalysisCallCycles
+		}
+	}
+}
+
+// Run executes until the program exits, faults, or hits the step limit.
+func (v *VM) Run() error {
+	code := v.Prog.Code
+	for !v.Halted {
+		if v.InstCount >= v.StepLimit {
+			return v.fault("step limit %d exceeded", v.StepLimit)
+		}
+		pc := v.PC
+		if pc < 0 || pc >= len(code) {
+			return v.fault("pc %d out of range", pc)
+		}
+		in := code[pc]
+
+		if v.before != nil && v.before[pc] != nil {
+			ev := &v.scratch
+			*ev = Event{VM: v, PC: pc, Inst: in}
+			v.runHooks(v.before[pc], ev)
+		}
+
+		value, addr, err := v.step(pc, in)
+		if err != nil {
+			return err
+		}
+		v.InstCount++
+		v.Cycles += uint64(in.Op.Cycles())
+
+		if v.after != nil && v.after[pc] != nil {
+			ev := &v.scratch
+			*ev = Event{VM: v, PC: pc, Inst: in, Value: value, Addr: addr}
+			v.runHooks(v.after[pc], ev)
+		}
+	}
+	if v.atEnd != nil {
+		ev := &Event{VM: v, PC: v.PC}
+		for _, h := range v.atEnd {
+			h(ev)
+		}
+	}
+	return nil
+}
+
+// step executes one instruction, returning the result value (for
+// after-hooks) and effective address for memory operations. v.PC is
+// advanced (or redirected) and v.Halted set on exit.
+func (v *VM) step(pc int, in isa.Inst) (value int64, addr uint64, err error) {
+	r := &v.Regs
+	next := pc + 1
+	switch in.Op {
+	case isa.OpNop:
+	case isa.OpAdd:
+		value = r[in.Ra] + r[in.Rb]
+		v.setReg(in.Rd, value)
+	case isa.OpSub:
+		value = r[in.Ra] - r[in.Rb]
+		v.setReg(in.Rd, value)
+	case isa.OpMul:
+		value = r[in.Ra] * r[in.Rb]
+		v.setReg(in.Rd, value)
+	case isa.OpDiv:
+		if r[in.Rb] == 0 {
+			return 0, 0, v.fault("division by zero")
+		}
+		value = r[in.Ra] / r[in.Rb]
+		v.setReg(in.Rd, value)
+	case isa.OpRem:
+		if r[in.Rb] == 0 {
+			return 0, 0, v.fault("remainder by zero")
+		}
+		value = r[in.Ra] % r[in.Rb]
+		v.setReg(in.Rd, value)
+	case isa.OpAddi:
+		value = r[in.Ra] + int64(in.Imm)
+		v.setReg(in.Rd, value)
+	case isa.OpMuli:
+		value = r[in.Ra] * int64(in.Imm)
+		v.setReg(in.Rd, value)
+
+	case isa.OpAnd:
+		value = r[in.Ra] & r[in.Rb]
+		v.setReg(in.Rd, value)
+	case isa.OpOr:
+		value = r[in.Ra] | r[in.Rb]
+		v.setReg(in.Rd, value)
+	case isa.OpXor:
+		value = r[in.Ra] ^ r[in.Rb]
+		v.setReg(in.Rd, value)
+	case isa.OpAndi:
+		value = r[in.Ra] & int64(in.Imm)
+		v.setReg(in.Rd, value)
+	case isa.OpOri:
+		value = r[in.Ra] | int64(in.Imm)
+		v.setReg(in.Rd, value)
+	case isa.OpXori:
+		value = r[in.Ra] ^ int64(in.Imm)
+		v.setReg(in.Rd, value)
+
+	case isa.OpSll:
+		value = r[in.Ra] << (uint64(r[in.Rb]) & 63)
+		v.setReg(in.Rd, value)
+	case isa.OpSrl:
+		value = int64(uint64(r[in.Ra]) >> (uint64(r[in.Rb]) & 63))
+		v.setReg(in.Rd, value)
+	case isa.OpSra:
+		value = r[in.Ra] >> (uint64(r[in.Rb]) & 63)
+		v.setReg(in.Rd, value)
+	case isa.OpSlli:
+		value = r[in.Ra] << (uint32(in.Imm) & 63)
+		v.setReg(in.Rd, value)
+	case isa.OpSrli:
+		value = int64(uint64(r[in.Ra]) >> (uint32(in.Imm) & 63))
+		v.setReg(in.Rd, value)
+	case isa.OpSrai:
+		value = r[in.Ra] >> (uint32(in.Imm) & 63)
+		v.setReg(in.Rd, value)
+
+	case isa.OpCmpeq:
+		value = b2i(r[in.Ra] == r[in.Rb])
+		v.setReg(in.Rd, value)
+	case isa.OpCmpne:
+		value = b2i(r[in.Ra] != r[in.Rb])
+		v.setReg(in.Rd, value)
+	case isa.OpCmplt:
+		value = b2i(r[in.Ra] < r[in.Rb])
+		v.setReg(in.Rd, value)
+	case isa.OpCmple:
+		value = b2i(r[in.Ra] <= r[in.Rb])
+		v.setReg(in.Rd, value)
+	case isa.OpCmpgt:
+		value = b2i(r[in.Ra] > r[in.Rb])
+		v.setReg(in.Rd, value)
+	case isa.OpCmpge:
+		value = b2i(r[in.Ra] >= r[in.Rb])
+		v.setReg(in.Rd, value)
+	case isa.OpCmplti:
+		value = b2i(r[in.Ra] < int64(in.Imm))
+		v.setReg(in.Rd, value)
+	case isa.OpCmpeqi:
+		value = b2i(r[in.Ra] == int64(in.Imm))
+		v.setReg(in.Rd, value)
+
+	case isa.OpLdq, isa.OpLdl, isa.OpLdbu, isa.OpLdb:
+		addr = uint64(r[in.Ra] + int64(in.Imm))
+		size := 8
+		switch in.Op {
+		case isa.OpLdl:
+			size = 4
+		case isa.OpLdbu, isa.OpLdb:
+			size = 1
+		}
+		value, err = v.load(addr, size)
+		if err != nil {
+			return 0, 0, err
+		}
+		switch in.Op {
+		case isa.OpLdl:
+			value = int64(int32(value))
+		case isa.OpLdb:
+			value = int64(int8(value))
+		}
+		v.setReg(in.Rd, value)
+	case isa.OpStq, isa.OpStl, isa.OpStb:
+		addr = uint64(r[in.Ra] + int64(in.Imm))
+		size := 8
+		switch in.Op {
+		case isa.OpStl:
+			size = 4
+		case isa.OpStb:
+			size = 1
+		}
+		value = r[in.Rd]
+		if err := v.store(addr, size, value); err != nil {
+			return 0, 0, err
+		}
+
+	case isa.OpBr:
+		next = int(in.Imm)
+	case isa.OpBeq:
+		if r[in.Ra] == 0 {
+			next = int(in.Imm)
+		}
+	case isa.OpBne:
+		if r[in.Ra] != 0 {
+			next = int(in.Imm)
+		}
+	case isa.OpJsr:
+		value = int64(pc + 1) // link value, visible to after-hooks
+		v.setReg(in.Rd, value)
+		next = int(in.Imm)
+	case isa.OpJsrr:
+		target := int(r[in.Ra])
+		value = int64(pc + 1)
+		v.setReg(in.Rd, value)
+		next = target
+	case isa.OpJmp, isa.OpRet:
+		next = int(r[in.Ra])
+
+	case isa.OpSyscall:
+		val, serr := v.syscall(in.Imm)
+		if serr != nil {
+			return 0, 0, serr
+		}
+		value = val
+
+	default:
+		return 0, 0, v.fault("unimplemented opcode %v", in.Op)
+	}
+	v.PC = next
+	return value, addr, nil
+}
+
+func (v *VM) syscall(code int32) (int64, error) {
+	switch code {
+	case isa.SysExit:
+		v.Halted = true
+		v.ExitStatus = v.Regs[isa.RegA0]
+		return v.ExitStatus, nil
+	case isa.SysPutInt:
+		v.Output.WriteString(strconv.FormatInt(v.Regs[isa.RegA0], 10))
+		return v.Regs[isa.RegA0], nil
+	case isa.SysPutChar:
+		v.Output.WriteByte(byte(v.Regs[isa.RegA0]))
+		return v.Regs[isa.RegA0], nil
+	case isa.SysGetInt:
+		var val int64
+		if v.inputPos < len(v.Input) {
+			val = v.Input[v.inputPos]
+			v.inputPos++
+		}
+		v.setReg(isa.RegV0, val)
+		return val, nil
+	case isa.SysPutStr:
+		addr := uint64(v.Regs[isa.RegA0])
+		for {
+			b, err := v.load(addr, 1)
+			if err != nil {
+				return 0, err
+			}
+			if b == 0 {
+				break
+			}
+			v.Output.WriteByte(byte(b))
+			addr++
+		}
+		return 0, nil
+	case isa.SysClock:
+		v.setReg(isa.RegV0, int64(v.Cycles))
+		return int64(v.Cycles), nil
+	}
+	return 0, v.fault("unknown syscall %d", code)
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	Output        string
+	ExitStatus    int64
+	Cycles        uint64
+	InstCount     uint64
+	AnalysisCalls uint64
+}
+
+// Execute runs prog to completion with the given input and returns the
+// run summary; a convenience wrapper used by workloads and experiments.
+func Execute(prog *program.Program, input []int64) (*Result, error) {
+	v := New(prog)
+	v.Input = input
+	if err := v.Run(); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Output:        v.Output.String(),
+		ExitStatus:    v.ExitStatus,
+		Cycles:        v.Cycles,
+		InstCount:     v.InstCount,
+		AnalysisCalls: v.AnalysisCalls,
+	}, nil
+}

@@ -1,0 +1,144 @@
+package vpred
+
+import (
+	"fmt"
+	"sort"
+
+	"valueprof/internal/atom"
+	"valueprof/internal/core"
+	"valueprof/internal/isa"
+	"valueprof/internal/vm"
+)
+
+// Stats accumulates one predictor's results over a run.
+type Stats struct {
+	Name string
+	// Attempts is the number of executions where the predictor was
+	// consulted (after filtering).
+	Attempts uint64
+	// Predictions is how often it was confident enough to predict.
+	Predictions uint64
+	Hits        uint64
+	Misses      uint64
+}
+
+// HitRate returns hits / attempts — the paper's headline metric (a
+// no-prediction counts as neither hit nor benefit, so rate is over all
+// eligible executions).
+func (s *Stats) HitRate() float64 {
+	if s.Attempts == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Attempts)
+}
+
+// Accuracy returns hits / predictions: correctness when predicting.
+func (s *Stats) Accuracy() float64 {
+	if s.Predictions == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Predictions)
+}
+
+// MissRate returns misses / attempts: the mispredictions that would
+// trigger recovery.
+func (s *Stats) MissRate() float64 {
+	if s.Attempts == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Attempts)
+}
+
+func (s *Stats) String() string {
+	return fmt.Sprintf("%s: attempts=%d hit=%.3f acc=%.3f miss=%.3f",
+		s.Name, s.Attempts, s.HitRate(), s.Accuracy(), s.MissRate())
+}
+
+// Evaluator is an ATOM tool that drives a set of predictors over the
+// dynamic value stream of the selected instructions.
+type Evaluator struct {
+	// Filter selects eligible instructions (default: results only).
+	Filter func(isa.Inst) bool
+	// PredictPC, when non-nil, additionally gates per-site prediction:
+	// the profile-guided filtering of Gabbay & Mendelson [18]. Sites
+	// returning false are never consulted.
+	PredictPC func(pc int) bool
+
+	preds []Predictor
+	stats []*Stats
+}
+
+// NewEvaluator wraps the given predictors.
+func NewEvaluator(preds ...Predictor) *Evaluator {
+	ev := &Evaluator{preds: preds}
+	for _, p := range preds {
+		ev.stats = append(ev.stats, &Stats{Name: p.Name()})
+	}
+	return ev
+}
+
+// Instrument implements atom.Tool.
+func (e *Evaluator) Instrument(ix *atom.Instrumenter) {
+	filter := e.Filter
+	if filter == nil {
+		filter = func(in isa.Inst) bool { return in.Op.HasDest() }
+	}
+	ix.ForEachInst(filter, func(pc int, in isa.Inst) {
+		if e.PredictPC != nil && !e.PredictPC(pc) {
+			return
+		}
+		ix.AddAfter(pc, func(ev *vm.Event) {
+			for i, p := range e.preds {
+				st := e.stats[i]
+				st.Attempts++
+				if v, ok := p.Predict(pc); ok {
+					st.Predictions++
+					if v == ev.Value {
+						st.Hits++
+					} else {
+						st.Misses++
+					}
+				}
+				p.Update(pc, ev.Value)
+			}
+		})
+	})
+}
+
+// Results returns per-predictor stats in construction order.
+func (e *Evaluator) Results() []*Stats { return e.stats }
+
+// StandardSuite returns the five predictors compared by Wang & Franklin
+// [39] as the thesis summarizes them: lvp, stride, 2level,
+// hybrid(lvp,stride), hybrid(stride,2level). logSize sets each
+// component table to 2^logSize entries.
+func StandardSuite(logSize int) []Predictor {
+	return []Predictor{
+		NewLVP(logSize),
+		NewStride(logSize),
+		NewTwoLevel(logSize),
+		NewHybrid("hybrid-lvp-stride", NewLVP(logSize), NewStride(logSize)),
+		NewHybrid("hybrid-stride-2level", NewStride(logSize), NewTwoLevel(logSize)),
+	}
+}
+
+// FilterFromProfile builds a profile-guided PredictPC gate: only sites
+// whose profiled Inv-Top(1) or LVP reaches thresh are predicted. This
+// is the profile annotation of [18]: "only instructions marked
+// predictable were considered for value prediction".
+func FilterFromProfile(pr *core.Profile, thresh float64) func(pc int) bool {
+	ok := make(map[int]bool, len(pr.Sites))
+	for _, s := range pr.Sites {
+		if s.Exec > 0 && (s.InvTop(1) >= thresh || s.LVP() >= thresh) {
+			ok[s.PC] = true
+		}
+	}
+	return func(pc int) bool { return ok[pc] }
+}
+
+// SortedByHitRate returns the stats sorted best-first (for reports).
+func SortedByHitRate(stats []*Stats) []*Stats {
+	out := append([]*Stats(nil), stats...)
+	sort.Slice(out, func(i, j int) bool { return out[i].HitRate() > out[j].HitRate() })
+	return out
+}

@@ -1,0 +1,280 @@
+// Package vpred implements the value predictors the thesis discusses as
+// consumers of value profiles (Chapter II): last-value prediction with a
+// Value History Table (Gabbay [17], Lipasti [27,28]), stride prediction,
+// a two-level context predictor, and the hybrid combinations studied by
+// Wang & Franklin [39]. The Evaluator drives predictors over a program's
+// dynamic value stream and measures hit rates, with optional
+// profile-guided filtering (Gabbay & Mendelson [18]) that predicts only
+// instructions the value profile classifies as predictable.
+package vpred
+
+// Predictor predicts the next result value of an instruction.
+type Predictor interface {
+	Name() string
+	// Predict returns the predicted value for site pc and whether the
+	// predictor is confident enough to predict at all.
+	Predict(pc int) (int64, bool)
+	// Update trains the predictor with the actual value.
+	Update(pc int, actual int64)
+}
+
+// --- Last-value predictor -------------------------------------------------
+
+type lvpEntry struct {
+	tag   int
+	value int64
+	conf  uint8 // 2-bit saturating confidence
+	valid bool
+}
+
+// LVP is a direct-mapped Value History Table: predict that the site
+// repeats its previous value. The paper's footnote predictor.
+type LVP struct {
+	entries []lvpEntry
+	mask    int
+	// ConfThreshold is the confidence needed to predict (0 predicts
+	// always once an entry exists).
+	ConfThreshold uint8
+}
+
+// NewLVP creates a table with 2^logSize entries.
+func NewLVP(logSize int) *LVP {
+	n := 1 << logSize
+	return &LVP{entries: make([]lvpEntry, n), mask: n - 1, ConfThreshold: 1}
+}
+
+func (p *LVP) Name() string { return "lvp" }
+
+func (p *LVP) Predict(pc int) (int64, bool) {
+	e := &p.entries[pc&p.mask]
+	if !e.valid || e.tag != pc || e.conf < p.ConfThreshold {
+		return 0, false
+	}
+	return e.value, true
+}
+
+func (p *LVP) Update(pc int, actual int64) {
+	e := &p.entries[pc&p.mask]
+	if !e.valid || e.tag != pc {
+		*e = lvpEntry{tag: pc, value: actual, conf: 0, valid: true}
+		return
+	}
+	if e.value == actual {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else {
+		if e.conf > 0 {
+			e.conf--
+		}
+		e.value = actual
+	}
+}
+
+// --- Stride predictor -----------------------------------------------------
+
+type strideEntry struct {
+	tag      int
+	last     int64
+	stride   int64
+	strideOK bool // stride confirmed twice (2-delta)
+	valid    bool
+}
+
+// Stride is a 2-delta stride predictor: predict last + stride once the
+// same stride has been seen twice in a row. A zero stride degenerates
+// to last-value prediction, as the thesis notes.
+type Stride struct {
+	entries []strideEntry
+	mask    int
+}
+
+// NewStride creates a table with 2^logSize entries.
+func NewStride(logSize int) *Stride {
+	n := 1 << logSize
+	return &Stride{entries: make([]strideEntry, n), mask: n - 1}
+}
+
+func (p *Stride) Name() string { return "stride" }
+
+func (p *Stride) Predict(pc int) (int64, bool) {
+	e := &p.entries[pc&p.mask]
+	if !e.valid || e.tag != pc || !e.strideOK {
+		return 0, false
+	}
+	return e.last + e.stride, true
+}
+
+func (p *Stride) Update(pc int, actual int64) {
+	e := &p.entries[pc&p.mask]
+	if !e.valid || e.tag != pc {
+		*e = strideEntry{tag: pc, last: actual, valid: true}
+		return
+	}
+	newStride := actual - e.last
+	if e.stride == newStride {
+		e.strideOK = true
+	} else {
+		e.strideOK = false
+		e.stride = newStride
+	}
+	e.last = actual
+}
+
+// --- Two-level (context) predictor ----------------------------------------
+
+const (
+	ctxHistory = 4 // values of history kept per entry
+	ctxValues  = 4 // distinct recent values tracked (VHT part)
+)
+
+type ctxEntry struct {
+	tag    int
+	valid  bool
+	vals   [ctxValues]int64 // recently seen distinct values
+	nvals  int
+	hist   uint16 // last ctxHistory value-indices, 2 bits each
+	histN  int
+	counts map[uint16][ctxValues]uint8 // pattern -> per-value saturating counts
+}
+
+// TwoLevel is a context-based predictor (Sazeides & Smith [34] style):
+// the first level records which of the entry's recent values occurred
+// (a 2-bit index per step); the second level learns, per history
+// pattern, which value follows.
+type TwoLevel struct {
+	entries []ctxEntry
+	mask    int
+}
+
+// NewTwoLevel creates a table with 2^logSize entries.
+func NewTwoLevel(logSize int) *TwoLevel {
+	n := 1 << logSize
+	return &TwoLevel{entries: make([]ctxEntry, n), mask: n - 1}
+}
+
+func (p *TwoLevel) Name() string { return "2level" }
+
+func (p *TwoLevel) entry(pc int) *ctxEntry {
+	e := &p.entries[pc&p.mask]
+	if !e.valid || e.tag != pc {
+		*e = ctxEntry{tag: pc, valid: true, counts: make(map[uint16][ctxValues]uint8)}
+	}
+	return e
+}
+
+func (p *TwoLevel) Predict(pc int) (int64, bool) {
+	e := &p.entries[pc&p.mask]
+	if !e.valid || e.tag != pc || e.histN < ctxHistory {
+		return 0, false
+	}
+	counts, ok := e.counts[e.hist]
+	if !ok {
+		return 0, false
+	}
+	best, bestC := -1, uint8(0)
+	for i := 0; i < e.nvals; i++ {
+		if counts[i] > bestC {
+			best, bestC = i, counts[i]
+		}
+	}
+	if best < 0 || bestC == 0 {
+		return 0, false
+	}
+	return e.vals[best], true
+}
+
+func (p *TwoLevel) Update(pc int, actual int64) {
+	e := p.entry(pc)
+	// Find (or allocate, FIFO) the value index.
+	idx := -1
+	for i := 0; i < e.nvals; i++ {
+		if e.vals[i] == actual {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		if e.nvals < ctxValues {
+			idx = e.nvals
+			e.vals[idx] = actual
+			e.nvals++
+		} else {
+			// Replace slot 0 style rotation: shift down, keeping the
+			// most recent values.
+			copy(e.vals[:], e.vals[1:])
+			idx = ctxValues - 1
+			e.vals[idx] = actual
+			// Histories referring to old indices become stale; that
+			// models real pattern-table aliasing.
+		}
+	}
+	if e.histN >= ctxHistory {
+		c := e.counts[e.hist]
+		if c[idx] < 3 {
+			c[idx]++
+		}
+		for i := range c {
+			if i != idx && c[i] > 0 && c[idx] == 3 {
+				c[i]--
+			}
+		}
+		e.counts[e.hist] = c
+	}
+	e.hist = (e.hist<<2 | uint16(idx)) & (1<<(2*ctxHistory) - 1)
+	if e.histN < ctxHistory {
+		e.histN++
+	}
+}
+
+// --- Hybrid ---------------------------------------------------------------
+
+// Hybrid selects between two component predictors with a per-site
+// chooser (a saturating meter favouring the recently-correct one),
+// modelling the hybrids of Wang & Franklin [39].
+type Hybrid struct {
+	name    string
+	a, b    Predictor
+	chooser map[int]int8 // >0 favours a, <0 favours b
+}
+
+// NewHybrid combines a and b.
+func NewHybrid(name string, a, b Predictor) *Hybrid {
+	return &Hybrid{name: name, a: a, b: b, chooser: make(map[int]int8)}
+}
+
+func (p *Hybrid) Name() string { return p.name }
+
+func (p *Hybrid) Predict(pc int) (int64, bool) {
+	va, oka := p.a.Predict(pc)
+	vb, okb := p.b.Predict(pc)
+	switch {
+	case oka && okb:
+		if p.chooser[pc] >= 0 {
+			return va, true
+		}
+		return vb, true
+	case oka:
+		return va, true
+	case okb:
+		return vb, true
+	}
+	return 0, false
+}
+
+func (p *Hybrid) Update(pc int, actual int64) {
+	va, oka := p.a.Predict(pc)
+	vb, okb := p.b.Predict(pc)
+	if oka && okb && va != vb {
+		m := p.chooser[pc]
+		if va == actual && m < 3 {
+			m++
+		}
+		if vb == actual && m > -3 {
+			m--
+		}
+		p.chooser[pc] = m
+	}
+	p.a.Update(pc, actual)
+	p.b.Update(pc, actual)
+}

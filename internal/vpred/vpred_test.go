@@ -1,0 +1,266 @@
+package vpred
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"valueprof/internal/asm"
+	"valueprof/internal/atom"
+	"valueprof/internal/core"
+)
+
+func drive(p Predictor, pc int, vals []int64) (hits, preds int) {
+	for _, v := range vals {
+		if got, ok := p.Predict(pc); ok {
+			preds++
+			if got == v {
+				hits++
+			}
+		}
+		p.Update(pc, v)
+	}
+	return hits, preds
+}
+
+func repeat(v int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestLVPConstantStream(t *testing.T) {
+	p := NewLVP(4)
+	hits, preds := drive(p, 3, repeat(42, 100))
+	if preds < 95 || hits != preds {
+		t.Errorf("hits=%d preds=%d, want near-perfect", hits, preds)
+	}
+}
+
+func TestLVPAlternatingStreamMisses(t *testing.T) {
+	p := NewLVP(4)
+	p.ConfThreshold = 0
+	vals := make([]int64, 100)
+	for i := range vals {
+		vals[i] = int64(i % 2)
+	}
+	hits, _ := drive(p, 0, vals)
+	if hits != 0 {
+		t.Errorf("alternating stream got %d LVP hits, want 0", hits)
+	}
+}
+
+func TestLVPConfidenceSuppresses(t *testing.T) {
+	p := NewLVP(4)
+	p.ConfThreshold = 2
+	vals := make([]int64, 100)
+	for i := range vals {
+		vals[i] = int64(i) // never repeats
+	}
+	_, preds := drive(p, 0, vals)
+	if preds != 0 {
+		t.Errorf("confidence failed to suppress: %d predictions", preds)
+	}
+}
+
+func TestLVPTagConflict(t *testing.T) {
+	p := NewLVP(2) // 4 entries: pc 1 and 5 collide
+	drive(p, 1, repeat(7, 10))
+	if _, ok := p.Predict(5); ok {
+		t.Error("tag mismatch predicted anyway")
+	}
+	drive(p, 5, repeat(9, 10))
+	if v, ok := p.Predict(5); !ok || v != 9 {
+		t.Errorf("after retrain: %d,%v", v, ok)
+	}
+}
+
+func TestStridePredictsSequences(t *testing.T) {
+	p := NewStride(4)
+	vals := make([]int64, 100)
+	for i := range vals {
+		vals[i] = int64(i * 8) // stride 8
+	}
+	hits, _ := drive(p, 0, vals)
+	if hits < 95 {
+		t.Errorf("stride hits = %d, want ≥95", hits)
+	}
+	// Zero stride = last-value behaviour.
+	p2 := NewStride(4)
+	hits2, _ := drive(p2, 0, repeat(5, 100))
+	if hits2 < 95 {
+		t.Errorf("zero-stride hits = %d", hits2)
+	}
+}
+
+func TestStrideBreaksOnChange(t *testing.T) {
+	p := NewStride(4)
+	drive(p, 0, []int64{0, 8, 16, 24})
+	if v, ok := p.Predict(0); !ok || v != 32 {
+		t.Fatalf("predict = %d,%v want 32", v, ok)
+	}
+	p.Update(0, 100) // stride broken
+	if _, ok := p.Predict(0); ok {
+		t.Error("still confident after stride break")
+	}
+}
+
+func TestTwoLevelLearnsPattern(t *testing.T) {
+	// Periodic pattern 1,2,3,4 repeating: stride fails, context learns.
+	p := NewTwoLevel(4)
+	var vals []int64
+	for i := 0; i < 100; i++ {
+		vals = append(vals, int64(i%4+1))
+	}
+	hits, _ := drive(p, 0, vals)
+	if hits < 70 {
+		t.Errorf("2-level hits on periodic pattern = %d, want ≥70", hits)
+	}
+	s := NewStride(4)
+	sh, _ := drive(s, 0, vals)
+	if sh >= hits {
+		t.Errorf("stride (%d) should lose to 2-level (%d) on periodic data", sh, hits)
+	}
+}
+
+func TestHybridBeatsComponents(t *testing.T) {
+	// Two sites: one strided, one periodic. The hybrid should do well
+	// on both; measure combined hits.
+	run := func(p Predictor) int {
+		total := 0
+		for i := 0; i < 200; i++ {
+			for site, v := range map[int]int64{1: int64(i * 4), 2: int64(i%4 + 10)} {
+				if got, ok := p.Predict(site); ok && got == v {
+					total++
+				}
+				p.Update(site, v)
+			}
+		}
+		return total
+	}
+	hybrid := run(NewHybrid("h", NewStride(6), NewTwoLevel(6)))
+	stride := run(NewStride(6))
+	two := run(NewTwoLevel(6))
+	if hybrid < stride || hybrid < two {
+		t.Errorf("hybrid=%d stride=%d 2level=%d; hybrid should dominate", hybrid, stride, two)
+	}
+}
+
+// Property: predictors never panic and stats stay consistent on random
+// streams.
+func TestPredictorsRobust(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		preds := StandardSuite(4)
+		for i := 0; i < 500; i++ {
+			pc := r.Intn(64)
+			v := int64(r.Intn(8))
+			for _, p := range preds {
+				p.Predict(pc)
+				p.Update(pc, v)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+const predSrc = `
+        .proc main
+main:   li s0, 2000
+        li s1, 0
+loop:   li t1, 42
+        addi s1, s1, 8
+        addi s0, s0, -1
+        bne s0, loop
+        syscall exit
+        .endproc
+`
+
+func TestEvaluatorOnProgram(t *testing.T) {
+	prog, err := asm.Assemble(predSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := NewEvaluator(StandardSuite(8)...)
+	if _, err := atom.Run(prog, nil, false, ev); err != nil {
+		t.Fatal(err)
+	}
+	res := ev.Results()
+	if len(res) != 5 {
+		t.Fatalf("results = %d", len(res))
+	}
+	byName := map[string]*Stats{}
+	for _, s := range res {
+		byName[s.Name] = s
+	}
+	// The constant site favours LVP; the strided site favours stride;
+	// stride subsumes both here.
+	if byName["stride"].HitRate() < 0.9 {
+		t.Errorf("stride hit rate = %v", byName["stride"].HitRate())
+	}
+	if byName["lvp"].HitRate() < 0.3 {
+		t.Errorf("lvp hit rate = %v (constant site should hit)", byName["lvp"].HitRate())
+	}
+	if byName["hybrid-lvp-stride"].HitRate() < byName["lvp"].HitRate()-0.01 {
+		t.Errorf("hybrid (%v) worse than lvp (%v)", byName["hybrid-lvp-stride"].HitRate(), byName["lvp"].HitRate())
+	}
+	ordered := SortedByHitRate(res)
+	for i := 1; i < len(ordered); i++ {
+		if ordered[i-1].HitRate() < ordered[i].HitRate() {
+			t.Error("SortedByHitRate not sorted")
+		}
+	}
+}
+
+func TestProfileGuidedFiltering(t *testing.T) {
+	prog, err := asm.Assemble(predSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First pass: value profile.
+	vp, err := core.NewValueProfiler(core.Options{TNV: core.DefaultTNVConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := atom.Run(prog, nil, false, vp); err != nil {
+		t.Fatal(err)
+	}
+	profile := vp.Profile()
+
+	// Second pass: unfiltered vs profile-filtered LVP.
+	unf := NewEvaluator(NewLVP(8))
+	if _, err := atom.Run(prog, nil, false, unf); err != nil {
+		t.Fatal(err)
+	}
+	flt := NewEvaluator(NewLVP(8))
+	flt.PredictPC = FilterFromProfile(profile, 0.9)
+	if _, err := atom.Run(prog, nil, false, flt); err != nil {
+		t.Fatal(err)
+	}
+	u, f := unf.Results()[0], flt.Results()[0]
+	if f.Attempts >= u.Attempts {
+		t.Errorf("filtering did not reduce attempts: %d vs %d", f.Attempts, u.Attempts)
+	}
+	if f.Accuracy() < u.Accuracy() {
+		t.Errorf("filtered accuracy %v < unfiltered %v", f.Accuracy(), u.Accuracy())
+	}
+	if f.Misses > u.Misses {
+		t.Errorf("filtered misses %d > unfiltered %d", f.Misses, u.Misses)
+	}
+}
+
+func TestStatsMath(t *testing.T) {
+	s := &Stats{Name: "x", Attempts: 100, Predictions: 80, Hits: 60, Misses: 20}
+	if s.HitRate() != 0.6 || s.Accuracy() != 0.75 || s.MissRate() != 0.2 {
+		t.Errorf("stats math wrong: %v %v %v", s.HitRate(), s.Accuracy(), s.MissRate())
+	}
+	empty := &Stats{Name: "e"}
+	if empty.HitRate() != 0 || empty.Accuracy() != 0 || empty.MissRate() != 0 {
+		t.Error("empty stats should be zero")
+	}
+}

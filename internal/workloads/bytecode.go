@@ -1,0 +1,121 @@
+package workloads
+
+// bytecode models the interpreter loops of 130.li and 134.perl: a
+// stack-based bytecode VM whose fetch-decode-dispatch loop is dominated
+// by highly invariant opcode loads and nearly constant operand values.
+// main assembles two bytecode routines (sum of squares mod m, and a
+// Collatz-length loop) and interprets them repeatedly.
+const bytecodeSrc = `
+// Bytecode opcodes.
+// 0 HALT | 1 PUSH imm | 2 LOAD slot | 3 STORE slot | 4 ADD | 5 SUB
+// 6 MUL | 7 MOD | 8 LT | 9 JNZ addr | 10 JMP addr | 11 DUP | 12 EQ
+// 13 AND1 (x & 1) | 14 SHR1 (x >> 1)
+
+int code[256];
+int stack[64];
+int slots[16];
+int codeLen;
+
+func emit(op, arg) {
+    code[codeLen] = op * 65536 + arg;
+    codeLen = codeLen + 1;
+}
+
+// Interpret until HALT; returns top of stack at halt (or 0).
+func run() {
+    var pc = 0; var sp = 0; var op; var arg; var w;
+    while (1) {
+        w = code[pc];
+        op = w / 65536;
+        arg = w % 65536;
+        pc = pc + 1;
+        if (op == 0) {
+            if (sp > 0) { return stack[sp - 1]; }
+            return 0;
+        }
+        if (op == 1) { stack[sp] = arg; sp = sp + 1; continue; }
+        if (op == 2) { stack[sp] = slots[arg]; sp = sp + 1; continue; }
+        if (op == 3) { sp = sp - 1; slots[arg] = stack[sp]; continue; }
+        if (op == 4) { sp = sp - 1; stack[sp - 1] = stack[sp - 1] + stack[sp]; continue; }
+        if (op == 5) { sp = sp - 1; stack[sp - 1] = stack[sp - 1] - stack[sp]; continue; }
+        if (op == 6) { sp = sp - 1; stack[sp - 1] = stack[sp - 1] * stack[sp]; continue; }
+        if (op == 7) { sp = sp - 1; stack[sp - 1] = stack[sp - 1] % stack[sp]; continue; }
+        if (op == 8) { sp = sp - 1; stack[sp - 1] = stack[sp - 1] < stack[sp]; continue; }
+        if (op == 9) { sp = sp - 1; if (stack[sp] != 0) { pc = arg; } continue; }
+        if (op == 10) { pc = arg; continue; }
+        if (op == 11) { stack[sp] = stack[sp - 1]; sp = sp + 1; continue; }
+        if (op == 12) { sp = sp - 1; stack[sp - 1] = stack[sp - 1] == stack[sp]; continue; }
+        if (op == 13) { stack[sp - 1] = stack[sp - 1] & 1; continue; }
+        if (op == 14) { stack[sp - 1] = stack[sp - 1] >> 1; continue; }
+        return 0 - 1;
+    }
+    return 0;
+}
+
+// Routine 1: sum of i*i for i in [1,n], mod m.
+// slots: 0=i 1=acc 2=n 3=m
+func buildSumSquares(n, m) {
+    codeLen = 0;
+    slots[0] = 1; slots[1] = 0; slots[2] = n; slots[3] = m;
+    // loop:
+    emit(2, 0); emit(11, 0); emit(6, 0);      // i*i            @0,1,2
+    emit(2, 1); emit(4, 0);                   // + acc          @3,4
+    emit(2, 3); emit(7, 0);                   // % m            @5,6
+    emit(3, 1);                               // acc =          @7
+    emit(2, 0); emit(1, 1); emit(4, 0); emit(3, 0);  // i=i+1   @8..11
+    emit(2, 0); emit(2, 2); emit(8, 0);       // i < n ?        @12,13,14
+    emit(9, 0);                               // jnz loop       @15
+    emit(2, 1);                               // push acc       @16
+    emit(0, 0);                               // halt           @17
+}
+
+// Routine 2: Collatz chain length of n.
+// slots: 0=n 1=len
+func buildCollatz(n) {
+    codeLen = 0;
+    slots[0] = n; slots[1] = 0;
+    emit(2, 0); emit(1, 1); emit(12, 0);      // loop: n == 1   @0,1,2
+    emit(9, 22);                              // jnz end        @3
+    emit(2, 0); emit(13, 0);                  // n & 1          @4,5
+    emit(9, 11);                              // jnz odd        @6
+    emit(2, 0); emit(14, 0); emit(3, 0);      // n = n >> 1     @7,8,9
+    emit(10, 17);                             // jmp step       @10
+    emit(2, 0); emit(1, 3); emit(6, 0);       // odd: n*3       @11,12,13
+    emit(1, 1); emit(4, 0);                   // +1             @14,15
+    emit(3, 0);                               // n =            @16
+    emit(2, 1); emit(1, 1); emit(4, 0); emit(3, 1); // step: len=len+1 @17..20
+    emit(10, 0);                              // jmp loop       @21
+    emit(2, 1);                               // end: push len  @22
+    emit(0, 0);                               // halt           @23
+}
+
+func main() {
+    var seed = getint();
+    var iters = getint();
+    var acc = 0; var k; var r = seed;
+    for (k = 0; k < iters; k = k + 1) {
+        r = (r * 1103515245 + 12345) & 2147483647;
+        buildSumSquares(50 + (r & 63), 9973);
+        acc = (acc + run()) & 0xFFFFFF;
+    }
+    putint(acc); putchar(' ');
+    acc = 0;
+    for (k = 0; k < iters; k = k + 1) {
+        r = (r * 1103515245 + 12345) & 2147483647;
+        buildCollatz(3 + (r & 1023));
+        acc = (acc + run()) & 0xFFFFFF;
+    }
+    putint(acc);
+    putchar(10);
+}
+`
+
+func init() {
+	register(&Workload{
+		Name:        "bytecode",
+		Description: "stack bytecode interpreter (models 130.li / 134.perl)",
+		Source:      bytecodeSrc,
+		Test:        Input{Name: "test", Args: []int64{7, 60}, Want: "302059 3887\n"},
+		Train:       Input{Name: "train", Args: []int64{1234577, 90}, Want: "434284 4913\n"},
+	})
+}

@@ -1,0 +1,102 @@
+package workloads
+
+// compress models 129.compress: LZ77-style compression with a small
+// hash of recent 3-byte contexts over generated text with a skewed
+// character distribution. The hash-table loads and match-length values
+// are the classic semi-invariant sites.
+const compressSrc = `
+int inbuf[8192];
+int outbuf[16384];
+int hashtab[1024];
+
+int srcLen;
+
+func lcg(s) {
+    return (s * 1103515245 + 12345) & 2147483647;
+}
+
+// Generate text with an English-like skew: lots of spaces and 'e'.
+func gen(seed, len) {
+    var i; var r = seed;
+    for (i = 0; i < len; i = i + 1) {
+        r = lcg(r);
+        var v = (r >> 16) & 255;
+        if (v < 64) { inbuf[i] = ' '; }
+        else if (v < 128) { inbuf[i] = 'e'; }
+        else if (v < 160) { inbuf[i] = 't'; }
+        else if (v < 208) { inbuf[i] = 'a' + (v & 7); }
+        else { inbuf[i] = '!' + (v & 63); }
+    }
+    srcLen = len;
+}
+
+func hash3(a, b, c) {
+    return ((a * 33 + b) * 33 + c) & 1023;
+}
+
+// LZ77 with 3-byte-context hash; emits (255, len, dist) triples for
+// matches and literals otherwise. Returns the output length.
+func compress() {
+    var i = 0; var out = 0; var h; var cand; var mlen; var limit;
+    while (i < srcLen) {
+        if (i + 3 <= srcLen) {
+            h = hash3(inbuf[i], inbuf[i+1], inbuf[i+2]);
+            cand = hashtab[h] - 1;
+            hashtab[h] = i + 1;
+            if (cand >= 0 && cand < i && i - cand < 4096) {
+                mlen = 0;
+                limit = srcLen - i;
+                if (limit > 250) { limit = 250; }
+                while (mlen < limit && inbuf[cand + mlen] == inbuf[i + mlen]) {
+                    mlen = mlen + 1;
+                }
+                if (mlen >= 3) {
+                    outbuf[out] = 255; out = out + 1;
+                    outbuf[out] = mlen; out = out + 1;
+                    outbuf[out] = i - cand; out = out + 1;
+                    i = i + mlen;
+                    continue;
+                }
+            }
+        }
+        outbuf[out] = inbuf[i];
+        out = out + 1;
+        i = i + 1;
+    }
+    return out;
+}
+
+func checksum(buf[], n) {
+    var s = 0; var i;
+    for (i = 0; i < n; i = i + 1) {
+        s = (s * 131 + buf[i]) & 0xFFFFFFF;
+    }
+    return s;
+}
+
+func main() {
+    var seed = getint();
+    var len = getint();
+    var reps = getint();
+    var r; var outLen = 0; var sum = 0; var i;
+    for (r = 0; r < reps; r = r + 1) {
+        gen(seed + r * 7, len);
+        for (i = 0; i < 1024; i = i + 1) { hashtab[i] = 0; }
+        outLen = compress();
+        sum = (sum + checksum(outbuf, outLen)) & 0xFFFFFFF;
+        putint(outLen); putchar(' ');
+    }
+    putint(sum);
+    putchar(10);
+}
+`
+
+func init() {
+	register(&Workload{
+		Name:        "compress",
+		Description: "LZ77 compression of skewed text (models 129.compress)",
+		Source:      compressSrc,
+		Test:        Input{Name: "test", Args: []int64{12345, 3000, 3}, Want: "2897 2916 2918 75310783\n"},
+		Train:       Input{Name: "train", Args: []int64{99991, 4500, 4}, Want: "4357 4336 4362 4344 87127435\n"},
+	})
+}

@@ -1,0 +1,99 @@
+package workloads
+
+// dictv models 147.vortex: an object-store transaction mix against an
+// open-addressing hash table — inserts, lookups and deletes with a
+// skewed (hot-key) distribution, plus probe-length accounting. Table
+// metadata loads (size, mask) are fully invariant; key loads are
+// semi-invariant because of the hot-key skew.
+const dictvSrc = `
+int keys[2048];    // 0 empty, -1 tombstone, else key+1
+int vals[2048];
+int count;
+int probes;
+
+func hash(k) {
+    k = k * 2654435761;
+    k = k & 0x7FFFFFFF;
+    return (k >> 8) & 2047;
+}
+
+// Returns slot of key, or -1.
+func find(k) {
+    var h = hash(k); var i = 0;
+    while (i < 2048) {
+        var slot = (h + i) & 2047;
+        var kv = keys[slot];
+        probes = probes + 1;
+        if (kv == 0) { return 0 - 1; }
+        if (kv == k + 1) { return slot; }
+        i = i + 1;
+    }
+    return 0 - 1;
+}
+
+func insert(k, v) {
+    var h = hash(k); var i = 0; var firstFree = 0 - 1;
+    while (i < 2048) {
+        var slot = (h + i) & 2047;
+        var kv = keys[slot];
+        probes = probes + 1;
+        if (kv == k + 1) { vals[slot] = v; return 0; }
+        if (kv == 0) {
+            if (firstFree >= 0) { slot = firstFree; }
+            keys[slot] = k + 1;
+            vals[slot] = v;
+            count = count + 1;
+            return 1;
+        }
+        if (kv == -1 && firstFree < 0) { firstFree = slot; }
+        i = i + 1;
+    }
+    return 0 - 1;
+}
+
+func remove(k) {
+    var slot = find(k);
+    if (slot < 0) { return 0; }
+    keys[slot] = -1;
+    count = count - 1;
+    return 1;
+}
+
+func main() {
+    var seed = getint();
+    var ops = getint();
+    var r = seed; var i; var hits = 0; var sum = 0;
+    for (i = 0; i < ops; i = i + 1) {
+        r = (r * 1103515245 + 12345) & 2147483647;
+        var kind = (r >> 20) % 10;
+        r = (r * 1103515245 + 12345) & 2147483647;
+        var k;
+        // 70% of keys come from a hot set of 64.
+        if ((r >> 8) % 10 < 7) { k = 1 + ((r >> 13) & 63); }
+        else { k = 1 + ((r >> 13) % 1500); }
+        if (kind < 5) {
+            insert(k, i);
+        } else if (kind < 8) {
+            var slot = find(k);
+            if (slot >= 0) { hits = hits + 1; sum = (sum + vals[slot]) & 0xFFFFFF; }
+        } else {
+            remove(k);
+        }
+    }
+    putint(count); putchar(' ');
+    putint(hits); putchar(' ');
+    putint(sum); putchar(' ');
+    putint(probes);
+    putchar(10);
+}
+`
+
+func init() {
+	register(&Workload{
+		Name:        "dictv",
+		Description: "hash-table transaction mix with hot keys (models 147.vortex)",
+		Test:        Input{Name: "test", Args: []int64{31337, 9000}, Want: "798 1600 6913483 12014\n"},
+		Train:       Input{Name: "train", Args: []int64{271828, 14000}, Want: "935 2559 431622 20098\n"},
+		Source:      dictvSrc,
+	})
+}

@@ -1,0 +1,129 @@
+package workloads
+
+// gosearch models 099.go: repeated whole-board scans of a 9x9 game
+// board, scoring every empty point by local patterns (neighbour stones,
+// liberties, edge proximity) and greedily playing the best move for
+// alternating colours. Board loads are highly invariant (mostly empty /
+// stable stones), as the paper observed for go.
+const gosearchSrc = `
+int board[81];     // 0 empty, 1 black, 2 white
+int libtmp[81];
+
+func at(r, c) {
+    if (r < 0 || r > 8 || c < 0 || c > 8) { return 3; }  // border
+    return board[r * 9 + c];
+}
+
+// Pseudo-liberties of the stone group seed at (r,c), bounded flood fill
+// using an explicit stack.
+int fsR[96];
+int fsC[96];
+func liberties(r, c) {
+    var color = at(r, c);
+    var i;
+    for (i = 0; i < 81; i = i + 1) { libtmp[i] = 0; }
+    var sp = 0; var libs = 0;
+    fsR[sp] = r; fsC[sp] = c; sp = sp + 1;
+    libtmp[r * 9 + c] = 1;
+    while (sp > 0) {
+        sp = sp - 1;
+        var cr = fsR[sp]; var cc = fsC[sp];
+        var d;
+        for (d = 0; d < 4; d = d + 1) {
+            var nr = cr; var nc = cc;
+            if (d == 0) { nr = cr - 1; }
+            if (d == 1) { nr = cr + 1; }
+            if (d == 2) { nc = cc - 1; }
+            if (d == 3) { nc = cc + 1; }
+            var v = at(nr, nc);
+            if (v == 3) { continue; }
+            var idx = nr * 9 + nc;
+            if (libtmp[idx] != 0) { continue; }
+            libtmp[idx] = 1;
+            if (v == 0) { libs = libs + 1; }
+            else if (v == color && sp < 90) {
+                fsR[sp] = nr; fsC[sp] = nc; sp = sp + 1;
+            }
+        }
+    }
+    return libs;
+}
+
+// Score a candidate move for color at (r,c): prefers touching friendly
+// stones with liberties, attacking short-liberty enemies, and the
+// 3rd-line sweet spot.
+func score(r, c, color) {
+    var s = 0; var d;
+    var enemy = 3 - color;
+    for (d = 0; d < 4; d = d + 1) {
+        var nr = r; var nc = c;
+        if (d == 0) { nr = r - 1; }
+        if (d == 1) { nr = r + 1; }
+        if (d == 2) { nc = c - 1; }
+        if (d == 3) { nc = c + 1; }
+        var v = at(nr, nc);
+        if (v == color) { s = s + 4 + liberties(nr, nc); }
+        if (v == enemy) {
+            var l = liberties(nr, nc);
+            if (l <= 1) { s = s + 20; }
+            else { s = s + 6 - l; }
+        }
+        if (v == 3) { s = s - 2; }
+    }
+    var er = r; var ec = c;
+    if (er > 4) { er = 8 - er; }
+    if (ec > 4) { ec = 8 - ec; }
+    if (er == 2 || ec == 2) { s = s + 3; }
+    return s;
+}
+
+func playGame(seed, moves) {
+    var i;
+    for (i = 0; i < 81; i = i + 1) { board[i] = 0; }
+    var r = seed; var m; var color = 1; var total = 0;
+    // A few random stones to diversify positions.
+    for (m = 0; m < 6; m = m + 1) {
+        r = (r * 1103515245 + 12345) & 2147483647;
+        var p = r % 81;
+        if (board[p] == 0) { board[p] = 1 + (m & 1); }
+    }
+    for (m = 0; m < moves; m = m + 1) {
+        var best = 0 - 1000; var bestP = 0 - 1;
+        var p;
+        for (p = 0; p < 81; p = p + 1) {
+            if (board[p] != 0) { continue; }
+            var sc = score(p / 9, p % 9, color);
+            // deterministic tie-break jitter
+            sc = sc * 16 + (p * 7 + m) % 16;
+            if (sc > best) { best = sc; bestP = p; }
+        }
+        if (bestP < 0) { break; }
+        board[bestP] = color;
+        total = total + best;
+        color = 3 - color;
+    }
+    return total;
+}
+
+func main() {
+    var seed = getint();
+    var games = getint();
+    var movesPerGame = getint();
+    var g; var acc = 0;
+    for (g = 0; g < games; g = g + 1) {
+        acc = (acc + playGame(seed + g * 31, movesPerGame)) & 0xFFFFFF;
+    }
+    putint(acc);
+    putchar(10);
+}
+`
+
+func init() {
+	register(&Workload{
+		Name:        "gosearch",
+		Description: "9x9 board-game greedy move search (models 099.go)",
+		Source:      gosearchSrc,
+		Test:        Input{Name: "test", Args: []int64{11, 2, 18}, Want: "11500\n"},
+		Train:       Input{Name: "train", Args: []int64{777, 3, 22}, Want: "24205\n"},
+	})
+}

@@ -1,0 +1,94 @@
+package workloads
+
+// imagef models 132.ijpeg: image generation, 3x3 convolution passes,
+// quantization against a constant table, and a histogram. Kernel
+// weights and quantization thresholds are invariant loads; pixel values
+// are variant — the mix the paper saw for image codecs.
+const imagefSrc = `
+int img[2304];     // 48x48
+int tmp[2304];
+int kern[9];
+int quant[16];
+int hist[16];
+
+int W;
+
+func pix(buf[], r, c) {
+    if (r < 0) { r = 0; }
+    if (c < 0) { c = 0; }
+    if (r >= W) { r = W - 1; }
+    if (c >= W) { c = W - 1; }
+    return buf[r * W + c];
+}
+
+func genImage(seed) {
+    var r = seed; var i;
+    for (i = 0; i < W * W; i = i + 1) {
+        r = (r * 1103515245 + 12345) & 2147483647;
+        // smooth-ish gradient plus noise
+        img[i] = ((i / W) * 3 + (i % W) * 2 + ((r >> 12) & 31)) % 256;
+    }
+}
+
+func convolve() {
+    var r; var c; var k;
+    for (r = 0; r < W; r = r + 1) {
+        for (c = 0; c < W; c = c + 1) {
+            var acc = 0;
+            for (k = 0; k < 9; k = k + 1) {
+                acc = acc + kern[k] * pix(img, r + k / 3 - 1, c + k % 3 - 1);
+            }
+            acc = acc / 16;
+            if (acc < 0) { acc = 0; }
+            if (acc > 255) { acc = 255; }
+            tmp[r * W + c] = acc;
+        }
+    }
+    for (r = 0; r < W * W; r = r + 1) { img[r] = tmp[r]; }
+}
+
+func quantize() {
+    var i; var q;
+    for (i = 0; i < 16; i = i + 1) { hist[i] = 0; }
+    for (i = 0; i < W * W; i = i + 1) {
+        q = 0;
+        while (q < 15 && img[i] >= quant[q]) { q = q + 1; }
+        hist[q] = hist[q] + 1;
+    }
+}
+
+func main() {
+    var seed = getint();
+    var passes = getint();
+    W = 48;
+    // Gaussian-ish kernel, sums to 16.
+    kern[0] = 1; kern[1] = 2; kern[2] = 1;
+    kern[3] = 2; kern[4] = 4; kern[5] = 2;
+    kern[6] = 1; kern[7] = 2; kern[8] = 1;
+    var i;
+    for (i = 0; i < 16; i = i + 1) { quant[i] = 16 * (i + 1); }
+    genImage(seed);
+    var p;
+    for (p = 0; p < passes; p = p + 1) {
+        convolve();
+    }
+    quantize();
+    var sum = 0;
+    for (i = 0; i < 16; i = i + 1) {
+        putint(hist[i]); putchar(' ');
+        sum = (sum * 17 + hist[i]) & 0xFFFFFF;
+    }
+    putint(sum);
+    putchar(10);
+}
+`
+
+func init() {
+	register(&Workload{
+		Name:        "imagef",
+		Description: "48x48 image convolution and quantization (models 132.ijpeg)",
+		Source:      imagefSrc,
+		Test:        Input{Name: "test", Args: []int64{2024, 3}, Want: "2 34 72 121 140 232 228 252 261 249 246 164 147 107 49 0 13188304\n"},
+		Train:       Input{Name: "train", Args: []int64{555555, 4}, Want: "0 37 82 106 160 196 244 270 246 274 210 183 134 105 54 3 10221472\n"},
+	})
+}

@@ -1,0 +1,69 @@
+package workloads
+
+// lifegrid runs Conway's Game of Life on a toroidal 40x40 grid. Cell
+// loads are strongly skewed toward 0 (sparse populations), making it a
+// good %Zero stressor, and the rule constants are invariant.
+const lifegridSrc = `
+int grid[1600];
+int next[1600];
+
+int N;
+
+func idx(r, c) {
+    if (r < 0) { r = r + N; }
+    if (r >= N) { r = r - N; }
+    if (c < 0) { c = c + N; }
+    if (c >= N) { c = c - N; }
+    return r * N + c;
+}
+
+func stepGen() {
+    var r; var c;
+    var pop = 0;
+    for (r = 0; r < N; r = r + 1) {
+        for (c = 0; c < N; c = c + 1) {
+            var nb = grid[idx(r-1,c-1)] + grid[idx(r-1,c)] + grid[idx(r-1,c+1)]
+                   + grid[idx(r,c-1)]                      + grid[idx(r,c+1)]
+                   + grid[idx(r+1,c-1)] + grid[idx(r+1,c)] + grid[idx(r+1,c+1)];
+            var alive = grid[r * N + c];
+            var out = 0;
+            if (alive == 1 && (nb == 2 || nb == 3)) { out = 1; }
+            if (alive == 0 && nb == 3) { out = 1; }
+            next[r * N + c] = out;
+            pop = pop + out;
+        }
+    }
+    for (r = 0; r < N * N; r = r + 1) { grid[r] = next[r]; }
+    return pop;
+}
+
+func main() {
+    var seed = getint();
+    var gens = getint();
+    var fillPct = getint();
+    N = 40;
+    var r = seed; var i;
+    for (i = 0; i < N * N; i = i + 1) {
+        r = (r * 1103515245 + 12345) & 2147483647;
+        if ((r >> 16) % 100 < fillPct) { grid[i] = 1; } else { grid[i] = 0; }
+    }
+    var g; var pop = 0; var sum = 0;
+    for (g = 0; g < gens; g = g + 1) {
+        pop = stepGen();
+        sum = (sum * 13 + pop) & 0xFFFFFF;
+        if (g % 4 == 0) { putint(pop); putchar(' '); }
+    }
+    putint(sum);
+    putchar(10);
+}
+`
+
+func init() {
+	register(&Workload{
+		Name:        "lifegrid",
+		Description: "Game of Life on a 40x40 torus (loop-heavy, zero-skewed loads)",
+		Source:      lifegridSrc,
+		Test:        Input{Name: "test", Args: []int64{90125, 10, 30}, Want: "562 419 387 285140\n"},
+		Train:       Input{Name: "train", Args: []int64{65537, 14, 35}, Want: "602 443 359 366 14975269\n"},
+	})
+}

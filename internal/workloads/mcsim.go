@@ -1,0 +1,97 @@
+package workloads
+
+// mcsim models 124.m88ksim: a simulator for a tiny 16-register machine
+// whose instruction words are decoded with field arithmetic. The
+// simulated program computes gcd chains; the simulator's decode fields
+// (opcode, register numbers) are the paper's canonical semi-invariant
+// instruction results.
+const mcsimSrc = `
+// Simulated machine: 16 registers, word-encoded instructions
+//   word = op*4096 + rd*256 + ra*16 + rb
+// ops: 0 HALT | 1 LI rd,(ra*16+rb as 8-bit imm) | 2 ADD | 3 SUB
+//      4 MUL | 5 REM | 6 BEQZ ra, target(rd*16+rb) | 7 BNEZ
+//      8 MOV rd, ra | 9 OUT ra (accumulate checksum)
+
+int imem[128];
+int regs[16];
+int nout;
+int outsum;
+
+func enc(op, rd, ra, rb) {
+    return ((op * 16 + rd) * 16 + ra) * 16 + rb;
+}
+
+// gcd program:
+//   r1 = a (set by driver), r2 = b
+//   loop(@0): beqz r2 -> @4
+//     r3 = r1 % r2 ; r1 = r2 ; r2 = r3 ; jmp loop
+//   @4: out r1; halt
+func buildGcd() {
+    imem[0] = enc(6, 0, 2, 5);   // beqz r2, 5   (target = 0*16+5)
+    imem[1] = enc(5, 3, 1, 2);   // r3 = r1 rem r2
+    imem[2] = enc(8, 1, 2, 0);   // r1 = r2
+    imem[3] = enc(8, 2, 3, 0);   // r2 = r3
+    imem[4] = enc(7, 0, 1, 0);   // bnez r1, 0   (loop; r1 never 0 here)
+    imem[5] = enc(9, 0, 1, 0);   // out r1
+    imem[6] = enc(0, 0, 0, 0);   // halt
+}
+
+func sim(maxSteps) {
+    var pc = 0; var steps = 0;
+    var w; var op; var rd; var ra; var rb;
+    while (steps < maxSteps) {
+        steps = steps + 1;
+        w = imem[pc];
+        op = w / 4096;
+        rd = (w / 256) % 16;
+        ra = (w / 16) % 16;
+        rb = w % 16;
+        pc = pc + 1;
+        if (op == 0) { return steps; }
+        if (op == 1) { regs[rd] = ra * 16 + rb; continue; }
+        if (op == 2) { regs[rd] = regs[ra] + regs[rb]; continue; }
+        if (op == 3) { regs[rd] = regs[ra] - regs[rb]; continue; }
+        if (op == 4) { regs[rd] = regs[ra] * regs[rb]; continue; }
+        if (op == 5) { regs[rd] = regs[ra] % regs[rb]; continue; }
+        if (op == 6) { if (regs[ra] == 0) { pc = rd * 16 + rb; } continue; }
+        if (op == 7) { if (regs[ra] != 0) { pc = rd * 16 + rb; } continue; }
+        if (op == 8) { regs[rd] = regs[ra]; continue; }
+        if (op == 9) {
+            outsum = (outsum * 31 + regs[ra]) & 0xFFFFFF;
+            nout = nout + 1;
+            continue;
+        }
+        return 0 - steps;
+    }
+    return steps;
+}
+
+func main() {
+    var seed = getint();
+    var pairs = getint();
+    var r = seed; var i; var a; var b; var totalSteps = 0;
+    buildGcd();
+    for (i = 0; i < pairs; i = i + 1) {
+        r = (r * 1103515245 + 12345) & 2147483647;
+        a = 1 + (r % 9973);
+        r = (r * 1103515245 + 12345) & 2147483647;
+        b = 1 + (r % 9973);
+        regs[1] = a; regs[2] = b;
+        totalSteps = totalSteps + sim(100000);
+    }
+    putint(nout); putchar(' ');
+    putint(outsum); putchar(' ');
+    putint(totalSteps);
+    putchar(10);
+}
+`
+
+func init() {
+	register(&Workload{
+		Name:        "mcsim",
+		Description: "register-machine simulator running gcd chains (models 124.m88ksim)",
+		Source:      mcsimSrc,
+		Test:        Input{Name: "test", Args: []int64{42, 400}, Want: "400 9496244 16775\n"},
+		Train:       Input{Name: "train", Args: []int64{987654321, 600}, Want: "600 4335816 25515\n"},
+	})
+}

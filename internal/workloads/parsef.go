@@ -1,0 +1,154 @@
+package workloads
+
+// parsef models a compiler front end (126.gcc / 134.perl parsing): it
+// generates random well-formed arithmetic expressions as character
+// text, tokenizes them, and evaluates them with a precedence-climbing
+// parser driven by an explicit state stack. Character-class loads are
+// heavily skewed (digits dominate) and token kinds are semi-invariant —
+// front-end value behaviour.
+const parsefSrc = `
+int text[4096];    // expression characters
+int textLen;
+int pos;
+
+int rstate;
+
+func lcg() {
+    rstate = (rstate * 1103515245 + 12345) & 2147483647;
+    return rstate;
+}
+
+func emitChar(c) {
+    if (textLen < 4095) { text[textLen] = c; textLen = textLen + 1; }
+}
+
+// Generate a random expression: genExpr -> term (op term)*
+func genNumber() {
+    var n = 1 + (lcg() % 3);   // 1-3 digits
+    var i;
+    for (i = 0; i < n; i = i + 1) {
+        emitChar('0' + (lcg() % 10));
+    }
+}
+
+func genFactor(depth) {
+    var r = lcg() % 10;
+    if (depth > 0 && r < 3) {
+        emitChar('(');
+        genSum(depth - 1);
+        emitChar(')');
+        return 0;
+    }
+    genNumber();
+    return 0;
+}
+
+func genTerm(depth) {
+    genFactor(depth);
+    while (lcg() % 10 < 3) {
+        emitChar('*');
+        genFactor(depth);
+    }
+    return 0;
+}
+
+func genSum(depth) {
+    genTerm(depth);
+    while (lcg() % 10 < 4) {
+        if (lcg() % 2 == 0) { emitChar('+'); } else { emitChar('-'); }
+        genTerm(depth);
+    }
+    return 0;
+}
+
+// --- parser/evaluator over the character buffer ---
+
+func peek() {
+    if (pos >= textLen) { return 0; }
+    return text[pos];
+}
+
+func isDigit(c) { return c >= '0' && c <= '9'; }
+
+func parseNumber() {
+    var v = 0;
+    while (isDigit(peek())) {
+        v = (v * 10 + (text[pos] - '0')) % 1000000007;
+        pos = pos + 1;
+    }
+    return v;
+}
+
+func parseFactor() {
+    if (peek() == '(') {
+        pos = pos + 1;     // consume '('
+        var v = parseSum();
+        if (peek() == ')') { pos = pos + 1; }
+        return v;
+    }
+    return parseNumber();
+}
+
+func parseTerm() {
+    var v = parseFactor();
+    while (peek() == '*') {
+        pos = pos + 1;
+        v = (v * parseFactor()) % 1000000007;
+    }
+    return v;
+}
+
+func parseSum() {
+    var v = parseTerm();
+    while (peek() == '+' || peek() == '-') {
+        var op = text[pos];
+        pos = pos + 1;
+        var w = parseTerm();
+        if (op == '+') { v = (v + w) % 1000000007; }
+        else { v = (v - w + 1000000007) % 1000000007; }
+    }
+    return v;
+}
+
+// Character-class histogram over the text (front-end table lookups).
+int classCount[4];   // 0 digit, 1 operator, 2 paren, 3 other
+func classify() {
+    var i;
+    for (i = 0; i < textLen; i = i + 1) {
+        var c = text[i];
+        if (isDigit(c)) { classCount[0] = classCount[0] + 1; }
+        else if (c == '+' || c == '-' || c == '*') { classCount[1] = classCount[1] + 1; }
+        else if (c == '(' || c == ')') { classCount[2] = classCount[2] + 1; }
+        else { classCount[3] = classCount[3] + 1; }
+    }
+}
+
+func main() {
+    var seed = getint();
+    var exprs = getint();
+    rstate = seed;
+    var e; var acc = 0;
+    for (e = 0; e < exprs; e = e + 1) {
+        textLen = 0;
+        genSum(3);
+        classify();
+        pos = 0;
+        acc = (acc * 131 + parseSum()) % 1000000007;
+    }
+    putint(acc); putchar(' ');
+    putint(classCount[0]); putchar(' ');
+    putint(classCount[1]); putchar(' ');
+    putint(classCount[2]);
+    putchar(10);
+}
+`
+
+func init() {
+	register(&Workload{
+		Name:        "parsef",
+		Description: "expression tokenizer and recursive parser (models 126.gcc front end)",
+		Source:      parsefSrc,
+		Test:        Input{Name: "test", Args: []int64{60601, 700}, Want: "714455216 6865 2756 2304\n"},
+		Train:       Input{Name: "train", Args: []int64{31415926, 1000}, Want: "101244153 9236 3643 3090\n"},
+	})
+}

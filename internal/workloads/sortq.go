@@ -1,0 +1,135 @@
+package workloads
+
+// sortq models the data-structure churn of 126.gcc: quicksort with
+// middle-element pivots over partially sorted data, heapsort over the
+// same data, then a binary-search probe phase. Comparison results and
+// loop bounds give the moderate-invariance profile typical of compiler
+// internals.
+const sortqSrc = `
+int a[4096];
+int b[4096];
+int stk[128];
+
+func lcg(s) { return (s * 1103515245 + 12345) & 2147483647; }
+
+// Mostly sorted data: identity plus k random swaps.
+func genData(n, seed, swaps) {
+    var i;
+    for (i = 0; i < n; i = i + 1) { a[i] = i * 3; }
+    var r = seed;
+    for (i = 0; i < swaps; i = i + 1) {
+        r = lcg(r);
+        var x = r % n;
+        r = lcg(r);
+        var y = r % n;
+        var t = a[x]; a[x] = a[y]; a[y] = t;
+    }
+}
+
+// Iterative quicksort with explicit stack, middle pivot.
+func quicksort(n) {
+    var sp = 0;
+    stk[sp] = 0; stk[sp + 1] = n - 1; sp = sp + 2;
+    while (sp > 0) {
+        sp = sp - 2;
+        var lo = stk[sp]; var hi = stk[sp + 1];
+        while (lo < hi) {
+            var i = lo; var j = hi;
+            var p = a[(lo + hi) / 2];
+            while (i <= j) {
+                while (a[i] < p) { i = i + 1; }
+                while (a[j] > p) { j = j - 1; }
+                if (i <= j) {
+                    var t = a[i]; a[i] = a[j]; a[j] = t;
+                    i = i + 1; j = j - 1;
+                }
+            }
+            // Recurse into the smaller side via the stack.
+            if (j - lo < hi - i) {
+                if (i < hi && sp < 126) { stk[sp] = i; stk[sp + 1] = hi; sp = sp + 2; }
+                hi = j;
+            } else {
+                if (lo < j && sp < 126) { stk[sp] = lo; stk[sp + 1] = j; sp = sp + 2; }
+                lo = i;
+            }
+        }
+    }
+}
+
+func siftDown(arr[], start, end) {
+    var root = start;
+    while (root * 2 + 1 <= end) {
+        var child = root * 2 + 1;
+        if (child + 1 <= end && arr[child] < arr[child + 1]) { child = child + 1; }
+        if (arr[root] < arr[child]) {
+            var t = arr[root]; arr[root] = arr[child]; arr[child] = t;
+            root = child;
+        } else { return 0; }
+    }
+    return 0;
+}
+
+func heapsort(arr[], n) {
+    var start = (n - 2) / 2;
+    while (start >= 0) {
+        siftDown(arr, start, n - 1);
+        start = start - 1;
+    }
+    var end = n - 1;
+    while (end > 0) {
+        var t = arr[end]; arr[end] = arr[0]; arr[0] = t;
+        end = end - 1;
+        siftDown(arr, 0, end);
+    }
+    return 0;
+}
+
+func bsearch(arr[], n, key) {
+    var lo = 0; var hi = n - 1;
+    while (lo <= hi) {
+        var mid = (lo + hi) / 2;
+        if (arr[mid] == key) { return mid; }
+        if (arr[mid] < key) { lo = mid + 1; }
+        else { hi = mid - 1; }
+    }
+    return 0 - 1;
+}
+
+func main() {
+    var seed = getint();
+    var n = getint();
+    var swaps = getint();
+    var lookups = getint();
+    genData(n, seed, swaps);
+    var i;
+    for (i = 0; i < n; i = i + 1) { b[i] = a[i]; }
+    quicksort(n);
+    heapsort(b, n);
+    // Both sorts must agree.
+    var agree = 1;
+    for (i = 0; i < n; i = i + 1) {
+        if (a[i] != b[i]) { agree = 0; }
+    }
+    var found = 0; var r = seed + 17;
+    for (i = 0; i < lookups; i = i + 1) {
+        r = lcg(r);
+        if (bsearch(a, n, (r % n) * 3) >= 0) { found = found + 1; }
+    }
+    var sum = 0;
+    for (i = 0; i < n; i = i + 1) { sum = (sum * 7 + a[i]) & 0xFFFFFF; }
+    putint(agree); putchar(' ');
+    putint(found); putchar(' ');
+    putint(sum);
+    putchar(10);
+}
+`
+
+func init() {
+	register(&Workload{
+		Name:        "sortq",
+		Description: "quicksort/heapsort/binary-search churn (models 126.gcc data structures)",
+		Source:      sortqSrc,
+		Test:        Input{Name: "test", Args: []int64{4242, 1500, 120, 400}, Want: "1 400 13719818\n"},
+		Train:       Input{Name: "train", Args: []int64{171717, 2500, 300, 700}, Want: "1 700 5475174\n"},
+	})
+}

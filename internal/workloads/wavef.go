@@ -1,0 +1,84 @@
+package workloads
+
+// wavef models the SPEC95 FP stencil codes (101.tomcatv / 104.hydro2d
+// class) in fixed-point arithmetic: a 1-D wave equation integrated over
+// many timesteps. Loads are smooth and strongly strided, the Courant
+// coefficient is invariant, and boundary cells are constant — the FP
+// value-profile the thesis contrasts with integer codes.
+const wavefSrc = `
+int u[512];
+int uPrev[512];
+int uNext[512];
+
+int N;
+int c2;    // Courant number squared, fixed-point /1024
+
+func stepWave() {
+    var i;
+    for (i = 1; i < N - 1; i = i + 1) {
+        var lap = u[i + 1] - 2 * u[i] + u[i - 1];
+        uNext[i] = 2 * u[i] - uPrev[i] + (c2 * lap) / 1024;
+    }
+    // Fixed (reflecting) boundaries.
+    uNext[0] = 0;
+    uNext[N - 1] = 0;
+    for (i = 0; i < N; i = i + 1) {
+        uPrev[i] = u[i];
+        u[i] = uNext[i];
+    }
+}
+
+func energy() {
+    var i; var e = 0;
+    for (i = 1; i < N; i = i + 1) {
+        var v = u[i] - uPrev[i];
+        var dx = u[i] - u[i - 1];
+        e = e + v * v + dx * dx;
+    }
+    return e;
+}
+
+func main() {
+    var seed = getint();
+    var steps = getint();
+    N = 384;
+    c2 = 900;   // stable: c^2 < 1024
+    var i; var r = seed;
+    // Initial condition: a few random gaussian-ish bumps.
+    for (i = 0; i < N; i = i + 1) { u[i] = 0; uPrev[i] = 0; }
+    var b;
+    for (b = 0; b < 4; b = b + 1) {
+        r = (r * 1103515245 + 12345) & 2147483647;
+        var center = 30 + (r % (N - 60));
+        var amp = 200 + ((r >> 8) & 255);
+        var w;
+        for (w = -12; w <= 12; w = w + 1) {
+            var h = amp * (144 - w * w) / 144;
+            if (h > 0) {
+                u[center + w] = u[center + w] + h;
+                uPrev[center + w] = uPrev[center + w] + h;
+            }
+        }
+    }
+    var s; var sum = 0;
+    for (s = 0; s < steps; s = s + 1) {
+        stepWave();
+        if (s % 16 == 0) {
+            sum = (sum * 31 + energy()) & 0xFFFFFF;
+            putint(sum & 0xFFF); putchar(' ');
+        }
+    }
+    putint(sum);
+    putchar(10);
+}
+`
+
+func init() {
+	register(&Workload{
+		Name:        "wavef",
+		Description: "fixed-point 1-D wave equation stencil (models SPEC95 FP codes)",
+		Source:      wavefSrc,
+		Test:        Input{Name: "test", Args: []int64{4242, 96}, Want: "4090 2891 1557 1800 2444 3977 7049097\n"},
+		Train:       Input{Name: "train", Args: []int64{987001, 144}, Want: "2602 355 3579 3565 66 3875 1873 499 1002 11142122\n"},
+	})
+}

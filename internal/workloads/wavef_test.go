@@ -1,0 +1,102 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestWavefAgainstReference recomputes the wave-equation output with an
+// independent Go implementation of the same fixed-point scheme.
+func TestWavefAgainstReference(t *testing.T) {
+	ref := func(seed, steps int64) string {
+		const N = 384
+		const c2 = 900
+		u := make([]int64, N)
+		uPrev := make([]int64, N)
+		uNext := make([]int64, N)
+		r := seed
+		for b := 0; b < 4; b++ {
+			r = lcgRef(r)
+			center := 30 + r%(N-60)
+			amp := 200 + ((r >> 8) & 255)
+			for w := int64(-12); w <= 12; w++ {
+				h := amp * (144 - w*w) / 144
+				if h > 0 {
+					u[center+w] += h
+					uPrev[center+w] += h
+				}
+			}
+		}
+		energy := func() int64 {
+			var e int64
+			for i := 1; i < N; i++ {
+				v := u[i] - uPrev[i]
+				dx := u[i] - u[i-1]
+				e += v*v + dx*dx
+			}
+			return e
+		}
+		var out strings.Builder
+		var sum int64
+		for s := int64(0); s < steps; s++ {
+			for i := 1; i < N-1; i++ {
+				lap := u[i+1] - 2*u[i] + u[i-1]
+				uNext[i] = 2*u[i] - uPrev[i] + (c2*lap)/1024
+			}
+			uNext[0] = 0
+			uNext[N-1] = 0
+			for i := 0; i < N; i++ {
+				uPrev[i] = u[i]
+				u[i] = uNext[i]
+			}
+			if s%16 == 0 {
+				sum = (sum*31 + energy()) & 0xFFFFFF
+				fmt.Fprintf(&out, "%d ", sum&0xFFF)
+			}
+		}
+		fmt.Fprintf(&out, "%d\n", sum)
+		return out.String()
+	}
+	w, err := ByName("wavef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range w.Inputs() {
+		want := ref(in.Args[0], in.Args[1])
+		res, err := w.Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Output != want {
+			t.Errorf("%s: MiniC output %q != Go reference %q", in.Name, res.Output, want)
+		}
+	}
+}
+
+// TestParsefDeterministicAndBalanced sanity-checks the parser workload:
+// deterministic output, and the character-class histogram counts
+// parentheses in pairs.
+func TestParsefDeterministicAndBalanced(t *testing.T) {
+	w, err := ByName("parsef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run(w.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc, digits, ops, parens int64
+	if _, err := fmt.Sscanf(res.Output, "%d %d %d %d", &acc, &digits, &ops, &parens); err != nil {
+		t.Fatalf("parse %q: %v", res.Output, err)
+	}
+	if parens%2 != 0 {
+		t.Errorf("unbalanced parens: %d", parens)
+	}
+	if digits <= ops || digits <= parens {
+		t.Errorf("digit skew missing: digits=%d ops=%d parens=%d", digits, ops, parens)
+	}
+	if acc <= 0 || acc >= 1000000007 {
+		t.Errorf("accumulator out of field: %d", acc)
+	}
+}

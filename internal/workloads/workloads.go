@@ -1,0 +1,122 @@
+// Package workloads provides the benchmark suite: eight SPEC95-like
+// programs written in MiniC, each with deterministic "test" and "train"
+// inputs, standing in for the SPEC binaries of the paper's Table
+// III.A.1. Each workload models the dominant kernel and value behaviour
+// of its SPEC counterpart:
+//
+//	compress  – LZ77/RLE compression of skewed text      (≈ 129.compress)
+//	bytecode  – stack bytecode interpreter dispatch loop (≈ 130.li / 134.perl)
+//	mcsim     – tiny register-machine simulator          (≈ 124.m88ksim)
+//	gosearch  – board-game position evaluation           (≈ 099.go)
+//	imagef    – image convolution + quantization         (≈ 132.ijpeg)
+//	dictv     – hash/dictionary transaction mix          (≈ 147.vortex)
+//	sortq     – sorting and searching pointer churn      (≈ 126.gcc-ish)
+//	lifegrid  – cellular automaton generations           (extra loop-heavy FP-stand-in)
+//
+// Programs read their parameters (seed, size, iterations) with getint,
+// so "test" and "train" runs differ the way the paper's two data sets
+// differ: same code paths, different data.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"valueprof/internal/minic"
+	"valueprof/internal/program"
+	"valueprof/internal/vm"
+)
+
+// Input is one named data set for a workload.
+type Input struct {
+	Name string
+	Args []int64
+	// Want is the expected program output; when non-empty, Run
+	// verifies it (self-checking workloads, like SPEC's output
+	// validation).
+	Want string
+}
+
+// Workload is one benchmark program.
+type Workload struct {
+	Name        string
+	Description string
+	Source      string // MiniC source
+	Test        Input
+	Train       Input
+}
+
+var (
+	mu       sync.Mutex
+	registry = map[string]*Workload{}
+	compiled = map[string]*program.Program{}
+)
+
+func register(w *Workload) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := registry[w.Name]; dup {
+		panic("workloads: duplicate " + w.Name)
+	}
+	registry[w.Name] = w
+}
+
+// All returns the workloads sorted by name.
+func All() []*Workload {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]*Workload, 0, len(registry))
+	for _, w := range registry {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ByName returns the named workload.
+func ByName(name string) (*Workload, error) {
+	mu.Lock()
+	defer mu.Unlock()
+	w, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown workload %q", name)
+	}
+	return w, nil
+}
+
+// Compile returns the compiled program for w, caching the result (the
+// program is never mutated by callers; instrumentation lives in the VM).
+func (w *Workload) Compile() (*program.Program, error) {
+	mu.Lock()
+	defer mu.Unlock()
+	if p, ok := compiled[w.Name]; ok {
+		return p, nil
+	}
+	p, err := minic.Compile(w.Source)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: compiling %s: %w", w.Name, err)
+	}
+	compiled[w.Name] = p
+	return p, nil
+}
+
+// Run executes the workload on the given input uninstrumented and
+// verifies the expected output when one is recorded.
+func (w *Workload) Run(in Input) (*vm.Result, error) {
+	p, err := w.Compile()
+	if err != nil {
+		return nil, err
+	}
+	res, err := vm.Execute(p, in.Args)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: running %s/%s: %w", w.Name, in.Name, err)
+	}
+	if in.Want != "" && res.Output != in.Want {
+		return nil, fmt.Errorf("workloads: %s/%s output mismatch:\n got %q\nwant %q", w.Name, in.Name, res.Output, in.Want)
+	}
+	return res, nil
+}
+
+// Inputs returns the two data sets in (test, train) order.
+func (w *Workload) Inputs() [2]Input { return [2]Input{w.Test, w.Train} }

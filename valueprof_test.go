@@ -1,0 +1,135 @@
+package valueprof_test
+
+import (
+	"strings"
+	"testing"
+
+	valueprof "valueprof"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as README shows.
+func TestFacadeEndToEnd(t *testing.T) {
+	prog, err := valueprof.CompileMiniC(`
+func main() {
+    var i; var s = 0;
+    for (i = 0; i < 200; i = i + 1) { s = s + i * 3; }
+    putint(s);
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp, err := valueprof.NewValueProfiler(valueprof.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := valueprof.Run(prog, nil, vp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "59700" {
+		t.Errorf("output = %q", res.Output)
+	}
+	profile := vp.Profile()
+	m := profile.Aggregate()
+	if m.Sites == 0 || m.Execs == 0 {
+		t.Errorf("empty profile: %+v", m)
+	}
+	if len(profile.TopSites(5)) != 5 {
+		t.Error("TopSites failed")
+	}
+}
+
+func TestFacadeAssembleAndExecute(t *testing.T) {
+	prog, err := valueprof.Assemble("main: li a0, 4\n syscall putint\n syscall exit\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := valueprof.Execute(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "4" {
+		t.Errorf("output = %q", res.Output)
+	}
+}
+
+func TestFacadeTNV(t *testing.T) {
+	tab := valueprof.NewTNV(valueprof.DefaultTNVConfig())
+	for i := 0; i < 10; i++ {
+		tab.Add(5)
+	}
+	if v, c, ok := tab.TopValue(); !ok || v != 5 || c != 10 {
+		t.Errorf("TopValue = %d,%d,%v", v, c, ok)
+	}
+}
+
+func TestFacadeWorkloadsAndExperiments(t *testing.T) {
+	if len(valueprof.Workloads()) != 10 {
+		t.Errorf("workloads = %d", len(valueprof.Workloads()))
+	}
+	w, err := valueprof.WorkloadByName("compress")
+	if err != nil || w.Name != "compress" {
+		t.Errorf("WorkloadByName: %v %v", w, err)
+	}
+	if len(valueprof.Experiments()) != 21 {
+		t.Errorf("experiments = %d", len(valueprof.Experiments()))
+	}
+	e, err := valueprof.ExperimentByID("e10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(valueprof.ExperimentConfig{Workloads: []string{"mcsim"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "mcsim") {
+		t.Error("experiment output missing workload")
+	}
+}
+
+func TestFacadeSpecialize(t *testing.T) {
+	prog, err := valueprof.CompileMiniC(`
+func f(k, x) { return k * x + k; }
+func main() {
+    var i; var s = 0;
+    for (i = 0; i < 500; i = i + 1) { s = s + f(3, i); }
+    putint(s);
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := valueprof.Execute(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, info, err := valueprof.Specialize(prog, "f", 1 /* a0 */, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := valueprof.Execute(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Output != base.Output {
+		t.Errorf("specialized output %q != %q", got.Output, base.Output)
+	}
+	if info.Folded == 0 {
+		t.Errorf("info = %+v", info)
+	}
+}
+
+func TestFacadePredictors(t *testing.T) {
+	suite := valueprof.PredictorSuite(6)
+	if len(suite) != 5 {
+		t.Fatalf("suite = %d predictors", len(suite))
+	}
+	p := suite[0]
+	for i := 0; i < 10; i++ {
+		p.Update(1, 7)
+	}
+	if v, ok := p.Predict(1); !ok || v != 7 {
+		t.Errorf("lvp predict = %d,%v", v, ok)
+	}
+}
