@@ -1,8 +1,18 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build test test-short cover bench exp exp-quick fmt vet clean
+.PHONY: all build test test-short cover bench exp exp-quick fmt vet clean ci fuzz-smoke
 
 all: build vet test
+
+# What CI runs: static checks, full build, race-enabled tests, and a
+# short fuzz pass over the parsers that face untrusted input.
+ci: vet build
+	go test -race ./...
+	$(MAKE) fuzz-smoke
+
+fuzz-smoke:
+	go test ./internal/core -run='^$$' -fuzz=FuzzReadProfileRecord -fuzztime=10s
+	go test ./internal/asm -run='^$$' -fuzz=FuzzAssemble -fuzztime=10s
 
 build:
 	go build ./...

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"valueprof/internal/asm"
+	"valueprof/internal/atomicio"
 )
 
 func main() {
@@ -36,14 +37,9 @@ func main() {
 		fmt.Print(prog.Disassemble())
 	}
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fatal(err)
-		}
-		if err := prog.Save(f); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		// Atomic write: a crash mid-save never leaves a torn image at
+		// the destination.
+		if err := atomicio.WriteFile(*out, prog.Save); err != nil {
 			fatal(err)
 		}
 	}

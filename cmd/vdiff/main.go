@@ -18,13 +18,20 @@ import (
 
 func main() {
 	topN := flag.Int("top", 10, "show the N sites with the largest invariance drift")
+	repair := flag.Bool("repair", false, "salvage damaged profiles: drop invalid sites instead of rejecting the file")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: vdiff [-top N] a.json b.json")
+		fmt.Fprintln(os.Stderr, "usage: vdiff [-top N] [-repair] a.json b.json")
 		os.Exit(2)
 	}
-	a := load(flag.Arg(0))
-	b := load(flag.Arg(1))
+	a := load(flag.Arg(0), *repair)
+	b := load(flag.Arg(1), *repair)
+	for _, r := range []*core.ProfileRecord{a, b} {
+		if r.Outcome != "" {
+			fmt.Fprintf(os.Stderr, "vdiff: note: %s/%s is a partial profile (run outcome: %s)\n",
+				r.Program, r.Input, r.Outcome)
+		}
+	}
 	if a.Program != b.Program {
 		fmt.Fprintf(os.Stderr, "vdiff: warning: comparing different programs (%s vs %s)\n", a.Program, b.Program)
 	}
@@ -72,17 +79,30 @@ func main() {
 	fmt.Print(tab.String())
 }
 
-func load(path string) *core.ProfileRecord {
+func load(path string, repair bool) *core.ProfileRecord {
 	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	defer f.Close()
-	rec, err := core.ReadProfileRecord(f)
+	policy := core.RepairNone
+	if repair {
+		policy = core.RepairDrop
+	}
+	rec, rep, err := core.ReadProfileRecordPolicy(f, policy)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vdiff: %s: %v\n", path, err)
+		if !repair {
+			fmt.Fprintln(os.Stderr, "vdiff: (retry with -repair to salvage valid sites)")
+		}
 		os.Exit(1)
+	}
+	if repair && !rep.Clean() {
+		fmt.Fprintf(os.Stderr, "vdiff: %s: %s\n", path, rep)
+		for _, p := range rep.Problems {
+			fmt.Fprintf(os.Stderr, "vdiff:   %s\n", p)
+		}
 	}
 	return rec
 }

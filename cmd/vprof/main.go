@@ -5,6 +5,8 @@
 //
 //	vprof [-w compress] [-input test|train] [-mode MODE] [-top 20]
 //	      [-convergent] [-full] [-o profile.json] [-list]
+//	      [-deadline 30s] [-steps N]
+//	      [-checkpoint run.ckpt] [-checkpoint-every N] [-resume run.ckpt]
 //
 // Modes:
 //
@@ -19,14 +21,27 @@
 //
 // -o writes the instruction profile as JSON (inst/loads modes) for
 // later comparison with vdiff.
+//
+// Robustness: a run that ends early — guest fault, -deadline expiry,
+// -steps exhaustion, or Ctrl-C — still reports and writes the partial
+// profile (the JSON record carries an "outcome" field). With
+// -checkpoint the profiler state is snapshotted every -checkpoint-every
+// instructions (atomic rename, crash-safe) and a -resume run continues
+// from the snapshot. Exit codes: 0 completed, 1 fault, 124 deadline,
+// 125 step limit, 130 interrupted.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"time"
 
 	"valueprof/internal/atom"
+	"valueprof/internal/atomicio"
 	"valueprof/internal/core"
 	"valueprof/internal/depprof"
 	"valueprof/internal/memprof"
@@ -40,6 +55,16 @@ import (
 	"valueprof/internal/workloads"
 )
 
+// runCfg carries the control-plane settings shared by every mode.
+type runCfg struct {
+	ctx  context.Context
+	opts atom.RunOptions
+
+	ckptPath  string
+	ckptEvery uint64
+	resume    string
+}
+
 func main() {
 	wl := flag.String("w", "compress", "workload name")
 	inputName := flag.String("input", "test", "input set: test or train")
@@ -49,6 +74,12 @@ func main() {
 	top := flag.Int("top", 20, "show the N hottest entries")
 	outFile := flag.String("o", "", "write the profile as JSON (inst/loads)")
 	list := flag.Bool("list", false, "list workloads and exit")
+	deadline := flag.Duration("deadline", 0, "stop the run after this wall-clock budget (0 = none)")
+	steps := flag.Uint64("steps", 0, "stop the run after N instructions (0 = VM default)")
+	ckptPath := flag.String("checkpoint", "", "snapshot profiler state to this file during the run (inst/loads)")
+	ckptEvery := flag.Uint64("checkpoint-every", core.DefaultCheckpointEvery,
+		"instructions between checkpoint snapshots")
+	resume := flag.String("resume", "", "resume an interrupted run from this checkpoint file (inst/loads)")
 	flag.Parse()
 
 	if *list {
@@ -76,35 +107,80 @@ func main() {
 		fatal(err)
 	}
 
+	// Ctrl-C cancels the run context; the run loop stops at the next
+	// quantum boundary and the partial profile is salvaged below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	rc := &runCfg{
+		ctx: ctx,
+		opts: atom.RunOptions{
+			StepLimit: *steps,
+		},
+		ckptPath:  *ckptPath,
+		ckptEvery: *ckptEvery,
+		resume:    *resume,
+	}
+	if *deadline > 0 {
+		rc.opts.Deadline = time.Now().Add(*deadline)
+	}
+
+	var outcome vm.RunOutcome
 	switch *mode {
 	case "inst", "loads":
-		instMode(w, in, prog, *mode == "loads", *convergent, *full, *top, *outFile)
+		outcome = instMode(rc, w, in, prog, *mode == "loads", *convergent, *full, *top, *outFile)
 	case "mem":
-		memMode(w, in, prog, *top)
+		outcome = memMode(rc, w, in, prog, *top)
 	case "param":
-		paramMode(w, in, prog, *top)
+		outcome = paramMode(rc, w, in, prog, *top)
 	case "reg":
-		regMode(w, in, prog)
+		outcome = regMode(rc, w, in, prog)
 	case "dep":
-		depMode(w, in, prog, *top)
+		outcome = depMode(rc, w, in, prog, *top)
 	case "triv":
-		trivMode(w, in, prog, *top)
+		outcome = trivMode(rc, w, in, prog, *top)
 	case "proc":
-		procMode(w, in, prog, *top)
+		outcome = procMode(rc, w, in, prog, *top)
 	default:
 		fatal(fmt.Errorf("vprof: unknown mode %q", *mode))
 	}
+	os.Exit(exitCode(outcome))
 }
 
-func runTool(in workloads.Input, prog *program.Program, tools ...atom.Tool) *vm.Result {
-	res, err := atom.Run(prog, in.Args, false, tools...)
-	if err != nil {
-		fatal(err)
+// exitCode maps a run outcome to the process exit status, following
+// the timeout(1)/shell conventions where one exists.
+func exitCode(outcome vm.RunOutcome) int {
+	switch outcome {
+	case vm.OutcomeCompleted:
+		return 0
+	case vm.OutcomeDeadline:
+		return 124
+	case vm.OutcomeLimit:
+		return 125
+	case vm.OutcomeCancelled:
+		return 130
+	default:
+		return 1
 	}
-	return res
 }
 
-func instMode(w *workloads.Workload, in workloads.Input, prog *program.Program, loadsOnly, convergent, full bool, top int, outFile string) {
+// runTool executes an instrumented run under the shared control
+// settings. Early termination is not fatal: the partial result comes
+// back with a warning so every mode reports what it gathered.
+func runTool(rc *runCfg, in workloads.Input, prog *program.Program, tools ...atom.Tool) (*vm.Result, vm.RunOutcome) {
+	opts := rc.opts
+	opts.Input = in.Args
+	res, outcome, err := atom.RunControlled(rc.ctx, prog, opts, tools...)
+	warnPartial(outcome, err)
+	return res, outcome
+}
+
+func warnPartial(outcome vm.RunOutcome, err error) {
+	if outcome != vm.OutcomeCompleted {
+		fmt.Fprintf(os.Stderr, "vprof: run ended early (%s): %v; reporting partial profile\n", outcome, err)
+	}
+}
+
+func instMode(rc *runCfg, w *workloads.Workload, in workloads.Input, prog *program.Program, loadsOnly, convergent, full bool, top int, outFile string) vm.RunOutcome {
 	opts := core.Options{TNV: core.DefaultTNVConfig(), TrackFull: full}
 	if loadsOnly {
 		opts.Filter = core.LoadsOnly
@@ -117,7 +193,59 @@ func instMode(w *workloads.Workload, in workloads.Input, prog *program.Program, 
 	if err != nil {
 		fatal(err)
 	}
-	res := runTool(in, prog, vp)
+
+	var ck *core.Checkpoint
+	if rc.resume != "" {
+		ck, err = core.LoadCheckpoint(rc.resume)
+		if err != nil {
+			fatal(fmt.Errorf("vprof: loading checkpoint: %w", err))
+		}
+		// A checkpoint restores raw VM state; resuming it under a
+		// different program or input would execute garbage.
+		if ck.Program != w.Name || ck.Input != in.Name {
+			fatal(fmt.Errorf("vprof: checkpoint is for %s/%s, not %s/%s",
+				ck.Program, ck.Input, w.Name, in.Name))
+		}
+		if err := vp.Seed(ck); err != nil {
+			fatal(fmt.Errorf("vprof: resuming: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "vprof: resuming %s/%s from instruction %d (%d sites)\n",
+			ck.Program, ck.Input, ck.InstCount(), len(ck.Sites))
+	}
+
+	tools := []atom.Tool{atom.Tool(vp)}
+	var ckpt *core.Checkpointer
+	if rc.ckptPath != "" {
+		ckpt = core.NewCheckpointer(vp, rc.ckptPath, rc.ckptEvery, w.Name, in.Name)
+		tools = append(tools, ckpt)
+	}
+
+	runOpts := rc.opts
+	runOpts.Input = in.Args
+	v := atom.Prepare(prog, runOpts, tools...)
+	if ck != nil {
+		if err := ck.RestoreVM(v); err != nil {
+			fatal(fmt.Errorf("vprof: restoring VM state: %w", err))
+		}
+	}
+	outcome, err := v.RunControlled(rc.ctx)
+	res := vm.ResultOf(v, outcome)
+	warnPartial(outcome, err)
+
+	// A final snapshot salvages the interrupted run for -resume; taken
+	// before reporting so a crash while printing loses nothing.
+	if ckpt != nil && outcome != vm.OutcomeCompleted {
+		if err := ckpt.SnapshotNow(v); err != nil {
+			fmt.Fprintf(os.Stderr, "vprof: final checkpoint failed: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "vprof: checkpoint saved to %s; resume with -resume %s\n",
+				rc.ckptPath, rc.ckptPath)
+		}
+	}
+	if ckpt != nil && ckpt.Err() != nil {
+		fmt.Fprintf(os.Stderr, "vprof: warning: a checkpoint snapshot failed during the run: %v\n", ckpt.Err())
+	}
+
 	pr := vp.Profile()
 	m := pr.Aggregate()
 
@@ -143,21 +271,24 @@ func instMode(w *workloads.Workload, in workloads.Input, prog *program.Program, 
 	fmt.Print(tab.String())
 
 	if outFile != "" {
-		f, err := os.Create(outFile)
-		if err != nil {
-			fatal(err)
+		rec := pr.Record(w.Name, in.Name)
+		if outcome != vm.OutcomeCompleted {
+			rec.Outcome = outcome.String()
 		}
-		defer f.Close()
-		if err := pr.Record(w.Name, in.Name).WriteJSON(f); err != nil {
+		err := atomicio.WriteFile(outFile, func(f io.Writer) error {
+			return rec.WriteJSON(f)
+		})
+		if err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "vprof: wrote %s\n", outFile)
 	}
+	return outcome
 }
 
-func memMode(w *workloads.Workload, in workloads.Input, prog *program.Program, top int) {
+func memMode(rc *runCfg, w *workloads.Workload, in workloads.Input, prog *program.Program, top int) vm.RunOutcome {
 	mp := memprof.New(memprof.Options{TNV: core.DefaultTNVConfig()})
-	runTool(in, prog, mp)
+	_, outcome := runTool(rc, in, prog, mp)
 	rep := mp.Report()
 	m := rep.Aggregate(nil)
 	byLoc, byAccess := rep.InvariantFraction(0.9)
@@ -173,11 +304,12 @@ func memMode(w *workloads.Workload, in workloads.Input, prog *program.Program, t
 			l.Stats.InvTop(1), fmt.Sprintf("%d:%d", v, c))
 	}
 	fmt.Print(tab.String())
+	return outcome
 }
 
-func paramMode(w *workloads.Workload, in workloads.Input, prog *program.Program, top int) {
+func paramMode(rc *runCfg, w *workloads.Workload, in workloads.Input, prog *program.Program, top int) vm.RunOutcome {
 	pp := paramprof.New(paramprof.Options{TNV: core.DefaultTNVConfig()})
-	runTool(in, prog, pp)
+	_, outcome := runTool(rc, in, prog, pp)
 	tab := textual.New(fmt.Sprintf("%s/%s procedure parameters", w.Name, in.Name),
 		"proc", "calls", "arg0-inv", "arg1-inv", "arg2-inv", "tuple-inv")
 	for i, p := range pp.Report().Procs {
@@ -196,11 +328,12 @@ func paramMode(w *workloads.Workload, in workloads.Input, prog *program.Program,
 		tab.Row(cells...)
 	}
 	fmt.Print(tab.String())
+	return outcome
 }
 
-func regMode(w *workloads.Workload, in workloads.Input, prog *program.Program) {
+func regMode(rc *runCfg, w *workloads.Workload, in workloads.Input, prog *program.Program) vm.RunOutcome {
 	rp := regprof.New(core.DefaultTNVConfig(), false)
-	runTool(in, prog, rp)
+	_, outcome := runTool(rc, in, prog, rp)
 	tab := textual.New(fmt.Sprintf("%s/%s register write streams", w.Name, in.Name),
 		"reg", "writes", "LVP", "InvTop1", "InvTop10", "top value")
 	for _, s := range rp.Written() {
@@ -208,11 +341,12 @@ func regMode(w *workloads.Workload, in workloads.Input, prog *program.Program) {
 		tab.Row(s.Name, s.Exec, s.LVP(), s.InvTop(1), s.InvTop(10), fmt.Sprintf("%d:%d", v, c))
 	}
 	fmt.Print(tab.String())
+	return outcome
 }
 
-func depMode(w *workloads.Workload, in workloads.Input, prog *program.Program, top int) {
+func depMode(rc *runCfg, w *workloads.Workload, in workloads.Input, prog *program.Program, top int) vm.RunOutcome {
 	dp := depprof.New(depprof.DefaultOptions())
-	runTool(in, prog, dp)
+	_, outcome := runTool(rc, in, prog, dp)
 	rep := dp.Report()
 	fromStore, forwardable, dom := rep.Totals()
 	fmt.Printf("%s/%s: store-fed %s, forwardable %s (window %d), dominant-edge %.3f\n\n",
@@ -230,15 +364,20 @@ func depMode(w *workloads.Workload, in workloads.Input, prog *program.Program, t
 			fmt.Sprintf("%.1f", l.MeanDistance()))
 	}
 	fmt.Print(tab.String())
+	return outcome
 }
 
-func trivMode(w *workloads.Workload, in workloads.Input, prog *program.Program, top int) {
+func trivMode(rc *runCfg, w *workloads.Workload, in workloads.Input, prog *program.Program, top int) vm.RunOutcome {
 	tp := trivprof.New()
-	res := runTool(in, prog, tp)
+	res, outcome := runTool(rc, in, prog, tp)
 	rep := tp.Report()
 	frac, saved, kinds := rep.Totals()
+	savedShare := 0.0
+	if res.Cycles > 0 {
+		savedShare = float64(saved) / float64(res.Cycles)
+	}
 	fmt.Printf("%s/%s: trivial fraction %s; %d cycles savable (%s of run)\n",
-		w.Name, in.Name, textual.Pct(frac), saved, textual.Pct(float64(saved)/float64(res.Cycles)))
+		w.Name, in.Name, textual.Pct(frac), saved, textual.Pct(savedShare))
 	fmt.Printf("kinds: zero=%d one=%d minus-one=%d pow2=%d self=%d\n\n",
 		kinds[trivprof.ZeroOperand], kinds[trivprof.OneOperand], kinds[trivprof.MinusOne],
 		kinds[trivprof.PowerOfTwo], kinds[trivprof.SelfOperand])
@@ -251,11 +390,12 @@ func trivMode(w *workloads.Workload, in workloads.Input, prog *program.Program, 
 		tab.Row(s.Name, s.Op.Name(), s.Execs, textual.Pct(s.TrivialFraction()), s.SavedCycles())
 	}
 	fmt.Print(tab.String())
+	return outcome
 }
 
-func procMode(w *workloads.Workload, in workloads.Input, prog *program.Program, top int) {
+func procMode(rc *runCfg, w *workloads.Workload, in workloads.Input, prog *program.Program, top int) vm.RunOutcome {
 	pp := procprof.New()
-	runTool(in, prog, pp)
+	_, outcome := runTool(rc, in, prog, pp)
 	fmt.Printf("%s/%s: %d cycles total; top-3 procedures hold %s\n\n",
 		w.Name, in.Name, pp.TotalCycles(), textual.Pct(pp.TopShare(3)))
 	tab := textual.New(fmt.Sprintf("top %d procedures by exclusive cycles", top),
@@ -264,10 +404,14 @@ func procMode(w *workloads.Workload, in workloads.Input, prog *program.Program, 
 		if i >= top {
 			break
 		}
-		tab.Row(pt.Name, pt.Calls, pt.Exclusive, pt.Inclusive,
-			textual.Pct(float64(pt.Exclusive)/float64(pp.TotalCycles())))
+		share := 0.0
+		if pp.TotalCycles() > 0 {
+			share = float64(pt.Exclusive) / float64(pp.TotalCycles())
+		}
+		tab.Row(pt.Name, pt.Calls, pt.Exclusive, pt.Inclusive, textual.Pct(share))
 	}
 	fmt.Print(tab.String())
+	return outcome
 }
 
 func fatal(err error) {

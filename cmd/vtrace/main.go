@@ -11,14 +11,28 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"valueprof/internal/atom"
+	"valueprof/internal/atomicio"
 	"valueprof/internal/core"
 	"valueprof/internal/textual"
 	"valueprof/internal/trace"
 	"valueprof/internal/workloads"
 )
+
+// countingWriter tracks bytes written for the record-mode summary.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
 
 func main() {
 	wl := flag.String("w", "", "workload to record")
@@ -57,33 +71,34 @@ func record(wl, inputName string, loadsOnly bool, out string) {
 	if err != nil {
 		fatal(err)
 	}
-	f, err := os.Create(out)
+	// The trace streams straight into an atomic write: if the recording
+	// run dies, no partial trace lands at the destination path.
+	var events uint64
+	var size int64
+	err = atomicio.WriteFile(out, func(dst io.Writer) error {
+		cw := &countingWriter{w: dst}
+		tw, err := trace.NewWriter(cw)
+		if err != nil {
+			return err
+		}
+		col := trace.NewCollector(tw, nil)
+		if loadsOnly {
+			col = trace.NewCollector(tw, core.LoadsOnly)
+		}
+		if _, err := atom.Run(prog, in.Args, false, col); err != nil {
+			return err
+		}
+		if err := tw.Close(); err != nil {
+			return err
+		}
+		events, size = tw.Count(), cw.n
+		return nil
+	})
 	if err != nil {
-		fatal(err)
-	}
-	tw, err := trace.NewWriter(f)
-	if err != nil {
-		fatal(err)
-	}
-	col := trace.NewCollector(tw, nil)
-	if loadsOnly {
-		col = trace.NewCollector(tw, core.LoadsOnly)
-	}
-	if _, err := atom.Run(prog, in.Args, false, col); err != nil {
-		fatal(err)
-	}
-	if err := tw.Close(); err != nil {
-		fatal(err)
-	}
-	st, err := f.Stat()
-	if err != nil {
-		fatal(err)
-	}
-	if err := f.Close(); err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "vtrace: %d events, %d bytes (%.2f bytes/event) -> %s\n",
-		tw.Count(), st.Size(), float64(st.Size())/float64(tw.Count()), out)
+		events, size, float64(size)/float64(events), out)
 }
 
 func replayTrace(path string) {

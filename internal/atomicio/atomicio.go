@@ -1,0 +1,86 @@
+// Package atomicio provides crash-safe file writes: data is staged in
+// a temporary file in the destination directory, flushed to stable
+// storage, and renamed over the destination in one step. A reader (or
+// a process restarting after a crash) therefore sees either the old
+// complete file or the new complete file — never a truncated or
+// interleaved one. This is the write discipline the profiling runtime
+// uses for profiles and checkpoints, where a half-written JSON file
+// would poison every downstream consumer.
+package atomicio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile streams the output of write into path atomically. The
+// temporary file is created with mode 0644 in path's directory (rename
+// is only atomic within a filesystem); on any error — including an
+// error returned by write itself, a failed sync, or a failed rename —
+// the temporary file is removed and the previous contents of path are
+// left untouched.
+func WriteFile(path string, write func(io.Writer) error) (err error) {
+	// Renaming over a device, pipe, or other non-regular destination
+	// (vprof -o /dev/null) would replace the special file with a
+	// regular one; stream straight into it instead. Atomicity is
+	// meaningless for such destinations anyway.
+	if fi, serr := os.Stat(path); serr == nil && !fi.Mode().IsRegular() {
+		f, oerr := os.OpenFile(path, os.O_WRONLY, 0)
+		if oerr != nil {
+			return fmt.Errorf("atomicio: opening %s: %w", path, oerr)
+		}
+		defer f.Close()
+		if err := write(f); err != nil {
+			return fmt.Errorf("atomicio: writing %s: %w", path, err)
+		}
+		return f.Close()
+	}
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("atomicio: staging %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+
+	if err = write(tmp); err != nil {
+		return fmt.Errorf("atomicio: writing %s: %w", path, err)
+	}
+	// fsync before rename: the rename must not become durable before
+	// the data it points at.
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("atomicio: syncing %s: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("atomicio: closing %s: %w", path, err)
+	}
+	if err = os.Chmod(tmpName, 0o644); err != nil {
+		return fmt.Errorf("atomicio: chmod %s: %w", path, err)
+	}
+	if err = os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("atomicio: publishing %s: %w", path, err)
+	}
+	// Best-effort directory sync so the rename itself survives a
+	// crash; some filesystems don't support fsync on directories.
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// WriteFileBytes atomically replaces path with data.
+func WriteFileBytes(path string, data []byte) error {
+	return WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}

@@ -1,0 +1,109 @@
+package atomicio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileBytes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := WriteFileBytes(path, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Errorf("content = %q", got)
+	}
+}
+
+func TestOverwriteReplacesWholeFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := WriteFileBytes(path, []byte("a much longer first version")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileBytes(path, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "v2" {
+		t.Errorf("content = %q, want full replacement", got)
+	}
+}
+
+func TestFailedWriteLeavesOldFileIntact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFileBytes(path, []byte("old good data")); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("disk full")
+	err := WriteFile(path, func(w io.Writer) error {
+		io.WriteString(w, "partial new da") // half-written payload
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped disk-full", err)
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(got) != "old good data" {
+		t.Errorf("old file clobbered: %q", got)
+	}
+	// No stray temp files left behind.
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Errorf("dir has %d entries, want 1: %v", len(ents), ents)
+	}
+}
+
+func TestFailedWriteWithNoExistingFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	err := WriteFile(path, func(w io.Writer) error { return errors.New("nope") })
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if _, serr := os.Stat(path); !errors.Is(serr, os.ErrNotExist) {
+		t.Errorf("destination should not exist: %v", serr)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 0 {
+		t.Errorf("dir not empty: %v", ents)
+	}
+}
+
+func TestWriteToMissingDirFails(t *testing.T) {
+	err := WriteFileBytes(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), []byte("x"))
+	if err == nil || !strings.Contains(err.Error(), "staging") {
+		t.Errorf("err = %v, want staging error", err)
+	}
+}
+
+func TestWriteFileNonRegularDestination(t *testing.T) {
+	// Writing "to" a device must stream into it, not rename over it:
+	// an atomic rename would replace /dev/null with a regular file.
+	fi, err := os.Stat(os.DevNull)
+	if err != nil || fi.Mode().IsRegular() {
+		t.Skipf("no usable %s: %v", os.DevNull, err)
+	}
+	if err := WriteFileBytes(os.DevNull, []byte("discarded")); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(os.DevNull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Mode().IsRegular() {
+		t.Fatalf("%s became a regular file", os.DevNull)
+	}
+}

@@ -1,0 +1,420 @@
+package core
+
+import (
+	"bytes"
+	"compress/zlib"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+
+	"valueprof/internal/atom"
+	"valueprof/internal/atomicio"
+	"valueprof/internal/vm"
+)
+
+// This file implements crash-safe periodic checkpointing of a value
+// profiling run. A checkpoint captures both halves of the run's state:
+// the profiler side (every site's full TNV table with its replacement
+// counters, plus the scalar counters) and the machine side (a
+// compressed VM snapshot). Restoring both and re-running from the
+// snapshot therefore reproduces exactly the counts an uninterrupted
+// run would have produced — the re-executed suffix re-observes the
+// values the crash discarded.
+//
+// Checkpoint files are JSON for inspectability, wrapped in a small
+// envelope carrying a magic string and a CRC-32 of the payload so a
+// torn or bit-rotted file is detected before any of it is trusted.
+// Writes go through internal/atomicio, so a crash mid-write leaves the
+// previous checkpoint intact.
+
+// DefaultCheckpointEvery is the default instruction interval between
+// snapshots (~4M instructions).
+const DefaultCheckpointEvery = 1 << 22
+
+const checkpointMagic = "VPCKPT1"
+
+// TNVState is the full serialized state of one TNV table: every live
+// entry (not just the report-time top K) plus the update and
+// periodic-clear counters, so a restored table continues byte-for-byte
+// where the original left off.
+type TNVState struct {
+	Entries    []TNVEntry `json:"entries"`
+	Updates    uint64     `json:"updates"`
+	SinceClear uint64     `json:"sinceClear"`
+	Clears     uint64     `json:"clears"`
+}
+
+// SiteState is the checkpointed state of one profiled site.
+type SiteState struct {
+	PC      int      `json:"pc"`
+	Name    string   `json:"name"`
+	Exec    uint64   `json:"exec"`
+	LVPHits uint64   `json:"lvpHits"`
+	Zeros   uint64   `json:"zeros"`
+	Last    int64    `json:"last"`
+	HasLast bool     `json:"hasLast"`
+	TNV     TNVState `json:"tnv"`
+}
+
+// VMState is the checkpointed machine state. Mem holds the guest
+// memory zlib-compressed (mostly zeros, so it compresses to almost
+// nothing); MemLen is the uncompressed size.
+type VMState struct {
+	PC            int     `json:"pc"`
+	Regs          []int64 `json:"regs"`
+	MemLen        int     `json:"memLen"`
+	Mem           []byte  `json:"mem"`
+	Cycles        uint64  `json:"cycles"`
+	InstCount     uint64  `json:"instCount"`
+	AnalysisCalls uint64  `json:"analysisCalls"`
+	Output        string  `json:"output"`
+	InputPos      int     `json:"inputPos"`
+	ExitStatus    int64   `json:"exitStatus"`
+	Halted        bool    `json:"halted"`
+}
+
+// Checkpoint is one snapshot of a profiling run in progress.
+type Checkpoint struct {
+	Program string      `json:"program"`
+	Input   string      `json:"input"`
+	TNV     TNVConfig   `json:"tnv"`
+	Skipped uint64      `json:"skipped"`
+	Sites   []SiteState `json:"sites"`
+	VM      *VMState    `json:"vm,omitempty"`
+}
+
+// InstCount returns the instruction count at which the checkpoint was
+// taken (0 when no VM state was captured).
+func (ck *Checkpoint) InstCount() uint64 {
+	if ck.VM == nil {
+		return 0
+	}
+	return ck.VM.InstCount
+}
+
+type checkpointEnvelope struct {
+	Magic   string          `json:"magic"`
+	CRC32   uint32          `json:"crc32"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// WriteCheckpoint serializes ck with its integrity envelope.
+func WriteCheckpoint(w io.Writer, ck *Checkpoint) error {
+	payload, err := json.Marshal(ck)
+	if err != nil {
+		return fmt.Errorf("core: encoding checkpoint: %w", err)
+	}
+	env := checkpointEnvelope{
+		Magic:   checkpointMagic,
+		CRC32:   crc32.ChecksumIEEE(payload),
+		Payload: payload,
+	}
+	return json.NewEncoder(w).Encode(&env)
+}
+
+// ReadCheckpoint deserializes and verifies a checkpoint written by
+// WriteCheckpoint: magic, payload CRC, and state invariants are all
+// checked before anything is trusted.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var env checkpointEnvelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("core: reading checkpoint: %w", err)
+	}
+	if env.Magic != checkpointMagic {
+		return nil, fmt.Errorf("core: not a checkpoint file (magic %q)", env.Magic)
+	}
+	if got := crc32.ChecksumIEEE(env.Payload); got != env.CRC32 {
+		return nil, fmt.Errorf("core: checkpoint corrupt: crc %08x, want %08x", got, env.CRC32)
+	}
+	var ck Checkpoint
+	if err := json.Unmarshal(env.Payload, &ck); err != nil {
+		return nil, fmt.Errorf("core: decoding checkpoint: %w", err)
+	}
+	if err := ck.validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid checkpoint: %w", err)
+	}
+	return &ck, nil
+}
+
+// LoadCheckpoint reads and verifies the checkpoint file at path.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCheckpoint(f)
+}
+
+// SaveAtomic atomically replaces path with this checkpoint; a crash
+// mid-write leaves the previous file untouched.
+func (ck *Checkpoint) SaveAtomic(path string) error {
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		return WriteCheckpoint(w, ck)
+	})
+}
+
+func (ck *Checkpoint) validate() error {
+	if err := ck.TNV.validate(); err != nil {
+		return err
+	}
+	seen := make(map[int]bool, len(ck.Sites))
+	for i := range ck.Sites {
+		s := &ck.Sites[i]
+		if s.PC < 0 {
+			return fmt.Errorf("site %d: negative pc %d", i, s.PC)
+		}
+		if seen[s.PC] {
+			return fmt.Errorf("duplicate site pc %d", s.PC)
+		}
+		seen[s.PC] = true
+		if s.LVPHits > s.Exec || s.Zeros > s.Exec {
+			return fmt.Errorf("site pc %d: counters exceed %d executions", s.PC, s.Exec)
+		}
+		if s.TNV.Updates != s.Exec {
+			return fmt.Errorf("site pc %d: TNV updates %d != executions %d", s.PC, s.TNV.Updates, s.Exec)
+		}
+		if len(s.TNV.Entries) > ck.TNV.Size {
+			return fmt.Errorf("site pc %d: %d TNV entries exceed table size %d", s.PC, len(s.TNV.Entries), ck.TNV.Size)
+		}
+		var sum uint64
+		for _, e := range s.TNV.Entries {
+			sum += e.Count
+		}
+		if sum > s.TNV.Updates {
+			return fmt.Errorf("site pc %d: TNV counts %d exceed updates %d", s.PC, sum, s.TNV.Updates)
+		}
+	}
+	if ck.VM != nil {
+		if ck.VM.MemLen <= 0 {
+			return fmt.Errorf("vm state: bad memory size %d", ck.VM.MemLen)
+		}
+		if ck.VM.InputPos < 0 {
+			return fmt.Errorf("vm state: negative input position")
+		}
+	}
+	return nil
+}
+
+// CaptureVM records the machine state into the checkpoint.
+func (ck *Checkpoint) CaptureVM(v *vm.VM) error {
+	snap := v.Snapshot()
+	var buf bytes.Buffer
+	zw := zlib.NewWriter(&buf)
+	if _, err := zw.Write(snap.Mem); err != nil {
+		return fmt.Errorf("core: compressing vm memory: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("core: compressing vm memory: %w", err)
+	}
+	ck.VM = &VMState{
+		PC:            snap.PC,
+		Regs:          snap.Regs,
+		MemLen:        len(snap.Mem),
+		Mem:           buf.Bytes(),
+		Cycles:        snap.Cycles,
+		InstCount:     snap.InstCount,
+		AnalysisCalls: snap.AnalysisCalls,
+		Output:        snap.Output,
+		InputPos:      snap.InputPos,
+		ExitStatus:    snap.ExitStatus,
+		Halted:        snap.Halted,
+	}
+	return nil
+}
+
+// RestoreVM rewinds v to the checkpointed machine state. The caller
+// re-attaches instrumentation and re-supplies the run's input; resuming
+// then continues the run as if it had never stopped.
+func (ck *Checkpoint) RestoreVM(v *vm.VM) error {
+	if ck.VM == nil {
+		return fmt.Errorf("core: checkpoint has no vm state")
+	}
+	zr, err := zlib.NewReader(bytes.NewReader(ck.VM.Mem))
+	if err != nil {
+		return fmt.Errorf("core: decompressing vm memory: %w", err)
+	}
+	mem := make([]byte, ck.VM.MemLen)
+	if _, err := io.ReadFull(zr, mem); err != nil {
+		return fmt.Errorf("core: decompressing vm memory: %w", err)
+	}
+	zr.Close()
+	return v.Restore(&vm.Snapshot{
+		PC:            ck.VM.PC,
+		Regs:          ck.VM.Regs,
+		Mem:           mem,
+		Cycles:        ck.VM.Cycles,
+		InstCount:     ck.VM.InstCount,
+		AnalysisCalls: ck.VM.AnalysisCalls,
+		Output:        ck.VM.Output,
+		InputPos:      ck.VM.InputPos,
+		ExitStatus:    ck.VM.ExitStatus,
+		Halted:        ck.VM.Halted,
+	})
+}
+
+// siteState snapshots one live site.
+func siteState(s *SiteStats) SiteState {
+	return SiteState{
+		PC:      s.PC,
+		Name:    s.Name,
+		Exec:    s.Exec,
+		LVPHits: s.LVPHits,
+		Zeros:   s.Zeros,
+		Last:    s.last,
+		HasLast: s.hasLast,
+		TNV: TNVState{
+			Entries:    append([]TNVEntry(nil), s.TNV.entries...),
+			Updates:    s.TNV.updates,
+			SinceClear: s.TNV.sinceClear,
+			Clears:     s.TNV.clears,
+		},
+	}
+}
+
+// restoreSite rebuilds a live SiteStats from checkpointed state.
+func restoreSite(st *SiteState, cfg TNVConfig) *SiteStats {
+	s := NewSiteStats(st.PC, st.Name, cfg, false)
+	s.Exec = st.Exec
+	s.LVPHits = st.LVPHits
+	s.Zeros = st.Zeros
+	s.last = st.Last
+	s.hasLast = st.HasLast
+	s.TNV.entries = append(s.TNV.entries[:0], st.TNV.Entries...)
+	s.TNV.updates = st.TNV.Updates
+	s.TNV.sinceClear = st.TNV.SinceClear
+	s.TNV.clears = st.TNV.Clears
+	return s
+}
+
+// CheckpointOf snapshots the profiler and (optionally) the VM into a
+// checkpoint tagged with the program and input names.
+func CheckpointOf(vp *ValueProfiler, v *vm.VM, programName, inputName string) (*Checkpoint, error) {
+	ck := &Checkpoint{
+		Program: programName,
+		Input:   inputName,
+		TNV:     vp.opts.TNV,
+		Skipped: vp.Skipped,
+	}
+	pcs := make([]int, 0, len(vp.sites))
+	for pc := range vp.sites {
+		pcs = append(pcs, pc)
+	}
+	sort.Ints(pcs)
+	for _, pc := range pcs {
+		s := vp.sites[pc]
+		if s.Exec == 0 {
+			continue
+		}
+		ck.Sites = append(ck.Sites, siteState(s))
+	}
+	if v != nil {
+		if err := ck.CaptureVM(v); err != nil {
+			return nil, err
+		}
+	}
+	return ck, nil
+}
+
+// Checkpointer is an atom.Tool that periodically snapshots a profiling
+// run to a sidecar file. Attach it to the same run as the profiler it
+// watches:
+//
+//	vp, _ := core.NewValueProfiler(opts)
+//	ckpt := core.NewCheckpointer(vp, "run.ckpt", 0, "compress", "test")
+//	atom.RunControlled(ctx, prog, ropts, vp, ckpt)
+//
+// A snapshot failure (disk full, permission) never kills the run: the
+// error is recorded, the run continues, and the previous checkpoint
+// file — written atomically — remains loadable.
+type Checkpointer struct {
+	Path    string
+	Every   uint64
+	Program string
+	Input   string
+
+	vp      *ValueProfiler
+	next    uint64
+	written uint64
+	lastErr error
+}
+
+// NewCheckpointer creates a checkpointer snapshotting vp every `every`
+// instructions (0 selects DefaultCheckpointEvery) to path.
+func NewCheckpointer(vp *ValueProfiler, path string, every uint64, programName, inputName string) *Checkpointer {
+	if every == 0 {
+		every = DefaultCheckpointEvery
+	}
+	return &Checkpointer{Path: path, Every: every, Program: programName, Input: inputName, vp: vp}
+}
+
+// Instrument implements atom.Tool.
+func (c *Checkpointer) Instrument(ix *atom.Instrumenter) {
+	ix.AddStep(func(v *vm.VM) error {
+		if c.next == 0 {
+			// Lazy arm: on a resumed run InstCount starts at the
+			// checkpoint, so the first snapshot lands one full
+			// interval later rather than immediately.
+			c.next = v.InstCount + c.Every
+			return nil
+		}
+		if v.InstCount < c.next {
+			return nil
+		}
+		c.next = v.InstCount + c.Every
+		if err := c.SnapshotNow(v); err != nil {
+			c.lastErr = err
+		}
+		return nil
+	})
+}
+
+// SnapshotNow writes a checkpoint of the current state immediately
+// (also used on SIGINT to salvage a run being torn down).
+func (c *Checkpointer) SnapshotNow(v *vm.VM) error {
+	ck, err := CheckpointOf(c.vp, v, c.Program, c.Input)
+	if err != nil {
+		return err
+	}
+	if err := ck.SaveAtomic(c.Path); err != nil {
+		return err
+	}
+	c.written++
+	return nil
+}
+
+// Written returns how many checkpoints were successfully written.
+func (c *Checkpointer) Written() uint64 { return c.written }
+
+// Err returns the most recent snapshot failure, if any.
+func (c *Checkpointer) Err() error { return c.lastErr }
+
+// Seed preloads the profiler with checkpointed state so a resumed run
+// continues accumulating into the restored TNV tables and counters.
+// Must be called before the profiler instruments a program. The
+// checkpoint's TNV configuration must match the profiler's: merging
+// tables collected under different replacement policies would be
+// statistically meaningless.
+//
+// Full-profile ground truth (TrackFull) and convergent-sampler burst
+// state are not checkpointed: after a resume the full profile restarts
+// empty and samplers re-converge, which only affects diagnostics, not
+// the TNV profile itself.
+func (p *ValueProfiler) Seed(ck *Checkpoint) error {
+	if ck.TNV != p.opts.TNV {
+		return fmt.Errorf("core: checkpoint TNV config %+v does not match profiler %+v", ck.TNV, p.opts.TNV)
+	}
+	if len(p.sites) > 0 {
+		return fmt.Errorf("core: profiler already instrumented; seed before atom.Run")
+	}
+	p.seeded = make(map[int]*SiteStats, len(ck.Sites))
+	for i := range ck.Sites {
+		st := &ck.Sites[i]
+		p.seeded[st.PC] = restoreSite(st, p.opts.TNV)
+	}
+	p.Skipped = ck.Skipped
+	return nil
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// rec builds a minimal two-input comparison fixture.
+func compareRec(input string, sites ...SiteRecord) *ProfileRecord {
+	return &ProfileRecord{Program: "p", Input: input, K: 10, Sites: sites}
+}
+
+func site(pc int, exec, topCount uint64, topVal int64) SiteRecord {
+	s := SiteRecord{PC: pc, Name: "s", Exec: exec}
+	if topCount > 0 {
+		s.Top = []TNVEntry{{Value: topVal, Count: topCount}}
+	}
+	return s
+}
+
+// TestCompareEdgeCases pins down Compare's behavior on the degenerate
+// shapes a salvaged or partial profile can produce: empty records,
+// zero-exec sites, disjoint PC sets, and missing TNV tables. None may
+// yield NaN, Inf, or out-of-range fractions.
+func TestCompareEdgeCases(t *testing.T) {
+	th := DefaultThresholds()
+	tests := []struct {
+		name string
+		a, b *ProfileRecord
+		want Comparison
+	}{
+		{
+			name: "both empty",
+			a:    compareRec("a"),
+			b:    compareRec("b"),
+			want: Comparison{},
+		},
+		{
+			name: "empty vs populated",
+			a:    compareRec("a"),
+			b:    compareRec("b", site(1, 10, 9, 7), site(2, 5, 5, 0)),
+			want: Comparison{OnlyB: 2},
+		},
+		{
+			name: "populated vs empty",
+			a:    compareRec("a", site(1, 10, 9, 7)),
+			b:    compareRec("b"),
+			want: Comparison{OnlyA: 1},
+		},
+		{
+			name: "disjoint pc sets",
+			a:    compareRec("a", site(1, 10, 9, 7), site(3, 4, 2, 5)),
+			b:    compareRec("b", site(2, 10, 9, 7), site(4, 4, 2, 5)),
+			want: Comparison{OnlyA: 2, OnlyB: 2},
+		},
+		{
+			name: "identical single site",
+			a:    compareRec("a", site(1, 10, 10, 7)),
+			b:    compareRec("b", site(1, 10, 10, 7)),
+			// One common site: correlation degenerates to 0 (no
+			// variance), everything else agrees exactly.
+			want: Comparison{CommonSites: 1, ClassAgreement: 1, TopValueAgreement: 1},
+		},
+		{
+			name: "zero-exec site never divides by zero",
+			a:    compareRec("a", SiteRecord{PC: 1, Exec: 0}),
+			b:    compareRec("b", SiteRecord{PC: 1, Exec: 0}),
+			want: Comparison{CommonSites: 1, ClassAgreement: 1},
+		},
+		{
+			name: "empty top tables",
+			a:    compareRec("a", site(1, 10, 0, 0)),
+			b:    compareRec("b", site(1, 10, 0, 0)),
+			// No top value on either side: TopValueAgreement counts it
+			// as disagreement rather than crashing.
+			want: Comparison{CommonSites: 1, ClassAgreement: 1},
+		},
+		{
+			name: "mixed overlap",
+			a: compareRec("a",
+				site(1, 100, 100, 7), // invariant, same top value
+				site(2, 100, 50, 3),  // variant vs invariant below
+				site(5, 10, 1, 1)),   // only in a
+			b: compareRec("b",
+				site(1, 100, 99, 7),
+				site(2, 100, 98, 4), // different class AND top value
+				site(9, 10, 1, 1)),  // only in b
+			want: Comparison{
+				CommonSites: 2, OnlyA: 1, OnlyB: 1,
+				ClassAgreement: 0.5, TopValueAgreement: 0.5,
+				// Two points whose deltas share a sign: Pearson's r
+				// is exactly 1.
+				InvCorrelation: 1,
+			},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Compare(tc.a, tc.b, th)
+			for name, v := range map[string]float64{
+				"InvCorrelation":    got.InvCorrelation,
+				"ClassAgreement":    got.ClassAgreement,
+				"TopValueAgreement": got.TopValueAgreement,
+				"MeanAbsInvDiff":    got.MeanAbsInvDiff,
+			} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("%s is %v", name, v)
+				}
+			}
+			if got.CommonSites != tc.want.CommonSites ||
+				got.OnlyA != tc.want.OnlyA || got.OnlyB != tc.want.OnlyB {
+				t.Errorf("site split = %d/%d/%d, want %d/%d/%d",
+					got.CommonSites, got.OnlyA, got.OnlyB,
+					tc.want.CommonSites, tc.want.OnlyA, tc.want.OnlyB)
+			}
+			if got.ClassAgreement != tc.want.ClassAgreement {
+				t.Errorf("ClassAgreement = %v, want %v", got.ClassAgreement, tc.want.ClassAgreement)
+			}
+			if got.TopValueAgreement != tc.want.TopValueAgreement {
+				t.Errorf("TopValueAgreement = %v, want %v", got.TopValueAgreement, tc.want.TopValueAgreement)
+			}
+			if math.Abs(got.InvCorrelation-tc.want.InvCorrelation) > 1e-12 {
+				t.Errorf("InvCorrelation = %v, want %v", got.InvCorrelation, tc.want.InvCorrelation)
+			}
+		})
+	}
+}
+
+// TestCompareSelfIsPerfect sanity-checks the non-degenerate path: a
+// record with spread-out invariances compared against itself must
+// report full agreement and correlation 1.
+func TestCompareSelfIsPerfect(t *testing.T) {
+	r := compareRec("a",
+		site(1, 100, 100, 7),
+		site(2, 100, 60, 3),
+		site(3, 100, 20, 9),
+	)
+	c := Compare(r, r, DefaultThresholds())
+	if c.CommonSites != 3 || c.OnlyA != 0 || c.OnlyB != 0 {
+		t.Fatalf("split %d/%d/%d", c.CommonSites, c.OnlyA, c.OnlyB)
+	}
+	if c.ClassAgreement != 1 || c.TopValueAgreement != 1 || c.MeanAbsInvDiff != 0 {
+		t.Errorf("self-compare not perfect: %+v", c)
+	}
+	if math.Abs(c.InvCorrelation-1) > 1e-12 {
+		t.Errorf("InvCorrelation = %v, want 1", c.InvCorrelation)
+	}
+}

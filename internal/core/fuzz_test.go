@@ -1,0 +1,62 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadProfileRecord drives both loader policies over arbitrary
+// bytes. The loader must never panic, and whatever it accepts must
+// satisfy the profile invariants — in particular no site may report
+// Inv-Top(k) above 1.0, the property every downstream consumer
+// assumes.
+func FuzzReadProfileRecord(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"program":"p","input":"i","k":10,"sites":[]}`))
+	f.Add([]byte(`{"program":"p","input":"i","k":10,"sites":[` +
+		`{"pc":3,"name":"a","exec":100,"lvpHits":90,"zeros":5,` +
+		`"top":[{"Value":7,"Count":60},{"Value":1,"Count":40}]}]}`))
+	// Violations the validator must catch.
+	f.Add([]byte(`{"k":10,"sites":[{"pc":1,"exec":10,"top":[{"Value":1,"Count":999}]}]}`))
+	f.Add([]byte(`{"k":10,"sites":[{"pc":1,"exec":5},{"pc":1,"exec":5}]}`))
+	f.Add([]byte(`{"k":10,"sites":[{"pc":-4,"exec":5}]}`))
+	f.Add([]byte(`{"k":0,"sites":[]}`))
+	f.Add([]byte(`{"program":"p","outcome":"fault","k":10,"sites":[{"pc":1,"exec":`)) // truncated
+	f.Add([]byte(`{"unknown":{"nested":[1,2,3]},"k":10,"sites":[]}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"k":1e99,"sites":[]}`))
+	f.Add([]byte("\x00\xff\xfe"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, policy := range []RepairPolicy{RepairNone, RepairDrop} {
+			rec, rep, err := ReadProfileRecordPolicy(bytes.NewReader(data), policy)
+			if err != nil {
+				continue
+			}
+			if rec == nil || rep == nil {
+				t.Fatalf("policy %v: nil record or report without error", policy)
+			}
+			if rec.K < 1 || rec.K > maxTableWidth {
+				t.Fatalf("accepted out-of-range k %d", rec.K)
+			}
+			seen := make(map[int]bool)
+			for i := range rec.Sites {
+				s := &rec.Sites[i]
+				if s.PC < 0 || s.Exec <= 0 || seen[s.PC] {
+					t.Fatalf("accepted invalid site %+v", s)
+				}
+				seen[s.PC] = true
+				if s.LVPHits > s.Exec || s.Zeros > s.Exec {
+					t.Fatalf("counters exceed executions: %+v", s)
+				}
+				// Checking every k up to rec.K is quadratic when the
+				// table is wide; the low ks and k = K cover the sum.
+				for _, k := range []int{1, 2, 3, rec.K} {
+					if inv := s.InvTop(k); inv < 0 || inv > 1 {
+						t.Fatalf("InvTop(%d) = %v out of [0,1] for %+v", k, inv, s)
+					}
+				}
+			}
+		}
+	})
+}

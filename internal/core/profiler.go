@@ -49,6 +49,10 @@ func ClassOnly(c isa.Class) func(isa.Inst) bool {
 type ValueProfiler struct {
 	opts  Options
 	sites map[int]*SiteStats
+	// seeded holds per-site state restored from a checkpoint (see
+	// Seed); prepare adopts these instead of fresh stats so a resumed
+	// run keeps accumulating into the restored tables.
+	seeded map[int]*SiteStats
 	// Skipped counts executions the sampler declined to profile (its
 	// overhead saving).
 	Skipped uint64
@@ -106,9 +110,14 @@ func (p *ValueProfiler) Instrument(ix *atom.Instrumenter) {
 }
 
 // prepare creates the site table from the program without attaching
-// hooks (also used by tests).
+// hooks (also used by tests). Sites restored from a checkpoint keep
+// their accumulated state; sites the checkpoint never saw start fresh.
 func (p *ValueProfiler) prepare(ix *atom.Instrumenter) {
 	ix.ForEachInst(p.opts.Filter, func(pc int, in isa.Inst) {
+		if s, ok := p.seeded[pc]; ok {
+			p.sites[pc] = s
+			return
+		}
 		p.sites[pc] = NewSiteStats(pc, ix.Prog.SiteName(pc), p.opts.TNV, p.opts.TrackFull)
 	})
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -44,11 +45,15 @@ func (s *SiteRecord) InvTop(k int) float64 {
 	return float64(sum) / float64(s.Exec)
 }
 
-// ProfileRecord is a saved profiling run.
+// ProfileRecord is a saved profiling run. Outcome, when non-empty,
+// records how the collecting run ended ("completed", "faulted",
+// "deadline", "cancelled", "limit"); a partial profile is still a
+// valid profile — the TNV tables simply cover a prefix of the run.
 type ProfileRecord struct {
 	Program string       `json:"program"`
 	Input   string       `json:"input"`
 	K       int          `json:"k"`
+	Outcome string       `json:"outcome,omitempty"`
 	Sites   []SiteRecord `json:"sites"`
 }
 
@@ -79,17 +84,382 @@ func (r *ProfileRecord) WriteJSON(w io.Writer) error {
 	return enc.Encode(r)
 }
 
-// ReadProfileRecord deserializes a record written by WriteJSON.
+// RepairPolicy selects how the validating loader treats a damaged
+// profile record.
+type RepairPolicy int
+
+const (
+	// RepairNone rejects the whole record on the first violation.
+	RepairNone RepairPolicy = iota
+	// RepairDrop salvages what it can: undecodable or invalid sites
+	// are dropped, out-of-range counters are clamped, duplicate-PC
+	// sites are discarded, and a truncated sites array yields the
+	// intact prefix. The LoadReport says what was lost.
+	RepairDrop
+)
+
+// LoadReport summarizes what the validating loader salvaged, dropped,
+// and clamped.
+type LoadReport struct {
+	SitesLoaded  int
+	SitesDropped int
+	SitesClamped int
+	// Truncated is set when the input ended mid-record and the loaded
+	// sites are a prefix of what was written.
+	Truncated bool
+	// Problems holds human-readable descriptions of the first few
+	// violations encountered.
+	Problems []string
+}
+
+const maxReportedProblems = 20
+
+func (lr *LoadReport) addProblem(format string, args ...any) {
+	if len(lr.Problems) < maxReportedProblems {
+		lr.Problems = append(lr.Problems, fmt.Sprintf(format, args...))
+	}
+}
+
+// Clean reports whether the record loaded without any repair.
+func (lr *LoadReport) Clean() bool {
+	return lr.SitesDropped == 0 && lr.SitesClamped == 0 && !lr.Truncated && len(lr.Problems) == 0
+}
+
+// String renders a one-line salvage summary.
+func (lr *LoadReport) String() string {
+	s := fmt.Sprintf("loaded %d sites (%d dropped, %d clamped)",
+		lr.SitesLoaded, lr.SitesDropped, lr.SitesClamped)
+	if lr.Truncated {
+		s += ", input truncated"
+	}
+	return s
+}
+
+// maxTableWidth bounds the accepted TNV width; anything larger is a
+// corrupt header, not a plausible configuration.
+const maxTableWidth = 1 << 16
+
+// ReadProfileRecord deserializes and validates a record written by
+// WriteJSON, rejecting it outright on any violation (RepairNone). A
+// record it returns never violates the profile invariants: site PCs
+// are unique and non-negative, per-site counters satisfy
+// LVPHits ≤ Exec, Zeros ≤ Exec and sum(Top counts) ≤ Exec (hence
+// InvTop(k) ≤ 1), and TNV entries are sorted by descending count.
 func ReadProfileRecord(r io.Reader) (*ProfileRecord, error) {
-	var rec ProfileRecord
-	if err := json.NewDecoder(r).Decode(&rec); err != nil {
-		return nil, fmt.Errorf("core: reading profile record: %w", err)
+	rec, _, err := ReadProfileRecordPolicy(r, RepairNone)
+	return rec, err
+}
+
+// ReadProfileRecordPolicy is the validating loader behind
+// ReadProfileRecord. Under RepairDrop it tolerates damaged input —
+// truncated JSON, undecodable sites, impossible counters — salvaging
+// every site that validates and reporting what was lost; it fails only
+// when nothing trustworthy remains (unreadable header or an invalid
+// table width). The returned record satisfies the same invariants as
+// ReadProfileRecord under either policy.
+func ReadProfileRecordPolicy(r io.Reader, policy RepairPolicy) (*ProfileRecord, *LoadReport, error) {
+	rec := &ProfileRecord{}
+	rep := &LoadReport{}
+	dec := json.NewDecoder(r)
+
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: reading profile record: %w", err)
 	}
-	if rec.K <= 0 {
-		return nil, fmt.Errorf("core: profile record has invalid table width %d", rec.K)
+	if d, ok := tok.(json.Delim); !ok || d != '{' {
+		return nil, nil, fmt.Errorf("core: profile record is not a JSON object (starts with %v)", tok)
 	}
+
+	seen := make(map[int]bool)
+fields:
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			if policy == RepairDrop && isTruncation(err) {
+				rep.Truncated = true
+				rep.addProblem("record truncated: %v", err)
+				break fields
+			}
+			return nil, nil, fmt.Errorf("core: reading profile record: %w", err)
+		}
+		if d, ok := tok.(json.Delim); ok && d == '}' {
+			break
+		}
+		key, ok := tok.(string)
+		if !ok {
+			return nil, nil, fmt.Errorf("core: profile record has malformed key %v", tok)
+		}
+		switch key {
+		case "program":
+			err = dec.Decode(&rec.Program)
+		case "input":
+			err = dec.Decode(&rec.Input)
+		case "outcome":
+			err = dec.Decode(&rec.Outcome)
+		case "k":
+			err = dec.Decode(&rec.K)
+		case "sites":
+			err = readSites(dec, rec, seen, policy, rep)
+			if err == nil {
+				continue
+			}
+			var stop *truncatedSites
+			if policy == RepairDrop && errors.As(err, &stop) {
+				rep.Truncated = true
+				rep.addProblem("sites array truncated: %v", stop.err)
+				break fields
+			}
+		default:
+			// Unknown field: skip its value for forward compatibility.
+			var skip json.RawMessage
+			err = dec.Decode(&skip)
+		}
+		if err != nil {
+			if policy == RepairDrop && isTruncation(err) {
+				rep.Truncated = true
+				rep.addProblem("record truncated in %q: %v", key, err)
+				break fields
+			}
+			return nil, nil, fmt.Errorf("core: profile record field %q: %w", key, err)
+		}
+	}
+
+	if rec.K <= 0 || rec.K > maxTableWidth {
+		return nil, nil, fmt.Errorf("core: profile record has invalid table width %d", rec.K)
+	}
+	// Sites wider than the declared table width are a header/site
+	// mismatch; validate now that K is known.
+	kept := rec.Sites[:0]
+	for i := range rec.Sites {
+		s := &rec.Sites[i]
+		if len(s.Top) > rec.K {
+			if policy == RepairNone {
+				return nil, nil, fmt.Errorf("core: site pc %d has %d TNV entries, table width %d", s.PC, len(s.Top), rec.K)
+			}
+			rep.addProblem("site pc %d: %d TNV entries truncated to table width %d", s.PC, len(s.Top), rec.K)
+			s.Top = s.Top[:rec.K]
+			rep.SitesClamped++
+		}
+		kept = append(kept, *s)
+	}
+	rec.Sites = kept
+	rep.SitesLoaded = len(rec.Sites)
 	sort.Slice(rec.Sites, func(i, j int) bool { return rec.Sites[i].PC < rec.Sites[j].PC })
-	return &rec, nil
+	return rec, rep, nil
+}
+
+// truncatedSites signals that the sites array ended mid-stream; the
+// decoder cannot continue past it.
+type truncatedSites struct{ err error }
+
+func (t *truncatedSites) Error() string { return fmt.Sprintf("core: sites truncated: %v", t.err) }
+
+func isTruncation(err error) bool {
+	return errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF)
+}
+
+func readSites(dec *json.Decoder, rec *ProfileRecord, seen map[int]bool, policy RepairPolicy, rep *LoadReport) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return &truncatedSites{err: err}
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '[' {
+		return fmt.Errorf("sites is not an array (starts with %v)", tok)
+	}
+	for dec.More() {
+		// Decode to raw bytes first: a syntactically intact but
+		// semantically bad site (negative count, wrong type) must not
+		// kill the decoder, so the typed unmarshal happens separately.
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
+			return &truncatedSites{err: err}
+		}
+		var s SiteRecord
+		if err := json.Unmarshal(raw, &s); err != nil {
+			if policy == RepairNone {
+				return fmt.Errorf("undecodable site: %w", err)
+			}
+			rep.SitesDropped++
+			rep.addProblem("dropped undecodable site: %v", err)
+			continue
+		}
+		keep, clamped, err := validateSite(&s, seen, policy, rep)
+		if err != nil {
+			return err
+		}
+		if !keep {
+			rep.SitesDropped++
+			continue
+		}
+		if clamped {
+			rep.SitesClamped++
+		}
+		seen[s.PC] = true
+		rec.Sites = append(rec.Sites, s)
+	}
+	if _, err := dec.Token(); err != nil { // closing ']'
+		return &truncatedSites{err: err}
+	}
+	return nil
+}
+
+// validateSite enforces the per-site invariants. Under RepairNone any
+// violation returns an error; under RepairDrop irreparable sites are
+// dropped (keep=false) and repairable counters are clamped.
+func validateSite(s *SiteRecord, seen map[int]bool, policy RepairPolicy, rep *LoadReport) (keep, clamped bool, err error) {
+	strict := policy == RepairNone
+	fail := func(format string, args ...any) (bool, bool, error) {
+		if strict {
+			return false, false, fmt.Errorf("site pc %d: %s", s.PC, fmt.Sprintf(format, args...))
+		}
+		rep.addProblem("dropped site pc %d: %s", s.PC, fmt.Sprintf(format, args...))
+		return false, false, nil
+	}
+
+	if s.PC < 0 {
+		return fail("negative pc")
+	}
+	if seen[s.PC] {
+		return fail("duplicate pc")
+	}
+	if s.Exec == 0 {
+		return fail("zero executions")
+	}
+	if s.LVPHits > s.Exec {
+		if strict {
+			return false, false, fmt.Errorf("site pc %d: LVP hits %d exceed executions %d", s.PC, s.LVPHits, s.Exec)
+		}
+		rep.addProblem("site pc %d: LVP hits %d clamped to executions %d", s.PC, s.LVPHits, s.Exec)
+		s.LVPHits = s.Exec
+		clamped = true
+	}
+	if s.Zeros > s.Exec {
+		if strict {
+			return false, false, fmt.Errorf("site pc %d: zero count %d exceeds executions %d", s.PC, s.Zeros, s.Exec)
+		}
+		rep.addProblem("site pc %d: zero count %d clamped to executions %d", s.PC, s.Zeros, s.Exec)
+		s.Zeros = s.Exec
+		clamped = true
+	}
+
+	// TNV entries: no zero counts, no duplicate values, sorted by
+	// descending count, and total count bounded by Exec so that
+	// InvTop(k) can never exceed 1.
+	entries := s.Top[:0]
+	valSeen := make(map[int64]bool, len(s.Top))
+	for _, e := range s.Top {
+		switch {
+		case e.Count == 0:
+			if strict {
+				return false, false, fmt.Errorf("site pc %d: TNV entry %d has zero count", s.PC, e.Value)
+			}
+			rep.addProblem("site pc %d: dropped zero-count TNV entry %d", s.PC, e.Value)
+			clamped = true
+			continue
+		case valSeen[e.Value]:
+			if strict {
+				return false, false, fmt.Errorf("site pc %d: duplicate TNV value %d", s.PC, e.Value)
+			}
+			rep.addProblem("site pc %d: dropped duplicate TNV value %d", s.PC, e.Value)
+			clamped = true
+			continue
+		}
+		valSeen[e.Value] = true
+		entries = append(entries, e)
+	}
+	s.Top = entries
+	sort.SliceStable(s.Top, func(i, j int) bool {
+		if s.Top[i].Count != s.Top[j].Count {
+			return s.Top[i].Count > s.Top[j].Count
+		}
+		return s.Top[i].Value < s.Top[j].Value
+	})
+
+	var sum uint64
+	for i := range s.Top {
+		c := s.Top[i].Count
+		if c > s.Exec-sum { // counts can exceed Exec only through corruption
+			if strict {
+				return false, false, fmt.Errorf("site pc %d: TNV counts exceed executions %d", s.PC, s.Exec)
+			}
+			rep.addProblem("site pc %d: TNV counts clamped to executions %d", s.PC, s.Exec)
+			s.Top[i].Count = s.Exec - sum
+			if s.Top[i].Count == 0 {
+				s.Top = s.Top[:i]
+			} else {
+				s.Top = s.Top[:i+1]
+			}
+			clamped = true
+			break
+		}
+		sum += c
+	}
+	return true, clamped, nil
+}
+
+// MergeRecords combines two profiles of the same program into one, the
+// way a pipeline merges salvaged partial profiles from interrupted
+// runs: per-site counters add, and TNV tables merge by value with the
+// combined top K kept. The LVP hit at each splice boundary is lost (at
+// most one execution per site), so merged LVP is an approximation;
+// merged TNV counts are exact for values both tables retained.
+func MergeRecords(a, b *ProfileRecord) (*ProfileRecord, error) {
+	if a.K != b.K {
+		return nil, fmt.Errorf("core: merging records with different table widths %d and %d", a.K, b.K)
+	}
+	if a.Program != b.Program {
+		return nil, fmt.Errorf("core: merging records of different programs %q and %q", a.Program, b.Program)
+	}
+	out := &ProfileRecord{Program: a.Program, Input: a.Input, K: a.K}
+	if b.Input != a.Input {
+		out.Input = a.Input + "+" + b.Input
+	}
+	bByPC := make(map[int]*SiteRecord, len(b.Sites))
+	for i := range b.Sites {
+		bByPC[b.Sites[i].PC] = &b.Sites[i]
+	}
+	for i := range a.Sites {
+		sa := a.Sites[i]
+		if sb, ok := bByPC[sa.PC]; ok {
+			delete(bByPC, sa.PC)
+			sa.Exec += sb.Exec
+			sa.LVPHits += sb.LVPHits
+			sa.Zeros += sb.Zeros
+			sa.Top = mergeTop(sa.Top, sb.Top, a.K)
+		}
+		out.Sites = append(out.Sites, sa)
+	}
+	for i := range b.Sites {
+		if _, ok := bByPC[b.Sites[i].PC]; ok {
+			out.Sites = append(out.Sites, b.Sites[i])
+		}
+	}
+	sort.Slice(out.Sites, func(i, j int) bool { return out.Sites[i].PC < out.Sites[j].PC })
+	return out, nil
+}
+
+func mergeTop(a, b []TNVEntry, k int) []TNVEntry {
+	counts := make(map[int64]uint64, len(a)+len(b))
+	for _, e := range a {
+		counts[e.Value] += e.Count
+	}
+	for _, e := range b {
+		counts[e.Value] += e.Count
+	}
+	merged := make([]TNVEntry, 0, len(counts))
+	for v, c := range counts {
+		merged = append(merged, TNVEntry{Value: v, Count: c})
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Count != merged[j].Count {
+			return merged[i].Count > merged[j].Count
+		}
+		return merged[i].Value < merged[j].Value
+	})
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return merged
 }
 
 // Comparison summarizes two runs of the same program on different

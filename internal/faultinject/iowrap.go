@@ -1,0 +1,104 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrInjectedWrite is the default error surfaced by FailingWriter,
+// standing in for a full disk or revoked file handle.
+var ErrInjectedWrite = errors.New("faultinject: injected write error")
+
+// FailingWriter passes writes through to W until Budget bytes have
+// been written, then fails every subsequent write with Err (default
+// ErrInjectedWrite). The write that crosses the budget is truncated to
+// the remaining budget before failing, modelling a disk that fills
+// mid-buffer.
+type FailingWriter struct {
+	W      io.Writer
+	Budget int64
+	Err    error
+
+	written int64
+}
+
+// NewFailingWriter wraps w to fail after budget bytes.
+func NewFailingWriter(w io.Writer, budget int64) *FailingWriter {
+	return &FailingWriter{W: w, Budget: budget}
+}
+
+// Written returns how many bytes reached the underlying writer.
+func (f *FailingWriter) Written() int64 { return f.written }
+
+func (f *FailingWriter) Write(p []byte) (int, error) {
+	errOut := f.Err
+	if errOut == nil {
+		errOut = ErrInjectedWrite
+	}
+	remaining := f.Budget - f.written
+	if remaining <= 0 {
+		return 0, errOut
+	}
+	if int64(len(p)) <= remaining {
+		n, err := f.W.Write(p)
+		f.written += int64(n)
+		return n, err
+	}
+	n, err := f.W.Write(p[:remaining])
+	f.written += int64(n)
+	if err != nil {
+		return n, err
+	}
+	return n, errOut
+}
+
+// ShortWriter accepts at most Budget bytes, then reports
+// io.ErrShortWrite — the "write returned fewer bytes than requested"
+// contract violation a wrapper must surface rather than swallow.
+type ShortWriter struct {
+	W      io.Writer
+	Budget int64
+
+	written int64
+}
+
+func (s *ShortWriter) Write(p []byte) (int, error) {
+	remaining := s.Budget - s.written
+	if remaining <= 0 {
+		return 0, io.ErrShortWrite
+	}
+	if int64(len(p)) <= remaining {
+		n, err := s.W.Write(p)
+		s.written += int64(n)
+		return n, err
+	}
+	n, err := s.W.Write(p[:remaining])
+	s.written += int64(n)
+	if err != nil {
+		return n, err
+	}
+	return n, io.ErrShortWrite
+}
+
+// TruncReader yields only the first Budget bytes of R, then reports a
+// clean EOF — a file whose tail was lost to a crash before it was
+// flushed.
+type TruncReader struct {
+	R      io.Reader
+	Budget int64
+
+	read int64
+}
+
+func (t *TruncReader) Read(p []byte) (int, error) {
+	remaining := t.Budget - t.read
+	if remaining <= 0 {
+		return 0, io.EOF
+	}
+	if int64(len(p)) > remaining {
+		p = p[:remaining]
+	}
+	n, err := t.R.Read(p)
+	t.read += int64(n)
+	return n, err
+}

@@ -1,0 +1,120 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"valueprof/internal/atomicio"
+	"valueprof/internal/core"
+)
+
+func TestFailingWriterBudget(t *testing.T) {
+	var sink bytes.Buffer
+	fw := NewFailingWriter(&sink, 10)
+	if n, err := fw.Write([]byte("12345")); n != 5 || err != nil {
+		t.Fatalf("first write: %d %v", n, err)
+	}
+	// Crosses the budget: 5 more bytes land, then the error surfaces.
+	n, err := fw.Write([]byte("6789abcdef"))
+	if n != 5 || !errors.Is(err, ErrInjectedWrite) {
+		t.Fatalf("crossing write: %d %v", n, err)
+	}
+	if sink.String() != "123456789a" {
+		t.Errorf("sink %q", sink.String())
+	}
+	if n, err := fw.Write([]byte("x")); n != 0 || !errors.Is(err, ErrInjectedWrite) {
+		t.Errorf("post-budget write: %d %v", n, err)
+	}
+}
+
+func TestShortWriter(t *testing.T) {
+	var sink bytes.Buffer
+	sw := &ShortWriter{W: &sink, Budget: 4}
+	n, err := sw.Write([]byte("123456"))
+	if n != 4 || !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("short write: %d %v", n, err)
+	}
+}
+
+func TestTruncReader(t *testing.T) {
+	tr := &TruncReader{R: strings.NewReader("full content here"), Budget: 4}
+	got, err := io.ReadAll(tr)
+	if err != nil || string(got) != "full" {
+		t.Fatalf("read %q %v", got, err)
+	}
+}
+
+// TestSerializerSurvivesInjectedIOFaults drives profile serialization
+// through failing and short writers: every failure must surface as an
+// error (never a silent truncation), and a truncated read through the
+// repair loader must salvage cleanly.
+func TestSerializerSurvivesInjectedIOFaults(t *testing.T) {
+	rec := &core.ProfileRecord{Program: "p", Input: "i", K: 10}
+	for pc := 0; pc < 40; pc++ {
+		rec.Sites = append(rec.Sites, core.SiteRecord{
+			PC: pc, Name: "s", Exec: 100,
+			Top: []core.TNVEntry{{Value: int64(pc), Count: 60}, {Value: 1, Count: 40}},
+		})
+	}
+	var full bytes.Buffer
+	if err := rec.WriteJSON(&full); err != nil {
+		t.Fatal(err)
+	}
+	size := int64(full.Len())
+
+	for _, budget := range []int64{0, 1, size / 4, size / 2, size - 2} {
+		var sink bytes.Buffer
+		if err := rec.WriteJSON(NewFailingWriter(&sink, budget)); err == nil {
+			t.Errorf("budget %d: write error swallowed", budget)
+		}
+		sink.Reset()
+		if err := rec.WriteJSON(&ShortWriter{W: &sink, Budget: budget}); err == nil {
+			t.Errorf("budget %d: short write swallowed", budget)
+		}
+
+		// The bytes that did land are a truncated profile; the strict
+		// loader must reject and the repair loader must salvage a
+		// valid prefix without panicking.
+		data := full.Bytes()[:budget]
+		if _, err := core.ReadProfileRecord(bytes.NewReader(data)); err == nil {
+			t.Errorf("budget %d: strict loader accepted truncated profile", budget)
+		}
+		rec2, rep, err := core.ReadProfileRecordPolicy(&TruncReader{R: bytes.NewReader(full.Bytes()), Budget: budget}, core.RepairDrop)
+		if err == nil {
+			if !rep.Truncated {
+				t.Errorf("budget %d: truncation not reported", budget)
+			}
+			for _, s := range rec2.Sites {
+				if s.InvTop(1) > 1 {
+					t.Errorf("budget %d: salvaged site %d invalid", budget, s.PC)
+				}
+			}
+		}
+	}
+}
+
+// TestAtomicWriteUnderInjectedFaults proves the atomic-write discipline
+// holds under injected I/O failure: the destination never changes.
+func TestAtomicWriteUnderInjectedFaults(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "profile.json")
+	if err := atomicio.WriteFileBytes(path, []byte("good old profile")); err != nil {
+		t.Fatal(err)
+	}
+	err := atomicio.WriteFile(path, func(w io.Writer) error {
+		fw := NewFailingWriter(w, 5)
+		_, err := fw.Write([]byte("partial new profile that will die"))
+		return err
+	})
+	if !errors.Is(err, ErrInjectedWrite) {
+		t.Fatalf("err = %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "good old profile" {
+		t.Errorf("destination damaged: %q %v", got, err)
+	}
+}

@@ -7,9 +7,11 @@ package vm
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"strconv"
+	"time"
 
 	"valueprof/internal/isa"
 	"valueprof/internal/program"
@@ -70,12 +72,20 @@ type VM struct {
 	Halted     bool
 
 	StepLimit uint64
+	// Deadline, when non-zero, is the wall-clock instant after which
+	// RunControlled stops with OutcomeDeadline. Checked once per
+	// Quantum instructions.
+	Deadline time.Time
+	// Quantum is the number of instructions between control checks in
+	// RunControlled; 0 selects DefaultQuantum.
+	Quantum uint64
 
 	// Hook tables, indexed by pc; nil when no instrumentation is
 	// attached so the uninstrumented fast path stays cheap.
 	before  [][]Hook
 	after   [][]Hook
 	atEnd   []Hook
+	stepFns []StepFn
 	scratch Event
 }
 
@@ -141,6 +151,7 @@ func (v *VM) ClearHooks() {
 	v.before = nil
 	v.after = nil
 	v.atEnd = nil
+	v.stepFns = nil
 }
 
 func (v *VM) fault(format string, args ...any) error {
@@ -202,45 +213,13 @@ func (v *VM) runHooks(hooks []Hook, ev *Event) {
 	}
 }
 
-// Run executes until the program exits, faults, or hits the step limit.
+// Run executes until the program exits, faults, or hits the step
+// limit, returning a non-nil error for anything but a clean exit. It is
+// RunControlled without cancellation; callers that want to salvage
+// partial runs should use RunControlled instead.
 func (v *VM) Run() error {
-	code := v.Prog.Code
-	for !v.Halted {
-		if v.InstCount >= v.StepLimit {
-			return v.fault("step limit %d exceeded", v.StepLimit)
-		}
-		pc := v.PC
-		if pc < 0 || pc >= len(code) {
-			return v.fault("pc %d out of range", pc)
-		}
-		in := code[pc]
-
-		if v.before != nil && v.before[pc] != nil {
-			ev := &v.scratch
-			*ev = Event{VM: v, PC: pc, Inst: in}
-			v.runHooks(v.before[pc], ev)
-		}
-
-		value, addr, err := v.step(pc, in)
-		if err != nil {
-			return err
-		}
-		v.InstCount++
-		v.Cycles += uint64(in.Op.Cycles())
-
-		if v.after != nil && v.after[pc] != nil {
-			ev := &v.scratch
-			*ev = Event{VM: v, PC: pc, Inst: in, Value: value, Addr: addr}
-			v.runHooks(v.after[pc], ev)
-		}
-	}
-	if v.atEnd != nil {
-		ev := &Event{VM: v, PC: v.PC}
-		for _, h := range v.atEnd {
-			h(ev)
-		}
-	}
-	return nil
+	_, err := v.RunControlled(context.Background())
+	return err
 }
 
 // step executes one instruction, returning the result value (for
@@ -460,13 +439,29 @@ func b2i(b bool) int64 {
 	return 0
 }
 
-// Result summarizes a completed run.
+// Result summarizes a run. Outcome distinguishes a completed run from
+// one stopped early; for partial outcomes the counters cover the
+// executed prefix.
 type Result struct {
 	Output        string
 	ExitStatus    int64
 	Cycles        uint64
 	InstCount     uint64
 	AnalysisCalls uint64
+	Outcome       RunOutcome
+}
+
+// ResultOf summarizes the VM's current state as a Result tagged with
+// the given outcome.
+func ResultOf(v *VM, outcome RunOutcome) *Result {
+	return &Result{
+		Output:        v.Output.String(),
+		ExitStatus:    v.ExitStatus,
+		Cycles:        v.Cycles,
+		InstCount:     v.InstCount,
+		AnalysisCalls: v.AnalysisCalls,
+		Outcome:       outcome,
+	}
 }
 
 // Execute runs prog to completion with the given input and returns the
@@ -477,11 +472,5 @@ func Execute(prog *program.Program, input []int64) (*Result, error) {
 	if err := v.Run(); err != nil {
 		return nil, err
 	}
-	return &Result{
-		Output:        v.Output.String(),
-		ExitStatus:    v.ExitStatus,
-		Cycles:        v.Cycles,
-		InstCount:     v.InstCount,
-		AnalysisCalls: v.AnalysisCalls,
-	}, nil
+	return ResultOf(v, OutcomeCompleted), nil
 }
