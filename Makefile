@@ -1,14 +1,30 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build test test-short cover bench exp exp-quick fmt vet clean ci fuzz-smoke
+.PHONY: all build test test-short cover bench exp exp-quick fmt vet lint clean ci fuzz-smoke
 
-all: build vet test
+all: build vet lint test
 
 # What CI runs: static checks, full build, race-enabled tests, and a
 # short fuzz pass over the parsers that face untrusted input.
-ci: vet build
+ci: vet lint build
 	go test -race ./...
 	$(MAKE) fuzz-smoke
+
+# Repo-specific static checks: the atomicio vet pass over command code
+# (no raw os.Create/os.WriteFile in cmd/ — see internal/lint), the VRISC
+# bytecode verifier over every workload and the assembly examples, and
+# staticcheck when it is installed (the toolchain image may not have it;
+# it must not be a hard dependency).
+lint:
+	go run ./internal/lint/vvet
+	go run ./cmd/vlint -all
+	go run ./cmd/vlint examples/asm/sum.s
+	go run ./cmd/vlint examples/asm/warnings.s
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping"; \
+	fi
 
 fuzz-smoke:
 	go test ./internal/core -run='^$$' -fuzz=FuzzReadProfileRecord -fuzztime=10s

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"valueprof/internal/analysis"
 	"valueprof/internal/asm"
 	"valueprof/internal/atomicio"
 )
@@ -31,6 +32,17 @@ func main() {
 	}
 	prog, err := asm.Assemble(string(src))
 	if err != nil {
+		fatal(err)
+	}
+	// Verify before emitting anything: errors block the image, warnings
+	// (unreachable code, use-before-def, stack imbalance) just print.
+	diags := analysis.Verify(prog)
+	for _, d := range diags {
+		if d.Sev != analysis.SevError {
+			fmt.Fprintf(os.Stderr, "vasm: %s\n", d)
+		}
+	}
+	if err := diags.Err(); err != nil {
 		fatal(err)
 	}
 	if *dis {

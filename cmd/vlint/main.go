@@ -1,0 +1,191 @@
+// vlint runs the static bytecode verifier and its companion analyses
+// over a VRISC program.
+//
+// Usage:
+//
+//	vlint [-strict] [-facts] [-gvn] [-oracle profile.json] prog.s|prog.vx
+//	vlint [-strict] [flags] -w compress
+//	vlint -all
+//
+// A .s argument is assembled, a .vx argument is loaded as an image, and
+// -w compiles a named benchmark workload. -all verifies every workload.
+//
+// -facts prints the constness lattice classification of each
+// result-producing instruction (const/invariant/varying/unreached).
+// -gvn prints provably redundant computations. -oracle cross-checks a
+// saved vprof JSON profile against the static facts: any site whose
+// observed values contradict a static proof is reported.
+//
+// Exit codes: 0 clean, 1 verification errors (with -strict, warnings
+// too), 2 usage or I/O error, 3 oracle contradictions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"valueprof/internal/analysis"
+	"valueprof/internal/asm"
+	"valueprof/internal/core"
+	"valueprof/internal/program"
+	"valueprof/internal/workloads"
+)
+
+func main() {
+	wl := flag.String("w", "", "verify this benchmark workload instead of a file")
+	all := flag.Bool("all", false, "verify every benchmark workload")
+	strict := flag.Bool("strict", false, "treat warnings as errors")
+	facts := flag.Bool("facts", false, "print per-instruction constness facts")
+	gvn := flag.Bool("gvn", false, "print provably redundant computations")
+	oracle := flag.String("oracle", "", "cross-check this vprof JSON profile against static facts")
+	flag.Parse()
+
+	if *all {
+		exit := 0
+		for _, w := range workloads.All() {
+			prog, err := w.Compile()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "vlint: %s: %v\n", w.Name, err)
+				os.Exit(2)
+			}
+			if code := lint(w.Name, prog, *strict, false, false, ""); code > exit {
+				exit = code
+			}
+		}
+		os.Exit(exit)
+	}
+
+	var prog *program.Program
+	var name string
+	switch {
+	case *wl != "":
+		w, err := workloads.ByName(*wl)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err = w.Compile()
+		if err != nil {
+			fatal(err)
+		}
+		name = w.Name
+	case flag.NArg() == 1:
+		path := flag.Arg(0)
+		var err error
+		prog, err = loadProgram(path)
+		if err != nil {
+			fatal(err)
+		}
+		name = path
+	default:
+		fmt.Fprintln(os.Stderr, "usage: vlint [-strict] [-facts] [-gvn] [-oracle profile.json] prog.s|prog.vx | -w workload | -all")
+		os.Exit(2)
+	}
+	os.Exit(lint(name, prog, *strict, *facts, *gvn, *oracle))
+}
+
+// loadProgram reads a program from assembly source or a VPX1 image,
+// chosen by file extension (anything but .vx is treated as assembly).
+func loadProgram(path string) (*program.Program, error) {
+	if strings.HasSuffix(path, ".vx") {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return program.Load(f)
+	}
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return asm.Assemble(string(src))
+}
+
+func lint(name string, prog *program.Program, strict, facts, gvn bool, oraclePath string) int {
+	diags := analysis.Verify(prog)
+	for _, d := range diags {
+		fmt.Printf("%s: %s\n", name, d)
+	}
+	code := 0
+	if diags.HasErrors() || (strict && len(diags) > 0) {
+		code = 1
+	}
+	if len(diags) == 0 {
+		fmt.Printf("%s: ok (%d instructions, %d procedures)\n", name, len(prog.Code), len(prog.Procs))
+	}
+	if diags.HasErrors() {
+		// The deeper analyses assume a well-formed image.
+		return code
+	}
+
+	var cn *analysis.Constness
+	constness := func() *analysis.Constness {
+		if cn == nil {
+			cn = analysis.AnalyzeConstness(prog)
+		}
+		return cn
+	}
+
+	if facts {
+		printFacts(name, prog, constness())
+	}
+	if gvn {
+		for _, r := range analysis.ForProgram(prog).GVN() {
+			fmt.Printf("%s: pc %d (%s): recomputes the value of pc %d (%s)\n",
+				name, r.PC, prog.Code[r.PC], r.With, prog.Code[r.With])
+		}
+	}
+	if oraclePath != "" {
+		f, err := os.Open(oraclePath)
+		if err != nil {
+			fatal(err)
+		}
+		rec, err := core.ReadProfileRecord(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		contras := analysis.CheckRecord(constness(), rec)
+		for _, c := range contras {
+			fmt.Printf("%s: ORACLE: %s\n", name, c)
+		}
+		rep := constness().Prune(nil)
+		fmt.Printf("%s: oracle: %d sites checked against %d static proofs (%d const, %d unreached, %d invariant): %d contradictions\n",
+			name, len(rec.Sites), rep.Pruned()+rep.Invariant, rep.Const, rep.Unreached, rep.Invariant, len(contras))
+		if len(contras) > 0 {
+			return 3
+		}
+	}
+	return code
+}
+
+func printFacts(name string, prog *program.Program, cn *analysis.Constness) {
+	rep := cn.Prune(nil)
+	mode := "whole-program dataflow"
+	if cn.Degraded {
+		mode = "syntactic only (program has indirect jumps)"
+	}
+	fmt.Printf("%s: constness (%s): %d candidates: %d const (%d zero), %d invariant, %d unreached\n",
+		name, mode, rep.Candidates, rep.Const, rep.Zero, rep.Invariant, rep.Unreached)
+	for pc, in := range prog.Code {
+		if !in.Op.HasDest() {
+			continue
+		}
+		switch cn.Kind(pc) {
+		case analysis.KindConst:
+			v, _ := cn.ConstValue(pc)
+			fmt.Printf("%s: %-12s pc %-5d %-24s = const %d\n", name, prog.SiteName(pc), pc, in, v)
+		case analysis.KindInvariant:
+			fmt.Printf("%s: %-12s pc %-5d %-24s = invariant\n", name, prog.SiteName(pc), pc, in)
+		case analysis.KindUnreached:
+			fmt.Printf("%s: %-12s pc %-5d %-24s = unreached\n", name, prog.SiteName(pc), pc, in)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

@@ -39,7 +39,9 @@ import (
 	"os"
 	"os/signal"
 	"time"
+	"unsafe"
 
+	"valueprof/internal/analysis"
 	"valueprof/internal/atom"
 	"valueprof/internal/atomicio"
 	"valueprof/internal/core"
@@ -70,6 +72,8 @@ func main() {
 	inputName := flag.String("input", "test", "input set: test or train")
 	mode := flag.String("mode", "inst", "inst|loads|mem|param|reg|dep|triv|proc")
 	convergent := flag.Bool("convergent", false, "use convergent (sampling) profiling (inst/loads)")
+	pruneStatic := flag.Bool("prune-static", false,
+		"skip TNV tables for provably-constant/unreachable pcs (inst/loads)")
 	full := flag.Bool("full", false, "track exact full profiles too (inst/loads)")
 	top := flag.Int("top", 20, "show the N hottest entries")
 	outFile := flag.String("o", "", "write the profile as JSON (inst/loads)")
@@ -127,7 +131,7 @@ func main() {
 	var outcome vm.RunOutcome
 	switch *mode {
 	case "inst", "loads":
-		outcome = instMode(rc, w, in, prog, *mode == "loads", *convergent, *full, *top, *outFile)
+		outcome = instMode(rc, w, in, prog, *mode == "loads", *convergent, *full, *pruneStatic, *top, *outFile)
 	case "mem":
 		outcome = memMode(rc, w, in, prog, *top)
 	case "param":
@@ -180,7 +184,7 @@ func warnPartial(outcome vm.RunOutcome, err error) {
 	}
 }
 
-func instMode(rc *runCfg, w *workloads.Workload, in workloads.Input, prog *program.Program, loadsOnly, convergent, full bool, top int, outFile string) vm.RunOutcome {
+func instMode(rc *runCfg, w *workloads.Workload, in workloads.Input, prog *program.Program, loadsOnly, convergent, full, pruneStatic bool, top int, outFile string) vm.RunOutcome {
 	opts := core.Options{TNV: core.DefaultTNVConfig(), TrackFull: full}
 	if loadsOnly {
 		opts.Filter = core.LoadsOnly
@@ -188,6 +192,19 @@ func instMode(rc *runCfg, w *workloads.Workload, in workloads.Input, prog *progr
 	if convergent {
 		cfg := core.DefaultConvergentConfig()
 		opts.Convergent = &cfg
+	}
+	if pruneStatic {
+		start := time.Now()
+		cn := analysis.AnalyzeConstness(prog)
+		elapsed := time.Since(start)
+		opts.Prune = cn.ShouldPrune
+		rep := cn.Prune(opts.Filter)
+		siteBytes := int(unsafe.Sizeof(core.SiteStats{})) +
+			opts.TNV.Size*int(unsafe.Sizeof(core.TNVEntry{}))
+		fmt.Fprintf(os.Stderr,
+			"vprof: static prune: %d of %d candidate sites need no table (%d const, %d unreached; %d more invariant), ~%d bytes of site state avoided; analysis took %s\n",
+			rep.Pruned(), rep.Candidates, rep.Const, rep.Unreached, rep.Invariant,
+			rep.Pruned()*siteBytes, elapsed.Round(time.Microsecond))
 	}
 	vp, err := core.NewValueProfiler(opts)
 	if err != nil {

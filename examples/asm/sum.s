@@ -1,0 +1,21 @@
+; sum.s — reads integers from the input stream until EOF (getint
+; returns 0) and prints their running total. A minimal well-formed
+; VRISC program: vlint verifies it with zero diagnostics, and
+; `vlint -facts` proves the loop bound setup constant.
+;
+;   go run ./cmd/vasm examples/asm/sum.s -o sum.vx
+;   go run ./cmd/vlint examples/asm/sum.s
+        .text
+        .proc main
+main:   addi t0, zero, 0        ; running total
+loop:   syscall getint          ; v0 = next integer, 0 at EOF
+        beq  v0, done
+        add  t0, t0, v0
+        br   loop
+done:   add  a0, t0, zero
+        syscall putint
+        addi a0, zero, 10
+        syscall putchar         ; trailing newline
+        addi a0, zero, 0
+        syscall exit
+        .endproc

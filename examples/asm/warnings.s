@@ -1,0 +1,21 @@
+; warnings.s — a well-formed program that still trips every verifier
+; *warning* rule: an unreachable block, a use of an uninitialized
+; temporary, and a procedure that returns with the stack pointer
+; displaced. vlint exits 0 on it (warnings only) but -strict fails it:
+;
+;   go run ./cmd/vlint examples/asm/warnings.s          ; exit 0, 3 warnings
+;   go run ./cmd/vlint -strict examples/asm/warnings.s  ; exit 1
+        .text
+        .proc main
+main:   add  t1, t0, t0         ; warning: t0 never written (use-before-def)
+        jsr  leaky
+        addi a0, zero, 0
+        syscall exit
+dead:   addi t2, zero, 1        ; warning: unreachable
+        br   dead
+        .endproc
+
+        .proc leaky
+leaky:  addi sp, sp, -16        ; warning at ret: sp not restored
+        ret
+        .endproc

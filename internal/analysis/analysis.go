@@ -1,0 +1,106 @@
+// Package analysis is the static-analysis framework shared by the
+// toolchain: control-flow graphs with indirect-target resolution,
+// dominators, reaching definitions, liveness, constant propagation, a
+// whole-program constness lattice, global value numbering, and the
+// bytecode verifier built on top of them.
+//
+// The framework serves three consumers:
+//
+//   - the verifier (Verify), run by vasm/vcc before emitting and by the
+//     vlint CLI, which rejects malformed programs with typed diagnostics;
+//   - the profiling-candidate pruner (AnalyzeConstness + PruneReport),
+//     which proves instruction results constant so the value profiler
+//     can skip their TNV tables entirely — a provably-constant PC needs
+//     no table, and doubles as a free ground-truth oracle (its observed
+//     invariance must be exactly 1.0, which CheckRecord enforces);
+//   - the specializer (internal/specialize), whose constant-propagation
+//     and liveness passes consume the region-level machinery here
+//     instead of private copies.
+//
+// Two granularities are supported. ForProgram builds the whole-program
+// CFG from a program image, resolving indirect-jump and jsrr targets
+// from the address-taken set (label constants materialized into
+// registers or stored in the data segment). ForBody builds the
+// intra-procedural CFG of one procedure body, the view the specializer
+// optimizes under.
+package analysis
+
+import "valueprof/internal/isa"
+
+// EvalPure computes the result of a side-effect-free register or
+// register-immediate opcode from concrete operand values. It returns
+// ok=false for opcodes that touch memory or control flow, and for
+// divisions by zero (which fault rather than produce a value).
+func EvalPure(op isa.Op, a, b int64, imm int32) (int64, bool) {
+	im := int64(imm)
+	switch op {
+	case isa.OpAdd:
+		return a + b, true
+	case isa.OpSub:
+		return a - b, true
+	case isa.OpMul:
+		return a * b, true
+	case isa.OpDiv:
+		if b == 0 {
+			return 0, false
+		}
+		return a / b, true
+	case isa.OpRem:
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	case isa.OpAddi:
+		return a + im, true
+	case isa.OpMuli:
+		return a * im, true
+	case isa.OpAnd:
+		return a & b, true
+	case isa.OpOr:
+		return a | b, true
+	case isa.OpXor:
+		return a ^ b, true
+	case isa.OpAndi:
+		return a & im, true
+	case isa.OpOri:
+		return a | im, true
+	case isa.OpXori:
+		return a ^ im, true
+	case isa.OpSll:
+		return a << (uint64(b) & 63), true
+	case isa.OpSrl:
+		return int64(uint64(a) >> (uint64(b) & 63)), true
+	case isa.OpSra:
+		return a >> (uint64(b) & 63), true
+	case isa.OpSlli:
+		return a << (uint32(imm) & 63), true
+	case isa.OpSrli:
+		return int64(uint64(a) >> (uint32(imm) & 63)), true
+	case isa.OpSrai:
+		return a >> (uint32(imm) & 63), true
+	case isa.OpCmpeq:
+		return b2i(a == b), true
+	case isa.OpCmpne:
+		return b2i(a != b), true
+	case isa.OpCmplt:
+		return b2i(a < b), true
+	case isa.OpCmple:
+		return b2i(a <= b), true
+	case isa.OpCmpgt:
+		return b2i(a > b), true
+	case isa.OpCmpge:
+		return b2i(a >= b), true
+	case isa.OpCmplti:
+		return b2i(a < im), true
+	case isa.OpCmpeqi:
+		return b2i(a == im), true
+	}
+	return 0, false
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,663 @@
+package analysis
+
+import (
+	"testing"
+
+	"valueprof/internal/asm"
+	"valueprof/internal/core"
+	"valueprof/internal/isa"
+	"valueprof/internal/program"
+)
+
+func mustAssemble(t *testing.T, src string) *program.Program {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+// --- CFG ---
+
+func TestCFGUnreachableBlock(t *testing.T) {
+	p := mustAssemble(t, `
+main:   addi t0, zero, 5
+loop:   addi t0, t0, -1
+        bne  t0, loop
+        syscall exit
+dead:   nop
+        br   dead
+`)
+	c := ForProgram(p)
+	reach := c.Reachable()
+	db := c.BlockContaining(4)
+	if db < 0 || reach[db] {
+		t.Errorf("dead block reachability = %v (block %d)", reach, db)
+	}
+	lb := c.BlockContaining(1)
+	if !reach[lb] {
+		t.Error("loop block unreachable")
+	}
+	// The loop block must be its own successor's target: bne at 2 -> 1.
+	found := false
+	for _, s := range c.Blocks[c.BlockContaining(2)].Succs {
+		if s == lb {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("loop back edge missing: %+v", c.Blocks)
+	}
+}
+
+func TestCFGIndirectJumpTargets(t *testing.T) {
+	p := mustAssemble(t, `
+main:   addi t0, zero, 4
+        jmp  t0
+        nop
+        nop
+tgt:    syscall exit
+`)
+	c := ForProgram(p)
+	tb := c.BlockAt(4)
+	if tb < 0 {
+		t.Fatalf("no block leader at the address-taken pc; blocks %+v", c.Blocks)
+	}
+	taken := false
+	for _, b := range c.AddressTaken {
+		if b == tb {
+			taken = true
+		}
+	}
+	if !taken {
+		t.Errorf("AddressTaken = %v, want to include block %d", c.AddressTaken, tb)
+	}
+	// The jmp block must list the address-taken block as a successor,
+	// making the exit reachable.
+	if !c.Reachable()[tb] {
+		t.Error("address-taken target unreachable through jmp")
+	}
+}
+
+func TestCFGDataSegmentAddressTaken(t *testing.T) {
+	// A code address stored in the data segment (a jump table slot) must
+	// enter the address-taken set when the program has indirect control
+	// flow.
+	p := mustAssemble(t, `
+        .data
+table:  .word 3
+        .text
+main:   la   t0, table
+        ldq  t1, 0(t0)
+        jmp  t1
+tgt:    syscall exit
+`)
+	c := ForProgram(p)
+	tb := c.BlockAt(3)
+	if tb < 0 {
+		t.Fatalf("no leader at pc 3: %+v", c.Blocks)
+	}
+	if !c.Reachable()[tb] {
+		t.Error("jump-table target not reachable")
+	}
+}
+
+func TestCFGCallEdges(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+        .proc main
+main:   jsr  f
+        syscall exit
+        .endproc
+        .proc f
+f:      ret
+        .endproc
+`)
+	c := ForProgram(p)
+	if len(c.CallSites) != 1 || c.CallSites[0].PC != 0 {
+		t.Fatalf("call sites = %+v", c.CallSites)
+	}
+	if c.CallSites[0].Callee != c.BlockAt(2) {
+		t.Errorf("callee block = %d, want %d", c.CallSites[0].Callee, c.BlockAt(2))
+	}
+	// The callee has no CFG edge from the call (only a call edge), but
+	// Reachable follows call edges.
+	if !c.Reachable()[c.BlockAt(2)] {
+		t.Error("callee unreachable")
+	}
+}
+
+// --- dominators ---
+
+func TestDominatorsIrreducibleLoop(t *testing.T) {
+	// Two-entry (irreducible) loop between A(1) and B(3): the entry
+	// branches into both, so neither dominates the other.
+	p := mustAssemble(t, `
+main:   beq  t0, 3
+        addi t1, t1, 1
+        beq  t2, 5
+        addi t1, t1, 2
+        br   1
+        syscall exit
+`)
+	c := ForProgram(p)
+	d := c.Dominators()
+	entry, a, b, exit := c.BlockContaining(0), c.BlockContaining(1), c.BlockContaining(3), c.BlockContaining(5)
+	if !d.Dominates(entry, a) || !d.Dominates(entry, b) || !d.Dominates(entry, exit) {
+		t.Error("entry must dominate everything")
+	}
+	if d.Dominates(a, b) || d.Dominates(b, a) {
+		t.Error("irreducible loop: neither body block dominates the other")
+	}
+	if !d.Dominates(a, exit) {
+		t.Error("the exit is only reachable through A")
+	}
+	if d.Idom[a] != entry || d.Idom[b] != entry {
+		t.Errorf("idoms = %v", d.Idom)
+	}
+}
+
+func TestDominatorsSkipUnreachable(t *testing.T) {
+	p := mustAssemble(t, `
+main:   syscall exit
+dead:   br dead
+`)
+	c := ForProgram(p)
+	d := c.Dominators()
+	db := c.BlockContaining(1)
+	if d.Dominates(c.BlockContaining(0), db) || d.Dominates(db, db) {
+		t.Error("unreachable blocks neither dominate nor are dominated")
+	}
+}
+
+// --- verifier ---
+
+func TestVerifyCleanProgram(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+        .proc main
+main:   addi sp, sp, -16
+        stq  ra, 0(sp)
+        addi t0, zero, 1
+        addi t1, t0, 2
+        ldq  ra, 0(sp)
+        addi sp, sp, 16
+        syscall exit
+        .endproc
+`)
+	if ds := Verify(p); len(ds) != 0 {
+		t.Errorf("clean program produced %v", ds)
+	}
+}
+
+func TestVerifyBadTarget(t *testing.T) {
+	p := &program.Program{Code: []isa.Inst{
+		{Op: isa.OpBr, Imm: 99},
+		{Op: isa.OpSyscall, Imm: isa.SysExit},
+	}}
+	ds := Verify(p)
+	if !ds.HasErrors() || ds[0].Rule != RuleBadTarget {
+		t.Errorf("diags = %v", ds)
+	}
+	if ds.Err() == nil {
+		t.Error("Err() must be non-nil with errors present")
+	}
+}
+
+func TestVerifyBadEntryAndOpcode(t *testing.T) {
+	p := &program.Program{
+		Entry: 5,
+		Code:  []isa.Inst{{Op: isa.Op(200)}, {Op: isa.OpSyscall, Imm: isa.SysExit}},
+	}
+	ds := Verify(p)
+	rules := map[Rule]bool{}
+	for _, d := range ds {
+		rules[d.Rule] = true
+	}
+	if !rules[RuleBadEntry] || !rules[RuleBadOpcode] {
+		t.Errorf("diags = %v", ds)
+	}
+}
+
+func TestVerifyWriteToZero(t *testing.T) {
+	p := mustAssemble(t, `
+main:   add zero, t0, t1
+        syscall exit
+`)
+	ds := Verify(p)
+	if !ds.HasErrors() || ds[0].Rule != RuleWriteZero {
+		t.Errorf("diags = %v", ds)
+	}
+}
+
+func TestVerifyFallOffEnd(t *testing.T) {
+	p := &program.Program{Code: []isa.Inst{
+		{Op: isa.OpAddi, Rd: 8, Ra: isa.RegZero, Imm: 1},
+	}}
+	ds := Verify(p)
+	if !ds.HasErrors() {
+		t.Fatalf("diags = %v", ds)
+	}
+	if ds[0].Rule != RuleFallOff {
+		t.Errorf("rule = %v, want fall-off", ds[0].Rule)
+	}
+}
+
+func TestVerifyUnreachableWarning(t *testing.T) {
+	p := mustAssemble(t, `
+main:   syscall exit
+dead:   addi t0, zero, 1
+        br   dead
+`)
+	ds := Verify(p)
+	if ds.HasErrors() {
+		t.Fatalf("unexpected errors: %v", ds)
+	}
+	found := false
+	for _, d := range ds {
+		if d.Rule == RuleUnreachable && d.Sev == SevWarning {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no unreachable warning in %v", ds)
+	}
+}
+
+func TestVerifyUseBeforeDef(t *testing.T) {
+	p := mustAssemble(t, `
+main:   add t1, t0, t0
+        syscall exit
+`)
+	ds := Verify(p)
+	found := false
+	for _, d := range ds {
+		if d.Rule == RuleUseBeforeDef && d.PC == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no use-before-def for t0 in %v", ds)
+	}
+
+	// Defining t0 first silences it.
+	p2 := mustAssemble(t, `
+main:   addi t0, zero, 3
+        add  t1, t0, t0
+        syscall exit
+`)
+	for _, d := range Verify(p2) {
+		if d.Rule == RuleUseBeforeDef {
+			t.Errorf("spurious use-before-def: %v", d)
+		}
+	}
+}
+
+func TestVerifyStackImbalance(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+        .proc main
+main:   jsr  f
+        syscall exit
+        .endproc
+        .proc f
+f:      addi sp, sp, -16
+        ret
+        .endproc
+`)
+	ds := Verify(p)
+	found := false
+	for _, d := range ds {
+		if d.Rule == RuleStack {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no stack warning in %v", ds)
+	}
+
+	// The full prologue/epilogue idiom must be silent, including the
+	// restore-through-fp path.
+	p2 := mustAssemble(t, `
+        .text
+        .proc main
+main:   jsr  f
+        syscall exit
+        .endproc
+        .proc f
+f:      addi sp, sp, -16
+        stq  ra, 0(sp)
+        stq  fp, 8(sp)
+        mov  fp, sp
+        addi sp, sp, -32
+        mov  sp, fp
+        ldq  ra, 0(sp)
+        ldq  fp, 8(sp)
+        addi sp, sp, 16
+        ret
+        .endproc
+`)
+	for _, d := range Verify(p2) {
+		if d.Rule == RuleStack {
+			t.Errorf("spurious stack warning: %v", d)
+		}
+	}
+}
+
+// --- constness ---
+
+func TestConstnessBasics(t *testing.T) {
+	p := mustAssemble(t, `
+main:   addi t0, zero, 7
+        addi t1, t0, 1
+        add  t2, t0, t1
+        syscall getint
+        add  t3, v0, zero
+        addi t4, sp, -8
+        syscall exit
+dead:   addi t5, zero, 9
+        br   dead
+`)
+	cn := AnalyzeConstness(p)
+	if cn.Degraded {
+		t.Fatal("no indirect control flow, must not degrade")
+	}
+	wantConst := map[int]int64{0: 7, 1: 8, 2: 15}
+	for pc, v := range wantConst {
+		got, ok := cn.ConstValue(pc)
+		if !ok || got != v {
+			t.Errorf("pc %d: const = %d,%v want %d,true", pc, got, ok, v)
+		}
+	}
+	if cn.Kind(4) != KindVarying {
+		t.Errorf("pc 4 (syscall result use) = %v, want varying", cn.Kind(4))
+	}
+	if cn.Kind(5) != KindInvariant {
+		t.Errorf("pc 5 (sp-derived) = %v, want invariant", cn.Kind(5))
+	}
+	if cn.Kind(7) != KindUnreached {
+		t.Errorf("pc 7 (dead) = %v, want unreached", cn.Kind(7))
+	}
+}
+
+func TestConstnessMeet(t *testing.T) {
+	// Diamond assigning the same constant on both arms stays const;
+	// different constants meet to varying.
+	p := mustAssemble(t, `
+main:   syscall getint
+        beq  v0, 4
+        addi t0, zero, 3
+        br   5
+        addi t0, zero, 3
+        add  t1, t0, zero
+        beq  v0, 9
+        addi t2, zero, 1
+        br   10
+        addi t2, zero, 2
+        add  t3, t2, zero
+        syscall exit
+`)
+	cn := AnalyzeConstness(p)
+	if v, ok := cn.ConstValue(5); !ok || v != 3 {
+		t.Errorf("same-constant meet = %d,%v want 3,true", v, ok)
+	}
+	if cn.Kind(10) != KindVarying {
+		t.Errorf("different-constant meet = %v, want varying", cn.Kind(10))
+	}
+}
+
+func TestConstnessCallClobbers(t *testing.T) {
+	// A constant in a register the program writes elsewhere must not
+	// survive a call; the link-register value written by jsr is a
+	// per-site constant.
+	p := mustAssemble(t, `
+        .text
+        .proc main
+main:   addi t0, zero, 5
+        jsr  f
+        add  t1, t0, zero
+        syscall exit
+        .endproc
+        .proc f
+f:      addi t0, zero, 6
+        ret
+        .endproc
+`)
+	cn := AnalyzeConstness(p)
+	if cn.Kind(2) == KindConst {
+		t.Error("t0 survived a call that clobbers it")
+	}
+	// In the callee, t0 is written to 6 unconditionally.
+	if v, ok := cn.ConstValue(4); !ok || v != 6 {
+		t.Errorf("callee const = %d,%v", v, ok)
+	}
+}
+
+func TestConstnessWriteToZeroObservesComputedValue(t *testing.T) {
+	// The VM hands after-hooks the computed value even when the
+	// destination is the hardwired zero register, so the fact must
+	// describe the computation, not the discarded write.
+	p := &program.Program{Code: []isa.Inst{
+		{Op: isa.OpAddi, Rd: isa.RegZero, Ra: isa.RegZero, Imm: 42},
+		{Op: isa.OpSyscall, Imm: isa.SysExit},
+	}}
+	cn := AnalyzeConstness(p)
+	v, ok := cn.ConstValue(0)
+	if !ok || v != 42 {
+		t.Errorf("discarded write fact = %d,%v, want 42,true (the computed value)", v, ok)
+	}
+}
+
+func TestConstnessDegradesOnIndirectJumps(t *testing.T) {
+	p := mustAssemble(t, `
+main:   addi t0, zero, 4
+        jmp  t0
+        addi t1, t0, 1
+        nop
+tgt:    syscall exit
+`)
+	cn := AnalyzeConstness(p)
+	if !cn.Degraded {
+		t.Fatal("jmp present, analysis must degrade")
+	}
+	// Syntactic facts survive: the li is still provably 4.
+	if v, ok := cn.ConstValue(0); !ok || v != 4 {
+		t.Errorf("syntactic li fact = %d,%v", v, ok)
+	}
+	// Register-dependent facts and reachability claims do not.
+	if cn.Kind(2) != KindVarying {
+		t.Errorf("register-dependent fact under degradation = %v", cn.Kind(2))
+	}
+	if !cn.Reached(3) {
+		t.Error("degraded analysis must not claim unreachability")
+	}
+}
+
+func TestConstnessLoopWidening(t *testing.T) {
+	// An sp-derived value updated around a loop must converge (to
+	// invariant or varying) rather than hang; and a loop-varying counter
+	// must not be claimed constant.
+	p := mustAssemble(t, `
+main:   addi t0, zero, 10
+        addi t1, sp, 0
+loop:   addi t0, t0, -1
+        addi t1, t1, 8
+        bne  t0, loop
+        syscall exit
+`)
+	cn := AnalyzeConstness(p)
+	if cn.Kind(2) == KindConst {
+		t.Error("loop counter claimed constant")
+	}
+	if cn.Kind(3) == KindConst || cn.Kind(3) == KindInvariant {
+		t.Errorf("loop-varying pointer = %v, must be varying", cn.Kind(3))
+	}
+}
+
+// --- prune report ---
+
+func TestPruneReportAndShouldPrune(t *testing.T) {
+	p := mustAssemble(t, `
+main:   addi t0, zero, 0
+        addi t1, zero, 7
+        addi t2, sp, -8
+        syscall getint
+        add  t3, v0, zero
+        syscall exit
+dead:   addi t4, zero, 1
+        br   dead
+`)
+	cn := AnalyzeConstness(p)
+	rep := cn.Prune(nil)
+	if rep.Candidates != 5 {
+		t.Errorf("candidates = %d, want 5 (syscalls produce no result)", rep.Candidates)
+	}
+	if rep.Const != 2 || rep.Zero != 1 || rep.Invariant != 1 || rep.Unreached != 1 {
+		t.Errorf("report = %+v", rep)
+	}
+	if rep.Pruned() != 3 {
+		t.Errorf("pruned = %d, want 3", rep.Pruned())
+	}
+	if !cn.ShouldPrune(0, p.Code[0]) || !cn.ShouldPrune(6, p.Code[6]) {
+		t.Error("const and unreached pcs must prune")
+	}
+	if cn.ShouldPrune(2, p.Code[2]) || cn.ShouldPrune(4, p.Code[4]) {
+		t.Error("invariant and varying pcs must not prune")
+	}
+}
+
+// --- GVN ---
+
+func TestGVNLocalAndCommutative(t *testing.T) {
+	p := mustAssemble(t, `
+main:   syscall getint
+        add  t0, v0, zero
+        addi t1, t0, 0
+        add  t2, t0, t1
+        add  t3, t1, t0
+        syscall exit
+`)
+	reds := ForProgram(p).GVN()
+	found := false
+	for _, r := range reds {
+		if r.PC == 4 && r.With == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("commuted recomputation not found: %v", reds)
+	}
+}
+
+func TestGVNKilledByCall(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+        .proc main
+main:   syscall getint
+        add  t2, v0, v0
+        jsr  f
+        add  t3, v0, v0
+        syscall exit
+        .endproc
+        .proc f
+f:      ret
+        .endproc
+`)
+	for _, r := range ForProgram(p).GVN() {
+		if r.PC == 3 {
+			t.Errorf("redundancy across a clobbering call: %+v", r)
+		}
+	}
+}
+
+func TestGVNRequiresDominance(t *testing.T) {
+	// The same expression on two sibling branches is not redundant:
+	// neither always executes before the other.
+	p := mustAssemble(t, `
+main:   syscall getint
+        beq  v0, 4
+        add  t0, v0, v0
+        br   5
+        add  t1, v0, v0
+        syscall exit
+`)
+	for _, r := range ForProgram(p).GVN() {
+		if r.PC == 4 && r.With == 2 {
+			t.Errorf("sibling branches reported redundant: %+v", r)
+		}
+	}
+
+	// But a dominated recomputation is.
+	p2 := mustAssemble(t, `
+main:   syscall getint
+        add  t0, v0, v0
+        beq  v0, 4
+        nop
+        add  t1, v0, v0
+        syscall exit
+`)
+	found := false
+	for _, r := range ForProgram(p2).GVN() {
+		if r.PC == 4 && r.With == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("dominated recomputation not reported")
+	}
+}
+
+// --- oracle ---
+
+func TestOracleContradictions(t *testing.T) {
+	p := mustAssemble(t, `
+main:   addi t0, zero, 7
+        syscall exit
+dead:   addi t1, zero, 1
+        br   dead
+`)
+	cn := AnalyzeConstness(p)
+
+	good := &core.ProfileRecord{Sites: []core.SiteRecord{
+		{PC: 0, Name: "main+0", Exec: 10, Zeros: 0,
+			Top: []core.TNVEntry{{Value: 7, Count: 10}}},
+	}}
+	if cs := CheckRecord(cn, good); len(cs) != 0 {
+		t.Errorf("consistent record flagged: %v", cs)
+	}
+
+	bad := &core.ProfileRecord{Sites: []core.SiteRecord{
+		// Wrong value for a proven constant.
+		{PC: 0, Name: "main+0", Exec: 10, Zeros: 0,
+			Top: []core.TNVEntry{{Value: 8, Count: 10}}},
+		// A statically unreachable pc that executed.
+		{PC: 2, Name: "dead+0", Exec: 3,
+			Top: []core.TNVEntry{{Value: 1, Count: 3}}},
+	}}
+	cs := CheckRecord(cn, bad)
+	if len(cs) < 2 {
+		t.Fatalf("contradictions = %v, want at least 2", cs)
+	}
+}
+
+// --- reaching defs ---
+
+func TestDefsReaching(t *testing.T) {
+	p := mustAssemble(t, `
+main:   addi t0, zero, 1
+        beq  t0, 3
+        addi t0, zero, 2
+        add  t1, t0, zero
+        syscall exit
+`)
+	c := ForProgram(p)
+	rd := c.ReachingDefs()
+	pcs, fromEntry := rd.DefsReaching(3, uint8(isa.RegT0))
+	if fromEntry {
+		t.Error("entry def must be killed by pc 0 on every path")
+	}
+	if len(pcs) != 2 {
+		t.Errorf("defs reaching pc 3 = %v, want pcs 0 and 2", pcs)
+	}
+}

@@ -1,0 +1,275 @@
+package analysis
+
+import (
+	"sort"
+
+	"valueprof/internal/isa"
+	"valueprof/internal/program"
+)
+
+// Block is one basic block: the half-open absolute instruction range
+// [Start, End), with successor and predecessor block indices. Succs
+// reflect intra-procedural control flow: a call's successor is its
+// return point; callee entries are reached through CallSites instead.
+type Block struct {
+	Start int
+	End   int
+	Succs []int
+	Preds []int
+}
+
+// CallSite is one direct or indirect call instruction. Callee is the
+// block index of the target's entry, or -1 for an indirect call (jsrr),
+// whose possible targets are the CFG's address-taken set.
+type CallSite struct {
+	PC     int
+	Callee int
+}
+
+// CFG is the control-flow graph of a code region. Base is the absolute
+// pc of Code[0]; all Block pcs are absolute.
+type CFG struct {
+	Code    []isa.Inst
+	Base    int
+	EntryPC int
+
+	Blocks []Block
+	// AddressTaken holds the block indices whose leader address escapes
+	// into a register or the data segment; they are the conservative
+	// target set of every indirect jump and jsrr.
+	AddressTaken []int
+	// CallSites lists every jsr/jsrr in the region.
+	CallSites []CallSite
+
+	byStart map[int]int
+}
+
+// ForProgram builds the whole-program CFG of a loaded image. Leaders
+// include every label and procedure start, so symbol boundaries never
+// fall mid-block, and the address-taken set is resolved from constants
+// in the code and data segments.
+func ForProgram(p *program.Program) *CFG {
+	extra := make([]int, 0, len(p.Labels)+len(p.Procs))
+	for _, pc := range p.Labels {
+		extra = append(extra, pc)
+	}
+	for _, pr := range p.Procs {
+		extra = append(extra, pr.Start)
+	}
+	taken := addressTaken(p)
+	extra = append(extra, taken...)
+	c := newCFG(p.Code, 0, p.Entry, extra)
+	for _, pc := range taken {
+		if b, ok := c.byStart[pc]; ok {
+			c.AddressTaken = append(c.AddressTaken, b)
+		}
+	}
+	sort.Ints(c.AddressTaken)
+	// Indirect jumps may reach any address-taken block.
+	for i := range c.Blocks {
+		b := &c.Blocks[i]
+		if b.End > b.Start && c.Code[b.End-1].Op == isa.OpJmp {
+			b.Succs = append(b.Succs, c.AddressTaken...)
+		}
+	}
+	c.rebuildPreds()
+	return c
+}
+
+// ForBody builds the intra-procedural CFG of one procedure body whose
+// first instruction sits at absolute pc base. Indirect jumps and
+// returns are region exits with no successors.
+func ForBody(body []isa.Inst, base int) *CFG {
+	return newCFG(body, base, base, nil)
+}
+
+// addressTaken finds every absolute instruction index that escapes as a
+// value: materialized by an li (addi rd, zero, imm) or stored in the
+// data segment. The data scan slides a byte window so jump tables are
+// found regardless of alignment; the over-approximation only costs
+// precision, never soundness.
+func addressTaken(p *program.Program) []int {
+	n := len(p.Code)
+	indirect := false
+	for _, in := range p.Code {
+		if in.Op == isa.OpJmp || in.Op == isa.OpJsrr {
+			indirect = true
+			break
+		}
+	}
+	if !indirect {
+		return nil
+	}
+	seen := map[int]bool{}
+	for _, in := range p.Code {
+		if in.Op == isa.OpAddi && in.Ra == isa.RegZero &&
+			int(in.Imm) >= 0 && int(in.Imm) < n {
+			seen[int(in.Imm)] = true
+		}
+	}
+	for off := 0; off+8 <= len(p.Data); off++ {
+		var v uint64
+		for i := 0; i < 8; i++ {
+			v |= uint64(p.Data[off+i]) << (8 * i)
+		}
+		if v < uint64(n) {
+			seen[int(v)] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for pc := range seen {
+		out = append(out, pc)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func newCFG(code []isa.Inst, base, entryPC int, extraLeaders []int) *CFG {
+	c := &CFG{Code: code, Base: base, EntryPC: entryPC, byStart: map[int]int{}}
+	n := len(code)
+	if n == 0 {
+		return c
+	}
+	leader := make([]bool, n)
+	leader[0] = true
+	if entryPC >= base && entryPC < base+n {
+		leader[entryPC-base] = true
+	}
+	for _, pc := range extraLeaders {
+		if pc >= base && pc < base+n {
+			leader[pc-base] = true
+		}
+	}
+	for i, in := range code {
+		if tgt, ok := in.Target(); ok && in.Op != isa.OpJsr {
+			if tgt >= base && tgt < base+n {
+				leader[tgt-base] = true
+			}
+		}
+		if in.Op == isa.OpJsr {
+			if tgt := int(in.Imm); tgt >= base && tgt < base+n {
+				leader[tgt-base] = true
+			}
+		}
+		if in.IsBranchOrJump() && i+1 < n {
+			leader[i+1] = true
+		}
+	}
+
+	start := 0
+	for i := 1; i <= n; i++ {
+		if i == n || leader[i] {
+			c.byStart[base+start] = len(c.Blocks)
+			c.Blocks = append(c.Blocks, Block{Start: base + start, End: base + i})
+			start = i
+		}
+	}
+
+	for bi := range c.Blocks {
+		b := &c.Blocks[bi]
+		last := code[b.End-1-base]
+		addSucc := func(pc int) {
+			if j, ok := c.byStart[pc]; ok {
+				b.Succs = append(b.Succs, j)
+			}
+		}
+		switch last.Op {
+		case isa.OpBr:
+			addSucc(int(last.Imm))
+		case isa.OpBeq, isa.OpBne:
+			addSucc(int(last.Imm))
+			if tgt := int(last.Imm); tgt != b.End {
+				addSucc(b.End)
+			}
+		case isa.OpJsr:
+			c.CallSites = append(c.CallSites, CallSite{PC: b.End - 1, Callee: c.blockIndex(int(last.Imm))})
+			addSucc(b.End)
+		case isa.OpJsrr:
+			c.CallSites = append(c.CallSites, CallSite{PC: b.End - 1, Callee: -1})
+			addSucc(b.End)
+		case isa.OpJmp, isa.OpRet:
+			// Indirect exits; ForProgram adds address-taken successors
+			// for jmp after construction.
+		case isa.OpSyscall:
+			if last.Imm != isa.SysExit {
+				addSucc(b.End)
+			}
+		default:
+			addSucc(b.End)
+		}
+	}
+	c.rebuildPreds()
+	return c
+}
+
+func (c *CFG) rebuildPreds() {
+	for i := range c.Blocks {
+		c.Blocks[i].Preds = c.Blocks[i].Preds[:0]
+	}
+	for i := range c.Blocks {
+		for _, s := range c.Blocks[i].Succs {
+			c.Blocks[s].Preds = append(c.Blocks[s].Preds, i)
+		}
+	}
+}
+
+// blockIndex returns the index of the block whose leader is pc, or -1.
+func (c *CFG) blockIndex(pc int) int {
+	if i, ok := c.byStart[pc]; ok {
+		return i
+	}
+	return -1
+}
+
+// BlockAt returns the index of the block whose leader is pc, or -1.
+func (c *CFG) BlockAt(pc int) int { return c.blockIndex(pc) }
+
+// BlockContaining returns the index of the block containing pc, or -1.
+func (c *CFG) BlockContaining(pc int) int {
+	i := sort.Search(len(c.Blocks), func(i int) bool { return c.Blocks[i].End > pc })
+	if i < len(c.Blocks) && pc >= c.Blocks[i].Start {
+		return i
+	}
+	return -1
+}
+
+// EntryBlock returns the index of the block holding EntryPC, or -1 for
+// an empty region.
+func (c *CFG) EntryBlock() int { return c.BlockContaining(c.EntryPC) }
+
+// Inst returns the instruction at absolute pc.
+func (c *CFG) Inst(pc int) isa.Inst { return c.Code[pc-c.Base] }
+
+// Reachable computes which blocks can execute, following CFG edges plus
+// call edges: a jsr reaches its callee, and a jsrr may reach any
+// address-taken block.
+func (c *CFG) Reachable() []bool {
+	seen := make([]bool, len(c.Blocks))
+	entry := c.EntryBlock()
+	if entry < 0 {
+		return seen
+	}
+	callee := map[int][]int{}
+	for _, cs := range c.CallSites {
+		b := c.BlockContaining(cs.PC)
+		if cs.Callee >= 0 {
+			callee[b] = append(callee[b], cs.Callee)
+		} else {
+			callee[b] = append(callee[b], c.AddressTaken...)
+		}
+	}
+	work := []int{entry}
+	seen[entry] = true
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		next := append(append([]int(nil), c.Blocks[b].Succs...), callee[b]...)
+		for _, s := range next {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,470 @@
+package analysis
+
+import (
+	"fmt"
+
+	"valueprof/internal/isa"
+	"valueprof/internal/program"
+)
+
+// ConstKind classifies an instruction's destination value under the
+// whole-program constness lattice:
+//
+//	Unreached        the instruction can never execute
+//	Const            every execution produces the same statically known
+//	                 value (zero is Const with value 0)
+//	Invariant        every execution produces the same value, but the
+//	                 value is only fixed per run (derived from the
+//	                 initial stack pointer or other run constants)
+//	Varying          anything else
+//
+// Const and Invariant PCs need no TNV table: their Inv-All is provably
+// 1.0. Const PCs additionally pin the value, making them free
+// ground-truth oracles for the profiling pipeline.
+type ConstKind uint8
+
+const (
+	KindUnreached ConstKind = iota
+	KindConst
+	KindInvariant
+	KindVarying
+)
+
+func (k ConstKind) String() string {
+	switch k {
+	case KindUnreached:
+		return "unreached"
+	case KindConst:
+		return "const"
+	case KindInvariant:
+		return "invariant"
+	case KindVarying:
+		return "varying"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// ConstFact is the lattice element for one destination-writing pc. The
+// fact describes the value the instruction *computes* (the value the
+// profiler observes), which for a write to r31 may differ from the
+// architected register content.
+type ConstFact struct {
+	Kind  ConstKind
+	Value int64 // valid when Kind == KindConst
+}
+
+// Constness is the per-pc result of AnalyzeConstness.
+type Constness struct {
+	prog *program.Program
+	// Facts is indexed by pc; entries for non-result-producing
+	// instructions carry no claim (KindVarying).
+	Facts []ConstFact
+	// Degraded is set when the program contains indirect jumps or
+	// indirect calls: their runtime targets cannot be soundly bounded,
+	// so the analysis falls back to per-instruction syntactic facts
+	// (operands hardwired to the zero register) and makes no
+	// reachability or invariance claims.
+	Degraded bool
+
+	reached []bool
+	cfg     *CFG
+}
+
+// Abstract register values for the dataflow.
+const (
+	avBot   = 0 // unreached
+	avConst = 1
+	avInv   = 2 // invariant: fixed per run, identity tracked by vn
+	avTop   = 3 // varying
+)
+
+type av struct {
+	kind  uint8
+	val   int64  // avConst
+	vn    uint32 // avInv identity
+	depth uint16 // derivation depth, for widening
+}
+
+// maxInvDepth caps invariant derivation chains; deeper derivations
+// widen to varying so loops converge.
+const maxInvDepth = 64
+
+type regState [isa.NumRegs]av
+
+func meetAV(a, b av) av {
+	if a.kind == avBot {
+		return b
+	}
+	if b.kind == avBot {
+		return a
+	}
+	if a.kind == avConst && b.kind == avConst && a.val == b.val {
+		return a
+	}
+	if a.kind == avInv && b.kind == avInv && a.vn == b.vn {
+		return a
+	}
+	return av{kind: avTop}
+}
+
+func meetState(a, b *regState) (regState, bool) {
+	var out regState
+	changed := false
+	for r := range a {
+		out[r] = meetAV(a[r], b[r])
+		if out[r] != a[r] {
+			changed = true
+		}
+	}
+	return out, changed
+}
+
+// vnTable interns invariant-value identities: two derivations with the
+// same opcode and operand identities share a vn, so meets of the same
+// computation along different paths stay invariant.
+type vnTable struct {
+	next uint32
+	memo map[vnKey]uint32
+}
+
+type vnKey struct {
+	op   isa.Op
+	a, b uint64 // operand identities (kind-tagged)
+	imm  int32
+}
+
+func newVNTable() *vnTable { return &vnTable{next: 1, memo: map[vnKey]uint32{}} }
+
+func (t *vnTable) fresh() uint32 {
+	t.next++
+	return t.next
+}
+
+func (t *vnTable) expr(op isa.Op, a, b av, imm int32) uint32 {
+	k := vnKey{op: op, a: avID(a), b: avID(b), imm: imm}
+	if vn, ok := t.memo[k]; ok {
+		return vn
+	}
+	vn := t.fresh()
+	t.memo[k] = vn
+	return vn
+}
+
+func avID(a av) uint64 {
+	switch a.kind {
+	case avConst:
+		return uint64(a.val)<<2 | 1
+	case avInv:
+		return uint64(a.vn)<<2 | 2
+	}
+	return 0
+}
+
+// analyzer carries the dataflow state of one AnalyzeConstness run.
+type analyzer struct {
+	cfg  *CFG
+	vns  *vnTable
+	kill RegSet // registers a call boundary invalidates
+}
+
+// resultAV computes the abstract value a result-producing instruction
+// writes (the value an after-hook observes), given the pre-state.
+func (an *analyzer) resultAV(in isa.Inst, pc int, st *regState) av {
+	switch in.Op {
+	case isa.OpJsr, isa.OpJsrr:
+		return av{kind: avConst, val: int64(pc + 1)} // link value
+	}
+	if in.Op.Class() == isa.ClassLoad {
+		return av{kind: avTop}
+	}
+	a := st[in.Ra]
+	b := av{kind: avConst, val: 0}
+	if in.Op.Form() == isa.FormRRR {
+		b = st[in.Rb]
+	}
+	if a.kind == avConst && b.kind == avConst {
+		if v, ok := EvalPure(in.Op, a.val, b.val, in.Imm); ok {
+			return av{kind: avConst, val: v}
+		}
+		return av{kind: avTop} // faulting op (div/rem by zero)
+	}
+	if (a.kind == avConst || a.kind == avInv) && (b.kind == avConst || b.kind == avInv) {
+		depth := a.depth
+		if b.depth > depth {
+			depth = b.depth
+		}
+		if depth+1 > maxInvDepth {
+			return av{kind: avTop}
+		}
+		return av{kind: avInv, vn: an.vns.expr(in.Op, a, b, in.Imm), depth: depth + 1}
+	}
+	return av{kind: avTop}
+}
+
+// apply advances st across in. propagateCall delivers the callee-entry
+// state of calls; pass a no-op when replaying.
+func (an *analyzer) apply(in isa.Inst, pc int, st *regState, propagateCall func(callee int, at *regState)) {
+	switch in.Op {
+	case isa.OpJsr, isa.OpJsrr:
+		// The callee sees the state at the call with the link register
+		// holding the (per-site constant) return pc.
+		callee := *st
+		if in.Rd != isa.RegZero {
+			callee[in.Rd] = av{kind: avConst, val: int64(pc + 1)}
+		}
+		if in.Op == isa.OpJsr {
+			if b := an.cfg.blockIndex(int(in.Imm)); b >= 0 {
+				propagateCall(b, &callee)
+			}
+		} else {
+			for _, b := range an.cfg.AddressTaken {
+				propagateCall(b, &callee)
+			}
+		}
+		// Across the call, only registers provably untouched by the
+		// whole image keep their facts.
+		for r := uint8(0); r < isa.NumRegs; r++ {
+			if an.kill.Has(r) {
+				st[r] = av{kind: avTop}
+			}
+		}
+		if in.Rd != isa.RegZero {
+			st[in.Rd] = av{kind: avTop}
+		}
+		return
+	case isa.OpSyscall:
+		st[isa.RegV0] = av{kind: avTop}
+		return
+	}
+	if !in.Op.HasDest() || in.Rd == isa.RegZero {
+		return
+	}
+	st[in.Rd] = an.resultAV(in, pc, st)
+}
+
+// AnalyzeConstness runs the whole-program constness dataflow. The seed
+// is exact VM semantics: every register starts at zero except sp and fp,
+// which start at the (run-configured, hence invariant-but-unknown)
+// memory top. Calls clobber caller-saved registers plus any register
+// the program writes anywhere — callee-saved preservation is only
+// assumed for registers no instruction in the image touches, so the
+// analysis never trusts a convention the code could break. Programs
+// containing jmp or jsrr get the Degraded fallback (see Constness).
+func AnalyzeConstness(p *program.Program) *Constness {
+	cn := &Constness{
+		prog:  p,
+		Facts: make([]ConstFact, len(p.Code)),
+	}
+	for _, in := range p.Code {
+		if in.Op == isa.OpJmp || in.Op == isa.OpJsrr {
+			cn.Degraded = true
+			break
+		}
+	}
+	if cn.Degraded {
+		// Indirect control flow can land anywhere, including mid-block,
+		// with arbitrary register state. Only facts that hold under any
+		// machine state survive: results computed purely from the
+		// hardwired zero register and immediates.
+		for pc, in := range p.Code {
+			cn.Facts[pc] = syntacticFact(in)
+		}
+		return cn
+	}
+
+	cfg := ForProgram(p)
+	cn.cfg = cfg
+	cn.reached = cfg.Reachable()
+	if len(p.Code) == 0 {
+		return cn
+	}
+	an := &analyzer{cfg: cfg, vns: newVNTable()}
+	for _, in := range p.Code {
+		_, def := UseDef(in)
+		an.kill |= def
+	}
+	for _, r := range CallerSaved {
+		an.kill.Add(r)
+	}
+
+	// Entry state: zeroed registers, invariant sp/fp (equal values).
+	var entry regState
+	for r := range entry {
+		entry[r] = av{kind: avConst, val: 0}
+	}
+	spInit := an.vns.fresh()
+	entry[isa.RegSP] = av{kind: avInv, vn: spInit}
+	entry[isa.RegFP] = av{kind: avInv, vn: spInit}
+
+	nb := len(cfg.Blocks)
+	in := make([]*regState, nb)
+	seen := make([]bool, nb)
+	var worklist []int
+	push := func(b int, st *regState) {
+		if !seen[b] {
+			seen[b] = true
+			cp := *st
+			in[b] = &cp
+			worklist = append(worklist, b)
+			return
+		}
+		merged, changed := meetState(in[b], st)
+		if changed {
+			*in[b] = merged
+			worklist = append(worklist, b)
+		}
+	}
+
+	eb := cfg.EntryBlock()
+	if eb < 0 {
+		return cn
+	}
+	push(eb, &entry)
+
+	for len(worklist) > 0 {
+		b := worklist[0]
+		worklist = worklist[1:]
+		st := *in[b]
+		blk := &cfg.Blocks[b]
+		for pc := blk.Start; pc < blk.End; pc++ {
+			an.apply(cfg.Code[pc], pc, &st, push)
+		}
+		for _, s := range blk.Succs {
+			push(s, &st)
+		}
+	}
+
+	// Final pass: replay each processed block with its fixpoint entry
+	// state and record the computed-result fact of every
+	// result-producing instruction.
+	noCall := func(int, *regState) {}
+	for b := range cfg.Blocks {
+		if !seen[b] {
+			continue
+		}
+		st := *in[b]
+		blk := &cfg.Blocks[b]
+		for pc := blk.Start; pc < blk.End; pc++ {
+			ins := cfg.Code[pc]
+			if ins.Op.HasDest() {
+				switch r := an.resultAV(ins, pc, &st); r.kind {
+				case avConst:
+					cn.Facts[pc] = ConstFact{Kind: KindConst, Value: r.val}
+				case avInv:
+					cn.Facts[pc] = ConstFact{Kind: KindInvariant}
+				default:
+					cn.Facts[pc] = ConstFact{Kind: KindVarying}
+				}
+			}
+			an.apply(ins, pc, &st, noCall)
+		}
+	}
+	return cn
+}
+
+// syntacticFact classifies an instruction using no dataflow at all:
+// only operands hardwired to the zero register count as known. This is
+// sound under arbitrary control flow and register state.
+func syntacticFact(in isa.Inst) ConstFact {
+	if !in.Op.HasDest() {
+		return ConstFact{Kind: KindVarying}
+	}
+	switch in.Op.Form() {
+	case isa.FormRRI:
+		if in.Ra == isa.RegZero {
+			if v, ok := EvalPure(in.Op, 0, 0, in.Imm); ok {
+				return ConstFact{Kind: KindConst, Value: v}
+			}
+		}
+	case isa.FormRRR:
+		if in.Ra == isa.RegZero && in.Rb == isa.RegZero {
+			if v, ok := EvalPure(in.Op, 0, 0, in.Imm); ok {
+				return ConstFact{Kind: KindConst, Value: v}
+			}
+		}
+	}
+	return ConstFact{Kind: KindVarying}
+}
+
+// Reached reports whether the instruction at pc can execute. Under
+// Degraded analysis everything is assumed reachable.
+func (cn *Constness) Reached(pc int) bool {
+	if cn.Degraded {
+		return true
+	}
+	b := cn.cfg.BlockContaining(pc)
+	return b >= 0 && cn.reached[b]
+}
+
+// Kind returns the constness class of pc's computed result. PCs in
+// unreachable blocks report KindUnreached regardless of their local
+// fact.
+func (cn *Constness) Kind(pc int) ConstKind {
+	if pc < 0 || pc >= len(cn.Facts) {
+		return KindUnreached
+	}
+	if !cn.Reached(pc) {
+		return KindUnreached
+	}
+	return cn.Facts[pc].Kind
+}
+
+// ConstValue returns the proven constant computed value of pc. ok is
+// false unless the pc is reachable and its result is KindConst.
+func (cn *Constness) ConstValue(pc int) (int64, bool) {
+	if cn.Kind(pc) != KindConst {
+		return 0, false
+	}
+	return cn.Facts[pc].Value, true
+}
+
+// PruneReport summarizes what static pruning saves for one program.
+type PruneReport struct {
+	Candidates int // result-producing sites the filter selects
+	Const      int // provably constant (TNV table skippable, value known)
+	Zero       int // the Const subset whose value is zero
+	Invariant  int // provably single-valued per run
+	Unreached  int // provably never execute
+}
+
+// Pruned returns how many candidate sites need no TNV table: the
+// provably-constant ones plus the provably-unreachable ones.
+func (r PruneReport) Pruned() int { return r.Const + r.Unreached }
+
+// Prune classifies every instruction the filter selects (nil selects
+// all result-producing instructions, matching the profiler's default).
+func (cn *Constness) Prune(filter func(isa.Inst) bool) PruneReport {
+	var rep PruneReport
+	for pc, in := range cn.prog.Code {
+		if !in.Op.HasDest() {
+			continue
+		}
+		if filter != nil && !filter(in) {
+			continue
+		}
+		rep.Candidates++
+		switch cn.Kind(pc) {
+		case KindConst:
+			rep.Const++
+			if cn.Facts[pc].Value == 0 {
+				rep.Zero++
+			}
+		case KindInvariant:
+			rep.Invariant++
+		case KindUnreached:
+			rep.Unreached++
+		}
+	}
+	return rep
+}
+
+// ShouldPrune reports whether the profiler can skip allocating a TNV
+// table for pc: its value is proven constant or it can never execute.
+// This is the function handed to core.Options.Prune.
+func (cn *Constness) ShouldPrune(pc int, in isa.Inst) bool {
+	switch cn.Kind(pc) {
+	case KindConst, KindUnreached:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,138 @@
+// Corpus tests: run the static analyses over every benchmark workload
+// and cross-check them against real profiling runs. These live in an
+// external test package because the workloads import minic, which
+// imports analysis (the compiler verifies its output).
+package analysis_test
+
+import (
+	"reflect"
+	"testing"
+
+	"valueprof/internal/analysis"
+	"valueprof/internal/atom"
+	"valueprof/internal/core"
+	"valueprof/internal/program"
+	"valueprof/internal/workloads"
+)
+
+func compile(t *testing.T, w *workloads.Workload) *program.Program {
+	t.Helper()
+	prog, err := w.Compile()
+	if err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	return prog
+}
+
+// profileRecord runs one workload input under the value profiler with an
+// optional static prune filter and returns the serialized record.
+func profileRecord(t *testing.T, w *workloads.Workload, in workloads.Input, cn *analysis.Constness) *core.ProfileRecord {
+	t.Helper()
+	opts := core.Options{TNV: core.DefaultTNVConfig()}
+	if cn != nil {
+		opts.Prune = cn.ShouldPrune
+	}
+	vp, err := core.NewValueProfiler(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := atom.Run(compile(t, w), in.Args, false, atom.Tool(vp)); err != nil {
+		t.Fatalf("%s/%s: %v", w.Name, in.Name, err)
+	}
+	return vp.Profile().Record(w.Name, in.Name)
+}
+
+// TestWorkloadsVerifyClean: every compiled workload passes the verifier
+// with zero errors, and the only warnings are the unreachable blocks the
+// compiler's implicit trailing return is known to create.
+func TestWorkloadsVerifyClean(t *testing.T) {
+	for _, w := range workloads.All() {
+		prog := compile(t, w)
+		diags := analysis.Verify(prog)
+		if diags.HasErrors() {
+			t.Errorf("%s: verifier errors: %v", w.Name, diags.Errors())
+		}
+		for _, d := range diags {
+			if d.Sev == analysis.SevWarning && d.Rule != analysis.RuleUnreachable {
+				t.Errorf("%s: unexpected warning: %s", w.Name, d)
+			}
+		}
+	}
+}
+
+// TestWorkloadsAnalyzeWholeProgram: the compiler never emits indirect
+// jumps, so constness analysis must run in full dataflow mode on every
+// workload, and static pruning must find something on most of them.
+func TestWorkloadsAnalyzeWholeProgram(t *testing.T) {
+	pruning := 0
+	for _, w := range workloads.All() {
+		cn := analysis.AnalyzeConstness(compile(t, w))
+		if cn.Degraded {
+			t.Errorf("%s: analysis degraded on compiler output", w.Name)
+		}
+		rep := cn.Prune(nil)
+		if rep.Pruned() > 0 {
+			pruning++
+		}
+		t.Logf("%s: %d/%d pruned (%d const, %d unreached, %d invariant)",
+			w.Name, rep.Pruned(), rep.Candidates, rep.Const, rep.Unreached, rep.Invariant)
+	}
+	if pruning < 5 {
+		t.Errorf("static pruning found removable sites on %d workloads, want >= 5", pruning)
+	}
+}
+
+// TestPruneEquivalence: profiling with -prune-static must be a pure
+// subtraction. For every workload, the record of a pruned run contains
+// exactly the non-pruned sites of the unpruned run, each byte-for-byte
+// identical (same Exec, LVPHits, Zeros, and TNV table, hence the same
+// Inv-Top, Inv-All, LVP, and %zero).
+func TestPruneEquivalence(t *testing.T) {
+	for _, w := range workloads.All() {
+		prog := compile(t, w)
+		cn := analysis.AnalyzeConstness(prog)
+		base := profileRecord(t, w, w.Test, nil)
+		pruned := profileRecord(t, w, w.Test, cn)
+
+		want := make(map[int]core.SiteRecord)
+		for _, s := range base.Sites {
+			if !cn.ShouldPrune(s.PC, prog.Code[s.PC]) {
+				want[s.PC] = s
+			}
+		}
+		if len(pruned.Sites) != len(want) {
+			t.Errorf("%s: pruned run has %d sites, want %d", w.Name, len(pruned.Sites), len(want))
+		}
+		for _, s := range pruned.Sites {
+			ref, ok := want[s.PC]
+			if !ok {
+				t.Errorf("%s: pc %d present in pruned run but pruned statically", w.Name, s.PC)
+				continue
+			}
+			if !reflect.DeepEqual(s, ref) {
+				t.Errorf("%s: pc %d diverges under pruning:\n pruned %+v\n full   %+v", w.Name, s.PC, s, ref)
+			}
+			delete(want, s.PC)
+		}
+		for pc := range want {
+			t.Errorf("%s: pc %d missing from pruned run", w.Name, pc)
+		}
+	}
+}
+
+// TestOracleAgainstFullProfiles: dynamic soundness. A full (unsampled,
+// uninterrupted) profile of each workload on both inputs must never
+// contradict the static facts: proven constants are observed at exactly
+// one value, proven-unreachable code never executes, invariants stay
+// single-valued.
+func TestOracleAgainstFullProfiles(t *testing.T) {
+	for _, w := range workloads.All() {
+		cn := analysis.AnalyzeConstness(compile(t, w))
+		for _, in := range w.Inputs() {
+			rec := profileRecord(t, w, in, nil)
+			for _, c := range analysis.CheckRecord(cn, rec) {
+				t.Errorf("%s/%s: %s", w.Name, in.Name, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package analysis
+
+// DomTree is the dominator tree of a CFG, computed over the blocks
+// reachable from the entry (Cooper-Harvey-Kennedy iterative algorithm).
+// Unreachable blocks have Idom -1 and dominate nothing.
+type DomTree struct {
+	cfg *CFG
+	// Idom[b] is the immediate dominator of block b, -1 for the entry
+	// and for unreachable blocks.
+	Idom []int
+	// Children[b] lists the blocks immediately dominated by b.
+	Children [][]int
+	// RPO is the reverse postorder of the reachable blocks.
+	RPO []int
+
+	rpoNum []int // block -> reverse-postorder number, -1 if unreachable
+}
+
+// Dominators computes the dominator tree. Call edges do not contribute:
+// dominance is defined over the CFG's intra-procedural edges (plus the
+// address-taken successors of indirect jumps in a program-level CFG).
+func (c *CFG) Dominators() *DomTree {
+	n := len(c.Blocks)
+	d := &DomTree{
+		cfg:      c,
+		Idom:     make([]int, n),
+		Children: make([][]int, n),
+		rpoNum:   make([]int, n),
+	}
+	for i := range d.Idom {
+		d.Idom[i] = -1
+		d.rpoNum[i] = -1
+	}
+	entry := c.EntryBlock()
+	if entry < 0 {
+		return d
+	}
+
+	// Postorder DFS from the entry.
+	var post []int
+	state := make([]int, n) // 0 unvisited, 1 on stack, 2 done
+	var dfs func(b int)
+	dfs = func(b int) {
+		state[b] = 1
+		for _, s := range c.Blocks[b].Succs {
+			if state[s] == 0 {
+				dfs(s)
+			}
+		}
+		state[b] = 2
+		post = append(post, b)
+	}
+	dfs(entry)
+	for i := len(post) - 1; i >= 0; i-- {
+		d.RPO = append(d.RPO, post[i])
+	}
+	for i, b := range d.RPO {
+		d.rpoNum[b] = i
+	}
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for d.rpoNum[a] > d.rpoNum[b] {
+				a = d.Idom[a]
+			}
+			for d.rpoNum[b] > d.rpoNum[a] {
+				b = d.Idom[b]
+			}
+		}
+		return a
+	}
+
+	d.Idom[entry] = entry
+	for changed := true; changed; {
+		changed = false
+		for _, b := range d.RPO {
+			if b == entry {
+				continue
+			}
+			newIdom := -1
+			for _, p := range c.Blocks[b].Preds {
+				if d.rpoNum[p] < 0 || d.Idom[p] < 0 {
+					continue // pred unreachable or not yet processed
+				}
+				if newIdom < 0 {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom >= 0 && d.Idom[b] != newIdom {
+				d.Idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	d.Idom[entry] = -1
+	for b, id := range d.Idom {
+		if id >= 0 {
+			d.Children[id] = append(d.Children[id], b)
+		}
+	}
+	return d
+}
+
+// Dominates reports whether block a dominates block b (reflexively).
+// Unreachable blocks neither dominate nor are dominated.
+func (d *DomTree) Dominates(a, b int) bool {
+	if d.rpoNum[a] < 0 || d.rpoNum[b] < 0 {
+		return false
+	}
+	for b >= 0 {
+		if a == b {
+			return true
+		}
+		b = d.Idom[b]
+	}
+	return false
+}

@@ -1,0 +1,210 @@
+package analysis
+
+import "valueprof/internal/isa"
+
+// Facts is the region-level constant-propagation lattice element: known
+// register values plus known fp-relative stack slots. Slot tracking is
+// what lets the specializer see through the compiler's argument spills
+// (stq a0, 16(fp) ... ldq t0, 16(fp)).
+type Facts struct {
+	Regs  map[uint8]int64
+	Slots map[int32]int64
+}
+
+// NewFacts returns an empty fact set (nothing known).
+func NewFacts() *Facts {
+	return &Facts{Regs: make(map[uint8]int64), Slots: make(map[int32]int64)}
+}
+
+// Clone deep-copies the fact set.
+func (f *Facts) Clone() *Facts {
+	out := NewFacts()
+	for k, v := range f.Regs {
+		out.Regs[k] = v
+	}
+	for k, v := range f.Slots {
+		out.Slots[k] = v
+	}
+	return out
+}
+
+// MeetFacts intersects two fact sets (same key, same value survives).
+func MeetFacts(a, b *Facts) *Facts {
+	out := NewFacts()
+	for k, v := range a.Regs {
+		if bv, ok := b.Regs[k]; ok && bv == v {
+			out.Regs[k] = v
+		}
+	}
+	for k, v := range a.Slots {
+		if bv, ok := b.Slots[k]; ok && bv == v {
+			out.Slots[k] = v
+		}
+	}
+	return out
+}
+
+// EqualFacts reports whether two fact sets carry identical knowledge.
+func EqualFacts(a, b *Facts) bool {
+	if len(a.Regs) != len(b.Regs) || len(a.Slots) != len(b.Slots) {
+		return false
+	}
+	for k, v := range a.Regs {
+		if bv, ok := b.Regs[k]; !ok || bv != v {
+			return false
+		}
+	}
+	for k, v := range a.Slots {
+		if bv, ok := b.Slots[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Reg returns the known value of r; the zero register is always known.
+func (f *Facts) Reg(r uint8) (int64, bool) {
+	if r == isa.RegZero {
+		return 0, true
+	}
+	v, ok := f.Regs[r]
+	return v, ok
+}
+
+// SetReg records a known register value.
+func (f *Facts) SetReg(r uint8, v int64) {
+	if r != isa.RegZero {
+		f.Regs[r] = v
+	}
+}
+
+// KillReg forgets r; redefining fp also invalidates every fp-relative
+// slot fact.
+func (f *Facts) KillReg(r uint8) {
+	delete(f.Regs, r)
+	if r == isa.RegFP {
+		f.Slots = make(map[int32]int64)
+	}
+}
+
+// KillSlots forgets every tracked stack slot.
+func (f *Facts) KillSlots() { f.Slots = make(map[int32]int64) }
+
+// EvalValue computes the constant result of in under f when every
+// needed input is known. It handles pure ALU/compare ops and 64-bit
+// loads from known fp slots; ok is false otherwise.
+func EvalValue(in isa.Inst, f *Facts) (val int64, ok bool) {
+	switch in.Op.Form() {
+	case isa.FormRRR:
+		a, aok := f.Reg(in.Ra)
+		b, bok := f.Reg(in.Rb)
+		if !aok || !bok {
+			return 0, false
+		}
+		return EvalPure(in.Op, a, b, in.Imm)
+	case isa.FormRRI:
+		a, aok := f.Reg(in.Ra)
+		if !aok {
+			return 0, false
+		}
+		return EvalPure(in.Op, a, 0, in.Imm)
+	case isa.FormMem:
+		if in.Op == isa.OpLdq && in.Ra == isa.RegFP {
+			v, known := f.Slots[in.Imm]
+			return v, known
+		}
+	}
+	return 0, false
+}
+
+// ApplyTransfer updates facts across in: known pure results record the
+// constant; anything else kills the destination. Stores update or kill
+// slot facts; calls kill caller-saved registers and all memory facts
+// (the callee may write through passed addresses).
+func ApplyTransfer(in isa.Inst, f *Facts) {
+	switch in.Op {
+	case isa.OpJsr, isa.OpJsrr:
+		for _, r := range CallerSaved {
+			delete(f.Regs, r)
+		}
+		f.KillSlots()
+		return
+	case isa.OpSyscall:
+		// Syscalls write v0 (getint/clock) but no program memory.
+		f.KillReg(isa.RegV0)
+		return
+	case isa.OpStq, isa.OpStl, isa.OpStb:
+		if in.Ra == isa.RegFP && in.Op == isa.OpStq {
+			if v, ok := f.Reg(in.Rd); ok {
+				f.Slots[in.Imm] = v
+			} else {
+				delete(f.Slots, in.Imm)
+			}
+			return
+		}
+		if in.Ra == isa.RegFP {
+			// Narrow store to a tracked slot: forget it.
+			delete(f.Slots, in.Imm)
+			return
+		}
+		// A store through an arbitrary pointer may alias the frame.
+		f.KillSlots()
+		return
+	}
+	if !in.Op.HasDest() {
+		return
+	}
+	if v, ok := EvalValue(in, f); ok {
+		f.KillReg(in.Rd) // handles fp-redefinition slot invalidation
+		f.SetReg(in.Rd, v)
+		return
+	}
+	f.KillReg(in.Rd)
+}
+
+// ConstResult holds per-block entry facts from a ConstProp run.
+type ConstResult struct {
+	// In[b] is the fact set at entry of block b; nil for unreached
+	// blocks.
+	In []*Facts
+	// Reached[b] reports whether block b is reachable from the entry
+	// under the propagated facts.
+	Reached []bool
+}
+
+// ConstProp runs forward constant propagation over the CFG seeded with
+// the given entry facts, returning the fixpoint per-block entry facts.
+// The caller replays ApplyTransfer within a block to get per-pc facts.
+func (c *CFG) ConstProp(entry *Facts) *ConstResult {
+	res := &ConstResult{
+		In:      make([]*Facts, len(c.Blocks)),
+		Reached: make([]bool, len(c.Blocks)),
+	}
+	eb := c.EntryBlock()
+	if eb < 0 {
+		return res
+	}
+	res.In[eb] = entry.Clone()
+	res.Reached[eb] = true
+	worklist := []int{eb}
+	for len(worklist) > 0 {
+		b := worklist[0]
+		worklist = worklist[1:]
+		f := res.In[b].Clone()
+		blk := &c.Blocks[b]
+		for pc := blk.Start; pc < blk.End; pc++ {
+			ApplyTransfer(c.Code[pc-c.Base], f)
+		}
+		for _, s := range blk.Succs {
+			if !res.Reached[s] {
+				res.Reached[s] = true
+				res.In[s] = f.Clone()
+				worklist = append(worklist, s)
+			} else if merged := MeetFacts(res.In[s], f); !EqualFacts(merged, res.In[s]) {
+				res.In[s] = merged
+				worklist = append(worklist, s)
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,149 @@
+package analysis
+
+import "valueprof/internal/isa"
+
+// Redundancy is one provably redundant computation: the instruction at
+// PC computes the same value as the earlier instruction at With, and
+// With's block dominates PC's, so With has always already executed.
+// This is a diagnostic (vlint -gvn), not a rewrite: the earlier result
+// may no longer be register-resident.
+type Redundancy struct {
+	PC   int
+	With int
+}
+
+// gvn numbers values without an SSA form by treating definition sites as
+// names: a register use has a well-defined value number only when
+// exactly one definition reaches it. Loop-carried definitions keep
+// their initial fresh number (a sound under-approximation: unmatched
+// values are simply never reported redundant).
+type gvn struct {
+	cfg   *CFG
+	defs  *ReachingDefs
+	fresh uint32
+	// defVN[defKey(pc, r)] is the value number of the value the
+	// instruction at pc leaves in register r. Instructions defining
+	// several registers (calls) get one number per register.
+	defVN map[int64]uint32
+	// entryVN[r] numbers register r's value at region entry.
+	entryVN [isa.NumRegs]uint32
+	exprs   map[vnKey]uint32
+	firstPC map[uint32]int
+}
+
+// GVN finds redundant computations with a dominator-ordered value
+// numbering over the CFG. Only pure register/immediate computations
+// participate; loads, calls, and syscalls always produce fresh values.
+func (c *CFG) GVN() []Redundancy {
+	g := &gvn{
+		cfg:     c,
+		defs:    c.ReachingDefs(),
+		defVN:   map[int64]uint32{},
+		exprs:   map[vnKey]uint32{},
+		firstPC: map[uint32]int{},
+	}
+	for r := range g.entryVN {
+		g.entryVN[r] = g.next()
+	}
+	dom := c.Dominators()
+	reach := c.Reachable()
+
+	// Pre-assign fresh numbers so uses reached by not-yet-visited
+	// definitions (back edges) resolve conservatively.
+	for pc := c.Base; pc < c.Base+len(c.Code); pc++ {
+		_, def := UseDef(c.Inst(pc))
+		for r := uint8(0); r < isa.NumRegs; r++ {
+			if def.Has(r) {
+				g.defVN[defKey(pc, r)] = g.next()
+			}
+		}
+	}
+
+	var out []Redundancy
+	for _, b := range dom.RPO {
+		if !reach[b] {
+			continue
+		}
+		blk := &c.Blocks[b]
+		for pc := blk.Start; pc < blk.End; pc++ {
+			in := c.Inst(pc)
+			if !pureExpr(in) || in.Rd == isa.RegZero {
+				continue
+			}
+			va, ok := g.useVN(pc, in.Ra)
+			if !ok {
+				continue
+			}
+			vb, vbOK := uint32(0), true
+			if in.Op.Form() == isa.FormRRR {
+				vb, vbOK = g.useVN(pc, in.Rb)
+			}
+			if !vbOK {
+				continue
+			}
+			if commutative(in.Op) && vb < va {
+				va, vb = vb, va
+			}
+			k := vnKey{op: in.Op, a: uint64(va), b: uint64(vb), imm: in.Imm}
+			if vn, ok := g.exprs[k]; ok {
+				first := g.firstPC[vn]
+				fb := c.BlockContaining(first)
+				if fb == b && first < pc || fb != b && dom.Dominates(fb, b) {
+					out = append(out, Redundancy{PC: pc, With: first})
+				}
+				g.defVN[defKey(pc, in.Rd)] = vn
+				continue
+			}
+			vn := g.defVN[defKey(pc, in.Rd)]
+			g.exprs[k] = vn
+			g.firstPC[vn] = pc
+		}
+	}
+	return out
+}
+
+func (g *gvn) next() uint32 {
+	g.fresh++
+	return g.fresh
+}
+
+// useVN resolves the value number register r holds entering pc. It is
+// defined only when a single definition (or only the entry value)
+// reaches the use.
+func (g *gvn) useVN(pc int, r uint8) (uint32, bool) {
+	if r == isa.RegZero {
+		return 0, true // the hardwired zero shares one number
+	}
+	pcs, fromEntry := g.defs.DefsReaching(pc, r)
+	switch {
+	case fromEntry && len(pcs) == 0:
+		return g.entryVN[r], true
+	case !fromEntry && len(pcs) == 1:
+		return g.defVN[defKey(pcs[0], r)], true
+	}
+	return 0, false
+}
+
+func defKey(pc int, r uint8) int64 { return int64(pc)<<8 | int64(r) }
+
+// pureExpr reports whether the instruction is a pure register or
+// register-immediate computation (deterministic in its operands).
+func pureExpr(in isa.Inst) bool {
+	if !in.Op.HasDest() {
+		return false
+	}
+	switch in.Op.Form() {
+	case isa.FormRRR, isa.FormRRI:
+		return true
+	}
+	return false
+}
+
+func commutative(op isa.Op) bool {
+	switch op {
+	case isa.OpAdd, isa.OpMul, isa.OpAnd, isa.OpOr, isa.OpXor,
+		isa.OpCmpeq, isa.OpCmpne:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,142 @@
+package analysis
+
+import "valueprof/internal/isa"
+
+// RegSet is a 32-register bit set.
+type RegSet uint32
+
+// Has reports whether r is in the set.
+func (s RegSet) Has(r uint8) bool { return s&(1<<r) != 0 }
+
+// Add inserts r.
+func (s *RegSet) Add(r uint8) { *s |= 1 << r }
+
+// Del removes r.
+func (s *RegSet) Del(r uint8) { *s &^= 1 << r }
+
+// AddAll inserts every listed register.
+func (s *RegSet) AddAll(rs ...uint8) {
+	for _, r := range rs {
+		s.Add(r)
+	}
+}
+
+// CallerSaved are the registers a call clobbers under the VRISC
+// convention (temporaries, arguments, v0, ra, at).
+var CallerSaved = func() []uint8 {
+	var r []uint8
+	r = append(r, isa.RegV0, isa.RegRA, isa.RegAT)
+	for i := isa.RegA0; i <= isa.RegA5; i++ {
+		r = append(r, uint8(i))
+	}
+	for i := isa.RegT0; i < isa.RegT0+10; i++ {
+		r = append(r, uint8(i))
+	}
+	return r
+}()
+
+// RetLive are the registers meaningful after a procedure returns: the
+// return value, the stack/frame pointers, and the callee-saved set.
+var RetLive = func() RegSet {
+	var s RegSet
+	s.AddAll(isa.RegV0, isa.RegSP, isa.RegFP)
+	for r := isa.RegS0; r < isa.RegS0+8; r++ {
+		s.Add(uint8(r))
+	}
+	return s
+}()
+
+// CallUses are the registers a call consumes (arguments plus the stack
+// and frame pointers); CallDefs are the registers it may clobber.
+var CallUses, CallDefs = func() (u, d RegSet) {
+	u.AddAll(isa.RegSP, isa.RegFP)
+	for r := isa.RegA0; r <= isa.RegA5; r++ {
+		u.Add(uint8(r))
+	}
+	for _, r := range CallerSaved {
+		d.Add(r)
+	}
+	return u, d
+}()
+
+// UseDef returns the registers the instruction reads and writes.
+func UseDef(in isa.Inst) (use, def RegSet) {
+	switch in.Op.Form() {
+	case isa.FormRRR:
+		use.AddAll(in.Ra, in.Rb)
+		def.Add(in.Rd)
+	case isa.FormRRI:
+		use.Add(in.Ra)
+		def.Add(in.Rd)
+	case isa.FormMem:
+		use.Add(in.Ra)
+		if in.Op.Class() == isa.ClassStore {
+			use.Add(in.Rd) // stores read the "destination" register
+		} else {
+			def.Add(in.Rd)
+		}
+	case isa.FormRB:
+		use.Add(in.Ra)
+	case isa.FormJ: // jsr
+		use = CallUses
+		def = CallDefs
+	case isa.FormR:
+		switch in.Op {
+		case isa.OpJsrr:
+			use = CallUses
+			use.Add(in.Ra)
+			def = CallDefs
+		case isa.OpJmp:
+			use.Add(in.Ra)
+		case isa.OpRet:
+			use = RetLive
+			use.Add(in.Ra)
+		}
+	case isa.FormS: // syscall
+		use.Add(isa.RegA0)
+		def.Add(isa.RegV0)
+	}
+	def.Del(isa.RegZero)
+	return use, def
+}
+
+// SideEffectFree reports whether the instruction can be deleted when
+// its destination is dead. Loads are included: a dead load's only
+// observable effect is a potential fault, which an optimizer (like any
+// compiler assuming non-trapping loads) is allowed to drop.
+func SideEffectFree(in isa.Inst) bool {
+	if in.Op == isa.OpNop {
+		return true
+	}
+	return in.Op.HasDest()
+}
+
+// Liveness computes per-instruction live-after register sets with a
+// backward fixpoint over the CFG's blocks. The result is indexed by
+// pc-c.Base. Region exits (ret) carry RetLive through UseDef, so the
+// analysis matches the calling convention without extra seeding.
+func (c *CFG) Liveness() []RegSet {
+	liveAfter := make([]RegSet, len(c.Code))
+	liveIn := make([]RegSet, len(c.Blocks))
+
+	for changed := true; changed; {
+		changed = false
+		for b := len(c.Blocks) - 1; b >= 0; b-- {
+			blk := &c.Blocks[b]
+			var out RegSet
+			for _, s := range blk.Succs {
+				out |= liveIn[s]
+			}
+			for pc := blk.End - 1; pc >= blk.Start; pc-- {
+				liveAfter[pc-c.Base] = out
+				use, def := UseDef(c.Code[pc-c.Base])
+				out = (out &^ def) | use
+			}
+			if out != liveIn[b] {
+				liveIn[b] = out
+				changed = true
+			}
+		}
+	}
+	return liveAfter
+}

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"fmt"
+
+	"valueprof/internal/core"
+)
+
+// Contradiction is one profile record that violates a static fact. Any
+// contradiction means a bug somewhere: in the profiler, in the analysis,
+// or in the VM — static claims are proofs, not estimates, so the
+// profiler's observations must agree with every one of them.
+type Contradiction struct {
+	PC   int
+	Name string
+	Kind ConstKind
+	Msg  string
+}
+
+func (c Contradiction) String() string {
+	return fmt.Sprintf("pc %d (%s): static %s contradicted: %s", c.PC, c.Name, c.Kind, c.Msg)
+}
+
+// CheckRecord cross-checks a saved profile against the static constness
+// facts of the program it was collected from:
+//
+//   - a statically unreachable pc must have no record (records are only
+//     emitted for executed sites);
+//   - a proven-constant pc must show exactly the proven value: one TNV
+//     entry holding it, with the full execution count, and a zero
+//     counter equal to Exec or 0 according to the value;
+//   - a proven-invariant pc must show a single value: one TNV entry
+//     with the full execution count.
+//
+// The checks are chosen to hold under sampling, partial runs, and TNV
+// clearing (a single-valued site always keeps its one entry, so
+// count == Exec is exact, not approximate). Last-value-prediction hits
+// are deliberately not checked: checkpoint resume resets the predictor
+// without resetting Exec.
+func CheckRecord(cn *Constness, rec *core.ProfileRecord) []Contradiction {
+	var out []Contradiction
+	add := func(s *core.SiteRecord, kind ConstKind, format string, args ...any) {
+		out = append(out, Contradiction{
+			PC: s.PC, Name: s.Name, Kind: kind, Msg: fmt.Sprintf(format, args...),
+		})
+	}
+	for i := range rec.Sites {
+		s := &rec.Sites[i]
+		if s.PC < 0 || s.PC >= len(cn.Facts) {
+			add(s, KindUnreached, "pc outside the program's code")
+			continue
+		}
+		switch kind := cn.Kind(s.PC); kind {
+		case KindUnreached:
+			if s.Exec > 0 {
+				add(s, kind, "executed %d times", s.Exec)
+			}
+		case KindConst:
+			want := cn.Facts[s.PC].Value
+			var covered uint64
+			for _, e := range s.Top {
+				if e.Value != want {
+					add(s, kind, "proven value %d but observed %d (count %d)", want, e.Value, e.Count)
+					continue
+				}
+				covered += e.Count
+			}
+			if covered != s.Exec {
+				add(s, kind, "proven constant but TNV covers %d of %d executions", covered, s.Exec)
+			}
+			if want == 0 && s.Zeros != s.Exec {
+				add(s, kind, "proven zero but zero counter is %d of %d", s.Zeros, s.Exec)
+			}
+			if want != 0 && s.Zeros != 0 {
+				add(s, kind, "proven nonzero (%d) but zero counter is %d", want, s.Zeros)
+			}
+		case KindInvariant:
+			if len(s.Top) > 1 {
+				add(s, kind, "proven single-valued but TNV holds %d values", len(s.Top))
+			} else if len(s.Top) == 1 && s.Top[0].Count != s.Exec {
+				add(s, kind, "proven single-valued but top count is %d of %d", s.Top[0].Count, s.Exec)
+			}
+			if s.Zeros != 0 && s.Zeros != s.Exec {
+				add(s, kind, "proven single-valued but zero counter %d is strictly between 0 and %d", s.Zeros, s.Exec)
+			}
+		}
+	}
+	return out
+}

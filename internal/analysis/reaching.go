@@ -1,0 +1,240 @@
+package analysis
+
+import "valueprof/internal/isa"
+
+// bitset is a simple dense bit vector.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (uint(i) % 64) }
+func (b bitset) clear(i int)    { b[i/64] &^= 1 << (uint(i) % 64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+func (b bitset) orInto(src bitset) bool {
+	changed := false
+	for i := range b {
+		n := b[i] | src[i]
+		if n != b[i] {
+			b[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (b bitset) copyFrom(src bitset) { copy(b, src) }
+
+// ReachingDefs is the classic reaching-definitions dataflow result over
+// a CFG. Definitions are instructions that write a register, plus one
+// synthetic "entry" definition per register modelling the register's
+// value at region entry.
+type ReachingDefs struct {
+	cfg *CFG
+	// defPC[i] is the absolute pc of definition i, or -1 for the 32
+	// synthetic entry definitions (definition r is the entry value of
+	// register r for i < 32).
+	defPC []int
+	// defReg[i] is the register definition i writes.
+	defReg []uint8
+	// in[b] is the definition set reaching the entry of block b.
+	in []bitset
+	// defsOf[r] is the set of definitions writing register r.
+	defsOf [isa.NumRegs]bitset
+}
+
+// ReachingDefs computes reaching definitions. A call (jsr/jsrr) defines
+// every caller-saved register; a syscall defines v0.
+func (c *CFG) ReachingDefs() *ReachingDefs {
+	rd := &ReachingDefs{cfg: c}
+	// Synthetic entry definitions occupy slots 0..31.
+	for r := 0; r < isa.NumRegs; r++ {
+		rd.defPC = append(rd.defPC, -1)
+		rd.defReg = append(rd.defReg, uint8(r))
+	}
+	for pc := range c.Code {
+		_, def := UseDef(c.Code[pc])
+		for r := uint8(0); r < isa.NumRegs; r++ {
+			if def.Has(r) {
+				rd.defPC = append(rd.defPC, c.Base+pc)
+				rd.defReg = append(rd.defReg, r)
+			}
+		}
+	}
+	n := len(rd.defPC)
+	for r := range rd.defsOf {
+		rd.defsOf[r] = newBitset(n)
+	}
+	for i, r := range rd.defReg {
+		rd.defsOf[r].set(i)
+	}
+
+	// Per-block gen/kill by walking instructions in order.
+	nb := len(c.Blocks)
+	gen := make([]bitset, nb)
+	notKill := make([]bitset, nb)
+	rd.in = make([]bitset, nb)
+	// Index defs by pc for fast lookup: pc -> first def slot.
+	firstDef := make(map[int]int)
+	for i := isa.NumRegs; i < n; i++ {
+		if _, ok := firstDef[rd.defPC[i]]; !ok {
+			firstDef[rd.defPC[i]] = i
+		}
+	}
+	for b := range c.Blocks {
+		g := newBitset(n)
+		nk := newBitset(n)
+		for i := range nk {
+			nk[i] = ^uint64(0)
+		}
+		blk := &c.Blocks[b]
+		for pc := blk.Start; pc < blk.End; pc++ {
+			_, def := UseDef(c.Code[pc-c.Base])
+			slot := firstDef[pc]
+			for r := uint8(0); r < isa.NumRegs; r++ {
+				if !def.Has(r) {
+					continue
+				}
+				// Kill every other definition of r, then gen this one.
+				for w := range g {
+					g[w] &^= rd.defsOf[r][w]
+					nk[w] &^= rd.defsOf[r][w]
+				}
+				g.set(slot)
+				slot++
+			}
+		}
+		gen[b] = g
+		notKill[b] = nk
+		rd.in[b] = newBitset(n)
+	}
+
+	entry := c.EntryBlock()
+	if entry < 0 {
+		return rd
+	}
+	for r := 0; r < isa.NumRegs; r++ {
+		rd.in[entry].set(r) // entry values reach the entry block
+	}
+	out := make([]bitset, nb)
+	tmp := newBitset(n)
+	for b := range out {
+		out[b] = newBitset(n)
+	}
+	for changed := true; changed; {
+		changed = false
+		for b := 0; b < nb; b++ {
+			// out[b] = gen[b] | (in[b] & notKill[b])
+			tmp.copyFrom(rd.in[b])
+			for w := range tmp {
+				tmp[w] = gen[b][w] | (tmp[w] & notKill[b][w])
+			}
+			if out[b].orInto(tmp) {
+				changed = true
+			}
+			for _, s := range c.Blocks[b].Succs {
+				if rd.in[s].orInto(out[b]) {
+					changed = true
+				}
+			}
+		}
+	}
+	return rd
+}
+
+// DefsReaching returns the absolute pcs of the definitions of reg that
+// reach the entry of the instruction at pc; fromEntry reports whether
+// the register's region-entry value also reaches it (a potential
+// use-before-def when the register is not an input register).
+func (rd *ReachingDefs) DefsReaching(pc int, reg uint8) (pcs []int, fromEntry bool) {
+	c := rd.cfg
+	b := c.BlockContaining(pc)
+	if b < 0 {
+		return nil, false
+	}
+	cur := newBitset(len(rd.defPC))
+	cur.copyFrom(rd.in[b])
+	// Replay the block prefix.
+	firstDef := func(p int) int {
+		for i := isa.NumRegs; i < len(rd.defPC); i++ {
+			if rd.defPC[i] == p {
+				return i
+			}
+		}
+		return -1
+	}
+	for p := c.Blocks[b].Start; p < pc; p++ {
+		_, def := UseDef(c.Code[p-c.Base])
+		slot := firstDef(p)
+		for r := uint8(0); r < isa.NumRegs; r++ {
+			if !def.Has(r) {
+				continue
+			}
+			for w := range cur {
+				cur[w] &^= rd.defsOf[r][w]
+			}
+			cur.set(slot)
+			slot++
+		}
+	}
+	for i := 0; i < len(rd.defPC); i++ {
+		if rd.defReg[i] == reg && cur.has(i) {
+			if rd.defPC[i] < 0 {
+				fromEntry = true
+			} else {
+				pcs = append(pcs, rd.defPC[i])
+			}
+		}
+	}
+	return pcs, fromEntry
+}
+
+// UseBeforeDef is one register read that the region-entry value can
+// still reach: on some path no instruction defined the register first.
+type UseBeforeDef struct {
+	PC  int
+	Reg uint8
+}
+
+// UseBeforeDefs scans every reachable instruction for reads of
+// registers in `tracked` whose entry definition survives to the read.
+// Registers outside tracked (arguments, sp/fp, the zero register) are
+// legitimately live at entry and never reported.
+func (rd *ReachingDefs) UseBeforeDefs(tracked RegSet) []UseBeforeDef {
+	c := rd.cfg
+	reach := c.Reachable()
+	var out []UseBeforeDef
+	for b := range c.Blocks {
+		if !reach[b] {
+			continue
+		}
+		cur := newBitset(len(rd.defPC))
+		cur.copyFrom(rd.in[b])
+		blk := &c.Blocks[b]
+		slot := isa.NumRegs
+		// Definition slots are laid out in pc order; find the first
+		// slot at or after this block's start.
+		for slot < len(rd.defPC) && rd.defPC[slot] < blk.Start {
+			slot++
+		}
+		for pc := blk.Start; pc < blk.End; pc++ {
+			use, def := UseDef(c.Code[pc-c.Base])
+			for r := uint8(0); r < isa.NumRegs; r++ {
+				if use.Has(r) && tracked.Has(r) && cur.has(int(r)) {
+					out = append(out, UseBeforeDef{PC: pc, Reg: r})
+				}
+			}
+			for r := uint8(0); r < isa.NumRegs; r++ {
+				if !def.Has(r) {
+					continue
+				}
+				for w := range cur {
+					cur[w] &^= rd.defsOf[r][w]
+				}
+				cur.set(slot)
+				slot++
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,283 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"valueprof/internal/isa"
+	"valueprof/internal/program"
+)
+
+// Rule identifies one verifier check.
+type Rule string
+
+const (
+	// Errors: the program is malformed and must not be emitted or run.
+	RuleBadEntry  Rule = "bad-entry"  // entry pc outside the code
+	RuleBadOpcode Rule = "bad-opcode" // undefined opcode or register field
+	RuleBadTarget Rule = "bad-target" // branch/call target outside the code
+	RuleWriteZero Rule = "write-zero" // explicit destination r31 (the write is discarded)
+	RuleFallOff   Rule = "fall-off"   // reachable path falls off the end of the code
+
+	// Warnings: suspicious but executable.
+	RuleUnreachable  Rule = "unreachable"    // code no path reaches
+	RuleUseBeforeDef Rule = "use-before-def" // temporary read before any write
+	RuleStack        Rule = "stack"          // unbalanced stack pointer at ret
+)
+
+// Severity ranks a diagnostic.
+type Severity uint8
+
+const (
+	SevWarning Severity = iota
+	SevError
+)
+
+func (s Severity) String() string {
+	if s == SevError {
+		return "error"
+	}
+	return "warning"
+}
+
+// Diag is one verifier diagnostic, anchored at an instruction.
+type Diag struct {
+	PC   int
+	Rule Rule
+	Sev  Severity
+	Msg  string
+}
+
+func (d Diag) String() string {
+	return fmt.Sprintf("pc %d: %s: %s: %s", d.PC, d.Sev, d.Rule, d.Msg)
+}
+
+// Diags is a verifier result.
+type Diags []Diag
+
+// HasErrors reports whether any diagnostic is error-severity.
+func (ds Diags) HasErrors() bool {
+	for _, d := range ds {
+		if d.Sev == SevError {
+			return true
+		}
+	}
+	return false
+}
+
+// Errors returns just the error-severity diagnostics.
+func (ds Diags) Errors() Diags {
+	var out Diags
+	for _, d := range ds {
+		if d.Sev == SevError {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Err folds the error-severity diagnostics into a single error, or nil.
+func (ds Diags) Err() error {
+	errs := ds.Errors()
+	if len(errs) == 0 {
+		return nil
+	}
+	msgs := make([]string, len(errs))
+	for i, d := range errs {
+		msgs[i] = d.String()
+	}
+	return fmt.Errorf("verify: %d error(s):\n  %s", len(errs), strings.Join(msgs, "\n  "))
+}
+
+// Verify checks a program image against the bytecode rules. Structural
+// errors (bad entry, undefined opcodes, out-of-range targets) abort the
+// deeper control-flow checks, since those need a well-formed image to be
+// meaningful. vasm and vcc run this before emitting; vlint runs it
+// standalone.
+func Verify(p *program.Program) Diags {
+	var ds Diags
+	if p.Entry < 0 || p.Entry >= len(p.Code) {
+		ds = append(ds, Diag{PC: p.Entry, Rule: RuleBadEntry, Sev: SevError,
+			Msg: fmt.Sprintf("entry %d outside code [0,%d)", p.Entry, len(p.Code))})
+	}
+	for pc, in := range p.Code {
+		if !in.Op.Valid() {
+			ds = append(ds, Diag{PC: pc, Rule: RuleBadOpcode, Sev: SevError,
+				Msg: fmt.Sprintf("undefined opcode %d", uint8(in.Op))})
+			continue
+		}
+		if in.Rd >= isa.NumRegs || in.Ra >= isa.NumRegs || in.Rb >= isa.NumRegs {
+			ds = append(ds, Diag{PC: pc, Rule: RuleBadOpcode, Sev: SevError,
+				Msg: fmt.Sprintf("%s: register field out of range", in.Op)})
+			continue
+		}
+		if tgt, ok := in.Target(); ok && (tgt < 0 || tgt >= len(p.Code)) {
+			ds = append(ds, Diag{PC: pc, Rule: RuleBadTarget, Sev: SevError,
+				Msg: fmt.Sprintf("%s targets %d, outside code [0,%d)", in.Op, tgt, len(p.Code))})
+		}
+		if in.Op.HasDest() && in.Rd == isa.RegZero {
+			ds = append(ds, Diag{PC: pc, Rule: RuleWriteZero, Sev: SevError,
+				Msg: fmt.Sprintf("%s writes %s; the result is discarded", in.Op, isa.RegName(isa.RegZero))})
+		}
+	}
+	if ds.HasErrors() {
+		sortDiags(ds)
+		return ds
+	}
+
+	cfg := ForProgram(p)
+	reach := cfg.Reachable()
+
+	// Fall-off: a reachable block whose terminator can continue past the
+	// end of the code. newCFG drops out-of-range fallthrough successors
+	// silently, so detect it from the last instruction directly.
+	for b := range cfg.Blocks {
+		blk := &cfg.Blocks[b]
+		if !reach[b] || blk.End != len(p.Code) {
+			continue
+		}
+		last := p.Code[blk.End-1]
+		switch last.Op {
+		case isa.OpBr, isa.OpJmp, isa.OpRet:
+			continue // never falls through
+		case isa.OpSyscall:
+			if last.Imm == isa.SysExit {
+				continue
+			}
+		}
+		ds = append(ds, Diag{PC: blk.End - 1, Rule: RuleFallOff, Sev: SevError,
+			Msg: "execution can fall off the end of the code"})
+	}
+
+	// Unreachable code: report the leader of each dead block once.
+	for b := range cfg.Blocks {
+		if !reach[b] {
+			ds = append(ds, Diag{PC: cfg.Blocks[b].Start, Rule: RuleUnreachable, Sev: SevWarning,
+				Msg: fmt.Sprintf("unreachable block [%d,%d)", cfg.Blocks[b].Start, cfg.Blocks[b].End)})
+		}
+	}
+
+	// Use-before-def over the temporaries and the assembler scratch
+	// register. Wider sets would be noise: the VM zero-initializes every
+	// register, arguments and sp/fp are live at entry by convention, and
+	// callee-saved registers are legitimately read by save prologues.
+	var tracked RegSet
+	for r := isa.RegT0; r < isa.RegT0+10; r++ {
+		tracked.Add(uint8(r))
+	}
+	tracked.Add(isa.RegAT)
+	for _, u := range cfg.ReachingDefs().UseBeforeDefs(tracked) {
+		ds = append(ds, Diag{PC: u.PC, Rule: RuleUseBeforeDef, Sev: SevWarning,
+			Msg: fmt.Sprintf("%s may be read before any write", isa.RegName(u.Reg))})
+	}
+
+	ds = append(ds, checkStack(p)...)
+	sortDiags(ds)
+	return ds
+}
+
+func sortDiags(ds Diags) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		if ds[i].Sev != ds[j].Sev {
+			return ds[i].Sev > ds[j].Sev // errors first
+		}
+		return ds[i].PC < ds[j].PC
+	})
+}
+
+// spState tracks sp and fp as symbolic offsets from the stack pointer at
+// procedure entry. unknown offsets poison further tracking.
+type spState struct {
+	reached    bool
+	sp, fp     int32
+	spOK, fpOK bool
+}
+
+func meetSP(a, b spState) spState {
+	if !a.reached {
+		return b
+	}
+	if !b.reached {
+		return a
+	}
+	out := spState{reached: true}
+	if a.spOK && b.spOK && a.sp == b.sp {
+		out.sp, out.spOK = a.sp, true
+	}
+	if a.fpOK && b.fpOK && a.fp == b.fp {
+		out.fp, out.fpOK = a.fp, true
+	}
+	return out
+}
+
+// checkStack verifies per-procedure stack discipline: on every path to a
+// ret, sp must return to its procedure-entry value. Tracking follows the
+// two idioms the toolchain emits — addi sp, sp, ±n adjustments and
+// mov (or rd, ra, zero) transfers between sp and fp — and goes silent
+// (no claim) when sp is derived any other way. Calls are assumed
+// sp-preserving; each callee is itself checked by this rule.
+func checkStack(p *program.Program) Diags {
+	var ds Diags
+	for pi := range p.Procs {
+		pr := &p.Procs[pi]
+		body := p.Code[pr.Start:pr.End]
+		cfg := ForBody(body, pr.Start)
+		n := len(cfg.Blocks)
+		if n == 0 {
+			continue
+		}
+		in := make([]spState, n)
+		eb := cfg.EntryBlock()
+		if eb < 0 {
+			continue
+		}
+		in[eb] = spState{reached: true, spOK: true, fpOK: false}
+		work := []int{eb}
+		for len(work) > 0 {
+			b := work[0]
+			work = work[1:]
+			st := in[b]
+			blk := &cfg.Blocks[b]
+			for pc := blk.Start; pc < blk.End; pc++ {
+				ins := cfg.Inst(pc)
+				if ins.Op == isa.OpRet && st.spOK && st.sp != 0 {
+					ds = append(ds, Diag{PC: pc, Rule: RuleStack, Sev: SevWarning,
+						Msg: fmt.Sprintf("%s: sp off by %d bytes from procedure entry at ret", pr.Name, st.sp)})
+				}
+				st = stepSP(ins, st)
+			}
+			for _, s := range blk.Succs {
+				merged := meetSP(in[s], st)
+				if merged != in[s] {
+					in[s] = merged
+					work = append(work, s)
+				}
+			}
+		}
+	}
+	return ds
+}
+
+func stepSP(in isa.Inst, st spState) spState {
+	isMov := in.Op == isa.OpOr && in.Rb == isa.RegZero
+	switch {
+	case in.Op == isa.OpAddi && in.Rd == isa.RegSP && in.Ra == isa.RegSP:
+		if st.spOK {
+			st.sp += in.Imm
+		}
+	case isMov && in.Rd == isa.RegFP && in.Ra == isa.RegSP:
+		st.fp, st.fpOK = st.sp, st.spOK
+	case isMov && in.Rd == isa.RegSP && in.Ra == isa.RegFP:
+		st.sp, st.spOK = st.fp, st.fpOK
+	default:
+		_, def := UseDef(in)
+		if def.Has(isa.RegSP) {
+			st.spOK = false
+		}
+		if def.Has(isa.RegFP) {
+			st.fpOK = false
+		}
+	}
+	return st
+}

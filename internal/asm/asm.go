@@ -60,6 +60,7 @@ type fixup struct {
 
 type assembler struct {
 	code       []isa.Inst
+	lines      []int // source line of each emitted instruction
 	data       []byte
 	labels     map[string]int    // text labels -> pc
 	dataSyms   map[string]uint64 // data labels -> absolute address
@@ -165,6 +166,15 @@ func Assemble(src string) (*program.Program, error) {
 			return nil, &Error{Line: f.line, Msg: fmt.Sprintf("undefined label %q", f.label)}
 		}
 		a.code[f.pc].Imm = int32(pc)
+	}
+	// With every fixup resolved, reject targets outside the instruction
+	// range here, where the source line is still known — Validate would
+	// catch them too, but anonymously.
+	for pc, in := range a.code {
+		if tgt, ok := in.Target(); ok && (tgt < 0 || tgt >= len(a.code)) {
+			return nil, &Error{Line: a.lines[pc], Msg: fmt.Sprintf(
+				"%s target %d outside code [0,%d)", in.Op, tgt, len(a.code))}
+		}
 	}
 	p := &program.Program{
 		Code:     a.code,
@@ -517,7 +527,10 @@ func (a *assembler) instruction(s string) error {
 	return nil
 }
 
-func (a *assembler) emit(in isa.Inst) { a.code = append(a.code, in) }
+func (a *assembler) emit(in isa.Inst) {
+	a.code = append(a.code, in)
+	a.lines = append(a.lines, a.line)
+}
 
 // branchTarget resolves a branch/call operand: a numeric absolute
 // instruction index (as the disassembler prints) is used directly; an

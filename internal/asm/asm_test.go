@@ -202,6 +202,35 @@ func TestErrorsCarryLineNumbers(t *testing.T) {
 	}
 }
 
+func TestOutOfRangeTargetRejected(t *testing.T) {
+	cases := []struct {
+		src  string
+		line int
+	}{
+		// Numeric target beyond the last instruction.
+		{"main: nop\n br 7\n syscall exit\n", 2},
+		// Numeric jsr target out of range.
+		{"main: jsr 99\n syscall exit\n", 1},
+		// Label resolving to one past the end (nothing follows it).
+		{"main: nop\n beq t0, done\n syscall exit\ndone:\n", 2},
+	}
+	for _, tc := range cases {
+		_, err := Assemble(tc.src)
+		if err == nil {
+			t.Errorf("Assemble(%q) accepted an out-of-range target", tc.src)
+			continue
+		}
+		aerr, ok := err.(*Error)
+		if !ok {
+			t.Errorf("Assemble(%q) error type %T, want *Error (%v)", tc.src, err, err)
+			continue
+		}
+		if aerr.Line != tc.line {
+			t.Errorf("Assemble(%q) error line = %d, want %d (%v)", tc.src, aerr.Line, tc.line, err)
+		}
+	}
+}
+
 func TestEntryDefaultsToMain(t *testing.T) {
 	p := mustAssemble(t, "f: nop\nmain: syscall exit\n")
 	if p.Entry != 1 {

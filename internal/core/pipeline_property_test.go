@@ -1,4 +1,4 @@
-package core
+package core_test
 
 import (
 	"fmt"
@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"valueprof/internal/atom"
+	"valueprof/internal/core"
 	"valueprof/internal/minic"
 )
 
@@ -27,7 +28,7 @@ func TestPipelineMetricInvariants(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: compile: %v\nsource:\n%s", trial, err, src)
 		}
-		vp, err := NewValueProfiler(Options{TNV: DefaultTNVConfig(), TrackFull: true})
+		vp, err := core.NewValueProfiler(core.Options{TNV: core.DefaultTNVConfig(), TrackFull: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -125,15 +126,15 @@ func TestPipelineConvergentAccounting(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		full, err := NewValueProfiler(Options{TNV: DefaultTNVConfig()})
+		full, err := core.NewValueProfiler(core.Options{TNV: core.DefaultTNVConfig()})
 		if err != nil {
 			t.Fatal(err)
 		}
 		if _, err := atom.Run(prog, nil, false, full); err != nil {
 			t.Fatal(err)
 		}
-		cfg := ConvergentConfig{BurstLen: 100, InitialSkip: 400, MaxSkip: 6400, Epsilon: 0.02}
-		conv, err := NewValueProfiler(Options{TNV: DefaultTNVConfig(), Convergent: &cfg})
+		cfg := core.ConvergentConfig{BurstLen: 100, InitialSkip: 400, MaxSkip: 6400, Epsilon: 0.02}
+		conv, err := core.NewValueProfiler(core.Options{TNV: core.DefaultTNVConfig(), Convergent: &cfg})
 		if err != nil {
 			t.Fatal(err)
 		}

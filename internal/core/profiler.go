@@ -26,6 +26,12 @@ type Options struct {
 	// (periodic, random, fixed bursts); ignored when Convergent is
 	// set. Nil profiles full-time.
 	Sampler SamplerFactory
+	// Prune, when non-nil, vetoes individual pcs the caller has proven
+	// uninteresting — typically statically-constant or unreachable
+	// instructions (see internal/analysis). A pruned pc gets no site,
+	// no TNV table, and no hook; the count lands in Profile.Pruned.
+	// The type is a plain func so core needs no analysis dependency.
+	Prune func(pc int, in isa.Inst) bool
 }
 
 // DefaultOptions profiles all result-producing instructions with the
@@ -56,6 +62,9 @@ type ValueProfiler struct {
 	// Skipped counts executions the sampler declined to profile (its
 	// overhead saving).
 	Skipped uint64
+	// Pruned counts candidate pcs Options.Prune removed before any
+	// allocation happened.
+	Pruned int
 }
 
 // NewValueProfiler validates opts and creates the tool.
@@ -114,6 +123,10 @@ func (p *ValueProfiler) Instrument(ix *atom.Instrumenter) {
 // their accumulated state; sites the checkpoint never saw start fresh.
 func (p *ValueProfiler) prepare(ix *atom.Instrumenter) {
 	ix.ForEachInst(p.opts.Filter, func(pc int, in isa.Inst) {
+		if p.opts.Prune != nil && p.opts.Prune(pc, in) {
+			p.Pruned++
+			return
+		}
 		if s, ok := p.seeded[pc]; ok {
 			p.sites[pc] = s
 			return
@@ -129,7 +142,7 @@ func (p *ValueProfiler) Profile() *Profile {
 		sites = append(sites, s)
 	}
 	sort.Slice(sites, func(i, j int) bool { return sites[i].PC < sites[j].PC })
-	return &Profile{Sites: sites, K: p.opts.TNV.Size, Skipped: p.Skipped}
+	return &Profile{Sites: sites, K: p.opts.TNV.Size, Skipped: p.Skipped, Pruned: p.Pruned}
 }
 
 // Profile is the result of one profiling run.
@@ -139,6 +152,9 @@ type Profile struct {
 	// Skipped is the number of executions the convergent sampler did
 	// not profile (0 for full-time profiling).
 	Skipped uint64
+	// Pruned is the number of candidate pcs static analysis removed
+	// before the run (0 without Options.Prune).
+	Pruned int
 }
 
 // Aggregate returns execution-weighted metrics over all sites.

@@ -1,0 +1,142 @@
+// Package lint implements the repository's custom vet pass: a small
+// go/ast analysis, in the style of a go/analysis Analyzer but built on
+// the standard library only, that forbids raw destructive file writes
+// (os.Create, os.WriteFile, write-mode os.OpenFile) in command code.
+// Commands must route output through internal/atomicio, whose
+// write-to-temp-then-rename discipline means an interrupted run never
+// leaves a torn profile, checkpoint, or image at the destination path.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Finding is one rule violation.
+type Finding struct {
+	Pos  token.Position
+	Call string // the offending call, e.g. "os.Create"
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Call, f.Msg)
+}
+
+// banned maps functions in the os package to the reason they may not be
+// called directly from command code.
+var banned = map[string]string{
+	"Create":    "use internal/atomicio so a crash mid-write cannot leave a torn file",
+	"WriteFile": "use internal/atomicio so a crash mid-write cannot leave a torn file",
+	"OpenFile":  "use internal/atomicio for write-mode opens; direct opens are only safe read-only",
+}
+
+// readOnlyOpenFile reports whether an os.OpenFile call is provably
+// read-only: its flag argument is the literal O_RDONLY selector on the
+// os package (under whatever name the file imports it). Anything more
+// complex is flagged.
+func readOnlyOpenFile(call *ast.CallExpr, osName string) bool {
+	if len(call.Args) < 2 {
+		return false
+	}
+	sel, ok := call.Args[1].(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == osName && sel.Sel.Name == "O_RDONLY"
+}
+
+// CheckFile parses one Go source file and returns its violations.
+// Test files are exempt: tests routinely create fixtures and their
+// half-written files never outlive the test's temp directory.
+func CheckFile(fset *token.FileSet, path string) ([]Finding, error) {
+	if strings.HasSuffix(path, "_test.go") {
+		return nil, nil
+	}
+	file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+
+	// Resolve which local name refers to the os package ("" if the file
+	// never imports it).
+	osName := ""
+	for _, imp := range file.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != "os" {
+			continue
+		}
+		osName = "os"
+		if imp.Name != nil {
+			osName = imp.Name.Name
+		}
+	}
+	if osName == "" || osName == "_" {
+		return nil, nil
+	}
+
+	var out []Finding
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Name != osName {
+			return true
+		}
+		reason, ok := banned[sel.Sel.Name]
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name == "OpenFile" && readOnlyOpenFile(call, osName) {
+			return true
+		}
+		out = append(out, Finding{
+			Pos:  fset.Position(call.Pos()),
+			Call: "os." + sel.Sel.Name,
+			Msg:  reason,
+		})
+		return true
+	})
+	return out, nil
+}
+
+// CheckTree walks every non-test .go file under root (skipping testdata
+// directories) and returns all violations, in file order.
+func CheckTree(root string) ([]Finding, error) {
+	fset := token.NewFileSet()
+	var out []Finding
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		fs, ferr := CheckFile(fset, path)
+		if ferr != nil {
+			return ferr
+		}
+		out = append(out, fs...)
+		return nil
+	})
+	return out, err
+}

@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func check(t *testing.T, src string) []Finding {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "main.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := CheckFile(token.NewFileSet(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestFlagsRawWrites(t *testing.T) {
+	fs := check(t, `package main
+
+import "os"
+
+func main() {
+	f, _ := os.Create("out.json")
+	f.Close()
+	os.WriteFile("x", nil, 0o644)
+	os.OpenFile("y", os.O_WRONLY|os.O_CREATE, 0o644)
+}
+`)
+	if len(fs) != 3 {
+		t.Fatalf("findings = %d (%v), want 3", len(fs), fs)
+	}
+	if fs[0].Call != "os.Create" || fs[0].Pos.Line != 6 {
+		t.Errorf("first finding = %v", fs[0])
+	}
+}
+
+func TestAllowsReadsAndAliases(t *testing.T) {
+	fs := check(t, `package main
+
+import (
+	stdos "os"
+)
+
+func main() {
+	stdos.Open("in.json")
+	stdos.ReadFile("in.json")
+	stdos.OpenFile("in.json", stdos.O_RDONLY, 0)
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("findings = %v, want none", fs)
+	}
+}
+
+func TestAliasedImportStillCaught(t *testing.T) {
+	fs := check(t, `package main
+
+import stdos "os"
+
+func main() {
+	stdos.Create("out")
+}
+`)
+	if len(fs) != 1 || fs[0].Call != "os.Create" {
+		t.Fatalf("findings = %v, want one os.Create", fs)
+	}
+}
+
+func TestOtherPackagesIgnored(t *testing.T) {
+	// A different package named os-like, or a local variable named os,
+	// must not be confused with the stdlib os package when os is not
+	// imported.
+	fs := check(t, `package main
+
+type fake struct{}
+
+func (fake) Create(string) {}
+
+var os fake
+
+func main() {
+	os.Create("x")
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("findings = %v, want none", fs)
+	}
+}
+
+func TestCheckTreeOnRepoCommands(t *testing.T) {
+	// The repository's own commands must be clean: this is the check
+	// make ci runs.
+	root := "../../cmd"
+	if _, err := os.Stat(root); err != nil {
+		t.Skip("cmd/ not present")
+	}
+	fs, err := CheckTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Errorf("repository commands use raw writes:\n%v", fs)
+	}
+}

@@ -1,0 +1,37 @@
+// vvet runs the repository's custom lint pass (see internal/lint) over
+// the given directory trees, defaulting to cmd/. It exits nonzero when
+// any command bypasses internal/atomicio with a raw destructive write.
+//
+// Usage (from the repository root, as make ci does):
+//
+//	go run ./internal/lint/vvet [dir ...]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"valueprof/internal/lint"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"cmd"}
+	}
+	bad := false
+	for _, root := range roots {
+		findings, err := lint.CheckTree(root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vvet: %v\n", err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			fmt.Println(f)
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"valueprof/internal/analysis"
 	"valueprof/internal/asm"
 	"valueprof/internal/program"
 )
@@ -17,6 +18,12 @@ func Compile(src string) (*program.Program, error) {
 	p, err := asm.Assemble(text)
 	if err != nil {
 		return nil, fmt.Errorf("minic: internal error assembling generated code: %w", err)
+	}
+	// The verifier's error rules are things this compiler must never
+	// emit; tripping one is a codegen bug, not a user error. Warnings
+	// (e.g. unreachable code from source after a return) are fine.
+	if err := analysis.Verify(p).Err(); err != nil {
+		return nil, fmt.Errorf("minic: internal error: generated code failed verification: %w", err)
 	}
 	return p, nil
 }

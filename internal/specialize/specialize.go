@@ -1,8 +1,21 @@
+// Package specialize implements profile-guided code specialization, the
+// thesis's Chapter X payoff: given a procedure and a semi-invariant
+// register value discovered by value profiling, it clones the
+// procedure, constant-propagates the value through the clone, folds
+// instructions and resolves branches, removes dead code, and installs a
+// guarded dispatch stub so calls run the specialized body whenever the
+// profiled value recurs ("there will be one general version of the
+// code, and a special version ... a selection mechanism based on the
+// invariant variable will choose which code to execute").
+//
+// The dataflow machinery (CFG, constant propagation, liveness) lives in
+// internal/analysis; this package supplies only the transformation.
 package specialize
 
 import (
 	"fmt"
 
+	"valueprof/internal/analysis"
 	"valueprof/internal/isa"
 	"valueprof/internal/program"
 )
@@ -122,66 +135,33 @@ type specResult struct {
 
 // optimize runs constant propagation (seeded with reg=value), folding,
 // branch resolution, liveness-based dead-code elimination, and
-// compaction over one procedure body. Branch targets in the returned
-// code are still absolute original pcs; the caller rebases them.
+// compaction over one procedure body, all on the shared framework in
+// internal/analysis. Branch targets in the returned code are still
+// absolute original pcs; the caller rebases them.
 func optimize(body []isa.Inst, base int, reg uint8, value int64, info *Info) *specResult {
 	n := len(body)
 	work := make([]isa.Inst, n)
 	copy(work, body)
 
-	// --- constant propagation over basic blocks ---
-	leaders := findLeaders(work, base)
-	var starts []int
-	for i := 0; i < n; i++ {
-		if leaders[i] {
-			starts = append(starts, i)
-		}
-	}
-	blockEnd := func(b int) int {
-		if b+1 < len(starts) {
-			return starts[b+1]
-		}
-		return n
-	}
+	// --- constant propagation over the body CFG ---
+	cfg := analysis.ForBody(work, base)
+	entryFacts := analysis.NewFacts()
+	entryFacts.SetReg(reg, value)
+	cp := cfg.ConstProp(entryFacts)
 
-	in := make([]*facts, len(starts))
-	reached := make([]bool, len(starts))
-	entryFacts := newFacts()
-	entryFacts.setReg(reg, value)
-	in[0] = entryFacts
-	reached[0] = true
-	worklist := []int{0}
-	for len(worklist) > 0 {
-		b := worklist[0]
-		worklist = worklist[1:]
-		f := in[b].clone()
-		end := blockEnd(b)
-		for i := starts[b]; i < end; i++ {
-			applyTransfer(work[i], f)
-		}
-		for _, s := range blockSuccs(work[end-1], end-1, base, starts, n) {
-			if !reached[s] {
-				reached[s] = true
-				in[s] = f.clone()
-				worklist = append(worklist, s)
-			} else if merged := meet(in[s], f); !equalFacts(merged, in[s]) {
-				in[s] = merged
-				worklist = append(worklist, s)
-			}
-		}
-	}
-
-	// --- folding and branch resolution, using per-block facts ---
-	for b := range starts {
-		if !reached[b] {
+	// --- folding and branch resolution, replaying per-block facts ---
+	for b := range cfg.Blocks {
+		if !cp.Reached[b] {
 			continue
 		}
-		f := in[b].clone()
-		for i := starts[b]; i < blockEnd(b); i++ {
+		f := cp.In[b].Clone()
+		blk := &cfg.Blocks[b]
+		for pc := blk.Start; pc < blk.End; pc++ {
+			i := pc - base
 			inst := work[i]
 			if inst.Op.HasDest() && inst.Rd != isa.RegZero {
 				alreadyLI := inst.Op == isa.OpAddi && inst.Ra == isa.RegZero
-				if v, ok := evalValue(inst, f); ok && fitsImm(v) && !alreadyLI {
+				if v, ok := analysis.EvalValue(inst, f); ok && fitsImm(v) && !alreadyLI {
 					work[i] = isa.Inst{Op: isa.OpAddi, Rd: inst.Rd, Ra: isa.RegZero, Imm: int32(v)}
 					info.Folded++
 				} else if red, ok := strengthReduce(inst, f); ok {
@@ -191,7 +171,7 @@ func optimize(body []isa.Inst, base int, reg uint8, value int64, info *Info) *sp
 			}
 			switch inst.Op {
 			case isa.OpBeq, isa.OpBne:
-				if v, known := f.reg(inst.Ra); known {
+				if v, known := f.Reg(inst.Ra); known {
 					taken := (inst.Op == isa.OpBeq && v == 0) || (inst.Op == isa.OpBne && v != 0)
 					if taken {
 						work[i] = isa.Inst{Op: isa.OpBr, Imm: inst.Imm}
@@ -201,12 +181,12 @@ func optimize(body []isa.Inst, base int, reg uint8, value int64, info *Info) *sp
 					info.Branches++
 				}
 			}
-			applyTransfer(work[i], f)
+			analysis.ApplyTransfer(work[i], f)
 		}
 	}
 
-	// --- liveness + dead code elimination ---
-	live := liveness(work, base, starts, blockEnd)
+	// --- liveness + dead code elimination over the rewritten body ---
+	live := analysis.ForBody(work, base).Liveness()
 	dead := make([]bool, n)
 	for i := range work {
 		inst := work[i]
@@ -214,10 +194,10 @@ func optimize(body []isa.Inst, base int, reg uint8, value int64, info *Info) *sp
 			dead[i] = true
 			continue
 		}
-		if !sideEffectFree(inst) || !inst.Op.HasDest() {
+		if !analysis.SideEffectFree(inst) || !inst.Op.HasDest() {
 			continue
 		}
-		if inst.Rd == isa.RegZero || !live[i].has(inst.Rd) {
+		if inst.Rd == isa.RegZero || !live[i].Has(inst.Rd) {
 			dead[i] = true
 			info.Removed++
 		}
@@ -239,90 +219,3 @@ func optimize(body []isa.Inst, base int, reg uint8, value int64, info *Info) *sp
 }
 
 func fitsImm(v int64) bool { return v >= -(1<<31) && v <= (1<<31)-1 }
-
-// findLeaders marks basic-block leaders within the body (offsets
-// relative to the body; branch targets are absolute pcs).
-func findLeaders(body []isa.Inst, base int) []bool {
-	leaders := make([]bool, len(body))
-	leaders[0] = true
-	for i, in := range body {
-		if tgt, ok := in.Target(); ok && in.Op != isa.OpJsr {
-			leaders[tgt-base] = true
-		}
-		if in.IsBranchOrJump() && in.Op != isa.OpJsr && in.Op != isa.OpJsrr && i+1 < len(body) {
-			leaders[i+1] = true
-		}
-	}
-	return leaders
-}
-
-// blockSuccs returns the successor block indices of the instruction at
-// body offset i when it is the last instruction of its block. nBody is
-// the body length; fallthroughs off the end are dropped.
-func blockSuccs(in isa.Inst, i, base int, starts []int, nBody int) []int {
-	blockIndexOf := func(off int) int {
-		lo, hi := 0, len(starts)-1
-		for lo < hi {
-			mid := (lo + hi + 1) / 2
-			if starts[mid] <= off {
-				lo = mid
-			} else {
-				hi = mid - 1
-			}
-		}
-		return lo
-	}
-	var succs []int
-	fallthru := func() {
-		if i+1 < nBody {
-			succs = append(succs, blockIndexOf(i+1))
-		}
-	}
-	switch in.Op {
-	case isa.OpBr:
-		succs = append(succs, blockIndexOf(int(in.Imm)-base))
-	case isa.OpBeq, isa.OpBne:
-		succs = append(succs, blockIndexOf(int(in.Imm)-base))
-		fallthru()
-	case isa.OpRet, isa.OpJmp:
-		// procedure exits: no successors within the body
-	case isa.OpSyscall:
-		if in.Imm != isa.SysExit {
-			fallthru()
-		}
-	default:
-		fallthru()
-	}
-	return succs
-}
-
-// liveness computes per-instruction live-after sets with a backward
-// fixpoint over the body's basic blocks.
-func liveness(body []isa.Inst, base int, starts []int, blockEnd func(int) int) []regSet {
-	n := len(body)
-	liveAfter := make([]regSet, n)
-	liveIn := make([]regSet, len(starts))
-
-	changed := true
-	for changed {
-		changed = false
-		for b := len(starts) - 1; b >= 0; b-- {
-			end := blockEnd(b)
-			lastIdx := end - 1
-			var out regSet
-			for _, s := range blockSuccs(body[lastIdx], lastIdx, base, starts, len(body)) {
-				out |= liveIn[s]
-			}
-			for i := lastIdx; i >= starts[b]; i-- {
-				liveAfter[i] = out
-				use, def := useDef(body[i])
-				out = (out &^ regSet(def)) | use
-			}
-			if out != liveIn[b] {
-				liveIn[b] = out
-				changed = true
-			}
-		}
-	}
-	return liveAfter
-}

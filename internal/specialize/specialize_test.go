@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"valueprof/internal/analysis"
 	"valueprof/internal/asm"
 	"valueprof/internal/isa"
 	"valueprof/internal/minic"
@@ -215,87 +216,87 @@ func main() {
 }
 
 func TestConstpropMeet(t *testing.T) {
-	a := newFacts()
-	a.setReg(1, 5)
-	a.setReg(2, 6)
-	a.slots[16] = 9
-	b := newFacts()
-	b.setReg(1, 5)
-	b.setReg(2, 7)
-	b.setReg(3, 8)
-	b.slots[16] = 9
-	b.slots[24] = 1
-	m := meet(a, b)
-	if len(m.regs) != 1 || m.regs[1] != 5 {
-		t.Errorf("meet regs = %v", m.regs)
+	a := analysis.NewFacts()
+	a.SetReg(1, 5)
+	a.SetReg(2, 6)
+	a.Slots[16] = 9
+	b := analysis.NewFacts()
+	b.SetReg(1, 5)
+	b.SetReg(2, 7)
+	b.SetReg(3, 8)
+	b.Slots[16] = 9
+	b.Slots[24] = 1
+	m := analysis.MeetFacts(a, b)
+	if len(m.Regs) != 1 || m.Regs[1] != 5 {
+		t.Errorf("meet regs = %v", m.Regs)
 	}
-	if len(m.slots) != 1 || m.slots[16] != 9 {
-		t.Errorf("meet slots = %v", m.slots)
+	if len(m.Slots) != 1 || m.Slots[16] != 9 {
+		t.Errorf("meet slots = %v", m.Slots)
 	}
-	want := newFacts()
-	want.setReg(1, 5)
-	want.slots[16] = 9
-	if !equalFacts(m, want) || equalFacts(a, b) {
+	want := analysis.NewFacts()
+	want.SetReg(1, 5)
+	want.Slots[16] = 9
+	if !analysis.EqualFacts(m, want) || analysis.EqualFacts(a, b) {
 		t.Error("equalFacts wrong")
 	}
 }
 
 func TestEvalValueFaultPreservation(t *testing.T) {
-	f := newFacts()
-	f.setReg(1, 10)
-	f.setReg(2, 0)
-	if _, ok := evalValue(isa.Inst{Op: isa.OpDiv, Rd: 3, Ra: 1, Rb: 2}, f); ok {
+	f := analysis.NewFacts()
+	f.SetReg(1, 10)
+	f.SetReg(2, 0)
+	if _, ok := analysis.EvalValue(isa.Inst{Op: isa.OpDiv, Rd: 3, Ra: 1, Rb: 2}, f); ok {
 		t.Error("division by known zero must not fold (fault preserved)")
 	}
-	if v, ok := evalValue(isa.Inst{Op: isa.OpDiv, Rd: 3, Ra: 1, Rb: 1}, f); !ok || v != 1 {
+	if v, ok := analysis.EvalValue(isa.Inst{Op: isa.OpDiv, Rd: 3, Ra: 1, Rb: 1}, f); !ok || v != 1 {
 		t.Errorf("div fold = %d,%v", v, ok)
 	}
 }
 
 func TestSlotTracking(t *testing.T) {
-	f := newFacts()
-	f.setReg(isa.RegA0, 9)
+	f := analysis.NewFacts()
+	f.SetReg(isa.RegA0, 9)
 	// Spill a0 to the frame, reload it: the load must fold.
-	applyTransfer(isa.Inst{Op: isa.OpStq, Rd: isa.RegA0, Ra: isa.RegFP, Imm: 16}, f)
-	if v, ok := evalValue(isa.Inst{Op: isa.OpLdq, Rd: isa.RegT0, Ra: isa.RegFP, Imm: 16}, f); !ok || v != 9 {
+	analysis.ApplyTransfer(isa.Inst{Op: isa.OpStq, Rd: isa.RegA0, Ra: isa.RegFP, Imm: 16}, f)
+	if v, ok := analysis.EvalValue(isa.Inst{Op: isa.OpLdq, Rd: isa.RegT0, Ra: isa.RegFP, Imm: 16}, f); !ok || v != 9 {
 		t.Fatalf("slot reload = %d,%v, want 9,true", v, ok)
 	}
 	// An aliasing store through a pointer kills slot knowledge.
-	applyTransfer(isa.Inst{Op: isa.OpStq, Rd: isa.RegT0 + 1, Ra: isa.RegT0 + 2}, f)
-	if _, ok := evalValue(isa.Inst{Op: isa.OpLdq, Rd: isa.RegT0, Ra: isa.RegFP, Imm: 16}, f); ok {
+	analysis.ApplyTransfer(isa.Inst{Op: isa.OpStq, Rd: isa.RegT0 + 1, Ra: isa.RegT0 + 2}, f)
+	if _, ok := analysis.EvalValue(isa.Inst{Op: isa.OpLdq, Rd: isa.RegT0, Ra: isa.RegFP, Imm: 16}, f); ok {
 		t.Error("slot survived an aliasing store")
 	}
 	// Redefining fp kills slots too.
-	f2 := newFacts()
-	f2.setReg(isa.RegA0, 9)
-	applyTransfer(isa.Inst{Op: isa.OpStq, Rd: isa.RegA0, Ra: isa.RegFP, Imm: 16}, f2)
-	applyTransfer(isa.Inst{Op: isa.OpLdq, Rd: isa.RegFP, Ra: isa.RegSP, Imm: 8}, f2)
-	if len(f2.slots) != 0 {
+	f2 := analysis.NewFacts()
+	f2.SetReg(isa.RegA0, 9)
+	analysis.ApplyTransfer(isa.Inst{Op: isa.OpStq, Rd: isa.RegA0, Ra: isa.RegFP, Imm: 16}, f2)
+	analysis.ApplyTransfer(isa.Inst{Op: isa.OpLdq, Rd: isa.RegFP, Ra: isa.RegSP, Imm: 8}, f2)
+	if len(f2.Slots) != 0 {
 		t.Error("slots survived fp redefinition")
 	}
 	// A call kills everything.
-	f3 := newFacts()
-	f3.setReg(isa.RegT0, 1)
-	applyTransfer(isa.Inst{Op: isa.OpStq, Rd: isa.RegT0, Ra: isa.RegFP, Imm: 8}, f3)
-	applyTransfer(isa.Inst{Op: isa.OpJsr, Rd: isa.RegRA, Imm: 0}, f3)
-	if len(f3.slots) != 0 {
+	f3 := analysis.NewFacts()
+	f3.SetReg(isa.RegT0, 1)
+	analysis.ApplyTransfer(isa.Inst{Op: isa.OpStq, Rd: isa.RegT0, Ra: isa.RegFP, Imm: 8}, f3)
+	analysis.ApplyTransfer(isa.Inst{Op: isa.OpJsr, Rd: isa.RegRA, Imm: 0}, f3)
+	if len(f3.Slots) != 0 {
 		t.Error("slots survived a call")
 	}
-	if _, ok := f3.reg(isa.RegT0); ok {
+	if _, ok := f3.Reg(isa.RegT0); ok {
 		t.Error("caller-saved register survived a call")
 	}
 }
 
 func TestUseDefStores(t *testing.T) {
-	use, def := useDef(isa.Inst{Op: isa.OpStq, Rd: 5, Ra: 6, Imm: 8})
-	if !use.has(5) || !use.has(6) {
+	use, def := analysis.UseDef(isa.Inst{Op: isa.OpStq, Rd: 5, Ra: 6, Imm: 8})
+	if !use.Has(5) || !use.Has(6) {
 		t.Error("store must use value and base registers")
 	}
 	if def != 0 {
 		t.Error("store defines nothing")
 	}
-	use, def = useDef(isa.Inst{Op: isa.OpLdq, Rd: 5, Ra: 6})
-	if !use.has(6) || !def.has(5) {
+	use, def = analysis.UseDef(isa.Inst{Op: isa.OpLdq, Rd: 5, Ra: 6})
+	if !use.Has(6) || !def.Has(5) {
 		t.Error("load use/def wrong")
 	}
 }

@@ -1,6 +1,9 @@
 package specialize
 
-import "valueprof/internal/isa"
+import (
+	"valueprof/internal/analysis"
+	"valueprof/internal/isa"
+)
 
 // immForm maps register-register opcodes to their immediate-operand
 // counterparts for strength reduction when exactly one operand is a
@@ -30,12 +33,12 @@ var commutative = map[isa.Op]bool{
 // materialized the constant (often a frame-slot reload of the
 // specialized argument) becomes dead. Returns ok=false when no
 // reduction applies.
-func strengthReduce(in isa.Inst, f *facts) (isa.Inst, bool) {
+func strengthReduce(in isa.Inst, f *analysis.Facts) (isa.Inst, bool) {
 	if in.Op.Form() != isa.FormRRR {
 		return in, false
 	}
-	av, aok := f.reg(in.Ra)
-	bv, bok := f.reg(in.Rb)
+	av, aok := f.Reg(in.Ra)
+	bv, bok := f.Reg(in.Rb)
 	// Exactly one side known (both known is the fold case, handled by
 	// the caller; it can fail only for div-by-zero, which must stay).
 	if aok == bok {

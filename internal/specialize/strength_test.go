@@ -3,12 +3,13 @@ package specialize
 import (
 	"testing"
 
+	"valueprof/internal/analysis"
 	"valueprof/internal/isa"
 )
 
-func factsWith(r uint8, v int64) *facts {
-	f := newFacts()
-	f.setReg(r, v)
+func factsWith(r uint8, v int64) *analysis.Facts {
+	f := analysis.NewFacts()
+	f.SetReg(r, v)
 	return f
 }
 
@@ -51,12 +52,12 @@ func TestStrengthReduceSub(t *testing.T) {
 
 func TestStrengthReduceSkipsBothKnownOrUnknown(t *testing.T) {
 	in := isa.Inst{Op: isa.OpAdd, Rd: 3, Ra: 1, Rb: 2}
-	if _, ok := strengthReduce(in, newFacts()); ok {
+	if _, ok := strengthReduce(in, analysis.NewFacts()); ok {
 		t.Error("no operands known but reduced")
 	}
-	f := newFacts()
-	f.setReg(1, 1)
-	f.setReg(2, 2)
+	f := analysis.NewFacts()
+	f.SetReg(1, 1)
+	f.SetReg(2, 2)
 	if _, ok := strengthReduce(in, f); ok {
 		t.Error("both operands known should be left to folding")
 	}
@@ -76,7 +77,7 @@ func TestStrengthReduceZeroRegisterOperand(t *testing.T) {
 	// unknown reduces to addi rd, ra, 0 (a move) — legal and dead-code
 	// transparent.
 	in := isa.Inst{Op: isa.OpOr, Rd: 3, Ra: 1, Rb: isa.RegZero}
-	out, ok := strengthReduce(in, newFacts())
+	out, ok := strengthReduce(in, analysis.NewFacts())
 	if !ok || out.Op != isa.OpOri || out.Imm != 0 {
 		t.Errorf("or with zero = %+v, %v", out, ok)
 	}
