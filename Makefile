@@ -1,14 +1,18 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build test test-short cover bench exp exp-quick fmt vet lint clean ci fuzz-smoke
+.PHONY: all build test test-short cover bench bench-smoke bench-parallel exp exp-quick fmt vet lint clean ci fuzz-smoke
 
 all: build vet lint test
 
-# What CI runs: static checks, full build, race-enabled tests, and a
-# short fuzz pass over the parsers that face untrusted input.
+# What CI runs: static checks, full build, race-enabled tests, a short
+# fuzz pass over the parsers that face untrusted input, and a
+# one-iteration benchmark smoke (every exhibit still regenerates, and
+# the serial-vs-parallel suite comparison still cross-checks).
 ci: vet lint build
 	go test -race ./...
 	$(MAKE) fuzz-smoke
+	$(MAKE) bench-smoke
+	$(MAKE) bench-parallel
 
 # Repo-specific static checks: the atomicio vet pass over command code
 # (no raw os.Create/os.WriteFile in cmd/ — see internal/lint), the VRISC
@@ -52,6 +56,15 @@ exp-quick:
 # One testing.B benchmark per exhibit plus primitive microbenchmarks.
 bench:
 	go test -bench=. -benchmem ./...
+
+# One iteration of every benchmark: catches bit-rot in the harness
+# without the full measurement cost.
+bench-smoke:
+	go test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Record the serial-vs-parallel suite baseline (BENCH_parallel.json).
+bench-parallel:
+	go run ./cmd/vexp -bench-parallel BENCH_parallel.json
 
 fmt:
 	gofmt -w .

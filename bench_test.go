@@ -12,7 +12,9 @@ package valueprof_test
 // iteration.
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -219,4 +221,70 @@ func BenchmarkConvergentProfilingRun(b *testing.B) {
 		duty = vp.Profile().DutyCycle()
 	}
 	b.ReportMetric(duty, "duty-cycle")
+}
+
+// suiteBenchJobs is the suite profiling pass as independent jobs:
+// every workload, both inputs, full-time all-instruction profiling.
+func suiteBenchJobs(b *testing.B) []valueprof.ParallelJob {
+	b.Helper()
+	var jobs []valueprof.ParallelJob
+	for _, w := range valueprof.Workloads() {
+		if _, err := w.Compile(); err != nil {
+			b.Fatal(err)
+		}
+		for _, in := range w.Inputs() {
+			jobs = append(jobs, valueprof.ParallelJob{
+				Workload: w, Input: in, Options: valueprof.DefaultOptions(),
+			})
+		}
+	}
+	return jobs
+}
+
+func benchSuiteProfiling(b *testing.B, workers int) {
+	jobs := suiteBenchJobs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := valueprof.RunParallel(context.Background(), workers, jobs)
+		if err := valueprof.FirstParallelError(results); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(jobs)), "jobs")
+}
+
+// BenchmarkSuiteProfilingSerial is the serial baseline of the recorded
+// BENCH_parallel.json comparison.
+func BenchmarkSuiteProfilingSerial(b *testing.B) { benchSuiteProfiling(b, 1) }
+
+// BenchmarkSuiteProfilingParallel runs the same jobs on a
+// GOMAXPROCS-wide pool (identical output, less wall clock on
+// multi-core hosts).
+func BenchmarkSuiteProfilingParallel(b *testing.B) {
+	benchSuiteProfiling(b, runtime.GOMAXPROCS(0))
+}
+
+// BenchmarkProfileMerge measures folding two single-input profiles of
+// one workload into the combined-run profile.
+func BenchmarkProfileMerge(b *testing.B) {
+	w, err := valueprof.WorkloadByName("mcsim")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var jobs []valueprof.ParallelJob
+	for _, in := range w.Inputs() {
+		jobs = append(jobs, valueprof.ParallelJob{
+			Workload: w, Input: in, Options: valueprof.DefaultOptions(),
+		})
+	}
+	results := valueprof.RunParallel(context.Background(), 2, jobs)
+	if err := valueprof.FirstParallelError(results); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := results[0].Profile.Merge(results[1].Profile); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -7,22 +7,39 @@
 //	vexp -list      # list experiments
 //	vexp -quick e4  # reduced sweeps
 //	vexp -w compress,dictv e2
+//	vexp -jobs 4 e2 e3             # profile workloads on 4 workers
+//	vexp -bench-parallel BENCH_parallel.json
+//
+// -jobs sets the worker-pool width used both across experiments and
+// for the per-workload profiling runs inside each one; the output is
+// byte-identical to a serial run at any width. -bench-parallel times
+// the suite profiling pass serially and in parallel, cross-checks that
+// both produce identical profiles, and writes the timing report as
+// JSON (the repo's recorded benchmark baseline).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
+	"valueprof/internal/atomicio"
 	"valueprof/internal/experiments"
+	"valueprof/internal/parallel"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	quick := flag.Bool("quick", false, "reduced parameter sweeps")
 	wls := flag.String("w", "", "comma-separated workload subset")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "worker-pool width for profiling runs (1 = serial)")
+	benchOut := flag.String("bench-parallel", "",
+		"time the suite profiling pass serial vs parallel, write the JSON report here, and exit")
 	flag.Parse()
 
 	if *list {
@@ -32,7 +49,12 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{Quick: *quick}
+	if *benchOut != "" {
+		benchParallel(*benchOut, *jobs)
+		return
+	}
+
+	cfg := experiments.Config{Quick: *quick, Jobs: *jobs}
 	if *wls != "" {
 		cfg.Workloads = strings.Split(*wls, ",")
 	}
@@ -50,20 +72,53 @@ func main() {
 		}
 	}
 
-	failed := 0
-	for _, e := range toRun {
+	// Experiments themselves run on the pool too; each captures its
+	// result (or error), and everything is printed afterwards in id
+	// order so the report reads identically at any -jobs width.
+	type outcome struct {
+		res     *experiments.Result
+		err     error
+		elapsed time.Duration
+	}
+	outcomes := parallel.Map(*jobs, len(toRun), func(i int) outcome {
 		start := time.Now()
-		res, err := e.Run(cfg)
-		if err != nil {
-			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		res, err := toRun[i].Run(cfg)
+		return outcome{res: res, err: err, elapsed: time.Since(start)}
+	})
+
+	failed := 0
+	for i, e := range toRun {
+		o := outcomes[i]
+		if o.err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, o.err))
 		}
-		fmt.Printf("%s\n(%s in %v)\n\n", res.Summary(), e.ID, time.Since(start).Round(time.Millisecond))
-		failed += len(res.Failed())
+		fmt.Printf("%s\n(%s in %v)\n\n", o.res.Summary(), e.ID, o.elapsed.Round(time.Millisecond))
+		failed += len(o.res.Failed())
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "vexp: %d shape checks FAILED\n", failed)
 		os.Exit(1)
 	}
+}
+
+// benchParallel runs the serial-vs-parallel suite benchmark and
+// records the report (the BENCH_parallel.json baseline).
+func benchParallel(path string, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rep, err := parallel.BenchSuite(context.Background(), workers, runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	if err != nil {
+		fatal(err)
+	}
+	err = atomicio.WriteFile(path, func(f io.Writer) error {
+		return rep.WriteJSON(f)
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(rep.String())
+	fmt.Fprintf(os.Stderr, "vexp: wrote %s\n", path)
 }
 
 func fatal(err error) {

@@ -5,8 +5,9 @@
 //
 //	vprof [-w compress] [-input test|train] [-mode MODE] [-top 20]
 //	      [-convergent] [-full] [-o profile.json] [-list]
-//	      [-deadline 30s] [-steps N]
+//	      [-deadline 30s] [-steps N] [-jobs N]
 //	      [-checkpoint run.ckpt] [-checkpoint-every N] [-resume run.ckpt]
+//	vprof -merge -o merged.json a.vp b.vp ...
 //
 // Modes:
 //
@@ -29,6 +30,18 @@
 // instructions (atomic rename, crash-safe) and a -resume run continues
 // from the snapshot. Exit codes: 0 completed, 1 fault, 124 deadline,
 // 125 step limit, 130 interrupted.
+//
+// Parallel runs: -w and -input accept comma-separated lists; the
+// cross-product of (workload, input) pairs runs on a -jobs-wide worker
+// pool (inst/loads modes only), each job with its own profiler and VM,
+// and the reports print in job order. -checkpoint, -resume, and -o are
+// single-run features and are rejected with more than one job; the
+// exit code is the first failing job's, in job order.
+//
+// -merge folds two or more saved profile records (same program, same
+// table width K) into one: per-site counters add, TNV tables merge by
+// value, and the output record carries the source runs' provenance in
+// its "merged" field.
 package main
 
 import (
@@ -38,6 +51,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"strings"
 	"time"
 	"unsafe"
 
@@ -47,6 +62,7 @@ import (
 	"valueprof/internal/core"
 	"valueprof/internal/depprof"
 	"valueprof/internal/memprof"
+	"valueprof/internal/parallel"
 	"valueprof/internal/paramprof"
 	"valueprof/internal/procprof"
 	"valueprof/internal/program"
@@ -68,8 +84,8 @@ type runCfg struct {
 }
 
 func main() {
-	wl := flag.String("w", "compress", "workload name")
-	inputName := flag.String("input", "test", "input set: test or train")
+	wl := flag.String("w", "compress", "workload name (comma-separated list for parallel runs)")
+	inputName := flag.String("input", "test", "input set: test or train (comma-separated for parallel runs)")
 	mode := flag.String("mode", "inst", "inst|loads|mem|param|reg|dep|triv|proc")
 	convergent := flag.Bool("convergent", false, "use convergent (sampling) profiling (inst/loads)")
 	pruneStatic := flag.Bool("prune-static", false,
@@ -84,6 +100,8 @@ func main() {
 	ckptEvery := flag.Uint64("checkpoint-every", core.DefaultCheckpointEvery,
 		"instructions between checkpoint snapshots")
 	resume := flag.String("resume", "", "resume an interrupted run from this checkpoint file (inst/loads)")
+	jobsN := flag.Int("jobs", runtime.GOMAXPROCS(0), "worker-pool width for multi-workload runs (inst/loads)")
+	merge := flag.Bool("merge", false, "merge saved profile records (args: a.vp b.vp ...; requires -o)")
 	flag.Parse()
 
 	if *list {
@@ -93,23 +111,13 @@ func main() {
 		return
 	}
 
-	w, err := workloads.ByName(*wl)
-	if err != nil {
-		fatal(err)
+	if *merge {
+		mergeMode(flag.Args(), *outFile)
+		return
 	}
-	var in workloads.Input
-	switch *inputName {
-	case "test":
-		in = w.Test
-	case "train":
-		in = w.Train
-	default:
-		fatal(fmt.Errorf("vprof: unknown input %q (test or train)", *inputName))
-	}
-	prog, err := w.Compile()
-	if err != nil {
-		fatal(err)
-	}
+
+	wNames := strings.Split(*wl, ",")
+	inNames := strings.Split(*inputName, ",")
 
 	// Ctrl-C cancels the run context; the run loop stops at the next
 	// quantum boundary and the partial profile is salvaged below.
@@ -126,6 +134,30 @@ func main() {
 	}
 	if *deadline > 0 {
 		rc.opts.Deadline = time.Now().Add(*deadline)
+	}
+
+	if len(wNames) > 1 || len(inNames) > 1 {
+		if *mode != "inst" && *mode != "loads" {
+			fatal(fmt.Errorf("vprof: multiple workloads/inputs need -mode inst or loads, not %q", *mode))
+		}
+		if rc.ckptPath != "" || rc.resume != "" || *outFile != "" {
+			fatal(fmt.Errorf("vprof: -checkpoint, -resume, and -o are single-run flags; drop them or run one workload/input"))
+		}
+		os.Exit(multiMode(rc, wNames, inNames, *jobsN,
+			*mode == "loads", *convergent, *full, *pruneStatic, *top))
+	}
+
+	w, err := workloads.ByName(wNames[0])
+	if err != nil {
+		fatal(err)
+	}
+	in, err := inputByName(w, inNames[0])
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := w.Compile()
+	if err != nil {
+		fatal(err)
 	}
 
 	var outcome vm.RunOutcome
@@ -264,10 +296,32 @@ func instMode(rc *runCfg, w *workloads.Workload, in workloads.Input, prog *progr
 	}
 
 	pr := vp.Profile()
+	reportInst(w.Name+"/"+in.Name, pr, res, prog, top)
+
+	if outFile != "" {
+		rec := pr.Record(w.Name, in.Name)
+		if outcome != vm.OutcomeCompleted {
+			rec.Outcome = outcome.String()
+		}
+		err := atomicio.WriteFile(outFile, func(f io.Writer) error {
+			return rec.WriteJSON(f)
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "vprof: wrote %s\n", outFile)
+	}
+	return outcome
+}
+
+// reportInst prints the paper-style instruction-profile report: the
+// aggregate line and the hottest sites. Shared by the single-run
+// (instMode) and worker-pool (multiMode) paths.
+func reportInst(name string, pr *core.Profile, res *vm.Result, prog *program.Program, top int) {
 	m := pr.Aggregate()
 
-	fmt.Printf("%s/%s: %d instructions executed, %d sites profiled\n",
-		w.Name, in.Name, res.InstCount, m.Sites)
+	fmt.Printf("%s: %d instructions executed, %d sites profiled\n",
+		name, res.InstCount, m.Sites)
 	fmt.Printf("weighted: LVP %.3f  Inv-Top(1) %.3f  Inv-Top(%d) %.3f  %%zero %.3f  duty %.3f\n\n",
 		m.LVP, m.InvTop1, pr.K, m.InvTopN, m.PctZero, pr.DutyCycle())
 
@@ -286,21 +340,126 @@ func instMode(rc *runCfg, w *workloads.Workload, in workloads.Input, prog *progr
 			s.LVP(), s.InvTop(1), s.Classify(th).String(), topvals)
 	}
 	fmt.Print(tab.String())
+}
 
-	if outFile != "" {
-		rec := pr.Record(w.Name, in.Name)
-		if outcome != vm.OutcomeCompleted {
-			rec.Outcome = outcome.String()
-		}
-		err := atomicio.WriteFile(outFile, func(f io.Writer) error {
-			return rec.WriteJSON(f)
-		})
+// multiMode runs the (workload × input) cross-product on a jobs-wide
+// worker pool — each job with its own profiler and VM — and prints the
+// per-run reports in job order. Returns the process exit code: the
+// first failing job's, following the serial-loop convention.
+func multiMode(rc *runCfg, wNames, inNames []string, jobsN int, loadsOnly, convergent, full, pruneStatic bool, top int) int {
+	var jobList []parallel.Job
+	for _, wn := range wNames {
+		w, err := workloads.ByName(strings.TrimSpace(wn))
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "vprof: wrote %s\n", outFile)
+		prog, err := w.Compile()
+		if err != nil {
+			fatal(err)
+		}
+		opts := core.Options{TNV: core.DefaultTNVConfig(), TrackFull: full}
+		if loadsOnly {
+			opts.Filter = core.LoadsOnly
+		}
+		if convergent {
+			cfg := core.DefaultConvergentConfig()
+			opts.Convergent = &cfg
+		}
+		if pruneStatic {
+			// Constness is per program: analyzed once here, serially,
+			// then shared by every input of this workload.
+			opts.Prune = analysis.AnalyzeConstness(prog).ShouldPrune
+		}
+		for _, inn := range inNames {
+			in, err := inputByName(w, strings.TrimSpace(inn))
+			if err != nil {
+				fatal(err)
+			}
+			jobList = append(jobList, parallel.Job{
+				Workload: w, Input: in, Options: opts, Run: rc.opts,
+			})
+		}
 	}
-	return outcome
+
+	results := parallel.Run(rc.ctx, jobsN, jobList)
+	code := 0
+	for _, r := range results {
+		if r.Profile == nil {
+			fmt.Fprintf(os.Stderr, "vprof: %s: %v\n", r.Job.Name(), r.Err)
+			if code == 0 {
+				code = 1
+			}
+			continue
+		}
+		warnPartial(r.Outcome, r.Err)
+		prog, err := r.Job.Workload.Compile()
+		if err != nil {
+			fatal(err)
+		}
+		reportInst(r.Job.Name(), r.Profile, r.Exec, prog, top)
+		fmt.Println()
+		if c := exitCode(r.Outcome); c != 0 && code == 0 {
+			code = c
+		}
+	}
+	return code
+}
+
+// mergeMode folds saved profile records into one and writes the merged
+// record (with provenance) to the -o file.
+func mergeMode(paths []string, outFile string) {
+	if len(paths) < 2 {
+		fatal(fmt.Errorf("vprof: -merge needs at least two profile files, got %d", len(paths)))
+	}
+	if outFile == "" {
+		fatal(fmt.Errorf("vprof: -merge requires -o for the merged record"))
+	}
+	var acc *core.ProfileRecord
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			fatal(err)
+		}
+		rec, err := core.ReadProfileRecord(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("vprof: %s: %w", p, err))
+		}
+		if acc == nil {
+			acc = rec
+			continue
+		}
+		acc, err = core.MergeRecords(acc, rec)
+		if err != nil {
+			fatal(fmt.Errorf("vprof: merging %s: %w", p, err))
+		}
+	}
+	err := atomicio.WriteFile(outFile, func(f io.Writer) error {
+		return acc.WriteJSON(f)
+	})
+	if err != nil {
+		fatal(err)
+	}
+	var execs uint64
+	for i := range acc.Sites {
+		execs += acc.Sites[i].Exec
+	}
+	fmt.Printf("merged %d runs of %s: %d sites, %d profiled executions, duty %.3f\n",
+		len(paths), acc.Program, len(acc.Sites), execs, acc.DutyCycle())
+	for _, src := range acc.Merged {
+		fmt.Printf("  from %s\n", src)
+	}
+	fmt.Fprintf(os.Stderr, "vprof: wrote %s\n", outFile)
+}
+
+func inputByName(w *workloads.Workload, name string) (workloads.Input, error) {
+	switch name {
+	case "test":
+		return w.Test, nil
+	case "train":
+		return w.Train, nil
+	}
+	return workloads.Input{}, fmt.Errorf("vprof: unknown input %q (test or train)", name)
 }
 
 func memMode(rc *runCfg, w *workloads.Workload, in workloads.Input, prog *program.Program, top int) vm.RunOutcome {

@@ -36,6 +36,16 @@ const DefaultCheckpointEvery = 1 << 22
 
 const checkpointMagic = "VPCKPT1"
 
+// checkpointVersion is the envelope's minor version. Version 0 (the
+// field is omitted by old writers) is the PR-1 format, which recorded
+// only the run-wide sampler-skip total; version 1 adds the per-site
+// skip counters (SiteState.Skipped) so a resumed run's duty cycle is
+// attributed to the right sites. Readers accept every version up to
+// the current one; old files stay loadable (their total is credited to
+// the profiler as an unattributed baseline), and old readers ignore
+// the unknown per-site field and still see the correct total.
+const checkpointVersion = 1
+
 // TNVState is the full serialized state of one TNV table: every live
 // entry (not just the report-time top K) plus the update and
 // periodic-clear counters, so a restored table continues byte-for-byte
@@ -52,6 +62,7 @@ type SiteState struct {
 	PC      int      `json:"pc"`
 	Name    string   `json:"name"`
 	Exec    uint64   `json:"exec"`
+	Skipped uint64   `json:"skipped,omitempty"` // envelope version ≥ 1
 	LVPHits uint64   `json:"lvpHits"`
 	Zeros   uint64   `json:"zeros"`
 	Last    int64    `json:"last"`
@@ -97,6 +108,7 @@ func (ck *Checkpoint) InstCount() uint64 {
 
 type checkpointEnvelope struct {
 	Magic   string          `json:"magic"`
+	Version int             `json:"version,omitempty"`
 	CRC32   uint32          `json:"crc32"`
 	Payload json.RawMessage `json:"payload"`
 }
@@ -109,6 +121,7 @@ func WriteCheckpoint(w io.Writer, ck *Checkpoint) error {
 	}
 	env := checkpointEnvelope{
 		Magic:   checkpointMagic,
+		Version: checkpointVersion,
 		CRC32:   crc32.ChecksumIEEE(payload),
 		Payload: payload,
 	}
@@ -125,6 +138,9 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	}
 	if env.Magic != checkpointMagic {
 		return nil, fmt.Errorf("core: not a checkpoint file (magic %q)", env.Magic)
+	}
+	if env.Version > checkpointVersion {
+		return nil, fmt.Errorf("core: checkpoint version %d is newer than supported %d", env.Version, checkpointVersion)
 	}
 	if got := crc32.ChecksumIEEE(env.Payload); got != env.CRC32 {
 		return nil, fmt.Errorf("core: checkpoint corrupt: crc %08x, want %08x", got, env.CRC32)
@@ -262,6 +278,7 @@ func siteState(s *SiteStats) SiteState {
 		PC:      s.PC,
 		Name:    s.Name,
 		Exec:    s.Exec,
+		Skipped: s.Skipped,
 		LVPHits: s.LVPHits,
 		Zeros:   s.Zeros,
 		Last:    s.last,
@@ -279,6 +296,7 @@ func siteState(s *SiteStats) SiteState {
 func restoreSite(st *SiteState, cfg TNVConfig) *SiteStats {
 	s := NewSiteStats(st.PC, st.Name, cfg, false)
 	s.Exec = st.Exec
+	s.Skipped = st.Skipped
 	s.LVPHits = st.LVPHits
 	s.Zeros = st.Zeros
 	s.last = st.Last
@@ -297,7 +315,9 @@ func CheckpointOf(vp *ValueProfiler, v *vm.VM, programName, inputName string) (*
 		Program: programName,
 		Input:   inputName,
 		TNV:     vp.opts.TNV,
-		Skipped: vp.Skipped,
+		// The run-wide total is still written so version-0 readers keep
+		// computing the correct duty cycle from this file.
+		Skipped: vp.Skipped(),
 	}
 	pcs := make([]int, 0, len(vp.sites))
 	for pc := range vp.sites {
@@ -306,7 +326,7 @@ func CheckpointOf(vp *ValueProfiler, v *vm.VM, programName, inputName string) (*
 	sort.Ints(pcs)
 	for _, pc := range pcs {
 		s := vp.sites[pc]
-		if s.Exec == 0 {
+		if s.Exec == 0 && s.Skipped == 0 {
 			continue
 		}
 		ck.Sites = append(ck.Sites, siteState(s))
@@ -411,10 +431,17 @@ func (p *ValueProfiler) Seed(ck *Checkpoint) error {
 		return fmt.Errorf("core: profiler already instrumented; seed before atom.Run")
 	}
 	p.seeded = make(map[int]*SiteStats, len(ck.Sites))
+	var perSite uint64
 	for i := range ck.Sites {
 		st := &ck.Sites[i]
 		p.seeded[st.PC] = restoreSite(st, p.opts.TNV)
+		perSite += st.Skipped
 	}
-	p.Skipped = ck.Skipped
+	// Version-0 checkpoints recorded only the run-wide skip total; keep
+	// whatever the per-site counters cannot account for as an
+	// unattributed baseline so DutyCycle survives the resume exactly.
+	if ck.Skipped > perSite {
+		p.seedSkipped = ck.Skipped - perSite
+	}
 	return nil
 }

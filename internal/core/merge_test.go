@@ -1,0 +1,393 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"hash/crc32"
+	"strings"
+	"testing"
+)
+
+// --- regression: Top with non-positive k must not panic ---
+
+func TestTopNegativeK(t *testing.T) {
+	tnv := NewTNV(TNVConfig{Size: 4, Steady: 2})
+	for _, v := range []int64{1, 2, 1, 3} {
+		tnv.Add(v)
+	}
+	for _, k := range []int{-1, -100, 0} {
+		if got := tnv.Top(k); len(got) != 0 {
+			t.Errorf("TNV Top(%d) = %v, want empty", k, got)
+		}
+	}
+	if got := tnv.Top(2); len(got) != 2 {
+		t.Errorf("Top(2) returned %d entries", len(got))
+	}
+
+	f := NewFullProfile()
+	f.Add(1)
+	f.Add(1)
+	f.Add(2)
+	for _, k := range []int{-1, -100, 0} {
+		if got := f.Top(k); len(got) != 0 {
+			t.Errorf("full Top(%d) = %v, want empty", k, got)
+		}
+	}
+	if got := f.Top(1); len(got) != 1 || got[0].Value != 1 {
+		t.Errorf("full Top(1) = %v", got)
+	}
+}
+
+// --- regression: Clears must count only clears that flushed entries ---
+
+func TestClearsCountOnlyFlushes(t *testing.T) {
+	cfg := TNVConfig{Size: 4, Steady: 2, ClearInterval: 10}
+
+	// Two distinct values: the table never grows past the steady part,
+	// so crossing clear intervals must not count any clears.
+	tnv := NewTNV(cfg)
+	for i := 0; i < 35; i++ {
+		tnv.Add(int64(i % 2))
+	}
+	if got := tnv.Clears(); got != 0 {
+		t.Errorf("steady-only table counted %d clears, want 0", got)
+	}
+
+	// Four distinct values: the clear part is populated at the interval
+	// boundary, so the clear both flushes and counts.
+	tnv = NewTNV(cfg)
+	for i := 0; i < 10; i++ {
+		tnv.Add(int64(i % 4))
+	}
+	if got := tnv.Clears(); got != 1 {
+		t.Errorf("flushing clear counted %d, want 1", got)
+	}
+	if got := tnv.Len(); got != cfg.Steady {
+		t.Errorf("after clear table holds %d entries, want %d", got, cfg.Steady)
+	}
+}
+
+// --- TNV merge ---
+
+func TestTNVMergeUnion(t *testing.T) {
+	cfg := TNVConfig{Size: 10, Steady: 5}
+	a := NewTNV(cfg)
+	for _, v := range []int64{1, 1, 1, 1, 1, 2, 2, 2} {
+		a.Add(v)
+	}
+	b := NewTNV(cfg)
+	for _, v := range []int64{1, 1, 3, 3, 3, 3, 3, 3, 3} {
+		b.Add(v)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	want := []TNVEntry{{Value: 1, Count: 7}, {Value: 3, Count: 7}, {Value: 2, Count: 3}}
+	got := a.Top(10)
+	if len(got) != len(want) {
+		t.Fatalf("merged entries %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if a.Updates() != 17 {
+		t.Errorf("merged updates %d, want 17", a.Updates())
+	}
+}
+
+func TestTNVMergeRejectsConfigMismatch(t *testing.T) {
+	a := NewTNV(TNVConfig{Size: 10, Steady: 5})
+	b := NewTNV(TNVConfig{Size: 8, Steady: 4})
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merge across configs did not fail")
+	}
+}
+
+func TestTNVMergeTruncatesToSize(t *testing.T) {
+	cfg := TNVConfig{Size: 2, Steady: 0}
+	a := NewTNV(cfg)
+	a.Add(1)
+	a.Add(2)
+	b := NewTNV(cfg)
+	b.Add(3)
+	b.Add(3)
+	b.Add(2)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	got := a.Top(10)
+	want := []TNVEntry{{Value: 2, Count: 2}, {Value: 3, Count: 2}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("merged truncated table %v, want %v", got, want)
+	}
+}
+
+func TestTNVMergeFoldsClearPhase(t *testing.T) {
+	cfg := TNVConfig{Size: 4, Steady: 2, ClearInterval: 10}
+	a := NewTNV(cfg)
+	b := NewTNV(cfg)
+	for i := 0; i < 7; i++ {
+		a.Add(int64(i))
+		b.Add(int64(i))
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	// 7 + 7 = 14 updates since the last clear, folded modulo 10: the
+	// merge itself must not have triggered a clear.
+	if a.Clears() != 0 {
+		t.Errorf("merge triggered %d clears", a.Clears())
+	}
+	if a.sinceClear != 4 {
+		t.Errorf("merged sinceClear %d, want 4", a.sinceClear)
+	}
+}
+
+// --- site merge ---
+
+func TestSiteMergeCounters(t *testing.T) {
+	cfg := TNVConfig{Size: 10, Steady: 5}
+	a := NewSiteStats(7, "f+7", cfg, true)
+	observeAll(a, 0, 5, 5, 5)
+	a.Skipped = 3
+	b := NewSiteStats(7, "f+7", cfg, true)
+	observeAll(b, 5, 0, 0)
+	b.Skipped = 2
+
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Exec != 7 || a.Zeros != 3 || a.Skipped != 5 {
+		t.Errorf("merged exec/zeros/skipped = %d/%d/%d, want 7/3/5", a.Exec, a.Zeros, a.Skipped)
+	}
+	// a scored 2 LVP hits (5,5 then 5), b scored 1 (0 then 0).
+	if a.LVPHits != 3 {
+		t.Errorf("merged LVP hits %d, want 3", a.LVPHits)
+	}
+	if a.Full == nil || a.Full.Total() != 7 || a.Full.Count(5) != 4 || a.Full.Count(0) != 3 {
+		t.Errorf("merged full profile wrong: %+v", a.Full)
+	}
+	// Last-value state adopts the later shard's.
+	if !a.hasLast || a.last != 0 {
+		t.Errorf("merged last = (%d,%v), want (0,true)", a.last, a.hasLast)
+	}
+}
+
+func TestSiteMergeDropsPartialGroundTruth(t *testing.T) {
+	cfg := TNVConfig{Size: 10, Steady: 5}
+	a := NewSiteStats(1, "f+1", cfg, true)
+	observeAll(a, 1)
+	b := NewSiteStats(1, "f+1", cfg, false)
+	observeAll(b, 2)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Full != nil {
+		t.Error("merge kept a partial full profile")
+	}
+}
+
+func TestSiteMergeRejectsMismatch(t *testing.T) {
+	cfg := TNVConfig{Size: 10, Steady: 5}
+	a := NewSiteStats(1, "f+1", cfg, false)
+	b := NewSiteStats(2, "f+2", cfg, false)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merging different pcs did not fail")
+	}
+	c := NewSiteStats(1, "g+1", cfg, false)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("merging conflicting names did not fail")
+	}
+}
+
+// --- profile merge ---
+
+func siteWith(pc int, name string, cfg TNVConfig, vals ...int64) *SiteStats {
+	s := NewSiteStats(pc, name, cfg, false)
+	observeAll(s, vals...)
+	return s
+}
+
+func TestProfileMergeSharedAndUnique(t *testing.T) {
+	cfg := TNVConfig{Size: 10, Steady: 5}
+	a := &Profile{
+		K:       cfg.Size,
+		Skipped: 4,
+		Pruned:  2,
+		Sites: []*SiteStats{
+			siteWith(1, "f+1", cfg, 9, 9),
+			siteWith(3, "f+3", cfg, 1),
+		},
+	}
+	b := &Profile{
+		K:       cfg.Size,
+		Skipped: 6,
+		Pruned:  2,
+		Sites: []*SiteStats{
+			siteWith(2, "f+2", cfg, 5),
+			siteWith(3, "f+3", cfg, 9, 1),
+		},
+	}
+	m, err := a.Merge(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Skipped != 10 {
+		t.Errorf("merged skipped %d, want 10", m.Skipped)
+	}
+	// Pruning is a per-program property, not additive across shards.
+	if m.Pruned != 2 {
+		t.Errorf("merged pruned %d, want 2", m.Pruned)
+	}
+	pcs := make([]int, len(m.Sites))
+	for i, s := range m.Sites {
+		pcs[i] = s.PC
+	}
+	if len(pcs) != 3 || pcs[0] != 1 || pcs[1] != 2 || pcs[2] != 3 {
+		t.Fatalf("merged site pcs %v, want [1 2 3]", pcs)
+	}
+	if got := m.Site(3).Exec; got != 3 {
+		t.Errorf("shared site exec %d, want 3", got)
+	}
+	// Inputs must be untouched: a's shared site still holds only its
+	// own executions.
+	if a.Site(3).Exec != 1 || b.Site(3).Exec != 2 {
+		t.Error("Merge modified its inputs")
+	}
+}
+
+func TestProfileMergeRejectsWidthMismatch(t *testing.T) {
+	a := &Profile{K: 10}
+	b := &Profile{K: 8}
+	if _, err := a.Merge(b); err == nil {
+		t.Fatal("merging different table widths did not fail")
+	}
+}
+
+// --- checkpoint: per-site skip counters (envelope version 1) ---
+
+func skippedProfiler(t *testing.T) *ValueProfiler {
+	t.Helper()
+	cfg := TNVConfig{Size: 10, Steady: 5}
+	vp, err := NewValueProfiler(Options{TNV: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := siteWith(1, "f+1", cfg, 7, 7, 7)
+	s1.Skipped = 11
+	s2 := NewSiteStats(2, "f+2", cfg, false)
+	s2.Skipped = 4 // skipped-only site: must still be checkpointed
+	vp.sites[1] = s1
+	vp.sites[2] = s2
+	return vp
+}
+
+func TestCheckpointPersistsPerSiteSkipped(t *testing.T) {
+	vp := skippedProfiler(t)
+	if got := vp.Skipped(); got != 15 {
+		t.Fatalf("profiler skipped %d, want 15", got)
+	}
+	ck, err := CheckpointOf(vp, nil, "p", "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, ck); err != nil {
+		t.Fatal(err)
+	}
+	ck2, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySkip := map[int]uint64{}
+	for _, s := range ck2.Sites {
+		bySkip[s.PC] = s.Skipped
+	}
+	if bySkip[1] != 11 || bySkip[2] != 4 {
+		t.Errorf("restored per-site skips %v, want {1:11 2:4}", bySkip)
+	}
+
+	vp2, err := NewValueProfiler(Options{TNV: vp.opts.TNV})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vp2.Seed(ck2); err != nil {
+		t.Fatal(err)
+	}
+	if got := vp2.Skipped(); got != 15 {
+		t.Errorf("resumed profiler skipped %d, want 15", got)
+	}
+	if vp2.seedSkipped != 0 {
+		t.Errorf("versioned checkpoint left unattributed baseline %d", vp2.seedSkipped)
+	}
+}
+
+// reversion re-encodes a written checkpoint with a different envelope
+// version (recomputing the CRC), simulating files from other writers.
+func reversion(t *testing.T, ck *Checkpoint, version int) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, ck); err != nil {
+		t.Fatal(err)
+	}
+	var env checkpointEnvelope
+	if err := json.Unmarshal(buf.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	env.Version = version
+	env.CRC32 = crc32.ChecksumIEEE(env.Payload)
+	out, err := json.Marshal(&env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewBuffer(out)
+}
+
+func TestLegacyCheckpointLoadable(t *testing.T) {
+	// A PR-1 writer recorded only the run-wide skip total. Strip the
+	// version and the per-site counters and the file must still load,
+	// with the total surviving as an unattributed baseline.
+	vp := skippedProfiler(t)
+	ck, err := CheckpointOf(vp, nil, "p", "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ck.Sites {
+		ck.Sites[i].Skipped = 0
+	}
+	buf := reversion(t, ck, 0)
+	if strings.Contains(buf.String(), `"version"`) {
+		t.Fatal("version 0 should serialize as an absent field")
+	}
+	ck2, err := ReadCheckpoint(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp2, err := NewValueProfiler(Options{TNV: vp.opts.TNV})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vp2.Seed(ck2); err != nil {
+		t.Fatal(err)
+	}
+	if got := vp2.Skipped(); got != 15 {
+		t.Errorf("legacy resume skipped %d, want 15", got)
+	}
+	if vp2.seedSkipped != 15 {
+		t.Errorf("legacy baseline %d, want 15", vp2.seedSkipped)
+	}
+}
+
+func TestFutureCheckpointVersionRejected(t *testing.T) {
+	vp := skippedProfiler(t)
+	ck, err := CheckpointOf(vp, nil, "p", "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := reversion(t, ck, checkpointVersion+1)
+	if _, err := ReadCheckpoint(buf); err == nil {
+		t.Fatal("future envelope version was accepted")
+	}
+}

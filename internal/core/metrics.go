@@ -10,7 +10,12 @@ type SiteStats struct {
 	PC   int // instruction index (or -1 for non-instruction sites)
 	Name string
 
-	Exec    uint64 // profiled executions
+	Exec uint64 // profiled executions
+	// Skipped counts executions a sampler declined to profile at this
+	// site. It lives on the site (not the profiler) so that analysis
+	// hooks touch only site-local state — profilers on pooled workers
+	// then share nothing and run clean under the race detector.
+	Skipped uint64
 	LVPHits uint64 // value equalled the previous value
 	Zeros   uint64
 

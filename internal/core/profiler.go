@@ -59,12 +59,17 @@ type ValueProfiler struct {
 	// Seed); prepare adopts these instead of fresh stats so a resumed
 	// run keeps accumulating into the restored tables.
 	seeded map[int]*SiteStats
-	// Skipped counts executions the sampler declined to profile (its
-	// overhead saving).
-	Skipped uint64
+	// seedSkipped carries the run-wide skip total restored from a
+	// legacy (pre-versioned) checkpoint that recorded no per-site skip
+	// counters; Skipped() adds it to the per-site sum.
+	seedSkipped uint64
 	// Pruned counts candidate pcs Options.Prune removed before any
 	// allocation happened.
 	Pruned int
+	// runs counts Instrument calls. A profiler re-instrumented for
+	// further runs of the same program keeps accumulating into its
+	// site tables, yielding the profile of the concatenated run.
+	runs int
 }
 
 // NewValueProfiler validates opts and creates the tool.
@@ -95,6 +100,7 @@ func NewValueProfiler(opts Options) (*ValueProfiler, error) {
 // register value is passed to the function which records the profiling
 // information").
 func (p *ValueProfiler) Instrument(ix *atom.Instrumenter) {
+	p.runs++
 	p.prepare(ix)
 	factory := p.opts.Sampler
 	if p.opts.Convergent != nil {
@@ -108,23 +114,33 @@ func (p *ValueProfiler) Instrument(ix *atom.Instrumenter) {
 			continue
 		}
 		sampler := factory()
+		// The skip counter lives on the site: the hook closure touches
+		// no profiler-level state, so hooks of profilers running on
+		// pooled workers share nothing.
 		ix.AddAfter(pc, func(ev *vm.Event) {
 			if sampler.ShouldProfile(site) {
 				site.Observe(ev.Value)
 			} else {
-				p.Skipped++
+				site.Skipped++
 			}
 		})
 	}
 }
 
 // prepare creates the site table from the program without attaching
-// hooks (also used by tests). Sites restored from a checkpoint keep
-// their accumulated state; sites the checkpoint never saw start fresh.
+// hooks (also used by tests). Sites restored from a checkpoint — or
+// accumulated by a previous run of a reused profiler — keep their
+// state; sites the profiler has never seen start fresh.
 func (p *ValueProfiler) prepare(ix *atom.Instrumenter) {
+	first := p.runs <= 1
 	ix.ForEachInst(p.opts.Filter, func(pc int, in isa.Inst) {
 		if p.opts.Prune != nil && p.opts.Prune(pc, in) {
-			p.Pruned++
+			if first {
+				p.Pruned++
+			}
+			return
+		}
+		if _, ok := p.sites[pc]; ok {
 			return
 		}
 		if s, ok := p.seeded[pc]; ok {
@@ -135,6 +151,22 @@ func (p *ValueProfiler) prepare(ix *atom.Instrumenter) {
 	})
 }
 
+// Skipped returns the executions samplers declined to profile, summed
+// across sites (plus any run-wide total restored from a legacy
+// checkpoint that lacked per-site counters).
+func (p *ValueProfiler) Skipped() uint64 {
+	n := p.seedSkipped
+	for _, s := range p.sites {
+		n += s.Skipped
+	}
+	for pc, s := range p.seeded {
+		if _, adopted := p.sites[pc]; !adopted {
+			n += s.Skipped
+		}
+	}
+	return n
+}
+
 // Profile returns the collected results.
 func (p *ValueProfiler) Profile() *Profile {
 	sites := make([]*SiteStats, 0, len(p.sites))
@@ -142,7 +174,7 @@ func (p *ValueProfiler) Profile() *Profile {
 		sites = append(sites, s)
 	}
 	sort.Slice(sites, func(i, j int) bool { return sites[i].PC < sites[j].PC })
-	return &Profile{Sites: sites, K: p.opts.TNV.Size, Skipped: p.Skipped, Pruned: p.Pruned}
+	return &Profile{Sites: sites, K: p.opts.TNV.Size, Skipped: p.Skipped(), Pruned: p.Pruned}
 }
 
 // Profile is the result of one profiling run.

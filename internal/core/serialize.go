@@ -49,18 +49,52 @@ func (s *SiteRecord) InvTop(k int) float64 {
 // records how the collecting run ended ("completed", "faulted",
 // "deadline", "cancelled", "limit"); a partial profile is still a
 // valid profile — the TNV tables simply cover a prefix of the run.
+//
+// Skipped is the run's sampler-skipped execution total, persisted so
+// DutyCycle survives serialization. Merged, when non-empty, is the
+// provenance of a merged record: one "program/input[:outcome]" label
+// per source run folded in by MergeRecords.
 type ProfileRecord struct {
 	Program string       `json:"program"`
 	Input   string       `json:"input"`
 	K       int          `json:"k"`
 	Outcome string       `json:"outcome,omitempty"`
+	Skipped uint64       `json:"skipped,omitempty"`
+	Merged  []string     `json:"merged,omitempty"`
 	Sites   []SiteRecord `json:"sites"`
+}
+
+// DutyCycle recomputes profiled / (profiled + skipped) from the record
+// (1 when nothing was skipped and nothing profiled either).
+func (r *ProfileRecord) DutyCycle() float64 {
+	var profiled uint64
+	for i := range r.Sites {
+		profiled += r.Sites[i].Exec
+	}
+	total := profiled + r.Skipped
+	if total == 0 {
+		return 1
+	}
+	return float64(profiled) / float64(total)
+}
+
+// provenance returns the source-run labels of the record: its Merged
+// list if it is already a merge, else its own program/input label.
+func (r *ProfileRecord) provenance() []string {
+	if len(r.Merged) > 0 {
+		return r.Merged
+	}
+	lab := r.Program + "/" + r.Input
+	if r.Outcome != "" {
+		lab += ":" + r.Outcome
+	}
+	return []string{lab}
 }
 
 // Record converts a profile for serialization, tagging it with the
 // program and input names.
 func (pr *Profile) Record(programName, inputName string) *ProfileRecord {
-	rec := &ProfileRecord{Program: programName, Input: inputName, K: pr.K}
+	rec := &ProfileRecord{Program: programName, Input: inputName, K: pr.K, Skipped: pr.Skipped}
 	for _, s := range pr.Sites {
 		if s.Exec == 0 {
 			continue
@@ -196,6 +230,10 @@ fields:
 			err = dec.Decode(&rec.Input)
 		case "outcome":
 			err = dec.Decode(&rec.Outcome)
+		case "skipped":
+			err = dec.Decode(&rec.Skipped)
+		case "merged":
+			err = dec.Decode(&rec.Merged)
 		case "k":
 			err = dec.Decode(&rec.K)
 		case "sites":
@@ -410,10 +448,11 @@ func MergeRecords(a, b *ProfileRecord) (*ProfileRecord, error) {
 	if a.Program != b.Program {
 		return nil, fmt.Errorf("core: merging records of different programs %q and %q", a.Program, b.Program)
 	}
-	out := &ProfileRecord{Program: a.Program, Input: a.Input, K: a.K}
+	out := &ProfileRecord{Program: a.Program, Input: a.Input, K: a.K, Skipped: a.Skipped + b.Skipped}
 	if b.Input != a.Input {
 		out.Input = a.Input + "+" + b.Input
 	}
+	out.Merged = append(append([]string(nil), a.provenance()...), b.provenance()...)
 	bByPC := make(map[int]*SiteRecord, len(b.Sites))
 	for i := range b.Sites {
 		bByPC[b.Sites[i].PC] = &b.Sites[i]

@@ -113,15 +113,21 @@ func (t *TNVTable) maybeClear() {
 		return
 	}
 	t.sinceClear = 0
+	// Only a clear that actually flushes entries counts: a table still
+	// within its steady part has nothing to evict, and counting the
+	// no-op would make Clears() overreport clearing activity.
 	if len(t.entries) > t.cfg.Steady {
 		t.entries = t.entries[:t.cfg.Steady]
+		t.clears++
 	}
-	t.clears++
 }
 
 // Top returns the k most frequent entries (fewer if the table holds
-// fewer), most frequent first.
+// fewer, none for k ≤ 0), most frequent first.
 func (t *TNVTable) Top(k int) []TNVEntry {
+	if k < 0 {
+		k = 0
+	}
 	if k > len(t.entries) {
 		k = len(t.entries)
 	}
@@ -199,9 +205,12 @@ func (f *FullProfile) Distinct() int { return len(f.counts) }
 // Count returns the exact count of v.
 func (f *FullProfile) Count(v int64) uint64 { return f.counts[v] }
 
-// Top returns the k most frequent (value, count) pairs, ties broken by
-// value for determinism.
+// Top returns the k most frequent (value, count) pairs (none for
+// k ≤ 0), ties broken by value for determinism.
 func (f *FullProfile) Top(k int) []TNVEntry {
+	if k <= 0 {
+		return nil
+	}
 	all := make([]TNVEntry, 0, len(f.counts))
 	for v, c := range f.counts {
 		all = append(all, TNVEntry{Value: v, Count: c})

@@ -78,14 +78,14 @@ func runE2(cfg Config) (*Result, error) {
 	var lvps, inv1s, invNs, weights []float64
 	anyTopNHeavy := false
 	orderOK := true
-	for _, w := range ws {
-		pr, _, err := profileWorkload(w, w.Test, core.Options{
-			Filter: core.LoadsOnly, TNV: core.DefaultTNVConfig(), TrackFull: true,
-		}, false)
-		if err != nil {
-			return nil, err
-		}
-		m := pr.Aggregate()
+	prs, _, err := cfg.profileSuite(ws, testInput, core.Options{
+		Filter: core.LoadsOnly, TNV: core.DefaultTNVConfig(), TrackFull: true,
+	}, false)
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range ws {
+		m := prs[i].Aggregate()
 		tab.Row(w.Name, m.Execs, m.LVP, m.InvTop1, m.InvTopN, m.InvAll1, m.InvAllN, m.PctZero, m.Diff)
 		lvps = append(lvps, m.LVP)
 		inv1s = append(inv1s, m.InvAll1)
@@ -130,11 +130,12 @@ func runE3(cfg Config) (*Result, error) {
 		"program", "execs", "LVP", "InvTop1", "InvTop10", "%zero")
 	classAgg := map[isa.Class][]*core.SiteStats{}
 	var suiteInv, suiteW []float64
-	for _, w := range ws {
-		pr, _, err := profileWorkload(w, w.Test, core.Options{TNV: core.DefaultTNVConfig()}, false)
-		if err != nil {
-			return nil, err
-		}
+	prs, _, err := cfg.profileSuite(ws, testInput, core.Options{TNV: core.DefaultTNVConfig()}, false)
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range ws {
+		pr := prs[i]
 		m := pr.Aggregate()
 		tab.Row(w.Name, m.Execs, m.LVP, m.InvTop1, m.InvTopN, m.PctZero)
 		suiteInv = append(suiteInv, m.InvTop1)
@@ -191,11 +192,12 @@ func runE7(cfg Config) (*Result, error) {
 	}
 	hist := stats.NewHistogram(10)
 	loadHist := stats.NewHistogram(10)
-	for _, w := range ws {
-		pr, _, err := profileWorkload(w, w.Test, core.Options{TNV: core.DefaultTNVConfig()}, false)
-		if err != nil {
-			return nil, err
-		}
+	prs, _, err := cfg.profileSuite(ws, testInput, core.Options{TNV: core.DefaultTNVConfig()}, false)
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range ws {
+		pr := prs[i]
 		prog, err := w.Compile()
 		if err != nil {
 			return nil, err

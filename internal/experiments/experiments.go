@@ -6,12 +6,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"valueprof/internal/atom"
 	"valueprof/internal/core"
+	"valueprof/internal/parallel"
 	"valueprof/internal/vm"
 	"valueprof/internal/workloads"
 )
@@ -23,6 +25,11 @@ type Config struct {
 	// Quick shrinks parameter sweeps for fast iteration (benches use
 	// it; the recorded EXPERIMENTS.md numbers use the full sweep).
 	Quick bool
+	// Jobs is the worker-pool width for per-workload profiling runs
+	// inside an experiment (≤ 1 = serial). Per-job VM/profiler
+	// isolation keeps the rendered tables byte-identical to a serial
+	// run at any width.
+	Jobs int
 }
 
 // Check is one shape assertion derived from the paper's claims.
@@ -146,6 +153,41 @@ func (cfg Config) quickSubset() ([]*workloads.Workload, error) {
 	}
 	return ws, nil
 }
+
+// profileSuite profiles input(w) for every workload on the config's
+// worker pool (Config.Jobs wide; ≤ 1 = serial), returning profiles and
+// run results in workload order. Jobs are isolated per worker, so the
+// results — and any table rendered from them — are identical at every
+// pool width.
+func (cfg Config) profileSuite(ws []*workloads.Workload, input func(*workloads.Workload) workloads.Input, opts core.Options, chargeHooks bool) ([]*core.Profile, []*vm.Result, error) {
+	jobs := make([]parallel.Job, len(ws))
+	for i, w := range ws {
+		jobs[i] = parallel.Job{
+			Workload: w,
+			Input:    input(w),
+			Options:  opts,
+			Run:      atom.RunOptions{ChargeHooks: chargeHooks},
+		}
+	}
+	workers := cfg.Jobs
+	if workers <= 1 {
+		workers = 1
+	}
+	results := parallel.Run(context.Background(), workers, jobs)
+	if err := parallel.FirstError(results); err != nil {
+		return nil, nil, err
+	}
+	prs := make([]*core.Profile, len(results))
+	rss := make([]*vm.Result, len(results))
+	for i, r := range results {
+		prs[i], rss[i] = r.Profile, r.Exec
+	}
+	return prs, rss, nil
+}
+
+// testInput selects the workload's test data set (the common case for
+// profileSuite).
+func testInput(w *workloads.Workload) workloads.Input { return w.Test }
 
 // profileWorkload compiles and runs one workload input under a value
 // profiler, returning the profile and the run result.

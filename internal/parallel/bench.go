@@ -1,0 +1,130 @@
+package parallel
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"valueprof/internal/core"
+	"valueprof/internal/workloads"
+)
+
+// BenchReport records one serial-vs-parallel timing of the full
+// workload-suite profiling pass (both inputs of every workload under
+// full-time all-instruction profiling). This is the repo's recorded
+// benchmark baseline (BENCH_parallel.json).
+type BenchReport struct {
+	NumCPU     int      `json:"numCPU"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Workers    int      `json:"workers"`
+	Jobs       int      `json:"jobs"`
+	Workloads  []string `json:"workloads"`
+	SerialMS   float64  `json:"serialMS"`
+	ParallelMS float64  `json:"parallelMS"`
+	Speedup    float64  `json:"speedup"`
+	// Identical reports whether the parallel run's profile records were
+	// byte-identical to the serial run's (they must be).
+	Identical bool `json:"identical"`
+}
+
+// WriteJSON writes the indented JSON form of the report.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// String renders the one-line summary.
+func (r *BenchReport) String() string {
+	return fmt.Sprintf("suite profiling: %d jobs, serial %.0f ms, %d-way parallel %.0f ms, speedup %.2fx (identical=%v, %d CPUs)",
+		r.Jobs, r.SerialMS, r.Workers, r.ParallelMS, r.Speedup, r.Identical, r.NumCPU)
+}
+
+// SuiteJobs returns the standard benchmark job set: every workload ×
+// both inputs under full-time all-instruction profiling.
+func SuiteJobs() []Job {
+	var jobs []Job
+	for _, w := range workloads.All() {
+		for _, in := range w.Inputs() {
+			jobs = append(jobs, Job{Workload: w, Input: in, Options: core.DefaultOptions()})
+		}
+	}
+	return jobs
+}
+
+// BenchSuite times the suite profiling pass serially and on a
+// workers-wide pool, and cross-checks that both produce byte-identical
+// per-job profile records. Programs are precompiled before either
+// timing so the (cached, one-off) MiniC compile cost does not skew the
+// comparison.
+func BenchSuite(ctx context.Context, workers int, numCPU, maxprocs int) (*BenchReport, error) {
+	jobs := SuiteJobs()
+	names := make([]string, 0, len(jobs))
+	for _, j := range jobs {
+		names = append(names, j.Name())
+		if _, err := j.Workload.Compile(); err != nil {
+			return nil, err
+		}
+	}
+
+	start := time.Now()
+	serial := Run(ctx, 1, jobs)
+	serialDur := time.Since(start)
+	if err := FirstError(serial); err != nil {
+		return nil, err
+	}
+
+	start = time.Now()
+	par := Run(ctx, workers, jobs)
+	parDur := time.Since(start)
+	if err := FirstError(par); err != nil {
+		return nil, err
+	}
+
+	identical := true
+	for i := range jobs {
+		a, err := recordBytes(serial[i])
+		if err != nil {
+			return nil, err
+		}
+		b, err := recordBytes(par[i])
+		if err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(a, b) {
+			identical = false
+		}
+	}
+	if !identical {
+		return nil, fmt.Errorf("parallel: suite records diverge from the serial run")
+	}
+
+	rep := &BenchReport{
+		NumCPU:     numCPU,
+		GOMAXPROCS: maxprocs,
+		Workers:    workers,
+		Jobs:       len(jobs),
+		Workloads:  names,
+		SerialMS:   float64(serialDur.Microseconds()) / 1e3,
+		ParallelMS: float64(parDur.Microseconds()) / 1e3,
+	}
+	if parDur > 0 {
+		rep.Speedup = float64(serialDur) / float64(parDur)
+	}
+	rep.Identical = identical
+	return rep, nil
+}
+
+// recordBytes serializes one job result's profile record, the
+// byte-identity currency of the bench cross-check.
+func recordBytes(r Result) ([]byte, error) {
+	var buf bytes.Buffer
+	rec := r.Profile.Record(r.Job.Workload.Name, r.Job.Input.Name)
+	if err := rec.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,200 @@
+package parallel
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"valueprof/internal/atom"
+	"valueprof/internal/core"
+	"valueprof/internal/vm"
+	"valueprof/internal/workloads"
+)
+
+// suiteJobs is a small deterministic job set: three workloads, both
+// inputs each.
+func suiteJobs(t *testing.T) []Job {
+	t.Helper()
+	ws := workloads.All()
+	if len(ws) < 3 {
+		t.Fatalf("suite too small: %d workloads", len(ws))
+	}
+	var jobs []Job
+	for _, w := range ws[:3] {
+		for _, in := range w.Inputs() {
+			jobs = append(jobs, Job{Workload: w, Input: in, Options: core.DefaultOptions()})
+		}
+	}
+	return jobs
+}
+
+func jobRecord(t *testing.T, r Result) []byte {
+	t.Helper()
+	if r.Err != nil {
+		t.Fatalf("job %s: %v", r.Job.Name(), r.Err)
+	}
+	b, err := recordBytes(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// The pool contract: any worker count yields byte-identical profiles
+// to the serial run, in job order. This test is also the -race proof
+// for the per-site skip counters — pooled profilers share nothing.
+func TestRunDeterministicAcrossWidths(t *testing.T) {
+	jobs := suiteJobs(t)
+	serial := Run(context.Background(), 1, jobs)
+	for _, workers := range []int{2, 4, len(jobs) + 3} {
+		par := Run(context.Background(), workers, jobs)
+		if len(par) != len(jobs) {
+			t.Fatalf("workers=%d: %d results for %d jobs", workers, len(par), len(jobs))
+		}
+		for i := range jobs {
+			if par[i].Index != i || par[i].Job.Name() != jobs[i].Name() {
+				t.Fatalf("workers=%d: result %d is job %s", workers, i, par[i].Job.Name())
+			}
+			if !bytes.Equal(jobRecord(t, serial[i]), jobRecord(t, par[i])) {
+				t.Errorf("workers=%d: job %s diverges from the serial run", workers, jobs[i].Name())
+			}
+		}
+	}
+}
+
+// Convergent sampling exercises the skip path on every worker; the
+// per-site counters must still agree with the serial run.
+func TestRunDeterministicWithSampling(t *testing.T) {
+	jobs := suiteJobs(t)
+	ccfg := core.DefaultConvergentConfig()
+	for i := range jobs {
+		jobs[i].Options.Convergent = &ccfg
+	}
+	serial := Run(context.Background(), 1, jobs)
+	par := Run(context.Background(), 4, jobs)
+	for i := range jobs {
+		if !bytes.Equal(jobRecord(t, serial[i]), jobRecord(t, par[i])) {
+			t.Errorf("job %s: sampled parallel run diverges from serial", jobs[i].Name())
+		}
+		if d := par[i].Profile.DutyCycle(); d <= 0 || d >= 1 {
+			t.Errorf("job %s: duty cycle %v not in (0,1) under sampling", jobs[i].Name(), d)
+		}
+	}
+}
+
+// A cancelled context must mark every job cancelled — in-flight runs
+// salvage a partial profile, undispatched jobs never start — and never
+// hang the pool.
+func TestRunCancellation(t *testing.T) {
+	jobs := suiteJobs(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results := Run(ctx, 2, jobs)
+	for _, r := range results {
+		if r.Err == nil {
+			t.Errorf("job %s completed under a cancelled context", r.Job.Name())
+		}
+		if r.Outcome != vm.OutcomeCancelled {
+			t.Errorf("job %s outcome %v, want cancelled", r.Job.Name(), r.Outcome)
+		}
+	}
+	if err := FirstError(results); err == nil {
+		t.Error("FirstError missed the cancellation")
+	}
+}
+
+// A job that dies early must surface its error and salvage the partial
+// profile without disturbing its neighbours.
+func TestRunCapturesPerJobErrors(t *testing.T) {
+	jobs := suiteJobs(t)
+	jobs[1].Run = atom.RunOptions{StepLimit: 500}
+	results := Run(context.Background(), 3, jobs)
+
+	r := results[1]
+	if r.Err == nil || r.Outcome != vm.OutcomeLimit {
+		t.Fatalf("limited job: outcome %v err %v, want a step-limit error", r.Outcome, r.Err)
+	}
+	if r.Profile == nil || r.Profile.Profiled() == 0 {
+		t.Error("limited job salvaged no partial profile")
+	}
+	for i, other := range results {
+		if i == 1 {
+			continue
+		}
+		if other.Err != nil {
+			t.Errorf("job %s failed alongside the limited one: %v", other.Job.Name(), other.Err)
+		}
+	}
+	err := FirstError(results)
+	if err == nil {
+		t.Fatal("FirstError missed the failure")
+	}
+	if want := "profiling " + jobs[1].Name(); !bytes.Contains([]byte(err.Error()), []byte(want)) {
+		t.Errorf("error %q does not name the failing job (%s)", err, want)
+	}
+}
+
+// Sharding one workload's inputs across jobs and folding with
+// MergeShards must preserve the exact totals.
+func TestMergeShards(t *testing.T) {
+	w := workloads.All()[0]
+	var jobs []Job
+	for _, in := range w.Inputs() {
+		jobs = append(jobs, Job{Workload: w, Input: in, Options: core.DefaultOptions()})
+	}
+	results := Run(context.Background(), 2, jobs)
+	merged, err := MergeShards(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want uint64
+	for _, r := range results {
+		want += r.Profile.Profiled()
+	}
+	if got := merged.Profiled(); got != want {
+		t.Errorf("merged profiled %d, want the shard total %d", got, want)
+	}
+	if _, err := MergeShards(nil); err == nil {
+		t.Error("merging zero shards did not fail")
+	}
+}
+
+// Map must place fn(i) at out[i] for every width.
+func TestMapOrdering(t *testing.T) {
+	for _, workers := range []int{1, 3, 50} {
+		out := Map(workers, 20, func(i int) int { return i * i })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+	if got := Map(4, 0, func(i int) int { return i }); len(got) != 0 {
+		t.Fatalf("Map over zero items returned %v", got)
+	}
+}
+
+// The benchmark harness must agree with itself: identical records,
+// positive timings, sane speedup arithmetic.
+func TestBenchSuiteSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite benchmark is slow")
+	}
+	rep, err := BenchSuite(context.Background(), 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Identical {
+		t.Error("bench reported divergent records")
+	}
+	if rep.Jobs == 0 || rep.SerialMS <= 0 || rep.ParallelMS <= 0 || rep.Speedup <= 0 {
+		t.Errorf("degenerate bench report: %+v", rep)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"speedup"`)) {
+		t.Error("report JSON lacks the speedup field")
+	}
+}

@@ -29,7 +29,9 @@
 package valueprof
 
 import (
+	"context"
 	"io"
+	"runtime"
 
 	"valueprof/internal/asm"
 	"valueprof/internal/atom"
@@ -39,6 +41,7 @@ import (
 	"valueprof/internal/isa"
 	"valueprof/internal/memprof"
 	"valueprof/internal/minic"
+	"valueprof/internal/parallel"
 	"valueprof/internal/paramprof"
 	"valueprof/internal/procprof"
 	"valueprof/internal/program"
@@ -133,6 +136,49 @@ func DefaultConvergentConfig() ConvergentConfig { return core.DefaultConvergentC
 
 // NewValueProfiler creates the profiling tool.
 func NewValueProfiler(opts Options) (*ValueProfiler, error) { return core.NewValueProfiler(opts) }
+
+// ---- parallel profiling ----
+
+// ParallelJob is one independent (workload, input, options) profiling
+// run for the worker pool.
+type ParallelJob = parallel.Job
+
+// ParallelResult is one job's outcome: profile, run result, and any
+// error, at the job's index.
+type ParallelResult = parallel.Result
+
+// ParallelBenchReport records one serial-vs-parallel timing of the
+// suite profiling pass.
+type ParallelBenchReport = parallel.BenchReport
+
+// RunParallel executes independent profiling jobs on at most workers
+// goroutines (≤ 0 selects GOMAXPROCS); results come back in job order
+// and are byte-identical to a serial run.
+func RunParallel(ctx context.Context, workers int, jobs []ParallelJob) []ParallelResult {
+	return parallel.Run(ctx, workers, jobs)
+}
+
+// FirstParallelError returns the lowest-index job error, or nil.
+func FirstParallelError(results []ParallelResult) error { return parallel.FirstError(results) }
+
+// MergeShards folds shard profiles of the same program into one via
+// Profile.Merge.
+func MergeShards(results []ParallelResult) (*Profile, error) { return parallel.MergeShards(results) }
+
+// BenchParallelSuite times the workload-suite profiling pass serially
+// and on a workers-wide pool, verifying both produce identical
+// profiles.
+func BenchParallelSuite(ctx context.Context, workers int) (*ParallelBenchReport, error) {
+	return parallel.BenchSuite(ctx, workers, runtime.NumCPU(), runtime.GOMAXPROCS(0))
+}
+
+// ProfileRecord is the serialized (JSON) form of a profiling run.
+type ProfileRecord = core.ProfileRecord
+
+// MergeRecords combines two saved profile records of the same program.
+func MergeRecords(a, b *ProfileRecord) (*ProfileRecord, error) {
+	return core.MergeRecords(a, b)
+}
 
 // ---- profiled-entity extensions ----
 
