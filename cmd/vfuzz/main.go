@@ -1,0 +1,165 @@
+// vfuzz differentially tests the optimized value profiler against the
+// naive reference oracle (internal/difftest) over seeded, generated
+// VRISC programs (internal/progen). Every seed is one program checked
+// against every metamorphic property: exact full-time agreement,
+// TNV-replacement replay, checkpoint/resume, sharded merge, pruning,
+// the static-constness oracle, and convergent-sampling accuracy.
+//
+//	vfuzz -seeds 500            # the CI acceptance run
+//	vfuzz -seed 1234 -v         # investigate one seed
+//	vfuzz -emit 8               # (re)generate the seed corpus entries
+//
+// On a divergence, vfuzz shrinks the generating spec to a 1-minimal
+// repro and writes it to the regression corpus
+// (internal/difftest/testdata/corpus), which go test replays forever
+// after. Exit status: 0 clean, 1 divergences found, 2 usage.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"valueprof/internal/difftest"
+	"valueprof/internal/progen"
+)
+
+func main() {
+	seeds := flag.Int("seeds", 200, "number of consecutive seeds to check")
+	start := flag.Uint64("start", 1, "first seed")
+	one := flag.Uint64("seed", 0, "check exactly this one seed (overrides -seeds/-start)")
+	corpus := flag.String("corpus", "internal/difftest/testdata/corpus",
+		"directory for divergence repros and -emit entries")
+	emit := flag.Int("emit", 0, "write the first N seeds as corpus coverage entries and exit")
+	noShrink := flag.Bool("no-shrink", false, "write divergent specs unshrunk")
+	verbose := flag.Bool("v", false, "per-seed progress")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: vfuzz [-seeds N] [-start S] [-seed S] [-corpus dir] [-emit N] [-no-shrink] [-v]")
+		os.Exit(2)
+	}
+
+	if *emit > 0 {
+		emitCorpus(*corpus, *start, *emit)
+		return
+	}
+
+	first, count := *start, *seeds
+	if *one != 0 {
+		first, count = *one, 1
+	}
+
+	var (
+		divergent int
+		sites     int
+		execs     uint64
+		began     = time.Now()
+	)
+	for i := 0; i < count; i++ {
+		seed := first + uint64(i)
+		rep := checkSeed(seed, difftest.Options{})
+		if rep == nil {
+			continue // generator failure already reported
+		}
+		sites += rep.Sites
+		execs += rep.Execs
+		if rep.Failed() {
+			divergent++
+			fmt.Printf("seed %d: %d divergence(s)\n", seed, len(rep.Divergences))
+			for _, d := range rep.Divergences {
+				fmt.Printf("  %s\n", d)
+			}
+			saveRepro(*corpus, seed, *noShrink)
+		} else if *verbose {
+			fmt.Printf("seed %d: ok (%d sites, %d observations)\n", seed, rep.Sites, rep.Execs)
+		} else if (i+1)%100 == 0 {
+			fmt.Printf("%d/%d seeds checked, %d divergent\n", i+1, count, divergent)
+		}
+	}
+	fmt.Printf("checked %d seeds in %.1fs: %d sites, %d observations, %d divergent\n",
+		count, time.Since(began).Seconds(), sites, execs, divergent)
+	if divergent > 0 {
+		os.Exit(1)
+	}
+}
+
+// checkSeed generates, builds, and harness-checks one seed.
+func checkSeed(seed uint64, opts difftest.Options) *difftest.Report {
+	spec := progen.Generate(progen.Config{Seed: seed})
+	return checkSpec(&spec, opts)
+}
+
+func checkSpec(spec *progen.Spec, opts difftest.Options) *difftest.Report {
+	prog, err := progen.Build(spec)
+	if err != nil {
+		// A spec that stops building is a generator bug, which the
+		// harness cannot classify; surface it loudly.
+		fmt.Fprintf(os.Stderr, "vfuzz: %v\n", err)
+		os.Exit(1)
+		return nil
+	}
+	return difftest.Check(prog, fmt.Sprintf("seed%d", spec.Seed),
+		progen.InputFor(spec, 0), progen.InputFor(spec, 1), opts)
+}
+
+// saveRepro shrinks the divergent seed to a 1-minimal spec and writes
+// it to the corpus for go test to replay.
+func saveRepro(dir string, seed uint64, noShrink bool) {
+	spec := progen.Generate(progen.Config{Seed: seed})
+	if !noShrink {
+		before := spec.NumStmts()
+		spec = progen.Shrink(spec, func(s *progen.Spec) bool {
+			return checkSpec(s, difftest.Options{}).Failed()
+		}, 0)
+		fmt.Printf("  shrunk %d -> %d statements\n", before, spec.NumStmts())
+	}
+	entry := &difftest.CorpusEntry{
+		Name:   fmt.Sprintf("repro-seed%d", seed),
+		Note:   describeDivergence(&spec),
+		Spec:   spec,
+		Input:  progen.InputFor(&spec, 0),
+		Input2: progen.InputFor(&spec, 1),
+	}
+	path, err := difftest.WriteCorpusEntry(dir, entry)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vfuzz: writing repro: %v\n", err)
+		return
+	}
+	fmt.Printf("  repro written to %s\n", path)
+}
+
+func describeDivergence(spec *progen.Spec) string {
+	rep := checkSpec(spec, difftest.Options{})
+	if !rep.Failed() {
+		return "divergence (flaky: did not reproduce on re-run)"
+	}
+	return rep.Divergences[0].String()
+}
+
+// emitCorpus writes clean coverage entries so the checked-in corpus
+// exercises the replay path even while no divergence has ever been
+// found.
+func emitCorpus(dir string, start uint64, n int) {
+	for i := 0; i < n; i++ {
+		seed := start + uint64(i)
+		spec := progen.Generate(progen.Config{Seed: seed})
+		if _, err := progen.Build(&spec); err != nil {
+			fmt.Fprintf(os.Stderr, "vfuzz: %v\n", err)
+			os.Exit(1)
+		}
+		entry := &difftest.CorpusEntry{
+			Name:   fmt.Sprintf("seed%d", seed),
+			Note:   "seed corpus coverage entry (no divergence); regenerate with vfuzz -emit",
+			Spec:   spec,
+			Input:  progen.InputFor(&spec, 0),
+			Input2: progen.InputFor(&spec, 1),
+		}
+		path, err := difftest.WriteCorpusEntry(dir, entry)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vfuzz: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+}

@@ -28,7 +28,12 @@ func DefaultConvergentConfig() ConvergentConfig {
 	return ConvergentConfig{BurstLen: 1000, InitialSkip: 4000, MaxSkip: 256000, Epsilon: 0.02}
 }
 
-func (c *ConvergentConfig) validate() error {
+// Validate reports whether the configuration is usable: a positive
+// burst, a positive initial skip no larger than the cap, and a
+// convergence criterion strictly inside (0,1). Profiler Options and
+// NewConvergentFactory call this; exported so tools accepting sampler
+// parameters from flags or config files can reject them up front.
+func (c *ConvergentConfig) Validate() error {
 	if c.BurstLen == 0 {
 		return fmt.Errorf("core: convergent BurstLen must be positive")
 	}

@@ -84,7 +84,7 @@ func NewValueProfiler(opts Options) (*ValueProfiler, error) {
 		return nil, err
 	}
 	if opts.Convergent != nil {
-		if err := opts.Convergent.validate(); err != nil {
+		if err := opts.Convergent.Validate(); err != nil {
 			return nil, err
 		}
 	}

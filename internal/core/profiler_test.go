@@ -228,7 +228,7 @@ func TestConvergentReArmsOnPhaseChange(t *testing.T) {
 
 func TestConvStateMachine(t *testing.T) {
 	cfg := ConvergentConfig{BurstLen: 10, InitialSkip: 20, MaxSkip: 40, Epsilon: 0.05}
-	if err := cfg.validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		t.Fatal(err)
 	}
 	cs := newConvState(&cfg)
@@ -274,21 +274,5 @@ func TestConvStateMachine(t *testing.T) {
 	}
 }
 
-func TestConvergentConfigValidation(t *testing.T) {
-	bad := []ConvergentConfig{
-		{BurstLen: 0, InitialSkip: 1, MaxSkip: 1, Epsilon: 0.1},
-		{BurstLen: 1, InitialSkip: 0, MaxSkip: 1, Epsilon: 0.1},
-		{BurstLen: 1, InitialSkip: 10, MaxSkip: 5, Epsilon: 0.1},
-		{BurstLen: 1, InitialSkip: 1, MaxSkip: 1, Epsilon: 0},
-		{BurstLen: 1, InitialSkip: 1, MaxSkip: 1, Epsilon: 1},
-	}
-	for i, cfg := range bad {
-		if err := cfg.validate(); err == nil {
-			t.Errorf("config %d accepted: %+v", i, cfg)
-		}
-	}
-	good := DefaultConvergentConfig()
-	if err := good.validate(); err != nil {
-		t.Errorf("default config rejected: %v", err)
-	}
-}
+// ConvergentConfig.Validate error paths are covered table-driven in
+// convergent_test.go.

@@ -20,10 +20,10 @@ type SamplerFactory func() Sampler
 func (c *convState) ShouldProfile(site *SiteStats) bool { return c.shouldProfile(site) }
 
 // NewConvergentFactory returns a factory for the paper's convergent
-// sampler; it panics on an invalid config (validate first via
-// profiler Options, which reject bad configs with an error).
+// sampler; it panics on an invalid config (call Validate first, or go
+// through profiler Options, which reject bad configs with an error).
 func NewConvergentFactory(cfg ConvergentConfig) SamplerFactory {
-	if err := cfg.validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
 	return func() Sampler { return newConvState(&cfg) }

@@ -1,0 +1,85 @@
+package difftest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"valueprof/internal/atomicio"
+	"valueprof/internal/progen"
+)
+
+// CorpusEntry is one checked-in regression case: a generator spec (not
+// the emitted assembly, so it can be re-shrunk or re-emitted) plus the
+// two input vectors the harness ran. Entries land in
+// internal/difftest/testdata/corpus and are replayed by go test.
+type CorpusEntry struct {
+	Name string `json:"name"`
+	// Note records why the entry exists: the divergence it reproduced,
+	// or "seed" for coverage entries.
+	Note   string      `json:"note,omitempty"`
+	Spec   progen.Spec `json:"spec"`
+	Input  []int64     `json:"input"`
+	Input2 []int64     `json:"input2"`
+}
+
+// WriteCorpusEntry atomically writes the entry as dir/<name>.json and
+// returns the path.
+func WriteCorpusEntry(dir string, e *CorpusEntry) (string, error) {
+	if e.Name == "" {
+		return "", fmt.Errorf("difftest: corpus entry needs a name")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, e.Name+".json")
+	err := atomicio.WriteFile(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		return enc.Encode(e)
+	})
+	if err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// LoadCorpus reads every *.json entry in dir, sorted by file name. A
+// missing directory is an empty corpus, not an error.
+func LoadCorpus(dir string) ([]*CorpusEntry, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	var out []*CorpusEntry
+	for _, path := range names {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		e := &CorpusEntry{}
+		if err := json.Unmarshal(data, e); err != nil {
+			return nil, fmt.Errorf("difftest: corpus entry %s: %w", path, err)
+		}
+		if e.Name == "" {
+			e.Name = strings.TrimSuffix(filepath.Base(path), ".json")
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// ReplayEntry builds the entry's program and runs the full harness
+// over it.
+func ReplayEntry(e *CorpusEntry, opts Options) (*Report, error) {
+	prog, err := progen.Build(&e.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("difftest: corpus entry %s: %w", e.Name, err)
+	}
+	return Check(prog, e.Name, e.Input, e.Input2, opts), nil
+}

@@ -1,0 +1,78 @@
+package difftest
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"valueprof/internal/progen"
+)
+
+// TestReplayCheckedInCorpus replays every entry under testdata/corpus
+// through the full harness. Entries are either coverage seeds (emitted
+// by vfuzz -emit) or shrunk repros of past divergences; both must stay
+// clean forever.
+func TestReplayCheckedInCorpus(t *testing.T) {
+	entries, err := LoadCorpus(filepath.Join("testdata", "corpus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("checked-in corpus is empty; regenerate with: go run ./cmd/vfuzz -emit 8")
+	}
+	for _, e := range entries {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			rep, err := ReplayEntry(e, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Failed() {
+				var b strings.Builder
+				for _, d := range rep.Divergences {
+					b.WriteString("  " + d.String() + "\n")
+				}
+				t.Fatalf("corpus entry %s (%s): %d divergences:\n%s",
+					e.Name, e.Note, len(rep.Divergences), b.String())
+			}
+			if rep.Sites == 0 {
+				t.Fatalf("corpus entry %s observed no sites", e.Name)
+			}
+		})
+	}
+}
+
+// TestCorpusRoundTrip checks that writing and re-loading an entry
+// preserves the spec exactly — a corpus that mutates on round-trip
+// silently loses the bug it was checked in to reproduce.
+func TestCorpusRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	spec := progen.Generate(progen.Config{Seed: 99})
+	in := &CorpusEntry{
+		Name:   "rt",
+		Note:   "round-trip",
+		Spec:   spec,
+		Input:  progen.InputFor(&spec, 0),
+		Input2: progen.InputFor(&spec, 1),
+	}
+	if _, err := WriteCorpusEntry(dir, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("loaded %d entries, want 1", len(got))
+	}
+	if mustJSON(got[0]) != mustJSON(in) {
+		t.Fatalf("round-trip changed the entry:\n got %s\nwant %s", mustJSON(got[0]), mustJSON(in))
+	}
+	if _, err := WriteCorpusEntry(dir, &CorpusEntry{}); err == nil {
+		t.Fatal("nameless entry accepted")
+	}
+	empty, err := LoadCorpus(filepath.Join(dir, "missing"))
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("missing dir: entries %d, err %v; want empty, nil", len(empty), err)
+	}
+}

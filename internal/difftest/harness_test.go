@@ -1,0 +1,56 @@
+package difftest
+
+import (
+	"strings"
+	"testing"
+
+	"valueprof/internal/progen"
+)
+
+// TestHarnessCleanOnGeneratedPrograms is the in-tree slice of what
+// cmd/vfuzz runs at scale: every metamorphic property must hold on
+// generated programs.
+func TestHarnessCleanOnGeneratedPrograms(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 10
+	}
+	for seed := uint64(1); seed <= uint64(seeds); seed++ {
+		spec := progen.Generate(progen.Config{Seed: seed})
+		prog, err := progen.Build(&spec)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		rep := Check(prog, "gen", progen.InputFor(&spec, 0), progen.InputFor(&spec, 1), Options{})
+		if rep.Failed() {
+			var b strings.Builder
+			for _, d := range rep.Divergences {
+				b.WriteString("  " + d.String() + "\n")
+			}
+			t.Fatalf("seed %d: %d divergences:\n%s", seed, len(rep.Divergences), b.String())
+		}
+		if rep.Sites == 0 || rep.Execs == 0 {
+			t.Fatalf("seed %d: harness observed nothing (sites %d, execs %d)", seed, rep.Sites, rep.Execs)
+		}
+	}
+}
+
+// TestHarnessDetectsBrokenInput feeds the harness a program/input pair
+// that cannot terminate within the budget and checks it reports the
+// failure as a divergence rather than hanging or panicking — the
+// harness's own failure path needs to work for vfuzz to be trustable.
+func TestHarnessDetectsNonTermination(t *testing.T) {
+	spec := progen.Generate(progen.Config{Seed: 1})
+	prog, err := progen.Build(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Check(prog, "tiny-budget", progen.InputFor(&spec, 0), progen.InputFor(&spec, 1),
+		Options{StepLimit: 3})
+	if !rep.Failed() {
+		t.Fatal("3-instruction budget reported no divergence")
+	}
+	if rep.Divergences[0].Property != "terminate" {
+		t.Fatalf("want terminate divergence first, got %v", rep.Divergences[0])
+	}
+}

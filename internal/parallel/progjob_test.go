@@ -1,0 +1,127 @@
+package parallel_test
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"valueprof/internal/atom"
+	"valueprof/internal/core"
+	"valueprof/internal/parallel"
+	"valueprof/internal/progen"
+	"valueprof/internal/vm"
+)
+
+// TestRunProgsMatchesSerial shards one generated program across two
+// inputs on a pool and checks the pooled results are byte-identical
+// to serial runs of the same jobs.
+func TestRunProgsMatchesSerial(t *testing.T) {
+	spec := progen.Generate(progen.Config{Seed: 3})
+	prog, err := progen.Build(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []parallel.ProgJob{
+		{Name: "a", Prog: prog, Input: progen.InputFor(&spec, 0), Options: core.DefaultOptions()},
+		{Name: "b", Prog: prog, Input: progen.InputFor(&spec, 1), Options: core.DefaultOptions()},
+		{Name: "c", Prog: prog, Input: progen.InputFor(&spec, 2), Options: core.DefaultOptions()},
+	}
+	pooled := parallel.RunProgs(context.Background(), 3, jobs)
+	for i, job := range jobs {
+		vp, err := core.NewValueProfiler(job.Options)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, outcome, err := atom.RunControlled(context.Background(), prog,
+			atom.RunOptions{Input: job.Input}, vp)
+		if err != nil || outcome != vm.OutcomeCompleted {
+			t.Fatalf("job %d: serial run failed: %v (%v)", i, err, outcome)
+		}
+		if pooled[i].Err != nil || pooled[i].Outcome != vm.OutcomeCompleted {
+			t.Fatalf("job %d: pooled run failed: %v (%v)", i, pooled[i].Err, pooled[i].Outcome)
+		}
+		if pooled[i].Exec.Output != res.Output || pooled[i].Exec.InstCount != res.InstCount {
+			t.Fatalf("job %d: pooled execution differs from serial", i)
+		}
+		want, _ := json.Marshal(vp.Profile().Record("g", job.Name))
+		got, _ := json.Marshal(pooled[i].Profile.Record("g", job.Name))
+		if string(want) != string(got) {
+			t.Fatalf("job %d: pooled profile differs from serial:\n got %s\nwant %s", i, got, want)
+		}
+	}
+
+	merged, err := parallel.MergeProgShards(pooled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantExec uint64
+	for _, r := range pooled {
+		wantExec += r.Profile.Profiled()
+	}
+	if merged.Profiled() != wantExec {
+		t.Fatalf("merged profile lost executions: %d != %d", merged.Profiled(), wantExec)
+	}
+}
+
+// TestRunProgsErrorPaths covers the per-job failure branches: a
+// cancelled context marks every job cancelled without running it, and
+// options the profiler rejects surface as a faulted job (and poison a
+// subsequent merge) rather than a panic on the pool goroutine.
+func TestRunProgsErrorPaths(t *testing.T) {
+	spec := progen.Generate(progen.Config{Seed: 5})
+	prog, err := progen.Build(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	jobs := []parallel.ProgJob{
+		{Name: "j", Prog: prog, Input: progen.InputFor(&spec, 0), Options: core.DefaultOptions()},
+	}
+	for _, r := range parallel.RunProgs(ctx, 1, jobs) {
+		if r.Err == nil || r.Outcome != vm.OutcomeCancelled {
+			t.Fatalf("cancelled pool: got %v (%v), want cancelled", r.Err, r.Outcome)
+		}
+		if r.Profile != nil || r.Exec != nil {
+			t.Fatal("cancelled job fabricated results")
+		}
+	}
+
+	bad := jobs
+	bad[0].Options = core.Options{TNV: core.TNVConfig{Size: -1}}
+	results := parallel.RunProgs(context.Background(), 1, bad)
+	if results[0].Err == nil || results[0].Outcome != vm.OutcomeFaulted {
+		t.Fatalf("bad options: got %v (%v), want faulted", results[0].Err, results[0].Outcome)
+	}
+	if _, err := parallel.MergeProgShards(results); err == nil {
+		t.Fatal("MergeProgShards accepted a faulted shard")
+	}
+}
+
+func TestMergeProgShardsPropagatesJobError(t *testing.T) {
+	spec := progen.Generate(progen.Config{Seed: 4})
+	prog, err := progen.Build(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []parallel.ProgJob{
+		{Name: "ok", Prog: prog, Input: progen.InputFor(&spec, 0), Options: core.DefaultOptions()},
+		// A one-instruction budget cannot complete any generated
+		// program, so this shard ends with OutcomeLimit and an error.
+		{Name: "short", Prog: prog, Input: progen.InputFor(&spec, 0), Options: core.DefaultOptions(),
+			Run: atom.RunOptions{StepLimit: 1}},
+	}
+	results := parallel.RunProgs(context.Background(), 2, jobs)
+	if results[1].Err == nil || results[1].Outcome != vm.OutcomeLimit {
+		t.Fatalf("short job: want limit error, got %v (%v)", results[1].Err, results[1].Outcome)
+	}
+	if results[1].Profile == nil {
+		t.Fatal("short job: partial profile not salvaged")
+	}
+	if _, err := parallel.MergeProgShards(results); err == nil {
+		t.Fatal("MergeProgShards accepted a failed shard")
+	}
+	if _, err := parallel.MergeProgShards(nil); err == nil {
+		t.Fatal("MergeProgShards accepted zero shards")
+	}
+}

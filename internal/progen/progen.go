@@ -1,0 +1,343 @@
+// Package progen generates random VRISC programs for differential
+// testing. The generator is seeded and fully deterministic: the same
+// Config always yields the same Spec, the same Spec always emits the
+// same assembly text. Generated programs are terminating by
+// construction (bounded counted loops, calls restricted to a DAG over
+// the procedure list) and pass analysis.Verify with zero diagnostics:
+// every temporary is initialized before the loop body can read it,
+// stack adjustments are balanced, divisors are forced odd, and memory
+// accesses are masked into a private data array.
+//
+// The Spec — a small statement IR, not the emitted text — is the unit
+// the shrinker minimizes and the regression corpus serializes, so a
+// divergence repro stays editable and re-emittable.
+package progen
+
+import (
+	"fmt"
+
+	"valueprof/internal/analysis"
+	"valueprof/internal/asm"
+	"valueprof/internal/program"
+)
+
+// Statement kinds. A Spec is JSON-serialized into the regression
+// corpus, so kinds are readable strings rather than iota constants.
+const (
+	KindOp     = "op"     // Op tDst, tSrc1, tSrc2
+	KindOpImm  = "opi"    // Op tDst, tSrc1, Imm
+	KindDiv    = "div"    // Op ∈ {div, rem} with divisor forced odd
+	KindLoad   = "load"   // Op ∈ {ldq, ldl, ldbu, ldb} from the data array
+	KindStore  = "store"  // Op ∈ {stq, stl, stb} into the data array
+	KindIf     = "if"     // skip Then when tSrc1 == 0
+	KindSwitch = "switch" // indirect jmp dispatch on tSrc1's low bit
+	KindCall   = "call"   // jsr Callee
+	KindICall  = "icall"  // li t9, Callee; jsrr t9
+	KindGetInt = "getint" // tDst = next input value
+	KindPutInt = "putint" // print tSrc1 & 255 and a newline
+)
+
+// Stmt is one statement of the generator IR.
+type Stmt struct {
+	Kind   string `json:"kind"`
+	Op     string `json:"op,omitempty"`
+	Dst    int    `json:"dst,omitempty"`
+	Src1   int    `json:"src1,omitempty"`
+	Src2   int    `json:"src2,omitempty"`
+	Imm    int64  `json:"imm,omitempty"`
+	Callee string `json:"callee,omitempty"`
+	Then   []Stmt `json:"then,omitempty"`
+	Else   []Stmt `json:"else,omitempty"`
+}
+
+// ProcSpec is one procedure: a counted loop over Body.
+type ProcSpec struct {
+	Name  string `json:"name"`
+	Iters int64  `json:"iters"`
+	Body  []Stmt `json:"body"`
+}
+
+// Spec is a complete generated program.
+type Spec struct {
+	Seed  uint64     `json:"seed"`
+	Procs []ProcSpec `json:"procs"` // Procs[0] is main; calls go strictly forward
+	Data  []int64    `json:"data"`  // initial contents of the shared array
+}
+
+// NumStmts returns the total statement count, the size the shrinker
+// minimizes.
+func (s *Spec) NumStmts() int {
+	n := 0
+	for i := range s.Procs {
+		n += countStmts(s.Procs[i].Body)
+	}
+	return n
+}
+
+func countStmts(body []Stmt) int {
+	n := 0
+	for i := range body {
+		n += 1 + countStmts(body[i].Then) + countStmts(body[i].Else)
+	}
+	return n
+}
+
+// Config bounds generation. The zero value of any field selects its
+// default.
+type Config struct {
+	Seed     uint64
+	MaxProcs int   // total procedures including main (default 4)
+	MaxStmts int   // top-level statements per body (default 8)
+	MaxIters int64 // loop trip-count ceiling (default 5)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxProcs <= 0 {
+		c.MaxProcs = 4
+	}
+	if c.MaxStmts <= 0 {
+		c.MaxStmts = 8
+	}
+	if c.MaxIters <= 0 {
+		c.MaxIters = 5
+	}
+	return c
+}
+
+// dataWords is the length of the shared data array. Word indices are
+// masked with dataWords-1 and byte indices with dataWords*8-1, so it
+// must stay a power of two.
+const dataWords = 64
+
+// numTemps is the size of the temporary-register pool (t0..t7); t8 is
+// unused, t9 is reserved for indirect-call and switch targets.
+const numTemps = 8
+
+// maxCallsPerBody bounds direct+indirect call statements per procedure
+// body: calls nest along the procedure DAG inside counted loops, so
+// the executed-instruction worst case grows as (iters·calls)^depth.
+const maxCallsPerBody = 2
+
+// rng is splitmix64 — tiny, seedable, stable across Go releases
+// (math/rand's stream is not guaranteed stable, and a corpus entry
+// must mean the same program forever).
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+var rrrOps = []string{
+	"add", "sub", "mul", "and", "or", "xor", "sll", "srl", "sra",
+	"cmpeq", "cmpne", "cmplt", "cmple", "cmpgt", "cmpge",
+}
+
+var rriOps = []string{
+	"addi", "muli", "andi", "ori", "xori", "slli", "srli", "srai",
+	"cmplti", "cmpeqi",
+}
+
+var loadOps = []string{"ldq", "ldl", "ldbu", "ldb"}
+var storeOps = []string{"stq", "stl", "stb"}
+
+// Generate builds the Spec for cfg. It is a pure function of cfg.
+func Generate(cfg Config) Spec {
+	cfg = cfg.withDefaults()
+	r := &rng{s: cfg.Seed ^ 0x5eedd1f7}
+	nprocs := 1 + r.intn(cfg.MaxProcs)
+	spec := Spec{Seed: cfg.Seed}
+
+	spec.Data = make([]int64, dataWords)
+	for i := range spec.Data {
+		switch r.intn(4) {
+		case 0:
+			spec.Data[i] = 0
+		case 1:
+			spec.Data[i] = int64(r.intn(16))
+		default:
+			spec.Data[i] = int64(int32(r.next()))
+		}
+	}
+
+	names := make([]string, nprocs)
+	names[0] = "main"
+	for i := 1; i < nprocs; i++ {
+		names[i] = fmt.Sprintf("p%d", i)
+	}
+	for i := 0; i < nprocs; i++ {
+		spec.Procs = append(spec.Procs, genProc(r, cfg, names, i))
+	}
+
+	// Every procedure must end up statically reachable (no unreachable
+	// warnings): add a direct call from main to any callee the random
+	// bodies never mention.
+	called := map[string]bool{}
+	for i := range spec.Procs {
+		collectCallees(spec.Procs[i].Body, called)
+	}
+	for i := 1; i < nprocs; i++ {
+		if !called[names[i]] {
+			spec.Procs[0].Body = append(spec.Procs[0].Body,
+				Stmt{Kind: KindCall, Callee: names[i]})
+		}
+	}
+	return spec
+}
+
+func collectCallees(body []Stmt, into map[string]bool) {
+	for i := range body {
+		if body[i].Callee != "" {
+			into[body[i].Callee] = true
+		}
+		collectCallees(body[i].Then, into)
+		collectCallees(body[i].Else, into)
+	}
+}
+
+func genProc(r *rng, cfg Config, names []string, idx int) ProcSpec {
+	p := ProcSpec{
+		Name:  names[idx],
+		Iters: 1 + int64(r.intn(int(cfg.MaxIters))),
+	}
+	n := 2 + r.intn(cfg.MaxStmts)
+	calls := 0
+	for i := 0; i < n; i++ {
+		st := genStmt(r, names, idx, calls < maxCallsPerBody)
+		if st.Kind == KindCall || st.Kind == KindICall {
+			calls++
+		}
+		p.Body = append(p.Body, st)
+	}
+	return p
+}
+
+// genStmt picks a top-level statement. allowCall is false once the
+// per-body call budget is spent or the procedure is last in the DAG.
+func genStmt(r *rng, names []string, idx int, allowCall bool) Stmt {
+	allowCall = allowCall && idx < len(names)-1
+	type choice struct {
+		kind   string
+		weight int
+	}
+	choices := []choice{
+		{KindOp, 20}, {KindOpImm, 12}, {KindDiv, 6},
+		{KindLoad, 12}, {KindStore, 8},
+		{KindIf, 12}, {KindSwitch, 8},
+		{KindGetInt, 6}, {KindPutInt, 5},
+	}
+	if allowCall {
+		choices = append(choices, choice{KindCall, 8}, choice{KindICall, 5})
+	}
+	total := 0
+	for _, c := range choices {
+		total += c.weight
+	}
+	pick := r.intn(total)
+	kind := choices[0].kind
+	for _, c := range choices {
+		if pick < c.weight {
+			kind = c.kind
+			break
+		}
+		pick -= c.weight
+	}
+
+	switch kind {
+	case KindIf:
+		st := Stmt{Kind: KindIf, Src1: r.intn(numTemps)}
+		for i, n := 0, 1+r.intn(3); i < n; i++ {
+			st.Then = append(st.Then, genSimpleStmt(r))
+		}
+		return st
+	case KindSwitch:
+		st := Stmt{Kind: KindSwitch, Src1: r.intn(numTemps)}
+		for i, n := 0, 1+r.intn(2); i < n; i++ {
+			st.Then = append(st.Then, genSimpleStmt(r))
+		}
+		for i, n := 0, 1+r.intn(2); i < n; i++ {
+			st.Else = append(st.Else, genSimpleStmt(r))
+		}
+		return st
+	case KindCall, KindICall:
+		callee := names[idx+1+r.intn(len(names)-1-idx)]
+		return Stmt{Kind: kind, Callee: callee}
+	default:
+		return genSimple(r, kind)
+	}
+}
+
+// genSimpleStmt picks a straight-line statement (no control flow, no
+// calls) for use inside if/switch arms.
+func genSimpleStmt(r *rng) Stmt {
+	kinds := []string{KindOp, KindOp, KindOpImm, KindDiv, KindLoad, KindStore, KindGetInt, KindPutInt}
+	return genSimple(r, kinds[r.intn(len(kinds))])
+}
+
+func genSimple(r *rng, kind string) Stmt {
+	switch kind {
+	case KindOp:
+		return Stmt{Kind: KindOp, Op: rrrOps[r.intn(len(rrrOps))],
+			Dst: r.intn(numTemps), Src1: r.intn(numTemps), Src2: r.intn(numTemps)}
+	case KindOpImm:
+		op := rriOps[r.intn(len(rriOps))]
+		imm := int64(r.intn(256) - 128)
+		switch op {
+		case "slli", "srli", "srai":
+			imm = int64(r.intn(64))
+		}
+		return Stmt{Kind: KindOpImm, Op: op, Dst: r.intn(numTemps), Src1: r.intn(numTemps), Imm: imm}
+	case KindDiv:
+		op := "div"
+		if r.intn(2) == 1 {
+			op = "rem"
+		}
+		return Stmt{Kind: KindDiv, Op: op,
+			Dst: r.intn(numTemps), Src1: r.intn(numTemps), Src2: r.intn(numTemps)}
+	case KindLoad:
+		return Stmt{Kind: KindLoad, Op: loadOps[r.intn(len(loadOps))],
+			Dst: r.intn(numTemps), Src1: r.intn(numTemps)}
+	case KindStore:
+		return Stmt{Kind: KindStore, Op: storeOps[r.intn(len(storeOps))],
+			Src1: r.intn(numTemps), Src2: r.intn(numTemps)}
+	case KindGetInt:
+		return Stmt{Kind: KindGetInt, Dst: r.intn(numTemps)}
+	case KindPutInt:
+		return Stmt{Kind: KindPutInt, Src1: r.intn(numTemps)}
+	}
+	panic("progen: unknown simple kind " + kind)
+}
+
+// InputFor derives a deterministic input vector for a spec. variant
+// selects independent streams (the shard-merge property runs the same
+// program on two inputs). Values repeat on purpose: value profiling
+// properties need sites that are nearly — but not perfectly —
+// invariant.
+func InputFor(spec *Spec, variant uint64) []int64 {
+	r := &rng{s: spec.Seed*0x9e3779b9 + 0xfeed ^ (variant << 17)}
+	in := make([]int64, 32)
+	for i := range in {
+		in[i] = int64(r.intn(9) - 2)
+	}
+	return in
+}
+
+// Build emits, assembles, and verifies a spec. A spec whose program
+// fails to assemble or has verifier errors is a generator bug, not a
+// profiler divergence, so Build reports it as an error.
+func Build(spec *Spec) (*program.Program, error) {
+	src := Emit(spec)
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		return nil, fmt.Errorf("progen: seed %d does not assemble: %w", spec.Seed, err)
+	}
+	if diags := analysis.Verify(prog); diags.HasErrors() {
+		return nil, fmt.Errorf("progen: seed %d fails verification: %v", spec.Seed, diags.Err())
+	}
+	return prog, nil
+}

@@ -1,0 +1,122 @@
+package progen
+
+import (
+	"context"
+	"testing"
+
+	"valueprof/internal/analysis"
+	"valueprof/internal/atom"
+	"valueprof/internal/vm"
+)
+
+// testStepLimit is far above the generator's construction-time worst
+// case (~300k executed instructions), so hitting it means a
+// termination bug.
+const testStepLimit = 8 << 20
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		a := Generate(Config{Seed: seed})
+		b := Generate(Config{Seed: seed})
+		if Emit(&a) != Emit(&b) {
+			t.Fatalf("seed %d: two generations differ", seed)
+		}
+	}
+	a := Generate(Config{Seed: 1})
+	b := Generate(Config{Seed: 2})
+	if Emit(&a) == Emit(&b) {
+		t.Fatal("seeds 1 and 2 generated identical programs")
+	}
+}
+
+func TestGeneratedProgramsVerifyClean(t *testing.T) {
+	for seed := uint64(1); seed <= 200; seed++ {
+		spec := Generate(Config{Seed: seed})
+		prog, err := Build(&spec)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Build only rejects errors; the generator's contract is
+		// stronger — not a single warning either.
+		if diags := analysis.Verify(prog); len(diags) != 0 {
+			t.Fatalf("seed %d: diagnostics:\n%v\nprogram:\n%s", seed, diags, Emit(&spec))
+		}
+	}
+}
+
+func TestGeneratedProgramsTerminateDeterministically(t *testing.T) {
+	for seed := uint64(1); seed <= 60; seed++ {
+		spec := Generate(Config{Seed: seed})
+		prog, err := Build(&spec)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		input := InputFor(&spec, 0)
+		opts := atom.RunOptions{Input: input, StepLimit: testStepLimit}
+		res1, outcome, err := atom.RunControlled(context.Background(), prog, opts)
+		if outcome != vm.OutcomeCompleted {
+			t.Fatalf("seed %d: outcome %v err %v\nprogram:\n%s", seed, outcome, err, Emit(&spec))
+		}
+		res2, _, _ := atom.RunControlled(context.Background(), prog, opts)
+		if res1.Output != res2.Output || res1.ExitStatus != res2.ExitStatus ||
+			res1.InstCount != res2.InstCount || res1.Cycles != res2.Cycles {
+			t.Fatalf("seed %d: two runs of the same program differ", seed)
+		}
+	}
+}
+
+func TestInputForVariantsDiffer(t *testing.T) {
+	spec := Generate(Config{Seed: 7})
+	a, b := InputFor(&spec, 0), InputFor(&spec, 1)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("input variants 0 and 1 are identical")
+	}
+}
+
+func TestShrinkMinimizesWhilePreservingPredicate(t *testing.T) {
+	spec := Generate(Config{Seed: 11})
+	hasDiv := func(s *Spec) bool {
+		n := 0
+		var walk func([]Stmt)
+		walk = func(body []Stmt) {
+			for i := range body {
+				if body[i].Kind == KindDiv {
+					n++
+				}
+				walk(body[i].Then)
+				walk(body[i].Else)
+			}
+		}
+		for i := range s.Procs {
+			walk(s.Procs[i].Body)
+		}
+		return n > 0
+	}
+	if !hasDiv(&spec) {
+		// Make the predicate satisfiable regardless of what seed 11
+		// happened to generate.
+		spec.Procs[0].Body = append(spec.Procs[0].Body,
+			Stmt{Kind: KindDiv, Op: "div", Dst: 0, Src1: 1, Src2: 2})
+	}
+	before := spec.NumStmts()
+	shrunk := Shrink(spec, hasDiv, 0)
+	if !hasDiv(&shrunk) {
+		t.Fatal("shrinking lost the predicate")
+	}
+	if shrunk.NumStmts() > before {
+		t.Fatalf("shrinking grew the spec: %d -> %d", before, shrunk.NumStmts())
+	}
+	if shrunk.NumStmts() > 3 {
+		t.Fatalf("shrink left %d statements for a single-div predicate", shrunk.NumStmts())
+	}
+	if _, err := Build(&shrunk); err != nil {
+		t.Fatalf("shrunk spec no longer builds: %v", err)
+	}
+}

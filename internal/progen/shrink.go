@@ -1,0 +1,136 @@
+package progen
+
+// Shrink greedily minimizes a spec while keep still accepts it. keep
+// is typically "the program still diverges from the reference
+// profiler"; candidates that no longer build are discarded before keep
+// ever sees them, so the predicate only judges real programs. The
+// result is 1-minimal with respect to the reduction steps: removing
+// any single procedure, statement, or loop iteration would lose the
+// divergence.
+//
+// maxTries bounds the total number of candidate evaluations (each one
+// re-runs keep, which re-runs the harness); ≤ 0 selects a default.
+func Shrink(spec Spec, keep func(*Spec) bool, maxTries int) Spec {
+	if maxTries <= 0 {
+		maxTries = 400
+	}
+	tries := 0
+	accept := func(c Spec) bool {
+		if tries >= maxTries {
+			return false
+		}
+		tries++
+		if _, err := Build(&c); err != nil {
+			return false
+		}
+		return keep(&c)
+	}
+	for {
+		improved := false
+		for _, c := range candidates(&spec) {
+			if tries >= maxTries {
+				return spec
+			}
+			if accept(c) {
+				spec = c
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			return spec
+		}
+	}
+}
+
+// candidates enumerates one-step reductions of spec, larger cuts
+// first so the greedy loop converges quickly.
+func candidates(spec *Spec) []Spec {
+	var out []Spec
+
+	// Drop a whole procedure (and every call to it).
+	for j := len(spec.Procs) - 1; j >= 1; j-- {
+		c := cloneSpec(spec)
+		name := c.Procs[j].Name
+		c.Procs = append(c.Procs[:j], c.Procs[j+1:]...)
+		for i := range c.Procs {
+			c.Procs[i].Body = removeCalls(c.Procs[i].Body, name)
+		}
+		out = append(out, c)
+	}
+
+	// Drop one statement, outer statements before inner ones.
+	for pi := range spec.Procs {
+		for si := range spec.Procs[pi].Body {
+			c := cloneSpec(spec)
+			b := c.Procs[pi].Body
+			c.Procs[pi].Body = append(b[:si], b[si+1:]...)
+			out = append(out, c)
+		}
+	}
+	for pi := range spec.Procs {
+		for si := range spec.Procs[pi].Body {
+			st := &spec.Procs[pi].Body[si]
+			for ti := range st.Then {
+				c := cloneSpec(spec)
+				tb := c.Procs[pi].Body[si].Then
+				c.Procs[pi].Body[si].Then = append(tb[:ti], tb[ti+1:]...)
+				out = append(out, c)
+			}
+			for ei := range st.Else {
+				c := cloneSpec(spec)
+				eb := c.Procs[pi].Body[si].Else
+				c.Procs[pi].Body[si].Else = append(eb[:ei], eb[ei+1:]...)
+				out = append(out, c)
+			}
+		}
+	}
+
+	// Collapse loops to a single iteration.
+	for pi := range spec.Procs {
+		if spec.Procs[pi].Iters > 1 {
+			c := cloneSpec(spec)
+			c.Procs[pi].Iters = 1
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func removeCalls(body []Stmt, callee string) []Stmt {
+	out := body[:0]
+	for i := range body {
+		st := body[i]
+		if (st.Kind == KindCall || st.Kind == KindICall) && st.Callee == callee {
+			continue
+		}
+		st.Then = removeCalls(st.Then, callee)
+		st.Else = removeCalls(st.Else, callee)
+		out = append(out, st)
+	}
+	return out
+}
+
+func cloneSpec(s *Spec) Spec {
+	c := *s
+	c.Data = append([]int64(nil), s.Data...)
+	c.Procs = make([]ProcSpec, len(s.Procs))
+	for i := range s.Procs {
+		c.Procs[i] = s.Procs[i]
+		c.Procs[i].Body = cloneBody(s.Procs[i].Body)
+	}
+	return c
+}
+
+func cloneBody(body []Stmt) []Stmt {
+	if body == nil {
+		return nil
+	}
+	out := make([]Stmt, len(body))
+	for i := range body {
+		out[i] = body[i]
+		out[i].Then = cloneBody(body[i].Then)
+		out[i].Else = cloneBody(body[i].Else)
+	}
+	return out
+}

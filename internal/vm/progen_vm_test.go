@@ -1,0 +1,106 @@
+package vm_test
+
+import (
+	"context"
+	"testing"
+
+	"valueprof/internal/progen"
+	"valueprof/internal/program"
+	"valueprof/internal/vm"
+)
+
+// buildGenerated returns a generated program plus its primary input;
+// progen output is Verify-clean and terminating by construction, which
+// makes it a convenient source of diverse control flow (loops, calls,
+// indirect jumps) for VM-level properties.
+func buildGenerated(t *testing.T, seed uint64) (*program.Program, []int64) {
+	t.Helper()
+	spec := progen.Generate(progen.Config{Seed: seed})
+	prog, err := progen.Build(&spec)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	return prog, progen.InputFor(&spec, 0)
+}
+
+// TestGeneratedExecuteDeterministic runs each generated program twice
+// through the plain interpreter and once through the controlled loop:
+// all three executions must agree on every observable of the run.
+func TestGeneratedExecuteDeterministic(t *testing.T) {
+	seeds := 25
+	if testing.Short() {
+		seeds = 5
+	}
+	for seed := uint64(1); seed <= uint64(seeds); seed++ {
+		prog, input := buildGenerated(t, seed)
+
+		a, err := vm.Execute(prog, input)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b, err := vm.Execute(prog, input)
+		if err != nil {
+			t.Fatalf("seed %d rerun: %v", seed, err)
+		}
+		if *a != *b {
+			t.Fatalf("seed %d: two Execute runs differ:\n%+v\n%+v", seed, a, b)
+		}
+
+		v := vm.New(prog)
+		v.Input = input
+		outcome, err := v.RunControlled(context.Background())
+		if outcome != vm.OutcomeCompleted {
+			t.Fatalf("seed %d: controlled run: %v (%v)", seed, outcome, err)
+		}
+		if c := vm.ResultOf(v, outcome); *c != *a {
+			t.Fatalf("seed %d: RunControlled differs from Run:\n%+v\n%+v", seed, c, a)
+		}
+	}
+}
+
+// TestGeneratedSnapshotResume interrupts each generated program at
+// half its instruction count, snapshots, restores into a fresh VM, and
+// requires the stitched run to be observably identical to the
+// uninterrupted one — the VM-level half of the profiler's
+// checkpoint/resume guarantee.
+func TestGeneratedSnapshotResume(t *testing.T) {
+	seeds := 15
+	if testing.Short() {
+		seeds = 3
+	}
+	for seed := uint64(1); seed <= uint64(seeds); seed++ {
+		prog, input := buildGenerated(t, seed)
+		full, err := vm.Execute(prog, input)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		half := full.InstCount / 2
+		if half == 0 {
+			continue
+		}
+
+		v1 := vm.New(prog)
+		v1.Input = input
+		v1.StepLimit = half
+		if outcome, _ := v1.RunControlled(context.Background()); outcome != vm.OutcomeLimit {
+			t.Fatalf("seed %d: want limit at step %d, got %v", seed, half, outcome)
+		}
+		if v1.InstCount != half {
+			t.Fatalf("seed %d: stopped at %d, want exactly %d", seed, v1.InstCount, half)
+		}
+		snap := v1.Snapshot()
+
+		v2 := vm.New(prog)
+		v2.Input = input
+		if err := v2.Restore(snap); err != nil {
+			t.Fatalf("seed %d: restore: %v", seed, err)
+		}
+		outcome, err := v2.RunControlled(context.Background())
+		if outcome != vm.OutcomeCompleted {
+			t.Fatalf("seed %d: resumed run: %v (%v)", seed, outcome, err)
+		}
+		if got := vm.ResultOf(v2, outcome); *got != *full {
+			t.Fatalf("seed %d: resumed run differs from uninterrupted:\n%+v\n%+v", seed, got, full)
+		}
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"valueprof/internal/atom"
 	"valueprof/internal/core"
 	"valueprof/internal/depprof"
+	"valueprof/internal/difftest"
 	"valueprof/internal/experiments"
 	"valueprof/internal/isa"
 	"valueprof/internal/memprof"
@@ -44,6 +45,7 @@ import (
 	"valueprof/internal/parallel"
 	"valueprof/internal/paramprof"
 	"valueprof/internal/procprof"
+	"valueprof/internal/progen"
 	"valueprof/internal/program"
 	"valueprof/internal/regprof"
 	"valueprof/internal/specialize"
@@ -266,6 +268,40 @@ type Predictor = vpred.Predictor
 
 // PredictorSuite returns the standard five-predictor comparison set.
 func PredictorSuite(logSize int) []Predictor { return vpred.StandardSuite(logSize) }
+
+// ---- differential testing ----
+
+// GenConfig seeds the deterministic VRISC program generator.
+type GenConfig = progen.Config
+
+// GenSpec is a generated program's abstract form: shrinkable, and
+// buildable into a verified Program.
+type GenSpec = progen.Spec
+
+// Generate builds a random but always-verifiable program spec from a
+// seed; the same seed yields the same spec on every Go release.
+func Generate(cfg GenConfig) GenSpec { return progen.Generate(cfg) }
+
+// BuildSpec assembles a generated spec into an executable Program.
+func BuildSpec(spec *GenSpec) (*Program, error) { return progen.Build(spec) }
+
+// InputForSpec derives a deterministic input vector for a generated
+// spec (variant selects among distinct inputs).
+func InputForSpec(spec *GenSpec, variant uint64) []int64 { return progen.InputFor(spec, variant) }
+
+// DiffOptions configures the metamorphic differential-testing harness.
+type DiffOptions = difftest.Options
+
+// DiffReport is one program's harness verdict; Failed reports whether
+// any property diverged from the naive reference oracle.
+type DiffReport = difftest.Report
+
+// DiffCheck runs every metamorphic property of the optimized profiler
+// against the naive reference oracle on one program (see
+// docs/difftest.md).
+func DiffCheck(p *Program, name string, input, input2 []int64, opts DiffOptions) *DiffReport {
+	return difftest.Check(p, name, input, input2, opts)
+}
 
 // ---- workloads and experiments ----
 
