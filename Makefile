@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build test test-short cover cover-gate bench bench-smoke bench-parallel exp exp-quick fmt vet lint clean ci fuzz-smoke difftest
+.PHONY: all build test test-short cover cover-gate bench bench-smoke bench-parallel exp exp-quick fmt vet lint clean ci fuzz-smoke difftest chaos-smoke
 
 # Coverage floors for the packages the correctness argument rests on.
 # Raise them when coverage genuinely improves; lowering one is a
@@ -12,14 +12,16 @@ all: build vet lint test
 
 # What CI runs: static checks, full build, race-enabled tests, the
 # coverage gate, a short fuzz pass over the parsers that face
-# untrusted input, the 500-seed differential-testing sweep, and a
-# one-iteration benchmark smoke (every exhibit still regenerates, and
-# the serial-vs-parallel suite comparison still cross-checks).
+# untrusted input, the 500-seed differential-testing sweep, the
+# pool-level chaos sweep, and a one-iteration benchmark smoke (every
+# exhibit still regenerates, and the serial-vs-parallel suite
+# comparison still cross-checks).
 ci: vet lint build
 	go test -race ./...
 	$(MAKE) cover-gate
 	$(MAKE) fuzz-smoke
 	$(MAKE) difftest
+	$(MAKE) chaos-smoke
 	$(MAKE) bench-smoke
 	$(MAKE) bench-parallel
 
@@ -49,6 +51,15 @@ fuzz-smoke:
 # internal/difftest/testdata/corpus.
 difftest:
 	go run ./cmd/vfuzz -seeds 500
+
+# The pool-level chaos sweep: 200 seeds of supervised jobs under
+# injected kills, stalls, and checkpoint corruption, run with the race
+# detector on. Asserts zero hangs (each seed is wall-clock-capped by
+# the vfuzz watchdog — generous because the race detector slows the
+# guest severalfold), zero corrupt merged profiles, and byte-identical
+# retried successes (see docs/robustness.md).
+chaos-smoke:
+	go run -race ./cmd/vfuzz -chaos -seeds 200 -timecap 60s
 
 # Fail if statement coverage of the correctness-critical packages
 # falls below the recorded floor.

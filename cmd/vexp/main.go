@@ -8,6 +8,7 @@
 //	vexp -quick e4  # reduced sweeps
 //	vexp -w compress,dictv e2
 //	vexp -jobs 4 e2 e3             # profile workloads on 4 workers
+//	vexp -retries 2 -job-deadline 2m -salvage-partial
 //	vexp -bench-parallel BENCH_parallel.json
 //
 // -jobs sets the worker-pool width used both across experiments and
@@ -16,6 +17,14 @@
 // the suite profiling pass serially and in parallel, cross-checks that
 // both produce identical profiles, and writes the timing report as
 // JSON (the repo's recorded benchmark baseline).
+//
+// Robustness: -retries re-runs a failed experiment up to N extra
+// times (with deterministic backoff), -job-deadline bounds each
+// attempt's wall clock, and -salvage-partial reports the experiments
+// that still failed at the end — keeping every successful table —
+// instead of aborting on the first error. Exit codes: 0 clean, 1 any
+// experiment failed or any shape check failed, 3 partial results
+// under -salvage-partial.
 package main
 
 import (
@@ -31,6 +40,7 @@ import (
 	"valueprof/internal/atomicio"
 	"valueprof/internal/experiments"
 	"valueprof/internal/parallel"
+	"valueprof/internal/supervise"
 )
 
 func main() {
@@ -38,6 +48,10 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced parameter sweeps")
 	wls := flag.String("w", "", "comma-separated workload subset")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "worker-pool width for profiling runs (1 = serial)")
+	retries := flag.Int("retries", 0, "re-run a failed experiment up to N extra attempts")
+	jobDeadline := flag.Duration("job-deadline", 0, "wall-clock budget per experiment attempt (0 = none)")
+	salvage := flag.Bool("salvage-partial", false,
+		"keep going past failed experiments and report them at the end (exit 3) instead of aborting on the first")
 	benchOut := flag.String("bench-parallel", "",
 		"time the suite profiling pass serial vs parallel, write the JSON report here, and exit")
 	flag.Parse()
@@ -72,25 +86,51 @@ func main() {
 		}
 	}
 
-	// Experiments themselves run on the pool too; each captures its
-	// result (or error), and everything is printed afterwards in id
-	// order so the report reads identically at any -jobs width.
-	type outcome struct {
-		res     *experiments.Result
-		err     error
-		elapsed time.Duration
+	// Experiments themselves run on the pool too, each wrapped in the
+	// retry supervisor; every slot captures its result (or error) and
+	// everything is printed afterwards in id order so the report reads
+	// identically at any -jobs width.
+	policy := supervise.Policy{
+		MaxAttempts:     *retries + 1,
+		AttemptDeadline: *jobDeadline,
+		BackoffBase:     100 * time.Millisecond,
 	}
+	type outcome struct {
+		res      *experiments.Result
+		err      error
+		attempts int
+		elapsed  time.Duration
+	}
+	ctx := context.Background()
 	outcomes := parallel.Map(*jobs, len(toRun), func(i int) outcome {
 		start := time.Now()
-		res, err := toRun[i].Run(cfg)
-		return outcome{res: res, err: err, elapsed: time.Since(start)}
+		var res *experiments.Result
+		d := supervise.Do(ctx, policy, func(ctx context.Context, attempt int) error {
+			var err error
+			res, err = toRun[i].Run(cfg)
+			if err != nil {
+				res = nil
+				return err
+			}
+			return ctx.Err() // a blown attempt deadline fails the attempt
+		})
+		return outcome{res: res, err: d.Err, attempts: d.Attempts, elapsed: time.Since(start)}
 	})
 
-	failed := 0
+	failed, broken := 0, 0
 	for i, e := range toRun {
 		o := outcomes[i]
 		if o.err != nil {
-			fatal(fmt.Errorf("%s: %w", e.ID, o.err))
+			err := fmt.Errorf("%s (after %d attempts): %w", e.ID, o.attempts, o.err)
+			if !*salvage {
+				fatal(err)
+			}
+			broken++
+			fmt.Fprintf(os.Stderr, "vexp: %v\n", err)
+			continue
+		}
+		if o.attempts > 1 {
+			fmt.Fprintf(os.Stderr, "vexp: %s recovered after %d attempts\n", e.ID, o.attempts)
 		}
 		fmt.Printf("%s\n(%s in %v)\n\n", o.res.Summary(), e.ID, o.elapsed.Round(time.Millisecond))
 		failed += len(o.res.Failed())
@@ -98,6 +138,10 @@ func main() {
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "vexp: %d shape checks FAILED\n", failed)
 		os.Exit(1)
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "vexp: %d of %d experiments failed; partial results above\n", broken, len(toRun))
+		os.Exit(3)
 	}
 }
 

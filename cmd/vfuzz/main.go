@@ -8,6 +8,13 @@
 //	vfuzz -seeds 500            # the CI acceptance run
 //	vfuzz -seed 1234 -v         # investigate one seed
 //	vfuzz -emit 8               # (re)generate the seed corpus entries
+//	vfuzz -chaos -seeds 200     # pool-level chaos sweep (supervised runtime)
+//
+// With -chaos each seed instead fans its program out as supervised
+// pool jobs under injected faults, stalls, and checkpoint corruption
+// (internal/difftest.ChaosCheck), asserting no lost jobs, byte-exact
+// retried profiles, and strictly-loadable merged records; -timecap
+// bounds each seed's wall clock so a hang fails fast.
 //
 // On a divergence, vfuzz shrinks the generating spec to a 1-minimal
 // repro and writes it to the regression corpus
@@ -34,9 +41,11 @@ func main() {
 	emit := flag.Int("emit", 0, "write the first N seeds as corpus coverage entries and exit")
 	noShrink := flag.Bool("no-shrink", false, "write divergent specs unshrunk")
 	verbose := flag.Bool("v", false, "per-seed progress")
+	chaos := flag.Bool("chaos", false, "run the pool-level chaos sweep instead of the differential harness")
+	timecap := flag.Duration("timecap", 10*time.Second, "per-seed wall-clock cap in -chaos mode (a hang fails fast)")
 	flag.Parse()
 	if flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: vfuzz [-seeds N] [-start S] [-seed S] [-corpus dir] [-emit N] [-no-shrink] [-v]")
+		fmt.Fprintln(os.Stderr, "usage: vfuzz [-seeds N] [-start S] [-seed S] [-corpus dir] [-emit N] [-no-shrink] [-chaos] [-timecap D] [-v]")
 		os.Exit(2)
 	}
 
@@ -48,6 +57,11 @@ func main() {
 	first, count := *start, *seeds
 	if *one != 0 {
 		first, count = *one, 1
+	}
+
+	if *chaos {
+		runChaos(first, count, *timecap, *verbose)
+		return
 	}
 
 	var (
@@ -79,6 +93,58 @@ func main() {
 	}
 	fmt.Printf("checked %d seeds in %.1fs: %d sites, %d observations, %d divergent\n",
 		count, time.Since(began).Seconds(), sites, execs, divergent)
+	if divergent > 0 {
+		os.Exit(1)
+	}
+}
+
+// runChaos sweeps the supervised pool's chaos harness over count
+// seeds. Each seed runs under a wall-clock watchdog: the zero-hang
+// guarantee is an acceptance criterion, so a seed that exceeds the
+// timecap aborts the sweep immediately instead of timing out CI.
+func runChaos(first uint64, count int, timecap time.Duration, verbose bool) {
+	var (
+		divergent int
+		retried   int
+		resumed   int
+		injected  int
+		stalled   int
+		corrupted int
+		salvaged  int
+		began     = time.Now()
+	)
+	for i := 0; i < count; i++ {
+		seed := first + uint64(i)
+		done := make(chan *difftest.ChaosReport, 1)
+		go func() { done <- difftest.ChaosCheck(seed, difftest.ChaosOptions{}) }()
+		var rep *difftest.ChaosReport
+		select {
+		case rep = <-done:
+		case <-time.After(timecap):
+			fmt.Printf("seed %d: HANG — no result within %v\n", seed, timecap)
+			os.Exit(1)
+		}
+		retried += rep.Retried
+		resumed += rep.Resumed
+		injected += rep.Injected
+		stalled += rep.Stalled
+		corrupted += rep.Corrupted
+		salvaged += rep.Salvaged
+		if rep.Failed() {
+			divergent++
+			fmt.Printf("seed %d: %d divergence(s)\n", seed, len(rep.Divergences))
+			for _, d := range rep.Divergences {
+				fmt.Printf("  %s\n", d)
+			}
+		} else if verbose {
+			fmt.Printf("seed %d: ok (%d completed, %d salvaged, %d retried, %d resumed)\n",
+				seed, rep.Completed, rep.Salvaged, rep.Retried, rep.Resumed)
+		} else if (i+1)%100 == 0 {
+			fmt.Printf("%d/%d seeds, %d divergent\n", i+1, count, divergent)
+		}
+	}
+	fmt.Printf("chaos: %d seeds in %.1fs: %d kills, %d stalls, %d corrupted checkpoints -> %d retried, %d resumed, %d salvaged, %d divergent\n",
+		count, time.Since(began).Seconds(), injected, stalled, corrupted, retried, resumed, salvaged, divergent)
 	if divergent > 0 {
 		os.Exit(1)
 	}

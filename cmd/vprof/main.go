@@ -6,6 +6,7 @@
 //	vprof [-w compress] [-input test|train] [-mode MODE] [-top 20]
 //	      [-convergent] [-full] [-o profile.json] [-list]
 //	      [-deadline 30s] [-steps N] [-jobs N]
+//	      [-retries N] [-job-deadline 10s] [-salvage-partial]
 //	      [-checkpoint run.ckpt] [-checkpoint-every N] [-resume run.ckpt]
 //	vprof -merge -o merged.json a.vp b.vp ...
 //
@@ -24,19 +25,30 @@
 // later comparison with vdiff.
 //
 // Robustness: a run that ends early — guest fault, -deadline expiry,
-// -steps exhaustion, or Ctrl-C — still reports and writes the partial
-// profile (the JSON record carries an "outcome" field). With
+// -steps exhaustion, SIGINT, or SIGTERM — still reports and writes the
+// partial profile (the JSON record carries an "outcome" field). With
 // -checkpoint the profiler state is snapshotted every -checkpoint-every
 // instructions (atomic rename, crash-safe) and a -resume run continues
-// from the snapshot. Exit codes: 0 completed, 1 fault, 124 deadline,
-// 125 step limit, 130 interrupted.
+// from the snapshot; with -salvage-partial a damaged checkpoint is
+// repaired (dropping invalid sites) or, failing that, the run restarts
+// fresh instead of aborting.
+//
+// Exit codes: 0 clean, 1 failed (fault, setup error, or output
+// mismatch), 3 salvaged (partial results kept by -salvage-partial),
+// 124 deadline, 125 step limit, 130 interrupted (SIGINT/SIGTERM).
 //
 // Parallel runs: -w and -input accept comma-separated lists; the
-// cross-product of (workload, input) pairs runs on a -jobs-wide worker
-// pool (inst/loads modes only), each job with its own profiler and VM,
-// and the reports print in job order. -checkpoint, -resume, and -o are
-// single-run features and are rejected with more than one job; the
-// exit code is the first failing job's, in job order.
+// cross-product of (workload, input) pairs runs supervised on a
+// -jobs-wide worker pool (inst/loads modes only), each job with its
+// own profiler and VM, and the reports print in job order. -retries
+// re-runs a failed job up to N extra attempts (resuming from its last
+// in-memory checkpoint when the profiler options allow), -job-deadline
+// bounds each attempt's wall clock, and -salvage-partial keeps the
+// best partial profile of a job that exhausts its attempts instead of
+// failing the batch. -checkpoint, -resume, and -o are single-run
+// features and are rejected with more than one job; the exit code is
+// the first failing job's, in job order, or 3 if every shortfall was
+// salvaged.
 //
 // -merge folds two or more saved profile records (same program, same
 // table width K) into one: per-site counters add, TNV tables merge by
@@ -53,6 +65,7 @@ import (
 	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 	"unsafe"
 
@@ -67,6 +80,7 @@ import (
 	"valueprof/internal/procprof"
 	"valueprof/internal/program"
 	"valueprof/internal/regprof"
+	"valueprof/internal/supervise"
 	"valueprof/internal/textual"
 	"valueprof/internal/trivprof"
 	"valueprof/internal/vm"
@@ -81,7 +95,15 @@ type runCfg struct {
 	ckptPath  string
 	ckptEvery uint64
 	resume    string
+
+	retries     int
+	jobDeadline time.Duration
+	salvage     bool
 }
+
+// exitSalvaged is the exit code for a run that fell short but kept
+// usable partial results via -salvage-partial.
+const exitSalvaged = 3
 
 func main() {
 	wl := flag.String("w", "compress", "workload name (comma-separated list for parallel runs)")
@@ -101,7 +123,23 @@ func main() {
 		"instructions between checkpoint snapshots")
 	resume := flag.String("resume", "", "resume an interrupted run from this checkpoint file (inst/loads)")
 	jobsN := flag.Int("jobs", runtime.GOMAXPROCS(0), "worker-pool width for multi-workload runs (inst/loads)")
+	retries := flag.Int("retries", 0, "re-run a failed job up to N extra attempts (multi-workload runs)")
+	jobDeadline := flag.Duration("job-deadline", 0, "wall-clock budget per job attempt (multi-workload runs; 0 = none)")
+	salvage := flag.Bool("salvage-partial", false,
+		"keep partial results instead of failing: repair or restart from a damaged -resume checkpoint; with -jobs, keep the best partial profile of a job that exhausts its retries (exit 3)")
 	merge := flag.Bool("merge", false, "merge saved profile records (args: a.vp b.vp ...; requires -o)")
+	flag.Usage = func() {
+		out := flag.CommandLine.Output()
+		fmt.Fprintf(out, "Usage of vprof:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(out, "\nExit codes:\n"+
+			"  0    clean run\n"+
+			"  1    failed: guest fault, setup error, or output mismatch\n"+
+			"  3    salvaged: partial results kept by -salvage-partial\n"+
+			"  124  wall-clock deadline expired\n"+
+			"  125  step limit exhausted\n"+
+			"  130  interrupted (SIGINT/SIGTERM); partial profile reported\n")
+	}
 	flag.Parse()
 
 	if *list {
@@ -119,18 +157,22 @@ func main() {
 	wNames := strings.Split(*wl, ",")
 	inNames := strings.Split(*inputName, ",")
 
-	// Ctrl-C cancels the run context; the run loop stops at the next
-	// quantum boundary and the partial profile is salvaged below.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGINT and SIGTERM both cancel the run context; the run loop
+	// stops at the next quantum boundary and the partial profile is
+	// salvaged below, so a supervisor's TERM is as graceful as Ctrl-C.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	rc := &runCfg{
 		ctx: ctx,
 		opts: atom.RunOptions{
 			StepLimit: *steps,
 		},
-		ckptPath:  *ckptPath,
-		ckptEvery: *ckptEvery,
-		resume:    *resume,
+		ckptPath:    *ckptPath,
+		ckptEvery:   *ckptEvery,
+		resume:      *resume,
+		retries:     *retries,
+		jobDeadline: *jobDeadline,
+		salvage:     *salvage,
 	}
 	if *deadline > 0 {
 		rc.opts.Deadline = time.Now().Add(*deadline)
@@ -246,9 +288,32 @@ func instMode(rc *runCfg, w *workloads.Workload, in workloads.Input, prog *progr
 	var ck *core.Checkpoint
 	if rc.resume != "" {
 		ck, err = core.LoadCheckpoint(rc.resume)
-		if err != nil {
+		if err != nil && rc.salvage {
+			// Damaged checkpoint under -salvage-partial: repair what the
+			// tolerant loader can vouch for, and when even that is not
+			// exactly resumable (seeding it would double-count once the
+			// run restarts from instruction zero), fall back to a fresh
+			// start rather than aborting.
+			repaired, lrep, rerr := core.LoadCheckpointPolicy(rc.resume, core.RepairDrop)
+			switch {
+			case rerr != nil:
+				fmt.Fprintf(os.Stderr, "vprof: checkpoint %s unusable (%v); starting fresh\n", rc.resume, rerr)
+				ck = nil
+			case !lrep.Resumable:
+				fmt.Fprintf(os.Stderr, "vprof: checkpoint %s damaged beyond exact resume (%s); starting fresh\n",
+					rc.resume, strings.Join(lrep.Problems, "; "))
+				ck = nil
+			default:
+				if lrep.SitesDropped > 0 {
+					fmt.Fprintf(os.Stderr, "vprof: checkpoint repaired: %d invalid sites dropped\n", lrep.SitesDropped)
+				}
+				ck = repaired
+			}
+		} else if err != nil {
 			fatal(fmt.Errorf("vprof: loading checkpoint: %w", err))
 		}
+	}
+	if ck != nil {
 		// A checkpoint restores raw VM state; resuming it under a
 		// different program or input would execute garbage.
 		if ck.Program != w.Name || ck.Input != in.Name {
@@ -342,10 +407,12 @@ func reportInst(name string, pr *core.Profile, res *vm.Result, prog *program.Pro
 	fmt.Print(tab.String())
 }
 
-// multiMode runs the (workload × input) cross-product on a jobs-wide
-// worker pool — each job with its own profiler and VM — and prints the
-// per-run reports in job order. Returns the process exit code: the
-// first failing job's, following the serial-loop convention.
+// multiMode runs the (workload × input) cross-product supervised on a
+// jobs-wide worker pool — each job with its own profiler and VM,
+// retried per -retries with checkpoint resume — and prints the per-run
+// reports in job order. Returns the process exit code: the first
+// failing job's, following the serial-loop convention, or exitSalvaged
+// when every shortfall was absorbed by -salvage-partial.
 func multiMode(rc *runCfg, wNames, inNames []string, jobsN int, loadsOnly, convergent, full, pruneStatic bool, top int) int {
 	var jobList []parallel.Job
 	for _, wn := range wNames {
@@ -381,26 +448,50 @@ func multiMode(rc *runCfg, wNames, inNames []string, jobsN int, loadsOnly, conve
 		}
 	}
 
-	results := parallel.Run(rc.ctx, jobsN, jobList)
-	code := 0
-	for _, r := range results {
-		if r.Profile == nil {
-			fmt.Fprintf(os.Stderr, "vprof: %s: %v\n", r.Job.Name(), r.Err)
-			if code == 0 {
-				code = 1
-			}
-			continue
-		}
-		warnPartial(r.Outcome, r.Err)
-		prog, err := r.Job.Workload.Compile()
+	sjobs := make([]supervise.Job, len(jobList))
+	for i := range jobList {
+		sj, err := supervise.JobOf(jobList[i])
 		if err != nil {
 			fatal(err)
 		}
-		reportInst(r.Job.Name(), r.Profile, r.Exec, prog, top)
-		fmt.Println()
-		if c := exitCode(r.Outcome); c != 0 && code == 0 {
-			code = c
+		sjobs[i] = sj
+	}
+	res := supervise.Run(rc.ctx, jobsN, sjobs, supervise.Policy{
+		MaxAttempts:     rc.retries + 1,
+		AttemptDeadline: rc.jobDeadline,
+		BackoffBase:     50 * time.Millisecond,
+		Resume:          true,
+		SalvagePartial:  rc.salvage,
+	})
+
+	code := 0
+	salvaged := false
+	for i := range res.Jobs {
+		r := &res.Jobs[i]
+		name := r.Job.Name + "/" + r.Job.InputName
+		if r.Profile == nil {
+			fmt.Fprintf(os.Stderr, "vprof: %s: %v\n", name, r.Err)
+			if code == 0 {
+				if code = exitCode(r.Outcome); code == 0 {
+					code = 1
+				}
+			}
+			continue
 		}
+		switch {
+		case r.State == supervise.StateSalvaged:
+			salvaged = true
+			fmt.Fprintf(os.Stderr, "vprof: %s: salvaged partial profile after %d attempts (%s): %v\n",
+				name, r.Attempts, r.Outcome, r.Err)
+		case r.Attempts > 1:
+			fmt.Fprintf(os.Stderr, "vprof: %s: recovered after %d attempts (%d resumed from checkpoint)\n",
+				name, r.Attempts, r.Resumed)
+		}
+		reportInst(name, r.Profile, r.Exec, sjobs[i].Prog, top)
+		fmt.Println()
+	}
+	if code == 0 && salvaged {
+		code = exitSalvaged
 	}
 	return code
 }

@@ -165,6 +165,126 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	return ReadCheckpoint(f)
 }
 
+// CheckpointLoadReport says what the tolerant checkpoint loader
+// (ReadCheckpointPolicy under RepairDrop) recovered from a damaged
+// file and how far the recovered state can be trusted.
+type CheckpointLoadReport struct {
+	// Resumable means the envelope verified end to end (magic, CRC,
+	// known version) and the VM state validated: exact resume is safe.
+	// A non-resumable checkpoint's sites are still usable for
+	// reporting and merging, but restoring its machine state — or
+	// seeding a profiler that then re-runs from scratch — would
+	// double-count, so callers must start the run over.
+	Resumable bool
+	// Damaged is set when envelope-level damage (CRC mismatch, version
+	// skew) was detected and bypassed.
+	Damaged bool
+	// SitesDropped counts per-site states discarded for violating
+	// their invariants.
+	SitesDropped int
+	// Problems holds human-readable descriptions of what was found.
+	Problems []string
+}
+
+func (r *CheckpointLoadReport) addProblem(format string, args ...any) {
+	if len(r.Problems) < maxReportedProblems {
+		r.Problems = append(r.Problems, fmt.Sprintf(format, args...))
+	}
+}
+
+// ReadCheckpointPolicy is the tolerant sibling of ReadCheckpoint.
+// Under RepairNone it behaves identically (and a successful load
+// reports Resumable). Under RepairDrop it degrades instead of
+// hard-failing where anything trustworthy remains: a CRC mismatch or
+// a version newer than this reader salvages every site that still
+// validates but clears the VM state (Resumable=false — resuming
+// unverified machine state would execute garbage), and individually
+// invalid sites are dropped and counted. Structural damage that
+// leaves nothing to trust — unreadable or truncated envelope, foreign
+// magic, undecodable payload — still returns an error; callers treat
+// that as "no checkpoint" and start fresh.
+func ReadCheckpointPolicy(r io.Reader, policy RepairPolicy) (*Checkpoint, *CheckpointLoadReport, error) {
+	if policy == RepairNone {
+		ck, err := ReadCheckpoint(r)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ck, &CheckpointLoadReport{Resumable: ck.VM != nil}, nil
+	}
+
+	rep := &CheckpointLoadReport{}
+	var env checkpointEnvelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, nil, fmt.Errorf("core: reading checkpoint: %w", err)
+	}
+	if env.Magic != checkpointMagic {
+		return nil, nil, fmt.Errorf("core: not a checkpoint file (magic %q)", env.Magic)
+	}
+	trusted := true
+	if env.Version > checkpointVersion {
+		trusted = false
+		rep.Damaged = true
+		rep.addProblem("version %d newer than supported %d: salvaging known fields, resume disabled", env.Version, checkpointVersion)
+	}
+	if got := crc32.ChecksumIEEE(env.Payload); got != env.CRC32 {
+		trusted = false
+		rep.Damaged = true
+		rep.addProblem("payload crc %08x does not match recorded %08x: salvaging validating sites, resume disabled", got, env.CRC32)
+	}
+	var ck Checkpoint
+	if err := json.Unmarshal(env.Payload, &ck); err != nil {
+		return nil, nil, fmt.Errorf("core: decoding checkpoint payload: %w", err)
+	}
+	if err := ck.TNV.validate(); err != nil {
+		// Without a trustworthy table configuration no site state is
+		// interpretable.
+		return nil, nil, fmt.Errorf("core: checkpoint TNV config unusable: %w", err)
+	}
+
+	kept := ck.Sites[:0]
+	seen := make(map[int]bool, len(ck.Sites))
+	for i := range ck.Sites {
+		s := ck.Sites[i]
+		if seen[s.PC] {
+			rep.SitesDropped++
+			rep.addProblem("dropped duplicate site pc %d", s.PC)
+			continue
+		}
+		if err := validateSiteState(&s, ck.TNV); err != nil {
+			rep.SitesDropped++
+			rep.addProblem("dropped %v", err)
+			continue
+		}
+		seen[s.PC] = true
+		kept = append(kept, s)
+	}
+	ck.Sites = kept
+
+	if ck.VM != nil {
+		if err := validateVMState(ck.VM); err != nil {
+			trusted = false
+			rep.addProblem("vm state dropped: %v", err)
+			ck.VM = nil
+		}
+	}
+	if !trusted {
+		ck.VM = nil
+	}
+	rep.Resumable = trusted && ck.VM != nil
+	return &ck, rep, nil
+}
+
+// LoadCheckpointPolicy reads the checkpoint at path under the given
+// repair policy (see ReadCheckpointPolicy).
+func LoadCheckpointPolicy(path string, policy RepairPolicy) (*Checkpoint, *CheckpointLoadReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return ReadCheckpointPolicy(f, policy)
+}
+
 // SaveAtomic atomically replaces path with this checkpoint; a crash
 // mid-write leaves the previous file untouched.
 func (ck *Checkpoint) SaveAtomic(path string) error {
@@ -180,37 +300,52 @@ func (ck *Checkpoint) validate() error {
 	seen := make(map[int]bool, len(ck.Sites))
 	for i := range ck.Sites {
 		s := &ck.Sites[i]
-		if s.PC < 0 {
-			return fmt.Errorf("site %d: negative pc %d", i, s.PC)
-		}
 		if seen[s.PC] {
 			return fmt.Errorf("duplicate site pc %d", s.PC)
 		}
+		if err := validateSiteState(s, ck.TNV); err != nil {
+			return err
+		}
 		seen[s.PC] = true
-		if s.LVPHits > s.Exec || s.Zeros > s.Exec {
-			return fmt.Errorf("site pc %d: counters exceed %d executions", s.PC, s.Exec)
-		}
-		if s.TNV.Updates != s.Exec {
-			return fmt.Errorf("site pc %d: TNV updates %d != executions %d", s.PC, s.TNV.Updates, s.Exec)
-		}
-		if len(s.TNV.Entries) > ck.TNV.Size {
-			return fmt.Errorf("site pc %d: %d TNV entries exceed table size %d", s.PC, len(s.TNV.Entries), ck.TNV.Size)
-		}
-		var sum uint64
-		for _, e := range s.TNV.Entries {
-			sum += e.Count
-		}
-		if sum > s.TNV.Updates {
-			return fmt.Errorf("site pc %d: TNV counts %d exceed updates %d", s.PC, sum, s.TNV.Updates)
-		}
 	}
 	if ck.VM != nil {
-		if ck.VM.MemLen <= 0 {
-			return fmt.Errorf("vm state: bad memory size %d", ck.VM.MemLen)
-		}
-		if ck.VM.InputPos < 0 {
-			return fmt.Errorf("vm state: negative input position")
-		}
+		return validateVMState(ck.VM)
+	}
+	return nil
+}
+
+// validateSiteState enforces one site's internal invariants (PC,
+// counter bounds, TNV consistency) against the checkpoint's table
+// configuration.
+func validateSiteState(s *SiteState, cfg TNVConfig) error {
+	if s.PC < 0 {
+		return fmt.Errorf("site pc %d: negative pc", s.PC)
+	}
+	if s.LVPHits > s.Exec || s.Zeros > s.Exec {
+		return fmt.Errorf("site pc %d: counters exceed %d executions", s.PC, s.Exec)
+	}
+	if s.TNV.Updates != s.Exec {
+		return fmt.Errorf("site pc %d: TNV updates %d != executions %d", s.PC, s.TNV.Updates, s.Exec)
+	}
+	if len(s.TNV.Entries) > cfg.Size {
+		return fmt.Errorf("site pc %d: %d TNV entries exceed table size %d", s.PC, len(s.TNV.Entries), cfg.Size)
+	}
+	var sum uint64
+	for _, e := range s.TNV.Entries {
+		sum += e.Count
+	}
+	if sum > s.TNV.Updates {
+		return fmt.Errorf("site pc %d: TNV counts %d exceed updates %d", s.PC, sum, s.TNV.Updates)
+	}
+	return nil
+}
+
+func validateVMState(v *VMState) error {
+	if v.MemLen <= 0 {
+		return fmt.Errorf("vm state: bad memory size %d", v.MemLen)
+	}
+	if v.InputPos < 0 {
+		return fmt.Errorf("vm state: negative input position")
 	}
 	return nil
 }

@@ -54,14 +54,23 @@ func (s *SiteRecord) InvTop(k int) float64 {
 // DutyCycle survives serialization. Merged, when non-empty, is the
 // provenance of a merged record: one "program/input[:outcome]" label
 // per source run folded in by MergeRecords.
+//
+// Salvaged and Attempts are supervision provenance (see
+// internal/supervise): Salvaged marks a profile a supervisor kept
+// after the job's retry/wall-clock budget ran out — trustworthy but
+// covering only the prefix the budget paid for — and Attempts counts
+// how many runs (including retries) fed the record. Consumers that
+// must not mix degraded data into exact baselines filter on Salvaged.
 type ProfileRecord struct {
-	Program string       `json:"program"`
-	Input   string       `json:"input"`
-	K       int          `json:"k"`
-	Outcome string       `json:"outcome,omitempty"`
-	Skipped uint64       `json:"skipped,omitempty"`
-	Merged  []string     `json:"merged,omitempty"`
-	Sites   []SiteRecord `json:"sites"`
+	Program  string       `json:"program"`
+	Input    string       `json:"input"`
+	K        int          `json:"k"`
+	Outcome  string       `json:"outcome,omitempty"`
+	Salvaged bool         `json:"salvaged,omitempty"`
+	Attempts int          `json:"attempts,omitempty"`
+	Skipped  uint64       `json:"skipped,omitempty"`
+	Merged   []string     `json:"merged,omitempty"`
+	Sites    []SiteRecord `json:"sites"`
 }
 
 // DutyCycle recomputes profiled / (profiled + skipped) from the record
@@ -87,6 +96,9 @@ func (r *ProfileRecord) provenance() []string {
 	lab := r.Program + "/" + r.Input
 	if r.Outcome != "" {
 		lab += ":" + r.Outcome
+	}
+	if r.Salvaged {
+		lab += ":salvaged"
 	}
 	return []string{lab}
 }
@@ -230,6 +242,10 @@ fields:
 			err = dec.Decode(&rec.Input)
 		case "outcome":
 			err = dec.Decode(&rec.Outcome)
+		case "salvaged":
+			err = dec.Decode(&rec.Salvaged)
+		case "attempts":
+			err = dec.Decode(&rec.Attempts)
 		case "skipped":
 			err = dec.Decode(&rec.Skipped)
 		case "merged":
@@ -264,6 +280,13 @@ fields:
 
 	if rec.K <= 0 || rec.K > maxTableWidth {
 		return nil, nil, fmt.Errorf("core: profile record has invalid table width %d", rec.K)
+	}
+	if rec.Attempts < 0 {
+		if policy == RepairNone {
+			return nil, nil, fmt.Errorf("core: profile record has negative attempt count %d", rec.Attempts)
+		}
+		rep.addProblem("attempt count %d clamped to 0", rec.Attempts)
+		rec.Attempts = 0
 	}
 	// Sites wider than the declared table width are a header/site
 	// mismatch; validate now that K is known.
@@ -452,6 +475,11 @@ func MergeRecords(a, b *ProfileRecord) (*ProfileRecord, error) {
 	if b.Input != a.Input {
 		out.Input = a.Input + "+" + b.Input
 	}
+	// Supervision provenance survives the merge: a merge containing any
+	// salvaged shard is itself degraded, and attempt counts add like the
+	// collection cost they measure.
+	out.Salvaged = a.Salvaged || b.Salvaged
+	out.Attempts = a.Attempts + b.Attempts
 	out.Merged = append(append([]string(nil), a.provenance()...), b.provenance()...)
 	bByPC := make(map[int]*SiteRecord, len(b.Sites))
 	for i := range b.Sites {

@@ -100,3 +100,68 @@ func TestCompareDetectsChangedValues(t *testing.T) {
 		t.Errorf("classification should be unchanged: %+v", c)
 	}
 }
+
+func TestRecordProvenanceRoundTrip(t *testing.T) {
+	rec := profileOf(t, loopSrc).Record("loop", "test")
+	rec.Outcome = "faulted"
+	rec.Salvaged = true
+	rec.Attempts = 3
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadProfileRecord(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Salvaged || back.Attempts != 3 || back.Outcome != "faulted" {
+		t.Fatalf("provenance lost: %+v", back)
+	}
+	if got := back.provenance(); len(got) != 1 || got[0] != "loop/test:faulted:salvaged" {
+		t.Fatalf("provenance label: %v", got)
+	}
+}
+
+func TestRecordRejectsNegativeAttempts(t *testing.T) {
+	rec := profileOf(t, loopSrc).Record("loop", "test")
+	rec.Attempts = -2
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadProfileRecord(bytes.NewReader(data)); err == nil {
+		t.Error("strict loader accepted negative attempt count")
+	}
+	back, rep, err := ReadProfileRecordPolicy(bytes.NewReader(data), RepairDrop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Attempts != 0 {
+		t.Errorf("repair clamped to %d, want 0", back.Attempts)
+	}
+	if len(rep.Problems) == 0 {
+		t.Error("repair report silent about the clamp")
+	}
+}
+
+func TestMergePropagatesProvenance(t *testing.T) {
+	a := profileOf(t, loopSrc).Record("loop", "a")
+	a.Salvaged = true
+	a.Attempts = 2
+	b := profileOf(t, loopSrc).Record("loop", "b")
+	b.Attempts = 1
+	m, err := MergeRecords(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Salvaged {
+		t.Error("merge of a salvaged record not marked salvaged")
+	}
+	if m.Attempts != 3 {
+		t.Errorf("attempts %d, want 3", m.Attempts)
+	}
+	if len(m.Merged) != 2 || m.Merged[0] != "loop/a:salvaged" {
+		t.Errorf("merged provenance: %v", m.Merged)
+	}
+}

@@ -1,0 +1,53 @@
+package difftest
+
+import "testing"
+
+// TestChaosSweepSmoke runs the pool-level chaos harness over a few
+// seeds (including seed%4==0 salvage seeds) as the tier-1 stand-in
+// for the full `vfuzz -chaos` CI sweep.
+func TestChaosSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep is not short")
+	}
+	var retried, resumed, salvaged, injected, corrupted int
+	for seed := uint64(1); seed <= 8; seed++ {
+		rep := ChaosCheck(seed, ChaosOptions{})
+		if rep.Failed() {
+			for _, d := range rep.Divergences {
+				t.Errorf("seed %d: %s", seed, d)
+			}
+		}
+		if rep.Completed+rep.Salvaged != rep.Jobs {
+			t.Errorf("seed %d: %d completed + %d salvaged != %d jobs",
+				seed, rep.Completed, rep.Salvaged, rep.Jobs)
+		}
+		retried += rep.Retried
+		resumed += rep.Resumed
+		salvaged += rep.Salvaged
+		injected += rep.Injected
+		corrupted += rep.Corrupted
+	}
+	// The sweep is pointless if chaos never bites: across 8 seeds some
+	// kills, retries, and resumes must have happened.
+	if injected == 0 || retried == 0 || resumed == 0 {
+		t.Errorf("chaos too quiet: injected %d, retried %d, resumed %d", injected, retried, resumed)
+	}
+	t.Logf("8 seeds: %d injected, %d corrupted -> %d retried, %d resumed, %d salvaged",
+		injected, corrupted, retried, resumed, salvaged)
+}
+
+// TestChaosCheckDeterministic: the same seed must produce the same
+// verdict and the same chaos plan (the whole point of seeding).
+func TestChaosCheckDeterministic(t *testing.T) {
+	a := ChaosCheck(3, ChaosOptions{})
+	b := ChaosCheck(3, ChaosOptions{})
+	if a.Failed() || b.Failed() {
+		t.Fatalf("divergences: %v / %v", a.Divergences, b.Divergences)
+	}
+	if a.Injected != b.Injected || a.Corrupted != b.Corrupted || a.Stalled != b.Stalled {
+		t.Errorf("chaos plan not deterministic: %+v vs %+v", a, b)
+	}
+	if a.Completed != b.Completed || a.Salvaged != b.Salvaged {
+		t.Errorf("outcomes not deterministic: %+v vs %+v", a, b)
+	}
+}

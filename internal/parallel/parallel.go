@@ -7,8 +7,11 @@
 //
 // Cancellation and failure follow the RunOutcome salvage contract of
 // internal/atom: a cancelled context stops in-flight runs at the next
-// quantum boundary and marks undispatched jobs cancelled, and a job
-// that ends early still carries its partial profile next to its error.
+// quantum boundary (their partial profiles remain salvageable), and
+// jobs the pool never dispatched come back annotated — Skipped, with a
+// job-named error — rather than silently dropped, so a cancelled batch
+// accounts for every piece of work. Retries, budgets, and salvage
+// merging on top of this pool live in internal/supervise.
 package parallel
 
 import (
@@ -48,6 +51,12 @@ type Result struct {
 	Exec    *vm.Result
 	Outcome vm.RunOutcome
 	Err     error
+	// Skipped marks a job the pool never dispatched because the
+	// context was already cancelled: there is no partial profile to
+	// salvage, unlike a cancelled in-flight job. The result still
+	// carries the job and a job-named error, so a cancelled batch
+	// reports every piece of abandoned work instead of dropping it.
+	Skipped bool
 }
 
 // Run executes jobs on at most workers goroutines (≤ 0 selects
@@ -80,7 +89,8 @@ func Run(ctx context.Context, workers int, jobs []Job) []Result {
 					return
 				}
 				if err := ctx.Err(); err != nil {
-					results[i] = Result{Job: jobs[i], Index: i, Outcome: vm.OutcomeCancelled, Err: err}
+					results[i] = Result{Job: jobs[i], Index: i, Outcome: vm.OutcomeCancelled, Skipped: true,
+						Err: fmt.Errorf("parallel: %s not dispatched: %w", jobs[i].Name(), err)}
 					continue
 				}
 				results[i] = runOne(ctx, jobs[i], i)

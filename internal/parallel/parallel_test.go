@@ -3,7 +3,9 @@ package parallel
 import (
 	"bytes"
 	"context"
+	"strings"
 	"testing"
+	"time"
 
 	"valueprof/internal/atom"
 	"valueprof/internal/core"
@@ -196,5 +198,65 @@ func TestBenchSuiteSmoke(t *testing.T) {
 	}
 	if !bytes.Contains(buf.Bytes(), []byte(`"speedup"`)) {
 		t.Error("report JSON lacks the speedup field")
+	}
+}
+
+// Undispatched jobs of a cancelled batch must come back annotated —
+// Skipped, with an error naming the job — not silently dropped.
+func TestCancelledBatchAnnotatesSkippedJobs(t *testing.T) {
+	jobs := suiteJobs(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results := Run(ctx, 2, jobs)
+	for _, r := range results {
+		if !r.Skipped {
+			t.Errorf("job %s not marked skipped under a pre-cancelled context", r.Job.Name())
+		}
+		if r.Err == nil || !strings.Contains(r.Err.Error(), r.Job.Name()) {
+			t.Errorf("job %s: skip error %v does not name the job", r.Job.Name(), r.Err)
+		}
+		if r.Profile != nil {
+			t.Errorf("job %s: skipped job carries a profile", r.Job.Name())
+		}
+	}
+}
+
+// Cancellation racing the merge: whatever mix of completed, cancelled
+// in-flight, and skipped jobs a mid-batch cancellation leaves behind,
+// MergeShards must either produce a profile (all complete) or a clean
+// job-named error — never a panic on a missing profile.
+func TestCancellationRacingMergeShards(t *testing.T) {
+	w := workloads.All()[0]
+	for round := 0; round < 8; round++ {
+		var jobs []Job
+		for i := 0; i < 6; i++ {
+			jobs = append(jobs, Job{Workload: w, Input: w.Test, Options: core.DefaultOptions(),
+				Run: atom.RunOptions{Quantum: 64}})
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan []Result, 1)
+		go func() { done <- Run(ctx, 3, jobs) }()
+		if round%2 == 0 {
+			cancel() // race the dispatch loop
+		} else {
+			time.Sleep(time.Duration(round) * 100 * time.Microsecond)
+			cancel() // race in-flight runs
+		}
+		results := <-done
+		merged, err := MergeShards(results)
+		if err == nil {
+			if merged == nil {
+				t.Fatal("MergeShards returned neither profile nor error")
+			}
+			continue // whole batch beat the cancellation
+		}
+		if !strings.Contains(err.Error(), w.Name) {
+			t.Errorf("round %d: merge error %q does not name a job", round, err)
+		}
+		for _, r := range results {
+			if r.Skipped && r.Outcome != vm.OutcomeCancelled {
+				t.Errorf("round %d: skipped job with outcome %v", round, r.Outcome)
+			}
+		}
 	}
 }

@@ -34,6 +34,9 @@ type ProgResult struct {
 	Exec    *vm.Result
 	Outcome vm.RunOutcome
 	Err     error
+	// Skipped marks a job never dispatched because the context was
+	// already cancelled (see Result.Skipped).
+	Skipped bool
 }
 
 // RunProgs executes program jobs on at most workers goroutines (≤ 0
@@ -47,7 +50,8 @@ func RunProgs(ctx context.Context, workers int, jobs []ProgJob) []ProgResult {
 		job := jobs[i]
 		r := ProgResult{Name: job.Name, Index: i}
 		if err := ctx.Err(); err != nil {
-			r.Outcome, r.Err = vm.OutcomeCancelled, err
+			r.Outcome, r.Skipped = vm.OutcomeCancelled, true
+			r.Err = fmt.Errorf("parallel: %s not dispatched: %w", job.Name, err)
 			return r
 		}
 		vp, err := core.NewValueProfiler(job.Options)

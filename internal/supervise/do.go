@@ -1,0 +1,73 @@
+package supervise
+
+import (
+	"context"
+	"time"
+)
+
+// DoResult summarizes a generic supervised call.
+type DoResult struct {
+	Attempts int
+	// Err is the last attempt's error, nil on success.
+	Err error
+}
+
+// Do runs fn under the policy's attempt, backoff, and budget rules —
+// the generic sibling of Run for work that is not a profiling job
+// (vexp supervises whole experiment runs with it). Every error is
+// treated as retryable; fn receives a context carrying the per-attempt
+// deadline (bounded by the total budget) and the 1-based attempt
+// number. Checkpoint resume, salvage, and the breaker do not apply.
+func Do(ctx context.Context, policy Policy, fn func(ctx context.Context, attempt int) error) DoResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p := policy.withDefaults()
+	start := time.Now()
+	res := DoResult{}
+	for attempt := 1; attempt <= p.MaxAttempts; attempt++ {
+		if d := p.backoff(0, attempt); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				res.Err = ctx.Err()
+				return res
+			case <-t.C:
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			res.Err = err
+			return res
+		}
+		if p.TotalBudget > 0 && time.Since(start) >= p.TotalBudget {
+			if res.Err == nil {
+				res.Err = context.DeadlineExceeded
+			}
+			return res
+		}
+
+		actx := ctx
+		cancel := context.CancelFunc(func() {})
+		deadline := time.Time{}
+		if p.AttemptDeadline > 0 {
+			deadline = time.Now().Add(p.AttemptDeadline)
+		}
+		if p.TotalBudget > 0 {
+			if d := start.Add(p.TotalBudget); deadline.IsZero() || d.Before(deadline) {
+				deadline = d
+			}
+		}
+		if !deadline.IsZero() {
+			actx, cancel = context.WithDeadline(ctx, deadline)
+		}
+		err := fn(actx, attempt)
+		cancel()
+		res.Attempts = attempt
+		res.Err = err
+		if err == nil {
+			return res
+		}
+	}
+	return res
+}
