@@ -1,12 +1,13 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build test test-short cover cover-gate bench bench-smoke bench-parallel exp exp-quick fmt vet lint clean ci fuzz-smoke difftest chaos-smoke
+.PHONY: all build test test-short cover cover-gate bench bench-smoke bench-parallel exp exp-quick fmt vet lint clean ci fuzz-smoke difftest chaos-smoke predict-sweep
 
 # Coverage floors for the packages the correctness argument rests on.
 # Raise them when coverage genuinely improves; lowering one is a
 # reviewable decision, not a CI tweak.
 COVER_MIN_CORE     := 88
 COVER_MIN_PARALLEL := 85
+COVER_MIN_ANALYSIS := 80
 
 all: build vet lint test
 
@@ -21,20 +22,23 @@ ci: vet lint build
 	$(MAKE) cover-gate
 	$(MAKE) fuzz-smoke
 	$(MAKE) difftest
+	$(MAKE) predict-sweep
 	$(MAKE) chaos-smoke
 	$(MAKE) bench-smoke
 	$(MAKE) bench-parallel
 
-# Repo-specific static checks: the atomicio vet pass over command code
-# (no raw os.Create/os.WriteFile in cmd/ — see internal/lint), the VRISC
-# bytecode verifier over every workload and the assembly examples, and
-# staticcheck when it is installed (the toolchain image may not have it;
-# it must not be a hard dependency).
+# Repo-specific static checks: the custom vet pass over command code
+# and the analysis package (no raw os.Create/os.WriteFile, no ranging
+# analysis fact tables straight into reports — see internal/lint), the
+# VRISC bytecode verifier over every workload and the assembly
+# examples, and staticcheck when it is installed (the toolchain image
+# may not have it; it must not be a hard dependency).
 lint:
-	go run ./internal/lint/vvet
+	go run ./internal/lint/vvet cmd internal/analysis
 	go run ./cmd/vlint -all
 	go run ./cmd/vlint examples/asm/sum.s
 	go run ./cmd/vlint examples/asm/warnings.s
+	go run ./cmd/vlint examples/asm/deadbranch.s
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
@@ -52,6 +56,15 @@ fuzz-smoke:
 difftest:
 	go run ./cmd/vfuzz -seeds 500
 
+# The predicted-invariance soundness sweep: 300 programs from the
+# interval-edge generator (wraparound arithmetic, non-unit strides,
+# equality-range branches), each profiled at full fidelity with every
+# proved-tier claim of analysis.Predict checked against the recorded
+# profile. One contradiction fails the build — the proved tier is the
+# adaptive hook budget's license to drop instrumentation entirely.
+predict-sweep:
+	go run ./cmd/vfuzz -predict -seeds 300
+
 # The pool-level chaos sweep: 200 seeds of supervised jobs under
 # injected kills, stalls, and checkpoint corruption, run with the race
 # detector on. Asserts zero hangs (each seed is wall-clock-capped by
@@ -64,12 +77,13 @@ chaos-smoke:
 # Fail if statement coverage of the correctness-critical packages
 # falls below the recorded floor.
 cover-gate:
-	@out=$$(go test -cover ./internal/core ./internal/parallel) || { echo "$$out"; exit 1; }; \
+	@out=$$(go test -cover ./internal/core ./internal/parallel ./internal/analysis) || { echo "$$out"; exit 1; }; \
 	echo "$$out"; \
-	echo "$$out" | awk -v core=$(COVER_MIN_CORE) -v par=$(COVER_MIN_PARALLEL) ' \
+	echo "$$out" | awk -v core=$(COVER_MIN_CORE) -v par=$(COVER_MIN_PARALLEL) -v ana=$(COVER_MIN_ANALYSIS) ' \
 		/valueprof\/internal\/core/     { seen++; if ($$5+0 < core) { printf "cover-gate: internal/core %s < %d%%\n", $$5, core; bad=1 } } \
 		/valueprof\/internal\/parallel/ { seen++; if ($$5+0 < par)  { printf "cover-gate: internal/parallel %s < %d%%\n", $$5, par; bad=1 } } \
-		END { if (seen != 2) { print "cover-gate: expected 2 coverage lines, saw " seen; bad=1 }; exit bad }'
+		/valueprof\/internal\/analysis/ { seen++; if ($$5+0 < ana)  { printf "cover-gate: internal/analysis %s < %d%%\n", $$5, ana; bad=1 } } \
+		END { if (seen != 3) { print "cover-gate: expected 3 coverage lines, saw " seen; bad=1 }; exit bad }'
 
 build:
 	go build ./...

@@ -23,13 +23,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"valueprof/internal/analysis"
+	"valueprof/internal/atom"
+	"valueprof/internal/core"
 	"valueprof/internal/difftest"
 	"valueprof/internal/progen"
+	"valueprof/internal/vm"
 )
 
 func main() {
@@ -42,10 +47,11 @@ func main() {
 	noShrink := flag.Bool("no-shrink", false, "write divergent specs unshrunk")
 	verbose := flag.Bool("v", false, "per-seed progress")
 	chaos := flag.Bool("chaos", false, "run the pool-level chaos sweep instead of the differential harness")
+	predict := flag.Bool("predict", false, "run the predicted-invariance soundness sweep: interval-edge generator, proved-tier claims checked against recorded profiles")
 	timecap := flag.Duration("timecap", 10*time.Second, "per-seed wall-clock cap in -chaos mode (a hang fails fast)")
 	flag.Parse()
 	if flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: vfuzz [-seeds N] [-start S] [-seed S] [-corpus dir] [-emit N] [-no-shrink] [-chaos] [-timecap D] [-v]")
+		fmt.Fprintln(os.Stderr, "usage: vfuzz [-seeds N] [-start S] [-seed S] [-corpus dir] [-emit N] [-no-shrink] [-chaos] [-predict] [-timecap D] [-v]")
 		os.Exit(2)
 	}
 
@@ -61,6 +67,10 @@ func main() {
 
 	if *chaos {
 		runChaos(first, count, *timecap, *verbose)
+		return
+	}
+	if *predict {
+		runPredict(first, count, *verbose)
 		return
 	}
 
@@ -146,6 +156,64 @@ func runChaos(first uint64, count int, timecap time.Duration, verbose bool) {
 	fmt.Printf("chaos: %d seeds in %.1fs: %d kills, %d stalls, %d corrupted checkpoints -> %d retried, %d resumed, %d salvaged, %d divergent\n",
 		count, time.Since(began).Seconds(), injected, stalled, corrupted, retried, resumed, salvaged, divergent)
 	if divergent > 0 {
+		os.Exit(1)
+	}
+}
+
+// runPredict sweeps the predictive-invariance soundness property: for
+// each seed, a program generated with the interval-edge knob (non-unit
+// strides, wraparound arithmetic, equality-range branches) is profiled
+// at full fidelity and every proved-tier claim of analysis.Predict is
+// checked against the recorded profile. A single contradiction is a
+// soundness bug — the proved tier is the adaptive budget's license to
+// drop hooks entirely.
+func runPredict(first uint64, count int, verbose bool) {
+	var (
+		bad    int
+		proved int
+		sites  int
+		began  = time.Now()
+	)
+	for i := 0; i < count; i++ {
+		seed := first + uint64(i)
+		spec := progen.Generate(progen.Config{Seed: seed, IntervalEdges: true})
+		prog, err := progen.Build(&spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vfuzz: seed %d: %v\n", seed, err)
+			os.Exit(1)
+		}
+		pred := analysis.Predict(prog)
+		vp, err := core.NewValueProfiler(core.Options{TNV: core.DefaultTNVConfig()})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vfuzz: seed %d: %v\n", seed, err)
+			os.Exit(1)
+		}
+		_, outcome, err := atom.RunControlled(context.Background(), prog,
+			atom.RunOptions{Input: progen.InputFor(&spec, 0), StepLimit: 8 << 20}, vp)
+		if outcome != vm.OutcomeCompleted {
+			fmt.Fprintf(os.Stderr, "vfuzz: seed %d: run did not complete: %v (%v)\n", seed, outcome, err)
+			os.Exit(1)
+		}
+		rec := vp.Profile().Record(fmt.Sprintf("seed%d", seed), "in0")
+		if cs := pred.CheckRecord(rec); len(cs) > 0 {
+			bad++
+			fmt.Printf("seed %d: %d proved-tier contradiction(s)\n", seed, len(cs))
+			for _, c := range cs {
+				fmt.Printf("  %s\n", c.String())
+			}
+		}
+		n := pred.TierCounts()
+		proved += n[analysis.TierProved]
+		sites += len(pred.Sites)
+		if verbose {
+			fmt.Printf("seed %d: ok (%d sites, %d proved)\n", seed, len(pred.Sites), n[analysis.TierProved])
+		} else if (i+1)%100 == 0 {
+			fmt.Printf("%d/%d seeds checked, %d with contradictions\n", i+1, count, bad)
+		}
+	}
+	fmt.Printf("predict: %d seeds in %.1fs: %d sites, %d proved-tier claims, %d seeds with contradictions\n",
+		count, time.Since(began).Seconds(), sites, proved, bad)
+	if bad > 0 {
 		os.Exit(1)
 	}
 }

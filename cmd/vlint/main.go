@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	vlint [-strict] [-facts] [-gvn] [-oracle profile.json] prog.s|prog.vx
+//	vlint [-strict] [-facts] [-gvn] [-intervals] [-loops] [-oracle profile.json] prog.s|prog.vx
 //	vlint [-strict] [flags] -w compress
 //	vlint -all
 //
@@ -12,12 +12,19 @@
 //
 // -facts prints the constness lattice classification of each
 // result-producing instruction (const/invariant/varying/unreached).
-// -gvn prints provably redundant computations. -oracle cross-checks a
-// saved vprof JSON profile against the static facts: any site whose
-// observed values contradict a static proof is reported.
+// -gvn prints provably redundant computations. -intervals prints the
+// value-range dataflow facts for each site (non-trivial ranges only),
+// and -loops prints the natural-loop nest with trip-count bounds and
+// execution-frequency estimates. -oracle cross-checks a saved vprof
+// JSON profile against the static facts: any site whose observed
+// values contradict a static proof is reported.
+//
+// Branch arms the interval analysis proves statically unreachable are
+// always reported as warnings; under -strict they fail the lint.
 //
 // Exit codes: 0 clean, 1 verification errors (with -strict, warnings
-// too), 2 usage or I/O error, 3 oracle contradictions.
+// and dead branch arms too), 2 usage or I/O error, 3 oracle
+// contradictions.
 package main
 
 import (
@@ -36,9 +43,11 @@ import (
 func main() {
 	wl := flag.String("w", "", "verify this benchmark workload instead of a file")
 	all := flag.Bool("all", false, "verify every benchmark workload")
-	strict := flag.Bool("strict", false, "treat warnings as errors")
+	strict := flag.Bool("strict", false, "treat warnings (including statically dead branch arms) as errors")
 	facts := flag.Bool("facts", false, "print per-instruction constness facts")
 	gvn := flag.Bool("gvn", false, "print provably redundant computations")
+	intervals := flag.Bool("intervals", false, "print per-site value-range facts")
+	loops := flag.Bool("loops", false, "print loop nest, trip counts, and frequency estimates")
 	oracle := flag.String("oracle", "", "cross-check this vprof JSON profile against static facts")
 	flag.Parse()
 
@@ -50,7 +59,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "vlint: %s: %v\n", w.Name, err)
 				os.Exit(2)
 			}
-			if code := lint(w.Name, prog, *strict, false, false, ""); code > exit {
+			if code := lint(w.Name, prog, lintOpts{strict: *strict}); code > exit {
 				exit = code
 			}
 		}
@@ -82,7 +91,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: vlint [-strict] [-facts] [-gvn] [-oracle profile.json] prog.s|prog.vx | -w workload | -all")
 		os.Exit(2)
 	}
-	os.Exit(lint(name, prog, *strict, *facts, *gvn, *oracle))
+	os.Exit(lint(name, prog, lintOpts{
+		strict: *strict, facts: *facts, gvn: *gvn,
+		intervals: *intervals, loops: *loops, oracle: *oracle,
+	}))
+}
+
+type lintOpts struct {
+	strict    bool
+	facts     bool
+	gvn       bool
+	intervals bool
+	loops     bool
+	oracle    string
 }
 
 // loadProgram reads a program from assembly source or a VPX1 image,
@@ -103,13 +124,13 @@ func loadProgram(path string) (*program.Program, error) {
 	return asm.Assemble(string(src))
 }
 
-func lint(name string, prog *program.Program, strict, facts, gvn bool, oraclePath string) int {
+func lint(name string, prog *program.Program, opts lintOpts) int {
 	diags := analysis.Verify(prog)
 	for _, d := range diags {
 		fmt.Printf("%s: %s\n", name, d)
 	}
 	code := 0
-	if diags.HasErrors() || (strict && len(diags) > 0) {
+	if diags.HasErrors() || (opts.strict && len(diags) > 0) {
 		code = 1
 	}
 	if len(diags) == 0 {
@@ -128,16 +149,38 @@ func lint(name string, prog *program.Program, strict, facts, gvn bool, oraclePat
 		return cn
 	}
 
-	if facts {
+	if opts.facts {
 		printFacts(name, prog, constness())
 	}
-	if gvn {
+	if opts.gvn {
 		for _, r := range analysis.ForProgram(prog).GVN() {
 			fmt.Printf("%s: pc %d (%s): recomputes the value of pc %d (%s)\n",
 				name, r.PC, prog.Code[r.PC], r.With, prog.Code[r.With])
 		}
 	}
-	if oraclePath != "" {
+
+	ivs := analysis.AnalyzeIntervals(prog)
+	if opts.intervals {
+		printIntervals(name, prog, ivs)
+	}
+	if opts.loops {
+		printLoops(name, prog, analysis.AnalyzeLoops(prog))
+	}
+	// Statically dead branch arms are latent bugs (a condition that can
+	// never go one way): always warn, fail only under -strict.
+	for _, de := range ivs.DeadEdges() {
+		arm := "fall-through"
+		if de.Taken {
+			arm = "taken"
+		}
+		fmt.Printf("%s: warning: %s pc %d (%s): %s arm is statically unreachable\n",
+			name, prog.SiteName(de.PC), de.PC, prog.Code[de.PC], arm)
+		if opts.strict && code < 1 {
+			code = 1
+		}
+	}
+
+	if oraclePath := opts.oracle; oraclePath != "" {
 		f, err := os.Open(oraclePath)
 		if err != nil {
 			fatal(err)
@@ -182,6 +225,59 @@ func printFacts(name string, prog *program.Program, cn *analysis.Constness) {
 		case analysis.KindUnreached:
 			fmt.Printf("%s: %-12s pc %-5d %-24s = unreached\n", name, prog.SiteName(pc), pc, in)
 		}
+	}
+}
+
+// printIntervals dumps the non-trivial value-range facts in pc order.
+func printIntervals(name string, prog *program.Program, ivs *analysis.Intervals) {
+	mode := "whole-program dataflow"
+	if ivs.Degraded {
+		mode = "syntactic only (program has indirect control flow)"
+	}
+	interesting := 0
+	for pc := range prog.Code {
+		if iv, ok := ivs.At(pc); ok && !iv.IsTop() {
+			interesting++
+		}
+	}
+	fmt.Printf("%s: intervals (%s): %d sites with a non-trivial range\n", name, mode, interesting)
+	for pc, in := range prog.Code {
+		iv, ok := ivs.At(pc)
+		if !ok || iv.IsTop() {
+			continue
+		}
+		switch {
+		case iv.IsEmpty():
+			fmt.Printf("%s: %-12s pc %-5d %-24s : unreachable\n", name, prog.SiteName(pc), pc, in)
+		default:
+			if v, single := iv.Singleton(); single {
+				fmt.Printf("%s: %-12s pc %-5d %-24s = %d\n", name, prog.SiteName(pc), pc, in, v)
+				continue
+			}
+			fmt.Printf("%s: %-12s pc %-5d %-24s in %s\n", name, prog.SiteName(pc), pc, in, iv)
+		}
+	}
+}
+
+// printLoops dumps the natural-loop nest with trip bounds and the
+// frequency model's per-body estimate.
+func printLoops(name string, prog *program.Program, li *analysis.LoopInfo) {
+	mode := "whole-program"
+	if li.Degraded {
+		mode = "degraded (program has indirect control flow)"
+	}
+	fmt.Printf("%s: loops (%s): %d natural loops\n", name, mode, len(li.Loops))
+	for i, l := range li.Loops {
+		hpc := li.HeaderPC(l)
+		trip := "unknown"
+		if l.Trip > 0 {
+			trip = fmt.Sprintf("%d", l.Trip)
+			if !l.TripExact {
+				trip = "<=" + trip
+			}
+		}
+		fmt.Printf("%s: loop %d: header %s pc %d, depth %d, %d blocks, trip %s, body freq %.0f\n",
+			name, i, prog.SiteName(hpc), hpc, l.Depth, len(l.Blocks), trip, li.FreqOf(hpc))
 	}
 }
 

@@ -112,6 +112,8 @@ func main() {
 	convergent := flag.Bool("convergent", false, "use convergent (sampling) profiling (inst/loads)")
 	pruneStatic := flag.Bool("prune-static", false,
 		"skip TNV tables for provably-constant/unreachable pcs (inst/loads)")
+	prunePredict := flag.Bool("prune-predict", false,
+		"adaptive hook budget from predictive invariance analysis: skip proved sites, down-sample likely ones, full budget on the rest (inst/loads)")
 	full := flag.Bool("full", false, "track exact full profiles too (inst/loads)")
 	top := flag.Int("top", 20, "show the N hottest entries")
 	outFile := flag.String("o", "", "write the profile as JSON (inst/loads)")
@@ -186,7 +188,7 @@ func main() {
 			fatal(fmt.Errorf("vprof: -checkpoint, -resume, and -o are single-run flags; drop them or run one workload/input"))
 		}
 		os.Exit(multiMode(rc, wNames, inNames, *jobsN,
-			*mode == "loads", *convergent, *full, *pruneStatic, *top))
+			*mode == "loads", *convergent, *full, *pruneStatic, *prunePredict, *top))
 	}
 
 	w, err := workloads.ByName(wNames[0])
@@ -205,7 +207,7 @@ func main() {
 	var outcome vm.RunOutcome
 	switch *mode {
 	case "inst", "loads":
-		outcome = instMode(rc, w, in, prog, *mode == "loads", *convergent, *full, *pruneStatic, *top, *outFile)
+		outcome = instMode(rc, w, in, prog, *mode == "loads", *convergent, *full, *pruneStatic, *prunePredict, *top, *outFile)
 	case "mem":
 		outcome = memMode(rc, w, in, prog, *top)
 	case "param":
@@ -258,14 +260,29 @@ func warnPartial(outcome vm.RunOutcome, err error) {
 	}
 }
 
-func instMode(rc *runCfg, w *workloads.Workload, in workloads.Input, prog *program.Program, loadsOnly, convergent, full, pruneStatic bool, top int, outFile string) vm.RunOutcome {
+func instMode(rc *runCfg, w *workloads.Workload, in workloads.Input, prog *program.Program, loadsOnly, convergent, full, pruneStatic, prunePredict bool, top int, outFile string) vm.RunOutcome {
 	opts := core.Options{TNV: core.DefaultTNVConfig(), TrackFull: full}
 	if loadsOnly {
 		opts.Filter = core.LoadsOnly
 	}
+	if convergent && prunePredict {
+		fatal(fmt.Errorf("vprof: -prune-predict allocates its own sampling budget; drop -convergent"))
+	}
 	if convergent {
 		cfg := core.DefaultConvergentConfig()
 		opts.Convergent = &cfg
+	}
+	if prunePredict {
+		start := time.Now()
+		pred := analysis.Predict(prog)
+		elapsed := time.Since(start)
+		plan := pred.Plan(core.DefaultConvergentConfig())
+		opts.AdaptiveBudget = &plan
+		n := pred.TierCounts()
+		fmt.Fprintf(os.Stderr,
+			"vprof: predictive budget: %d proved (skipped), %d likely (sampled), %d uncertain (full); analysis took %s\n",
+			n[analysis.TierProved], n[analysis.TierLikely], n[analysis.TierUncertain],
+			elapsed.Round(time.Microsecond))
 	}
 	if pruneStatic {
 		start := time.Now()
@@ -413,7 +430,10 @@ func reportInst(name string, pr *core.Profile, res *vm.Result, prog *program.Pro
 // reports in job order. Returns the process exit code: the first
 // failing job's, following the serial-loop convention, or exitSalvaged
 // when every shortfall was absorbed by -salvage-partial.
-func multiMode(rc *runCfg, wNames, inNames []string, jobsN int, loadsOnly, convergent, full, pruneStatic bool, top int) int {
+func multiMode(rc *runCfg, wNames, inNames []string, jobsN int, loadsOnly, convergent, full, pruneStatic, prunePredict bool, top int) int {
+	if convergent && prunePredict {
+		fatal(fmt.Errorf("vprof: -prune-predict allocates its own sampling budget; drop -convergent"))
+	}
 	var jobList []parallel.Job
 	for _, wn := range wNames {
 		w, err := workloads.ByName(strings.TrimSpace(wn))
@@ -436,6 +456,10 @@ func multiMode(rc *runCfg, wNames, inNames []string, jobsN int, loadsOnly, conve
 			// Constness is per program: analyzed once here, serially,
 			// then shared by every input of this workload.
 			opts.Prune = analysis.AnalyzeConstness(prog).ShouldPrune
+		}
+		if prunePredict {
+			plan := analysis.Predict(prog).Plan(core.DefaultConvergentConfig())
+			opts.AdaptiveBudget = &plan
 		}
 		for _, inn := range inNames {
 			in, err := inputByName(w, strings.TrimSpace(inn))
@@ -650,10 +674,8 @@ func trivMode(rc *runCfg, w *workloads.Workload, in workloads.Input, prog *progr
 		kinds[trivprof.PowerOfTwo], kinds[trivprof.SelfOperand])
 	tab := textual.New(fmt.Sprintf("top %d arithmetic sites", top),
 		"site", "op", "execs", "trivial", "saved-cycles")
-	for i, s := range rep.Sites {
-		if i >= top {
-			break
-		}
+	for i := 0; i < top && i < len(rep.Sites); i++ {
+		s := rep.Sites[i]
 		tab.Row(s.Name, s.Op.Name(), s.Execs, textual.Pct(s.TrivialFraction()), s.SavedCycles())
 	}
 	fmt.Print(tab.String())

@@ -1,0 +1,19 @@
+; deadbranch.s — a verifier-clean program with a branch arm the
+; interval analysis proves can never be taken: t0 is the constant 3,
+; so the cmplt against zero is always 0 and the bne never branches.
+; The "neg:" arm is CFG-reachable (it is a branch target), so only the
+; value-range pass sees that it is dead. vlint always warns; -strict
+; fails the lint:
+;
+;   go run ./cmd/vlint examples/asm/deadbranch.s          ; exit 0, 1 warning
+;   go run ./cmd/vlint -strict examples/asm/deadbranch.s  ; exit 1
+        .text
+        .proc main
+main:   addi t0, zero, 3
+        cmplt t1, t0, zero      ; 3 < 0 is always false
+        bne  t1, neg            ; dead taken arm
+        addi a0, zero, 0
+        syscall exit
+neg:    addi a0, zero, 1        ; statically unreachable
+        syscall exit
+        .endproc

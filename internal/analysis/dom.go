@@ -20,6 +20,14 @@ type DomTree struct {
 // dominance is defined over the CFG's intra-procedural edges (plus the
 // address-taken successors of indirect jumps in a program-level CFG).
 func (c *CFG) Dominators() *DomTree {
+	return c.dominatorsFrom(c.EntryBlock())
+}
+
+// dominatorsFrom computes the dominator tree of the subgraph reachable
+// from an arbitrary root block — the view needed to find natural loops
+// inside a called procedure, whose entry is not reachable from the
+// program entry along successor edges alone.
+func (c *CFG) dominatorsFrom(entry int) *DomTree {
 	n := len(c.Blocks)
 	d := &DomTree{
 		cfg:      c,
@@ -31,7 +39,6 @@ func (c *CFG) Dominators() *DomTree {
 		d.Idom[i] = -1
 		d.rpoNum[i] = -1
 	}
-	entry := c.EntryBlock()
 	if entry < 0 {
 		return d
 	}

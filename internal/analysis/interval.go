@@ -1,0 +1,517 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"valueprof/internal/isa"
+)
+
+// Interval is a closed range [Lo, Hi] of int64 values, the abstract
+// domain of the value-range dataflow (AnalyzeIntervals). Lo > Hi is the
+// empty interval (bottom); [MinInt64, MaxInt64] is top. All transfer
+// functions are wraparound-correct for VRISC semantics: whenever a
+// concrete operation could overflow two's-complement 64-bit arithmetic,
+// the abstract result saturates to top rather than claiming a wrapped
+// range that excludes feasible values.
+type Interval struct {
+	Lo, Hi int64
+}
+
+// TopInterval is the full int64 range (no information).
+func TopInterval() Interval { return Interval{math.MinInt64, math.MaxInt64} }
+
+// EmptyInterval is the canonical empty interval (no feasible value).
+func EmptyInterval() Interval { return Interval{math.MaxInt64, math.MinInt64} }
+
+// Single is the singleton interval [v, v].
+func Single(v int64) Interval { return Interval{v, v} }
+
+func (iv Interval) IsEmpty() bool { return iv.Lo > iv.Hi }
+func (iv Interval) IsTop() bool {
+	return iv.Lo == math.MinInt64 && iv.Hi == math.MaxInt64
+}
+
+// Contains reports whether v lies in the interval.
+func (iv Interval) Contains(v int64) bool { return iv.Lo <= v && v <= iv.Hi }
+
+// Singleton returns the interval's single value when it has exactly one.
+func (iv Interval) Singleton() (int64, bool) {
+	if iv.Lo == iv.Hi {
+		return iv.Lo, true
+	}
+	return 0, false
+}
+
+// Width is Hi-Lo computed without overflow: 0 for singletons, 2^64-1 for
+// top. Meaningless for empty intervals.
+func (iv Interval) Width() uint64 { return uint64(iv.Hi) - uint64(iv.Lo) }
+
+// Join is the interval hull (least upper bound).
+func (iv Interval) Join(o Interval) Interval {
+	if iv.IsEmpty() {
+		return o
+	}
+	if o.IsEmpty() {
+		return iv
+	}
+	out := iv
+	if o.Lo < out.Lo {
+		out.Lo = o.Lo
+	}
+	if o.Hi > out.Hi {
+		out.Hi = o.Hi
+	}
+	return out
+}
+
+// Meet is the intersection (greatest lower bound); may be empty.
+func (iv Interval) Meet(o Interval) Interval {
+	out := iv
+	if o.Lo > out.Lo {
+		out.Lo = o.Lo
+	}
+	if o.Hi < out.Hi {
+		out.Hi = o.Hi
+	}
+	if out.IsEmpty() {
+		return EmptyInterval()
+	}
+	return out
+}
+
+// Widen is the standard interval widening: any endpoint that grew from
+// iv (the previous iterate) to o (the next iterate) jumps straight to
+// the respective infinity, so ascending chains stabilize in at most two
+// widenings per interval.
+func (iv Interval) Widen(o Interval) Interval {
+	if iv.IsEmpty() {
+		return o
+	}
+	if o.IsEmpty() {
+		return iv
+	}
+	out := iv
+	if o.Lo < iv.Lo {
+		out.Lo = math.MinInt64
+	}
+	if o.Hi > iv.Hi {
+		out.Hi = math.MaxInt64
+	}
+	return out
+}
+
+// Narrow is the standard interval narrowing: endpoints the widening blew
+// to infinity are recovered from o (the next decreasing iterate), finite
+// endpoints are kept, so descending chains terminate while staying above
+// the true fixpoint.
+func (iv Interval) Narrow(o Interval) Interval {
+	if iv.IsEmpty() || o.IsEmpty() {
+		return iv
+	}
+	out := iv
+	if iv.Lo == math.MinInt64 {
+		out.Lo = o.Lo
+	}
+	if iv.Hi == math.MaxInt64 {
+		out.Hi = o.Hi
+	}
+	if out.IsEmpty() {
+		return iv
+	}
+	return out
+}
+
+func (iv Interval) String() string {
+	if iv.IsEmpty() {
+		return "empty"
+	}
+	if iv.IsTop() {
+		return "top"
+	}
+	if v, ok := iv.Singleton(); ok {
+		return fmt.Sprintf("[%d]", v)
+	}
+	lo, hi := "-inf", "+inf"
+	if iv.Lo != math.MinInt64 {
+		lo = fmt.Sprintf("%d", iv.Lo)
+	}
+	if iv.Hi != math.MaxInt64 {
+		hi = fmt.Sprintf("%d", iv.Hi)
+	}
+	return fmt.Sprintf("[%s,%s]", lo, hi)
+}
+
+// Checked arithmetic: ok is false when the int64 operation overflows.
+
+func addOv(a, b int64) (int64, bool) {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+func subOv(a, b int64) (int64, bool) {
+	d := a - b
+	if (b < 0 && d < a) || (b > 0 && d > a) {
+		return 0, false
+	}
+	return d, true
+}
+
+func mulOv(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/b != a || (a == math.MinInt64 && b == -1) {
+		return 0, false
+	}
+	return p, true
+}
+
+func shlOv(a int64, s uint) (int64, bool) {
+	r := a << s
+	if r>>s != a {
+		return 0, false
+	}
+	return r, true
+}
+
+// fillBits returns the smallest value of the form 2^k-1 that is >= x,
+// for x >= 0 (all bits at or below x's highest set bit).
+func fillBits(x int64) int64 {
+	x |= x >> 1
+	x |= x >> 2
+	x |= x >> 4
+	x |= x >> 8
+	x |= x >> 16
+	x |= x >> 32
+	return x
+}
+
+// intervalOf is the abstract transfer function for pure register-form
+// operations: the interval of op(a, b) given operand intervals.
+// Register-immediate opcodes are mapped to their register analog by
+// immOperand before reaching here. Unknown or impure opcodes yield top.
+func intervalOf(op isa.Op, a, b Interval) Interval {
+	if a.IsEmpty() || b.IsEmpty() {
+		return EmptyInterval()
+	}
+	switch op {
+	case isa.OpAdd:
+		lo, ok1 := addOv(a.Lo, b.Lo)
+		hi, ok2 := addOv(a.Hi, b.Hi)
+		if ok1 && ok2 {
+			return Interval{lo, hi}
+		}
+	case isa.OpSub:
+		lo, ok1 := subOv(a.Lo, b.Hi)
+		hi, ok2 := subOv(a.Hi, b.Lo)
+		if ok1 && ok2 {
+			return Interval{lo, hi}
+		}
+	case isa.OpMul:
+		out := EmptyInterval()
+		for _, x := range [2]int64{a.Lo, a.Hi} {
+			for _, y := range [2]int64{b.Lo, b.Hi} {
+				p, ok := mulOv(x, y)
+				if !ok {
+					return TopInterval()
+				}
+				out = out.Join(Single(p))
+			}
+		}
+		return out
+	case isa.OpDiv:
+		// Only provably positive divisors: then x/y is monotone in each
+		// argument over the box, so the extremes sit at the corners, and
+		// neither the fault (y=0) nor the MinInt64/-1 wrap can occur.
+		if b.Lo >= 1 {
+			out := EmptyInterval()
+			for _, x := range [2]int64{a.Lo, a.Hi} {
+				for _, y := range [2]int64{b.Lo, b.Hi} {
+					out = out.Join(Single(x / y))
+				}
+			}
+			return out
+		}
+	case isa.OpRem:
+		if b.Lo >= 1 {
+			m := b.Hi - 1 // |x % y| <= y-1, sign follows the dividend
+			lo, hi := -m, m
+			if a.Lo >= 0 {
+				lo = 0
+				if a.Hi < hi {
+					hi = a.Hi // 0 <= x % y <= x for x >= 0
+				}
+			} else if a.Hi <= 0 {
+				hi = 0
+				if a.Lo > lo {
+					lo = a.Lo
+				}
+			}
+			return Interval{lo, hi}
+		}
+	case isa.OpAnd:
+		// A non-negative operand bounds the result: 0 <= x&y <= x.
+		switch {
+		case a.Lo >= 0 && b.Lo >= 0:
+			hi := a.Hi
+			if b.Hi < hi {
+				hi = b.Hi
+			}
+			return Interval{0, hi}
+		case a.Lo >= 0:
+			return Interval{0, a.Hi}
+		case b.Lo >= 0:
+			return Interval{0, b.Hi}
+		}
+	case isa.OpOr:
+		if a.Lo >= 0 && b.Lo >= 0 {
+			lo := a.Lo
+			if b.Lo > lo {
+				lo = b.Lo // x|y >= max(x, y) for non-negative operands
+			}
+			return Interval{lo, fillBits(a.Hi | b.Hi)}
+		}
+	case isa.OpXor:
+		if a.Lo >= 0 && b.Lo >= 0 {
+			return Interval{0, fillBits(a.Hi | b.Hi)}
+		}
+	case isa.OpSll:
+		if s, ok := b.Singleton(); ok {
+			sh := uint(uint64(s) & 63)
+			lo, ok1 := shlOv(a.Lo, sh)
+			hi, ok2 := shlOv(a.Hi, sh)
+			if ok1 && ok2 {
+				return Interval{lo, hi}
+			}
+		} else if v, ok := a.Singleton(); ok && v == 0 {
+			return Single(0)
+		}
+	case isa.OpSrl:
+		if s, ok := b.Singleton(); ok {
+			sh := uint(uint64(s) & 63)
+			if sh == 0 {
+				return a
+			}
+			if a.Lo >= 0 {
+				return Interval{int64(uint64(a.Lo) >> sh), int64(uint64(a.Hi) >> sh)}
+			}
+			return Interval{0, math.MaxInt64} // negative inputs reinterpret huge
+		}
+		if a.Lo >= 0 {
+			return Interval{0, a.Hi} // shift 0 keeps x, larger shifts shrink
+		}
+		return Interval{a.Lo, math.MaxInt64}
+	case isa.OpSra:
+		if s, ok := b.Singleton(); ok {
+			sh := uint(uint64(s) & 63)
+			return Interval{a.Lo >> sh, a.Hi >> sh}
+		}
+		lo, hi := a.Lo, a.Hi
+		if lo > 0 {
+			lo = 0 // x>>63 = 0 for x >= 0
+		}
+		if hi < -1 {
+			hi = -1 // x>>63 = -1 for x < 0
+		}
+		return Interval{lo, hi}
+	case isa.OpCmpeq, isa.OpCmpne, isa.OpCmplt, isa.OpCmple, isa.OpCmpgt, isa.OpCmpge:
+		switch proveRel(op, a, b) {
+		case relTrue:
+			return Single(1)
+		case relFalse:
+			return Single(0)
+		}
+		return Interval{0, 1}
+	}
+	return TopInterval()
+}
+
+// immOperand rewrites a register-immediate instruction as its
+// register-form opcode plus the immediate as a singleton interval,
+// applying the same immediate normalization the VM applies (shift
+// amounts are taken mod 64).
+func immOperand(in isa.Inst) (isa.Op, Interval, bool) {
+	switch in.Op {
+	case isa.OpAddi:
+		return isa.OpAdd, Single(int64(in.Imm)), true
+	case isa.OpMuli:
+		return isa.OpMul, Single(int64(in.Imm)), true
+	case isa.OpAndi:
+		return isa.OpAnd, Single(int64(in.Imm)), true
+	case isa.OpOri:
+		return isa.OpOr, Single(int64(in.Imm)), true
+	case isa.OpXori:
+		return isa.OpXor, Single(int64(in.Imm)), true
+	case isa.OpSlli:
+		return isa.OpSll, Single(int64(uint32(in.Imm) & 63)), true
+	case isa.OpSrli:
+		return isa.OpSrl, Single(int64(uint32(in.Imm) & 63)), true
+	case isa.OpSrai:
+		return isa.OpSra, Single(int64(uint32(in.Imm) & 63)), true
+	case isa.OpCmplti:
+		return isa.OpCmplt, Single(int64(in.Imm)), true
+	case isa.OpCmpeqi:
+		return isa.OpCmpeq, Single(int64(in.Imm)), true
+	}
+	return in.Op, TopInterval(), false
+}
+
+// relOutcome is the three-valued result of deciding a comparison over
+// intervals.
+type relOutcome uint8
+
+const (
+	relUnknown relOutcome = iota
+	relTrue
+	relFalse
+)
+
+// proveRel decides "a REL b" over intervals when the boxes make the
+// outcome certain.
+func proveRel(op isa.Op, a, b Interval) relOutcome {
+	switch op {
+	case isa.OpCmpeq:
+		av, aok := a.Singleton()
+		bv, bok := b.Singleton()
+		if aok && bok && av == bv {
+			return relTrue
+		}
+		if a.Meet(b).IsEmpty() {
+			return relFalse
+		}
+	case isa.OpCmpne:
+		switch proveRel(isa.OpCmpeq, a, b) {
+		case relTrue:
+			return relFalse
+		case relFalse:
+			return relTrue
+		}
+	case isa.OpCmplt:
+		if a.Hi < b.Lo {
+			return relTrue
+		}
+		if a.Lo >= b.Hi {
+			return relFalse
+		}
+	case isa.OpCmple:
+		if a.Hi <= b.Lo {
+			return relTrue
+		}
+		if a.Lo > b.Hi {
+			return relFalse
+		}
+	case isa.OpCmpgt:
+		return proveRel(isa.OpCmplt, b, a)
+	case isa.OpCmpge:
+		return proveRel(isa.OpCmple, b, a)
+	}
+	return relUnknown
+}
+
+// negateRel returns the opcode computing the logical negation of op.
+func negateRel(op isa.Op) isa.Op {
+	switch op {
+	case isa.OpCmpeq:
+		return isa.OpCmpne
+	case isa.OpCmpne:
+		return isa.OpCmpeq
+	case isa.OpCmplt:
+		return isa.OpCmpge
+	case isa.OpCmpge:
+		return isa.OpCmplt
+	case isa.OpCmple:
+		return isa.OpCmpgt
+	case isa.OpCmpgt:
+		return isa.OpCmple
+	}
+	return op
+}
+
+// trimValue removes v from the interval when v is an endpoint (the only
+// removals an interval can represent). Returns empty when iv is the
+// singleton {v}.
+func trimValue(iv Interval, v int64) Interval {
+	if iv.IsEmpty() || !iv.Contains(v) {
+		return iv
+	}
+	if iv.Lo == v && iv.Hi == v {
+		return EmptyInterval()
+	}
+	out := iv
+	if out.Lo == v {
+		out.Lo = v + 1
+	}
+	if out.Hi == v {
+		out.Hi = v - 1
+	}
+	return out
+}
+
+// refineRel tightens the operand intervals of "a REL b" under the
+// assumption that the comparison holds (holds=true) or fails. Either
+// returned interval may be empty, meaning the assumption is infeasible
+// for the given boxes. The refinement is a single simultaneous step:
+// each side is narrowed against the other side's original box.
+func refineRel(op isa.Op, a, b Interval, holds bool) (Interval, Interval) {
+	if !holds {
+		op = negateRel(op)
+	}
+	if a.IsEmpty() || b.IsEmpty() {
+		return EmptyInterval(), EmptyInterval()
+	}
+	switch op {
+	case isa.OpCmpeq:
+		m := a.Meet(b)
+		return m, m
+	case isa.OpCmpne:
+		na, nb := a, b
+		if v, ok := b.Singleton(); ok {
+			na = trimValue(a, v)
+		}
+		if v, ok := a.Singleton(); ok {
+			nb = trimValue(b, v)
+		}
+		return na, nb
+	case isa.OpCmplt: // a < b
+		na, nb := a, b
+		if b.Hi == math.MinInt64 {
+			na = EmptyInterval()
+		} else if b.Hi-1 < na.Hi {
+			na.Hi = b.Hi - 1
+		}
+		if a.Lo == math.MaxInt64 {
+			nb = EmptyInterval()
+		} else if a.Lo+1 > nb.Lo {
+			nb.Lo = a.Lo + 1
+		}
+		return normEmpty(na), normEmpty(nb)
+	case isa.OpCmple: // a <= b
+		na, nb := a, b
+		if b.Hi < na.Hi {
+			na.Hi = b.Hi
+		}
+		if a.Lo > nb.Lo {
+			nb.Lo = a.Lo
+		}
+		return normEmpty(na), normEmpty(nb)
+	case isa.OpCmpgt: // a > b  <=>  b < a
+		nb, na := refineRel(isa.OpCmplt, b, a, true)
+		return na, nb
+	case isa.OpCmpge: // a >= b  <=>  b <= a
+		nb, na := refineRel(isa.OpCmple, b, a, true)
+		return na, nb
+	}
+	return a, b
+}
+
+func normEmpty(iv Interval) Interval {
+	if iv.IsEmpty() {
+		return EmptyInterval()
+	}
+	return iv
+}

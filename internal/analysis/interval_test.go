@@ -1,0 +1,305 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"valueprof/internal/isa"
+)
+
+// --- Interval lattice ops ---
+
+func TestIntervalJoin(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Interval
+		want Interval
+	}{
+		{"disjoint hull", Interval{1, 3}, Interval{10, 20}, Interval{1, 20}},
+		{"contained", Interval{0, 100}, Interval{5, 7}, Interval{0, 100}},
+		{"empty left", EmptyInterval(), Interval{-4, 4}, Interval{-4, 4}},
+		{"empty right", Interval{-4, 4}, EmptyInterval(), Interval{-4, 4}},
+		{"both empty", EmptyInterval(), EmptyInterval(), EmptyInterval()},
+		{"top absorbs", TopInterval(), Single(9), TopInterval()},
+		{"singletons", Single(2), Single(-2), Interval{-2, 2}},
+	}
+	for _, c := range cases {
+		if got := c.a.Join(c.b); got != c.want {
+			t.Errorf("%s: %s join %s = %s, want %s", c.name, c.a, c.b, got, c.want)
+		}
+		// Join is commutative.
+		if got := c.b.Join(c.a); got != c.want {
+			t.Errorf("%s (swapped): got %s, want %s", c.name, got, c.want)
+		}
+	}
+}
+
+func TestIntervalMeet(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Interval
+		want Interval
+	}{
+		{"overlap", Interval{0, 10}, Interval{5, 20}, Interval{5, 10}},
+		{"disjoint", Interval{0, 3}, Interval{5, 9}, EmptyInterval()},
+		{"top identity", TopInterval(), Interval{-7, 7}, Interval{-7, 7}},
+		{"point", Interval{0, 10}, Single(10), Single(10)},
+		{"empty annihilates", EmptyInterval(), TopInterval(), EmptyInterval()},
+	}
+	for _, c := range cases {
+		if got := c.a.Meet(c.b); got != c.want {
+			t.Errorf("%s: %s meet %s = %s, want %s", c.name, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIntervalWiden(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Interval
+		want Interval
+	}{
+		{"stable", Interval{0, 10}, Interval{0, 10}, Interval{0, 10}},
+		{"hi grows", Interval{0, 10}, Interval{0, 11}, Interval{0, math.MaxInt64}},
+		{"lo shrinks", Interval{0, 10}, Interval{-1, 10}, Interval{math.MinInt64, 10}},
+		{"both move", Interval{0, 0}, Interval{-5, 5}, TopInterval()},
+		{"from empty", EmptyInterval(), Interval{3, 4}, Interval{3, 4}},
+	}
+	for _, c := range cases {
+		if got := c.a.Widen(c.b); got != c.want {
+			t.Errorf("%s: %s widen %s = %s, want %s", c.name, c.a, c.b, got, c.want)
+		}
+	}
+	// Widening must be an upper bound of both arguments.
+	w := Interval{2, 5}.Widen(Interval{0, 9})
+	if !w.Contains(0) || !w.Contains(9) || !w.Contains(2) {
+		t.Errorf("widen not an upper bound: %s", w)
+	}
+}
+
+func TestIntervalNarrow(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Interval
+		want Interval
+	}{
+		// Narrowing only refines endpoints the widening blew to infinity.
+		{"recover hi", Interval{0, math.MaxInt64}, Interval{0, 17}, Interval{0, 17}},
+		{"recover lo", Interval{math.MinInt64, 4}, Interval{-3, 4}, Interval{-3, 4}},
+		{"keep finite", Interval{0, 10}, Interval{2, 8}, Interval{0, 10}},
+		{"top to bounded", TopInterval(), Interval{-1, 1}, Interval{-1, 1}},
+	}
+	for _, c := range cases {
+		if got := c.a.Narrow(c.b); got != c.want {
+			t.Errorf("%s: %s narrow %s = %s, want %s", c.name, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// --- Transfer functions: overflow saturation ---
+
+func TestIntervalTransferOverflowSaturates(t *testing.T) {
+	max := int64(math.MaxInt64)
+	min := int64(math.MinInt64)
+	cases := []struct {
+		name string
+		op   isa.Op
+		a, b Interval
+		want Interval
+	}{
+		{"add ok", isa.OpAdd, Interval{1, 2}, Interval{10, 20}, Interval{11, 22}},
+		{"add overflow", isa.OpAdd, Interval{max - 1, max}, Interval{1, 2}, TopInterval()},
+		{"sub ok", isa.OpSub, Interval{10, 20}, Interval{1, 2}, Interval{8, 19}},
+		{"sub underflow", isa.OpSub, Interval{min, min + 1}, Interval{1, 1}, TopInterval()},
+		{"mul ok", isa.OpMul, Interval{-3, 3}, Interval{2, 4}, Interval{-12, 12}},
+		{"mul overflow", isa.OpMul, Interval{max / 2, max}, Interval{2, 2}, TopInterval()},
+		{"mul min by -1", isa.OpMul, Single(min), Single(-1), TopInterval()},
+		{"div positive", isa.OpDiv, Interval{10, 20}, Interval{2, 5}, Interval{2, 10}},
+		{"div maybe zero", isa.OpDiv, Interval{10, 20}, Interval{0, 5}, TopInterval()},
+		{"rem bound", isa.OpRem, TopInterval(), Interval{3, 10}, Interval{-9, 9}},
+		{"rem nonneg dividend", isa.OpRem, Interval{0, max}, Interval{3, 10}, Interval{0, 9}},
+		{"and nonneg", isa.OpAnd, Interval{0, 255}, TopInterval(), Interval{0, 255}},
+		{"sll overflow", isa.OpSll, Interval{1, 1 << 40}, Single(32), TopInterval()},
+		{"sll ok", isa.OpSll, Single(3), Single(2), Single(12)},
+		{"srl nonneg", isa.OpSrl, Interval{0, 1024}, Single(4), Interval{0, 64}},
+		{"sra halves", isa.OpSra, Interval{-8, 8}, Single(1), Interval{-4, 4}},
+		{"cmp proved", isa.OpCmplt, Interval{0, 4}, Interval{10, 12}, Single(1)},
+		{"cmp refuted", isa.OpCmplt, Interval{10, 12}, Interval{0, 4}, Single(0)},
+		{"cmp unknown", isa.OpCmplt, Interval{0, 10}, Interval{5, 6}, Interval{0, 1}},
+	}
+	for _, c := range cases {
+		got := intervalOf(c.op, c.a, c.b)
+		if got != c.want {
+			t.Errorf("%s: %v(%s, %s) = %s, want %s", c.name, c.op, c.a, c.b, got, c.want)
+		}
+		// Saturation soundness spot-check: result must contain the product
+		// of the corner values when they are representable.
+		if !got.IsTop() && !c.a.IsEmpty() && !c.b.IsEmpty() {
+			if v, ok := EvalPure(c.op, c.a.Lo, c.b.Lo, 0); ok && !got.Contains(v) {
+				t.Errorf("%s: result %s misses corner value %d", c.name, got, v)
+			}
+		}
+	}
+}
+
+func TestRefineRel(t *testing.T) {
+	cases := []struct {
+		name  string
+		op    isa.Op
+		a, b  Interval
+		holds bool
+		wantA Interval
+		wantB Interval
+	}{
+		{"lt holds", isa.OpCmplt, Interval{0, 10}, Interval{0, 5}, true, Interval{0, 4}, Interval{1, 5}},
+		{"lt fails is ge", isa.OpCmplt, Interval{0, 10}, Interval{4, 20}, false, Interval{4, 10}, Interval{4, 10}},
+		{"eq meets", isa.OpCmpeq, Interval{0, 10}, Interval{5, 20}, true, Interval{5, 10}, Interval{5, 10}},
+		{"ne trims point", isa.OpCmpeq, Interval{0, 10}, Single(10), false, Interval{0, 9}, Single(10)},
+		{"le holds", isa.OpCmple, Interval{0, 10}, Interval{0, 5}, true, Interval{0, 5}, Interval{0, 5}},
+	}
+	for _, c := range cases {
+		ga, gb := refineRel(c.op, c.a, c.b, c.holds)
+		if ga != c.wantA || gb != c.wantB {
+			t.Errorf("%s: got (%s, %s), want (%s, %s)", c.name, ga, gb, c.wantA, c.wantB)
+		}
+	}
+}
+
+// --- Interval dataflow over real programs ---
+
+func TestIntervalsLoopCounter(t *testing.T) {
+	p := mustAssemble(t, `
+main:   addi t0, zero, 0
+loop:   addi t0, t0, 1
+        cmplti t1, t0, 10
+        bne  t1, loop
+done:   addi t2, t0, 0
+        syscall exit
+`)
+	ivs := AnalyzeIntervals(p)
+	if ivs.Degraded {
+		t.Fatal("degraded on direct-flow program")
+	}
+	// Threshold widening stops the counter's upper bound at the guard
+	// constant instead of +inf, so the increment inside the loop keeps a
+	// tight box.
+	iv, ok := ivs.At(1)
+	if !ok {
+		t.Fatal("no fact at pc 1")
+	}
+	if want := (Interval{1, 10}); iv != want {
+		t.Errorf("loop increment fact = %s, want %s", iv, want)
+	}
+	// After the loop the guard has failed: t0 == 10 exactly.
+	if iv, _ := ivs.At(4); iv != Single(10) {
+		t.Errorf("loop exit fact = %s, want [10]", iv)
+	}
+}
+
+func TestIntervalsBranchNarrowing(t *testing.T) {
+	p := mustAssemble(t, `
+main:   syscall getint
+        cmplt  t0, v0, zero
+        bne    t0, neg
+        addi   t1, v0, 0
+        syscall exit
+neg:    addi   t2, v0, 0
+        syscall exit
+`)
+	ivs := AnalyzeIntervals(p)
+	// Fall-through arm: cmplt v0, zero failed, so v0 >= 0.
+	iv, _ := ivs.At(3)
+	if iv.Lo != 0 || iv.Hi != math.MaxInt64 {
+		t.Errorf("fall-through fact = %s, want [0, +inf]", iv)
+	}
+	// Taken arm: v0 < 0.
+	iv, _ = ivs.At(5)
+	if iv.Lo != math.MinInt64 || iv.Hi != -1 {
+		t.Errorf("taken fact = %s, want [-inf, -1]", iv)
+	}
+}
+
+func TestIntervalsDeadEdge(t *testing.T) {
+	p := mustAssemble(t, `
+main:   addi t0, zero, 3
+        cmplt t1, t0, zero
+        bne  t1, neg
+        addi t2, zero, 1
+        syscall exit
+neg:    addi t3, zero, 2
+        syscall exit
+`)
+	ivs := AnalyzeIntervals(p)
+	var taken []DeadEdge
+	for _, d := range ivs.DeadEdges() {
+		taken = append(taken, d)
+	}
+	if len(taken) != 1 || taken[0].PC != 2 || !taken[0].Taken {
+		t.Errorf("dead edges = %v, want the taken arm of pc 2", taken)
+	}
+	// The dead arm's block body must be unreached.
+	if iv, _ := ivs.At(5); !iv.IsEmpty() {
+		t.Errorf("dead arm fact = %s, want empty", iv)
+	}
+}
+
+func TestIntervalsWraparound(t *testing.T) {
+	// Repeated doubling overflows int64; the fact must widen to top, not
+	// claim a false bound.
+	p := mustAssemble(t, `
+main:   addi t0, zero, 1
+        addi t1, zero, 100
+loop:   add  t0, t0, t0
+        addi t1, t1, -1
+        bne  t1, loop
+        syscall exit
+`)
+	ivs := AnalyzeIntervals(p)
+	iv, _ := ivs.At(2)
+	if !iv.Contains(math.MinInt64) && iv.Lo > 2 {
+		t.Errorf("doubling fact %s must keep lower bound <= 2", iv)
+	}
+	if iv.Hi != math.MaxInt64 {
+		t.Errorf("doubling fact %s must saturate its upper bound", iv)
+	}
+}
+
+func TestIntervalsDegradedSyntactic(t *testing.T) {
+	p := mustAssemble(t, `
+main:   addi t0, zero, 20
+        jmp  t0
+        ldbu t1, 0(t0)
+        cmplt t2, t1, t0
+        syscall exit
+`)
+	ivs := AnalyzeIntervals(p)
+	if !ivs.Degraded {
+		t.Fatal("indirect jump must degrade the analysis")
+	}
+	if iv, _ := ivs.At(0); iv != Single(20) {
+		t.Errorf("syntactic zero-reg fact = %s, want [20]", iv)
+	}
+	if iv, _ := ivs.At(2); iv != (Interval{0, 255}) {
+		t.Errorf("syntactic byte-load fact = %s, want [0,255]", iv)
+	}
+	if iv, _ := ivs.At(3); iv != (Interval{0, 1}) {
+		t.Errorf("syntactic compare fact = %s, want [0,1]", iv)
+	}
+}
+
+func TestIntervalsCalleeState(t *testing.T) {
+	p := mustAssemble(t, `
+main:   addi a0, zero, 7
+        jsr  f
+        syscall exit
+.proc f
+f:      addi t0, a0, 1
+        ret
+.endproc
+`)
+	ivs := AnalyzeIntervals(p)
+	iv, _ := ivs.At(3)
+	if iv != Single(8) {
+		t.Errorf("callee fact = %s, want [8] (argument propagated through the call)", iv)
+	}
+}

@@ -1,0 +1,727 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"valueprof/internal/isa"
+	"valueprof/internal/program"
+)
+
+// Intervals is the per-pc result of AnalyzeIntervals: for every
+// result-producing instruction, a sound interval containing every value
+// the instruction can compute at runtime.
+type Intervals struct {
+	prog *program.Program
+	// Facts is indexed by pc; entries for reachable result-producing
+	// instructions hold the computed-result interval, everything else
+	// is top.
+	Facts []Interval
+	// Degraded mirrors Constness.Degraded: programs with indirect jumps
+	// or calls fall back to per-instruction syntactic intervals and make
+	// no reachability or dead-edge claims.
+	Degraded bool
+
+	reached []bool
+	cfg     *CFG
+	dead    []DeadEdge
+}
+
+// DeadEdge is one arm of a conditional branch the interval analysis
+// proves can never be taken: the branch at PC always falls through
+// (Taken=true means the *taken* arm is dead) or always branches
+// (Taken=false: the fall-through arm is dead). Both arms of a branch in
+// an unreachable block are never reported — the whole block is already
+// unreached.
+type DeadEdge struct {
+	PC    int
+	Taken bool
+}
+
+// ivState is the abstract machine state: one interval per register.
+type ivState [isa.NumRegs]Interval
+
+func joinState(a, b *ivState) (ivState, bool) {
+	var out ivState
+	changed := false
+	for r := range a {
+		out[r] = a[r].Join(b[r])
+		if out[r] != a[r] {
+			changed = true
+		}
+	}
+	return out, changed
+}
+
+func narrowState(old, next *ivState) ivState {
+	var out ivState
+	for r := range old {
+		out[r] = old[r].Narrow(next[r])
+	}
+	return out
+}
+
+// Widening policy: headers of natural loops and call-entry blocks widen
+// after ivWidenDelay joins (delayed widening keeps short constant chains
+// precise); any block updated more than ivHardWiden times widens
+// unconditionally, guaranteeing termination even on irreducible control
+// flow the dominator-based header detection misses.
+const (
+	ivWidenDelay = 2
+	ivHardWiden  = 32
+)
+
+// ivAnalyzer carries the dataflow state of one AnalyzeIntervals run.
+type ivAnalyzer struct {
+	cfg  *CFG
+	kill RegSet
+	// ths are widening thresholds: the program's immediate constants and
+	// their neighbors, sorted ascending. Widening a bound stops at the
+	// nearest threshold before jumping to infinity, which keeps
+	// guard-bounded loop counters finite (the guard's constant is always
+	// a threshold) without risking termination — the set is finite and
+	// every widening step strictly advances through it.
+	ths []int64
+}
+
+// collectThresholds gathers widening thresholds from every immediate
+// operand in the program (plus small defaults). imm-1 and imm+1 cover
+// the off-by-one bounds strict comparisons imply.
+func collectThresholds(code []isa.Inst) []int64 {
+	set := map[int64]bool{-1: true, 0: true, 1: true}
+	for _, in := range code {
+		if in.Op.Form() == isa.FormRRI {
+			v := int64(in.Imm)
+			set[v-1], set[v], set[v+1] = true, true, true
+		}
+	}
+	ths := make([]int64, 0, len(set))
+	for v := range set {
+		ths = append(ths, v)
+	}
+	sort.Slice(ths, func(i, j int) bool { return ths[i] < ths[j] })
+	return ths
+}
+
+// widen is Interval.Widen with threshold stops: a growing bound lands on
+// the nearest program constant that covers it, and only escalates to
+// infinity when no threshold remains.
+func (an *ivAnalyzer) widen(old, next Interval) Interval {
+	if old.IsEmpty() {
+		return next
+	}
+	if next.IsEmpty() {
+		return old
+	}
+	out := old
+	if next.Lo < old.Lo {
+		out.Lo = math.MinInt64
+		// Largest threshold <= next.Lo.
+		if i := sort.Search(len(an.ths), func(i int) bool { return an.ths[i] > next.Lo }); i > 0 {
+			out.Lo = an.ths[i-1]
+		}
+	}
+	if next.Hi > old.Hi {
+		out.Hi = math.MaxInt64
+		// Smallest threshold >= next.Hi.
+		if i := sort.Search(len(an.ths), func(i int) bool { return an.ths[i] >= next.Hi }); i < len(an.ths) {
+			out.Hi = an.ths[i]
+		}
+	}
+	return out
+}
+
+func (an *ivAnalyzer) widenState(old, next *ivState) ivState {
+	var out ivState
+	for r := range old {
+		out[r] = an.widen(old[r], next[r])
+	}
+	return out
+}
+
+// resultIv computes the interval of the value a result-producing
+// instruction writes (the value an after-hook observes).
+func (an *ivAnalyzer) resultIv(in isa.Inst, pc int, st *ivState) Interval {
+	if iv, ok := loadInterval(in.Op); ok {
+		return iv
+	}
+	switch in.Op {
+	case isa.OpJsr, isa.OpJsrr:
+		return Single(int64(pc + 1)) // link value
+	}
+	a := st[in.Ra]
+	op := in.Op
+	var b Interval
+	switch in.Op.Form() {
+	case isa.FormRRR:
+		b = st[in.Rb]
+	case isa.FormRRI:
+		var ok bool
+		op, b, ok = immOperand(in)
+		if !ok {
+			return TopInterval()
+		}
+	default:
+		return TopInterval()
+	}
+	return intervalOf(op, a, b)
+}
+
+// loadInterval bounds a load's result from its width and extension
+// alone; sound under any machine state.
+func loadInterval(op isa.Op) (Interval, bool) {
+	switch op {
+	case isa.OpLdq:
+		return TopInterval(), true
+	case isa.OpLdl:
+		return Interval{math.MinInt32, math.MaxInt32}, true
+	case isa.OpLdbu:
+		return Interval{0, 255}, true
+	case isa.OpLdb:
+		return Interval{-128, 127}, true
+	}
+	return Interval{}, false
+}
+
+// apply advances st across in, mirroring the constness analyzer's
+// interprocedural model: jsr delivers the callee-entry state through
+// propagateCall and clobbers every register the image writes anywhere
+// plus the caller-saved set.
+func (an *ivAnalyzer) apply(in isa.Inst, pc int, st *ivState, propagateCall func(callee int, at *ivState)) {
+	switch in.Op {
+	case isa.OpJsr, isa.OpJsrr:
+		callee := *st
+		if in.Rd != isa.RegZero {
+			callee[in.Rd] = Single(int64(pc + 1))
+		}
+		if in.Op == isa.OpJsr {
+			if b := an.cfg.blockIndex(int(in.Imm)); b >= 0 {
+				propagateCall(b, &callee)
+			}
+		}
+		for r := uint8(0); r < isa.NumRegs; r++ {
+			if an.kill.Has(r) {
+				st[r] = TopInterval()
+			}
+		}
+		if in.Rd != isa.RegZero {
+			st[in.Rd] = TopInterval()
+		}
+		return
+	case isa.OpSyscall:
+		if in.Imm == isa.SysClock {
+			st[isa.RegV0] = Interval{0, math.MaxInt64} // cycle counter
+		} else {
+			st[isa.RegV0] = TopInterval()
+		}
+		return
+	}
+	if !in.Op.HasDest() || in.Rd == isa.RegZero {
+		return
+	}
+	st[in.Rd] = an.resultIv(in, pc, st)
+}
+
+// condBranch reports whether blk ends in a two-armed conditional branch
+// (target distinct from fall-through) and returns its instruction.
+func (an *ivAnalyzer) condBranch(blk *Block) (isa.Inst, bool) {
+	last := an.cfg.Code[blk.End-1-an.cfg.Base]
+	if last.Op != isa.OpBeq && last.Op != isa.OpBne {
+		return last, false
+	}
+	if int(last.Imm) == blk.End {
+		return last, false // both arms land on the same block
+	}
+	return last, true
+}
+
+// refineEdge narrows st — the state at the end of a conditional-branch
+// block — with the facts the chosen arm implies: the branched register
+// meets [0,0] (or drops a zero endpoint), and when the register was
+// produced by a comparison in the same block whose operands survive to
+// the branch, the comparison's operands are refined relationally.
+// Returns false when the refined state is infeasible: that arm can
+// never be taken.
+func (an *ivAnalyzer) refineEdge(blk *Block, taken bool, st *ivState) bool {
+	last := an.cfg.Code[blk.End-1-an.cfg.Base]
+	// The branch predicate: beq takes when ra == 0, bne when ra != 0.
+	raZero := (last.Op == isa.OpBeq) == taken
+	ra := last.Ra
+	var refined Interval
+	if raZero {
+		refined = st[ra].Meet(Single(0))
+	} else {
+		refined = trimValue(st[ra], 0)
+	}
+	if refined.IsEmpty() {
+		return false
+	}
+	if ra != isa.RegZero {
+		st[ra] = refined
+	}
+	an.refineCompare(blk, ra, !raZero, st)
+	return true
+}
+
+// refineCompare looks for the defining comparison of the branch register
+// inside the block and, when its operands reach the branch unmodified,
+// refines them with the knowledge that the comparison evaluated to
+// holds. Infeasibility is already decided by the branch register itself
+// (a comparison result is always in [0,1], so the relational refinement
+// can tighten but never newly empty the branch decision).
+func (an *ivAnalyzer) refineCompare(blk *Block, ra uint8, holds bool, st *ivState) {
+	if ra == isa.RegZero {
+		return
+	}
+	code := an.cfg.Code
+	base := an.cfg.Base
+	// Registers clobbered between a candidate def and the branch.
+	var clobbered RegSet
+	for pc := blk.End - 2; pc >= blk.Start; pc-- {
+		in := code[pc-base]
+		_, def := UseDef(in)
+		if !def.Has(ra) {
+			clobbered |= def
+			continue
+		}
+		if in.Op.Class() != isa.ClassCompare {
+			return // defined by something else; no relational fact
+		}
+		if in.Ra == ra || (in.Op.Form() == isa.FormRRR && in.Rb == ra) {
+			return // the comparison overwrote its own operand
+		}
+		if in.Op.Form() == isa.FormRRR && in.Ra == in.Rb {
+			return // x REL x carries no refinable fact
+		}
+		if clobbered.Has(in.Ra) {
+			return
+		}
+		op := in.Op
+		a := st[in.Ra]
+		var b Interval
+		refineB := false
+		switch in.Op.Form() {
+		case isa.FormRRR:
+			if clobbered.Has(in.Rb) {
+				return
+			}
+			b = st[in.Rb]
+			refineB = in.Rb != isa.RegZero && in.Rb != in.Ra
+		case isa.FormRRI:
+			var ok bool
+			op, b, ok = immOperand(in)
+			if !ok {
+				return
+			}
+		default:
+			return
+		}
+		na, nb := refineRel(op, a, b, holds)
+		if na.IsEmpty() || nb.IsEmpty() {
+			// The branch outcome already encodes feasibility; an empty
+			// relational refinement here means the comparison operands'
+			// boxes were too coarse to agree — keep them unrefined.
+			return
+		}
+		if in.Ra != isa.RegZero {
+			st[in.Ra] = na
+		}
+		if refineB {
+			st[in.Rb] = nb
+		}
+		return
+	}
+}
+
+// AnalyzeIntervals runs the whole-program value-range dataflow. The
+// structure mirrors AnalyzeConstness: same entry state shape (all
+// registers zero except sp/fp, which hold the unknown memory top), same
+// call-clobber model, same degraded fallback for programs with indirect
+// control flow. On top of that it widens at loop headers (found via the
+// dominator tree), narrows along conditional-branch edges, and finishes
+// with two decreasing rounds applying the narrowing operator to recover
+// precision the widening discarded.
+func AnalyzeIntervals(p *program.Program) *Intervals {
+	ivs := &Intervals{
+		prog:  p,
+		Facts: make([]Interval, len(p.Code)),
+	}
+	for i := range ivs.Facts {
+		ivs.Facts[i] = TopInterval()
+	}
+	for _, in := range p.Code {
+		if in.Op == isa.OpJmp || in.Op == isa.OpJsrr {
+			ivs.Degraded = true
+			break
+		}
+	}
+	if ivs.Degraded {
+		for pc, in := range p.Code {
+			ivs.Facts[pc] = syntacticInterval(pc, in)
+		}
+		return ivs
+	}
+	cfg := ForProgram(p)
+	ivs.cfg = cfg
+	ivs.reached = cfg.Reachable()
+	if len(p.Code) == 0 {
+		return ivs
+	}
+
+	an := &ivAnalyzer{cfg: cfg, ths: collectThresholds(p.Code)}
+	for _, in := range p.Code {
+		_, def := UseDef(in)
+		an.kill |= def
+	}
+	for _, r := range CallerSaved {
+		an.kill.Add(r)
+	}
+
+	// Widening points: targets of retreating edges in a whole-program
+	// traversal that follows call edges too, so loop headers inside
+	// called procedures and recursive call cycles are all covered. The
+	// traversal order doubles as the worklist priority and the visit
+	// order of the decreasing rounds.
+	order, orderNum, widenAt := flowOrder(cfg)
+	nb := len(cfg.Blocks)
+
+	var entry ivState
+	for r := range entry {
+		entry[r] = Single(0)
+	}
+	entry[isa.RegSP] = TopInterval()
+	entry[isa.RegFP] = TopInterval()
+
+	in := make([]*ivState, nb)
+	seen := make([]bool, nb)
+	updates := make([]int, nb)
+	inWL := make([]bool, nb)
+	var worklist []int
+	push := func(b int, st *ivState) {
+		if !seen[b] {
+			seen[b] = true
+			cp := *st
+			in[b] = &cp
+			worklist = append(worklist, b)
+			inWL[b] = true
+			return
+		}
+		joined, changed := joinState(in[b], st)
+		if !changed {
+			return
+		}
+		updates[b]++
+		if (widenAt[b] && updates[b] > ivWidenDelay) || updates[b] > ivHardWiden {
+			joined = an.widenState(in[b], &joined)
+		}
+		*in[b] = joined
+		if !inWL[b] {
+			worklist = append(worklist, b)
+			inWL[b] = true
+		}
+	}
+	// pop removes the worklist block earliest in traversal order, so
+	// acyclic regions converge in near-linear update counts and the
+	// hard-widening backstop only fires on genuine cycles.
+	pop := func() int {
+		best := 0
+		for i := 1; i < len(worklist); i++ {
+			if orderNum[worklist[i]] < orderNum[worklist[best]] {
+				best = i
+			}
+		}
+		b := worklist[best]
+		worklist[best] = worklist[len(worklist)-1]
+		worklist = worklist[:len(worklist)-1]
+		inWL[b] = false
+		return b
+	}
+
+	eb := cfg.EntryBlock()
+	if eb < 0 {
+		return ivs
+	}
+	push(eb, &entry)
+
+	step := func(b int) {
+		st := *in[b]
+		blk := &cfg.Blocks[b]
+		for pc := blk.Start; pc < blk.End; pc++ {
+			an.apply(cfg.Code[pc], pc, &st, push)
+		}
+		last := cfg.Code[blk.End-1]
+		if _, ok := an.condBranch(blk); ok {
+			tgt := int(last.Imm)
+			for _, s := range blk.Succs {
+				est := st
+				if an.refineEdge(blk, cfg.Blocks[s].Start == tgt, &est) {
+					push(s, &est)
+				}
+			}
+			return
+		}
+		for _, s := range blk.Succs {
+			push(s, &st)
+		}
+	}
+	for len(worklist) > 0 {
+		step(pop())
+	}
+
+	// Call-entry contributions, for the decreasing rounds.
+	callersOf := map[int][]int{} // callee block -> call pcs
+	for _, cs := range cfg.CallSites {
+		if cs.Callee >= 0 {
+			callersOf[cs.Callee] = append(callersOf[cs.Callee], cs.PC)
+		}
+	}
+	// edgeOut replays block b from its fixpoint entry state and refines
+	// for the edge to succ; feasible=false marks a dead arm.
+	noCall := func(int, *ivState) {}
+	edgeOut := func(b, succ int) (ivState, bool) {
+		st := *in[b]
+		blk := &cfg.Blocks[b]
+		for pc := blk.Start; pc < blk.End; pc++ {
+			an.apply(cfg.Code[pc], pc, &st, noCall)
+		}
+		if _, ok := an.condBranch(blk); ok {
+			taken := cfg.Blocks[succ].Start == int(cfg.Code[blk.End-1].Imm)
+			if !an.refineEdge(blk, taken, &st) {
+				return st, false
+			}
+		}
+		return st, true
+	}
+	// callState replays the caller block up to the call at pc and builds
+	// the callee-entry state.
+	callState := func(pc int) (ivState, bool) {
+		cb := cfg.BlockContaining(pc)
+		if cb < 0 || !seen[cb] {
+			return ivState{}, false
+		}
+		st := *in[cb]
+		for p := cfg.Blocks[cb].Start; p < pc; p++ {
+			an.apply(cfg.Code[p], p, &st, noCall)
+		}
+		call := cfg.Code[pc]
+		if call.Rd != isa.RegZero {
+			st[call.Rd] = Single(int64(pc + 1))
+		}
+		return st, true
+	}
+
+	// Two decreasing rounds: recompute each block's entry as the join of
+	// its feasible incoming contributions and narrow the widened state
+	// against it. Every state in play stays above the true fixpoint, so
+	// the recovered bounds remain sound.
+	for round := 0; round < 2; round++ {
+		for _, b := range order {
+			if !seen[b] {
+				continue
+			}
+			have := false
+			var next ivState
+			join := func(st *ivState) {
+				if !have {
+					next = *st
+					have = true
+					return
+				}
+				next, _ = joinState(&next, st)
+			}
+			if b == eb {
+				join(&entry)
+			}
+			for _, p := range cfg.Blocks[b].Preds {
+				if !seen[p] {
+					continue
+				}
+				if st, feasible := edgeOut(p, b); feasible {
+					join(&st)
+				}
+			}
+			for _, pc := range callersOf[b] {
+				if st, ok := callState(pc); ok {
+					join(&st)
+				}
+			}
+			if !have {
+				continue
+			}
+			*in[b] = narrowState(in[b], &next)
+		}
+	}
+
+	// The dataflow's seen set refines CFG reachability: a block all of
+	// whose incoming edges proved infeasible was never pushed, so it can
+	// never execute. Intersecting keeps Reached sound and lets At report
+	// empty intervals behind dead branch arms.
+	for b := range ivs.reached {
+		ivs.reached[b] = ivs.reached[b] && seen[b]
+	}
+
+	// Final pass: record per-pc facts and collect dead branch arms.
+	for b := range cfg.Blocks {
+		if !seen[b] {
+			continue
+		}
+		st := *in[b]
+		blk := &cfg.Blocks[b]
+		for pc := blk.Start; pc < blk.End; pc++ {
+			ins := cfg.Code[pc]
+			if ins.Op.HasDest() {
+				ivs.Facts[pc] = an.resultIv(ins, pc, &st)
+			}
+			an.apply(ins, pc, &st, noCall)
+		}
+		if _, ok := an.condBranch(blk); ok && ivs.reached[b] {
+			tgt := int(cfg.Code[blk.End-1].Imm)
+			for _, s := range blk.Succs {
+				est := st
+				taken := cfg.Blocks[s].Start == tgt
+				if !an.refineEdge(blk, taken, &est) {
+					ivs.dead = append(ivs.dead, DeadEdge{PC: blk.End - 1, Taken: taken})
+				}
+			}
+		}
+	}
+	return ivs
+}
+
+// syntacticInterval bounds an instruction's result using no dataflow at
+// all, so it is sound under arbitrary control flow and register state:
+// loads are bounded by their width, comparisons by {0,1}, link values by
+// their pc, and operations over the hardwired zero register evaluate
+// exactly.
+func syntacticInterval(pc int, in isa.Inst) Interval {
+	if !in.Op.HasDest() {
+		return TopInterval()
+	}
+	if iv, ok := loadInterval(in.Op); ok {
+		return iv
+	}
+	switch in.Op {
+	case isa.OpJsr, isa.OpJsrr:
+		return Single(int64(pc + 1))
+	}
+	switch in.Op.Form() {
+	case isa.FormRRI:
+		if in.Ra == isa.RegZero {
+			if v, ok := EvalPure(in.Op, 0, 0, in.Imm); ok {
+				return Single(v)
+			}
+		}
+	case isa.FormRRR:
+		if in.Ra == isa.RegZero && in.Rb == isa.RegZero {
+			if v, ok := EvalPure(in.Op, 0, 0, in.Imm); ok {
+				return Single(v)
+			}
+		}
+	}
+	switch in.Op.Class() {
+	case isa.ClassCompare:
+		return Interval{0, 1}
+	}
+	switch in.Op {
+	case isa.OpAndi:
+		if in.Imm >= 0 {
+			return Interval{0, int64(in.Imm)}
+		}
+	case isa.OpSrli:
+		if uint32(in.Imm)&63 != 0 {
+			return Interval{0, math.MaxInt64}
+		}
+	}
+	return TopInterval()
+}
+
+// Reached reports whether the instruction at pc can execute; under
+// degraded analysis everything is assumed reachable.
+func (ivs *Intervals) Reached(pc int) bool {
+	if ivs.Degraded {
+		return true
+	}
+	b := ivs.cfg.BlockContaining(pc)
+	return b >= 0 && ivs.reached[b]
+}
+
+// At returns the computed-result interval of the result-producing
+// instruction at pc. ok is false for non-result pcs and out-of-range
+// pcs; unreachable pcs report the empty interval.
+func (ivs *Intervals) At(pc int) (Interval, bool) {
+	if pc < 0 || pc >= len(ivs.Facts) {
+		return TopInterval(), false
+	}
+	if !ivs.prog.Code[pc].Op.HasDest() {
+		return TopInterval(), false
+	}
+	if !ivs.Reached(pc) {
+		return EmptyInterval(), true
+	}
+	return ivs.Facts[pc], true
+}
+
+// DeadEdges returns the branch arms proven unreachable, in pc order.
+// Always empty under degraded analysis.
+func (ivs *Intervals) DeadEdges() []DeadEdge { return ivs.dead }
+
+// flowOrder is a whole-program DFS following CFG successor edges and
+// direct-call edges from the entry (then from any address-taken block
+// not yet visited). It returns the blocks in reverse postorder, a
+// per-block order index (unvisited blocks sort last), and the targets
+// of retreating edges — a superset of the natural-loop headers and
+// recursive-call entries, used as widening points.
+func flowOrder(cfg *CFG) (order []int, orderNum []int, retreat []bool) {
+	nb := len(cfg.Blocks)
+	orderNum = make([]int, nb)
+	retreat = make([]bool, nb)
+	state := make([]int, nb) // 0 unvisited, 1 on stack, 2 done
+	calleesOf := make(map[int][]int)
+	for _, cs := range cfg.CallSites {
+		b := cfg.BlockContaining(cs.PC)
+		if cs.Callee >= 0 {
+			calleesOf[b] = append(calleesOf[b], cs.Callee)
+		}
+	}
+	var post []int
+	var dfs func(b int)
+	dfs = func(b int) {
+		state[b] = 1
+		for _, s := range cfg.Blocks[b].Succs {
+			switch state[s] {
+			case 0:
+				dfs(s)
+			case 1:
+				retreat[s] = true
+			}
+		}
+		for _, s := range calleesOf[b] {
+			switch state[s] {
+			case 0:
+				dfs(s)
+			case 1:
+				retreat[s] = true
+			}
+		}
+		state[b] = 2
+		post = append(post, b)
+	}
+	if eb := cfg.EntryBlock(); eb >= 0 {
+		dfs(eb)
+	}
+	for _, b := range cfg.AddressTaken {
+		if state[b] == 0 {
+			dfs(b)
+		}
+	}
+	for i := len(post) - 1; i >= 0; i-- {
+		order = append(order, post[i])
+	}
+	for b := range orderNum {
+		orderNum[b] = nb
+	}
+	for i, b := range order {
+		orderNum[b] = i
+	}
+	return order, orderNum, retreat
+}

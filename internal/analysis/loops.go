@@ -1,0 +1,581 @@
+package analysis
+
+import (
+	"sort"
+
+	"valueprof/internal/isa"
+	"valueprof/internal/program"
+)
+
+// Loop is one natural loop: the set of blocks that can reach a back
+// edge's source without passing its header. Loops sharing a header are
+// merged, so headers identify loops uniquely.
+type Loop struct {
+	Header int   // block index of the loop header
+	Blocks []int // sorted block indices, header included
+	Parent int   // index of the enclosing loop in LoopInfo.Loops, -1
+	Depth  int   // nesting depth, 1 = outermost
+
+	// Trip is the proven per-entry trip count (body executions per time
+	// the loop is entered), 0 when underivable. TripExact distinguishes
+	// an exact count from an upper bound (the loop has early exits).
+	Trip      int64
+	TripExact bool
+}
+
+func (l *Loop) contains(b int) bool {
+	i := sort.SearchInts(l.Blocks, b)
+	return i < len(l.Blocks) && l.Blocks[i] == b
+}
+
+// LoopInfo is the result of AnalyzeLoops: the natural loops of the
+// whole-program CFG (found per procedure, since callee entries are not
+// reachable along successor edges), trip-count bounds, per-block static
+// execution-frequency estimates, and at-most-once execution proofs.
+type LoopInfo struct {
+	prog *program.Program
+	cfg  *CFG
+	// Degraded mirrors Constness.Degraded; no at-most-once claims are
+	// made for programs with indirect control flow.
+	Degraded bool
+
+	Loops  []*Loop
+	LoopOf []int     // block -> innermost containing loop index, -1
+	Freq   []float64 // block -> estimated executions per run
+
+	once []bool
+}
+
+// Frequency model: unknown trip counts estimate defaultTrip iterations,
+// and every estimate saturates at freqCap so nested unknowns cannot
+// overflow.
+const (
+	defaultTrip = 8
+	freqCap     = 1e12
+)
+
+// AnalyzeLoops identifies natural loops via per-procedure dominator
+// trees, derives trip-count bounds from down-counting induction
+// patterns, and estimates per-block execution frequencies through the
+// call graph. All claims except Freq are proofs: Trip/TripExact hold
+// whenever the analysis emits them, and Once(pc) implies the
+// instruction executes at most one time per run.
+func AnalyzeLoops(p *program.Program) *LoopInfo {
+	li := &LoopInfo{prog: p}
+	for _, in := range p.Code {
+		if in.Op == isa.OpJmp || in.Op == isa.OpJsrr {
+			li.Degraded = true
+			break
+		}
+	}
+	cfg := ForProgram(p)
+	li.cfg = cfg
+	nb := len(cfg.Blocks)
+	li.LoopOf = make([]int, nb)
+	for i := range li.LoopOf {
+		li.LoopOf[i] = -1
+	}
+	li.Freq = make([]float64, nb)
+	li.once = make([]bool, nb)
+	if nb == 0 {
+		return li
+	}
+
+	// Procedure roots: the program entry plus every direct-call target
+	// (plus the address-taken set under indirect control flow).
+	rootSet := map[int]bool{}
+	eb := cfg.EntryBlock()
+	if eb >= 0 {
+		rootSet[eb] = true
+	}
+	for _, cs := range cfg.CallSites {
+		if cs.Callee >= 0 {
+			rootSet[cs.Callee] = true
+		}
+	}
+	if li.Degraded {
+		for _, b := range cfg.AddressTaken {
+			rootSet[b] = true
+		}
+	}
+	roots := make([]int, 0, len(rootSet))
+	for r := range rootSet {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+
+	// Natural loops from back edges (target dominates source), found
+	// under each procedure's own dominator tree.
+	bodies := map[int]map[int]bool{}
+	domFor := map[int]*DomTree{}
+	for _, root := range roots {
+		dom := cfg.dominatorsFrom(root)
+		for _, b := range dom.RPO {
+			for _, s := range cfg.Blocks[b].Succs {
+				if dom.Dominates(s, b) {
+					if _, ok := domFor[s]; !ok {
+						domFor[s] = dom
+					}
+					collectLoop(cfg, s, b, bodies)
+				}
+			}
+		}
+	}
+	headers := make([]int, 0, len(bodies))
+	for h := range bodies {
+		headers = append(headers, h)
+	}
+	sort.Ints(headers)
+	for _, h := range headers {
+		blocks := make([]int, 0, len(bodies[h]))
+		for b := range bodies[h] {
+			blocks = append(blocks, b)
+		}
+		sort.Ints(blocks)
+		li.Loops = append(li.Loops, &Loop{Header: h, Blocks: blocks, Parent: -1})
+	}
+
+	// Innermost-loop map and nesting: smaller bodies are inner.
+	bySize := make([]int, len(li.Loops))
+	for i := range bySize {
+		bySize[i] = i
+	}
+	sort.Slice(bySize, func(i, j int) bool {
+		a, b := li.Loops[bySize[i]], li.Loops[bySize[j]]
+		if len(a.Blocks) != len(b.Blocks) {
+			return len(a.Blocks) < len(b.Blocks)
+		}
+		return a.Header < b.Header
+	})
+	for _, l := range bySize {
+		for _, b := range li.Loops[l].Blocks {
+			if li.LoopOf[b] < 0 {
+				li.LoopOf[b] = l
+			}
+		}
+	}
+	for i, l := range li.Loops {
+		for _, m := range bySize {
+			if m == i || len(li.Loops[m].Blocks) <= len(l.Blocks) {
+				continue
+			}
+			if li.Loops[m].contains(l.Header) {
+				l.Parent = m
+				break
+			}
+		}
+	}
+	for _, l := range li.Loops {
+		l.Depth = 1
+		for p := l.Parent; p >= 0; p = li.Loops[p].Parent {
+			l.Depth++
+		}
+	}
+
+	li.deriveTrips(domFor)
+
+	// Cycle membership (SCCs over successor edges) feeds the
+	// at-most-once proof: a block outside every cycle executes at most
+	// once per invocation of its procedure.
+	inCycle := sccCycles(cfg)
+
+	// Which procedures can reach each block along successor edges; a
+	// block claimed by more than one procedure gets no once-proof and
+	// its frequency charges the first claimant only.
+	rootOf := make([]int, nb)
+	reachCnt := make([]int, nb)
+	for i := range rootOf {
+		rootOf[i] = -1
+	}
+	for _, root := range roots {
+		work := []int{root}
+		seen := map[int]bool{root: true}
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			reachCnt[b]++
+			if rootOf[b] < 0 {
+				rootOf[b] = root
+			}
+			for _, s := range cfg.Blocks[b].Succs {
+				if !seen[s] {
+					seen[s] = true
+					work = append(work, s)
+				}
+			}
+		}
+	}
+
+	csByCallee := map[int][]int{}
+	for _, cs := range cfg.CallSites {
+		if cs.Callee >= 0 {
+			csByCallee[cs.Callee] = append(csByCallee[cs.Callee], cs.PC)
+		}
+	}
+
+	// loopMult is the product of trip estimates over the loop chain.
+	loopMult := func(b int) float64 {
+		m := 1.0
+		for l := li.LoopOf[b]; l >= 0; l = li.Loops[l].Parent {
+			t := li.Loops[l].Trip
+			if t <= 0 {
+				t = defaultTrip
+			}
+			m *= float64(t)
+			if m > freqCap {
+				return freqCap
+			}
+		}
+		return m
+	}
+
+	// procFreq estimates invocations of a procedure by summing its call
+	// sites' frequencies; recursion saturates at the cap.
+	freqMemo := map[int]float64{}
+	freqVisiting := map[int]bool{}
+	var procFreq func(root int) float64
+	procFreq = func(root int) float64 {
+		if f, ok := freqMemo[root]; ok {
+			return f
+		}
+		if freqVisiting[root] {
+			return freqCap
+		}
+		freqVisiting[root] = true
+		f := 0.0
+		if root == eb {
+			f = 1
+		}
+		for _, pc := range csByCallee[root] {
+			cb := cfg.BlockContaining(pc)
+			if cb < 0 || rootOf[cb] < 0 {
+				continue
+			}
+			f += procFreq(rootOf[cb]) * loopMult(cb)
+			if f > freqCap {
+				f = freqCap
+				break
+			}
+		}
+		freqVisiting[root] = false
+		freqMemo[root] = f
+		return f
+	}
+	for b := 0; b < nb; b++ {
+		if rootOf[b] < 0 {
+			continue
+		}
+		f := loopMult(b)
+		if !li.Degraded {
+			f *= procFreq(rootOf[b])
+		}
+		if f > freqCap {
+			f = freqCap
+		}
+		li.Freq[b] = f
+	}
+
+	// procOnce proves a procedure is invoked at most once per run: the
+	// entry procedure with no callers, or a procedure with exactly one
+	// call site whose block itself executes at most once.
+	onceMemo := map[int]bool{}
+	onceVisiting := map[int]bool{}
+	var procOnce func(root int) bool
+	procOnce = func(root int) bool {
+		if v, ok := onceMemo[root]; ok {
+			return v
+		}
+		if onceVisiting[root] {
+			return false // recursion
+		}
+		onceVisiting[root] = true
+		v := false
+		pcs := csByCallee[root]
+		switch {
+		case root == eb:
+			v = len(pcs) == 0
+		case len(pcs) == 1:
+			cb := cfg.BlockContaining(pcs[0])
+			v = cb >= 0 && reachCnt[cb] == 1 && !inCycle[cb] &&
+				rootOf[cb] >= 0 && procOnce(rootOf[cb])
+		}
+		onceVisiting[root] = false
+		onceMemo[root] = v
+		return v
+	}
+	if !li.Degraded {
+		for b := 0; b < nb; b++ {
+			li.once[b] = rootOf[b] >= 0 && reachCnt[b] == 1 && !inCycle[b] &&
+				procOnce(rootOf[b])
+		}
+	}
+	return li
+}
+
+// collectLoop accumulates the natural-loop body of the back edge
+// latch->header into bodies[header], merging loops that share a header.
+func collectLoop(cfg *CFG, header, latch int, bodies map[int]map[int]bool) {
+	body := bodies[header]
+	if body == nil {
+		body = map[int]bool{header: true}
+		bodies[header] = body
+	}
+	stack := []int{latch}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if body[n] {
+			continue
+		}
+		body[n] = true
+		for _, p := range cfg.Blocks[n].Preds {
+			stack = append(stack, p)
+		}
+	}
+}
+
+// deriveTrips pattern-matches each loop against the down-counting
+// induction shape
+//
+//	li   r, K        (the only definitions reaching the header from
+//	                  outside the loop, all with the same K > 0)
+//	H: ...body...
+//	   addi r, r, -S (the only definition of r inside the loop, on a
+//	                  block dominating the latch)
+//	   bne  r, H     (the single back edge)
+//
+// which runs the body exactly K/S times when S divides K. The count is
+// exact when the latch fall-through is the only way out of the loop,
+// and an upper bound otherwise.
+func (li *LoopInfo) deriveTrips(domFor map[int]*DomTree) {
+	cfg := li.cfg
+	if len(li.Loops) == 0 {
+		return
+	}
+	var progKill RegSet
+	for _, in := range cfg.Code {
+		_, def := UseDef(in)
+		progKill |= def
+	}
+	for _, r := range CallerSaved {
+		progKill.Add(r)
+	}
+	var rdefs *ReachingDefs // built lazily; most programs have loops
+
+	for _, l := range li.Loops {
+		dom := domFor[l.Header]
+		if dom == nil {
+			continue
+		}
+		// The single latch carrying the back edge.
+		latch := -1
+		for _, b := range l.Blocks {
+			for _, s := range cfg.Blocks[b].Succs {
+				if s == l.Header && dom.Dominates(l.Header, b) {
+					if latch >= 0 && latch != b {
+						latch = -2
+					} else if latch != -2 {
+						latch = b
+					}
+				}
+			}
+		}
+		if latch < 0 {
+			continue
+		}
+		last := cfg.Code[cfg.Blocks[latch].End-1]
+		if last.Op != isa.OpBne || int(last.Imm) != cfg.Blocks[l.Header].Start {
+			continue
+		}
+		r := last.Ra
+		if r == isa.RegZero {
+			continue
+		}
+		// Exactly one in-loop definition of r: the decrement.
+		defPC := -1
+		defs := 0
+		for _, b := range l.Blocks {
+			blk := &cfg.Blocks[b]
+			for pc := blk.Start; pc < blk.End; pc++ {
+				in := cfg.Code[pc]
+				writes := false
+				switch in.Op {
+				case isa.OpJsr, isa.OpJsrr:
+					writes = progKill.Has(r)
+				case isa.OpSyscall:
+					writes = r == isa.RegV0
+				default:
+					_, def := UseDef(in)
+					writes = def.Has(r)
+				}
+				if writes {
+					defs++
+					defPC = pc
+				}
+			}
+		}
+		if defs != 1 {
+			continue
+		}
+		dec := cfg.Code[defPC]
+		if dec.Op != isa.OpAddi || dec.Rd != r || dec.Ra != r || dec.Imm >= 0 {
+			continue
+		}
+		step := -int64(dec.Imm)
+		if !dom.Dominates(cfg.BlockContaining(defPC), latch) {
+			continue
+		}
+		// Initial value: every out-of-loop definition reaching the
+		// header must be the same li r, K.
+		if rdefs == nil {
+			rdefs = cfg.ReachingDefs()
+		}
+		pcs, fromEntry := rdefs.DefsReaching(cfg.Blocks[l.Header].Start, r)
+		if fromEntry {
+			continue
+		}
+		init := int64(0)
+		ok := false
+		for _, pc := range pcs {
+			b := cfg.BlockContaining(pc)
+			if b >= 0 && l.contains(b) {
+				continue // the decrement, reaching around the back edge
+			}
+			in := cfg.Code[pc]
+			if in.Op != isa.OpAddi || in.Ra != isa.RegZero || in.Rd != r {
+				ok = false
+				break
+			}
+			if ok && init != int64(in.Imm) {
+				ok = false
+				break
+			}
+			init = int64(in.Imm)
+			ok = true
+		}
+		if !ok || init <= 0 || step <= 0 || init%step != 0 {
+			continue
+		}
+		l.Trip = init / step
+		// Exact only when the latch fall-through is the sole exit and no
+		// in-loop block terminates the program.
+		l.TripExact = true
+		for _, b := range l.Blocks {
+			blk := &cfg.Blocks[b]
+			if lastIn := cfg.Code[blk.End-1]; lastIn.Op == isa.OpSyscall && lastIn.Imm == isa.SysExit {
+				l.TripExact = false
+			}
+			for _, s := range blk.Succs {
+				if !l.contains(s) && b != latch {
+					l.TripExact = false
+				}
+			}
+		}
+	}
+}
+
+// sccCycles marks every block lying on a successor-edge cycle (a
+// non-trivial strongly connected component or a self-loop), via an
+// iterative Tarjan SCC.
+func sccCycles(cfg *CFG) []bool {
+	n := len(cfg.Blocks)
+	out := make([]bool, n)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	next := 0
+	var stack []int
+
+	type frame struct{ v, i int }
+	for v0 := 0; v0 < n; v0++ {
+		if index[v0] >= 0 {
+			continue
+		}
+		frames := []frame{{v0, 0}}
+		index[v0], low[v0] = next, next
+		next++
+		stack = append(stack, v0)
+		onStack[v0] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			succs := cfg.Blocks[f.v].Succs
+			if f.i < len(succs) {
+				w := succs[f.i]
+				f.i++
+				if w == f.v {
+					out[f.v] = true // self-loop
+				}
+				if index[w] < 0 {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{w, 0})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				if len(comp) > 1 {
+					for _, w := range comp {
+						out[w] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// InnermostLoop returns the innermost loop containing pc, or nil.
+func (li *LoopInfo) InnermostLoop(pc int) *Loop {
+	b := li.cfg.BlockContaining(pc)
+	if b < 0 || li.LoopOf[b] < 0 {
+		return nil
+	}
+	return li.Loops[li.LoopOf[b]]
+}
+
+// HeaderPC returns the first instruction pc of l's header block — the
+// stable way to name a loop in reports.
+func (li *LoopInfo) HeaderPC(l *Loop) int {
+	return li.cfg.Blocks[l.Header].Start
+}
+
+// FreqOf returns the static execution-frequency estimate of pc.
+func (li *LoopInfo) FreqOf(pc int) float64 {
+	b := li.cfg.BlockContaining(pc)
+	if b < 0 {
+		return 0
+	}
+	return li.Freq[b]
+}
+
+// Once reports whether pc provably executes at most one time per run.
+// Never claimed under degraded analysis.
+func (li *LoopInfo) Once(pc int) bool {
+	b := li.cfg.BlockContaining(pc)
+	return b >= 0 && li.once[b]
+}

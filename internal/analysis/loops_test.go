@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"testing"
+)
+
+// --- Natural loops and trip counts ---
+
+func TestLoopsTripCountExact(t *testing.T) {
+	p := mustAssemble(t, `
+main:   addi t0, zero, 12
+loop:   add  t1, t1, t0
+        addi t0, t0, -3
+        bne  t0, loop
+        syscall exit
+`)
+	li := AnalyzeLoops(p)
+	if len(li.Loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(li.Loops))
+	}
+	l := li.Loops[0]
+	if l.Trip != 4 || !l.TripExact {
+		t.Errorf("trip = %d exact=%v, want 4 exact", l.Trip, l.TripExact)
+	}
+	if l.Depth != 1 || l.Parent != -1 {
+		t.Errorf("depth=%d parent=%d, want outermost", l.Depth, l.Parent)
+	}
+	// Frequency: loop body runs Trip times, entry code once.
+	if f := li.FreqOf(0); f != 1 {
+		t.Errorf("entry freq = %v, want 1", f)
+	}
+	if f := li.FreqOf(1); f != 4 {
+		t.Errorf("body freq = %v, want 4", f)
+	}
+}
+
+func TestLoopsTripCountNonUnitNonDivisible(t *testing.T) {
+	// Step 5 does not divide 12: the bne never sees zero, so no trip
+	// claim may be made (the loop would wrap past zero).
+	p := mustAssemble(t, `
+main:   addi t0, zero, 12
+loop:   addi t0, t0, -5
+        bne  t0, loop
+        syscall exit
+`)
+	li := AnalyzeLoops(p)
+	if len(li.Loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(li.Loops))
+	}
+	if li.Loops[0].Trip != 0 {
+		t.Errorf("trip = %d, want 0 (step does not divide init)", li.Loops[0].Trip)
+	}
+}
+
+func TestLoopsTripUpperBoundWithEarlyExit(t *testing.T) {
+	p := mustAssemble(t, `
+main:   addi t0, zero, 6
+loop:   ldbu t1, 0(t0)
+        bne  t1, out
+        addi t0, t0, -1
+        bne  t0, loop
+out:    syscall exit
+`)
+	li := AnalyzeLoops(p)
+	if len(li.Loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(li.Loops))
+	}
+	l := li.Loops[0]
+	if l.Trip != 6 || l.TripExact {
+		t.Errorf("trip = %d exact=%v, want 6 as an upper bound", l.Trip, l.TripExact)
+	}
+}
+
+func TestLoopsNesting(t *testing.T) {
+	p := mustAssemble(t, `
+main:   addi t0, zero, 3
+outer:  addi t1, zero, 5
+inner:  add  t2, t2, t1
+        addi t1, t1, -1
+        bne  t1, inner
+        addi t0, t0, -1
+        bne  t0, outer
+        syscall exit
+`)
+	li := AnalyzeLoops(p)
+	if len(li.Loops) != 2 {
+		t.Fatalf("loops = %d, want 2", len(li.Loops))
+	}
+	var outer, inner *Loop
+	for _, l := range li.Loops {
+		if l.Depth == 1 {
+			outer = l
+		} else {
+			inner = l
+		}
+	}
+	if outer == nil || inner == nil {
+		t.Fatalf("nesting depths wrong: %+v", li.Loops)
+	}
+	if inner.Parent < 0 || li.Loops[inner.Parent] != outer {
+		t.Errorf("inner loop's parent is not the outer loop")
+	}
+	if outer.Trip != 3 || inner.Trip != 5 {
+		t.Errorf("trips = %d/%d, want 3/5", outer.Trip, inner.Trip)
+	}
+	// Inner body frequency multiplies the nest: 3 * 5.
+	ib := li.cfg.BlockContaining(2)
+	if li.Freq[ib] != 15 {
+		t.Errorf("inner body freq = %v, want 15", li.Freq[ib])
+	}
+	// The instruction-level accessor agrees.
+	if f := li.FreqOf(2); f != 15 {
+		t.Errorf("FreqOf(2) = %v, want 15", f)
+	}
+}
+
+func TestLoopsTripRejectsInLoopRedefinition(t *testing.T) {
+	// A call inside the loop may clobber the counter (jsr kills every
+	// program-written register): no trip claim.
+	p := mustAssemble(t, `
+main:   addi t0, zero, 4
+loop:   jsr  f
+        addi t0, t0, -1
+        bne  t0, loop
+        syscall exit
+.proc f
+f:      addi t0, zero, 2
+        ret
+.endproc
+`)
+	li := AnalyzeLoops(p)
+	for _, l := range li.Loops {
+		if l.Trip != 0 {
+			t.Errorf("trip = %d, want 0 (callee clobbers the counter)", l.Trip)
+		}
+	}
+}
+
+// --- At-most-once proofs ---
+
+func TestLoopsOnce(t *testing.T) {
+	p := mustAssemble(t, `
+main:   addi t0, zero, 9
+        jsr  f
+loop:   addi t0, t0, -1
+        jsr  f
+        bne  t0, loop
+        jsr  g
+        syscall exit
+.proc f
+f:      addi t1, t1, 1
+        ret
+.endproc
+.proc g
+g:      addi t2, zero, 7
+        ret
+.endproc
+`)
+	li := AnalyzeLoops(p)
+	if !li.Once(0) {
+		t.Error("entry instruction must be at-most-once")
+	}
+	if li.Once(2) {
+		t.Error("loop body claimed at-most-once")
+	}
+	// f is called from two sites, one inside a loop: not once.
+	if li.Once(7) {
+		t.Error("f body claimed at-most-once despite loop call site")
+	}
+	// g is called exactly once from straight-line code: once.
+	if !li.Once(9) {
+		t.Error("g body must be at-most-once (single straight-line call)")
+	}
+}
+
+func TestLoopsOnceRejectsRecursion(t *testing.T) {
+	p := mustAssemble(t, `
+main:   jsr  f
+        syscall exit
+.proc f
+f:      beq  a0, done
+        addi a0, a0, -1
+        jsr  f
+done:   ret
+.endproc
+`)
+	li := AnalyzeLoops(p)
+	// The recursive callee may run many times per run.
+	if li.Once(3) {
+		t.Error("recursive procedure body claimed at-most-once")
+	}
+	if !li.Once(0) {
+		t.Error("the single call site itself is at-most-once")
+	}
+}
+
+func TestLoopsDegradedMakesNoOnceClaims(t *testing.T) {
+	p := mustAssemble(t, `
+main:   addi t0, zero, 4
+        jmp  t0
+        nop
+        nop
+tgt:    syscall exit
+`)
+	li := AnalyzeLoops(p)
+	if !li.Degraded {
+		t.Fatal("indirect jump must degrade the loop analysis")
+	}
+	for pc := range p.Code {
+		if li.Once(pc) {
+			t.Errorf("once claimed at pc %d under degraded analysis", pc)
+		}
+	}
+}
+
+func TestLoopsHeaderPC(t *testing.T) {
+	p := mustAssemble(t, `
+main:   addi t0, zero, 4
+loop:   addi t0, t0, -1
+        bne  t0, loop
+        syscall exit
+`)
+	li := AnalyzeLoops(p)
+	if len(li.Loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(li.Loops))
+	}
+	if pc := li.HeaderPC(li.Loops[0]); pc != 1 {
+		t.Errorf("HeaderPC = %d, want 1", pc)
+	}
+}

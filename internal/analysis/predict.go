@@ -1,0 +1,534 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"valueprof/internal/core"
+	"valueprof/internal/isa"
+	"valueprof/internal/program"
+)
+
+// Tier is the confidence class of a predicted-invariance claim.
+//
+//	Proved     the site is provably invariant (or provably unreached):
+//	           constness lattice, interval singleton, or at-most-once
+//	           execution proof. Contradicting profiles indicate a bug.
+//	Likely     heuristic evidence (GVN redundancy with a proved site,
+//	           loop-invariant operands) suggests invariance but does not
+//	           prove it. Mispredictions are counted, never fatal.
+//	Uncertain  no useful static evidence; the profiler must look.
+type Tier uint8
+
+const (
+	TierUncertain Tier = iota
+	TierLikely
+	TierProved
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierProved:
+		return "proved"
+	case TierLikely:
+		return "likely"
+	case TierUncertain:
+		return "uncertain"
+	}
+	return fmt.Sprintf("tier(%d)", uint8(t))
+}
+
+// SitePrediction is the fused static verdict for one profiling site.
+type SitePrediction struct {
+	Tier  Tier
+	Score float64 // predicted Inv-All in [0,1]; 1.0 for every proved site
+	// Reason names the strongest evidence source ("const", "invariant",
+	// "unreached", "singleton", "once", "gvn", "loop-inv-operands",
+	// "range", "prior").
+	Reason string
+	// Freq is the static execution-frequency estimate from the loop
+	// analysis (1.0 for straight-line code at the entry).
+	Freq float64
+	// Interval bounds every value the site can produce. Always sound:
+	// TopInterval when nothing is known.
+	Interval Interval
+	// Const pins the produced value (Tier == TierProved only).
+	Const bool
+	Value int64 // valid when Const
+	// Unreached marks a site proven never to execute.
+	Unreached bool
+	// Once marks a site proven to execute at most one time per run.
+	Once bool
+}
+
+// Predictions is the result of Predict: the fused per-site invariance
+// forecast plus the underlying analyses, kept for fact dumps and
+// cross-checking.
+type Predictions struct {
+	prog *program.Program
+
+	Constness *Constness
+	Intervals *Intervals
+	Loops     *LoopInfo
+
+	// Degraded is set when the underlying dataflow had to fall back to
+	// syntactic facts (indirect control flow). Proved claims are then
+	// limited to per-execution syntactic proofs; no reachability or
+	// once-claims are made.
+	Degraded bool
+
+	// Sites maps each result-producing pc to its prediction. Report
+	// emitters must iterate via SitePCs (sorted), never by ranging the
+	// map directly — map order is random and would make reports and
+	// golden tests flaky.
+	Sites map[int]SitePrediction
+}
+
+// Likely-tier scores: calibrated priors, not measurements. They only
+// need to order sites sensibly; the adaptive budget thresholds on tier,
+// not score.
+const (
+	scoreGVNProved  = 0.95 // value-numbered equal to a proved site
+	scoreLoopInv    = 0.90 // all operand defs outside the enclosing loop
+	scoreLoopLoad   = 0.85 // spill reload: in-loop load no in-loop store can alias
+	scoreTinyRange  = 0.60 // interval narrower than the TNV can miss
+	scoreComparePri = 0.40 // compares produce 0/1; top value covers >=50%
+	scoreBasePrior  = 0.10
+)
+
+// tinyRangeWidth is the largest interval width (Hi-Lo) the "range"
+// heuristic still calls likely-invariant-ish; kept below the default
+// TNV size so even a fully-varying site of this width is exactly
+// captured by its table.
+const tinyRangeWidth = 3
+
+// Predict runs the full static stack — constness, intervals, loops,
+// GVN, reaching definitions — and fuses the results into a per-site
+// invariance forecast with confidence tiers.
+func Predict(p *program.Program) *Predictions {
+	pr := &Predictions{
+		prog:      p,
+		Constness: AnalyzeConstness(p),
+		Intervals: AnalyzeIntervals(p),
+		Loops:     AnalyzeLoops(p),
+		Sites:     make(map[int]SitePrediction),
+	}
+	pr.Degraded = pr.Constness.Degraded
+
+	// GVN equivalence classes: map each redundant pc to its
+	// representative so a proved representative upgrades its copies.
+	redundantWith := make(map[int]int)
+	if !pr.Degraded {
+		if cfg := ForProgram(p); cfg != nil {
+			for _, r := range cfg.GVN() {
+				redundantWith[r.PC] = r.With
+			}
+		}
+	}
+
+	var rd *ReachingDefs
+	reaching := func() *ReachingDefs {
+		if rd == nil && !pr.Degraded {
+			if cfg := ForProgram(p); cfg != nil {
+				rd = cfg.ReachingDefs()
+			}
+		}
+		return rd
+	}
+
+	for pc, in := range p.Code {
+		if !in.Op.HasDest() {
+			continue
+		}
+		pr.Sites[pc] = pr.predictSite(pc, in, redundantWith, reaching)
+	}
+	return pr
+}
+
+// predictSite fuses the analyses for one site, strongest evidence
+// first.
+func (pr *Predictions) predictSite(pc int, in isa.Inst, redundantWith map[int]int, reaching func() *ReachingDefs) SitePrediction {
+	iv, _ := pr.Intervals.At(pc)
+	sp := SitePrediction{
+		Freq:     pr.Loops.FreqOf(pc),
+		Interval: iv,
+	}
+
+	// Proved: constness lattice.
+	switch pr.Constness.Kind(pc) {
+	case KindUnreached:
+		sp.Tier, sp.Score, sp.Reason = TierProved, 1.0, "unreached"
+		sp.Unreached = true
+		return sp
+	case KindConst:
+		sp.Tier, sp.Score, sp.Reason = TierProved, 1.0, "const"
+		sp.Const = true
+		sp.Value = pr.Constness.Facts[pc].Value
+		return sp
+	case KindInvariant:
+		sp.Tier, sp.Score, sp.Reason = TierProved, 1.0, "invariant"
+		return sp
+	}
+
+	// Proved: interval collapsed to a point. Syntactic (degraded)
+	// singletons are per-execution proofs too, so no Degraded gate.
+	if v, ok := iv.Singleton(); ok {
+		sp.Tier, sp.Score, sp.Reason = TierProved, 1.0, "singleton"
+		sp.Const = true
+		sp.Value = v
+		return sp
+	}
+	if iv.IsEmpty() {
+		// Interval dataflow found the site unreachable (never claimed
+		// under degraded analysis).
+		sp.Tier, sp.Score, sp.Reason = TierProved, 1.0, "unreached"
+		sp.Unreached = true
+		return sp
+	}
+
+	// Proved: at most one execution means at most one value.
+	if pr.Loops.Once(pc) {
+		sp.Tier, sp.Score, sp.Reason = TierProved, 1.0, "once"
+		sp.Once = true
+		return sp
+	}
+
+	// Likely: value-numbered equal to a proved site. Deliberately not
+	// proved — the adaptive budget's soundness rests on the lattice and
+	// the once-proof alone, so a GVN bug shows up as a counted
+	// misprediction instead of silent data loss.
+	if rep, ok := redundantWith[pc]; ok {
+		if other, exists := pr.Sites[rep]; exists && other.Tier == TierProved && !other.Unreached {
+			sp.Tier, sp.Score, sp.Reason = TierLikely, scoreGVNProved, "gvn"
+			return sp
+		}
+	}
+
+	// Likely: inside a loop with every operand defined outside it. The
+	// value is fixed across that loop's iterations, which dominate the
+	// site's executions.
+	if l := pr.Loops.InnermostLoop(pc); l != nil {
+		// Judge invariance against the whole enclosing nest: a value
+		// fixed only across the inner loop still varies per outer
+		// iteration, which dominates the site's executions.
+		for l.Parent >= 0 {
+			l = pr.Loops.Loops[l.Parent]
+		}
+		if pr.loopInvariantOperands(pc, in, l, reaching()) {
+			sp.Tier, sp.Score, sp.Reason = TierLikely, scoreLoopInv, "loop-inv-operands"
+			return sp
+		}
+		// Likely: a spill reload — a load whose base register is fixed
+		// across the loop and whose slot no in-loop store can alias.
+		if pr.loopInvariantLoad(pc, in, l, reaching()) {
+			sp.Tier, sp.Score, sp.Reason = TierLikely, scoreLoopLoad, "loop-inv-load"
+			return sp
+		}
+	}
+
+	// Uncertain: order by interval width and instruction class.
+	sp.Tier = TierUncertain
+	switch {
+	case !iv.IsTop() && iv.Width() <= tinyRangeWidth:
+		sp.Score, sp.Reason = scoreTinyRange, "range"
+	case in.Op.Class() == isa.ClassCompare:
+		sp.Score, sp.Reason = scoreComparePri, "prior"
+	default:
+		sp.Score, sp.Reason = scoreBasePrior, "prior"
+	}
+	return sp
+}
+
+// loopInvariantOperands reports whether every register operand of in
+// has all its reaching definitions outside loop l (and none from the
+// entry environment, whose registers a prior iteration of an outer
+// context may have changed is not a concern — entry defs are outside
+// the loop by definition, but fromEntry also covers uninitialized
+// reads, which we reject to stay conservative).
+func (pr *Predictions) loopInvariantOperands(pc int, in isa.Inst, l *Loop, rd *ReachingDefs) bool {
+	if rd == nil {
+		return false
+	}
+	use, _ := UseDef(in)
+	if in.Op.Form() == isa.FormMem {
+		return false // loads: the address may be invariant, memory is not
+	}
+	any := false
+	for r := uint8(0); r < isa.NumRegs; r++ {
+		if !use.Has(r) || r == isa.RegZero {
+			continue
+		}
+		any = true
+		defs, fromEntry := rd.DefsReaching(pc, r)
+		if fromEntry {
+			return false
+		}
+		if len(defs) == 0 {
+			return false
+		}
+		for _, d := range defs {
+			db := pr.Intervals.cfg.BlockContaining(d)
+			if db >= 0 && l.contains(db) {
+				return false
+			}
+		}
+	}
+	return any
+}
+
+// loopInvariantLoad reports whether the load at pc reads the same
+// memory cell on every iteration of l and nothing inside l can write
+// it: the base register has no in-loop definitions, every in-loop store
+// uses the same base with a different offset (same-base disjoint slots
+// — the compiler's spill discipline), and the loop makes no calls or
+// address-unknown stores. Heuristic, not proof: an aliasing base pair
+// would fool it, which is why it lands in the likely tier.
+func (pr *Predictions) loopInvariantLoad(pc int, in isa.Inst, l *Loop, rd *ReachingDefs) bool {
+	if rd == nil || in.Op.Form() != isa.FormMem {
+		return false
+	}
+	switch in.Op {
+	case isa.OpLdq, isa.OpLdl, isa.OpLdbu, isa.OpLdb:
+	default:
+		return false
+	}
+	base := in.Ra
+	if base != isa.RegZero {
+		defs, fromEntry := rd.DefsReaching(pc, base)
+		if fromEntry || len(defs) == 0 {
+			return false
+		}
+		for _, d := range defs {
+			if db := pr.Intervals.cfg.BlockContaining(d); db >= 0 && l.contains(db) {
+				return false
+			}
+		}
+	}
+	// Frame discipline: fp-relative slots are private to the procedure
+	// — callees build their own frames below sp and computed pointers
+	// address globals, so for an fp-based reload only same-base stores
+	// threaten the slot. For any other base the strict rule applies: no
+	// calls, no stores through a different register.
+	frame := base == isa.RegFP
+	cfg := pr.Intervals.cfg
+	for _, b := range l.Blocks {
+		blk := &cfg.Blocks[b]
+		for p := blk.Start; p < blk.End; p++ {
+			sin := cfg.Code[p-cfg.Base]
+			switch sin.Op {
+			case isa.OpJsr, isa.OpJsrr:
+				if !frame {
+					return false // the callee may store anywhere
+				}
+			case isa.OpStq, isa.OpStl, isa.OpStb:
+				if sin.Ra != base {
+					if !frame || sin.Ra == isa.RegSP {
+						return false
+					}
+					continue
+				}
+				// Narrow stores one slot over could still straddle the
+				// loaded cell; only accept clearly disjoint word slots.
+				if d := sin.Imm - in.Imm; d > -8 && d < 8 {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// SitePCs returns every predicted site pc in ascending order — the only
+// supported iteration order for reports and serialization.
+func (pr *Predictions) SitePCs() []int {
+	pcs := make([]int, 0, len(pr.Sites))
+	for pc := range pr.Sites {
+		pcs = append(pcs, pc)
+	}
+	sort.Ints(pcs)
+	return pcs
+}
+
+// TierOf returns the prediction tier for pc (TierUncertain for
+// non-sites).
+func (pr *Predictions) TierOf(pc int) Tier {
+	return pr.Sites[pc].Tier
+}
+
+// TierCounts tallies sites per tier in Uncertain, Likely, Proved order.
+func (pr *Predictions) TierCounts() [3]int {
+	var n [3]int
+	for _, sp := range pr.Sites {
+		n[sp.Tier]++
+	}
+	return n
+}
+
+// Plan converts the predictions into the profiler's adaptive hook
+// budget: proved sites are skipped outright (their profile is implied
+// by the static fact), likely sites are down-sampled with the given
+// convergent config, uncertain sites get the full budget. The zero
+// ConvergentConfig selects the default.
+func (pr *Predictions) Plan(sampled core.ConvergentConfig) core.AdaptivePlan {
+	return core.AdaptivePlan{
+		Budget: func(pc int, in isa.Inst) core.SiteBudget {
+			switch pr.TierOf(pc) {
+			case TierProved:
+				return core.BudgetSkip
+			case TierLikely:
+				return core.BudgetSampled
+			}
+			return core.BudgetFull
+		},
+		Sampled: sampled,
+	}
+}
+
+// CheckRecord cross-checks a saved profile against every proved-tier
+// prediction, extending the constness oracle with the two new proof
+// sources:
+//
+//   - an interval fact must contain every observed TNV value and the
+//     zero counter must respect the interval's sign;
+//   - an at-most-once site must execute at most once per source run.
+//
+// Any returned contradiction is a bug in an analysis, the profiler, or
+// the VM. Likely-tier mispredictions are NOT contradictions; count them
+// with Eval.
+func (pr *Predictions) CheckRecord(rec *core.ProfileRecord) []Contradiction {
+	out := CheckRecord(pr.Constness, rec)
+	runs := len(rec.Merged)
+	if runs < 1 {
+		runs = 1
+	}
+	add := func(s *core.SiteRecord, reason, format string, args ...any) {
+		out = append(out, Contradiction{
+			PC: s.PC, Name: s.Name, Kind: KindVarying,
+			Msg: fmt.Sprintf("predicted %s contradicted: %s", reason, fmt.Sprintf(format, args...)),
+		})
+	}
+	for i := range rec.Sites {
+		s := &rec.Sites[i]
+		sp, ok := pr.Sites[s.PC]
+		if !ok {
+			continue // out-of-range pcs already flagged by the base oracle
+		}
+		// Interval containment is a per-execution proof, valid at every
+		// tier and under degraded (syntactic) analysis.
+		if !sp.Interval.IsTop() && !sp.Interval.IsEmpty() {
+			for _, e := range s.Top {
+				if !sp.Interval.Contains(e.Value) {
+					add(s, "interval", "range %s excludes observed %d (count %d)", sp.Interval, e.Value, e.Count)
+				}
+			}
+			if !sp.Interval.Contains(0) && s.Zeros != 0 {
+				add(s, "interval", "range %s excludes zero but zero counter is %d", sp.Interval, s.Zeros)
+			}
+		}
+		if sp.Tier != TierProved {
+			continue
+		}
+		if sp.Unreached && pr.Constness.Kind(s.PC) != KindUnreached && s.Exec > 0 {
+			// Unreachability proven by the interval pass alone.
+			add(s, "unreached", "executed %d times", s.Exec)
+		}
+		if sp.Const && pr.Constness.Kind(s.PC) != KindConst {
+			// Constness proven by an interval singleton alone; apply the
+			// same exact checks the base oracle uses for lattice consts.
+			var covered uint64
+			for _, e := range s.Top {
+				if e.Value != sp.Value {
+					add(s, "singleton", "proven value %d but observed %d (count %d)", sp.Value, e.Value, e.Count)
+					continue
+				}
+				covered += e.Count
+			}
+			if covered != s.Exec {
+				add(s, "singleton", "proven constant but TNV covers %d of %d executions", covered, s.Exec)
+			}
+			if sp.Value == 0 && s.Zeros != s.Exec {
+				add(s, "singleton", "proven zero but zero counter is %d of %d", s.Zeros, s.Exec)
+			}
+			if sp.Value != 0 && s.Zeros != 0 {
+				add(s, "singleton", "proven nonzero (%d) but zero counter is %d", sp.Value, s.Zeros)
+			}
+		}
+		if sp.Once && s.Exec > uint64(runs) {
+			add(s, "once", "proven at-most-once but executed %d times over %d run(s)", s.Exec, runs)
+		}
+	}
+	return out
+}
+
+// PredictEval tallies likely-tier prediction quality against a recorded
+// profile. A site counts as actually invariant when its top value
+// covers at least evalInvThreshold of its executions — the paper's
+// top-value invariance metric, at the 0.9 bar used by the rest of the
+// repo's invariance consumers.
+type PredictEval struct {
+	// Likely-tier confusion counts over sites present in the record.
+	LikelyTotal     int
+	LikelyInvariant int // predicted likely, record invariant (true positives)
+	// Uncertain-tier sites that turned out invariant (false negatives
+	// for the likely tier).
+	UncertainInvariant int
+	UncertainTotal     int
+}
+
+// Precision is the fraction of likely-tier predictions that held.
+func (e PredictEval) Precision() float64 {
+	if e.LikelyTotal == 0 {
+		return 1
+	}
+	return float64(e.LikelyInvariant) / float64(e.LikelyTotal)
+}
+
+// Recall is the fraction of actually-invariant (non-proved) sites the
+// likely tier captured.
+func (e PredictEval) Recall() float64 {
+	inv := e.LikelyInvariant + e.UncertainInvariant
+	if inv == 0 {
+		return 1
+	}
+	return float64(e.LikelyInvariant) / float64(inv)
+}
+
+// evalInvThreshold is the top-value share above which a recorded site
+// counts as invariant for precision/recall scoring.
+const evalInvThreshold = 0.9
+
+// recordInvariant reports whether the record's dominant value covers
+// enough of the site's executions to call it invariant.
+func recordInvariant(s *core.SiteRecord) bool {
+	if s.Exec <= 1 {
+		return true
+	}
+	return s.InvTop(1) >= evalInvThreshold
+}
+
+// Eval scores the likely tier against a recorded profile. Proved sites
+// are excluded: they are verified exactly by CheckRecord, and with an
+// adaptive budget they carry no record at all.
+func (pr *Predictions) Eval(rec *core.ProfileRecord) PredictEval {
+	var e PredictEval
+	for i := range rec.Sites {
+		s := &rec.Sites[i]
+		sp, ok := pr.Sites[s.PC]
+		if !ok || s.Exec == 0 {
+			continue
+		}
+		switch sp.Tier {
+		case TierLikely:
+			e.LikelyTotal++
+			if recordInvariant(s) {
+				e.LikelyInvariant++
+			}
+		case TierUncertain:
+			e.UncertainTotal++
+			if recordInvariant(s) {
+				e.UncertainInvariant++
+			}
+		}
+	}
+	return e
+}

@@ -254,3 +254,65 @@ func TestVprofResumeRejectsNewerCheckpoint(t *testing.T) {
 		t.Errorf("stderr missing version diagnostic:\n%s", stderr)
 	}
 }
+
+func TestVlintDeadBranchStrict(t *testing.T) {
+	// deadbranch.s is verifier-clean: only the interval analysis can
+	// see that the taken arm never executes. Warn by default, fail
+	// under -strict.
+	stdout, stderr, code := run(t, "vlint", "examples/asm/deadbranch.s")
+	if code != 0 {
+		t.Fatalf("dead branch without -strict: exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "ok (") {
+		t.Errorf("verifier-clean file missing ok line:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "taken arm is statically unreachable") {
+		t.Errorf("missing dead-arm warning:\n%s", stdout)
+	}
+
+	stdout, _, code = run(t, "vlint", "-strict", "examples/asm/deadbranch.s")
+	if code != 1 {
+		t.Fatalf("-strict on dead branch: exit %d, want 1\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "taken arm is statically unreachable") {
+		t.Errorf("-strict output lost the dead-arm warning:\n%s", stdout)
+	}
+}
+
+func TestVlintIntervalAndLoopDumps(t *testing.T) {
+	stdout, stderr, code := run(t, "vlint", "-intervals", "-loops", "examples/asm/sum.s")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{
+		"intervals (whole-program dataflow):",
+		"= 10", // the li 10 constant is a singleton fact
+		"loops (whole-program): 1 natural loops",
+		"depth 1",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("output missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestVprofPrunePredict(t *testing.T) {
+	stdout, stderr, code := run(t, "vprof", "-w", "dictv", "-prune-predict")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "predictive budget:") ||
+		!strings.Contains(stderr, "proved (skipped)") {
+		t.Errorf("stderr missing predictive-budget summary:\n%s", stderr)
+	}
+	if !strings.Contains(stdout, "dictv") {
+		t.Errorf("stdout missing profile report:\n%s", stdout)
+	}
+	_, stderr, code = run(t, "vprof", "-w", "dictv", "-prune-predict", "-convergent")
+	if code == 0 {
+		t.Fatal("-prune-predict with -convergent accepted")
+	}
+	if !strings.Contains(stderr, "drop -convergent") {
+		t.Errorf("missing conflict diagnostic:\n%s", stderr)
+	}
+}

@@ -32,6 +32,56 @@ type Options struct {
 	// no TNV table, and no hook; the count lands in Profile.Pruned.
 	// The type is a plain func so core needs no analysis dependency.
 	Prune func(pc int, in isa.Inst) bool
+	// AdaptiveBudget, when non-nil, allocates per-site sampling effort
+	// from a static prediction: proved sites are skipped outright (no
+	// site, no hook — counted in Profile.Pruned), likely-invariant
+	// sites are down-sampled convergently, and uncertain sites get the
+	// full budget. Mutually exclusive with Convergent and Sampler.
+	AdaptiveBudget *AdaptivePlan
+}
+
+// SiteBudget is the per-site sampling effort an AdaptivePlan assigns.
+type SiteBudget uint8
+
+const (
+	// BudgetFull profiles every execution of the site.
+	BudgetFull SiteBudget = iota
+	// BudgetSampled profiles the site under convergent sampling.
+	BudgetSampled
+	// BudgetSkip allocates nothing: no site, no TNV table, no hook.
+	BudgetSkip
+)
+
+func (b SiteBudget) String() string {
+	switch b {
+	case BudgetFull:
+		return "full"
+	case BudgetSampled:
+		return "sampled"
+	case BudgetSkip:
+		return "skip"
+	}
+	return fmt.Sprintf("budget(%d)", uint8(b))
+}
+
+// AdaptivePlan maps candidate sites to sampling budgets. The type is a
+// plain struct of funcs and config so core needs no dependency on the
+// static-analysis package that computes the predictions (see
+// analysis.Predictions.Plan).
+type AdaptivePlan struct {
+	// Budget classifies each candidate site; nil assigns BudgetFull to
+	// every site.
+	Budget func(pc int, in isa.Inst) SiteBudget
+	// Sampled configures the convergent sampler of BudgetSampled sites;
+	// the zero value means DefaultConvergentConfig.
+	Sampled ConvergentConfig
+}
+
+func (pl *AdaptivePlan) sampledConfig() ConvergentConfig {
+	if pl.Sampled == (ConvergentConfig{}) {
+		return DefaultConvergentConfig()
+	}
+	return pl.Sampled
 }
 
 // DefaultOptions profiles all result-producing instructions with the
@@ -63,9 +113,12 @@ type ValueProfiler struct {
 	// legacy (pre-versioned) checkpoint that recorded no per-site skip
 	// counters; Skipped() adds it to the per-site sum.
 	seedSkipped uint64
-	// Pruned counts candidate pcs Options.Prune removed before any
-	// allocation happened.
+	// Pruned counts candidate pcs Options.Prune or a BudgetSkip
+	// allocation removed before any allocation happened.
 	Pruned int
+	// sampled marks the pcs the adaptive plan placed under convergent
+	// sampling (BudgetSampled).
+	sampled map[int]bool
 	// runs counts Instrument calls. A profiler re-instrumented for
 	// further runs of the same program keeps accumulating into its
 	// site tables, yielding the profile of the concatenated run.
@@ -88,9 +141,19 @@ func NewValueProfiler(opts Options) (*ValueProfiler, error) {
 			return nil, err
 		}
 	}
+	if opts.AdaptiveBudget != nil {
+		if opts.Convergent != nil || opts.Sampler != nil {
+			return nil, fmt.Errorf("AdaptiveBudget is mutually exclusive with Convergent and Sampler")
+		}
+		cfg := opts.AdaptiveBudget.sampledConfig()
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("AdaptiveBudget.Sampled: %w", err)
+		}
+	}
 	return &ValueProfiler{
-		opts:  opts,
-		sites: make(map[int]*SiteStats),
+		opts:    opts,
+		sites:   make(map[int]*SiteStats),
+		sampled: make(map[int]bool),
 	}, nil
 }
 
@@ -106,6 +169,21 @@ func (p *ValueProfiler) Instrument(ix *atom.Instrumenter) {
 	if p.opts.Convergent != nil {
 		cfg := *p.opts.Convergent
 		factory = func() Sampler { return newConvState(&cfg) }
+	}
+	if p.opts.AdaptiveBudget != nil {
+		// Per-site allocation: sampled sites share the plan's convergent
+		// config, full-budget sites hook every execution.
+		cfg := p.opts.AdaptiveBudget.sampledConfig()
+		sampledFactory := func() Sampler { return newConvState(&cfg) }
+		factory = nil
+		for pc := range p.sites {
+			if p.sampled[pc] {
+				p.hook(ix, pc, sampledFactory())
+			} else {
+				p.hook(ix, pc, nil)
+			}
+		}
+		return
 	}
 	for pc := range p.sites {
 		site := p.sites[pc]
@@ -127,6 +205,23 @@ func (p *ValueProfiler) Instrument(ix *atom.Instrumenter) {
 	}
 }
 
+// hook attaches the after-instruction analysis routine for one site,
+// full-time when sampler is nil.
+func (p *ValueProfiler) hook(ix *atom.Instrumenter, pc int, sampler Sampler) {
+	site := p.sites[pc]
+	if sampler == nil {
+		ix.AddAfter(pc, func(ev *vm.Event) { site.Observe(ev.Value) })
+		return
+	}
+	ix.AddAfter(pc, func(ev *vm.Event) {
+		if sampler.ShouldProfile(site) {
+			site.Observe(ev.Value)
+		} else {
+			site.Skipped++
+		}
+	})
+}
+
 // prepare creates the site table from the program without attaching
 // hooks (also used by tests). Sites restored from a checkpoint — or
 // accumulated by a previous run of a reused profiler — keep their
@@ -139,6 +234,17 @@ func (p *ValueProfiler) prepare(ix *atom.Instrumenter) {
 				p.Pruned++
 			}
 			return
+		}
+		if plan := p.opts.AdaptiveBudget; plan != nil && plan.Budget != nil {
+			switch plan.Budget(pc, in) {
+			case BudgetSkip:
+				if first {
+					p.Pruned++
+				}
+				return
+			case BudgetSampled:
+				p.sampled[pc] = true
+			}
 		}
 		if _, ok := p.sites[pc]; ok {
 			return

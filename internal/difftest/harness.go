@@ -149,6 +149,7 @@ func Check(prog *program.Program, name string, input, input2 []int64, opts Optio
 		cn := analysis.AnalyzeConstness(prog)
 		h.checkPrune(cn, recFull, input)
 		h.checkStaticOracle(cn, recFull)
+		h.checkPredict(ref, recFull, input)
 	}
 	h.checkShardMerge(ref, ref2, input, input2)
 	h.checkConvergent(ref, input)
@@ -463,6 +464,77 @@ func (h *harness) checkPrune(cn *analysis.Constness, recFull *core.ProfileRecord
 func (h *harness) checkStaticOracle(cn *analysis.Constness, recFull *core.ProfileRecord) {
 	for _, c := range analysis.CheckRecord(cn, recFull) {
 		h.fail("static-oracle", c.PC, "%s", c.String())
+	}
+}
+
+// checkPredict asserts the predictive-invariance contract. The proved
+// tier is held to oracle standard: no recorded profile may contradict
+// a proved claim (constant value, unreachability, interval membership,
+// at-most-once execution). Then the adaptive budget derived from the
+// prediction is run and checked structurally: skipped sites must be
+// exactly the proved tier, every site still accounts for all its
+// executions, full-budget sites must serialize byte-identically to the
+// unpruned record, and the plan may never observe more executions than
+// static pruning would have.
+func (h *harness) checkPredict(ref *RefProfiler, recFull *core.ProfileRecord, input []int64) {
+	const prop = "predict"
+	pred := analysis.Predict(h.prog)
+	for _, c := range pred.CheckRecord(recFull) {
+		h.fail(prop, c.PC, "proved-tier contradiction: %s", c.String())
+	}
+
+	plan := pred.Plan(h.opts.Convergent)
+	vp := h.profiler(prop, core.Options{TNV: h.opts.TNV, AdaptiveBudget: &plan})
+	if vp == nil {
+		return
+	}
+	if _, ok := h.run(prop, input, vp); !ok {
+		return
+	}
+	rec := vp.Profile().Record(h.name, "in0")
+
+	fullByPC := map[int]*core.SiteRecord{}
+	for i := range recFull.Sites {
+		fullByPC[recFull.Sites[i].PC] = &recFull.Sites[i]
+	}
+	var fullObs, staticObs, adaptObs uint64
+	cn := pred.Constness
+	for pc, s := range fullByPC {
+		fullObs += s.Exec
+		if !cn.ShouldPrune(pc, h.prog.Code[pc]) {
+			staticObs += s.Exec
+		}
+	}
+	for i := range rec.Sites {
+		s := &rec.Sites[i]
+		adaptObs += s.Exec
+		budget := plan.Budget(s.PC, h.prog.Code[s.PC])
+		if budget == core.BudgetSkip {
+			h.fail(prop, s.PC, "proved-tier site was profiled under the adaptive budget")
+			continue
+		}
+		want, ok := fullByPC[s.PC]
+		if !ok {
+			h.fail(prop, s.PC, "site appears only in the adaptive record")
+			continue
+		}
+		if budget == core.BudgetFull {
+			if mustJSON(s) != mustJSON(want) {
+				h.fail(prop, s.PC, "full-budget site differs from unpruned run:\n got %s\nwant %s",
+					mustJSON(s), mustJSON(want))
+			}
+			continue
+		}
+		// Sampled: every execution is either observed or accounted as
+		// skipped, never lost.
+		if seq := ref.Seqs[s.PC]; s.Exec+vp.Profile().Site(s.PC).Skipped != uint64(len(seq)) {
+			h.fail(prop, s.PC, "sampled site profiled %d + skipped %d != executions %d",
+				s.Exec, vp.Profile().Site(s.PC).Skipped, len(seq))
+		}
+	}
+	if adaptObs > staticObs {
+		h.fail(prop, -1, "adaptive budget observed %d executions, static pruning only %d (of %d total)",
+			adaptObs, staticObs, fullObs)
 	}
 }
 

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"valueprof/internal/analysis"
+	"valueprof/internal/atom"
+	"valueprof/internal/core"
+	"valueprof/internal/stats"
+	"valueprof/internal/textual"
+)
+
+// E23 — predictive invariance analysis driving an adaptive hook budget
+// (extends E22's static pruning). The Predict stage fuses intervals,
+// trip counts, GVN and the constness lattice into a per-site invariance
+// forecast with a confidence tier; the profiler then skips proved
+// sites, down-samples likely ones, and spends the full budget only on
+// uncertain sites. Soundness is checked against the recorded profile
+// (proved-tier claims may never be contradicted), likely-tier quality
+// is scored as precision/recall, and the full-budget sites must come
+// back byte-identical to an unpruned run.
+func init() {
+	register(&Experiment{
+		ID:    "e23",
+		Title: "Predictive invariance and the adaptive hook budget",
+		Paper: "Static value-range, trip-count, and constness facts predict which sites the profiler need not watch. The proved tier is an oracle (contradictions are bugs), the likely tier trades hooks for counted mispredictions, and everything else keeps the paper's full-fidelity tables.",
+		Run:   runE23,
+	})
+}
+
+func runE23(cfg Config) (*Result, error) {
+	ws, err := cfg.selected()
+	if err != nil {
+		return nil, err
+	}
+	tnv := core.DefaultTNVConfig()
+
+	tab := textual.New("Adaptive hook budget vs. static pruning (test input)",
+		"program", "sites", "proved", "likely", "static-saved", "adaptive-saved", "precision", "recall", "analysis")
+	var precisions, recalls, staticSaved, adaptiveSaved []float64
+	contradictions := 0
+	byteMismatch := 0
+	strictWins := 0
+	likelyTotal := 0
+	for _, w := range ws {
+		prog, err := w.Compile()
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		pred := analysis.Predict(prog)
+		elapsed := time.Since(start)
+		cn := pred.Constness
+		plan := pred.Plan(core.DefaultConvergentConfig())
+
+		// Baseline: unpruned full-budget profile, the ground truth for
+		// soundness, precision/recall, and byte-identity.
+		base, err := core.NewValueProfiler(core.Options{TNV: tnv})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := atom.Run(prog, w.Test.Args, false, atom.Tool(base)); err != nil {
+			return nil, err
+		}
+		baseRec := base.Profile().Record(w.Name, w.Test.Name)
+		if cs := pred.CheckRecord(baseRec); len(cs) > 0 {
+			contradictions += len(cs)
+		}
+		ev := pred.Eval(baseRec)
+
+		// Adaptive run under the predicted budget.
+		adapt, err := core.NewValueProfiler(core.Options{TNV: tnv, AdaptiveBudget: &plan})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := atom.Run(prog, w.Test.Args, false, atom.Tool(adapt)); err != nil {
+			return nil, err
+		}
+		adaptPr := adapt.Profile()
+		adaptRec := adaptPr.Record(w.Name, w.Test.Name)
+
+		// Hook-observation accounting against the same ground truth:
+		// static pruning keeps every execution of its surviving sites;
+		// the adaptive budget drops proved sites entirely and samples
+		// the likely ones.
+		var total, staticObs, adaptObs uint64
+		for _, s := range base.Profile().Sites {
+			total += s.Exec
+			if !cn.ShouldPrune(s.PC, prog.Code[s.PC]) {
+				staticObs += s.Exec
+			}
+		}
+		for _, s := range adaptPr.Sites {
+			adaptObs += s.Exec
+		}
+		if adaptObs < staticObs {
+			strictWins++
+		}
+
+		// Full-budget sites must serialize byte-identically to the
+		// unpruned baseline: the adaptive budget may not perturb the
+		// profiles it promised to keep at full fidelity.
+		for i := range adaptRec.Sites {
+			s := &adaptRec.Sites[i]
+			if plan.Budget(s.PC, prog.Code[s.PC]) != core.BudgetFull {
+				continue
+			}
+			if !sameSiteBytes(siteRecordAt(baseRec, s.PC), s) {
+				byteMismatch++
+			}
+		}
+
+		n := pred.TierCounts()
+		ssh := savedShare(total, staticObs)
+		ash := savedShare(total, adaptObs)
+		staticSaved = append(staticSaved, ssh)
+		adaptiveSaved = append(adaptiveSaved, ash)
+		precisions = append(precisions, ev.Precision())
+		recalls = append(recalls, ev.Recall())
+		likelyTotal += ev.LikelyTotal
+		tab.Row(w.Name, len(pred.Sites),
+			n[analysis.TierProved], n[analysis.TierLikely],
+			textual.Pct(ssh), textual.Pct(ash),
+			fmt.Sprintf("%.2f", ev.Precision()), fmt.Sprintf("%.2f", ev.Recall()),
+			elapsed.Round(10*time.Microsecond).String())
+	}
+
+	r := &Result{ID: "e23", Title: "Predictive invariance and the adaptive hook budget", Text: tab.String()}
+	r.Checks = append(r.Checks,
+		check("proved-tier-sound", contradictions == 0,
+			"%d proved-tier contradictions against recorded profiles", contradictions),
+		check("adaptive-beats-static", strictWins == len(ws),
+			"%d of %d workloads observed strictly fewer hook executions than -prune-static (mean saved %s vs %s)",
+			strictWins, len(ws), textual.Pct(stats.Mean(adaptiveSaved)), textual.Pct(stats.Mean(staticSaved))),
+		check("full-sites-byte-identical", byteMismatch == 0,
+			"%d full-budget site records differ from the unpruned baseline", byteMismatch),
+		check("likely-tier-fires", likelyTotal > 0,
+			"%d likely-tier sites scored across the suite", likelyTotal),
+		check("likely-precision-useful", stats.Mean(precisions) >= 0.5,
+			"mean likely-tier precision %.2f (recall %.2f)", stats.Mean(precisions), stats.Mean(recalls)))
+	return r, nil
+}
+
+func savedShare(total, observed uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(total-observed) / float64(total)
+}
+
+// siteRecordAt returns the serialized site record for pc, if any.
+func siteRecordAt(rec *core.ProfileRecord, pc int) *core.SiteRecord {
+	for i := range rec.Sites {
+		if rec.Sites[i].PC == pc {
+			return &rec.Sites[i]
+		}
+	}
+	return nil
+}
+
+// sameSiteBytes compares two serialized site records byte-for-byte.
+func sameSiteBytes(a, b *core.SiteRecord) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	ab, err1 := json.Marshal(a)
+	bb, err2 := json.Marshal(b)
+	return err1 == nil && err2 == nil && bytes.Equal(ab, bb)
+}

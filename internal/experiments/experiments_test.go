@@ -37,8 +37,8 @@ func TestAllExperimentsPassChecks(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 22 {
-		t.Fatalf("%d experiments registered, want 22", len(all))
+	if len(all) != 23 {
+		t.Fatalf("%d experiments registered, want 23", len(all))
 	}
 	for i, e := range all {
 		if idNum(e.ID) != i+1 {

@@ -1,10 +1,25 @@
 // Package lint implements the repository's custom vet pass: a small
 // go/ast analysis, in the style of a go/analysis Analyzer but built on
-// the standard library only, that forbids raw destructive file writes
-// (os.Create, os.WriteFile, write-mode os.OpenFile) in command code.
-// Commands must route output through internal/atomicio, whose
-// write-to-temp-then-rename discipline means an interrupted run never
-// leaves a torn profile, checkpoint, or image at the destination path.
+// the standard library only, enforcing two repository rules.
+//
+// First, command code may not make raw destructive file writes
+// (os.Create, os.WriteFile, write-mode os.OpenFile); it must route
+// output through internal/atomicio, whose write-to-temp-then-rename
+// discipline means an interrupted run never leaves a torn profile,
+// checkpoint, or image at the destination path.
+//
+// Second, report-emitting code may not range directly over an
+// analysis fact table (fields named Sites, Regs, Slots — notably the
+// map-typed Predictions.Sites and Facts.Regs/Slots): Go map order is
+// randomized, so ranging one inside a loop that prints or writes rows
+// yields nondeterministic reports and un-diffable golden files. Such
+// code must go through the sorted accessors (e.g.
+// Predictions.SitePCs) or collect-and-sort first; order-insensitive
+// folds over the same maps are fine. The check is name-based — a
+// stdlib-only pass has no type information — so slice-typed fields
+// with these names are held to the same discipline (indexed
+// iteration), which also keeps the call sites safe if a field's
+// representation ever changes to a map.
 package lint
 
 import (
@@ -78,12 +93,22 @@ func CheckFile(fset *token.FileSet, path string) ([]Finding, error) {
 			osName = imp.Name.Name
 		}
 	}
-	if osName == "" || osName == "_" {
-		return nil, nil
-	}
 
 	var out []Finding
 	ast.Inspect(file, func(n ast.Node) bool {
+		if rs, ok := n.(*ast.RangeStmt); ok {
+			if name, bad := emittingFactRange(rs); bad {
+				out = append(out, Finding{
+					Pos:  fset.Position(rs.Pos()),
+					Call: "range ." + name,
+					Msg:  "fact-table map order is randomized; emit through the sorted accessor (e.g. SitePCs) or sort keys first",
+				})
+			}
+			return true
+		}
+		if osName == "" || osName == "_" {
+			return true
+		}
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true
@@ -111,6 +136,55 @@ func CheckFile(fset *token.FileSet, path string) ([]Finding, error) {
 		return true
 	})
 	return out, nil
+}
+
+// factTables names the map-typed fields of analysis results whose
+// iteration order must never reach a report: Predictions.Sites,
+// Facts.Regs, Facts.Slots.
+var factTables = map[string]bool{
+	"Sites": true,
+	"Regs":  true,
+	"Slots": true,
+}
+
+// emitCalls are method/function names whose invocation inside a loop
+// body marks the loop as report-emitting: ordered output escapes.
+var emitCalls = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Row": true, "Write": true, "WriteString": true, "Encode": true,
+}
+
+// emittingFactRange reports whether rs ranges directly over a
+// fact-table field while its body emits output. The check is
+// syntactic: any `range x.Sites` (etc.) whose body calls a printing,
+// table-row, or encoder method is flagged. Order-insensitive folds —
+// counting, summing, collecting keys for a later sort — do not emit
+// and pass.
+func emittingFactRange(rs *ast.RangeStmt) (string, bool) {
+	sel, ok := rs.X.(*ast.SelectorExpr)
+	if !ok || !factTables[sel.Sel.Name] {
+		return "", false
+	}
+	emits := false
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fn := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if emitCalls[fn.Sel.Name] {
+				emits = true
+			}
+		case *ast.Ident:
+			if emitCalls[fn.Name] {
+				emits = true
+			}
+		}
+		return !emits
+	})
+	return sel.Sel.Name, emits
 }
 
 // CheckTree walks every non-test .go file under root (skipping testdata

@@ -109,3 +109,85 @@ func TestCheckTreeOnRepoCommands(t *testing.T) {
 		t.Errorf("repository commands use raw writes:\n%v", fs)
 	}
 }
+
+func TestFlagsEmittingFactTableRange(t *testing.T) {
+	fs := check(t, `package main
+
+import "fmt"
+
+func report(pred *Predictions) {
+	for pc, sp := range pred.Sites {
+		fmt.Printf("%d: %v\n", pc, sp)
+	}
+}
+`)
+	if len(fs) != 1 {
+		t.Fatalf("findings = %d (%v), want 1", len(fs), fs)
+	}
+	if fs[0].Call != "range .Sites" {
+		t.Errorf("finding = %v", fs[0])
+	}
+}
+
+func TestAllowsOrderInsensitiveFactTableRange(t *testing.T) {
+	fs := check(t, `package main
+
+import "sort"
+
+func sitePCs(pred *Predictions) []int {
+	// Counting and key collection do not leak map order.
+	n := 0
+	for range pred.Sites {
+		n++
+	}
+	pcs := make([]int, 0, n)
+	for pc := range pred.Sites {
+		pcs = append(pcs, pc)
+	}
+	sort.Ints(pcs)
+	return pcs
+}
+
+func emitSorted(pred *Predictions, emit func(int)) {
+	for _, pc := range sitePCs(pred) {
+		emit(pc)
+	}
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("findings = %v, want none", fs)
+	}
+}
+
+func TestFlagsFactTableRangeIntoTableRows(t *testing.T) {
+	fs := check(t, `package main
+
+func report(f *Facts, tab *Table) {
+	for r, v := range f.Regs {
+		tab.Row(r, v)
+	}
+	for s, v := range f.Slots {
+		tab.Row(s, v)
+	}
+}
+`)
+	if len(fs) != 2 {
+		t.Fatalf("findings = %d (%v), want 2", len(fs), fs)
+	}
+}
+
+func TestCheckTreeCleanOnAnalysis(t *testing.T) {
+	// The analysis package itself must respect the fact-table rule its
+	// maps exist to enforce.
+	root := filepath.Join("..", "analysis")
+	if _, err := os.Stat(root); err != nil {
+		t.Skip("internal/analysis not present")
+	}
+	fs, err := CheckTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}

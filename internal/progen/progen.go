@@ -50,11 +50,16 @@ type Stmt struct {
 	Else   []Stmt `json:"else,omitempty"`
 }
 
-// ProcSpec is one procedure: a counted loop over Body.
+// ProcSpec is one procedure: a counted loop over Body. Stride is the
+// loop counter's decrement per iteration; 0 means the classic 1, and
+// Iters is always a multiple of the stride so the bne-on-zero latch
+// still terminates. The field is omitted from JSON when zero, so every
+// pre-stride corpus entry re-emits byte-identically.
 type ProcSpec struct {
-	Name  string `json:"name"`
-	Iters int64  `json:"iters"`
-	Body  []Stmt `json:"body"`
+	Name   string `json:"name"`
+	Iters  int64  `json:"iters"`
+	Stride int64  `json:"stride,omitempty"`
+	Body   []Stmt `json:"body"`
 }
 
 // Spec is a complete generated program.
@@ -89,6 +94,12 @@ type Config struct {
 	MaxProcs int   // total procedures including main (default 4)
 	MaxStmts int   // top-level statements per body (default 8)
 	MaxIters int64 // loop trip-count ceiling (default 5)
+	// IntervalEdges biases generation toward value-range edge cases:
+	// non-unit loop strides, shift-and-double wraparound arithmetic,
+	// and equality-compare-guarded branches. Off by default — the flag
+	// only adds rng draws when set, so the unflagged statement stream
+	// (and every existing seed corpus entry) is unchanged.
+	IntervalEdges bool
 }
 
 func (c Config) withDefaults() Config {
@@ -205,6 +216,13 @@ func genProc(r *rng, cfg Config, names []string, idx int) ProcSpec {
 		Name:  names[idx],
 		Iters: 1 + int64(r.intn(int(cfg.MaxIters))),
 	}
+	if cfg.IntervalEdges && r.intn(2) == 0 {
+		// Non-unit stride: the counter steps by 2/3/5/7 and the
+		// iteration budget scales so the latch still hits zero exactly.
+		strides := []int64{2, 3, 5, 7}
+		p.Stride = strides[r.intn(len(strides))]
+		p.Iters *= p.Stride
+	}
 	n := 2 + r.intn(cfg.MaxStmts)
 	calls := 0
 	for i := 0; i < n; i++ {
@@ -213,8 +231,44 @@ func genProc(r *rng, cfg Config, names []string, idx int) ProcSpec {
 			calls++
 		}
 		p.Body = append(p.Body, st)
+		if cfg.IntervalEdges && r.intn(4) == 0 {
+			p.Body = append(p.Body, genEdgeRecipe(r)...)
+		}
 	}
 	return p
+}
+
+// genEdgeRecipe emits a short statement sequence that lands intervals
+// on their hard cases: saturating wraparound arithmetic, sign-boundary
+// shifts, and equality-compare-guarded branches whose refinement is a
+// single value.
+func genEdgeRecipe(r *rng) []Stmt {
+	d, s := r.intn(numTemps), r.intn(numTemps)
+	switch r.intn(3) {
+	case 0:
+		// Shift near the sign boundary, then double: the add overflows
+		// for most inputs, so a sound analysis must saturate to Top
+		// while the VM wraps.
+		return []Stmt{
+			{Kind: KindOpImm, Op: "slli", Dst: d, Src1: s, Imm: int64(60 + r.intn(4))},
+			{Kind: KindOpImm, Op: "addi", Dst: d, Src1: d, Imm: int64(r.intn(5) - 2)},
+			{Kind: KindOp, Op: "add", Dst: d, Src1: d, Src2: d},
+		}
+	case 1:
+		// Arithmetic shift all the way down gives the two-point range
+		// [-1,0]; the multiply then stretches it across zero.
+		return []Stmt{
+			{Kind: KindOpImm, Op: "srai", Dst: d, Src1: s, Imm: 63},
+			{Kind: KindOpImm, Op: "muli", Dst: d, Src1: d, Imm: int64(r.intn(256) - 128)},
+		}
+	default:
+		// Equality compare feeding a branch: the taken arm refines the
+		// operand to exactly one value.
+		return []Stmt{
+			{Kind: KindOpImm, Op: "cmpeqi", Dst: d, Src1: s, Imm: int64(r.intn(16) - 8)},
+			{Kind: KindIf, Src1: d, Then: []Stmt{genSimpleStmt(r)}},
+		}
+	}
 }
 
 // genStmt picks a top-level statement. allowCall is false once the

@@ -120,3 +120,69 @@ func TestShrinkMinimizesWhilePreservingPredicate(t *testing.T) {
 		t.Fatalf("shrunk spec no longer builds: %v", err)
 	}
 }
+
+func TestIntervalEdgesVerifyCleanAndTerminate(t *testing.T) {
+	strided, edges := 0, 0
+	for seed := uint64(1); seed <= 120; seed++ {
+		spec := Generate(Config{Seed: seed, IntervalEdges: true})
+		prog, err := Build(&spec)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if diags := analysis.Verify(prog); len(diags) != 0 {
+			t.Fatalf("seed %d: diagnostics:\n%v\nprogram:\n%s", seed, diags, Emit(&spec))
+		}
+		for i := range spec.Procs {
+			p := &spec.Procs[i]
+			if p.Stride > 1 {
+				strided++
+				if p.Iters%p.Stride != 0 {
+					t.Fatalf("seed %d: %s iters %d not a multiple of stride %d",
+						seed, p.Name, p.Iters, p.Stride)
+				}
+			}
+			if hasEdgeOp(p.Body) {
+				edges++
+			}
+		}
+		_, outcome, err := atom.RunControlled(context.Background(), prog,
+			atom.RunOptions{Input: InputFor(&spec, 0), StepLimit: testStepLimit})
+		if outcome != vm.OutcomeCompleted {
+			t.Fatalf("seed %d: outcome %v err %v", seed, outcome, err)
+		}
+	}
+	if strided == 0 {
+		t.Error("edge mode never produced a non-unit stride")
+	}
+	if edges == 0 {
+		t.Error("edge mode never produced an edge recipe")
+	}
+}
+
+func hasEdgeOp(body []Stmt) bool {
+	for i := range body {
+		if body[i].Op == "srai" && body[i].Imm == 63 {
+			return true
+		}
+		if body[i].Op == "slli" && body[i].Imm >= 60 {
+			return true
+		}
+		if hasEdgeOp(body[i].Then) || hasEdgeOp(body[i].Else) {
+			return true
+		}
+	}
+	return false
+}
+
+// The knob must be purely additive: with it off, generation and
+// emission are byte-identical to what every existing corpus entry was
+// produced from.
+func TestIntervalEdgesOffLeavesStreamUntouched(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		plain := Generate(Config{Seed: seed})
+		off := Generate(Config{Seed: seed, IntervalEdges: false})
+		if Emit(&plain) != Emit(&off) {
+			t.Fatalf("seed %d: IntervalEdges=false changed the program", seed)
+		}
+	}
+}

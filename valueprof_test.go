@@ -72,7 +72,7 @@ func TestFacadeWorkloadsAndExperiments(t *testing.T) {
 	if err != nil || w.Name != "compress" {
 		t.Errorf("WorkloadByName: %v %v", w, err)
 	}
-	if len(valueprof.Experiments()) != 22 {
+	if len(valueprof.Experiments()) != 23 {
 		t.Errorf("experiments = %d", len(valueprof.Experiments()))
 	}
 	e, err := valueprof.ExperimentByID("e10")
