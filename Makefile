@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build test test-short cover cover-gate bench bench-smoke bench-parallel exp exp-quick fmt vet lint clean ci fuzz-smoke difftest chaos-smoke predict-sweep
+.PHONY: all build test test-short cover cover-gate bench bench-smoke bench-parallel bench-vm bench-vm-check race-bench exp exp-quick fmt vet lint clean ci fuzz-smoke difftest chaos-smoke predict-sweep
 
 # Coverage floors for the packages the correctness argument rests on.
 # Raise them when coverage genuinely improves; lowering one is a
@@ -14,9 +14,10 @@ all: build vet lint test
 # What CI runs: static checks, full build, race-enabled tests, the
 # coverage gate, a short fuzz pass over the parsers that face
 # untrusted input, the 500-seed differential-testing sweep, the
-# pool-level chaos sweep, and a one-iteration benchmark smoke (every
-# exhibit still regenerates, and the serial-vs-parallel suite
-# comparison still cross-checks).
+# pool-level chaos sweep, the batched-buffer race benchmark, a
+# one-iteration benchmark smoke (every exhibit still regenerates, and
+# the serial-vs-parallel suite comparison still cross-checks), and the
+# VM hot-loop regression gate against the recorded baseline.
 ci: vet lint build
 	go test -race ./...
 	$(MAKE) cover-gate
@@ -24,8 +25,10 @@ ci: vet lint build
 	$(MAKE) difftest
 	$(MAKE) predict-sweep
 	$(MAKE) chaos-smoke
+	$(MAKE) race-bench
 	$(MAKE) bench-smoke
 	$(MAKE) bench-parallel
+	$(MAKE) bench-vm-check
 
 # Repo-specific static checks: the custom vet pass over command code
 # and the analysis package (no raw os.Create/os.WriteFile, no ranging
@@ -116,6 +119,22 @@ bench-smoke:
 # Record the serial-vs-parallel suite baseline (BENCH_parallel.json).
 bench-parallel:
 	go run ./cmd/vexp -bench-parallel BENCH_parallel.json
+
+# Record the interpreter hot-loop baseline (BENCH_vm.json): per-opcode
+# dispatch, hooked vs unhooked, batched vs legacy value delivery.
+bench-vm:
+	go run ./cmd/vexp -bench-vm BENCH_vm.json
+
+# Gate the machine-independent hot-loop ratios (hook overhead, batched
+# speedup) against the recorded baseline with ±10% tolerance.
+bench-vm-check:
+	go run ./cmd/vexp -bench-vm-check BENCH_vm.json
+
+# The batched value buffers under pool-level chaos with the race
+# detector on: proves no flush is lost or duplicated when runs are
+# killed mid-buffer and salvaged (see docs/perf.md).
+race-bench:
+	go test -race -run='^$$' -bench=BenchmarkPoolChaosBatched -benchtime=2x ./internal/difftest
 
 fmt:
 	gofmt -w .

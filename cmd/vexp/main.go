@@ -10,13 +10,19 @@
 //	vexp -jobs 4 e2 e3             # profile workloads on 4 workers
 //	vexp -retries 2 -job-deadline 2m -salvage-partial
 //	vexp -bench-parallel BENCH_parallel.json
+//	vexp -bench-vm BENCH_vm.json
+//	vexp -bench-vm-check BENCH_vm.json
 //
 // -jobs sets the worker-pool width used both across experiments and
 // for the per-workload profiling runs inside each one; the output is
 // byte-identical to a serial run at any width. -bench-parallel times
 // the suite profiling pass serially and in parallel, cross-checks that
 // both produce identical profiles, and writes the timing report as
-// JSON (the repo's recorded benchmark baseline).
+// JSON (the repo's recorded benchmark baseline). -bench-vm records the
+// interpreter hot-loop baseline (per-opcode dispatch, hooked vs
+// unhooked, batched vs legacy value delivery); -bench-vm-check
+// re-measures and gates the machine-independent ratios against that
+// baseline with ±10% tolerance.
 //
 // Robustness: -retries re-runs a failed experiment up to N extra
 // times (with deterministic backoff), -job-deadline bounds each
@@ -41,6 +47,7 @@ import (
 	"valueprof/internal/experiments"
 	"valueprof/internal/parallel"
 	"valueprof/internal/supervise"
+	"valueprof/internal/vmbench"
 )
 
 func main() {
@@ -54,6 +61,10 @@ func main() {
 		"keep going past failed experiments and report them at the end (exit 3) instead of aborting on the first")
 	benchOut := flag.String("bench-parallel", "",
 		"time the suite profiling pass serial vs parallel, write the JSON report here, and exit")
+	benchVM := flag.String("bench-vm", "",
+		"run the VM hot-loop benchmarks, write the JSON report here, and exit")
+	benchVMCheck := flag.String("bench-vm-check", "",
+		"re-measure the VM hot loop and gate its ratios against this recorded baseline (exit 1 on regression)")
 	flag.Parse()
 
 	if *list {
@@ -65,6 +76,14 @@ func main() {
 
 	if *benchOut != "" {
 		benchParallel(*benchOut, *jobs)
+		return
+	}
+	if *benchVM != "" {
+		benchVMRecord(*benchVM)
+		return
+	}
+	if *benchVMCheck != "" {
+		benchVMGate(*benchVMCheck)
 		return
 	}
 
@@ -163,6 +182,48 @@ func benchParallel(path string, workers int) {
 	}
 	fmt.Println(rep.String())
 	fmt.Fprintf(os.Stderr, "vexp: wrote %s\n", path)
+}
+
+// benchVMRecord measures the interpreter hot path and records the
+// report (the BENCH_vm.json baseline).
+func benchVMRecord(path string) {
+	rep, err := vmbench.Measure(vmbench.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	err = atomicio.WriteFile(path, func(f io.Writer) error {
+		return rep.WriteJSON(f)
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(rep.String())
+	fmt.Fprintf(os.Stderr, "vexp: wrote %s\n", path)
+}
+
+// benchVMGate re-measures the hot path and fails if the machine-
+// independent ratios regressed more than 10% against the recorded
+// baseline.
+func benchVMGate(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	baseline, err := vmbench.ReadReport(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := vmbench.Measure(vmbench.Options{SkipPerOp: true})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(cur.String())
+	if err := vmbench.Compare(baseline, cur, 0.10); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("vexp: vm bench within 10%% of %s (speedup %.2fx vs baseline %.2fx)\n",
+		path, cur.SpeedupVsLegacy, baseline.SpeedupVsLegacy)
 }
 
 func fatal(err error) {

@@ -55,6 +55,17 @@ func (ix *Instrumenter) AddBefore(pc int, fn vm.Hook) { ix.VM.HookBefore(pc, fn)
 // stored value) and effective address for memory operations.
 func (ix *Instrumenter) AddAfter(pc int, fn vm.Hook) { ix.VM.HookAfter(pc, fn) }
 
+// AddAfterBuffered attaches a batched value sink after instruction pc:
+// the VM pushes the instruction's result value into b and the analysis
+// receives it later, in execution order, when the buffer flushes. This
+// is the cheap form of AddAfter for tools that only need the value
+// stream; tools that must act at the exact instruction (samplers,
+// checkpointers) still use AddAfter. The caller owns flushing at run
+// end (see vm.ValueBuffer).
+func (ix *Instrumenter) AddAfterBuffered(pc int, b *vm.ValueBuffer) {
+	ix.VM.HookAfterBuffered(pc, b)
+}
+
 // AddProcEntry attaches an analysis routine at procedure entry; the
 // argument registers a0..a5 are live in the event's VM at call time.
 func (ix *Instrumenter) AddProcEntry(p program.Proc, fn vm.Hook) {

@@ -40,19 +40,21 @@ const checkpointMagic = "VPCKPT1"
 // field is omitted by old writers) is the PR-1 format, which recorded
 // only the run-wide sampler-skip total; version 1 adds the per-site
 // skip counters (SiteState.Skipped) so a resumed run's duty cycle is
-// attributed to the right sites. Readers accept every version up to
-// the current one; old files stay loadable (their total is credited to
-// the profiler as an unattributed baseline), and old readers ignore
-// the unknown per-site field and still see the correct total.
-const checkpointVersion = 1
+// attributed to the right sites; version 2 adds the per-table drop
+// counter (TNVState.Dropped) so values a full, fully-steady table
+// discarded stay accounted for across a resume. Readers accept every
+// version up to the current one; old files stay loadable (missing
+// fields restore as zero, matching what those writers could observe).
+const checkpointVersion = 2
 
 // TNVState is the full serialized state of one TNV table: every live
-// entry (not just the report-time top K) plus the update and
+// entry (not just the report-time top K) plus the update, drop, and
 // periodic-clear counters, so a restored table continues byte-for-byte
 // where the original left off.
 type TNVState struct {
 	Entries    []TNVEntry `json:"entries"`
 	Updates    uint64     `json:"updates"`
+	Dropped    uint64     `json:"dropped,omitempty"` // envelope version ≥ 2
 	SinceClear uint64     `json:"sinceClear"`
 	Clears     uint64     `json:"clears"`
 }
@@ -334,8 +336,9 @@ func validateSiteState(s *SiteState, cfg TNVConfig) error {
 	for _, e := range s.TNV.Entries {
 		sum += e.Count
 	}
-	if sum > s.TNV.Updates {
-		return fmt.Errorf("site pc %d: TNV counts %d exceed updates %d", s.PC, sum, s.TNV.Updates)
+	if s.TNV.Dropped > s.TNV.Updates || sum > s.TNV.Updates-s.TNV.Dropped {
+		return fmt.Errorf("site pc %d: TNV counts %d + dropped %d exceed updates %d",
+			s.PC, sum, s.TNV.Dropped, s.TNV.Updates)
 	}
 	return nil
 }
@@ -421,6 +424,7 @@ func siteState(s *SiteStats) SiteState {
 		TNV: TNVState{
 			Entries:    append([]TNVEntry(nil), s.TNV.entries...),
 			Updates:    s.TNV.updates,
+			Dropped:    s.TNV.dropped,
 			SinceClear: s.TNV.sinceClear,
 			Clears:     s.TNV.clears,
 		},
@@ -438,14 +442,18 @@ func restoreSite(st *SiteState, cfg TNVConfig) *SiteStats {
 	s.hasLast = st.HasLast
 	s.TNV.entries = append(s.TNV.entries[:0], st.TNV.Entries...)
 	s.TNV.updates = st.TNV.Updates
+	s.TNV.dropped = st.TNV.Dropped
 	s.TNV.sinceClear = st.TNV.SinceClear
 	s.TNV.clears = st.TNV.Clears
 	return s
 }
 
 // CheckpointOf snapshots the profiler and (optionally) the VM into a
-// checkpoint tagged with the program and input names.
+// checkpoint tagged with the program and input names. Batched value
+// buffers are flushed first, so the captured tables cover every
+// instruction executed up to this point.
 func CheckpointOf(vp *ValueProfiler, v *vm.VM, programName, inputName string) (*Checkpoint, error) {
+	vp.FlushBuffers()
 	ck := &Checkpoint{
 		Program: programName,
 		Input:   inputName,

@@ -68,8 +68,11 @@ func runUninterrupted(t *testing.T, prog *program.Program) *ValueProfiler {
 	return vp
 }
 
-// siteStatesOf extracts comparable full per-site state.
+// siteStatesOf extracts comparable full per-site state. Like every
+// reader of accumulated site state it must drain the batched value
+// buffers first.
 func siteStatesOf(vp *ValueProfiler) map[int]SiteState {
+	vp.FlushBuffers()
 	out := make(map[int]SiteState)
 	for pc, s := range vp.sites {
 		if s.Exec == 0 {

@@ -18,6 +18,7 @@ func (t *TNVTable) Clone() *TNVTable {
 		cfg:        t.cfg,
 		entries:    append([]TNVEntry(nil), t.entries...),
 		updates:    t.updates,
+		dropped:    t.dropped,
 		sinceClear: t.sinceClear,
 		clears:     t.clears,
 	}
@@ -35,8 +36,9 @@ func (t *TNVTable) Clone() *TNVTable {
 // either shard stay lost, and values each shard retained are summed
 // exactly. Merged counts therefore never exceed the concatenated run's
 // full counts, and InvTop stays an underestimate of true invariance.
-// The update and clear counters add; the merge itself never triggers a
-// clear (the combined sinceClear phase is folded modulo the interval).
+// The update, drop, and clear counters add; the merge itself never
+// triggers a clear (the combined sinceClear phase is folded modulo the
+// interval).
 func (t *TNVTable) Merge(o *TNVTable) error {
 	if t.cfg != o.cfg {
 		return fmt.Errorf("core: merging TNV tables with different configs %+v and %+v", t.cfg, o.cfg)
@@ -63,6 +65,7 @@ func (t *TNVTable) Merge(o *TNVTable) error {
 	}
 	t.entries = merged
 	t.updates += o.updates
+	t.dropped += o.dropped
 	t.clears += o.clears
 	t.sinceClear += o.sinceClear
 	if t.cfg.ClearInterval > 0 {

@@ -53,6 +53,36 @@ func (s *SiteStats) Observe(v int64) {
 	}
 }
 
+// ObserveBatch records a batch of consecutively executed values, in
+// execution order — the flush target of a vm.ValueBuffer. It is
+// equivalent to calling Observe per value (the LVP comparison chains
+// across batch boundaries through the saved last-value state) but
+// keeps the scalar counters in locals across the batch.
+func (s *SiteStats) ObserveBatch(vals []int64) {
+	if len(vals) == 0 {
+		return
+	}
+	last, hasLast := s.last, s.hasLast
+	var lvp, zeros uint64
+	for _, v := range vals {
+		if hasLast && v == last {
+			lvp++
+		}
+		last, hasLast = v, true
+		if v == 0 {
+			zeros++
+		}
+		s.TNV.Add(v)
+		if s.Full != nil {
+			s.Full.Add(v)
+		}
+	}
+	s.Exec += uint64(len(vals))
+	s.LVPHits += lvp
+	s.Zeros += zeros
+	s.last, s.hasLast = last, hasLast
+}
+
 // LVP returns the last-value predictability: the fraction of profiled
 // executions producing the same value as the previous execution.
 func (s *SiteStats) LVP() float64 {

@@ -38,6 +38,12 @@ type Options struct {
 	// sites are down-sampled convergently, and uncertain sites get the
 	// full budget. Mutually exclusive with Convergent and Sampler.
 	AdaptiveBudget *AdaptivePlan
+	// Unbatched forces the legacy closure-per-execution observation
+	// path for full-time sites instead of batched value buffers. The
+	// resulting profile is byte-identical either way (the differential
+	// harness proves it); the switch exists for that proof and for the
+	// before/after interpreter benchmarks.
+	Unbatched bool
 }
 
 // SiteBudget is the per-site sampling effort an AdaptivePlan assigns.
@@ -119,6 +125,10 @@ type ValueProfiler struct {
 	// sampled marks the pcs the adaptive plan placed under convergent
 	// sampling (BudgetSampled).
 	sampled map[int]bool
+	// bufs holds the per-site value buffers of full-time sites. A
+	// buffer persists across Instrument calls of a reused profiler so
+	// carried-over values keep their order; FlushBuffers drains them.
+	bufs map[int]*vm.ValueBuffer
 	// runs counts Instrument calls. A profiler re-instrumented for
 	// further runs of the same program keeps accumulating into its
 	// site tables, yielding the profile of the concatenated run.
@@ -154,6 +164,7 @@ func NewValueProfiler(opts Options) (*ValueProfiler, error) {
 		opts:    opts,
 		sites:   make(map[int]*SiteStats),
 		sampled: make(map[int]bool),
+		bufs:    make(map[int]*vm.ValueBuffer),
 	}, nil
 }
 
@@ -186,33 +197,38 @@ func (p *ValueProfiler) Instrument(ix *atom.Instrumenter) {
 		return
 	}
 	for pc := range p.sites {
-		site := p.sites[pc]
 		if factory == nil {
-			ix.AddAfter(pc, func(ev *vm.Event) { site.Observe(ev.Value) })
+			p.hook(ix, pc, nil)
 			continue
 		}
-		sampler := factory()
-		// The skip counter lives on the site: the hook closure touches
-		// no profiler-level state, so hooks of profilers running on
-		// pooled workers share nothing.
-		ix.AddAfter(pc, func(ev *vm.Event) {
-			if sampler.ShouldProfile(site) {
-				site.Observe(ev.Value)
-			} else {
-				site.Skipped++
-			}
-		})
+		p.hook(ix, pc, factory())
 	}
 }
 
 // hook attaches the after-instruction analysis routine for one site,
-// full-time when sampler is nil.
+// full-time when sampler is nil. Full-time sites get a batched value
+// buffer (unless Options.Unbatched) — the VM pushes raw values and the
+// site observes them in order at flush time. Sampled sites must keep
+// the per-execution closure: the sampling decision and the convergence
+// checkpoints are functions of the exact execution at which they run.
 func (p *ValueProfiler) hook(ix *atom.Instrumenter, pc int, sampler Sampler) {
 	site := p.sites[pc]
 	if sampler == nil {
-		ix.AddAfter(pc, func(ev *vm.Event) { site.Observe(ev.Value) })
+		if p.opts.Unbatched {
+			ix.AddAfter(pc, func(ev *vm.Event) { site.Observe(ev.Value) })
+			return
+		}
+		b := p.bufs[pc]
+		if b == nil {
+			b = vm.NewValueBuffer(site.ObserveBatch)
+			p.bufs[pc] = b
+		}
+		ix.AddAfterBuffered(pc, b)
 		return
 	}
+	// The skip counter lives on the site: the hook closure touches
+	// no profiler-level state, so hooks of profilers running on
+	// pooled workers share nothing.
 	ix.AddAfter(pc, func(ev *vm.Event) {
 		if sampler.ShouldProfile(site) {
 			site.Observe(ev.Value)
@@ -220,6 +236,16 @@ func (p *ValueProfiler) hook(ix *atom.Instrumenter, pc int, sampler Sampler) {
 			site.Skipped++
 		}
 	})
+}
+
+// FlushBuffers drains every batched value buffer into its site. Every
+// reader of accumulated site state must flush first — Profile and
+// CheckpointOf do it themselves, which also covers salvaging partial
+// state from a cancelled or killed run.
+func (p *ValueProfiler) FlushBuffers() {
+	for _, b := range p.bufs {
+		b.Flush()
+	}
 }
 
 // prepare creates the site table from the program without attaching
@@ -275,6 +301,7 @@ func (p *ValueProfiler) Skipped() uint64 {
 
 // Profile returns the collected results.
 func (p *ValueProfiler) Profile() *Profile {
+	p.FlushBuffers()
 	sites := make([]*SiteStats, 0, len(p.sites))
 	for _, s := range p.sites {
 		sites = append(sites, s)

@@ -14,11 +14,16 @@ import (
 // deliberately not serialized — the paper's position is that the TNV
 // table *is* the profile.
 type SiteRecord struct {
-	PC      int        `json:"pc"`
-	Name    string     `json:"name"`
-	Exec    uint64     `json:"exec"`
-	LVPHits uint64     `json:"lvpHits"`
-	Zeros   uint64     `json:"zeros"`
+	PC      int    `json:"pc"`
+	Name    string `json:"name"`
+	Exec    uint64 `json:"exec"`
+	LVPHits uint64 `json:"lvpHits"`
+	Zeros   uint64 `json:"zeros"`
+	// Dropped counts profiled values the TNV table discarded without
+	// touching any entry (a miss on a full, fully-steady table). They
+	// are part of Exec but held by no Top entry, so the loader's
+	// invariant is sum(Top counts) + Dropped ≤ Exec.
+	Dropped uint64     `json:"dropped,omitempty"`
 	Top     []TNVEntry `json:"top"`
 }
 
@@ -117,6 +122,7 @@ func (pr *Profile) Record(programName, inputName string) *ProfileRecord {
 			Exec:    s.Exec,
 			LVPHits: s.LVPHits,
 			Zeros:   s.Zeros,
+			Dropped: s.TNV.Dropped(),
 			Top:     s.TNV.Top(pr.K),
 		})
 	}
@@ -189,8 +195,9 @@ const maxTableWidth = 1 << 16
 // WriteJSON, rejecting it outright on any violation (RepairNone). A
 // record it returns never violates the profile invariants: site PCs
 // are unique and non-negative, per-site counters satisfy
-// LVPHits ≤ Exec, Zeros ≤ Exec and sum(Top counts) ≤ Exec (hence
-// InvTop(k) ≤ 1), and TNV entries are sorted by descending count.
+// LVPHits ≤ Exec, Zeros ≤ Exec and sum(Top counts) + Dropped ≤ Exec
+// (hence InvTop(k) ≤ 1), and TNV entries are sorted by descending
+// count.
 func ReadProfileRecord(r io.Reader) (*ProfileRecord, error) {
 	rec, _, err := ReadProfileRecordPolicy(r, RepairNone)
 	return rec, err
@@ -455,6 +462,16 @@ func validateSite(s *SiteRecord, seen map[int]bool, policy RepairPolicy, rep *Lo
 		}
 		sum += c
 	}
+	// Dropped values are part of Exec but held by no entry, so the
+	// retained counts plus the drop counter can never exceed Exec.
+	if s.Dropped > s.Exec-sum {
+		if strict {
+			return false, false, fmt.Errorf("site pc %d: TNV counts %d + dropped %d exceed executions %d", s.PC, sum, s.Dropped, s.Exec)
+		}
+		rep.addProblem("site pc %d: dropped count %d clamped to %d", s.PC, s.Dropped, s.Exec-sum)
+		s.Dropped = s.Exec - sum
+		clamped = true
+	}
 	return true, clamped, nil
 }
 
@@ -492,6 +509,7 @@ func MergeRecords(a, b *ProfileRecord) (*ProfileRecord, error) {
 			sa.Exec += sb.Exec
 			sa.LVPHits += sb.LVPHits
 			sa.Zeros += sb.Zeros
+			sa.Dropped += sb.Dropped
 			sa.Top = mergeTop(sa.Top, sb.Top, a.K)
 		}
 		out.Sites = append(out.Sites, sa)

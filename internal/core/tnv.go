@@ -51,6 +51,7 @@ type TNVTable struct {
 	cfg        TNVConfig
 	entries    []TNVEntry // sorted by Count descending
 	updates    uint64     // values observed
+	dropped    uint64     // observed values discarded by a full, fully-steady table
 	sinceClear uint64
 	clears     uint64
 }
@@ -73,19 +74,38 @@ func (t *TNVTable) Updates() uint64 { return t.updates }
 // Clears returns how many periodic clears have occurred.
 func (t *TNVTable) Clears() uint64 { return t.clears }
 
+// Dropped returns how many observed values were discarded without
+// touching any entry: a miss on a full table whose entries are all
+// steady (Steady == Size) has no eviction candidate, so the value is
+// counted in Updates but held nowhere. The counter makes that loss
+// visible to accuracy accounting — InvTop already divides by Updates,
+// so dropped values depress the estimate exactly like evicted ones.
+func (t *TNVTable) Dropped() uint64 { return t.dropped }
+
 // Len returns the number of live entries.
 func (t *TNVTable) Len() int { return len(t.entries) }
 
 // Add records one observed value.
 func (t *TNVTable) Add(v int64) {
 	t.updates++
+	e := t.entries
 
-	// Hit: increment and bubble toward the front to keep the order.
-	for i := range t.entries {
-		if t.entries[i].Value == v {
-			t.entries[i].Count++
-			for i > 0 && t.entries[i-1].Count < t.entries[i].Count {
-				t.entries[i-1], t.entries[i] = t.entries[i], t.entries[i-1]
+	// Top-1 hit first: invariant and semi-invariant sites — the common
+	// case by definition — hit the head entry, and a head increment can
+	// never need re-ordering, so this path does no scan and no bubble.
+	if len(e) > 0 && e[0].Value == v {
+		e[0].Count++
+		t.maybeClear()
+		return
+	}
+
+	// Hit below the head: increment and bubble toward the front to
+	// keep the order.
+	for i := 1; i < len(e); i++ {
+		if e[i].Value == v {
+			e[i].Count++
+			for i > 0 && e[i-1].Count < e[i].Count {
+				e[i-1], e[i] = e[i], e[i-1]
 				i--
 			}
 			t.maybeClear()
@@ -95,15 +115,25 @@ func (t *TNVTable) Add(v int64) {
 
 	// Miss: append if there is room, else replace the LFU victim in
 	// the clear part (the last entry). If the whole table is steady
-	// (Steady == Size) a full table never evicts.
+	// (Steady == Size) a full table has no eviction candidate: the
+	// value is counted as dropped and — having touched no entry — does
+	// not advance the clear clock.
 	if len(t.entries) < t.cfg.Size {
 		t.entries = append(t.entries, TNVEntry{Value: v, Count: 1})
 	} else if t.cfg.Steady < t.cfg.Size {
 		t.entries[len(t.entries)-1] = TNVEntry{Value: v, Count: 1}
+	} else {
+		t.dropped++
+		return
 	}
 	t.maybeClear()
 }
 
+// maybeClear advances the periodic-clear clock by one update and, when
+// the interval elapses, flushes the clear part. Callers invoke it only
+// for updates that touched an entry (hit, insert, or evict-replace):
+// a dropped update changed nothing, so letting it tick the clock would
+// misstate the eviction pressure the clear cadence is meant to track.
 func (t *TNVTable) maybeClear() {
 	if t.cfg.ClearInterval == 0 {
 		return

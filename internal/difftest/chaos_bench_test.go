@@ -1,0 +1,29 @@
+package difftest
+
+import "testing"
+
+// BenchmarkPoolChaosBatched hammers the batched value buffers under
+// pool-level chaos: supervised jobs profile through buffered sinks
+// while PoolChaos kills, stalls, and corrupts attempts, and every
+// salvaged or completed record is checked byte-identical / strictly
+// loadable by ChaosCheck. Run under -race this is the smoke proof
+// that no buffer flush is lost or duplicated when a run is cancelled
+// mid-buffer and its partial profile salvaged (`make race-bench`).
+// Each iteration uses a fresh seed so repeated runs broaden coverage
+// rather than replay one chaos plan.
+func BenchmarkPoolChaosBatched(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		seed := uint64(1 + i%64)
+		rep := ChaosCheck(seed, ChaosOptions{})
+		if rep.Failed() {
+			for _, d := range rep.Divergences {
+				b.Errorf("seed %d: %s", seed, d)
+			}
+			b.FailNow()
+		}
+		if rep.Completed+rep.Salvaged != rep.Jobs {
+			b.Fatalf("seed %d: %d completed + %d salvaged != %d jobs",
+				seed, rep.Completed, rep.Salvaged, rep.Jobs)
+		}
+	}
+}

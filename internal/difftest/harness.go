@@ -23,6 +23,7 @@ type Options struct {
 	StepLimit uint64         // execution budget per run (default 8M)
 	TNV       core.TNVConfig // the paper's table (default 10/5/2000)
 	Stress    core.TNVConfig // replacement-heavy table (default 4/2/16)
+	Steady    core.TNVConfig // fully-steady table, every miss drops (default 3/3/8)
 	Wide      core.TNVConfig // lossless table for merge checks (default 512/256/0)
 	// Convergent parameterizes the sampled run (default 32/64/512/0.05).
 	Convergent core.ConvergentConfig
@@ -42,6 +43,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Stress.Size == 0 {
 		o.Stress = core.TNVConfig{Size: 4, Steady: 2, ClearInterval: 16}
+	}
+	if o.Steady.Size == 0 {
+		o.Steady = core.TNVConfig{Size: 3, Steady: 3, ClearInterval: 8}
 	}
 	if o.Wide.Size == 0 {
 		o.Wide = core.TNVConfig{Size: 512, Steady: 256, ClearInterval: 0}
@@ -142,9 +146,11 @@ func Check(prog *program.Program, name string, input, input2 []int64, opts Optio
 		h.report.Execs += uint64(len(seq))
 	}
 
-	recFull := h.checkExact(ref, resRef, input)
+	recFull, resFull := h.checkExact(ref, resRef, input)
 	h.checkStressTNV(ref, input)
+	h.checkSteadyTNV(ref, input)
 	if recFull != nil {
+		h.checkUnbatched(recFull, resFull, input)
 		h.checkResume(recFull, input)
 		cn := analysis.AnalyzeConstness(prog)
 		h.checkPrune(cn, recFull, input)
@@ -159,17 +165,17 @@ func Check(prog *program.Program, name string, input, input2 []int64, opts Optio
 // checkExact asserts the optimized profiler with sampling off matches
 // the reference exactly: counters, exact full profile, and a naive
 // replay of the TNV replacement policy, plus execution transparency
-// and run-to-run determinism. Returns the full-time record for the
-// downstream properties.
-func (h *harness) checkExact(ref *RefProfiler, resRef *vm.Result, input []int64) *core.ProfileRecord {
+// and run-to-run determinism. Returns the full-time record and run
+// result for the downstream properties.
+func (h *harness) checkExact(ref *RefProfiler, resRef *vm.Result, input []int64) (*core.ProfileRecord, *vm.Result) {
 	const prop = "exact"
 	vp := h.profiler(prop, core.Options{TNV: h.opts.TNV, TrackFull: true})
 	if vp == nil {
-		return nil
+		return nil, nil
 	}
 	res, ok := h.run(prop, input, vp)
 	if !ok {
-		return nil
+		return nil, nil
 	}
 
 	// Instrumentation transparency: profiling must not perturb the
@@ -241,7 +247,7 @@ func (h *harness) checkExact(ref *RefProfiler, resRef *vm.Result, input []int64)
 			}
 		}
 	}
-	return rec
+	return rec, res
 }
 
 // checkStressTNV replays the run against a tiny table with a short
@@ -263,6 +269,70 @@ func (h *harness) checkStressTNV(ref *RefProfiler, input []int64) {
 		if d := tnvDiff(s.TNV, SimulateTNV(seq, cfg.Size, cfg.Steady, cfg.ClearInterval)); d != "" {
 			h.fail(prop, s.PC, "TNV(stress) %s", d)
 		}
+	}
+}
+
+// checkSteadyTNV replays the run against a fully-steady table (Steady
+// == Size): once the table fills, every miss has no eviction candidate
+// and must be dropped — the configuration that exercises the Dropped
+// counter on nearly every site. Beyond the naive replay it asserts
+// conservation: with no eviction possible and clearing never firing
+// (the table never exceeds its steady part), every update either
+// incremented an entry or was dropped.
+func (h *harness) checkSteadyTNV(ref *RefProfiler, input []int64) {
+	const prop = "tnv-steady"
+	cfg := h.opts.Steady
+	vp := h.profiler(prop, core.Options{TNV: cfg})
+	if vp == nil {
+		return
+	}
+	if _, ok := h.run(prop, input, vp); !ok {
+		return
+	}
+	for _, s := range vp.Profile().Sites {
+		seq := ref.Seqs[s.PC]
+		if d := tnvDiff(s.TNV, SimulateTNV(seq, cfg.Size, cfg.Steady, cfg.ClearInterval)); d != "" {
+			h.fail(prop, s.PC, "TNV(steady) %s", d)
+		}
+		var kept uint64
+		for _, e := range s.TNV.Top(s.TNV.Len()) {
+			kept += e.Count
+		}
+		if kept+s.TNV.Dropped() != s.TNV.Updates() {
+			h.fail(prop, s.PC, "kept %d + dropped %d != updates %d on a fully-steady table",
+				kept, s.TNV.Dropped(), s.TNV.Updates())
+		}
+	}
+}
+
+// checkUnbatched runs the profiler with batched value buffers forced
+// off and requires both sides of the switch to be indistinguishable:
+// the record must serialize byte-identically to the batched run's, and
+// the execution itself (output, instruction count, cycles, analysis
+// calls) must match — the batched path charges instrumentation
+// overhead per observed value, not per flush.
+func (h *harness) checkUnbatched(recFull *core.ProfileRecord, resFull *vm.Result, input []int64) {
+	const prop = "unbatched"
+	if resFull == nil {
+		return
+	}
+	vp := h.profiler(prop, core.Options{TNV: h.opts.TNV, TrackFull: true, Unbatched: true})
+	if vp == nil {
+		return
+	}
+	res, ok := h.run(prop, input, vp)
+	if !ok {
+		return
+	}
+	if res.Output != resFull.Output || res.ExitStatus != resFull.ExitStatus ||
+		res.InstCount != resFull.InstCount || res.Cycles != resFull.Cycles ||
+		res.AnalysisCalls != resFull.AnalysisCalls {
+		h.fail(prop, -1, "unbatched execution differs from batched (inst %d vs %d, cycles %d vs %d, analysis calls %d vs %d)",
+			res.InstCount, resFull.InstCount, res.Cycles, resFull.Cycles,
+			res.AnalysisCalls, resFull.AnalysisCalls)
+	}
+	if a, b := mustJSON(recFull), mustJSON(vp.Profile().Record(h.name, "in0")); a != b {
+		h.fail(prop, -1, "unbatched profile differs from batched run:\n got %s\nwant %s", b, a)
 	}
 }
 
@@ -552,7 +622,9 @@ func (h *harness) checkPredict(ref *RefProfiler, recFull *core.ProfileRecord, in
 //
 //	InvTolerance (≈ epsilon)  drift below the convergence criterion
 //	skipped/executions        executions the sampler never saw
-//	lost/profiled             TNV counts shed by eviction and clearing
+//	lost/profiled             TNV counts the table did not retain:
+//	                          shed by eviction or clearing, or dropped
+//	                          outright against a full fully-steady table
 func (h *harness) checkConvergent(ref *RefProfiler, input []int64) {
 	const prop = "convergent"
 	cfg := h.opts.Convergent
@@ -613,6 +685,9 @@ func (h *harness) checkConvergent(ref *RefProfiler, input []int64) {
 func tnvDiff(t *core.TNVTable, ref *RefTNV) string {
 	if t.Updates() != ref.Updates {
 		return fmt.Sprintf("updates %d != reference %d", t.Updates(), ref.Updates)
+	}
+	if t.Dropped() != ref.Dropped {
+		return fmt.Sprintf("dropped %d != reference %d", t.Dropped(), ref.Dropped)
 	}
 	if t.Clears() != ref.Clears {
 		return fmt.Sprintf("clears %d != reference %d", t.Clears(), ref.Clears)

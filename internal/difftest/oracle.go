@@ -178,6 +178,7 @@ type RefTNV struct {
 	ClearInterval uint64
 	Entries       []RefEntry
 	Updates       uint64
+	Dropped       uint64
 	Clears        uint64
 	sinceClear    uint64
 }
@@ -206,6 +207,12 @@ func (t *RefTNV) Add(v int64) {
 		// The whole clear part is candidate for eviction; the last
 		// entry is the least frequently used.
 		t.Entries[len(t.Entries)-1] = RefEntry{Value: v, Count: 1}
+	} else {
+		// A full, fully-steady table has no eviction candidate: the
+		// value is dropped, counted, and — having touched no entry —
+		// does not advance the clear clock.
+		t.Dropped++
+		return
 	}
 	if t.ClearInterval > 0 {
 		t.sinceClear++

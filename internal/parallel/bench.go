@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"valueprof/internal/core"
@@ -59,7 +60,11 @@ func SuiteJobs() []Job {
 // workers-wide pool, and cross-checks that both produce byte-identical
 // per-job profile records. Programs are precompiled before either
 // timing so the (cached, one-off) MiniC compile cost does not skew the
-// comparison.
+// comparison. All cross-check work stays outside the timed regions:
+// the serial run's records are serialized to bytes — and its live
+// profiles released — before the parallel pass starts, and each pass
+// begins from a collected heap so neither pays for the other's
+// garbage.
 func BenchSuite(ctx context.Context, workers int, numCPU, maxprocs int) (*BenchReport, error) {
 	jobs := SuiteJobs()
 	names := make([]string, 0, len(jobs))
@@ -70,13 +75,24 @@ func BenchSuite(ctx context.Context, workers int, numCPU, maxprocs int) (*BenchR
 		}
 	}
 
+	runtime.GC()
 	start := time.Now()
 	serial := Run(ctx, 1, jobs)
 	serialDur := time.Since(start)
 	if err := FirstError(serial); err != nil {
 		return nil, err
 	}
+	serialRecs := make([][]byte, len(jobs))
+	for i := range jobs {
+		b, err := recordBytes(serial[i])
+		if err != nil {
+			return nil, err
+		}
+		serialRecs[i] = b
+	}
+	serial = nil
 
+	runtime.GC()
 	start = time.Now()
 	par := Run(ctx, workers, jobs)
 	parDur := time.Since(start)
@@ -86,15 +102,11 @@ func BenchSuite(ctx context.Context, workers int, numCPU, maxprocs int) (*BenchR
 
 	identical := true
 	for i := range jobs {
-		a, err := recordBytes(serial[i])
-		if err != nil {
-			return nil, err
-		}
 		b, err := recordBytes(par[i])
 		if err != nil {
 			return nil, err
 		}
-		if !bytes.Equal(a, b) {
+		if !bytes.Equal(serialRecs[i], b) {
 			identical = false
 		}
 	}

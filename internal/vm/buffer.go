@@ -1,0 +1,74 @@
+package vm
+
+// ValueBuffer batches the result values of one instrumented site so
+// the run loop can record an observation with a couple of array stores
+// instead of a closure call per execution. The analysis side registers
+// a flush function and receives values in execution order, in batches
+// of at most ValueBufCap; the batching is invisible to the analysis as
+// long as it only needs the value stream (tools that must act at the
+// exact instruction — samplers, checkpointers — keep using Hook).
+//
+// Buffers do not flush themselves at program end. The owning profiler
+// must call Flush before reading any state derived from the stream
+// (profile extraction, checkpointing, merging), including when a run
+// is cancelled and the partial profile is salvaged.
+
+// ValueBufCap is the batch size. Small enough that a flush stays in
+// cache, large enough to amortize the flush call.
+const ValueBufCap = 64
+
+// ValueBuffer is a fixed-size batch of observed values. Not safe for
+// concurrent use; one buffer belongs to one VM's run loop.
+type ValueBuffer struct {
+	n     int
+	vals  [ValueBufCap]int64
+	flush func([]int64)
+}
+
+// NewValueBuffer creates a buffer that delivers batches to flush. The
+// slice passed to flush is only valid during the call.
+func NewValueBuffer(flush func([]int64)) *ValueBuffer {
+	return &ValueBuffer{flush: flush}
+}
+
+// push appends one value, flushing when the buffer fills.
+func (b *ValueBuffer) push(v int64) {
+	b.vals[b.n] = v
+	b.n++
+	if b.n == ValueBufCap {
+		b.flush(b.vals[:b.n])
+		b.n = 0
+	}
+}
+
+// Pending returns the number of buffered, not yet flushed values.
+func (b *ValueBuffer) Pending() int { return b.n }
+
+// Flush delivers any buffered values to the flush function. It is
+// idempotent; an empty buffer does not invoke the callback.
+func (b *ValueBuffer) Flush() {
+	if b.n > 0 {
+		b.flush(b.vals[:b.n])
+		b.n = 0
+	}
+}
+
+// HookAfterBuffered attaches b as the buffered after-sink of
+// instruction pc. The run loop pushes the instruction's result value
+// into b instead of building an Event and walking a hook slice; each
+// push counts as one analysis call (and costs AnalysisCallCycles when
+// ChargeHooks is set), matching the closure-based path's accounting.
+// At most one buffer may be attached per pc; the buffered sink runs
+// before any HookAfter hooks at the same pc.
+func (v *VM) HookAfterBuffered(pc int, b *ValueBuffer) {
+	v.ensureHookState()
+	if v.bufs == nil {
+		v.bufs = make([]*ValueBuffer, len(v.Prog.Code))
+	}
+	if v.bufs[pc] != nil && v.bufs[pc] != b {
+		panic("vm: conflicting buffered hook at pc")
+	}
+	v.bufs[pc] = b
+	v.hookBits[pc] |= hookBufBit
+	v.unfuse(pc)
+}

@@ -80,8 +80,15 @@ type StepFn func(*VM) error
 // HookStep attaches a per-instruction control hook. Step hooks are the
 // attachment point for checkpointing and fault injection; they run on
 // every instruction, so they should do a cheap counter compare before
-// any real work.
-func (v *VM) HookStep(fn StepFn) { v.stepFns = append(v.stepFns, fn) }
+// any real work. Attaching one disables pair fusion (fused pairs would
+// skip the hook between their two instructions).
+func (v *VM) HookStep(fn StepFn) {
+	v.stepFns = append(v.stepFns, fn)
+	v.fuseDirty = true
+	for i := range v.fused {
+		v.fused[i] = fuseNone
+	}
+}
 
 // ClassifyError maps an error returned by a step hook (or by the run
 // loop itself) onto a RunOutcome.
@@ -138,8 +145,58 @@ func (v *VM) RunControlled(ctx context.Context) (RunOutcome, error) {
 	return outcome, err
 }
 
+// Fusion kinds, per pc: how the instruction at pc and its successor
+// execute as one dispatch. Only (straight-line op, branch) pairs fuse —
+// the pair dominating interpreter time in loop-heavy code (compare/add
+// feeding the latch branch) — and only when neither instruction carries
+// any hook and no step hooks are attached.
+const (
+	fuseNone uint8 = iota
+	fuseBr         // successor is an unconditional branch
+	fuseBeq        // successor branches if its Ra == 0
+	fuseBne        // successor branches if its Ra != 0
+)
+
+// refreshFusion recomputes the fused-pair cache from the current code
+// and hook state. Called lazily at run start when hooks changed.
+func (v *VM) refreshFusion() {
+	v.ensureHookState()
+	code := v.Prog.Code
+	if len(v.fused) != len(code) {
+		v.fused = make([]uint8, len(code))
+	} else {
+		for i := range v.fused {
+			v.fused[i] = fuseNone
+		}
+	}
+	v.fuseDirty = false
+	if len(v.stepFns) > 0 {
+		return
+	}
+	for pc := 0; pc+1 < len(code); pc++ {
+		if v.hookBits[pc] != 0 || v.hookBits[pc+1] != 0 || !fusibleFirst[code[pc].Op] {
+			continue
+		}
+		switch code[pc+1].Op {
+		case isa.OpBr:
+			v.fused[pc] = fuseBr
+		case isa.OpBeq:
+			v.fused[pc] = fuseBeq
+		case isa.OpBne:
+			v.fused[pc] = fuseBne
+		}
+	}
+}
+
 func (v *VM) runLoop(ctx context.Context, quantum uint64, deadline time.Time) (RunOutcome, error) {
 	code := v.Prog.Code
+	if v.fused == nil || v.fuseDirty {
+		v.refreshFusion()
+	}
+	// Hook attachment mutates these arrays in place (see unfuse), so
+	// the aliases stay valid even if a hook attaches more hooks mid-run.
+	bits := v.hookBits
+	fused := v.fused
 	var untilCheck uint64 // 0 → perform control checks now
 	for !v.Halted {
 		if untilCheck == 0 {
@@ -151,7 +208,6 @@ func (v *VM) runLoop(ctx context.Context, quantum uint64, deadline time.Time) (R
 				return OutcomeDeadline, context.DeadlineExceeded
 			}
 		}
-		untilCheck--
 
 		if v.InstCount >= v.StepLimit {
 			return OutcomeLimit, &LimitError{Limit: v.StepLimit, PC: v.PC}
@@ -163,20 +219,61 @@ func (v *VM) runLoop(ctx context.Context, quantum uint64, deadline time.Time) (R
 		}
 		in := code[pc]
 
-		if v.before != nil && v.before[pc] != nil {
+		// Fused (op, branch) pair: both instructions retire in one
+		// dispatch. The first is non-faulting by construction
+		// (fusibleFirst) so its error is statically nil, neither pc has
+		// hooks, and no step hooks are attached. Falling back to
+		// single-step near the step limit keeps OutcomeLimit exact; the
+		// quantum check slides by at most one instruction.
+		if k := fused[pc]; k != fuseNone && untilCheck >= 2 && v.InstCount+2 <= v.StepLimit {
+			untilCheck -= 2
+			in2 := code[pc+1]
+			handlers[in.Op](v, pc, in)
+			v.InstCount += 2
+			v.Cycles += uint64(in.Op.Cycles()) + uint64(in2.Op.Cycles())
+			next := pc + 2
+			switch k {
+			case fuseBr:
+				next = int(in2.Imm)
+			case fuseBeq:
+				if v.Regs[in2.Ra] == 0 {
+					next = int(in2.Imm)
+				}
+			case fuseBne:
+				if v.Regs[in2.Ra] != 0 {
+					next = int(in2.Imm)
+				}
+			}
+			v.PC = next
+			continue
+		}
+		untilCheck--
+
+		b := bits[pc]
+		if b&hookBeforeBit != 0 {
 			ev := &v.scratch
 			*ev = Event{VM: v, PC: pc, Inst: in}
 			v.runHooks(v.before[pc], ev)
 		}
 
-		value, addr, err := v.step(pc, in)
+		value, addr, err := handlers[in.Op](v, pc, in)
 		if err != nil {
 			return OutcomeFaulted, err
 		}
 		v.InstCount++
 		v.Cycles += uint64(in.Op.Cycles())
 
-		if v.after != nil && v.after[pc] != nil {
+		if b&hookBufBit != 0 {
+			// The buffered sink replaces one closure-based after-hook:
+			// same per-value analysis-call count and cycle charge,
+			// delivered to the analysis out of line in batches.
+			v.AnalysisCalls++
+			if v.ChargeHooks {
+				v.Cycles += AnalysisCallCycles
+			}
+			v.bufs[pc].push(value)
+		}
+		if b&hookAfterBit != 0 {
 			ev := &v.scratch
 			*ev = Event{VM: v, PC: pc, Inst: in, Value: value, Addr: addr}
 			v.runHooks(v.after[pc], ev)

@@ -87,7 +87,27 @@ type VM struct {
 	atEnd   []Hook
 	stepFns []StepFn
 	scratch Event
+
+	// hookBits is the dense per-pc hook summary the run loop consults:
+	// one byte per instruction, zero meaning "no instrumentation here",
+	// so a hooked-but-not-interesting pc costs one load and one
+	// predictable branch instead of two slice-header probes.
+	hookBits []uint8
+	// bufs holds the per-pc buffered after-sinks (HookAfterBuffered).
+	bufs []*ValueBuffer
+	// fused caches, per pc, whether this instruction and its successor
+	// execute as one fused (op, branch) pair; rebuilt lazily when
+	// fuseDirty is set. See refreshFusion.
+	fused     []uint8
+	fuseDirty bool
 }
+
+// Bits in hookBits.
+const (
+	hookBeforeBit uint8 = 1 << iota
+	hookAfterBit
+	hookBufBit
+)
 
 // New creates a VM for prog with default memory and step limit, loading
 // the data segment and initializing sp/fp to the top of memory.
@@ -98,8 +118,31 @@ func New(prog *program.Program) *VM {
 // NewSized creates a VM with the given memory size in bytes.
 func NewSized(prog *program.Program, memSize int) *VM {
 	v := &VM{Prog: prog, Mem: make([]byte, memSize), StepLimit: DefaultStepLimit}
+	v.ensureHookState()
 	v.Reset()
 	return v
+}
+
+// ensureHookState makes the dense per-pc hook summary match the
+// program length (it is indexed unconditionally on the hot path).
+func (v *VM) ensureHookState() {
+	if len(v.hookBits) != len(v.Prog.Code) {
+		v.hookBits = make([]uint8, len(v.Prog.Code))
+	}
+}
+
+// unfuse invalidates any fused pair that includes pc, so a hook
+// attached mid-run takes effect immediately, and schedules a full
+// fusion recompute for the next run (newly hookless pcs re-fuse then).
+func (v *VM) unfuse(pc int) {
+	v.fuseDirty = true
+	if v.fused == nil {
+		return
+	}
+	v.fused[pc] = fuseNone
+	if pc > 0 {
+		v.fused[pc-1] = fuseNone
+	}
 }
 
 // Reset rewinds the VM to the program's initial state, preserving
@@ -127,20 +170,26 @@ func (v *VM) Reset() {
 
 // HookBefore attaches fn to run before each execution of instruction pc.
 func (v *VM) HookBefore(pc int, fn Hook) {
+	v.ensureHookState()
 	if v.before == nil {
 		v.before = make([][]Hook, len(v.Prog.Code))
 	}
 	v.before[pc] = append(v.before[pc], fn)
+	v.hookBits[pc] |= hookBeforeBit
+	v.unfuse(pc)
 }
 
 // HookAfter attaches fn to run after each execution of instruction pc,
 // with the result value (destination register or stored value) in the
 // event.
 func (v *VM) HookAfter(pc int, fn Hook) {
+	v.ensureHookState()
 	if v.after == nil {
 		v.after = make([][]Hook, len(v.Prog.Code))
 	}
 	v.after[pc] = append(v.after[pc], fn)
+	v.hookBits[pc] |= hookAfterBit
+	v.unfuse(pc)
 }
 
 // HookEnd attaches fn to run when the program exits.
@@ -152,6 +201,14 @@ func (v *VM) ClearHooks() {
 	v.after = nil
 	v.atEnd = nil
 	v.stepFns = nil
+	v.bufs = nil
+	for i := range v.hookBits {
+		v.hookBits[i] = 0
+	}
+	for i := range v.fused {
+		v.fused[i] = fuseNone
+	}
+	v.fuseDirty = true
 }
 
 func (v *VM) fault(format string, args ...any) error {
@@ -224,171 +281,12 @@ func (v *VM) Run() error {
 
 // step executes one instruction, returning the result value (for
 // after-hooks) and effective address for memory operations. v.PC is
-// advanced (or redirected) and v.Halted set on exit.
+// advanced (or redirected) and v.Halted set on exit. The semantics
+// live in the per-opcode handler table (dispatch.go); the run loop
+// dispatches through the table directly and this wrapper exists for
+// tests and single-step callers.
 func (v *VM) step(pc int, in isa.Inst) (value int64, addr uint64, err error) {
-	r := &v.Regs
-	next := pc + 1
-	switch in.Op {
-	case isa.OpNop:
-	case isa.OpAdd:
-		value = r[in.Ra] + r[in.Rb]
-		v.setReg(in.Rd, value)
-	case isa.OpSub:
-		value = r[in.Ra] - r[in.Rb]
-		v.setReg(in.Rd, value)
-	case isa.OpMul:
-		value = r[in.Ra] * r[in.Rb]
-		v.setReg(in.Rd, value)
-	case isa.OpDiv:
-		if r[in.Rb] == 0 {
-			return 0, 0, v.fault("division by zero")
-		}
-		value = r[in.Ra] / r[in.Rb]
-		v.setReg(in.Rd, value)
-	case isa.OpRem:
-		if r[in.Rb] == 0 {
-			return 0, 0, v.fault("remainder by zero")
-		}
-		value = r[in.Ra] % r[in.Rb]
-		v.setReg(in.Rd, value)
-	case isa.OpAddi:
-		value = r[in.Ra] + int64(in.Imm)
-		v.setReg(in.Rd, value)
-	case isa.OpMuli:
-		value = r[in.Ra] * int64(in.Imm)
-		v.setReg(in.Rd, value)
-
-	case isa.OpAnd:
-		value = r[in.Ra] & r[in.Rb]
-		v.setReg(in.Rd, value)
-	case isa.OpOr:
-		value = r[in.Ra] | r[in.Rb]
-		v.setReg(in.Rd, value)
-	case isa.OpXor:
-		value = r[in.Ra] ^ r[in.Rb]
-		v.setReg(in.Rd, value)
-	case isa.OpAndi:
-		value = r[in.Ra] & int64(in.Imm)
-		v.setReg(in.Rd, value)
-	case isa.OpOri:
-		value = r[in.Ra] | int64(in.Imm)
-		v.setReg(in.Rd, value)
-	case isa.OpXori:
-		value = r[in.Ra] ^ int64(in.Imm)
-		v.setReg(in.Rd, value)
-
-	case isa.OpSll:
-		value = r[in.Ra] << (uint64(r[in.Rb]) & 63)
-		v.setReg(in.Rd, value)
-	case isa.OpSrl:
-		value = int64(uint64(r[in.Ra]) >> (uint64(r[in.Rb]) & 63))
-		v.setReg(in.Rd, value)
-	case isa.OpSra:
-		value = r[in.Ra] >> (uint64(r[in.Rb]) & 63)
-		v.setReg(in.Rd, value)
-	case isa.OpSlli:
-		value = r[in.Ra] << (uint32(in.Imm) & 63)
-		v.setReg(in.Rd, value)
-	case isa.OpSrli:
-		value = int64(uint64(r[in.Ra]) >> (uint32(in.Imm) & 63))
-		v.setReg(in.Rd, value)
-	case isa.OpSrai:
-		value = r[in.Ra] >> (uint32(in.Imm) & 63)
-		v.setReg(in.Rd, value)
-
-	case isa.OpCmpeq:
-		value = b2i(r[in.Ra] == r[in.Rb])
-		v.setReg(in.Rd, value)
-	case isa.OpCmpne:
-		value = b2i(r[in.Ra] != r[in.Rb])
-		v.setReg(in.Rd, value)
-	case isa.OpCmplt:
-		value = b2i(r[in.Ra] < r[in.Rb])
-		v.setReg(in.Rd, value)
-	case isa.OpCmple:
-		value = b2i(r[in.Ra] <= r[in.Rb])
-		v.setReg(in.Rd, value)
-	case isa.OpCmpgt:
-		value = b2i(r[in.Ra] > r[in.Rb])
-		v.setReg(in.Rd, value)
-	case isa.OpCmpge:
-		value = b2i(r[in.Ra] >= r[in.Rb])
-		v.setReg(in.Rd, value)
-	case isa.OpCmplti:
-		value = b2i(r[in.Ra] < int64(in.Imm))
-		v.setReg(in.Rd, value)
-	case isa.OpCmpeqi:
-		value = b2i(r[in.Ra] == int64(in.Imm))
-		v.setReg(in.Rd, value)
-
-	case isa.OpLdq, isa.OpLdl, isa.OpLdbu, isa.OpLdb:
-		addr = uint64(r[in.Ra] + int64(in.Imm))
-		size := 8
-		switch in.Op {
-		case isa.OpLdl:
-			size = 4
-		case isa.OpLdbu, isa.OpLdb:
-			size = 1
-		}
-		value, err = v.load(addr, size)
-		if err != nil {
-			return 0, 0, err
-		}
-		switch in.Op {
-		case isa.OpLdl:
-			value = int64(int32(value))
-		case isa.OpLdb:
-			value = int64(int8(value))
-		}
-		v.setReg(in.Rd, value)
-	case isa.OpStq, isa.OpStl, isa.OpStb:
-		addr = uint64(r[in.Ra] + int64(in.Imm))
-		size := 8
-		switch in.Op {
-		case isa.OpStl:
-			size = 4
-		case isa.OpStb:
-			size = 1
-		}
-		value = r[in.Rd]
-		if err := v.store(addr, size, value); err != nil {
-			return 0, 0, err
-		}
-
-	case isa.OpBr:
-		next = int(in.Imm)
-	case isa.OpBeq:
-		if r[in.Ra] == 0 {
-			next = int(in.Imm)
-		}
-	case isa.OpBne:
-		if r[in.Ra] != 0 {
-			next = int(in.Imm)
-		}
-	case isa.OpJsr:
-		value = int64(pc + 1) // link value, visible to after-hooks
-		v.setReg(in.Rd, value)
-		next = int(in.Imm)
-	case isa.OpJsrr:
-		target := int(r[in.Ra])
-		value = int64(pc + 1)
-		v.setReg(in.Rd, value)
-		next = target
-	case isa.OpJmp, isa.OpRet:
-		next = int(r[in.Ra])
-
-	case isa.OpSyscall:
-		val, serr := v.syscall(in.Imm)
-		if serr != nil {
-			return 0, 0, serr
-		}
-		value = val
-
-	default:
-		return 0, 0, v.fault("unimplemented opcode %v", in.Op)
-	}
-	v.PC = next
-	return value, addr, nil
+	return handlers[in.Op](v, pc, in)
 }
 
 func (v *VM) syscall(code int32) (int64, error) {

@@ -1,0 +1,65 @@
+package vmbench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestMeasureSmoke runs a miniature measurement and sanity-checks the
+// report's structure. Absolute numbers are machine noise at this size;
+// only well-formedness and the ratio identities are asserted.
+func TestMeasureSmoke(t *testing.T) {
+	rep, err := Measure(Options{Outer: 40, Repeats: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Insts == 0 || rep.UnhookedNsPerInst <= 0 || rep.HookedNsPerInst <= 0 || rep.LegacyNsPerInst <= 0 {
+		t.Fatalf("degenerate report: %+v", rep)
+	}
+	if got := rep.HookedNsPerInst / rep.UnhookedNsPerInst; got != rep.HookOverhead {
+		t.Errorf("HookOverhead %v, want %v", rep.HookOverhead, got)
+	}
+	if got := rep.LegacyNsPerInst / rep.HookedNsPerInst; got != rep.SpeedupVsLegacy {
+		t.Errorf("SpeedupVsLegacy %v, want %v", rep.SpeedupVsLegacy, got)
+	}
+	if len(rep.PerOp) != len(perOpOps) {
+		t.Errorf("per-op sweep covered %d ops, want %d", len(rep.PerOp), len(perOpOps))
+	}
+	for _, op := range rep.PerOp {
+		if op.NsPerInst <= 0 {
+			t.Errorf("op %s: non-positive ns/inst", op.Op)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SpeedupVsLegacy != rep.SpeedupVsLegacy {
+		t.Error("report did not round-trip")
+	}
+}
+
+func TestCompareGatesRatiosOnly(t *testing.T) {
+	base := &Report{SpeedupVsLegacy: 1.6, HookOverhead: 2.5, UnhookedNsPerInst: 8}
+
+	// Slower machine, same ratios: fine.
+	ok := &Report{SpeedupVsLegacy: 1.58, HookOverhead: 2.55, UnhookedNsPerInst: 80}
+	if err := Compare(base, ok, 0.10); err != nil {
+		t.Errorf("within-tolerance report rejected: %v", err)
+	}
+
+	slow := &Report{SpeedupVsLegacy: 1.4, HookOverhead: 2.5}
+	if err := Compare(base, slow, 0.10); err == nil || !strings.Contains(err.Error(), "SpeedupVsLegacy") {
+		t.Errorf("speedup regression not gated: %v", err)
+	}
+	heavy := &Report{SpeedupVsLegacy: 1.6, HookOverhead: 2.8}
+	if err := Compare(base, heavy, 0.10); err == nil || !strings.Contains(err.Error(), "HookOverhead") {
+		t.Errorf("overhead regression not gated: %v", err)
+	}
+}
