@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build test test-short cover cover-gate bench bench-smoke bench-parallel bench-vm bench-vm-check race-bench exp exp-quick fmt vet lint clean ci fuzz-smoke difftest chaos-smoke predict-sweep
+.PHONY: all build test test-short cover cover-gate bench bench-smoke bench-parallel bench-vm bench-vm-check bench-diff race-bench race-reuse exp exp-quick fmt vet lint clean ci fuzz-smoke difftest chaos-smoke predict-sweep
 
 # Coverage floors for the packages the correctness argument rests on.
 # Raise them when coverage genuinely improves; lowering one is a
@@ -14,10 +14,12 @@ all: build vet lint test
 # What CI runs: static checks, full build, race-enabled tests, the
 # coverage gate, a short fuzz pass over the parsers that face
 # untrusted input, the 500-seed differential-testing sweep, the
-# pool-level chaos sweep, the batched-buffer race benchmark, a
-# one-iteration benchmark smoke (every exhibit still regenerates, and
-# the serial-vs-parallel suite comparison still cross-checks), and the
-# VM hot-loop regression gate against the recorded baseline.
+# pool-level chaos sweep, the batched-buffer race benchmark, the
+# pooled-reuse chaos smoke, a one-iteration benchmark smoke (every
+# exhibit still regenerates, and the serial-vs-parallel suite
+# comparison still cross-checks), and the VM hot-loop regression gate
+# (ratios and hooked-run allocation count) against the recorded
+# baseline.
 ci: vet lint build
 	go test -race ./...
 	$(MAKE) cover-gate
@@ -26,18 +28,20 @@ ci: vet lint build
 	$(MAKE) predict-sweep
 	$(MAKE) chaos-smoke
 	$(MAKE) race-bench
+	$(MAKE) race-reuse
 	$(MAKE) bench-smoke
 	$(MAKE) bench-parallel
 	$(MAKE) bench-vm-check
 
-# Repo-specific static checks: the custom vet pass over command code
-# and the analysis package (no raw os.Create/os.WriteFile, no ranging
-# analysis fact tables straight into reports — see internal/lint), the
-# VRISC bytecode verifier over every workload and the assembly
-# examples, and staticcheck when it is installed (the toolchain image
-# may not have it; it must not be a hard dependency).
+# Repo-specific static checks: the custom vet pass over command code,
+# the analysis package, and the worker pool (no raw os.Create/
+# os.WriteFile, no ranging analysis fact tables straight into reports,
+# no per-job VM/profiler allocation outside the arena — see
+# internal/lint), the VRISC bytecode verifier over every workload and
+# the assembly examples, and staticcheck when it is installed (the
+# toolchain image may not have it; it must not be a hard dependency).
 lint:
-	go run ./internal/lint/vvet cmd internal/analysis
+	go run ./internal/lint/vvet cmd internal/analysis internal/parallel
 	go run ./cmd/vlint -all
 	go run ./cmd/vlint examples/asm/sum.s
 	go run ./cmd/vlint examples/asm/warnings.s
@@ -126,15 +130,30 @@ bench-vm:
 	go run ./cmd/vexp -bench-vm BENCH_vm.json
 
 # Gate the machine-independent hot-loop ratios (hook overhead, batched
-# speedup) against the recorded baseline with ±10% tolerance.
+# speedup) and the hooked-run allocation count against the recorded
+# baseline with ±10% tolerance.
 bench-vm-check:
 	go run ./cmd/vexp -bench-vm-check BENCH_vm.json
+
+# Compare two recorded VM baselines without re-measuring: per-metric
+# and per-op ratio deltas plus the same ±10% gate bench-vm-check
+# applies. Usage: make bench-diff OLD=old.json [NEW=new.json]
+OLD ?= BENCH_vm.json
+NEW ?= BENCH_vm.json
+bench-diff:
+	go run ./cmd/vexp -bench-diff $(OLD) $(NEW)
 
 # The batched value buffers under pool-level chaos with the race
 # detector on: proves no flush is lost or duplicated when runs are
 # killed mid-buffer and salvaged (see docs/perf.md).
 race-bench:
 	go test -race -run='^$$' -bench=BenchmarkPoolChaosBatched -benchtime=2x ./internal/difftest
+
+# Arena reuse under chaos with the race detector on: wide pools
+# recycling VMs and profilers across killed, stalled, and
+# checkpoint-corrupted attempts (see docs/perf.md, Campaign 2).
+race-reuse:
+	go test -race -run=TestPooledReuseChaos ./internal/difftest
 
 fmt:
 	gofmt -w .

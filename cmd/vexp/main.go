@@ -12,6 +12,7 @@
 //	vexp -bench-parallel BENCH_parallel.json
 //	vexp -bench-vm BENCH_vm.json
 //	vexp -bench-vm-check BENCH_vm.json
+//	vexp -bench-diff OLD.json [NEW.json]
 //
 // -jobs sets the worker-pool width used both across experiments and
 // for the per-workload profiling runs inside each one; the output is
@@ -65,6 +66,8 @@ func main() {
 		"run the VM hot-loop benchmarks, write the JSON report here, and exit")
 	benchVMCheck := flag.String("bench-vm-check", "",
 		"re-measure the VM hot loop and gate its ratios against this recorded baseline (exit 1 on regression)")
+	benchDiff := flag.String("bench-diff", "",
+		"compare this recorded VM baseline against a second report (first positional arg, default BENCH_vm.json) without re-measuring; exit 1 if the gated ratios moved more than 10%")
 	flag.Parse()
 
 	if *list {
@@ -84,6 +87,14 @@ func main() {
 	}
 	if *benchVMCheck != "" {
 		benchVMGate(*benchVMCheck)
+		return
+	}
+	if *benchDiff != "" {
+		cur := "BENCH_vm.json"
+		if flag.NArg() > 0 {
+			cur = flag.Arg(0)
+		}
+		benchVMDiff(*benchDiff, cur)
 		return
 	}
 
@@ -170,6 +181,11 @@ func benchParallel(path string, workers int) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// A one-wide "parallel" pass measures nothing: whenever the host
+	// has more than one CPU, record with a genuinely parallel pool.
+	if workers < 2 && runtime.NumCPU() > 1 {
+		workers = runtime.NumCPU()
+	}
 	rep, err := parallel.BenchSuite(context.Background(), workers, runtime.NumCPU(), runtime.GOMAXPROCS(0))
 	if err != nil {
 		fatal(err)
@@ -205,15 +221,7 @@ func benchVMRecord(path string) {
 // independent ratios regressed more than 10% against the recorded
 // baseline.
 func benchVMGate(path string) {
-	f, err := os.Open(path)
-	if err != nil {
-		fatal(err)
-	}
-	baseline, err := vmbench.ReadReport(f)
-	f.Close()
-	if err != nil {
-		fatal(err)
-	}
+	baseline := readVMReport(path)
 	cur, err := vmbench.Measure(vmbench.Options{SkipPerOp: true})
 	if err != nil {
 		fatal(err)
@@ -224,6 +232,32 @@ func benchVMGate(path string) {
 	}
 	fmt.Printf("vexp: vm bench within 10%% of %s (speedup %.2fx vs baseline %.2fx)\n",
 		path, cur.SpeedupVsLegacy, baseline.SpeedupVsLegacy)
+}
+
+// benchVMDiff compares two recorded reports without re-measuring:
+// per-metric and per-op ratio deltas, plus the same 10% gate on the
+// machine-independent ratios that bench-vm-check applies.
+func benchVMDiff(oldPath, newPath string) {
+	baseline, current := readVMReport(oldPath), readVMReport(newPath)
+	text, err := vmbench.Diff(baseline, current, 0.10)
+	fmt.Printf("vexp: bench diff %s -> %s\n%s", oldPath, newPath, text)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("vexp: gated ratios within 10%")
+}
+
+func readVMReport(path string) *vmbench.Report {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	rep, err := vmbench.ReadReport(f)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return rep
 }
 
 func fatal(err error) {

@@ -113,16 +113,31 @@ type RunOptions struct {
 	Quantum uint64
 }
 
+// EffectiveMemSize resolves the guest memory budget, substituting the
+// VM default for the zero value. Arena callers size reused VMs with it
+// so ResetFor and Prepare agree on the memory image.
+func (o RunOptions) EffectiveMemSize() int {
+	if o.MemSize <= 0 {
+		return vm.DefaultMemSize
+	}
+	return o.MemSize
+}
+
 // Prepare builds an instrumented VM without running it: it creates the
 // VM per opts, attaches every tool, and returns the VM ready for
 // RunControlled. Callers that need to restore a checkpointed snapshot
 // do so between Prepare and running.
 func Prepare(prog *program.Program, opts RunOptions, tools ...Tool) *vm.VM {
-	memSize := opts.MemSize
-	if memSize <= 0 {
-		memSize = vm.DefaultMemSize
-	}
-	v := vm.NewSized(prog, memSize)
+	return PrepareOn(vm.NewSized(prog, opts.EffectiveMemSize()), opts, tools...)
+}
+
+// PrepareOn instruments an existing VM instead of allocating one: the
+// reuse counterpart of Prepare for pooled execution. The caller must
+// already have put v into its initial state for the right program —
+// either freshly created, or rewound with v.ResetFor(prog,
+// opts.EffectiveMemSize()) — and PrepareOn then applies the run
+// options and attaches every tool exactly as Prepare would.
+func PrepareOn(v *vm.VM, opts RunOptions, tools ...Tool) *vm.VM {
 	v.Input = opts.Input
 	v.ChargeHooks = opts.ChargeHooks
 	if opts.StepLimit > 0 {
@@ -130,7 +145,7 @@ func Prepare(prog *program.Program, opts RunOptions, tools ...Tool) *vm.VM {
 	}
 	v.Deadline = opts.Deadline
 	v.Quantum = opts.Quantum
-	ix := &Instrumenter{Prog: prog, VM: v}
+	ix := &Instrumenter{Prog: v.Prog, VM: v}
 	for _, t := range tools {
 		t.Instrument(ix)
 	}

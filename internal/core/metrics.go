@@ -57,14 +57,54 @@ func (s *SiteStats) Observe(v int64) {
 // execution order — the flush target of a vm.ValueBuffer. It is
 // equivalent to calling Observe per value (the LVP comparison chains
 // across batch boundaries through the saved last-value state) but
-// keeps the scalar counters in locals across the batch.
+// runs as a single-pass, allocation-free scan: scalar counters live in
+// locals across the batch, and a run of the TNV head value — the
+// common case at invariant and semi-invariant sites — collapses into
+// one table update covering the whole run (the LVP chain, zero count,
+// and clear clock all advance by closed form). The head-run fast path
+// re-checks the head after every general update, so values that bubble
+// to the top mid-batch start taking it immediately.
 func (s *SiteStats) ObserveBatch(vals []int64) {
 	if len(vals) == 0 {
 		return
 	}
+	if s.Full != nil {
+		// Ground-truth mode keeps the exact per-value path; it exists
+		// to measure the approximations, not to be fast.
+		for _, v := range vals {
+			s.Observe(v)
+		}
+		return
+	}
+	t := s.TNV
+	// A mid-run periodic clear with Steady == 0 evicts the head entry
+	// itself, which would break the head-run closed form; such tables
+	// (test configurations) take the per-value path.
+	headRuns := t.cfg.ClearInterval == 0 || t.cfg.Steady > 0
 	last, hasLast := s.last, s.hasLast
 	var lvp, zeros uint64
-	for _, v := range vals {
+	for i := 0; i < len(vals); {
+		v := vals[i]
+		if e := t.entries; headRuns && len(e) > 0 && e[0].Value == v {
+			j := i + 1
+			for j < len(vals) && vals[j] == v {
+				j++
+			}
+			run := uint64(j - i)
+			// Within the run every repetition after the first is a
+			// last-value hit; the first hits iff it extends the chain.
+			lvp += run - 1
+			if hasLast && v == last {
+				lvp++
+			}
+			if v == 0 {
+				zeros += run
+			}
+			last, hasLast = v, true
+			t.addHeadRun(run)
+			i = j
+			continue
+		}
 		if hasLast && v == last {
 			lvp++
 		}
@@ -72,10 +112,8 @@ func (s *SiteStats) ObserveBatch(vals []int64) {
 		if v == 0 {
 			zeros++
 		}
-		s.TNV.Add(v)
-		if s.Full != nil {
-			s.Full.Add(v)
-		}
+		t.Add(v)
+		i++
 	}
 	s.Exec += uint64(len(vals))
 	s.LVPHits += lvp

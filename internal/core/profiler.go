@@ -125,40 +125,55 @@ type ValueProfiler struct {
 	// sampled marks the pcs the adaptive plan placed under convergent
 	// sampling (BudgetSampled).
 	sampled map[int]bool
-	// bufs holds the per-site value buffers of full-time sites. A
+	// bufs holds the per-site value buffers of batched sites (full-time
+	// sites, and sampled sites whose sampler is batch-replayable). A
 	// buffer persists across Instrument calls of a reused profiler so
 	// carried-over values keep their order; FlushBuffers drains them.
 	bufs map[int]*vm.ValueBuffer
+	// freeBufs recycles value buffers across ResetFor generations.
+	freeBufs []*vm.ValueBuffer
+	// slab block-allocates the per-run site state (see newSite).
+	slab siteSlab
 	// runs counts Instrument calls. A profiler re-instrumented for
 	// further runs of the same program keeps accumulating into its
 	// site tables, yielding the profile of the concatenated run.
 	runs int
 }
 
+// normalized fills option defaults and validates the result; shared by
+// NewValueProfiler and ResetFor.
+func (o Options) normalized() (Options, error) {
+	if o.Filter == nil {
+		o.Filter = func(in isa.Inst) bool { return in.Op.HasDest() }
+	}
+	if o.TNV.Size == 0 {
+		o.TNV = DefaultTNVConfig()
+	}
+	if err := o.TNV.validate(); err != nil {
+		return o, err
+	}
+	if o.Convergent != nil {
+		if err := o.Convergent.Validate(); err != nil {
+			return o, err
+		}
+	}
+	if o.AdaptiveBudget != nil {
+		if o.Convergent != nil || o.Sampler != nil {
+			return o, fmt.Errorf("AdaptiveBudget is mutually exclusive with Convergent and Sampler")
+		}
+		cfg := o.AdaptiveBudget.sampledConfig()
+		if err := cfg.Validate(); err != nil {
+			return o, fmt.Errorf("AdaptiveBudget.Sampled: %w", err)
+		}
+	}
+	return o, nil
+}
+
 // NewValueProfiler validates opts and creates the tool.
 func NewValueProfiler(opts Options) (*ValueProfiler, error) {
-	if opts.Filter == nil {
-		opts.Filter = func(in isa.Inst) bool { return in.Op.HasDest() }
-	}
-	if opts.TNV.Size == 0 {
-		opts.TNV = DefaultTNVConfig()
-	}
-	if err := opts.TNV.validate(); err != nil {
+	opts, err := opts.normalized()
+	if err != nil {
 		return nil, err
-	}
-	if opts.Convergent != nil {
-		if err := opts.Convergent.Validate(); err != nil {
-			return nil, err
-		}
-	}
-	if opts.AdaptiveBudget != nil {
-		if opts.Convergent != nil || opts.Sampler != nil {
-			return nil, fmt.Errorf("AdaptiveBudget is mutually exclusive with Convergent and Sampler")
-		}
-		cfg := opts.AdaptiveBudget.sampledConfig()
-		if err := cfg.Validate(); err != nil {
-			return nil, fmt.Errorf("AdaptiveBudget.Sampled: %w", err)
-		}
 	}
 	return &ValueProfiler{
 		opts:    opts,
@@ -166,6 +181,38 @@ func NewValueProfiler(opts Options) (*ValueProfiler, error) {
 		sampled: make(map[int]bool),
 		bufs:    make(map[int]*vm.ValueBuffer),
 	}, nil
+}
+
+// ResetFor rewinds a profiler for reuse on a new job, revalidating and
+// adopting opts. The accumulated sites are not retained — they belong
+// to the Profile extracted for the previous job (callers read
+// Profile() before resetting; unextracted buffered values are
+// discarded with it) — but the maps and value-buffer allocations are
+// recycled. A reset profiler is observably indistinguishable from
+// NewValueProfiler(opts): fresh-vs-reused byte identity of profiles is
+// pinned by internal/difftest. This is the reuse lifecycle entry point
+// for internal/parallel's arena and internal/supervise retries.
+func (p *ValueProfiler) ResetFor(opts Options) error {
+	opts, err := opts.normalized()
+	if err != nil {
+		return err
+	}
+	clear(p.sites)
+	clear(p.sampled)
+	for pc, b := range p.bufs {
+		b.Reset(nil) // park: drop pending values and the old site reference
+		p.freeBufs = append(p.freeBufs, b)
+		delete(p.bufs, pc)
+	}
+	p.seeded = nil
+	p.seedSkipped = 0
+	p.Pruned = 0
+	p.runs = 0
+	p.opts = opts
+	// The slab is abandoned, not reused: its storage escaped into the
+	// previous profile's sites.
+	p.slab = siteSlab{}
+	return nil
 }
 
 // Instrument implements atom.Tool: it attaches an after-instruction
@@ -208,9 +255,12 @@ func (p *ValueProfiler) Instrument(ix *atom.Instrumenter) {
 // hook attaches the after-instruction analysis routine for one site,
 // full-time when sampler is nil. Full-time sites get a batched value
 // buffer (unless Options.Unbatched) — the VM pushes raw values and the
-// site observes them in order at flush time. Sampled sites must keep
-// the per-execution closure: the sampling decision and the convergence
-// checkpoints are functions of the exact execution at which they run.
+// site observes them in order at flush time. Sampled sites whose
+// sampler is batch-replayable (BatchSampler) also batch: the flush
+// replays the take/skip decisions over the buffered stream with the
+// exact per-execution semantics. Only samplers with per-execution
+// randomness keep the closure path, where the decision is a function
+// of the exact execution at which it runs.
 func (p *ValueProfiler) hook(ix *atom.Instrumenter, pc int, sampler Sampler) {
 	site := p.sites[pc]
 	if sampler == nil {
@@ -218,12 +268,11 @@ func (p *ValueProfiler) hook(ix *atom.Instrumenter, pc int, sampler Sampler) {
 			ix.AddAfter(pc, func(ev *vm.Event) { site.Observe(ev.Value) })
 			return
 		}
-		b := p.bufs[pc]
-		if b == nil {
-			b = vm.NewValueBuffer(site.ObserveBatch)
-			p.bufs[pc] = b
-		}
-		ix.AddAfterBuffered(pc, b)
+		p.attachBuffered(ix, pc, site)
+		return
+	}
+	if bs, ok := sampler.(BatchSampler); ok && !p.opts.Unbatched {
+		p.attachBuffered(ix, pc, &sampledSink{site: site, sampler: bs})
 		return
 	}
 	// The skip counter lives on the site: the hook closure touches
@@ -236,6 +285,31 @@ func (p *ValueProfiler) hook(ix *atom.Instrumenter, pc int, sampler Sampler) {
 			site.Skipped++
 		}
 	})
+}
+
+// attachBuffered wires pc's value stream into sink through a (possibly
+// recycled) ValueBuffer. On a reused profiler the existing buffer may
+// still target the previous Instrument call's sink (sampled sites get
+// a fresh sampler per run); any carried-over values are drained
+// through the old sink — they belong to the previous run — before the
+// buffer is re-targeted.
+func (p *ValueProfiler) attachBuffered(ix *atom.Instrumenter, pc int, sink vm.ValueSink) {
+	b := p.bufs[pc]
+	if b == nil {
+		if n := len(p.freeBufs); n > 0 {
+			b = p.freeBufs[n-1]
+			p.freeBufs[n-1] = nil
+			p.freeBufs = p.freeBufs[:n-1]
+			b.Reset(sink)
+		} else {
+			b = vm.NewValueBufferSink(sink)
+		}
+		p.bufs[pc] = b
+	} else {
+		b.Flush()
+		b.Reset(sink)
+	}
+	ix.AddAfterBuffered(pc, b)
 }
 
 // FlushBuffers drains every batched value buffer into its site. Every
@@ -279,7 +353,7 @@ func (p *ValueProfiler) prepare(ix *atom.Instrumenter) {
 			p.sites[pc] = s
 			return
 		}
-		p.sites[pc] = NewSiteStats(pc, ix.Prog.SiteName(pc), p.opts.TNV, p.opts.TrackFull)
+		p.sites[pc] = p.newSite(pc, ix.Prog.SiteName(pc))
 	})
 }
 

@@ -16,8 +16,93 @@ type Sampler interface {
 // SamplerFactory creates one independent Sampler per profiled site.
 type SamplerFactory func() Sampler
 
+// BatchSampler is a Sampler whose decisions can be replayed over a
+// batch of consecutive executions: instead of one ShouldProfile call
+// per execution, the profiler asks for the length of the next
+// homogeneous take-or-skip run. Deterministic phase-structured
+// samplers (convergent, burst, periodic) implement it, which lets
+// their sites use the VM's batched ValueBuffer path with the exact
+// per-execution semantics — including the order of convergence
+// checkpoints relative to observations — reproduced at flush time
+// (byte identity proven by internal/difftest). Samplers that draw
+// fresh per-execution randomness (RandomSampler) cannot, and keep the
+// exact closure path.
+type BatchSampler interface {
+	Sampler
+	// NextRun consumes up to max pending executions (max ≥ 1) and
+	// reports whether they are profiled, how many were consumed
+	// (1 ≤ n ≤ max), and whether the current phase's final execution
+	// is among them. When boundary is set the caller must invoke
+	// EndPhase — for a take run, between observing value n-1 and value
+	// n, matching the exact machine's checkpoint-before-last-
+	// observation order (shouldProfile decrements, checkpoints, then
+	// lets the value be observed).
+	NextRun(max uint64) (take bool, n uint64, boundary bool)
+	// EndPhase performs the phase-boundary transition — the
+	// convergence checkpoint for the convergent sampler, a no-op for
+	// samplers whose NextRun already advanced the phase state.
+	EndPhase(site *SiteStats)
+}
+
+// sampledSink replays a batch-replayable sampler over one site's
+// buffered value stream. It is the flush target wiring sampled sites
+// into vm.ValueBuffer: the VM delivers every executed value in order,
+// and the sink partitions the batch into the sampler's take/skip runs.
+type sampledSink struct {
+	site    *SiteStats
+	sampler BatchSampler
+}
+
+// ObserveBatch implements vm.ValueSink.
+func (k *sampledSink) ObserveBatch(vals []int64) {
+	for len(vals) > 0 {
+		take, n, boundary := k.sampler.NextRun(uint64(len(vals)))
+		if n == 0 || n > uint64(len(vals)) {
+			panic("core: batch sampler returned run length out of range")
+		}
+		if take {
+			if boundary {
+				k.site.ObserveBatch(vals[:n-1])
+				k.sampler.EndPhase(k.site)
+				k.site.ObserveBatch(vals[n-1 : n])
+			} else {
+				k.site.ObserveBatch(vals[:n])
+			}
+		} else {
+			k.site.Skipped += n
+			if boundary {
+				k.sampler.EndPhase(k.site)
+			}
+		}
+		vals = vals[n:]
+	}
+}
+
 // ShouldProfile implements Sampler for the convergent state machine.
 func (c *convState) ShouldProfile(site *SiteStats) bool { return c.shouldProfile(site) }
+
+// NextRun implements BatchSampler: the remainder of the current burst
+// or skip period is one homogeneous run.
+func (c *convState) NextRun(max uint64) (take bool, n uint64, boundary bool) {
+	n = c.remaining
+	boundary = n <= max
+	if !boundary {
+		n = max
+	}
+	c.remaining -= n
+	return c.profiling, n, boundary
+}
+
+// EndPhase implements BatchSampler: the convergence checkpoint at a
+// burst boundary, or re-arming the next burst at a skip boundary.
+func (c *convState) EndPhase(site *SiteStats) {
+	if c.profiling {
+		c.checkpoint(site)
+		return
+	}
+	c.profiling = true
+	c.remaining = c.cfg.BurstLen
+}
 
 // NewConvergentFactory returns a factory for the paper's convergent
 // sampler; it panics on an invalid config (call Validate first, or go
@@ -44,6 +129,29 @@ func (p *PeriodicSampler) ShouldProfile(*SiteStats) bool {
 	}
 	return false
 }
+
+// NextRun implements BatchSampler: Every-1 skips, then the one
+// profiled execution closing the cycle.
+func (p *PeriodicSampler) NextRun(max uint64) (take bool, n uint64, boundary bool) {
+	if p.Every <= 1 {
+		return true, max, false
+	}
+	rem := p.Every - 1 - p.n
+	if rem == 0 {
+		p.n = 0
+		return true, 1, true
+	}
+	if rem > max {
+		p.n += max
+		return false, max, false
+	}
+	p.n += rem
+	return false, rem, true
+}
+
+// EndPhase implements BatchSampler (NextRun already advanced the
+// cycle state).
+func (p *PeriodicSampler) EndPhase(*SiteStats) {}
 
 // NewPeriodicFactory samples 1-in-every executions deterministically.
 func NewPeriodicFactory(every uint64) SamplerFactory {
@@ -110,6 +218,41 @@ func (b *BurstSampler) ShouldProfile(*SiteStats) bool {
 	}
 	return on
 }
+
+// NextRun implements BatchSampler: the remainder of the current
+// burst (or of the skip tail of the interval) is one homogeneous run.
+func (b *BurstSampler) NextRun(max uint64) (take bool, n uint64, boundary bool) {
+	if b.Interval == 0 {
+		// Degenerate direct construction: ShouldProfile resets the
+		// cycle every execution, so the burst either always or never
+		// samples.
+		return b.BurstLen > 0, max, false
+	}
+	burst := b.BurstLen
+	if burst > b.Interval {
+		burst = b.Interval
+	}
+	take = b.n < burst
+	var rem uint64
+	if take {
+		rem = burst - b.n
+	} else {
+		rem = b.Interval - b.n
+	}
+	if rem > max {
+		b.n += max
+		return take, max, false
+	}
+	b.n += rem
+	if b.n >= b.Interval {
+		b.n = 0
+	}
+	return take, rem, true
+}
+
+// EndPhase implements BatchSampler (NextRun already advanced the
+// cycle state).
+func (b *BurstSampler) EndPhase(*SiteStats) {}
 
 // NewBurstFactory samples burstLen-of-interval executions.
 func NewBurstFactory(burstLen, interval uint64) SamplerFactory {

@@ -1,0 +1,43 @@
+package core
+
+// siteSlab block-allocates one profiling run's site state. Sites
+// escape into the returned Profile, so they cannot be pooled across
+// jobs the way VMs and buffers are; instead each run carves its
+// SiteStats, TNVTable, and entry storage out of chunked slabs,
+// collapsing three heap allocations per site into three per chunk.
+// The slab is abandoned on ValueProfiler.ResetFor — its storage
+// belongs to the profile that escaped with it — and the next run
+// starts a fresh one.
+type siteSlab struct {
+	stats   []SiteStats
+	tables  []TNVTable
+	entries []TNVEntry
+}
+
+// siteSlabChunk is the number of sites allocated per slab refill.
+const siteSlabChunk = 64
+
+// newSite allocates one site from the slab. Each TNV table receives an
+// entry slice with capacity exactly TNV.Size carved from the shared
+// entry slab; the table never appends past its capacity (inserts stop
+// at Size), and any exceptional growth (e.g. a merge) safely
+// reallocates out of the slab. Ground-truth sites (TrackFull) keep the
+// plain allocation path: they carry maps and are measurement-only.
+func (p *ValueProfiler) newSite(pc int, name string) *SiteStats {
+	if p.opts.TrackFull {
+		return NewSiteStats(pc, name, p.opts.TNV, true)
+	}
+	sl := &p.slab
+	k := p.opts.TNV.Size
+	if len(sl.stats) == 0 {
+		sl.stats = make([]SiteStats, siteSlabChunk)
+		sl.tables = make([]TNVTable, siteSlabChunk)
+		sl.entries = make([]TNVEntry, siteSlabChunk*k)
+	}
+	s, t := &sl.stats[0], &sl.tables[0]
+	sl.stats, sl.tables = sl.stats[1:], sl.tables[1:]
+	*t = TNVTable{cfg: p.opts.TNV, entries: sl.entries[:0:k]}
+	sl.entries = sl.entries[k:]
+	*s = SiteStats{PC: pc, Name: name, TNV: t}
+	return s
+}

@@ -129,6 +129,30 @@ func (t *TNVTable) Add(v int64) {
 	t.maybeClear()
 }
 
+// addHeadRun records run consecutive observations of the current head
+// value in closed form, equivalent to run sequential Add calls hitting
+// the head. A head hit only ever increments the head count (no
+// reordering), and the sole mid-run table event is the periodic clear,
+// which truncates the tail but cannot dethrone the head while
+// Steady ≥ 1 — callers guarantee that (see SiteStats.ObserveBatch).
+// Multiple clear-interval crossings inside one run count at most one
+// clear, exactly like the per-update path: the first crossing
+// truncates to Steady entries and later crossings find nothing above
+// Steady to flush.
+func (t *TNVTable) addHeadRun(run uint64) {
+	t.updates += run
+	t.entries[0].Count += run
+	if t.cfg.ClearInterval == 0 {
+		return
+	}
+	total := t.sinceClear + run
+	t.sinceClear = total % t.cfg.ClearInterval
+	if total >= t.cfg.ClearInterval && len(t.entries) > t.cfg.Steady {
+		t.entries = t.entries[:t.cfg.Steady]
+		t.clears++
+	}
+}
+
 // maybeClear advances the periodic-clear clock by one update and, when
 // the interval elapses, flushes the clear part. Callers invoke it only
 // for updates that touched an entry (hit, insert, or evict-replace):

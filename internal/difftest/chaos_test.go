@@ -36,6 +36,32 @@ func TestChaosSweepSmoke(t *testing.T) {
 		injected, corrupted, retried, resumed, salvaged)
 }
 
+// TestPooledReuseChaos is the pooled-reuse smoke for `-race` CI: the
+// supervised pool recycles VMs and profilers through the parallel
+// arena, so consecutive chaotic seeds hammer ResetFor on objects
+// carrying state from killed, stalled, and checkpoint-corrupted
+// attempts of *previous* seeds — the worst-case reuse pattern. Wide
+// worker pools keep acquisitions and releases genuinely concurrent so
+// the race detector sees the arena under contention; the verdicts
+// themselves must stay as clean as fresh allocation.
+func TestPooledReuseChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pooled-reuse chaos is not short")
+	}
+	for seed := uint64(1); seed <= 4; seed++ {
+		rep := ChaosCheck(seed, ChaosOptions{Variants: 6, Workers: 6})
+		if rep.Failed() {
+			for _, d := range rep.Divergences {
+				t.Errorf("seed %d: %s", seed, d)
+			}
+		}
+		if rep.Completed+rep.Salvaged != rep.Jobs {
+			t.Errorf("seed %d: %d completed + %d salvaged != %d jobs",
+				seed, rep.Completed, rep.Salvaged, rep.Jobs)
+		}
+	}
+}
+
 // TestChaosCheckDeterministic: the same seed must produce the same
 // verdict and the same chaos plan (the whole point of seeding).
 func TestChaosCheckDeterministic(t *testing.T) {

@@ -151,6 +151,8 @@ func Check(prog *program.Program, name string, input, input2 []int64, opts Optio
 	h.checkSteadyTNV(ref, input)
 	if recFull != nil {
 		h.checkUnbatched(recFull, resFull, input)
+		h.checkReuse(recFull, resFull, input, input2)
+		h.checkUnfused(recFull, resFull, input)
 		h.checkResume(recFull, input)
 		cn := analysis.AnalyzeConstness(prog)
 		h.checkPrune(cn, recFull, input)
@@ -159,6 +161,7 @@ func Check(prog *program.Program, name string, input, input2 []int64, opts Optio
 	}
 	h.checkShardMerge(ref, ref2, input, input2)
 	h.checkConvergent(ref, input)
+	h.checkSampledBatch(input)
 	return h.report
 }
 
@@ -333,6 +336,89 @@ func (h *harness) checkUnbatched(recFull *core.ProfileRecord, resFull *vm.Result
 	}
 	if a, b := mustJSON(recFull), mustJSON(vp.Profile().Record(h.name, "in0")); a != b {
 		h.fail(prop, -1, "unbatched profile differs from batched run:\n got %s\nwant %s", b, a)
+	}
+}
+
+// checkReuse exercises the arena lifecycle directly: a VM and profiler
+// are dirtied on the secondary input, rewound in place with ResetFor,
+// and replayed on the primary input. Both the execution summary and
+// the serialized profile must be byte-identical to the fresh-object
+// run — reuse may not be observable. ResetFor is called explicitly
+// (rather than through the sync.Pool arena) so the property is
+// deterministic: a pool Get may always miss and hand back a fresh
+// object, which would silently test nothing.
+func (h *harness) checkReuse(recFull *core.ProfileRecord, resFull *vm.Result, input, input2 []int64) {
+	const prop = "fresh-vs-reused"
+	if resFull == nil {
+		return
+	}
+	popts := core.Options{TNV: h.opts.TNV, TrackFull: true}
+	vp := h.profiler(prop, popts)
+	if vp == nil {
+		return
+	}
+	ropts := atom.RunOptions{Input: input2, StepLimit: h.opts.StepLimit}
+	v := atom.Prepare(h.prog, ropts, vp)
+	if outcome, err := v.RunControlled(context.Background()); outcome != vm.OutcomeCompleted {
+		h.fail(prop, -1, "dirtying run did not complete: %v (%v)", outcome, err)
+		return
+	}
+	if err := vp.ResetFor(popts); err != nil {
+		h.fail(prop, -1, "profiler ResetFor failed: %v", err)
+		return
+	}
+	ropts.Input = input
+	v.ResetFor(h.prog, ropts.EffectiveMemSize())
+	atom.PrepareOn(v, ropts, vp)
+	outcome, err := v.RunControlled(context.Background())
+	if outcome != vm.OutcomeCompleted {
+		h.fail(prop, -1, "reused run did not complete: %v (%v)", outcome, err)
+		return
+	}
+	res := vm.ResultOf(v, outcome)
+	if res.Output != resFull.Output || res.ExitStatus != resFull.ExitStatus ||
+		res.InstCount != resFull.InstCount || res.Cycles != resFull.Cycles ||
+		res.AnalysisCalls != resFull.AnalysisCalls {
+		h.fail(prop, -1, "reused execution differs from fresh (inst %d vs %d, cycles %d vs %d, analysis calls %d vs %d)",
+			res.InstCount, resFull.InstCount, res.Cycles, resFull.Cycles,
+			res.AnalysisCalls, resFull.AnalysisCalls)
+	}
+	if a, b := mustJSON(recFull), mustJSON(vp.Profile().Record(h.name, "in0")); a != b {
+		h.fail(prop, -1, "reused profile differs from fresh run:\n got %s\nwant %s", b, a)
+	}
+}
+
+// checkUnfused re-runs the profiled execution with a no-op step hook
+// attached. Step hooks disable every superinstruction (pairs and
+// three-op fusions alike) but charge nothing, so the unfused run must
+// be observably identical — instruction count, cycles, analysis calls,
+// and the serialized profile. This pins the fused dispatch paths to
+// the plain interpreter's semantics on every corpus program.
+func (h *harness) checkUnfused(recFull *core.ProfileRecord, resFull *vm.Result, input []int64) {
+	const prop = "fused-vs-unfused"
+	if resFull == nil {
+		return
+	}
+	vp := h.profiler(prop, core.Options{TNV: h.opts.TNV, TrackFull: true})
+	if vp == nil {
+		return
+	}
+	noFuse := atom.ToolFunc(func(ix *atom.Instrumenter) {
+		ix.AddStep(func(*vm.VM) error { return nil })
+	})
+	res, ok := h.run(prop, input, vp, noFuse)
+	if !ok {
+		return
+	}
+	if res.Output != resFull.Output || res.ExitStatus != resFull.ExitStatus ||
+		res.InstCount != resFull.InstCount || res.Cycles != resFull.Cycles ||
+		res.AnalysisCalls != resFull.AnalysisCalls {
+		h.fail(prop, -1, "unfused execution differs from fused (inst %d vs %d, cycles %d vs %d, analysis calls %d vs %d)",
+			res.InstCount, resFull.InstCount, res.Cycles, resFull.Cycles,
+			res.AnalysisCalls, resFull.AnalysisCalls)
+	}
+	if a, b := mustJSON(recFull), mustJSON(vp.Profile().Record(h.name, "in0")); a != b {
+		h.fail(prop, -1, "unfused profile differs from fused run:\n got %s\nwant %s", b, a)
 	}
 }
 
@@ -677,6 +763,45 @@ func (h *harness) checkConvergent(ref *RefProfiler, input []int64) {
 			h.fail(prop, s.PC, "sampled Inv-Top(1) %.4f vs exact Inv-All(1) %.4f exceeds bound %.4f (exec %d, skipped %d)",
 				got, want, bound, s.Exec, s.Skipped)
 		}
+	}
+}
+
+// checkSampledBatch pins the batch-replayable sampling path: a
+// convergently sampled run through the buffered sinks (the default)
+// against the same run with Unbatched forced on, where the sampler
+// makes its decision per execution inside the hook closure. The
+// decision sequence is a deterministic function of the value stream,
+// so replaying it over flushed batches must profile exactly the same
+// executions — both records serialize byte-identically and the
+// execution summaries (including analysis-call counts) agree.
+func (h *harness) checkSampledBatch(input []int64) {
+	const prop = "sampled-batch"
+	cfgB, cfgU := h.opts.Convergent, h.opts.Convergent
+	vpB := h.profiler(prop, core.Options{TNV: h.opts.TNV, Convergent: &cfgB})
+	if vpB == nil {
+		return
+	}
+	resB, ok := h.run(prop, input, vpB)
+	if !ok {
+		return
+	}
+	vpU := h.profiler(prop, core.Options{TNV: h.opts.TNV, Convergent: &cfgU, Unbatched: true})
+	if vpU == nil {
+		return
+	}
+	resU, ok := h.run(prop, input, vpU)
+	if !ok {
+		return
+	}
+	if resB.Output != resU.Output || resB.ExitStatus != resU.ExitStatus ||
+		resB.InstCount != resU.InstCount || resB.Cycles != resU.Cycles ||
+		resB.AnalysisCalls != resU.AnalysisCalls {
+		h.fail(prop, -1, "batched sampled execution differs from unbatched (inst %d vs %d, cycles %d vs %d, analysis calls %d vs %d)",
+			resB.InstCount, resU.InstCount, resB.Cycles, resU.Cycles,
+			resB.AnalysisCalls, resU.AnalysisCalls)
+	}
+	if a, b := mustJSON(vpB.Profile().Record(h.name, "in0")), mustJSON(vpU.Profile().Record(h.name, "in0")); a != b {
+		h.fail(prop, -1, "batched sampled profile differs from unbatched:\n got %s\nwant %s", a, b)
 	}
 }
 

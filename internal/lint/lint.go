@@ -20,6 +20,15 @@
 // with these names are held to the same discipline (indexed
 // iteration), which also keeps the call sites safe if a field's
 // representation ever changes to a map.
+//
+// Third, job-body code in internal/parallel may not allocate per-job
+// execution state: no vm.New/vm.NewSized, atom.Prepare, or
+// core.NewValueProfiler calls, and no make([]int64, ...) /
+// make([]uint8, ...) (fresh register or hook-bit arrays). All of that
+// must go through the arena (arena.go, the single exempt file), so the
+// pool's allocation-reuse optimization cannot silently regress one
+// call site at a time. Test files are exempt — they construct fixtures
+// and measure the unpooled baseline on purpose.
 package lint
 
 import (
@@ -28,6 +37,7 @@ import (
 	"go/parser"
 	"go/token"
 	"io/fs"
+	"path"
 	"path/filepath"
 	"strconv"
 	"strings"
@@ -52,6 +62,65 @@ var banned = map[string]string{
 	"OpenFile":  "use internal/atomicio for write-mode opens; direct opens are only safe read-only",
 }
 
+// arenaScoped reports whether path falls under the per-job allocation
+// rule: a non-test file in a directory named parallel (the worker-pool
+// package, however the tree is rooted) other than arena.go itself.
+func arenaScoped(path string) bool {
+	if filepath.Base(filepath.Dir(path)) != "parallel" {
+		return false
+	}
+	base := filepath.Base(path)
+	return base != "arena.go" && !strings.HasSuffix(base, "_test.go")
+}
+
+// arenaBanned maps package-qualified calls to the arena replacement a
+// job body must use instead.
+var arenaBanned = map[string]string{
+	"vm.New":                "acquire per-job VMs through the arena (AcquireVM) so pooling cannot silently regress",
+	"vm.NewSized":           "acquire per-job VMs through the arena (AcquireVM) so pooling cannot silently regress",
+	"atom.Prepare":          "use atom.PrepareOn with an arena-acquired VM; Prepare allocates a fresh one per job",
+	"core.NewValueProfiler": "acquire per-job profilers through the arena (AcquireProfiler) so pooling cannot silently regress",
+}
+
+// arenaViolation flags per-job allocation in a pool job body: a banned
+// constructor call (resolved through the file's actual import names)
+// or a fresh register/hook-bit array (make of []int64 or []uint8).
+func arenaViolation(fset *token.FileSet, call *ast.CallExpr, importNames map[string]string) *Finding {
+	switch fn := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		pkg, ok := fn.X.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		canonical, ok := importNames[pkg.Name]
+		if !ok {
+			return nil
+		}
+		qualified := canonical + "." + fn.Sel.Name
+		if reason, ok := arenaBanned[qualified]; ok {
+			return &Finding{Pos: fset.Position(call.Pos()), Call: qualified, Msg: reason}
+		}
+	case *ast.Ident:
+		if fn.Name != "make" || len(call.Args) == 0 {
+			return nil
+		}
+		arr, ok := call.Args[0].(*ast.ArrayType)
+		if !ok || arr.Len != nil {
+			return nil
+		}
+		elt, ok := arr.Elt.(*ast.Ident)
+		if !ok || (elt.Name != "int64" && elt.Name != "uint8") {
+			return nil
+		}
+		return &Finding{
+			Pos:  fset.Position(call.Pos()),
+			Call: "make([]" + elt.Name + ")",
+			Msg:  "per-job register/hook-bit arrays must come from arena-recycled state, not a fresh make",
+		}
+	}
+	return nil
+}
+
 // readOnlyOpenFile reports whether an os.OpenFile call is provably
 // read-only: its flag argument is the literal O_RDONLY selector on the
 // os package (under whatever name the file imports it). Anything more
@@ -71,31 +140,47 @@ func readOnlyOpenFile(call *ast.CallExpr, osName string) bool {
 // CheckFile parses one Go source file and returns its violations.
 // Test files are exempt: tests routinely create fixtures and their
 // half-written files never outlive the test's temp directory.
-func CheckFile(fset *token.FileSet, path string) ([]Finding, error) {
-	if strings.HasSuffix(path, "_test.go") {
+func CheckFile(fset *token.FileSet, fpath string) ([]Finding, error) {
+	if strings.HasSuffix(fpath, "_test.go") {
 		return nil, nil
 	}
-	file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+	file, err := parser.ParseFile(fset, fpath, nil, parser.SkipObjectResolution)
 	if err != nil {
 		return nil, err
 	}
 
 	// Resolve which local name refers to the os package ("" if the file
-	// never imports it).
+	// never imports it), and — for arena-scoped files — which local
+	// names refer to the per-job state packages.
 	osName := ""
+	poolImports := map[string]string{}
 	for _, imp := range file.Imports {
 		p, err := strconv.Unquote(imp.Path.Value)
-		if err != nil || p != "os" {
+		if err != nil {
 			continue
 		}
-		osName = "os"
+		name := path.Base(p)
 		if imp.Name != nil {
-			osName = imp.Name.Name
+			name = imp.Name.Name
+		}
+		switch p {
+		case "os":
+			osName = name
+		case "valueprof/internal/vm", "valueprof/internal/atom", "valueprof/internal/core":
+			poolImports[name] = path.Base(p)
 		}
 	}
+	poolFile := arenaScoped(fpath)
 
 	var out []Finding
 	ast.Inspect(file, func(n ast.Node) bool {
+		if poolFile {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if f := arenaViolation(fset, call, poolImports); f != nil {
+					out = append(out, *f)
+				}
+			}
+		}
 		if rs, ok := n.(*ast.RangeStmt); ok {
 			if name, bad := emittingFactRange(rs); bad {
 				out = append(out, Finding{

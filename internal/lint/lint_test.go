@@ -94,6 +94,92 @@ func main() {
 	}
 }
 
+// checkAt writes src at a repo-relative path inside a temp root and
+// lints it, so path-scoped rules (the arena discipline) see the
+// location they key on.
+func checkAt(t *testing.T, rel, src string) []Finding {
+	t.Helper()
+	full := filepath.Join(t.TempDir(), filepath.FromSlash(rel))
+	if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := CheckFile(token.NewFileSet(), full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestFlagsPerJobAllocationInParallel(t *testing.T) {
+	src := `package parallel
+
+import (
+	"valueprof/internal/atom"
+	thevm "valueprof/internal/vm"
+)
+
+func runOne(prog *Program) {
+	v := thevm.NewSized(prog, 1<<20)
+	_ = atom.Prepare(prog, atom.RunOptions{})
+	regs := make([]int64, 32)
+	bits := make([]uint8, 128)
+	_, _, _ = v, regs, bits
+}
+`
+	fs := checkAt(t, "internal/parallel/parallel.go", src)
+	if len(fs) != 4 {
+		t.Fatalf("findings = %d (%v), want 4", len(fs), fs)
+	}
+	if fs[0].Call != "vm.NewSized" || fs[1].Call != "atom.Prepare" ||
+		fs[2].Call != "make([]int64)" || fs[3].Call != "make([]uint8)" {
+		t.Errorf("findings = %v", fs)
+	}
+}
+
+func TestArenaFileAndOtherPackagesExempt(t *testing.T) {
+	src := `package parallel
+
+import "valueprof/internal/vm"
+
+func fresh(prog *Program) *vm.VM { return vm.New(prog) }
+`
+	if fs := checkAt(t, "internal/parallel/arena.go", src); len(fs) != 0 {
+		t.Errorf("arena.go findings = %v, want none", fs)
+	}
+	if fs := checkAt(t, "internal/supervise/supervise.go", src); len(fs) != 0 {
+		t.Errorf("out-of-scope findings = %v, want none", fs)
+	}
+	// Byte slices and sized maps are not per-job register state.
+	ok := `package parallel
+
+func buffers(n int) ([][]byte, []int) {
+	return make([][]byte, n), make([]int, n)
+}
+`
+	if fs := checkAt(t, "internal/parallel/bench.go", ok); len(fs) != 0 {
+		t.Errorf("benign allocation findings = %v, want none", fs)
+	}
+}
+
+func TestCheckTreeCleanOnParallel(t *testing.T) {
+	// The pool package itself must obey the arena discipline the rule
+	// exists to enforce (make lint runs this tree).
+	root := filepath.Join("..", "parallel")
+	if _, err := os.Stat(root); err != nil {
+		t.Skip("internal/parallel not present")
+	}
+	fs, err := CheckTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}
+
 func TestCheckTreeOnRepoCommands(t *testing.T) {
 	// The repository's own commands must be clean: this is the check
 	// make ci runs.

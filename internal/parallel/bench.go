@@ -29,6 +29,19 @@ type BenchReport struct {
 	// Identical reports whether the parallel run's profile records were
 	// byte-identical to the serial run's (they must be).
 	Identical bool `json:"identical"`
+
+	// Allocator traffic per job, suite-wide, measured serially with the
+	// arena disabled (RunUnpooled) and enabled (Run). AllocDrop =
+	// unpooled/pooled allocs — the factor the arena saves; counts are
+	// machine-independent, bytes are context.
+	UnpooledAllocsPerJob float64 `json:"unpooledAllocsPerJob,omitempty"`
+	PooledAllocsPerJob   float64 `json:"pooledAllocsPerJob,omitempty"`
+	UnpooledKBPerJob     float64 `json:"unpooledKBPerJob,omitempty"`
+	PooledKBPerJob       float64 `json:"pooledKBPerJob,omitempty"`
+	AllocDrop            float64 `json:"allocDrop,omitempty"`
+	// Note carries recording-environment caveats (e.g. why speedup ~1x
+	// on a single-CPU host) so the JSON is self-explaining.
+	Note string `json:"note,omitempty"`
 }
 
 // WriteJSON writes the indented JSON form of the report.
@@ -40,8 +53,13 @@ func (r *BenchReport) WriteJSON(w io.Writer) error {
 
 // String renders the one-line summary.
 func (r *BenchReport) String() string {
-	return fmt.Sprintf("suite profiling: %d jobs, serial %.0f ms, %d-way parallel %.0f ms, speedup %.2fx (identical=%v, %d CPUs)",
+	s := fmt.Sprintf("suite profiling: %d jobs, serial %.0f ms, %d-way parallel %.0f ms, speedup %.2fx (identical=%v, %d CPUs)",
 		r.Jobs, r.SerialMS, r.Workers, r.ParallelMS, r.Speedup, r.Identical, r.NumCPU)
+	if r.UnpooledAllocsPerJob > 0 {
+		s += fmt.Sprintf("; allocs/job %.0f unpooled -> %.0f pooled (%.1fx drop)",
+			r.UnpooledAllocsPerJob, r.PooledAllocsPerJob, r.AllocDrop)
+	}
+	return s
 }
 
 // SuiteJobs returns the standard benchmark job set: every workload ×
@@ -127,7 +145,51 @@ func BenchSuite(ctx context.Context, workers int, numCPU, maxprocs int) (*BenchR
 		rep.Speedup = float64(serialDur) / float64(parDur)
 	}
 	rep.Identical = identical
+
+	// Allocation profile: the same suite serially, fresh allocations vs
+	// the arena. Untimed, after both timed passes, so the ReadMemStats
+	// pauses cannot skew the speedup numbers.
+	unAllocs, unKB, err := suiteAllocs(ctx, jobs, RunUnpooled)
+	if err != nil {
+		return nil, err
+	}
+	poAllocs, poKB, err := suiteAllocs(ctx, jobs, Run)
+	if err != nil {
+		return nil, err
+	}
+	rep.UnpooledAllocsPerJob, rep.UnpooledKBPerJob = unAllocs, unKB
+	rep.PooledAllocsPerJob, rep.PooledKBPerJob = poAllocs, poKB
+	if poAllocs > 0 {
+		rep.AllocDrop = unAllocs / poAllocs
+	}
+	if numCPU <= 1 {
+		rep.Note = "single-CPU host: the worker pool cannot run jobs concurrently, so speedup ~1x " +
+			"(slightly below 1 is goroutine-scheduling overhead, not a regression); " +
+			"allocDrop is the meaningful pooled-vs-unpooled figure on this machine"
+	}
 	return rep, nil
+}
+
+// suiteAllocs measures per-job allocator traffic for one serial pass
+// of the suite under the given runner. A warm-up pass (after a GC)
+// populates the compile cache and the arena first, so the measured
+// pass reflects steady-state pool behavior rather than cold-start
+// allocations.
+func suiteAllocs(ctx context.Context, jobs []Job, runner func(context.Context, int, []Job) []Result) (allocsPerJob, kbPerJob float64, err error) {
+	runtime.GC()
+	if err := FirstError(runner(ctx, 1, jobs)); err != nil {
+		return 0, 0, err
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	res := runner(ctx, 1, jobs)
+	runtime.ReadMemStats(&after)
+	if err := FirstError(res); err != nil {
+		return 0, 0, err
+	}
+	n := float64(len(jobs))
+	return float64(after.Mallocs-before.Mallocs) / n,
+		float64(after.TotalAlloc-before.TotalAlloc) / 1024 / n, nil
 }
 
 // recordBytes serializes one job result's profile record, the

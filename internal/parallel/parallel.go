@@ -62,7 +62,21 @@ type Result struct {
 // Run executes jobs on at most workers goroutines (≤ 0 selects
 // GOMAXPROCS) and returns one Result per job, in job order. It never
 // fails as a whole: per-job errors are captured in the results.
+// Per-job VMs and profilers are recycled through the package arena;
+// RunUnpooled is the fresh-allocation variant.
 func Run(ctx context.Context, workers int, jobs []Job) []Result {
+	return run(ctx, workers, jobs, &shared)
+}
+
+// RunUnpooled is Run without allocation reuse: every job allocates a
+// fresh VM and profiler. It exists as the baseline the allocation
+// benchmarks measure the arena against (BenchSuite records both) and
+// as an escape hatch; its results are byte-identical to Run's.
+func RunUnpooled(ctx context.Context, workers int, jobs []Job) []Result {
+	return run(ctx, workers, jobs, nil)
+}
+
+func run(ctx context.Context, workers int, jobs []Job, ar *Arena) []Result {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -93,7 +107,7 @@ func Run(ctx context.Context, workers int, jobs []Job) []Result {
 						Err: fmt.Errorf("parallel: %s not dispatched: %w", jobs[i].Name(), err)}
 					continue
 				}
-				results[i] = runOne(ctx, jobs[i], i)
+				results[i] = runOne(ctx, jobs[i], i, ar)
 			}
 		}()
 	}
@@ -102,23 +116,29 @@ func Run(ctx context.Context, workers int, jobs []Job) []Result {
 }
 
 // runOne executes a single job in isolation: its own profiler, its own
-// VM, shared (read-only) program.
-func runOne(ctx context.Context, job Job, index int) Result {
+// VM (acquired from ar, or fresh when ar is nil), shared (read-only)
+// program.
+func runOne(ctx context.Context, job Job, index int, ar *Arena) Result {
 	r := Result{Job: job, Index: index}
 	prog, err := job.Workload.Compile()
 	if err != nil {
 		r.Outcome, r.Err = vm.OutcomeFaulted, err
 		return r
 	}
-	vp, err := core.NewValueProfiler(job.Options)
+	vp, err := ar.AcquireProfiler(job.Options)
 	if err != nil {
 		r.Outcome, r.Err = vm.OutcomeFaulted, err
 		return r
 	}
 	opts := job.Run
 	opts.Input = job.Input.Args
-	res, outcome, err := atom.RunControlled(ctx, prog, opts, vp)
+	v := ar.AcquireVM(prog, opts.EffectiveMemSize())
+	atom.PrepareOn(v, opts, vp)
+	outcome, err := v.RunControlled(ctx)
+	res := vm.ResultOf(v, outcome)
+	ar.ReleaseVM(v)
 	r.Profile = vp.Profile()
+	ar.ReleaseProfiler(vp)
 	r.Exec = res
 	r.Outcome = outcome
 	r.Err = err

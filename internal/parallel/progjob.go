@@ -54,15 +54,20 @@ func RunProgs(ctx context.Context, workers int, jobs []ProgJob) []ProgResult {
 			r.Err = fmt.Errorf("parallel: %s not dispatched: %w", job.Name, err)
 			return r
 		}
-		vp, err := core.NewValueProfiler(job.Options)
+		vp, err := shared.AcquireProfiler(job.Options)
 		if err != nil {
 			r.Outcome, r.Err = vm.OutcomeFaulted, err
 			return r
 		}
 		opts := job.Run
 		opts.Input = job.Input
-		res, outcome, err := atom.RunControlled(ctx, job.Prog, opts, vp)
+		v := shared.AcquireVM(job.Prog, opts.EffectiveMemSize())
+		atom.PrepareOn(v, opts, vp)
+		outcome, err := v.RunControlled(ctx)
+		res := vm.ResultOf(v, outcome)
+		shared.ReleaseVM(v)
 		r.Profile = vp.Profile()
+		shared.ReleaseProfiler(vp)
 		r.Exec = res
 		r.Outcome = outcome
 		r.Err = err

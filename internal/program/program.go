@@ -8,6 +8,7 @@ package program
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"valueprof/internal/isa"
 )
@@ -33,6 +34,14 @@ type Program struct {
 	Procs    []Proc // sorted by Start, non-overlapping
 	Labels   map[string]int
 	DataSyms map[string]uint64
+
+	// siteNames interns the rendered per-pc site names. One shared
+	// immutable Program backs every profiling job of a workload, and
+	// re-rendering thousands of "proc+offset" strings on each job
+	// dominated the pooled per-job allocation count; the table is
+	// built once, on first use, safely under concurrent callers.
+	nameOnce  sync.Once
+	siteNames []string
 }
 
 // Validate checks structural invariants: targets in range, procedures
@@ -99,11 +108,26 @@ func (p *Program) LabelAt(pc int) string {
 }
 
 // SiteName renders instruction index pc as "proc+offset" for reports.
+// Names for in-range pcs come from a per-program interned table (see
+// the siteNames field); out-of-range pcs keep the uncached render.
 func (p *Program) SiteName(pc int) string {
-	if pr := p.ProcAt(pc); pr != nil {
-		return fmt.Sprintf("%s+%d", pr.Name, pc-pr.Start)
+	if pc < 0 || pc >= len(p.Code) {
+		return fmt.Sprintf("pc%d", pc)
 	}
-	return fmt.Sprintf("pc%d", pc)
+	p.nameOnce.Do(p.buildSiteNames)
+	return p.siteNames[pc]
+}
+
+func (p *Program) buildSiteNames() {
+	names := make([]string, len(p.Code))
+	for pc := range names {
+		if pr := p.ProcAt(pc); pr != nil {
+			names[pc] = fmt.Sprintf("%s+%d", pr.Name, pc-pr.Start)
+		} else {
+			names[pc] = fmt.Sprintf("pc%d", pc)
+		}
+	}
+	p.siteNames = names
 }
 
 // BasicBlock is a maximal straight-line instruction range [Start, End)

@@ -516,7 +516,10 @@ func (s *supervisor) attempt(job *Job, index, attempt int, start time.Time, carr
 		}
 	}
 
-	vp, err := core.NewValueProfiler(job.Options)
+	// Attempt state comes from the shared parallel arena: retries of
+	// the same job (and successive jobs on the same worker) reuse the
+	// VM memory image and profiler maps instead of reallocating them.
+	vp, err := parallel.AcquireProfiler(job.Options)
 	if err != nil {
 		a.outcome, a.err, a.permanent = vm.OutcomeFaulted, err, true
 		return a
@@ -527,7 +530,7 @@ func (s *supervisor) attempt(job *Job, index, attempt int, start time.Time, carr
 			// configuration is as good as corrupt.
 			rep.CorruptCheckpoints++
 			resume = nil
-			if vp, err = core.NewValueProfiler(job.Options); err != nil {
+			if err := vp.ResetFor(job.Options); err != nil {
 				a.outcome, a.err, a.permanent = vm.OutcomeFaulted, err, true
 				return a
 			}
@@ -566,20 +569,24 @@ func (s *supervisor) attempt(job *Job, index, attempt int, start time.Time, carr
 			tools = append(tools, t)
 		}
 	}
-	v := atom.Prepare(job.Prog, opts, tools...)
+	v := parallel.AcquireVM(job.Prog, opts.EffectiveMemSize())
+	atom.PrepareOn(v, opts, tools...)
 	if resume != nil {
 		if err := resume.RestoreVM(v); err != nil {
 			// Machine state decoded but won't restore: treat like
-			// corruption and restart the attempt from scratch.
+			// corruption and restart the attempt from scratch. The
+			// half-restored VM rewinds through the same reuse lifecycle
+			// a pooled VM does.
 			rep.CorruptCheckpoints++
-			if vp, err = core.NewValueProfiler(job.Options); err != nil {
+			if err := vp.ResetFor(job.Options); err != nil {
+				parallel.ReleaseVM(v)
 				a.outcome, a.err, a.permanent = vm.OutcomeFaulted, err, true
 				return a
 			}
 			a.base = 0
 			resume = nil
-			tools[0] = vp
-			v = atom.Prepare(job.Prog, opts, tools...)
+			v.ResetFor(job.Prog, opts.EffectiveMemSize())
+			atom.PrepareOn(v, opts, tools...)
 		} else {
 			a.resumed = true
 			rep.Resumed++
@@ -611,6 +618,11 @@ func (s *supervisor) attempt(job *Job, index, attempt int, start time.Time, carr
 			}
 		}
 	}
+	// Everything the attempt hands back (exec summary, profile,
+	// checkpoint bytes) is copied or extracted; the VM and profiler go
+	// back to the arena for the next attempt or job.
+	parallel.ReleaseVM(v)
+	parallel.ReleaseProfiler(vp)
 	return a
 }
 

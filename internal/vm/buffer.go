@@ -3,10 +3,10 @@ package vm
 // ValueBuffer batches the result values of one instrumented site so
 // the run loop can record an observation with a couple of array stores
 // instead of a closure call per execution. The analysis side registers
-// a flush function and receives values in execution order, in batches
-// of at most ValueBufCap; the batching is invisible to the analysis as
-// long as it only needs the value stream (tools that must act at the
-// exact instruction — samplers, checkpointers — keep using Hook).
+// a ValueSink and receives values in execution order, in batches of at
+// most ValueBufCap; the batching is invisible to the analysis as long
+// as it only needs the value stream (tools that must act at the exact
+// instruction — checkpointers, fault injectors — keep using Hook).
 //
 // Buffers do not flush themselves at program end. The owning profiler
 // must call Flush before reading any state derived from the stream
@@ -17,18 +17,44 @@ package vm
 // cache, large enough to amortize the flush call.
 const ValueBufCap = 64
 
+// ValueSink consumes one site's observed values in execution order.
+// The slice passed to ObserveBatch is only valid during the call.
+type ValueSink interface {
+	ObserveBatch(vals []int64)
+}
+
+// funcSink adapts a plain flush function to ValueSink.
+type funcSink func([]int64)
+
+func (f funcSink) ObserveBatch(vals []int64) { f(vals) }
+
 // ValueBuffer is a fixed-size batch of observed values. Not safe for
 // concurrent use; one buffer belongs to one VM's run loop.
 type ValueBuffer struct {
-	n     int
-	vals  [ValueBufCap]int64
-	flush func([]int64)
+	n    int
+	vals [ValueBufCap]int64
+	sink ValueSink
 }
 
 // NewValueBuffer creates a buffer that delivers batches to flush. The
 // slice passed to flush is only valid during the call.
 func NewValueBuffer(flush func([]int64)) *ValueBuffer {
-	return &ValueBuffer{flush: flush}
+	return &ValueBuffer{sink: funcSink(flush)}
+}
+
+// NewValueBufferSink creates a buffer that delivers batches to sink.
+// Passing a concrete sink (e.g. a *core.SiteStats) avoids the per-site
+// closure allocation of NewValueBuffer.
+func NewValueBufferSink(sink ValueSink) *ValueBuffer {
+	return &ValueBuffer{sink: sink}
+}
+
+// Reset discards any pending values and re-targets the buffer at sink,
+// making a recycled buffer indistinguishable from a fresh one. Callers
+// that must not lose buffered values flush first.
+func (b *ValueBuffer) Reset(sink ValueSink) {
+	b.n = 0
+	b.sink = sink
 }
 
 // push appends one value, flushing when the buffer fills.
@@ -36,7 +62,7 @@ func (b *ValueBuffer) push(v int64) {
 	b.vals[b.n] = v
 	b.n++
 	if b.n == ValueBufCap {
-		b.flush(b.vals[:b.n])
+		b.sink.ObserveBatch(b.vals[:b.n])
 		b.n = 0
 	}
 }
@@ -44,11 +70,11 @@ func (b *ValueBuffer) push(v int64) {
 // Pending returns the number of buffered, not yet flushed values.
 func (b *ValueBuffer) Pending() int { return b.n }
 
-// Flush delivers any buffered values to the flush function. It is
-// idempotent; an empty buffer does not invoke the callback.
+// Flush delivers any buffered values to the sink. It is idempotent; an
+// empty buffer does not invoke the sink.
 func (b *ValueBuffer) Flush() {
 	if b.n > 0 {
-		b.flush(b.vals[:b.n])
+		b.sink.ObserveBatch(b.vals[:b.n])
 		b.n = 0
 	}
 }
@@ -62,8 +88,8 @@ func (b *ValueBuffer) Flush() {
 // before any HookAfter hooks at the same pc.
 func (v *VM) HookAfterBuffered(pc int, b *ValueBuffer) {
 	v.ensureHookState()
-	if v.bufs == nil {
-		v.bufs = make([]*ValueBuffer, len(v.Prog.Code))
+	if v.bufs == nil || len(v.bufs) != len(v.Prog.Code) {
+		v.bufs = growClear(v.bufs, len(v.Prog.Code))
 	}
 	if v.bufs[pc] != nil && v.bufs[pc] != b {
 		panic("vm: conflicting buffered hook at pc")
@@ -71,4 +97,19 @@ func (v *VM) HookAfterBuffered(pc int, b *ValueBuffer) {
 	v.bufs[pc] = b
 	v.hookBits[pc] |= hookBufBit
 	v.unfuse(pc)
+}
+
+// growClear returns a zeroed slice of length n, reusing s's backing
+// array when it is large enough. The reuse keeps per-run hook-state
+// reallocation off reused VMs (see ResetFor).
+func growClear[T int64 | uint8 | *ValueBuffer](s []T, n int) []T {
+	var zero T
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = zero
+	}
+	return s
 }

@@ -145,25 +145,42 @@ func (v *VM) RunControlled(ctx context.Context) (RunOutcome, error) {
 	return outcome, err
 }
 
-// Fusion kinds, per pc: how the instruction at pc and its successor
-// execute as one dispatch. Only (straight-line op, branch) pairs fuse —
-// the pair dominating interpreter time in loop-heavy code (compare/add
-// feeding the latch branch) — and only when neither instruction carries
-// any hook and no step hooks are attached.
+// Fusion kinds, per pc: how the instruction at pc and its successors
+// execute as one dispatch. Pairs fuse a straight-line op with the
+// branch that follows it — the shape dominating interpreter time in
+// loop-heavy code (compare/add feeding the latch branch). Three-op
+// superinstructions extend that one step further: (op, op, branch)
+// covers op+cmp+branch loop latches, and (op, cond-branch, op) covers
+// cmp+branch+fallthrough chains, retiring the fallthrough instruction
+// in the same dispatch when the branch is not taken. Every kind
+// requires zero hook bits on all covered pcs and no step hooks.
 const (
 	fuseNone uint8 = iota
 	fuseBr         // successor is an unconditional branch
 	fuseBeq        // successor branches if its Ra == 0
 	fuseBne        // successor branches if its Ra != 0
+	// Three-op kinds: two straight-line ops feeding the branch at pc+2.
+	// Always retire three instructions.
+	fuse3Br
+	fuse3Beq
+	fuse3Bne
+	// Fallthrough kinds: straight-line op, conditional branch at pc+1,
+	// straight-line op at pc+2. Retire two instructions when the branch
+	// is taken, three when it falls through.
+	fuseFallBeq
+	fuseFallBne
 )
 
-// refreshFusion recomputes the fused-pair cache from the current code
-// and hook state. Called lazily at run start when hooks changed.
+// refreshFusion recomputes the fused-region cache from the current
+// code and hook state. Called lazily at run start when hooks changed.
+// Three-op kinds are preferred over pairs at the same pc; overlapping
+// entries are fine because the cache is only consulted at the entry pc
+// actually reached.
 func (v *VM) refreshFusion() {
 	v.ensureHookState()
 	code := v.Prog.Code
 	if len(v.fused) != len(code) {
-		v.fused = make([]uint8, len(code))
+		v.fused = growClear(v.fused, len(code))
 	} else {
 		for i := range v.fused {
 			v.fused[i] = fuseNone
@@ -174,7 +191,35 @@ func (v *VM) refreshFusion() {
 		return
 	}
 	for pc := 0; pc+1 < len(code); pc++ {
-		if v.hookBits[pc] != 0 || v.hookBits[pc+1] != 0 || !fusibleFirst[code[pc].Op] {
+		if v.hookBits[pc] != 0 || !fusibleFirst[code[pc].Op] {
+			continue
+		}
+		if pc+2 < len(code) && v.hookBits[pc+1] == 0 && v.hookBits[pc+2] == 0 {
+			if fusibleFirst[code[pc+1].Op] {
+				switch code[pc+2].Op {
+				case isa.OpBr:
+					v.fused[pc] = fuse3Br
+					continue
+				case isa.OpBeq:
+					v.fused[pc] = fuse3Beq
+					continue
+				case isa.OpBne:
+					v.fused[pc] = fuse3Bne
+					continue
+				}
+			}
+			if fusibleFirst[code[pc+2].Op] {
+				switch code[pc+1].Op {
+				case isa.OpBeq:
+					v.fused[pc] = fuseFallBeq
+					continue
+				case isa.OpBne:
+					v.fused[pc] = fuseFallBne
+					continue
+				}
+			}
+		}
+		if v.hookBits[pc+1] != 0 {
 			continue
 		}
 		switch code[pc+1].Op {
@@ -219,33 +264,79 @@ func (v *VM) runLoop(ctx context.Context, quantum uint64, deadline time.Time) (R
 		}
 		in := code[pc]
 
-		// Fused (op, branch) pair: both instructions retire in one
-		// dispatch. The first is non-faulting by construction
-		// (fusibleFirst) so its error is statically nil, neither pc has
-		// hooks, and no step hooks are attached. Falling back to
-		// single-step near the step limit keeps OutcomeLimit exact; the
-		// quantum check slides by at most one instruction.
-		if k := fused[pc]; k != fuseNone && untilCheck >= 2 && v.InstCount+2 <= v.StepLimit {
-			untilCheck -= 2
-			in2 := code[pc+1]
-			handlers[in.Op](v, pc, in)
-			v.InstCount += 2
-			v.Cycles += uint64(in.Op.Cycles()) + uint64(in2.Op.Cycles())
-			next := pc + 2
-			switch k {
-			case fuseBr:
-				next = int(in2.Imm)
-			case fuseBeq:
-				if v.Regs[in2.Ra] == 0 {
-					next = int(in2.Imm)
+		// Fused regions: two or three instructions retire in one
+		// dispatch. Straight-line members are non-faulting by
+		// construction (fusibleFirst) so their errors are statically
+		// nil, no covered pc has hooks, and no step hooks are attached.
+		// Falling back to single-step near the step limit keeps
+		// OutcomeLimit exact; the quantum check slides by at most two
+		// instructions.
+		if k := fused[pc]; k != fuseNone {
+			if k <= fuseBne {
+				if untilCheck >= 2 && v.InstCount+2 <= v.StepLimit {
+					untilCheck -= 2
+					in2 := code[pc+1]
+					handlers[in.Op](v, pc, in)
+					v.InstCount += 2
+					v.Cycles += uint64(in.Op.Cycles()) + uint64(in2.Op.Cycles())
+					next := pc + 2
+					switch k {
+					case fuseBr:
+						next = int(in2.Imm)
+					case fuseBeq:
+						if v.Regs[in2.Ra] == 0 {
+							next = int(in2.Imm)
+						}
+					case fuseBne:
+						if v.Regs[in2.Ra] != 0 {
+							next = int(in2.Imm)
+						}
+					}
+					v.PC = next
+					continue
 				}
-			case fuseBne:
-				if v.Regs[in2.Ra] != 0 {
-					next = int(in2.Imm)
+			} else if untilCheck >= 3 && v.InstCount+3 <= v.StepLimit {
+				in2, in3 := code[pc+1], code[pc+2]
+				handlers[in.Op](v, pc, in)
+				if k <= fuse3Bne {
+					handlers[in2.Op](v, pc+1, in2)
+					untilCheck -= 3
+					v.InstCount += 3
+					v.Cycles += uint64(in.Op.Cycles()) + uint64(in2.Op.Cycles()) + uint64(in3.Op.Cycles())
+					next := pc + 3
+					switch k {
+					case fuse3Br:
+						next = int(in3.Imm)
+					case fuse3Beq:
+						if v.Regs[in3.Ra] == 0 {
+							next = int(in3.Imm)
+						}
+					case fuse3Bne:
+						if v.Regs[in3.Ra] != 0 {
+							next = int(in3.Imm)
+						}
+					}
+					v.PC = next
+					continue
 				}
+				taken := v.Regs[in2.Ra] == 0
+				if k == fuseFallBne {
+					taken = v.Regs[in2.Ra] != 0
+				}
+				if taken {
+					untilCheck -= 2
+					v.InstCount += 2
+					v.Cycles += uint64(in.Op.Cycles()) + uint64(in2.Op.Cycles())
+					v.PC = int(in2.Imm)
+				} else {
+					// The fallthrough handler advances v.PC to pc+3.
+					handlers[in3.Op](v, pc+2, in3)
+					untilCheck -= 3
+					v.InstCount += 3
+					v.Cycles += uint64(in.Op.Cycles()) + uint64(in2.Op.Cycles()) + uint64(in3.Op.Cycles())
+				}
+				continue
 			}
-			v.PC = next
-			continue
 		}
 		untilCheck--
 

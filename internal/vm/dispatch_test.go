@@ -220,6 +220,92 @@ func TestValueBuffer(t *testing.T) {
 	}
 }
 
+// TestValueBufferFlushOnExactlyFull drives a hooked pc exactly
+// ValueBufCap times: the capacity flush must fire inline on the last
+// push, leaving nothing pending, and the run-end Flush must then be a
+// no-op (an empty buffer never invokes the sink).
+func TestValueBufferFlushOnExactlyFull(t *testing.T) {
+	prog, err := asm.Assemble(`
+main:   syscall getint
+        add t5, v0, zero
+loop:   addi t5, t5, -1
+        bne t5, loop
+        syscall exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	flushes := 0
+	b := vm.NewValueBuffer(func(vals []int64) {
+		flushes++
+		got = append(got, vals...)
+	})
+	v := vm.New(prog)
+	v.HookAfterBuffered(2, b) // the addi, executed exactly input times
+	v.Input = []int64{vm.ValueBufCap}
+	if err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if flushes != 1 || b.Pending() != 0 {
+		t.Fatalf("after exactly-full run: %d flushes, %d pending, want 1 and 0", flushes, b.Pending())
+	}
+	b.Flush()
+	b.Flush()
+	if flushes != 1 {
+		t.Fatalf("empty flush invoked the sink (%d flushes)", flushes)
+	}
+	if len(got) != vm.ValueBufCap {
+		t.Fatalf("saw %d values, want %d", len(got), vm.ValueBufCap)
+	}
+	for i, val := range got {
+		if want := int64(vm.ValueBufCap - 1 - i); val != want {
+			t.Fatalf("value[%d] = %d, want %d", i, val, want)
+		}
+	}
+}
+
+// TestMidRunBufferedAttachOnFusedTriple attaches a buffered sink to
+// the middle instruction of a live three-op superinstruction (add,
+// addi, bne — the steady inner-loop triple) from inside another hook,
+// partway through the run. unfuse must tear the whole fused region
+// down in place, so the late sink sees every subsequent execution of
+// its pc with the exact value stream.
+func TestMidRunBufferedAttachOnFusedTriple(t *testing.T) {
+	prog := assembleFuse(t)
+	input := []int64{4}
+
+	var late []int64
+	buf := vm.NewValueBuffer(func(vals []int64) { late = append(late, vals...) })
+	v := vm.New(prog)
+	v.Input = input
+	outer := 0
+	v.HookAfter(3, func(ev *vm.Event) {
+		outer++
+		if outer == 3 {
+			// pc 5 is "addi t0, t0, -1", second op of the fused
+			// (pc4, pc5, pc6) triple.
+			ev.VM.HookAfterBuffered(5, buf)
+		}
+	})
+	outcome, err := v.RunControlled(context.Background())
+	if outcome != vm.OutcomeCompleted {
+		t.Fatalf("%v (%v)", outcome, err)
+	}
+	buf.Flush()
+	// Attached at the start of outer iteration 3 of 4: the decrement
+	// runs 50 times in each of the two remaining iterations, counting
+	// t0 down 49..0.
+	if len(late) != 100 {
+		t.Fatalf("late sink saw %d values, want 100", len(late))
+	}
+	for i, val := range late {
+		if want := int64(49 - i%50); val != want {
+			t.Fatalf("value[%d] = %d, want %d", i, val, want)
+		}
+	}
+}
+
 // TestBufferedHookMatchesClosureHook: the buffered sink must observe
 // the same value stream and charge the same accounting as an
 // equivalent closure hook.

@@ -127,21 +127,28 @@ func NewSized(prog *program.Program, memSize int) *VM {
 // program length (it is indexed unconditionally on the hot path).
 func (v *VM) ensureHookState() {
 	if len(v.hookBits) != len(v.Prog.Code) {
-		v.hookBits = make([]uint8, len(v.Prog.Code))
+		v.hookBits = growClear(v.hookBits, len(v.Prog.Code))
 	}
 }
 
-// unfuse invalidates any fused pair that includes pc, so a hook
+// unfuse invalidates any fused region that includes pc, so a hook
 // attached mid-run takes effect immediately, and schedules a full
 // fusion recompute for the next run (newly hookless pcs re-fuse then).
+// Three-op superinstructions start up to two pcs back, so both
+// predecessors are cleared.
 func (v *VM) unfuse(pc int) {
 	v.fuseDirty = true
-	if v.fused == nil {
+	if pc >= len(v.fused) {
+		// Stale table from a previous (shorter) program on a reused VM;
+		// fuseDirty already forces a full rebuild before the next run.
 		return
 	}
 	v.fused[pc] = fuseNone
 	if pc > 0 {
 		v.fused[pc-1] = fuseNone
+	}
+	if pc > 1 {
+		v.fused[pc-2] = fuseNone
 	}
 }
 
@@ -168,11 +175,41 @@ func (v *VM) Reset() {
 	v.Halted = false
 }
 
+// ResetFor rewinds a VM for reuse on a (possibly different) program,
+// leaving it in the same observable state NewSized(prog, memSize)
+// would, while reusing the memory image and the hook-bit, fusion, and
+// buffer-table allocations. Unlike Reset, all instrumentation is
+// removed and the run-control knobs (StepLimit, Deadline, Quantum,
+// ChargeHooks, Input) return to their defaults; callers re-instrument
+// and reconfigure afterwards exactly as they would a fresh VM. This is
+// the reuse entry point for pooled execution (internal/parallel's
+// arena and internal/supervise retries); fresh-vs-reused byte identity
+// of profiles is pinned by internal/difftest.
+func (v *VM) ResetFor(prog *program.Program, memSize int) {
+	if memSize <= 0 {
+		memSize = DefaultMemSize
+	}
+	v.Prog = prog
+	if cap(v.Mem) >= memSize {
+		v.Mem = v.Mem[:memSize]
+	} else {
+		v.Mem = make([]byte, memSize)
+	}
+	v.StepLimit = DefaultStepLimit
+	v.Deadline = time.Time{}
+	v.Quantum = 0
+	v.ChargeHooks = false
+	v.Input = nil
+	v.ClearHooks()
+	v.ensureHookState()
+	v.Reset()
+}
+
 // HookBefore attaches fn to run before each execution of instruction pc.
 func (v *VM) HookBefore(pc int, fn Hook) {
 	v.ensureHookState()
-	if v.before == nil {
-		v.before = make([][]Hook, len(v.Prog.Code))
+	if len(v.before) != len(v.Prog.Code) {
+		v.before = growClearHooks(v.before, len(v.Prog.Code))
 	}
 	v.before[pc] = append(v.before[pc], fn)
 	v.hookBits[pc] |= hookBeforeBit
@@ -184,8 +221,8 @@ func (v *VM) HookBefore(pc int, fn Hook) {
 // event.
 func (v *VM) HookAfter(pc int, fn Hook) {
 	v.ensureHookState()
-	if v.after == nil {
-		v.after = make([][]Hook, len(v.Prog.Code))
+	if len(v.after) != len(v.Prog.Code) {
+		v.after = growClearHooks(v.after, len(v.Prog.Code))
 	}
 	v.after[pc] = append(v.after[pc], fn)
 	v.hookBits[pc] |= hookAfterBit
@@ -195,13 +232,21 @@ func (v *VM) HookAfter(pc int, fn Hook) {
 // HookEnd attaches fn to run when the program exits.
 func (v *VM) HookEnd(fn Hook) { v.atEnd = append(v.atEnd, fn) }
 
-// ClearHooks removes all instrumentation.
+// ClearHooks removes all instrumentation. The per-pc tables keep their
+// backing arrays (entries nil-filled) so a reused VM does not
+// reallocate them every job.
 func (v *VM) ClearHooks() {
-	v.before = nil
-	v.after = nil
+	for i := range v.before {
+		v.before[i] = nil
+	}
+	for i := range v.after {
+		v.after[i] = nil
+	}
 	v.atEnd = nil
 	v.stepFns = nil
-	v.bufs = nil
+	for i := range v.bufs {
+		v.bufs[i] = nil
+	}
 	for i := range v.hookBits {
 		v.hookBits[i] = 0
 	}
@@ -209,6 +254,18 @@ func (v *VM) ClearHooks() {
 		v.fused[i] = fuseNone
 	}
 	v.fuseDirty = true
+}
+
+// growClearHooks is growClear for per-pc hook tables.
+func growClearHooks(s [][]Hook, n int) [][]Hook {
+	if cap(s) < n {
+		return make([][]Hook, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = nil
+	}
+	return s
 }
 
 func (v *VM) fault(format string, args ...any) error {

@@ -53,6 +53,16 @@ type Report struct {
 	// batched value buffers buy over per-event closures on the same
 	// hooked loop. Gated (higher better).
 	SpeedupVsLegacy float64 `json:"speedupVsLegacy"`
+
+	// HookedAllocsPerRun / HookedAllocKBPerRun are the allocator
+	// traffic of one full hooked hot-loop run, profiler construction
+	// included — the quantity the arena reuse path amortizes away at
+	// the pool level. Allocation counts are machine-independent (they
+	// depend only on code paths), so the count is gated like the
+	// ratios; bytes are recorded for context. Zero in reports recorded
+	// before the fields existed, which skips the gate.
+	HookedAllocsPerRun  float64 `json:"hookedAllocsPerRun,omitempty"`
+	HookedAllocKBPerRun float64 `json:"hookedAllocKBPerRun,omitempty"`
 }
 
 // WriteJSON writes the indented JSON form of the report.
@@ -164,6 +174,41 @@ func timeRun(prog *program.Program, input []int64, repeats int, mkTool func() (a
 	return float64(best.Nanoseconds()) / float64(insts), insts, nil
 }
 
+// measureAllocs counts the allocator traffic of one run of the given
+// configuration (tool construction included), untimed and outside the
+// ns/inst measurements so ReadMemStats pauses cannot skew them. The
+// minimum over repeats is kept: background runtime allocations can
+// only inflate a sample, never deflate it.
+func measureAllocs(prog *program.Program, input []int64, repeats int, mkTool func() (atom.Tool, func())) (allocs, bytes float64, err error) {
+	minAllocs, minBytes := ^uint64(0), ^uint64(0)
+	var before, after runtime.MemStats
+	for i := 0; i < repeats; i++ {
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		var tools []atom.Tool
+		var finish func()
+		if mkTool != nil {
+			t, f := mkTool()
+			tools, finish = []atom.Tool{t}, f
+		}
+		_, runErr := atom.Run(prog, input, false, tools...)
+		if finish != nil {
+			finish()
+		}
+		runtime.ReadMemStats(&after)
+		if runErr != nil {
+			return 0, 0, fmt.Errorf("vmbench: %w", runErr)
+		}
+		if d := after.Mallocs - before.Mallocs; d < minAllocs {
+			minAllocs = d
+		}
+		if d := after.TotalAlloc - before.TotalAlloc; d < minBytes {
+			minBytes = d
+		}
+	}
+	return float64(minAllocs), float64(minBytes) / 1024, nil
+}
+
 // perOpOps is the opcode sweep: one loop per opcode with safe,
 // side-effect-free operands. The loop tail (addi+bne) is part of every
 // measurement, so tail-heavy deltas between ops stay comparable.
@@ -251,6 +296,12 @@ func Measure(opts Options) (*Report, error) {
 	rep.HookOverhead = hooked / unhooked
 	rep.SpeedupVsLegacy = legacy / hooked
 
+	allocs, kb, err := measureAllocs(prog, input, opts.Repeats, profTool(core.DefaultOptions()))
+	if err != nil {
+		return nil, err
+	}
+	rep.HookedAllocsPerRun, rep.HookedAllocKBPerRun = allocs, kb
+
 	if !opts.SkipPerOp {
 		// Per-op loops are flat (no inner nest), so the trip count is
 		// scaled up until VM setup cost (memory allocation and zeroing,
@@ -284,6 +335,17 @@ func Compare(baseline, current *Report, tol float64) error {
 		problems = append(problems, fmt.Sprintf(
 			"HookOverhead %.3f above ceiling %.3f (baseline %.3f, tol %.0f%%)",
 			current.HookOverhead, ceil, baseline.HookOverhead, tol*100))
+	}
+	// Allocation counts depend on code paths, not hardware, so the
+	// hooked-run count is gated too — with a small absolute slack for
+	// runtime-internal noise (timer and GC bookkeeping). Baselines
+	// recorded before the field existed carry 0 and skip the gate.
+	if baseline.HookedAllocsPerRun > 0 {
+		if ceil := baseline.HookedAllocsPerRun*(1+tol) + 64; current.HookedAllocsPerRun > ceil {
+			problems = append(problems, fmt.Sprintf(
+				"HookedAllocsPerRun %.0f above ceiling %.0f (baseline %.0f, tol %.0f%% + 64)",
+				current.HookedAllocsPerRun, ceil, baseline.HookedAllocsPerRun, tol*100))
+		}
 	}
 	if len(problems) > 0 {
 		return fmt.Errorf("vmbench: regression vs baseline:\n  %s", strings.Join(problems, "\n  "))
