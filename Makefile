@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build test test-short cover cover-gate bench bench-smoke bench-parallel bench-vm bench-vm-check bench-diff race-bench race-reuse exp exp-quick fmt vet lint clean ci fuzz-smoke difftest chaos-smoke predict-sweep
+.PHONY: all build test test-short cover cover-gate bench bench-smoke bench-parallel bench-vm bench-vm-check bench-diff race-bench race-reuse exp exp-quick fmt vet lint clean ci fuzz-smoke difftest chaos-smoke predict-sweep serve-smoke
 
 # Coverage floors for the packages the correctness argument rests on.
 # Raise them when coverage genuinely improves; lowering one is a
@@ -8,6 +8,7 @@
 COVER_MIN_CORE     := 88
 COVER_MIN_PARALLEL := 85
 COVER_MIN_ANALYSIS := 80
+COVER_MIN_SERVE    := 80
 
 all: build vet lint test
 
@@ -23,6 +24,7 @@ all: build vet lint test
 ci: vet lint build
 	go test -race ./...
 	$(MAKE) cover-gate
+	$(MAKE) serve-smoke
 	$(MAKE) fuzz-smoke
 	$(MAKE) difftest
 	$(MAKE) predict-sweep
@@ -34,14 +36,15 @@ ci: vet lint build
 	$(MAKE) bench-vm-check
 
 # Repo-specific static checks: the custom vet pass over command code,
-# the analysis package, and the worker pool (no raw os.Create/
-# os.WriteFile, no ranging analysis fact tables straight into reports,
-# no per-job VM/profiler allocation outside the arena — see
-# internal/lint), the VRISC bytecode verifier over every workload and
-# the assembly examples, and staticcheck when it is installed (the
-# toolchain image may not have it; it must not be a hard dependency).
+# the analysis package, the worker pool, and the serve daemon (no raw
+# os.Create/os.WriteFile, no ranging analysis fact tables straight
+# into reports, no per-job VM/profiler allocation outside the arena,
+# no os.Exit in serve handlers — see internal/lint), the VRISC
+# bytecode verifier over every workload and the assembly examples, and
+# staticcheck when it is installed (the toolchain image may not have
+# it; it must not be a hard dependency).
 lint:
-	go run ./internal/lint/vvet cmd internal/analysis internal/parallel
+	go run ./internal/lint/vvet cmd internal/analysis internal/parallel internal/serve
 	go run ./cmd/vlint -all
 	go run ./cmd/vlint examples/asm/sum.s
 	go run ./cmd/vlint examples/asm/warnings.s
@@ -84,13 +87,20 @@ chaos-smoke:
 # Fail if statement coverage of the correctness-critical packages
 # falls below the recorded floor.
 cover-gate:
-	@out=$$(go test -cover ./internal/core ./internal/parallel ./internal/analysis) || { echo "$$out"; exit 1; }; \
+	@out=$$(go test -cover ./internal/core ./internal/parallel ./internal/analysis ./internal/serve) || { echo "$$out"; exit 1; }; \
 	echo "$$out"; \
-	echo "$$out" | awk -v core=$(COVER_MIN_CORE) -v par=$(COVER_MIN_PARALLEL) -v ana=$(COVER_MIN_ANALYSIS) ' \
+	echo "$$out" | awk -v core=$(COVER_MIN_CORE) -v par=$(COVER_MIN_PARALLEL) -v ana=$(COVER_MIN_ANALYSIS) -v srv=$(COVER_MIN_SERVE) ' \
 		/valueprof\/internal\/core/     { seen++; if ($$5+0 < core) { printf "cover-gate: internal/core %s < %d%%\n", $$5, core; bad=1 } } \
 		/valueprof\/internal\/parallel/ { seen++; if ($$5+0 < par)  { printf "cover-gate: internal/parallel %s < %d%%\n", $$5, par; bad=1 } } \
 		/valueprof\/internal\/analysis/ { seen++; if ($$5+0 < ana)  { printf "cover-gate: internal/analysis %s < %d%%\n", $$5, ana; bad=1 } } \
-		END { if (seen != 3) { print "cover-gate: expected 3 coverage lines, saw " seen; bad=1 }; exit bad }'
+		/valueprof\/internal\/serve/    { seen++; if ($$5+0 < srv)  { printf "cover-gate: internal/serve %s < %d%%\n", $$5, srv; bad=1 } } \
+		END { if (seen != 4) { print "cover-gate: expected 4 coverage lines, saw " seen; bad=1 }; exit bad }'
+
+# The daemon acceptance suite under the race detector: golden endpoint
+# contracts, seeded restart-survival chaos, fairness/starvation bounds,
+# and the two-client end-to-end scenario (see docs/serve.md).
+serve-smoke:
+	go test -race -count=1 ./internal/serve
 
 build:
 	go build ./...

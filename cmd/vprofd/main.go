@@ -1,0 +1,87 @@
+// vprofd is the value-profiling daemon: profiling as a service over
+// HTTP/JSON. It accepts jobs (a VRISC program, input vectors, and a
+// profiler config), runs them on the shared execution arena under fair
+// per-client scheduling and request budgets, streams progress over
+// SSE, and serves completed profiles from a content-addressed cache.
+// With -state it is durable: finished results survive restarts, and
+// in-flight jobs resume from their checkpoints after a SIGTERM.
+//
+// Usage:
+//
+//	vprofd [-addr :7071] [-state DIR] [-workers N] [-pulse N] [-max-body BYTES]
+//
+// See docs/serve.md for the API contract. Exit status: 0 after a clean
+// signal-driven shutdown, 1 on a startup or serve failure, 2 on usage
+// errors.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"valueprof/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":7071", "listen address")
+	state := flag.String("state", "", "state directory for cache, manifests, and checkpoints (empty = memory only)")
+	workers := flag.Int("workers", 0, "concurrent job runners (0 = default)")
+	pulse := flag.Uint64("pulse", 0, "instructions between progress events (0 = default)")
+	ckpt := flag.Uint64("ckpt", 0, "instructions between in-flight checkpoint persists (0 = default)")
+	maxBody := flag.Int64("max-body", 0, "request body limit in bytes (0 = default)")
+	grace := flag.Duration("grace", 30*time.Second, "shutdown grace period")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: vprofd [-addr :7071] [-state DIR] [-workers N] [-pulse N] [-max-body BYTES]")
+		os.Exit(2)
+	}
+
+	srv, err := serve.New(serve.Options{
+		StateDir:        *state,
+		Workers:         *workers,
+		PulseEvery:      *pulse,
+		CheckpointEvery: *ckpt,
+		MaxBody:         *maxBody,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vprofd: %v\n", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// SIGTERM/SIGINT drive the graceful path: stop accepting, evict
+	// running jobs to their checkpoints, then exit so the next start
+	// resumes them.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "vprofd: listening on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "vprofd: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	gctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	hs.Shutdown(gctx)
+	if err := srv.Shutdown(gctx); err != nil {
+		fmt.Fprintf(os.Stderr, "vprofd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "vprofd: state persisted, exiting")
+}

@@ -1,6 +1,6 @@
 // Package lint implements the repository's custom vet pass: a small
 // go/ast analysis, in the style of a go/analysis Analyzer but built on
-// the standard library only, enforcing two repository rules.
+// the standard library only, enforcing the repository's source rules.
 //
 // First, command code may not make raw destructive file writes
 // (os.Create, os.WriteFile, write-mode os.OpenFile); it must route
@@ -29,6 +29,16 @@
 // pool's allocation-reuse optimization cannot silently regress one
 // call site at a time. Test files are exempt — they construct fixtures
 // and measure the unpooled baseline on purpose.
+//
+// Fourth, daemon code in internal/serve may not call os.Exit (a
+// handler reports errors over the wire; only a command's main may end
+// the process), and may not construct per-job execution state outside
+// the arena path: vm.New/vm.NewSized, atom.Prepare, and
+// core.NewValueProfiler are banned there just as in the pool package,
+// because every VM and profiler a request touches must come from
+// parallel.AcquireVM/AcquireProfiler. Raw destructive writes are
+// covered by the first rule, which applies to every tree vvet runs
+// over — make lint runs it on internal/serve.
 package lint
 
 import (
@@ -80,6 +90,47 @@ var arenaBanned = map[string]string{
 	"vm.NewSized":           "acquire per-job VMs through the arena (AcquireVM) so pooling cannot silently regress",
 	"atom.Prepare":          "use atom.PrepareOn with an arena-acquired VM; Prepare allocates a fresh one per job",
 	"core.NewValueProfiler": "acquire per-job profilers through the arena (AcquireProfiler) so pooling cannot silently regress",
+}
+
+// serveScoped reports whether path falls under the daemon rule: a
+// non-test file in a directory named serve (the profiling-as-a-service
+// package, however the tree is rooted).
+func serveScoped(path string) bool {
+	if filepath.Base(filepath.Dir(path)) != "serve" {
+		return false
+	}
+	return !strings.HasSuffix(filepath.Base(path), "_test.go")
+}
+
+// serveViolation flags daemon-scoped calls: os.Exit anywhere in serve
+// code (handlers report errors over the wire, they never end the
+// process), and the same arena-bypassing constructors the pool rule
+// bans — a request's VMs and profilers must come from the arena.
+func serveViolation(fset *token.FileSet, call *ast.CallExpr, importNames map[string]string, osName string) *Finding {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if osName != "" && pkg.Name == osName && sel.Sel.Name == "Exit" {
+		return &Finding{
+			Pos:  fset.Position(call.Pos()),
+			Call: "os.Exit",
+			Msg:  "serve handlers report errors over the wire; only a command's main may end the process",
+		}
+	}
+	canonical, ok := importNames[pkg.Name]
+	if !ok {
+		return nil
+	}
+	qualified := canonical + "." + sel.Sel.Name
+	if reason, ok := arenaBanned[qualified]; ok {
+		return &Finding{Pos: fset.Position(call.Pos()), Call: qualified, Msg: reason}
+	}
+	return nil
 }
 
 // arenaViolation flags per-job allocation in a pool job body: a banned
@@ -171,12 +222,20 @@ func CheckFile(fset *token.FileSet, fpath string) ([]Finding, error) {
 		}
 	}
 	poolFile := arenaScoped(fpath)
+	serveFile := serveScoped(fpath)
 
 	var out []Finding
 	ast.Inspect(file, func(n ast.Node) bool {
 		if poolFile {
 			if call, ok := n.(*ast.CallExpr); ok {
 				if f := arenaViolation(fset, call, poolImports); f != nil {
+					out = append(out, *f)
+				}
+			}
+		}
+		if serveFile {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if f := serveViolation(fset, call, poolImports, osName); f != nil {
 					out = append(out, *f)
 				}
 			}

@@ -164,6 +164,121 @@ func buffers(n int) ([][]byte, []int) {
 	}
 }
 
+func TestFlagsServeViolations(t *testing.T) {
+	// The negative fixture: a serve handler that kills the process,
+	// constructs its own VM and profiler, and writes a file raw. Every
+	// one of those is a distinct finding.
+	src := `package serve
+
+import (
+	"os"
+
+	"valueprof/internal/core"
+	"valueprof/internal/vm"
+)
+
+func handleRun(prog *Program) {
+	v := vm.New(prog)
+	vp := core.NewValueProfiler(core.Options{})
+	os.WriteFile("result.json", nil, 0o644)
+	if v == nil || vp == nil {
+		os.Exit(1)
+	}
+}
+`
+	fs := checkAt(t, "internal/serve/handlers.go", src)
+	if len(fs) != 4 {
+		t.Fatalf("findings = %d (%v), want 4", len(fs), fs)
+	}
+	calls := map[string]bool{}
+	for _, f := range fs {
+		calls[f.Call] = true
+	}
+	for _, want := range []string{"vm.New", "core.NewValueProfiler", "os.WriteFile", "os.Exit"} {
+		if !calls[want] {
+			t.Errorf("missing finding %q in %v", want, fs)
+		}
+	}
+}
+
+func TestServeScopeExemptions(t *testing.T) {
+	// os.Exit is only banned in serve scope: command main functions and
+	// serve test files keep it.
+	src := `package main
+
+import "os"
+
+func main() {
+	os.Exit(2)
+}
+`
+	if fs := checkAt(t, "cmd/vprofd/main.go", src); len(fs) != 0 {
+		t.Errorf("cmd findings = %v, want none", fs)
+	}
+	testSrc := `package serve
+
+import (
+	"os"
+
+	"valueprof/internal/vm"
+)
+
+func fixture(prog *Program) {
+	_ = vm.New(prog)
+	os.Exit(1)
+}
+`
+	full := filepath.Join(t.TempDir(), "internal", "serve", "serve_test.go")
+	if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(full, []byte(testSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := CheckFile(token.NewFileSet(), full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Errorf("serve test-file findings = %v, want none", fs)
+	}
+	// Benign serve code — reads, arena acquires, slices — is clean.
+	ok := `package serve
+
+import (
+	"os"
+
+	"valueprof/internal/parallel"
+)
+
+func load(path string, n int) ([]byte, []int64) {
+	v := parallel.AcquireVM(nil, 0)
+	defer parallel.ReleaseVM(v)
+	b, _ := os.ReadFile(path)
+	return b, make([]int64, n)
+}
+`
+	if fs := checkAt(t, "internal/serve/runner.go", ok); len(fs) != 0 {
+		t.Errorf("benign serve findings = %v, want none", fs)
+	}
+}
+
+func TestCheckTreeCleanOnServe(t *testing.T) {
+	// The daemon package itself must obey the rule it motivated (make
+	// lint runs this tree).
+	root := filepath.Join("..", "serve")
+	if _, err := os.Stat(root); err != nil {
+		t.Skip("internal/serve not present")
+	}
+	fs, err := CheckTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}
+
 func TestCheckTreeCleanOnParallel(t *testing.T) {
 	// The pool package itself must obey the arena discipline the rule
 	// exists to enforce (make lint runs this tree).

@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+
+	"valueprof/internal/atomicio"
+)
+
+// cache is the content-addressed profile store: completed (never
+// partial) profile records, serialized once and served byte-for-byte.
+// Entries live in memory and — when the server has a state directory —
+// as atomically-written files under <dir>/cache/<hex>.json, which is
+// what makes a finished job's result survive a restart without rerun.
+type cache struct {
+	mu   sync.Mutex
+	dir  string // "" = memory only
+	mem  map[string][]byte
+	hits uint64
+	miss uint64
+}
+
+func newCache(stateDir string) (*cache, error) {
+	c := &cache{mem: make(map[string][]byte)}
+	if stateDir != "" {
+		c.dir = filepath.Join(stateDir, "cache")
+		if err := os.MkdirAll(c.dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func (c *cache) path(digest string) string {
+	return filepath.Join(c.dir, digestHex(digest)+".json")
+}
+
+// get returns the cached record bytes for digest, falling back to the
+// on-disk copy (and repopulating memory) when the entry predates this
+// process.
+func (c *cache) get(digest string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b, ok := c.mem[digest]; ok {
+		c.hits++
+		return b, true
+	}
+	if c.dir != "" {
+		if b, err := os.ReadFile(c.path(digest)); err == nil {
+			c.mem[digest] = b
+			c.hits++
+			return b, true
+		}
+	}
+	c.miss++
+	return nil, false
+}
+
+// put stores the record bytes under digest. Identical re-puts are
+// harmless: content addressing means the bytes cannot differ.
+func (c *cache) put(digest string, rec []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.mem[digest]; ok {
+		return nil
+	}
+	c.mem[digest] = rec
+	if c.dir != "" {
+		return atomicio.WriteFileBytes(c.path(digest), rec)
+	}
+	return nil
+}
+
+// stats returns (entries, hits, misses).
+func (c *cache) stats() (int, uint64, uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.mem), c.hits, c.miss
+}

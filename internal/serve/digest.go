@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"valueprof/internal/program"
+)
+
+// Digest format (documented in docs/serve.md): a job's cache identity
+// is "vpd1:" followed by 64 hex digits of SHA-256 over the canonical
+// encoding
+//
+//	"VPDG1\x00"
+//	uvarint(len(image)) ‖ image                 (canonical VPX1 bytes)
+//	uvarint(#inputs) ‖ per input:
+//	    uvarint(len) ‖ each value, 8-byte little-endian
+//	JSON of the normalized JobConfig
+//
+// The image is the canonical re-save of the submitted program and the
+// config is normalized before encoding, so equivalent submissions —
+// assembly vs. image, defaults spelled out vs. omitted — share one
+// digest. Sub-runs use the same format with a single input, which is
+// how a multi-input job reuses another job's overlapping work.
+const digestPrefix = "vpd1:"
+
+// DigestOf computes the content-addressed identity of (program image,
+// inputs, normalized config).
+func DigestOf(image []byte, inputs [][]int64, cfg *JobConfig) (string, error) {
+	h := sha256.New()
+	h.Write([]byte("VPDG1\x00"))
+	writeUvarint(h, uint64(len(image)))
+	h.Write(image)
+	writeUvarint(h, uint64(len(inputs)))
+	var le [8]byte
+	for _, in := range inputs {
+		writeUvarint(h, uint64(len(in)))
+		for _, v := range in {
+			binary.LittleEndian.PutUint64(le[:], uint64(v))
+			h.Write(le[:])
+		}
+	}
+	cj, err := json.Marshal(cfg)
+	if err != nil {
+		return "", fmt.Errorf("serve: encoding config for digest: %w", err)
+	}
+	h.Write(cj)
+	return digestPrefix + hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// digestHex strips the format prefix, returning the bare hex used as a
+// cache file name.
+func digestHex(digest string) string {
+	if len(digest) > len(digestPrefix) && digest[:len(digestPrefix)] == digestPrefix {
+		return digest[len(digestPrefix):]
+	}
+	return digest
+}
+
+func writeUvarint(w io.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+// saveImage serializes a program to its canonical VPX1 bytes.
+func saveImage(p *program.Program) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func bytesReader(b []byte) io.Reader { return bytes.NewReader(b) }
+
+// shortHex returns the first 12 hex digits of SHA-256 over data: the
+// deterministic short name records use for wire-submitted programs and
+// inputs ("prog-xxxxxxxxxxxx", "in-xxxxxxxxxxxx").
+func shortHex(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])[:12]
+}
+
+// inputName derives the deterministic record label of one input
+// vector.
+func inputName(in []int64) string {
+	var buf bytes.Buffer
+	writeUvarint(&buf, uint64(len(in)))
+	var le [8]byte
+	for _, v := range in {
+		binary.LittleEndian.PutUint64(le[:], uint64(v))
+		buf.Write(le[:])
+	}
+	return "in-" + shortHex(buf.Bytes())
+}

@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"valueprof/internal/core"
+)
+
+// The fairness suite pins the multi-tenant scheduling contract: a
+// client flooding the daemon delays its own backlog, never another
+// client's, with the bound stated in dispatch distances (how many jobs
+// the scheduler served between a job's submission and its dispatch) —
+// the machine-independent unit the /v1/stats report also exposes.
+
+// TestSchedulerRoundRobinBound drives the scheduler directly: with a
+// flood client 30 jobs deep, a quiet client's job is dispatched within
+// two dispatches of its submission, every time.
+func TestSchedulerRoundRobinBound(t *testing.T) {
+	sched := newScheduler()
+	for i := 0; i < 30; i++ {
+		if !sched.enqueue(&job{ID: fmt.Sprintf("f-%d", i), Client: "flood"}, 0) {
+			t.Fatal("enqueue failed")
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if !sched.enqueue(&job{ID: fmt.Sprintf("q-%d", i), Client: "quiet"}, 0) {
+			t.Fatal("enqueue failed")
+		}
+	}
+	for {
+		sched.mu.Lock()
+		j := sched.pop()
+		sched.mu.Unlock()
+		if j == nil {
+			break
+		}
+	}
+	for _, r := range sched.report() {
+		if r.Client != "quiet" {
+			continue
+		}
+		if r.Dispatched != 3 {
+			t.Fatalf("quiet dispatched %d of 3", r.Dispatched)
+		}
+		// Round-robin alternates flood/quiet once both exist, so a quiet
+		// job never waits for more than its own predecessors plus one
+		// flood job each.
+		if r.MaxWaitDispatches > 6 {
+			t.Errorf("quiet max dispatch distance %d; round-robin should bound it at 6", r.MaxWaitDispatches)
+		}
+	}
+}
+
+func TestSchedulerPerClientCap(t *testing.T) {
+	sched := newScheduler()
+	for i := 0; i < 4; i++ {
+		if !sched.enqueue(&job{ID: fmt.Sprintf("j-%d", i), Client: "c"}, 4) {
+			t.Fatalf("enqueue %d rejected under cap", i)
+		}
+	}
+	if sched.enqueue(&job{ID: "j-4", Client: "c"}, 4) {
+		t.Fatal("enqueue over cap accepted")
+	}
+	if sched.queuedFor("c") != 4 {
+		t.Fatalf("queued %d, want 4", sched.queuedFor("c"))
+	}
+}
+
+// TestFloodedClientDoesNotStarveQuiet runs the starvation scenario on
+// a live single-worker daemon: a flooding client with a deep backlog
+// of real profiling jobs, then one quiet job. The quiet job's p95 and
+// max dispatch distances stay bounded by the round-robin guarantee
+// regardless of the flood depth.
+func TestFloodedClientDoesNotStarveQuiet(t *testing.T) {
+	s := newServer(t, Options{Workers: 1})
+	var floodIDs []string
+	for i := 0; i < 8; i++ {
+		// Distinct inputs so no flood job is answered from the cache.
+		j, cached, rerr := s.submit(loopRequest("flood", int64(20000+i)))
+		if rerr != nil || cached {
+			t.Fatalf("flood submit %d: cached=%v err=%v", i, cached, rerr)
+		}
+		floodIDs = append(floodIDs, j.ID)
+	}
+	quiet, cached, rerr := s.submit(loopRequest("quiet", 30000))
+	if rerr != nil || cached {
+		t.Fatalf("quiet submit: cached=%v err=%v", cached, rerr)
+	}
+
+	if st := waitTerminal(t, s, quiet.ID); st.State != StateCompleted {
+		t.Fatalf("quiet job: %+v", st)
+	}
+	for _, id := range floodIDs {
+		if st := waitTerminal(t, s, id); st.State != StateCompleted {
+			t.Fatalf("flood job %s: %+v", id, st)
+		}
+	}
+
+	var quietRep, floodRep *ClientReport
+	for _, r := range s.stats().Clients {
+		r := r
+		switch r.Client {
+		case "quiet":
+			quietRep = &r
+		case "flood":
+			floodRep = &r
+		}
+	}
+	if quietRep == nil || floodRep == nil {
+		t.Fatal("missing client reports")
+	}
+	if quietRep.Dispatched != 1 || floodRep.Dispatched != 8 {
+		t.Fatalf("dispatch counts: quiet %d, flood %d", quietRep.Dispatched, floodRep.Dispatched)
+	}
+	// The quiet job arrived behind 8 flood jobs; round-robin still
+	// serves it after at most the in-flight job plus one flood dispatch.
+	if quietRep.MaxWaitDispatches > 3 {
+		t.Errorf("quiet client waited %d dispatches; flood is starving it", quietRep.MaxWaitDispatches)
+	}
+	if quietRep.P95WaitDispatches > 3 {
+		t.Errorf("quiet p95 dispatch distance %d exceeds bound", quietRep.P95WaitDispatches)
+	}
+	// The flood client's tail wait grows with its own backlog — the
+	// queueing cost lands on the tenant who caused it.
+	if floodRep.MaxWaitDispatches < quietRep.MaxWaitDispatches {
+		t.Errorf("flood max wait %d below quiet %d; backlog cost misattributed",
+			floodRep.MaxWaitDispatches, quietRep.MaxWaitDispatches)
+	}
+}
+
+// TestBudgetExhaustedClass pins the documented error contract for a
+// job whose instruction budget runs out: state failed, wire class
+// "budget", and a 409 from the result endpoint.
+func TestBudgetExhaustedClass(t *testing.T) {
+	s, hs := newHTTPServer(t, Options{Workers: 1})
+	req := loopRequest("budget", 20000)
+	req.Config = JobConfig{StepLimit: 1000}
+	code, st := submitHTTP(t, hs.URL, req)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	final := waitTerminal(t, s, st.ID)
+	if final.State != StateFailed || final.Error == nil || final.Error.Class != ClassBudget {
+		t.Fatalf("want failed/budget, got %+v", final)
+	}
+	if !strings.Contains(final.Error.Message, "budget") {
+		t.Errorf("error message %q does not mention the budget", final.Error.Message)
+	}
+
+	code, body := call(t, http.MethodGet, hs.URL+"/v1/jobs/"+st.ID+"/result", nil)
+	if code != http.StatusConflict {
+		t.Fatalf("result of budget-failed job: %d\n%s", code, body)
+	}
+	var eb struct {
+		Error WireError `json:"error"`
+	}
+	if err := json.Unmarshal(body, &eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Error.Class != ClassBudget {
+		t.Errorf("result error class %q, want %q", eb.Error.Class, ClassBudget)
+	}
+}
+
+// TestSalvagePartialKeepsPrefixProfile covers the degraded path: with
+// SalvagePartial the budget-exhausted job lands in state "salvaged"
+// and serves its partial record — marked Salvaged with the outcome
+// that truncated it — instead of failing empty-handed.
+func TestSalvagePartialKeepsPrefixProfile(t *testing.T) {
+	s, hs := newHTTPServer(t, Options{Workers: 1})
+	req := loopRequest("salvage", 20000)
+	req.Config = JobConfig{StepLimit: 1000, SalvagePartial: true}
+	code, st := submitHTTP(t, hs.URL, req)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	final := waitTerminal(t, s, st.ID)
+	if final.State != StateSalvaged || final.Error == nil || final.Error.Class != ClassBudget {
+		t.Fatalf("want salvaged with budget error, got %+v", final)
+	}
+
+	resp, err := http.Get(hs.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("salvaged result: %d", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Vprof-Salvaged") != "true" {
+		t.Error("salvaged result missing X-Vprof-Salvaged header")
+	}
+	rec, err := core.ReadProfileRecord(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Salvaged || rec.Outcome == "" {
+		t.Errorf("salvaged record provenance: salvaged=%v outcome=%q", rec.Salvaged, rec.Outcome)
+	}
+	if len(rec.Sites) == 0 {
+		t.Error("salvaged record has no profiled sites")
+	}
+}

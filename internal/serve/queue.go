@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// scheduler is the multi-tenant job queue: one FIFO per client, served
+// round-robin, so a client flooding the daemon delays its own backlog,
+// not everyone else's. The fairness contract — pinned by the
+// starvation test — is that a job waits for at most
+// (clients × workers + clients) dispatches regardless of how deep any
+// other client's queue is.
+type scheduler struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	order  []string // clients in first-submission order
+	queues map[string][]*job
+	rr     int // index into order of the next client to serve
+	closed bool
+
+	// dispatches counts jobs handed to workers; each job records the
+	// counter at submission and at dispatch, and the difference — the
+	// dispatch distance — is the deterministic unit the fairness bound
+	// is stated in.
+	dispatches uint64
+	perClient  map[string]*clientStats
+}
+
+// clientStats aggregates one tenant's scheduling history.
+type clientStats struct {
+	Submitted  int
+	Dispatched int
+	// waits and distances are per-dispatched-job samples: queue wait in
+	// wall-clock time and in dispatch counts.
+	waits     []time.Duration
+	distances []uint64
+}
+
+func newScheduler() *scheduler {
+	s := &scheduler{
+		queues:    make(map[string][]*job),
+		perClient: make(map[string]*clientStats),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *scheduler) client(name string) *clientStats {
+	cs, ok := s.perClient[name]
+	if !ok {
+		cs = &clientStats{}
+		s.perClient[name] = cs
+	}
+	return cs
+}
+
+// enqueue queues j for its client, enforcing the per-client cap (0 =
+// unlimited). Returns false when the client's queue is full.
+func (s *scheduler) enqueue(j *job, maxPerClient int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if maxPerClient > 0 && len(s.queues[j.Client]) >= maxPerClient {
+		return false
+	}
+	if _, ok := s.queues[j.Client]; !ok {
+		s.order = append(s.order, j.Client)
+	}
+	s.queues[j.Client] = append(s.queues[j.Client], j)
+	j.enqueuedAt = time.Now()
+	j.submitSeq = s.dispatches
+	cs := s.client(j.Client)
+	cs.Submitted++
+	s.cond.Broadcast()
+	return true
+}
+
+// next blocks until a job is available or the scheduler is closed,
+// serving clients round-robin. A dequeued job that was cancelled while
+// queued is skipped (its terminal state already stands).
+func (s *scheduler) next() (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if j := s.pop(); j != nil {
+			return j, true
+		}
+		if s.closed {
+			return nil, false
+		}
+		s.cond.Wait()
+	}
+}
+
+// pop removes and returns the next job in round-robin order, or nil.
+// Callers hold s.mu.
+func (s *scheduler) pop() *job {
+	for range s.order {
+		client := s.order[s.rr%len(s.order)]
+		s.rr = (s.rr + 1) % len(s.order)
+		q := s.queues[client]
+		if len(q) == 0 {
+			continue
+		}
+		j := q[0]
+		s.queues[client] = q[1:]
+		s.dispatches++
+		cs := s.client(client)
+		cs.Dispatched++
+		cs.waits = append(cs.waits, time.Since(j.enqueuedAt))
+		cs.distances = append(cs.distances, s.dispatches-1-j.submitSeq)
+		return j
+	}
+	return nil
+}
+
+// close wakes every blocked worker; next returns ok=false once the
+// queues drain. Queued jobs are left in place for eviction.
+func (s *scheduler) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// drain removes and returns every still-queued job (shutdown eviction).
+func (s *scheduler) drain() []*job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*job
+	for _, client := range s.order {
+		out = append(out, s.queues[client]...)
+		s.queues[client] = nil
+	}
+	return out
+}
+
+// queuedFor reports the current queue depth of one client.
+func (s *scheduler) queuedFor(client string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queues[client])
+}
+
+// ClientReport is one tenant's scheduling summary, exposed by
+// GET /v1/stats.
+type ClientReport struct {
+	Client     string `json:"client"`
+	Submitted  int    `json:"submitted"`
+	Dispatched int    `json:"dispatched"`
+	Queued     int    `json:"queued"`
+	// P95WaitMs is the 95th-percentile queue wait of the client's
+	// dispatched jobs in milliseconds; P95WaitDispatches is the same
+	// percentile of dispatch distances — how many other jobs the
+	// scheduler served between a job's submission and its dispatch, the
+	// machine-independent fairness metric.
+	P95WaitMs         float64 `json:"p95WaitMs"`
+	P95WaitDispatches uint64  `json:"p95WaitDispatches"`
+	MaxWaitDispatches uint64  `json:"maxWaitDispatches"`
+}
+
+// report summarizes every client, sorted by name.
+func (s *scheduler) report() []ClientReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ClientReport, 0, len(s.perClient))
+	for name, cs := range s.perClient {
+		r := ClientReport{
+			Client:     name,
+			Submitted:  cs.Submitted,
+			Dispatched: cs.Dispatched,
+			Queued:     len(s.queues[name]),
+		}
+		if n := len(cs.waits); n > 0 {
+			ws := append([]time.Duration(nil), cs.waits...)
+			sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+			r.P95WaitMs = float64(ws[p95Index(n)]) / float64(time.Millisecond)
+			ds := append([]uint64(nil), cs.distances...)
+			sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+			r.P95WaitDispatches = ds[p95Index(n)]
+			r.MaxWaitDispatches = ds[n-1]
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Client < out[j].Client })
+	return out
+}
+
+// p95Index is the index of the 95th percentile in a sorted sample of
+// size n (nearest-rank).
+func p95Index(n int) int {
+	i := (n*95 + 99) / 100
+	if i < 1 {
+		i = 1
+	}
+	return i - 1
+}

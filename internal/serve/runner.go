@@ -1,0 +1,442 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"valueprof/internal/atom"
+	"valueprof/internal/core"
+	"valueprof/internal/parallel"
+	"valueprof/internal/vm"
+)
+
+// execute runs one dequeued job to a terminal state (or back to queued
+// when the daemon is evicting it for shutdown). A job is a sequence of
+// sub-runs, one per input; each sub-run is content-addressed on its
+// own, so a multi-input job reuses any sub-run another job already
+// paid for, and the final result is the deterministic merge of the
+// sub-records in input order.
+func (s *Server) execute(j *job) {
+	j.mu.Lock()
+	if j.state != StateQueued {
+		// Cancelled while queued; its terminal state already stands.
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	start := j.inputsDone
+	j.mu.Unlock()
+	j.persist(s.opts.StateDir, "")
+
+	progName := "prog-" + shortHex(j.Image)
+	for i := start; i < len(j.Inputs); i++ {
+		if j.ctx.Err() != nil {
+			s.interrupted(j)
+			return
+		}
+		input := j.Inputs[i]
+		subDigest, err := DigestOf(j.Image, [][]int64{input}, &j.Config)
+		if err != nil {
+			s.fail(j, ClassInternal, "digesting input %d: %v", i, err)
+			return
+		}
+		if _, hit := s.cache.get(subDigest); hit {
+			j.emit(ProgressEvent{Input: i, Inputs: len(j.Inputs), CachedInput: true})
+		} else {
+			rec, partial, class, msg := s.runOne(j, progName, i, input)
+			switch class {
+			case "":
+				if err := s.cache.put(subDigest, rec); err != nil {
+					s.fail(j, ClassInternal, "caching input %d: %v", i, err)
+					return
+				}
+			case classEvicted:
+				s.evict(j)
+				return
+			case ClassCancelled:
+				s.interrupted(j)
+				return
+			default:
+				if j.Config.SalvagePartial && partial != nil {
+					s.salvage(j, partial, class, msg)
+					return
+				}
+				s.fail(j, class, "%s", msg)
+				return
+			}
+		}
+		s.removeCheckpoint(j)
+		j.mu.Lock()
+		j.inputsDone = i + 1
+		j.mu.Unlock()
+		j.persist(s.opts.StateDir, "")
+	}
+
+	final, err := s.mergeSubRuns(j)
+	if err != nil {
+		s.fail(j, ClassInternal, "%v", err)
+		return
+	}
+	if err := s.cache.put(j.Digest, final); err != nil {
+		s.fail(j, ClassInternal, "caching result: %v", err)
+		return
+	}
+	j.mu.Lock()
+	j.state = StateCompleted
+	j.mu.Unlock()
+	j.persist(s.opts.StateDir, "")
+	j.finishEvents()
+}
+
+// mergeSubRuns folds the job's cached sub-records — always parsed back
+// from their serialized bytes, so a recovered daemon and an
+// uninterrupted one feed the merge identical inputs — into the final
+// record's bytes. A single-input job's record passes through verbatim
+// (its job digest equals its sub-run digest).
+func (s *Server) mergeSubRuns(j *job) ([]byte, error) {
+	var merged *core.ProfileRecord
+	for i, input := range j.Inputs {
+		subDigest, err := DigestOf(j.Image, [][]int64{input}, &j.Config)
+		if err != nil {
+			return nil, err
+		}
+		b, ok := s.cache.get(subDigest)
+		if !ok {
+			return nil, fmt.Errorf("sub-run %d missing from cache", i)
+		}
+		if len(j.Inputs) == 1 {
+			return b, nil
+		}
+		rec, err := core.ReadProfileRecord(bytesReader(b))
+		if err != nil {
+			return nil, fmt.Errorf("parsing sub-run %d: %w", i, err)
+		}
+		if merged == nil {
+			merged = rec
+			continue
+		}
+		if merged, err = core.MergeRecords(merged, rec); err != nil {
+			return nil, err
+		}
+	}
+	var buf bytes.Buffer
+	if err := merged.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// classEvicted is the internal (never wire-visible) class marking a
+// sub-run interrupted by daemon shutdown.
+const classEvicted = "evicted"
+
+// pulse is the per-attempt atom.Tool behind progress streaming and
+// restart survival: every `every` instructions it emits a
+// ProgressEvent, and every `ckEvery` instructions — for resumable
+// configs on a durable server — persists a VPCKPT1 checkpoint of the
+// run (checkpoints snapshot the guest memory image, so their interval
+// is much coarser). Like core.Checkpointer it arms lazily, so a
+// resumed attempt pulses one full interval after its resume point.
+type pulse struct {
+	every    uint64
+	ckEvery  uint64
+	next     uint64
+	ckNext   uint64
+	vp       *core.ValueProfiler
+	ckptPath string // "" = no persistence
+	progName string
+	inName   string
+	event    func(v *vm.VM)
+}
+
+func (p *pulse) Instrument(ix *atom.Instrumenter) {
+	ix.AddStep(func(v *vm.VM) error {
+		if p.next == 0 {
+			p.next = v.InstCount + p.every
+			p.ckNext = v.InstCount + p.ckEvery
+			return nil
+		}
+		if v.InstCount >= p.next {
+			p.next = v.InstCount + p.every
+			p.event(v)
+		}
+		if v.InstCount >= p.ckNext {
+			p.ckNext = v.InstCount + p.ckEvery
+			p.snapshot(v)
+		}
+		return nil
+	})
+}
+
+// snapshot persists the in-flight checkpoint; failures are swallowed —
+// a full disk degrades restart granularity, never the run.
+func (p *pulse) snapshot(v *vm.VM) {
+	if p.ckptPath == "" {
+		return
+	}
+	if ck, err := core.CheckpointOf(p.vp, v, p.progName, p.inName); err == nil {
+		ck.SaveAtomic(p.ckptPath)
+	}
+}
+
+// runOne executes one sub-run (one input) through the retry loop,
+// mirroring internal/supervise's classification: transient failures
+// retry (resuming from the carried checkpoint when the config allows),
+// budget overruns and deterministic guest faults stop the job. It
+// returns the completed record's serialized bytes, or a non-empty wire
+// error class with the salvageable partial record (nil unless
+// SalvagePartial captured one).
+func (s *Server) runOne(j *job, progName string, inputIdx int, input []int64) (rec, partial []byte, class, msg string) {
+	cfg := &j.Config
+	inName := inputName(input)
+	opts := cfg.coreOptions()
+	resumable := cfg.resumable()
+	subStart := time.Now()
+
+	var ckptPath string
+	if resumable && s.opts.StateDir != "" {
+		ckptPath = checkpointPath(s.opts.StateDir, j.ID)
+	}
+
+	// A carried checkpoint resumes the next attempt. The first attempt
+	// loads it from disk — that is the restart-survival path — and
+	// later attempts carry it in memory through the same serialized
+	// form, so the integrity envelope guards both identically.
+	var carried []byte
+	if ckptPath != "" {
+		if ck, err := core.LoadCheckpoint(ckptPath); err == nil &&
+			ck.Program == progName && ck.Input == inName && ck.VM != nil {
+			var buf bytes.Buffer
+			if core.WriteCheckpoint(&buf, ck) == nil {
+				carried = buf.Bytes()
+			}
+		}
+	}
+
+	type attemptEnd struct {
+		outcome vm.RunOutcome
+		inst    uint64
+		base    uint64
+		faultPC int
+		resumed bool
+	}
+	var prev *attemptEnd
+
+	for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
+		if j.ctx.Err() != nil {
+			return nil, nil, s.interruptClass(), ""
+		}
+
+		var resume *core.Checkpoint
+		if resumable && carried != nil {
+			if ck, err := core.ReadCheckpoint(bytesReader(carried)); err == nil &&
+				ck.VM != nil && ck.Program == progName && ck.Input == inName {
+				resume = ck
+			}
+		}
+
+		vp, err := parallel.AcquireProfiler(opts)
+		if err != nil {
+			return nil, nil, ClassInternal, fmt.Sprintf("profiler setup: %v", err)
+		}
+		if resume != nil {
+			if err := vp.Seed(resume); err != nil {
+				// Passed CRC but mismatches the profiler: as good as
+				// corrupt. Demote to a fresh start.
+				resume = nil
+				if err := vp.ResetFor(opts); err != nil {
+					parallel.ReleaseProfiler(vp)
+					return nil, nil, ClassInternal, fmt.Sprintf("profiler reset: %v", err)
+				}
+			}
+		}
+
+		ropts := cfg.runOptions(input)
+		ropts.Deadline = cfg.deadline(subStart, time.Now())
+		v := parallel.AcquireVM(j.Prog, ropts.EffectiveMemSize())
+		a := attemptEnd{}
+		if resume != nil {
+			a.base = resume.InstCount()
+		}
+		p := &pulse{
+			every:    s.opts.PulseEvery,
+			ckEvery:  s.opts.CheckpointEvery,
+			vp:       vp,
+			ckptPath: ckptPath,
+			progName: progName,
+			inName:   inName,
+			event: func(v *vm.VM) {
+				j.emit(ProgressEvent{
+					Input:     inputIdx,
+					Inputs:    len(j.Inputs),
+					Attempt:   attempt,
+					Resumed:   resume != nil,
+					InstCount: v.InstCount,
+					Values:    v.AnalysisCalls,
+				})
+			},
+		}
+		atom.PrepareOn(v, ropts, atom.Tool(vp), p)
+		if resume != nil {
+			if err := resume.RestoreVM(v); err != nil {
+				// Machine state decoded but won't restore: restart the
+				// attempt from scratch through the pooled-VM lifecycle.
+				resume = nil
+				a.base = 0
+				if err := vp.ResetFor(opts); err != nil {
+					parallel.ReleaseVM(v)
+					return nil, nil, ClassInternal, fmt.Sprintf("profiler reset: %v", err)
+				}
+				v.ResetFor(j.Prog, ropts.EffectiveMemSize())
+				atom.PrepareOn(v, ropts, atom.Tool(vp), p)
+			} else {
+				a.resumed = true
+				j.mu.Lock()
+				j.resumed++
+				j.mu.Unlock()
+			}
+		}
+
+		outcome, runErr := v.RunControlled(j.ctx)
+		a.outcome = outcome
+		a.inst = v.InstCount
+		a.faultPC = v.PC
+		j.mu.Lock()
+		j.attempts++
+		j.mu.Unlock()
+
+		if outcome == vm.OutcomeCompleted {
+			r := vp.Profile().Record(progName, inName)
+			var buf bytes.Buffer
+			err := r.WriteJSON(&buf)
+			parallel.ReleaseVM(v)
+			parallel.ReleaseProfiler(vp)
+			if err != nil {
+				return nil, nil, ClassInternal, fmt.Sprintf("serializing record: %v", err)
+			}
+			return buf.Bytes(), nil, "", ""
+		}
+
+		// The attempt stopped early. Capture its state: the serialized
+		// checkpoint carries the run into the next attempt (and, on
+		// disk, across a restart); the partial record is what salvage
+		// keeps when the budget runs dry.
+		if resumable {
+			if ck, err := core.CheckpointOf(vp, v, progName, inName); err == nil {
+				var buf bytes.Buffer
+				if core.WriteCheckpoint(&buf, ck) == nil {
+					carried = buf.Bytes()
+					if ckptPath != "" {
+						ck.SaveAtomic(ckptPath)
+					}
+				}
+			}
+		}
+		if cfg.SalvagePartial {
+			r := vp.Profile().Record(progName, inName)
+			r.Salvaged = true
+			r.Outcome = outcome.String()
+			var buf bytes.Buffer
+			if r.WriteJSON(&buf) == nil {
+				partial = buf.Bytes()
+			}
+		}
+		parallel.ReleaseVM(v)
+		parallel.ReleaseProfiler(vp)
+
+		switch outcome {
+		case vm.OutcomeCancelled:
+			return nil, partial, s.interruptClass(), ""
+		case vm.OutcomeLimit:
+			// StepLimit is the sub-run's total instruction budget; a
+			// resumed retry would continue toward the same absolute
+			// limit and stop on the same instruction.
+			return nil, partial, ClassBudget,
+				fmt.Sprintf("input %d: instruction budget %d exhausted", inputIdx, cfg.StepLimit)
+		case vm.OutcomeDeadline:
+			if a.resumed && a.inst <= a.base {
+				return nil, partial, ClassBudget,
+					fmt.Sprintf("input %d: no forward progress under attempt deadline", inputIdx)
+			}
+			// Retryable until attempts run out.
+		case vm.OutcomeFaulted:
+			if prev != nil && prev.outcome == vm.OutcomeFaulted &&
+				prev.faultPC == a.faultPC && prev.inst == a.inst {
+				return nil, partial, ClassFaulted,
+					fmt.Sprintf("input %d: deterministic fault at pc %d: %v", inputIdx, a.faultPC, runErr)
+			}
+		}
+		prev = &a
+		if attempt == cfg.MaxAttempts {
+			if outcome == vm.OutcomeFaulted {
+				return nil, partial, ClassFaulted, fmt.Sprintf("input %d: %v", inputIdx, runErr)
+			}
+			return nil, partial, ClassBudget,
+				fmt.Sprintf("input %d: %d attempts exhausted (last outcome %s)", inputIdx, cfg.MaxAttempts, outcome)
+		}
+	}
+	return nil, partial, ClassBudget, fmt.Sprintf("input %d: no attempts permitted", inputIdx)
+}
+
+// interruptClass distinguishes daemon shutdown (eviction) from a
+// client cancel.
+func (s *Server) interruptClass() string {
+	if s.closing.Load() {
+		return classEvicted
+	}
+	return ClassCancelled
+}
+
+// evict puts a shutdown-interrupted job back in the queued state; its
+// checkpoint is already on disk, so the next daemon resumes it.
+func (s *Server) evict(j *job) {
+	j.mu.Lock()
+	j.state = StateQueued
+	j.mu.Unlock()
+	j.persist(s.opts.StateDir, "")
+}
+
+// interrupted finalizes a job whose context was cancelled: eviction
+// when the daemon is closing, a client cancel otherwise.
+func (s *Server) interrupted(j *job) {
+	if s.closing.Load() {
+		s.evict(j)
+		return
+	}
+	j.mu.Lock()
+	j.state = StateCancelled
+	j.errClass = ClassCancelled
+	j.errMsg = "cancelled by client"
+	j.mu.Unlock()
+	j.persist(s.opts.StateDir, "")
+	j.finishEvents()
+	s.removeCheckpoint(j)
+}
+
+// fail finalizes a job with a wire error class.
+func (s *Server) fail(j *job, class, format string, args ...any) {
+	j.mu.Lock()
+	j.state = StateFailed
+	j.errClass = class
+	j.errMsg = fmt.Sprintf(format, args...)
+	j.mu.Unlock()
+	j.persist(s.opts.StateDir, "")
+	j.finishEvents()
+	s.removeCheckpoint(j)
+}
+
+// salvage finalizes a budget-exhausted job that kept its best partial
+// profile: state "salvaged", the partial record served as the result,
+// and the original failure preserved as the error.
+func (s *Server) salvage(j *job, partial []byte, class, msg string) {
+	j.mu.Lock()
+	j.state = StateSalvaged
+	j.errClass = class
+	j.errMsg = msg
+	j.result = partial
+	j.mu.Unlock()
+	j.persist(s.opts.StateDir, "")
+	j.finishEvents()
+	s.removeCheckpoint(j)
+}

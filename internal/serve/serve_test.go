@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// loopSrc is the deterministic workload used across the daemon tests:
+// an input-seeded countdown whose profiled values vary per iteration
+// (~5 instructions per count), printing the accumulated total.
+const loopSrc = `
+        .proc main
+main:   syscall getint
+        add t5, v0, zero
+        li t4, 0
+loop:   li t1, 7
+        add t4, t4, t5
+        add t2, t1, t5
+        addi t5, t5, -1
+        bne t5, loop
+        add a0, t4, zero
+        syscall putint
+        addi a0, zero, 0
+        syscall exit
+        .endproc
+`
+
+// fallOffSrc fails analysis.Verify: control can run off the end of the
+// code segment (no exit path).
+const fallOffSrc = `
+        .proc main
+main:   addi t0, zero, 1
+        .endproc
+`
+
+func loopRequest(client string, inputs ...int64) *JobRequest {
+	ins := make([][]int64, len(inputs))
+	for i, n := range inputs {
+		ins[i] = []int64{n}
+	}
+	return &JobRequest{
+		Client:  client,
+		Program: WireProgram{Asm: loopSrc},
+		Inputs:  ins,
+	}
+}
+
+// newServer builds an in-process daemon and tears it down with the
+// test.
+func newServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return s
+}
+
+// newHTTPServer wraps a daemon in an httptest server.
+func newHTTPServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	s := newServer(t, opts)
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	return s, hs
+}
+
+// call performs one API request and returns the status code and body.
+func call(t *testing.T, method, url string, body any) (int, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		switch b := body.(type) {
+		case string:
+			rd = strings.NewReader(b)
+		case []byte:
+			rd = bytes.NewReader(b)
+		default:
+			data, err := json.Marshal(body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rd = bytes.NewReader(data)
+		}
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// submitHTTP posts a job and returns the response status and decoded
+// job status.
+func submitHTTP(t *testing.T, base string, req *JobRequest) (int, JobStatus) {
+	t.Helper()
+	code, body := call(t, http.MethodPost, base+"/v1/jobs", req)
+	var sub submitResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatalf("submit response %d: %v\n%s", code, err, body)
+	}
+	return code, sub.Job
+}
+
+// waitTerminal polls until the job reaches a terminal state.
+func waitTerminal(t *testing.T, s *Server, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		j, ok := s.jobByID(id)
+		if !ok {
+			t.Fatalf("job %s disappeared", id)
+		}
+		st := j.status()
+		if terminalState(st.State) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %s", id, st.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// checkGolden compares got against the named golden file, rewriting it
+// under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update): %v", name, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch:\n got: %s\nwant: %s", name, got, want)
+	}
+}
+
+// checkGoldenResponse pins both the HTTP status and the exact body.
+func checkGoldenResponse(t *testing.T, name string, code int, body []byte) {
+	t.Helper()
+	got := append(fmt.Appendf(nil, "%d\n", code), body...)
+	checkGolden(t, name, got)
+}
+
+// splitmix64 drives the seeded chaos schedule (same generator the
+// fault-injection harness uses for its plans).
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d649bb133111eb
+	return z ^ (z >> 31)
+}
